@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("24, 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 24 || got[1] != 12 {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("1,abc"); err == nil {
+		t.Error("bad number accepted")
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Error("empty string accepted")
+	}
+}
+
+func TestParseAgent(t *testing.T) {
+	a, err := parseAgent("user1:0.6,0.4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "user1" || a.Utility.Alpha[0] != 0.6 {
+		t.Fatalf("parseAgent = %+v", a)
+	}
+	if _, err := parseAgent("no-colon", 2); err == nil {
+		t.Error("missing colon accepted")
+	}
+	if _, err := parseAgent("u:0.5", 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := parseAgent("u:-1,0.5", 2); err == nil {
+		t.Error("negative elasticity accepted")
+	}
+	if _, err := parseAgent("u:bad,0.5", 2); err == nil {
+		t.Error("non-numeric elasticity accepted")
+	}
+}
+
+func TestPickMechanism(t *testing.T) {
+	for _, name := range []string{"proportional", "maxwelfare", "equalslowdown", "equalsplit"} {
+		m, err := pickMechanism(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m == nil || m.Name() == "" {
+			t.Errorf("%s returned bad mechanism", name)
+		}
+	}
+	if _, err := pickMechanism("nonesuch"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestAgentFlags(t *testing.T) {
+	var a agentFlags
+	if err := a.Set("x:1,2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("y:3,4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || a.String() == "" {
+		t.Fatalf("agentFlags = %v", a)
+	}
+}

@@ -1,0 +1,55 @@
+// Command refbench regenerates the REF paper's tables and figures.
+//
+// Usage:
+//
+//	refbench -list                 enumerate experiments
+//	refbench -exp fig13            regenerate Figure 13
+//	refbench -exp all              regenerate everything
+//	refbench -exp fig9 -accesses 40000   higher-fidelity sweep
+//
+// Output is the same rows/series the paper reports, printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ref"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		expID    = flag.String("exp", "", "experiment ID to run (or \"all\")")
+		accesses = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range ref.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "refbench: choose an experiment with -exp <id> (see -list)")
+		os.Exit(2)
+	}
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = ids[:0]
+		for _, e := range ref.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := ref.RunExperiment(id, *accesses, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

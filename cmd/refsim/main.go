@@ -1,0 +1,90 @@
+// Command refsim runs the platform simulator for one catalog workload,
+// either at a single configuration or across the full Table 1 grid.
+//
+// Usage:
+//
+//	refsim -workloads                         list the catalog
+//	refsim -w dedup                           sweep the 5×5 grid, print IPC + fit
+//	refsim -w dedup -cache 1048576 -bw 6.4    one configuration
+//	refsim -w dedup -accesses 50000           higher fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ref"
+)
+
+func main() {
+	var (
+		listW    = flag.Bool("workloads", false, "list catalog workloads")
+		name     = flag.String("w", "", "workload name")
+		cacheB   = flag.Int("cache", 0, "LLC capacity in bytes (0 = sweep the grid)")
+		bw       = flag.Float64("bw", 0, "memory bandwidth in GB/s (0 = sweep the grid)")
+		accesses = flag.Int("accesses", 20000, "memory accesses to simulate per configuration")
+		csvPath  = flag.String("csv", "", "write the swept profile as CSV to this file")
+	)
+	flag.Parse()
+
+	if *listW {
+		for _, w := range ref.Workloads() {
+			fmt.Printf("%-20s %-10s class %s\n", w.Config.Name, w.Suite, w.Class)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "refsim: choose a workload with -w <name> (see -workloads)")
+		os.Exit(2)
+	}
+	w, err := ref.LookupWorkload(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *cacheB > 0 && *bw > 0 {
+		res, err := ref.RunWorkload(w.Config, ref.DefaultPlatform(*cacheB, *bw), *accesses)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s @ %d B LLC, %g GB/s: IPC=%.3f L1 miss=%.3f LLC miss=%.3f avg mem latency=%.0f cycles\n",
+			*name, *cacheB, *bw, res.IPC(), res.L1MissRate, res.LLCMissRate, res.AvgMemLatency)
+		return
+	}
+	prof, err := ref.SweepWorkload(w.Config, *accesses)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s, class %s): Table 1 sweep, %d accesses per config\n", *name, w.Suite, w.Class, *accesses)
+	for _, s := range prof.Samples {
+		fmt.Printf("  bw=%5.1f GB/s cache=%5.3f MB  IPC=%.3f\n", s.Alloc[0], s.Alloc[1], s.Perf)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := prof.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile written to %s\n", *csvPath)
+	}
+	fit, err := ref.FitCobbDouglas(prof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: fit: %v\n", err)
+		os.Exit(1)
+	}
+	r := fit.Utility.Rescaled()
+	fmt.Printf("fitted: u = %s   (R²=%.3f)\n", fit.Utility, fit.R2)
+	fmt.Printf("rescaled elasticities: α_mem=%.3f α_cache=%.3f → class %s\n",
+		r.Alpha[0], r.Alpha[1], map[bool]string{true: "C", false: "M"}[r.Alpha[1] > 0.5])
+}

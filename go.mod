@@ -1,0 +1,3 @@
+module ref
+
+go 1.22

@@ -1,0 +1,25 @@
+package ref
+
+import "ref/internal/gp"
+
+// GPMonomial is c·∏ x_i^{Exp[i]} with positive coefficient — the function
+// class Cobb-Douglas utilities live in (footnote 2 of the paper).
+type GPMonomial = gp.Monomial
+
+// GPPosynomial is a sum of monomials.
+type GPPosynomial = gp.Posynomial
+
+// GPProgram is a geometric program in the paper's form: maximize a monomial
+// over positive variables subject to posynomial upper bounds. It is the
+// pure-Go stand-in for the CVX pathway the paper's evaluation used; Solve
+// log-transforms and runs penalized gradient ascent.
+type GPProgram = gp.Program
+
+// GPConfig tunes GPProgram.Solve.
+type GPConfig = gp.Config
+
+// GPReport describes a geometric-programming solve.
+type GPReport = gp.Report
+
+// NewGPProgram creates a geometric program over nVars positive variables.
+func NewGPProgram(nVars int) (*GPProgram, error) { return gp.New(nVars) }

@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/trace"
+)
+
+func l1Config() Config {
+	// Table 1: 32 KB, 4-way, 64-byte blocks, 2-cycle latency.
+	return Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, HitLatency: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := l1Config().Validate(); err != nil {
+		t.Fatalf("Table-1 L1 rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4, BlockBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 0, BlockBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 48},        // not power of two
+		{SizeBytes: 31 << 10, Ways: 4, BlockBytes: 64},        // not divisible
+		{SizeBytes: 3 * 64 * 4 * 64, Ways: 4, BlockBytes: 64}, // 192 sets
+		{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, HitLatency: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, err := New(l1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.Access(0x1000, false); res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if res := c.Access(0x1000, false); !res.Hit {
+		t.Fatal("warm access missed")
+	}
+	if res := c.Access(0x1000+32, false); !res.Hit {
+		t.Fatal("same-block access missed")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 4-way cache: access 5 distinct blocks mapping to the same set; the
+	// first must be evicted, the rest retained.
+	cfg := l1Config()
+	c, _ := New(cfg)
+	sets := uint64(cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes))
+	stride := sets * uint64(cfg.BlockBytes) // same set, different tag
+	for i := uint64(0); i < 5; i++ {
+		c.Access(i*stride, false)
+	}
+	if c.Contains(0) {
+		t.Error("LRU victim still resident")
+	}
+	for i := uint64(1); i < 5; i++ {
+		if !c.Contains(i * stride) {
+			t.Errorf("block %d evicted prematurely", i)
+		}
+	}
+	// Touch block 1, then fill: block 2 should now be the victim.
+	c.Access(1*stride, false)
+	c.Access(5*stride, false)
+	if !c.Contains(1 * stride) {
+		t.Error("recently-touched block evicted")
+	}
+	if c.Contains(2 * stride) {
+		t.Error("LRU block survived")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := l1Config()
+	c, _ := New(cfg)
+	sets := uint64(cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes))
+	stride := sets * uint64(cfg.BlockBytes)
+	c.Access(0, true) // dirty
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(i*stride, false)
+	}
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", s.Writebacks)
+	}
+}
+
+func TestEvictedAddrRoundTrip(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, Ways: 1, BlockBytes: 64, HitLatency: 1}
+	c, _ := New(cfg)
+	addr := uint64(0x12340)
+	addr -= addr % 64
+	c.Access(addr, true)
+	// Evict it with a conflicting address (same set, different tag).
+	sets := uint64(cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes))
+	conflict := addr + sets*uint64(cfg.BlockBytes)
+	res := c.Access(conflict, false)
+	if !res.Writeback {
+		t.Fatal("no writeback")
+	}
+	if res.EvictedAddr != addr {
+		t.Fatalf("EvictedAddr = %#x, want %#x", res.EvictedAddr, addr)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c, _ := New(l1Config())
+	c.Access(0, true)
+	c.Access(64, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("Flush dirty = %d, want 1", dirty)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Fatal("blocks survive flush")
+	}
+}
+
+func TestMissRateDecreasesWithCapacity(t *testing.T) {
+	// The fundamental behavior Figure 8 depends on: for a workload with a
+	// fixed working set, bigger LLCs miss less, with diminishing returns.
+	g := func() *trace.Generator {
+		gen, err := trace.NewGenerator(trace.Config{
+			// A working set spanning the whole 128 KB–2 MB sweep with a
+			// flat-ish power law puts substantial reuse mass at every
+			// capacity step.
+			Name: "t", MemOpsPerKiloInstr: 300, WorkingSetBlocks: 32768,
+			ReuseTheta: 0.9, StreamFraction: 0.01, WriteFraction: 0.3, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+	var rates []float64
+	for _, size := range []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20} {
+		c, err := New(Config{SizeBytes: size, Ways: 8, BlockBytes: 64, HitLatency: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := g()
+		for i := 0; i < 60000; i++ {
+			a := gen.Next()
+			c.Access(a.Addr, a.Write)
+		}
+		rates = append(rates, c.Stats().MissRate())
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] > rates[i-1]+1e-3 {
+			t.Errorf("miss rate increased with capacity: %.4f -> %.4f", rates[i-1], rates[i])
+		}
+	}
+	first, last := rates[0], rates[len(rates)-1]
+	if last > first*0.8 {
+		t.Errorf("no meaningful capacity benefit: %.4f -> %.4f", first, last)
+	}
+	if last > 0.5 {
+		t.Errorf("2 MB miss rate %.3f too high for cache-friendly workload", last)
+	}
+}
+
+func TestStreamingDefeatsCache(t *testing.T) {
+	gen, err := trace.NewGenerator(trace.Config{
+		Name: "s", MemOpsPerKiloInstr: 300, WorkingSetBlocks: 100000,
+		ReuseTheta: 0.7, StreamFraction: 0.4, WriteFraction: 0.3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := New(Config{SizeBytes: 2 << 20, Ways: 8, BlockBytes: 64, HitLatency: 20})
+	for i := 0; i < 60000; i++ {
+		a := gen.Next()
+		c.Access(a.Addr, a.Write)
+	}
+	if mr := c.Stats().MissRate(); mr < 0.35 {
+		t.Errorf("streaming miss rate %.3f too low even at 2 MB", mr)
+	}
+}
+
+func TestPartitionedIsolation(t *testing.T) {
+	cfg := Config{SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64, HitLatency: 20}
+	p, err := NewPartitioned(cfg, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agent 0 warms a block; agent 1 thrashing its own partition must not
+	// evict it.
+	p.Access(0, 0x4000, false)
+	for i := uint64(0); i < 10000; i++ {
+		p.Access(1, i*64, false)
+	}
+	if res := p.Access(0, 0x4000, false); !res.Hit {
+		t.Fatal("agent 1 evicted agent 0's block across the partition")
+	}
+	if p.Ways(0) != 4 || p.CapacityBytes(0) != 32<<10 {
+		t.Errorf("partition geometry wrong: ways=%d cap=%d", p.Ways(0), p.CapacityBytes(0))
+	}
+	if p.Stats(1).Accesses() != 10000 {
+		t.Errorf("agent 1 accesses = %d", p.Stats(1).Accesses())
+	}
+}
+
+func TestNewPartitionedValidation(t *testing.T) {
+	cfg := Config{SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64}
+	if _, err := NewPartitioned(cfg, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("no agents accepted")
+	}
+	if _, err := NewPartitioned(cfg, []int{0, 8}); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero ways accepted")
+	}
+	if _, err := NewPartitioned(cfg, []int{5, 5}); !errors.Is(err, ErrBadConfig) {
+		t.Error("overcommitted ways accepted")
+	}
+}
+
+func TestWaysForShare(t *testing.T) {
+	cfg := Config{SizeBytes: 8 << 20 / 4, Ways: 8, BlockBytes: 64} // 2 MB, 8 ways
+	// 2 MB cache: each way is 256 KB. Shares 1.5 MB / 0.5 MB → 6 / 2 ways.
+	ways, err := WaysForShare(cfg, []float64{1.5 * 1024 * 1024, 0.5 * 1024 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ways[0] != 6 || ways[1] != 2 {
+		t.Fatalf("ways = %v, want [6 2]", ways)
+	}
+}
+
+func TestWaysForShareMinimumOneWay(t *testing.T) {
+	cfg := Config{SizeBytes: 2 << 20, Ways: 8, BlockBytes: 64}
+	ways, err := WaysForShare(cfg, []float64{2 << 20, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ways[1] < 1 {
+		t.Fatalf("starved agent got %d ways", ways[1])
+	}
+	sum := ways[0] + ways[1]
+	if sum > cfg.Ways {
+		t.Fatalf("ways %v exceed budget", ways)
+	}
+}
+
+func TestWaysForShareErrors(t *testing.T) {
+	cfg := Config{SizeBytes: 2 << 20, Ways: 8, BlockBytes: 64}
+	if _, err := WaysForShare(cfg, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("no shares accepted")
+	}
+	if _, err := WaysForShare(cfg, []float64{-1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative share accepted")
+	}
+	nine := make([]float64, 9)
+	for i := range nine {
+		nine[i] = 1
+	}
+	if _, err := WaysForShare(cfg, nine); !errors.Is(err, ErrBadConfig) {
+		t.Error("more agents than ways accepted")
+	}
+}
+
+// Property: hits + misses == accesses and the cache never reports a hit for
+// an address it has never seen.
+func TestCacheAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{SizeBytes: 16 << 10, Ways: 2, BlockBytes: 64, HitLatency: 1})
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]bool{}
+		n := 3000
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(1000)) * 64
+			block := addr
+			res := c.Access(addr, rng.Intn(2) == 0)
+			if res.Hit && !seen[block] {
+				return false
+			}
+			seen[block] = true
+		}
+		s := c.Stats()
+		return s.Accesses() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

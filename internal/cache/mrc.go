@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadTrace reports an unusable reference stream for MRC construction.
+var ErrBadTrace = errors.New("cache: bad trace")
+
+// MRC is a miss-ratio curve: the fraction of references that miss in a
+// fully-associative LRU cache, as a function of capacity in blocks. It is
+// built with Mattson's stack algorithm in a single pass over a reference
+// stream, so one profiling run predicts the hit ratio of *every* capacity
+// at once — the analytical fast path that cross-checks the event-driven
+// simulator and lets callers reason about cache sensitivity without
+// sweeping.
+type MRC struct {
+	// histogram[d] counts references with stack distance d (reuses of the
+	// d+1-st most recently used block); cold misses are counted
+	// separately.
+	histogram []uint64
+	cold      uint64
+	total     uint64
+}
+
+// BuildMRC runs Mattson's stack algorithm over block addresses. The stream
+// must be non-empty.
+func BuildMRC(addrs []uint64, blockBytes int) (*MRC, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadTrace)
+	}
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadTrace, blockBytes)
+	}
+	m := &MRC{}
+	// LRU stack as a doubly-linked list with a per-block node index.
+	// Finding a block's stack distance walks from the head, so the whole
+	// pass costs O(Σ distances) — cheap for the locality-heavy streams
+	// this is used on, with no per-access global updates.
+	type node struct {
+		block      uint64
+		prev, next *node
+	}
+	var head *node
+	nodes := make(map[uint64]*node, 1024)
+	pushFront := func(n *node) {
+		n.prev = nil
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+	}
+	for _, a := range addrs {
+		block := a / uint64(blockBytes)
+		m.total++
+		n, seen := nodes[block]
+		if !seen {
+			m.cold++
+			n = &node{block: block}
+			nodes[block] = n
+			pushFront(n)
+			continue
+		}
+		// Count distinct blocks above n.
+		d := 0
+		for cur := head; cur != n; cur = cur.next {
+			d++
+		}
+		for len(m.histogram) <= d {
+			m.histogram = append(m.histogram, 0)
+		}
+		m.histogram[d]++
+		if n != head {
+			// Unlink and move to front.
+			n.prev.next = n.next
+			if n.next != nil {
+				n.next.prev = n.prev
+			}
+			pushFront(n)
+		}
+	}
+	return m, nil
+}
+
+// MissRatio predicts the miss ratio of a fully-associative LRU cache with
+// the given capacity in blocks: references at stack distance ≥ capacity
+// miss, plus all cold references.
+func (m *MRC) MissRatio(capacityBlocks int) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	if capacityBlocks <= 0 {
+		return 1
+	}
+	var hits uint64
+	limit := capacityBlocks
+	if limit > len(m.histogram) {
+		limit = len(m.histogram)
+	}
+	for d := 0; d < limit; d++ {
+		hits += m.histogram[d]
+	}
+	return 1 - float64(hits)/float64(m.total)
+}
+
+// ColdRatio returns the fraction of references that are compulsory misses.
+func (m *MRC) ColdRatio() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.cold) / float64(m.total)
+}
+
+// Curve samples the MRC at the given capacities (blocks), returned in the
+// same order.
+func (m *MRC) Curve(capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = m.MissRatio(c)
+	}
+	return out
+}
+
+// CapacityForMissRatio returns the smallest capacity (in blocks) whose
+// predicted miss ratio is at most target, or -1 if even holding every
+// distinct block cannot reach it (cold misses set the floor).
+func (m *MRC) CapacityForMissRatio(target float64) int {
+	if m.MissRatio(len(m.histogram)) > target {
+		return -1
+	}
+	return sort.Search(len(m.histogram), func(c int) bool {
+		return m.MissRatio(c+1) <= target
+	}) + 1
+}

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"fmt"
+)
+
+// Partitioned is a way-partitioned shared cache: each agent owns a disjoint
+// subset of the ways in every set, so one agent's fills can never evict
+// another agent's blocks. This is the standard hardware mechanism for
+// enforcing an LLC capacity allocation and is how the reproduction's
+// co-run simulator enforces the cache share a mechanism computes.
+type Partitioned struct {
+	cfg    Config
+	sets   int
+	agents int
+	// perAgent[i] is a private sub-cache with wayCounts[i] ways.
+	perAgent []*Cache
+	ways     []int
+}
+
+// NewPartitioned divides a cache of the given geometry among agents with
+// wayCounts[i] ways each. The counts must be positive and sum to at most
+// cfg.Ways.
+func NewPartitioned(cfg Config, wayCounts []int) (*Partitioned, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wayCounts) == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrBadConfig)
+	}
+	total := 0
+	for i, w := range wayCounts {
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: agent %d gets %d ways", ErrBadConfig, i, w)
+		}
+		total += w
+	}
+	if total > cfg.Ways {
+		return nil, fmt.Errorf("%w: %d ways assigned, cache has %d", ErrBadConfig, total, cfg.Ways)
+	}
+	p := &Partitioned{
+		cfg:    cfg,
+		sets:   cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes),
+		agents: len(wayCounts),
+		ways:   append([]int(nil), wayCounts...),
+	}
+	for i, w := range wayCounts {
+		sub, err := New(Config{
+			SizeBytes:  p.sets * w * cfg.BlockBytes,
+			Ways:       w,
+			BlockBytes: cfg.BlockBytes,
+			HitLatency: cfg.HitLatency,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cache: partition %d: %w", i, err)
+		}
+		p.perAgent = append(p.perAgent, sub)
+	}
+	return p, nil
+}
+
+// Access performs an access on behalf of agent.
+func (p *Partitioned) Access(agent int, addr uint64, write bool) AccessResult {
+	return p.perAgent[agent].Access(addr, write)
+}
+
+// Stats returns agent's statistics.
+func (p *Partitioned) Stats(agent int) Stats { return p.perAgent[agent].Stats() }
+
+// Ways returns agent's way count.
+func (p *Partitioned) Ways(agent int) int { return p.ways[agent] }
+
+// CapacityBytes returns agent's partition capacity.
+func (p *Partitioned) CapacityBytes(agent int) int {
+	return p.sets * p.ways[agent] * p.cfg.BlockBytes
+}
+
+// WaysForShare converts a byte share of a cache into a way count, rounding
+// to the nearest way but never below one (a zero-way partition would
+// deadlock the agent). shares must sum to at most the cache's capacity.
+func WaysForShare(cfg Config, shareBytes []float64) ([]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(shareBytes)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no shares", ErrBadConfig)
+	}
+	if n > cfg.Ways {
+		return nil, fmt.Errorf("%w: %d agents exceed %d ways", ErrBadConfig, n, cfg.Ways)
+	}
+	bytesPerWay := float64(cfg.SizeBytes) / float64(cfg.Ways)
+	ways := make([]int, n)
+	assigned := 0
+	for i, s := range shareBytes {
+		if s < 0 {
+			return nil, fmt.Errorf("%w: negative share %v", ErrBadConfig, s)
+		}
+		w := int(s/bytesPerWay + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		ways[i] = w
+		assigned += w
+	}
+	// Trim overshoot from the largest partitions (rounding can exceed the
+	// way budget); grow undershoot is fine — unassigned ways stay idle,
+	// mirroring a conservative hardware partitioner.
+	for assigned > cfg.Ways {
+		max := 0
+		for i, w := range ways {
+			if w > ways[max] {
+				_ = i
+				max = i
+			}
+		}
+		if ways[max] <= 1 {
+			return nil, fmt.Errorf("%w: cannot fit %d agents in %d ways", ErrBadConfig, n, cfg.Ways)
+		}
+		ways[max]--
+		assigned--
+	}
+	return ways, nil
+}

@@ -1,0 +1,247 @@
+// Package cobb implements Cobb-Douglas utility functions of the form
+//
+//	u(x) = α₀ · ∏_r x_r^{α_r}
+//
+// which the REF paper (Zahedi & Lee, ASPLOS 2014) uses to model agent
+// preferences over hardware resources such as last-level cache capacity and
+// memory bandwidth. The exponents α (resource elasticities) capture
+// diminishing marginal returns; the product captures substitution between
+// resources. The package provides evaluation, elasticity rescaling
+// (Equation 12 of the paper), preference relations, marginal rates of
+// substitution (Equation 9), and indifference-curve geometry.
+package cobb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Preference orders two allocations from an agent's point of view.
+type Preference int
+
+const (
+	// Worse means the first allocation is strictly dispreferred (x ≺ x′).
+	Worse Preference = iota - 1
+	// Indifferent means the agent is indifferent (x ∼ x′).
+	Indifferent
+	// Better means the first allocation is strictly preferred (x ≻ x′).
+	Better
+)
+
+// String returns the game-theoretic symbol for the relation.
+func (p Preference) String() string {
+	switch p {
+	case Worse:
+		return "≺"
+	case Indifferent:
+		return "∼"
+	case Better:
+		return "≻"
+	default:
+		return fmt.Sprintf("Preference(%d)", int(p))
+	}
+}
+
+// prefTol is the relative tolerance under which two utility values are
+// considered indifferent. Utilities come from floating-point products of
+// powers, so exact equality is meaningless.
+const prefTol = 1e-12
+
+// ErrInvalidUtility reports a malformed Cobb-Douglas specification.
+var ErrInvalidUtility = errors.New("cobb: invalid utility")
+
+// Utility is a Cobb-Douglas utility function u(x) = Alpha0 · ∏ x_r^Alpha[r].
+//
+// Alpha0 must be positive and every elasticity must be non-negative; at
+// least one elasticity must be positive. The zero value is not a valid
+// Utility; construct with New.
+type Utility struct {
+	// Alpha0 is the multiplicative scale constant α₀.
+	Alpha0 float64
+	// Alpha holds the per-resource elasticities α_r.
+	Alpha []float64
+}
+
+// New constructs a Utility, validating the parameters.
+func New(alpha0 float64, alpha ...float64) (Utility, error) {
+	u := Utility{Alpha0: alpha0, Alpha: append([]float64(nil), alpha...)}
+	if err := u.Validate(); err != nil {
+		return Utility{}, err
+	}
+	return u, nil
+}
+
+// MustNew is New but panics on invalid parameters. Intended for package-level
+// variables and tests with known-good constants.
+func MustNew(alpha0 float64, alpha ...float64) Utility {
+	u, err := New(alpha0, alpha...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Validate checks that the utility is well formed: positive finite scale,
+// non-negative finite elasticities, and at least one positive elasticity.
+func (u Utility) Validate() error {
+	if math.IsNaN(u.Alpha0) || math.IsInf(u.Alpha0, 0) || u.Alpha0 <= 0 {
+		return fmt.Errorf("%w: Alpha0 = %v, must be positive and finite", ErrInvalidUtility, u.Alpha0)
+	}
+	if len(u.Alpha) == 0 {
+		return fmt.Errorf("%w: no elasticities", ErrInvalidUtility)
+	}
+	anyPositive := false
+	for r, a := range u.Alpha {
+		if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+			return fmt.Errorf("%w: Alpha[%d] = %v, must be non-negative and finite", ErrInvalidUtility, r, a)
+		}
+		if a > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return fmt.Errorf("%w: all elasticities are zero", ErrInvalidUtility)
+	}
+	return nil
+}
+
+// NumResources returns the number of resources the utility is defined over.
+func (u Utility) NumResources() int { return len(u.Alpha) }
+
+// Eval returns u(x) = α₀ ∏ x_r^{α_r}. Allocations must have one entry per
+// resource; Eval panics otherwise (a programming error, not a data error).
+// Any zero allocation of a resource with positive elasticity yields zero
+// utility, matching the paper's observation that agents need every resource
+// to make progress.
+func (u Utility) Eval(x []float64) float64 {
+	if len(x) != len(u.Alpha) {
+		panic(fmt.Sprintf("cobb: Eval with %d resources, utility has %d", len(x), len(u.Alpha)))
+	}
+	// Work in log space for robustness with many resources.
+	logU := math.Log(u.Alpha0)
+	for r, a := range u.Alpha {
+		if a == 0 {
+			continue
+		}
+		if x[r] <= 0 {
+			return 0
+		}
+		logU += a * math.Log(x[r])
+	}
+	return math.Exp(logU)
+}
+
+// LogEval returns log u(x). It returns -Inf when utility is zero.
+func (u Utility) LogEval(x []float64) float64 {
+	if len(x) != len(u.Alpha) {
+		panic(fmt.Sprintf("cobb: LogEval with %d resources, utility has %d", len(x), len(u.Alpha)))
+	}
+	logU := math.Log(u.Alpha0)
+	for r, a := range u.Alpha {
+		if a == 0 {
+			continue
+		}
+		if x[r] <= 0 {
+			return math.Inf(-1)
+		}
+		logU += a * math.Log(x[r])
+	}
+	return logU
+}
+
+// Compare orders allocations x and y by the agent's utility.
+func (u Utility) Compare(x, y []float64) Preference {
+	ux, uy := u.Eval(x), u.Eval(y)
+	scale := math.Max(math.Abs(ux), math.Abs(uy))
+	if math.Abs(ux-uy) <= prefTol*scale {
+		return Indifferent
+	}
+	if ux > uy {
+		return Better
+	}
+	return Worse
+}
+
+// WeaklyPrefers reports x ≿ y: the agent weakly prefers x to y.
+func (u Utility) WeaklyPrefers(x, y []float64) bool {
+	return u.Compare(x, y) != Worse
+}
+
+// ElasticitySum returns Σ_r α_r.
+func (u Utility) ElasticitySum() float64 {
+	var s float64
+	for _, a := range u.Alpha {
+		s += a
+	}
+	return s
+}
+
+// Rescaled returns the utility with elasticities normalized to sum to one
+// (Equation 12) and the scale constant reset to 1, i.e. û(x) = ∏ x^α̂.
+// Rescaled utilities are homogeneous of degree one, the property that makes
+// the REF allocation a CEEI solution (§4.2).
+func (u Utility) Rescaled() Utility {
+	s := u.ElasticitySum()
+	out := Utility{Alpha0: 1, Alpha: make([]float64, len(u.Alpha))}
+	for r, a := range u.Alpha {
+		out.Alpha[r] = a / s
+	}
+	return out
+}
+
+// IsRescaled reports whether the elasticities already sum to one (within
+// tolerance) and the scale constant is one.
+func (u Utility) IsRescaled() bool {
+	return math.Abs(u.ElasticitySum()-1) <= 1e-9 && math.Abs(u.Alpha0-1) <= 1e-9
+}
+
+// MRS returns the marginal rate of substitution of resource r for resource s
+// at allocation x (Equation 9):
+//
+//	MRS_{r,s} = (∂u/∂x_r) / (∂u/∂x_s) = (α_r/α_s) · (x_s/x_r)
+//
+// It returns +Inf when α_s·x_r is zero and α_r·x_s is positive, 0 when the
+// numerator is zero, and NaN when both vanish.
+func (u Utility) MRS(r, s int, x []float64) float64 {
+	if r < 0 || r >= len(u.Alpha) || s < 0 || s >= len(u.Alpha) {
+		panic(fmt.Sprintf("cobb: MRS resource index out of range (r=%d, s=%d, R=%d)", r, s, len(u.Alpha)))
+	}
+	num := u.Alpha[r] * x[s]
+	den := u.Alpha[s] * x[r]
+	return num / den
+}
+
+// Gradient returns ∇u(x). Entries are +Inf where x_r = 0 with 0 < α_r < 1.
+func (u Utility) Gradient(x []float64) []float64 {
+	g := make([]float64, len(u.Alpha))
+	val := u.Eval(x)
+	for r, a := range u.Alpha {
+		if a == 0 {
+			g[r] = 0
+			continue
+		}
+		if x[r] == 0 {
+			g[r] = math.Inf(1)
+			continue
+		}
+		g[r] = a * val / x[r]
+	}
+	return g
+}
+
+// IsHomogeneousDegreeOne reports whether u(k·x) = k·u(x), which holds
+// exactly when the elasticities sum to one.
+func (u Utility) IsHomogeneousDegreeOne() bool {
+	return math.Abs(u.ElasticitySum()-1) <= 1e-9
+}
+
+// String renders the utility in the paper's notation, e.g.
+// "1.00·x0^0.60·x1^0.40".
+func (u Utility) String() string {
+	s := fmt.Sprintf("%.3g", u.Alpha0)
+	for r, a := range u.Alpha {
+		s += fmt.Sprintf("·x%d^%.3g", r, a)
+	}
+	return s
+}

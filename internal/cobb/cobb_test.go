@@ -1,0 +1,402 @@
+package cobb
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's running example (§3): u1 = x^0.6 y^0.4, u2 = x^0.2 y^0.8 on a
+// system with 24 GB/s bandwidth and 12 MB cache.
+var (
+	paperU1 = MustNew(1, 0.6, 0.4)
+	paperU2 = MustNew(1, 0.2, 0.8)
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		alpha0 float64
+		alpha  []float64
+		ok     bool
+	}{
+		{"valid", 1, []float64{0.6, 0.4}, true},
+		{"valid single", 2.5, []float64{1}, true},
+		{"zero alpha0", 0, []float64{0.5}, false},
+		{"negative alpha0", -1, []float64{0.5}, false},
+		{"nan alpha0", math.NaN(), []float64{0.5}, false},
+		{"inf alpha0", math.Inf(1), []float64{0.5}, false},
+		{"no elasticities", 1, nil, false},
+		{"negative elasticity", 1, []float64{0.5, -0.1}, false},
+		{"nan elasticity", 1, []float64{math.NaN()}, false},
+		{"all zero elasticities", 1, []float64{0, 0}, false},
+		{"one zero elasticity ok", 1, []float64{0, 0.7}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.alpha0, c.alpha...)
+			if (err == nil) != c.ok {
+				t.Fatalf("New(%v, %v) err = %v, want ok=%v", c.alpha0, c.alpha, err, c.ok)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidUtility) {
+				t.Fatalf("error %v does not wrap ErrInvalidUtility", err)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestEvalPaperExample(t *testing.T) {
+	// Equal split of 24 GB/s and 12 MB.
+	x := []float64{12, 6}
+	got1 := paperU1.Eval(x)
+	want1 := math.Pow(12, 0.6) * math.Pow(6, 0.4)
+	if math.Abs(got1-want1) > 1e-12*want1 {
+		t.Errorf("u1(12,6) = %v, want %v", got1, want1)
+	}
+	got2 := paperU2.Eval(x)
+	want2 := math.Pow(12, 0.2) * math.Pow(6, 0.8)
+	if math.Abs(got2-want2) > 1e-12*want2 {
+		t.Errorf("u2(12,6) = %v, want %v", got2, want2)
+	}
+}
+
+func TestEvalZeroResource(t *testing.T) {
+	// Both resources are required: zero of either yields zero utility.
+	if got := paperU1.Eval([]float64{0, 12}); got != 0 {
+		t.Errorf("u1(0,12) = %v, want 0", got)
+	}
+	if got := paperU1.Eval([]float64{24, 0}); got != 0 {
+		t.Errorf("u1(24,0) = %v, want 0", got)
+	}
+}
+
+func TestEvalZeroElasticityIgnoresResource(t *testing.T) {
+	u := MustNew(1, 0, 1)
+	if got := u.Eval([]float64{0, 5}); got != 5 {
+		t.Errorf("u = %v, want 5 (resource with α=0 ignored)", got)
+	}
+}
+
+func TestEvalDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	paperU1.Eval([]float64{1})
+}
+
+func TestLogEvalConsistency(t *testing.T) {
+	x := []float64{7, 3}
+	if got, want := paperU1.LogEval(x), math.Log(paperU1.Eval(x)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogEval = %v, want %v", got, want)
+	}
+	if got := paperU1.LogEval([]float64{0, 3}); !math.IsInf(got, -1) {
+		t.Errorf("LogEval at zero = %v, want -Inf", got)
+	}
+}
+
+func TestCompareAndPreferences(t *testing.T) {
+	better := []float64{18, 8}
+	worse := []float64{2, 1}
+	if got := paperU1.Compare(better, worse); got != Better {
+		t.Errorf("Compare = %v, want Better", got)
+	}
+	if got := paperU1.Compare(worse, better); got != Worse {
+		t.Errorf("Compare = %v, want Worse", got)
+	}
+	if got := paperU1.Compare(better, better); got != Indifferent {
+		t.Errorf("Compare = %v, want Indifferent", got)
+	}
+	if !paperU1.WeaklyPrefers(better, worse) {
+		t.Error("WeaklyPrefers(better, worse) = false")
+	}
+	if !paperU1.WeaklyPrefers(better, better) {
+		t.Error("WeaklyPrefers(x, x) = false")
+	}
+	if paperU1.WeaklyPrefers(worse, better) {
+		t.Error("WeaklyPrefers(worse, better) = true")
+	}
+}
+
+func TestCompareScaleInvariantIndifference(t *testing.T) {
+	// Two allocations on the same indifference curve must compare equal:
+	// u(x,y) with y scaled via the closed-form substitution.
+	x0, y0 := 4.0, 1.0
+	y1, err := paperU1.SubstituteY(x0, y0, 1.0)
+	if err != nil {
+		t.Fatalf("SubstituteY: %v", err)
+	}
+	if got := paperU1.Compare([]float64{x0, y0}, []float64{1.0, y1}); got != Indifferent {
+		t.Errorf("Compare along indifference curve = %v, want Indifferent", got)
+	}
+}
+
+func TestPreferenceString(t *testing.T) {
+	if Better.String() != "≻" || Worse.String() != "≺" || Indifferent.String() != "∼" {
+		t.Error("Preference String symbols wrong")
+	}
+	if Preference(9).String() == "" {
+		t.Error("unknown Preference must still render")
+	}
+}
+
+func TestRescaled(t *testing.T) {
+	u := MustNew(3.7, 1.2, 0.3, 0.5)
+	r := u.Rescaled()
+	if !r.IsRescaled() {
+		t.Fatalf("Rescaled() not rescaled: %+v", r)
+	}
+	if math.Abs(r.Alpha[0]-0.6) > 1e-12 || math.Abs(r.Alpha[1]-0.15) > 1e-12 || math.Abs(r.Alpha[2]-0.25) > 1e-12 {
+		t.Errorf("Rescaled alphas = %v", r.Alpha)
+	}
+	// Original untouched.
+	if u.Alpha[0] != 1.2 {
+		t.Error("Rescaled mutated the receiver")
+	}
+}
+
+func TestRescaledIdempotent(t *testing.T) {
+	r := paperU1.Rescaled()
+	rr := r.Rescaled()
+	for i := range r.Alpha {
+		if math.Abs(r.Alpha[i]-rr.Alpha[i]) > 1e-15 {
+			t.Fatalf("Rescaled not idempotent: %v vs %v", r.Alpha, rr.Alpha)
+		}
+	}
+}
+
+func TestHomogeneityOfRescaled(t *testing.T) {
+	// û(kx) = k·û(x) exactly when Σα̂ = 1 (CEEI precondition, §4.2).
+	u := MustNew(2, 1.5, 0.5, 1.0).Rescaled()
+	if !u.IsHomogeneousDegreeOne() {
+		t.Fatal("rescaled utility not homogeneous of degree one")
+	}
+	x := []float64{3, 5, 7}
+	k := 2.5
+	kx := []float64{k * 3, k * 5, k * 7}
+	if got, want := u.Eval(kx), k*u.Eval(x); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("u(kx) = %v, want k·u(x) = %v", got, want)
+	}
+}
+
+// Property: homogeneity of rescaled utilities holds for random parameters.
+func TestHomogeneityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		alpha := make([]float64, n)
+		for i := range alpha {
+			alpha[i] = 0.05 + rng.Float64()
+		}
+		u := MustNew(0.1+rng.Float64()*5, alpha...).Rescaled()
+		x := make([]float64, n)
+		kx := make([]float64, n)
+		k := 0.5 + rng.Float64()*4
+		for i := range x {
+			x[i] = 0.1 + rng.Float64()*10
+			kx[i] = k * x[i]
+		}
+		got, want := u.Eval(kx), k*u.Eval(x)
+		return math.Abs(got-want) <= 1e-9*math.Max(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utility is monotone — more of any resource never hurts.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		alpha := make([]float64, n)
+		for i := range alpha {
+			alpha[i] = rng.Float64()
+		}
+		alpha[rng.Intn(n)] += 0.1 // ensure at least one positive
+		u := MustNew(1, alpha...)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 0.1 + rng.Float64()*10
+		}
+		y := append([]float64(nil), x...)
+		y[rng.Intn(n)] += rng.Float64() * 5
+		return u.Eval(y) >= u.Eval(x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMRSPaperEquation9(t *testing.T) {
+	// MRS_{x,y} for u1 = (0.6/0.4)(y/x).
+	x := []float64{6, 8}
+	got := paperU1.MRS(0, 1, x)
+	want := (0.6 / 0.4) * (8.0 / 6.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRS = %v, want %v", got, want)
+	}
+	// MRS is symmetric-reciprocal: MRS_{y,x} = 1/MRS_{x,y}.
+	if gotInv := paperU1.MRS(1, 0, x); math.Abs(gotInv-1/want) > 1e-12 {
+		t.Errorf("MRS(1,0) = %v, want %v", gotInv, 1/want)
+	}
+}
+
+func TestMRSEdgeCases(t *testing.T) {
+	u := MustNew(1, 0.5, 0, 0.5)
+	// Zero elasticity in denominator → +Inf (agent will not give up r for s).
+	if got := u.MRS(0, 1, []float64{1, 1, 1}); !math.IsInf(got, 1) {
+		t.Errorf("MRS with zero denominator elasticity = %v, want +Inf", got)
+	}
+	// Zero elasticity in numerator → 0.
+	if got := u.MRS(1, 0, []float64{1, 1, 1}); got != 0 {
+		t.Errorf("MRS with zero numerator elasticity = %v, want 0", got)
+	}
+}
+
+func TestMRSIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	paperU1.MRS(0, 5, []float64{1, 1})
+}
+
+func TestGradient(t *testing.T) {
+	x := []float64{4, 9}
+	g := paperU1.Gradient(x)
+	u := paperU1.Eval(x)
+	if math.Abs(g[0]-0.6*u/4) > 1e-12 {
+		t.Errorf("g[0] = %v", g[0])
+	}
+	if math.Abs(g[1]-0.4*u/9) > 1e-12 {
+		t.Errorf("g[1] = %v", g[1])
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	u := MustNew(2, 0.7, 0.9, 0.4)
+	x := []float64{3, 5, 2}
+	g := u.Gradient(x)
+	const h = 1e-6
+	for r := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[r] += h
+		xm[r] -= h
+		fd := (u.Eval(xp) - u.Eval(xm)) / (2 * h)
+		if math.Abs(g[r]-fd) > 1e-4*math.Abs(fd) {
+			t.Errorf("resource %d: gradient %v vs finite difference %v", r, g[r], fd)
+		}
+	}
+}
+
+func TestIndifferenceCurve(t *testing.T) {
+	level := paperU1.Eval([]float64{12, 6})
+	pts, err := paperU1.IndifferenceCurve(level, 1, 24, 50)
+	if err != nil {
+		t.Fatalf("IndifferenceCurve: %v", err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("got %d points, want 50", len(pts))
+	}
+	for _, p := range pts {
+		if got := paperU1.Eval([]float64{p.X, p.Y}); math.Abs(got-level) > 1e-9*level {
+			t.Errorf("point (%v,%v) has utility %v, want %v", p.X, p.Y, got, level)
+		}
+	}
+	// The curve must be downward sloping (substitution).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y >= pts[i-1].Y {
+			t.Fatalf("indifference curve not strictly decreasing at %d", i)
+		}
+	}
+}
+
+func TestIndifferenceCurveErrors(t *testing.T) {
+	u3 := MustNew(1, 0.3, 0.3, 0.4)
+	if _, err := u3.IndifferenceCurve(1, 1, 2, 10); err == nil {
+		t.Error("expected error for 3-resource utility")
+	}
+	if _, err := paperU1.IndifferenceCurve(-1, 1, 2, 10); err == nil {
+		t.Error("expected error for negative level")
+	}
+	if _, err := paperU1.IndifferenceCurve(1, 2, 1, 10); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	if _, err := paperU1.IndifferenceCurve(1, 1, 2, 1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+	uzero := MustNew(1, 0, 1)
+	if _, err := uzero.IndifferenceCurve(1, 1, 2, 10); err == nil {
+		t.Error("expected error for zero elasticity")
+	}
+}
+
+func TestSubstituteYPaperExample(t *testing.T) {
+	// §3.3: user 1 can substitute (4 GB/s, 1 MB) for (1 GB/s, 8 MB).
+	y, err := paperU1.SubstituteY(4, 1, 1)
+	if err != nil {
+		t.Fatalf("SubstituteY: %v", err)
+	}
+	// y = 1 · (4/1)^{0.6/0.4} = 4^1.5 = 8.
+	if math.Abs(y-8) > 1e-9 {
+		t.Errorf("SubstituteY = %v, want 8", y)
+	}
+	// Verify the two bundles are genuinely indifferent.
+	if got := paperU1.Compare([]float64{4, 1}, []float64{1, y}); got != Indifferent {
+		t.Errorf("bundles compare %v, want Indifferent", got)
+	}
+}
+
+func TestSubstituteYErrors(t *testing.T) {
+	if _, err := MustNew(1, 1, 1, 1).SubstituteY(1, 1, 1); err == nil {
+		t.Error("expected error for 3 resources")
+	}
+	if _, err := paperU1.SubstituteY(0, 1, 1); err == nil {
+		t.Error("expected error for zero quantity")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := paperU1.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestElasticitySum(t *testing.T) {
+	if got := MustNew(1, 0.6, 0.4).ElasticitySum(); math.Abs(got-1) > 1e-15 {
+		t.Errorf("ElasticitySum = %v", got)
+	}
+	if got := MustNew(1, 1.2, 0.3).ElasticitySum(); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("ElasticitySum = %v", got)
+	}
+}
+
+func TestNumResources(t *testing.T) {
+	if paperU1.NumResources() != 2 {
+		t.Errorf("NumResources = %d", paperU1.NumResources())
+	}
+}
+
+func TestNewCopiesAlpha(t *testing.T) {
+	alpha := []float64{0.6, 0.4}
+	u := MustNew(1, alpha...)
+	alpha[0] = 99
+	if u.Alpha[0] != 0.6 {
+		t.Error("New did not copy the elasticity slice")
+	}
+}

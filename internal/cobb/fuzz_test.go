@@ -1,0 +1,61 @@
+package cobb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUtilityInvariants drives New/Eval/Rescaled/MRS with arbitrary float
+// parameters and checks that every accepted utility upholds its invariants:
+// evaluation is non-negative and finite on positive bundles, rescaling is
+// idempotent and homogeneous, and the MRS identity holds.
+func FuzzUtilityInvariants(f *testing.F) {
+	f.Add(1.0, 0.6, 0.4, 3.0, 5.0)
+	f.Add(0.5, 1.2, 0.3, 10.0, 0.1)
+	f.Add(2.0, 0.0, 1.0, 1.0, 1.0)
+	f.Add(1e-3, 1e3, 1e-3, 1e2, 1e-2)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, x, y float64) {
+		u, err := New(a0, a1, a2)
+		if err != nil {
+			// Rejected parameters are out of scope; New must never accept
+			// anything Validate would refuse.
+			return
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("New accepted what Validate rejects: %v", err)
+		}
+		// Clamp bundle coordinates to a sane positive range.
+		if !(x > 0) || !(y > 0) || x > 1e9 || y > 1e9 || a1 > 100 || a2 > 100 {
+			return
+		}
+		v := u.Eval([]float64{x, y})
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("Eval(%v, %v) = %v", x, y, v)
+		}
+		r := u.Rescaled()
+		if !r.IsRescaled() {
+			t.Fatalf("Rescaled not rescaled: %+v", r)
+		}
+		rr := r.Rescaled()
+		for i := range r.Alpha {
+			if math.Abs(r.Alpha[i]-rr.Alpha[i]) > 1e-12 {
+				t.Fatalf("Rescaled not idempotent")
+			}
+		}
+		// Homogeneity of the rescaled utility.
+		k := 2.0
+		lhs := r.Eval([]float64{k * x, k * y})
+		rhs := k * r.Eval([]float64{x, y})
+		if rhs > 0 && math.Abs(lhs-rhs) > 1e-6*rhs {
+			t.Fatalf("homogeneity violated: %v vs %v", lhs, rhs)
+		}
+		// MRS identity when both elasticities are positive.
+		if u.Alpha[0] > 0 && u.Alpha[1] > 0 {
+			m01 := u.MRS(0, 1, []float64{x, y})
+			m10 := u.MRS(1, 0, []float64{x, y})
+			if m01 > 0 && !math.IsInf(m01, 0) && math.Abs(m01*m10-1) > 1e-6 {
+				t.Fatalf("MRS reciprocity violated: %v * %v != 1", m01, m10)
+			}
+		}
+	})
+}

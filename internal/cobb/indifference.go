@@ -1,0 +1,70 @@
+package cobb
+
+import (
+	"fmt"
+	"math"
+)
+
+// IndifferencePoint is one sample on an indifference curve in a
+// two-resource economy.
+type IndifferencePoint struct {
+	X, Y float64
+}
+
+// IndifferenceCurve samples the two-resource indifference curve
+// {(x, y) : u(x, y) = level} at n points with x ranging over
+// [xMin, xMax]. The utility must be defined over exactly two resources and
+// both elasticities must be positive (otherwise the curve degenerates to a
+// vertical or horizontal line, which is reported as an error).
+//
+// Solving u = α₀ x^{αx} y^{αy} for y gives y = (level/(α₀ x^{αx}))^{1/αy}.
+func (u Utility) IndifferenceCurve(level, xMin, xMax float64, n int) ([]IndifferencePoint, error) {
+	if len(u.Alpha) != 2 {
+		return nil, fmt.Errorf("cobb: IndifferenceCurve needs 2 resources, have %d: %w", len(u.Alpha), ErrInvalidUtility)
+	}
+	ax, ay := u.Alpha[0], u.Alpha[1]
+	if ax <= 0 || ay <= 0 {
+		return nil, fmt.Errorf("cobb: IndifferenceCurve needs positive elasticities (αx=%g, αy=%g): %w", ax, ay, ErrInvalidUtility)
+	}
+	if level <= 0 {
+		return nil, fmt.Errorf("cobb: IndifferenceCurve level %g must be positive: %w", level, ErrInvalidUtility)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("cobb: IndifferenceCurve needs n >= 2, got %d: %w", n, ErrInvalidUtility)
+	}
+	if xMin <= 0 || xMax <= xMin {
+		return nil, fmt.Errorf("cobb: IndifferenceCurve needs 0 < xMin < xMax, got [%g, %g]: %w", xMin, xMax, ErrInvalidUtility)
+	}
+	pts := make([]IndifferencePoint, n)
+	for i := 0; i < n; i++ {
+		x := xMin + (xMax-xMin)*float64(i)/float64(n-1)
+		logY := (math.Log(level) - math.Log(u.Alpha0) - ax*math.Log(x)) / ay
+		pts[i] = IndifferencePoint{X: x, Y: math.Exp(logY)}
+	}
+	return pts, nil
+}
+
+// LevelThrough returns the utility level of the indifference curve passing
+// through allocation x, i.e. simply u(x). Named for readability at call
+// sites building curve families.
+func (u Utility) LevelThrough(x []float64) float64 { return u.Eval(x) }
+
+// SubstituteY returns, in a two-resource economy, the quantity of resource 1
+// ("y") that keeps the agent exactly as well off as at (x0, y0) when its
+// allocation of resource 0 changes to x1. This is movement along the
+// indifference curve through (x0, y0) — the substitution flexibility that
+// distinguishes Cobb-Douglas from Leontief preferences (§3.3 of the paper).
+func (u Utility) SubstituteY(x0, y0, x1 float64) (float64, error) {
+	if len(u.Alpha) != 2 {
+		return 0, fmt.Errorf("cobb: SubstituteY needs 2 resources, have %d: %w", len(u.Alpha), ErrInvalidUtility)
+	}
+	ax, ay := u.Alpha[0], u.Alpha[1]
+	if ax <= 0 || ay <= 0 {
+		return 0, fmt.Errorf("cobb: SubstituteY needs positive elasticities: %w", ErrInvalidUtility)
+	}
+	if x0 <= 0 || y0 <= 0 || x1 <= 0 {
+		return 0, fmt.Errorf("cobb: SubstituteY needs positive quantities: %w", ErrInvalidUtility)
+	}
+	// u(x0,y0) = u(x1,y) ⇒ y = y0 · (x0/x1)^{αx/αy}.
+	return y0 * math.Pow(x0/x1, ax/ay), nil
+}

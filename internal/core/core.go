@@ -1,0 +1,198 @@
+// Package core implements the REF paper's primary contribution: the
+// proportional elasticity mechanism (§4). Given agents with Cobb-Douglas
+// utilities, the mechanism
+//
+//  1. rescales each agent's elasticities to sum to one (Equation 12),
+//  2. allocates each resource in proportion to rescaled elasticity
+//     (Equation 13):  x_ir = α̂_ir / Σ_j α̂_jr · C_r.
+//
+// The allocation is simultaneously the Nash bargaining solution of
+// Equation 14 and a Competitive Equilibrium from Equal Incomes (CEEI), which
+// is why it provides sharing incentives, envy-freeness, and Pareto
+// efficiency (§4.2). The package also exposes the CEEI construction
+// (market-clearing prices and demands) so tests and examples can verify the
+// equivalence rather than take it on faith.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+	"ref/internal/opt"
+)
+
+// ErrBadInput reports malformed mechanism inputs.
+var ErrBadInput = errors.New("core: bad input")
+
+// Agent pairs a name with a Cobb-Douglas utility function. The name is used
+// in reports and error messages.
+type Agent struct {
+	Name    string
+	Utility cobb.Utility
+}
+
+// Allocation is the outcome of the proportional elasticity mechanism.
+type Allocation struct {
+	// Agents are the participating agents, in input order.
+	Agents []Agent
+	// Capacity holds total capacity per resource.
+	Capacity []float64
+	// X is the allocation matrix: X[i][r] is agent i's share of resource r.
+	X opt.Alloc
+	// Rescaled holds each agent's rescaled utility û (Equation 12's α̂).
+	Rescaled []cobb.Utility
+}
+
+func validateAgents(agents []Agent, cap []float64) error {
+	if len(agents) == 0 {
+		return fmt.Errorf("%w: no agents", ErrBadInput)
+	}
+	if len(cap) == 0 {
+		return fmt.Errorf("%w: no resources", ErrBadInput)
+	}
+	for r, c := range cap {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: capacity[%d] = %v, must be positive and finite", ErrBadInput, r, c)
+		}
+	}
+	for i, a := range agents {
+		if err := a.Utility.Validate(); err != nil {
+			return fmt.Errorf("%w: agent %d (%s): %v", ErrBadInput, i, a.Name, err)
+		}
+		if a.Utility.NumResources() != len(cap) {
+			return fmt.Errorf("%w: agent %d (%s) has %d resources, system has %d",
+				ErrBadInput, i, a.Name, a.Utility.NumResources(), len(cap))
+		}
+	}
+	return nil
+}
+
+// Allocate runs the proportional elasticity mechanism (Equation 13).
+func Allocate(agents []Agent, cap []float64) (*Allocation, error) {
+	if err := validateAgents(agents, cap); err != nil {
+		return nil, err
+	}
+	rescaled := make([]cobb.Utility, len(agents))
+	weights := make([][]float64, len(agents))
+	for i, a := range agents {
+		rescaled[i] = a.Utility.Rescaled()
+		weights[i] = rescaled[i].Alpha
+	}
+	x, err := opt.Proportional(weights, cap)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Allocation{
+		Agents:   append([]Agent(nil), agents...),
+		Capacity: append([]float64(nil), cap...),
+		X:        x,
+		Rescaled: rescaled,
+	}, nil
+}
+
+// Utility returns agent i's (original, unrescaled) utility at its allocation.
+func (a *Allocation) Utility(i int) float64 {
+	return a.Agents[i].Utility.Eval(a.X[i])
+}
+
+// RescaledUtility returns û_i(x_i), the homogeneous utility the mechanism's
+// guarantees are stated in.
+func (a *Allocation) RescaledUtility(i int) float64 {
+	return a.Rescaled[i].Eval(a.X[i])
+}
+
+// NormalizedUtility returns U_i(x_i) = u_i(x_i)/u_i(C): agent i's utility at
+// its allocation divided by its utility when given the whole machine — the
+// paper's weighted-progress analogue (Equation 17). Computed with the
+// original utility.
+func (a *Allocation) NormalizedUtility(i int) float64 {
+	full := a.Agents[i].Utility.Eval(a.Capacity)
+	if full == 0 {
+		return 0
+	}
+	return a.Utility(i) / full
+}
+
+// NashProduct returns ∏_i û_i(x_i), the objective of Equation 14 evaluated
+// at the allocation. Because REF is the Nash bargaining solution, no
+// feasible allocation has a larger product; tests verify this against the
+// numeric solver.
+func (a *Allocation) NashProduct() float64 {
+	p := 1.0
+	for i := range a.Agents {
+		p *= a.RescaledUtility(i)
+	}
+	return p
+}
+
+// CEEI is the Competitive Equilibrium from Equal Incomes constructed from
+// the same inputs. Every agent starts with an equal endowment C/N, prices
+// clear the market, and each agent's optimal purchase equals its REF
+// allocation — the equivalence underlying §4.2's fairness proof.
+type CEEI struct {
+	// Prices holds the market-clearing price of each resource when every
+	// agent's budget is normalized to one.
+	Prices []float64
+	// Budgets holds each agent's income: the market value of the equal
+	// endowment, identical across agents by construction.
+	Budgets []float64
+	// Demands is each agent's utility-maximizing bundle at these prices,
+	// which clears the market exactly.
+	Demands opt.Alloc
+}
+
+// ComputeCEEI builds the CEEI for the given economy.
+//
+// With rescaled Cobb-Douglas utilities and budget B_i, agent i's Marshallian
+// demand is x_ir = α̂_ir·B_i/p_r. Equal incomes mean B_i = B for all i, and
+// normalizing B = 1 the market-clearing condition Σ_i x_ir = C_r gives
+// p_r = Σ_i α̂_ir / C_r.
+func ComputeCEEI(agents []Agent, cap []float64) (*CEEI, error) {
+	if err := validateAgents(agents, cap); err != nil {
+		return nil, err
+	}
+	n, r := len(agents), len(cap)
+	prices := make([]float64, r)
+	alphaSum := make([]float64, r)
+	rescaled := make([]cobb.Utility, n)
+	for i, a := range agents {
+		rescaled[i] = a.Utility.Rescaled()
+		for j, al := range rescaled[i].Alpha {
+			alphaSum[j] += al
+		}
+	}
+	for j := 0; j < r; j++ {
+		if alphaSum[j] == 0 {
+			// No agent values resource j; its equilibrium price is zero
+			// and demands below fall back to an equal split of it.
+			prices[j] = 0
+			continue
+		}
+		prices[j] = alphaSum[j] / cap[j]
+	}
+	demands := opt.NewAlloc(n, r)
+	budgets := make([]float64, n)
+	for i := range agents {
+		budgets[i] = 1
+		for j := 0; j < r; j++ {
+			if prices[j] == 0 {
+				demands[i][j] = cap[j] / float64(n)
+				continue
+			}
+			demands[i][j] = rescaled[i].Alpha[j] * budgets[i] / prices[j]
+		}
+	}
+	return &CEEI{Prices: prices, Budgets: budgets, Demands: demands}, nil
+}
+
+// EndowmentValue returns the market value of the equal endowment C/N at the
+// equilibrium prices — every agent's true income before normalization.
+func (c *CEEI) EndowmentValue(cap []float64, n int) float64 {
+	var v float64
+	for j, p := range c.Prices {
+		v += p * cap[j] / float64(n)
+	}
+	return v
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/cobb"
+	"ref/internal/opt"
+)
+
+var (
+	paperCap    = []float64{24, 12}
+	paperAgents = []Agent{
+		{Name: "user1", Utility: cobb.MustNew(1, 0.6, 0.4)},
+		{Name: "user2", Utility: cobb.MustNew(1, 0.2, 0.8)},
+	}
+)
+
+func TestAllocatePaperExample(t *testing.T) {
+	// §4.1: x1 = 18 GB/s, y1 = 4 MB; x2 = 6 GB/s, y2 = 8 MB.
+	a, err := Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := [][]float64{{18, 4}, {6, 8}}
+	for i := range want {
+		for r := range want[i] {
+			if math.Abs(a.X[i][r]-want[i][r]) > 1e-9 {
+				t.Errorf("X[%d][%d] = %v, want %v", i, r, a.X[i][r], want[i][r])
+			}
+		}
+	}
+}
+
+func TestAllocateRescalesUnnormalizedElasticities(t *testing.T) {
+	// Same preferences expressed with unnormalized α must give the same
+	// allocation: (1.2, 0.8) ∝ (0.6, 0.4).
+	scaled := []Agent{
+		{Name: "a", Utility: cobb.MustNew(3, 1.2, 0.8)},
+		{Name: "b", Utility: cobb.MustNew(0.5, 0.4, 1.6)},
+	}
+	a, err := Allocate(scaled, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := [][]float64{{18, 4}, {6, 8}}
+	for i := range want {
+		for r := range want[i] {
+			if math.Abs(a.X[i][r]-want[i][r]) > 1e-9 {
+				t.Errorf("X[%d][%d] = %v, want %v", i, r, a.X[i][r], want[i][r])
+			}
+		}
+	}
+	for i, u := range a.Rescaled {
+		if !u.IsRescaled() {
+			t.Errorf("Rescaled[%d] = %+v not rescaled", i, u)
+		}
+	}
+}
+
+func TestAllocateExhaustsCapacity(t *testing.T) {
+	a, err := Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	tot := a.X.ResourceTotals()
+	for r, c := range paperCap {
+		if math.Abs(tot[r]-c) > 1e-9 {
+			t.Errorf("resource %d total %v, want %v (PE requires exhaustion)", r, tot[r], c)
+		}
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, paperCap); !errors.Is(err, ErrBadInput) {
+		t.Error("no agents accepted")
+	}
+	if _, err := Allocate(paperAgents, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("no resources accepted")
+	}
+	if _, err := Allocate(paperAgents, []float64{24, -1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative capacity accepted")
+	}
+	bad := []Agent{{Name: "x", Utility: cobb.Utility{Alpha0: 1, Alpha: []float64{0.5}}}}
+	if _, err := Allocate(bad, paperCap); !errors.Is(err, ErrBadInput) {
+		t.Error("dimension mismatch accepted")
+	}
+	invalid := []Agent{{Name: "x", Utility: cobb.Utility{Alpha0: -1, Alpha: []float64{0.5, 0.5}}}}
+	if _, err := Allocate(invalid, paperCap); !errors.Is(err, ErrBadInput) {
+		t.Error("invalid utility accepted")
+	}
+}
+
+func TestUtilityAccessors(t *testing.T) {
+	a, err := Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	u0 := paperAgents[0].Utility.Eval([]float64{18, 4})
+	if got := a.Utility(0); math.Abs(got-u0) > 1e-12*u0 {
+		t.Errorf("Utility(0) = %v, want %v", got, u0)
+	}
+	// Normalized utility is in (0, 1] and equals u(x)/u(C).
+	for i := range paperAgents {
+		nu := a.NormalizedUtility(i)
+		if nu <= 0 || nu > 1+1e-12 {
+			t.Errorf("NormalizedUtility(%d) = %v, want in (0,1]", i, nu)
+		}
+	}
+}
+
+// The REF allocation maximizes the Nash product over all feasible
+// allocations (Equation 14). Compare with the iterative solver and with
+// random feasible allocations.
+func TestNashBargainingEquivalence(t *testing.T) {
+	a, err := Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	refProduct := a.NashProduct()
+
+	// Random feasible allocations can't beat it.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		s := rng.Float64()
+		u := rng.Float64()
+		x := opt.Alloc{
+			{s * paperCap[0], u * paperCap[1]},
+			{(1 - s) * paperCap[0], (1 - u) * paperCap[1]},
+		}
+		p := 1.0
+		for i := range a.Rescaled {
+			p *= a.Rescaled[i].Eval(x[i])
+		}
+		if p > refProduct*(1+1e-9) {
+			t.Fatalf("random allocation %v has Nash product %v > REF %v", x, p, refProduct)
+		}
+	}
+
+	// The numeric Nash-welfare solver agrees.
+	agents := []opt.Agent{{Alpha: a.Rescaled[0].Alpha}, {Alpha: a.Rescaled[1].Alpha}}
+	got, _, err := opt.MaximizeNashWelfare(agents, nil, paperCap, nil, opt.Config{MaxIters: 20000})
+	if err != nil {
+		t.Fatalf("MaximizeNashWelfare: %v", err)
+	}
+	for i := range got {
+		for r := range got[i] {
+			if math.Abs(got[i][r]-a.X[i][r]) > 0.05 {
+				t.Errorf("solver[%d][%d] = %v, REF = %v", i, r, got[i][r], a.X[i][r])
+			}
+		}
+	}
+}
+
+func TestCEEIEquivalence(t *testing.T) {
+	// §4.2: the CEEI demands equal the REF allocation exactly.
+	a, err := Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	ceei, err := ComputeCEEI(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("ComputeCEEI: %v", err)
+	}
+	for i := range a.X {
+		for r := range a.X[i] {
+			if math.Abs(ceei.Demands[i][r]-a.X[i][r]) > 1e-9 {
+				t.Errorf("CEEI demand[%d][%d] = %v, REF = %v", i, r, ceei.Demands[i][r], a.X[i][r])
+			}
+		}
+	}
+	// Market clears.
+	tot := ceei.Demands.ResourceTotals()
+	for r, c := range paperCap {
+		if math.Abs(tot[r]-c) > 1e-9 {
+			t.Errorf("market does not clear for resource %d: %v vs %v", r, tot[r], c)
+		}
+	}
+	// Equal incomes: each budget buys exactly the endowment value.
+	ev := ceei.EndowmentValue(paperCap, len(paperAgents))
+	for i, b := range ceei.Budgets {
+		if math.Abs(b-ev) > 1e-9 {
+			t.Errorf("agent %d budget %v != endowment value %v", i, b, ev)
+		}
+	}
+}
+
+func TestCEEIDemandsAreOptimalAtPrices(t *testing.T) {
+	// No affordable bundle gives an agent more utility than its demand —
+	// the defining property of a competitive equilibrium.
+	ceei, err := ComputeCEEI(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("ComputeCEEI: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i, ag := range paperAgents {
+		rescaled := ag.Utility.Rescaled()
+		own := rescaled.Eval(ceei.Demands[i])
+		cost := ceei.Prices[0]*ceei.Demands[i][0] + ceei.Prices[1]*ceei.Demands[i][1]
+		if math.Abs(cost-ceei.Budgets[i]) > 1e-9 {
+			t.Errorf("agent %d spends %v of budget %v", i, cost, ceei.Budgets[i])
+		}
+		for trial := 0; trial < 300; trial++ {
+			// Random bundle on the budget line.
+			fx := rng.Float64()
+			bx := fx * ceei.Budgets[i] / ceei.Prices[0]
+			by := (1 - fx) * ceei.Budgets[i] / ceei.Prices[1]
+			if v := rescaled.Eval([]float64{bx, by}); v > own*(1+1e-9) {
+				t.Fatalf("agent %d: affordable bundle (%v,%v) utility %v > demand utility %v", i, bx, by, v, own)
+			}
+		}
+	}
+}
+
+// Property: for random economies the mechanism's allocation always exhausts
+// capacity and gives every agent positive utility.
+func TestAllocateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		r := 2 + rng.Intn(3)
+		cap := make([]float64, r)
+		for j := range cap {
+			cap[j] = 1 + rng.Float64()*100
+		}
+		agents := make([]Agent, n)
+		for i := range agents {
+			alpha := make([]float64, r)
+			for j := range alpha {
+				alpha[j] = 0.05 + rng.Float64()
+			}
+			agents[i] = Agent{Utility: cobb.MustNew(0.5+rng.Float64(), alpha...)}
+		}
+		a, err := Allocate(agents, cap)
+		if err != nil {
+			return false
+		}
+		tot := a.X.ResourceTotals()
+		for j := range cap {
+			if math.Abs(tot[j]-cap[j]) > 1e-6*cap[j] {
+				return false
+			}
+		}
+		for i := range agents {
+			if a.Utility(i) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CEEI demands equal the REF allocation for random economies.
+func TestCEEIEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		cap := []float64{1 + rng.Float64()*50, 1 + rng.Float64()*50}
+		agents := make([]Agent, n)
+		for i := range agents {
+			agents[i] = Agent{Utility: cobb.MustNew(1, 0.05+rng.Float64(), 0.05+rng.Float64())}
+		}
+		a, err := Allocate(agents, cap)
+		if err != nil {
+			return false
+		}
+		ceei, err := ComputeCEEI(agents, cap)
+		if err != nil {
+			return false
+		}
+		for i := range a.X {
+			for r := range a.X[i] {
+				if math.Abs(ceei.Demands[i][r]-a.X[i][r]) > 1e-9*cap[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCEEIZeroPriceResource(t *testing.T) {
+	// A resource nobody wants has price zero and is split equally.
+	agents := []Agent{
+		{Name: "a", Utility: cobb.MustNew(1, 1, 0)},
+		{Name: "b", Utility: cobb.MustNew(1, 1, 0)},
+	}
+	ceei, err := ComputeCEEI(agents, []float64{10, 6})
+	if err != nil {
+		t.Fatalf("ComputeCEEI: %v", err)
+	}
+	if ceei.Prices[1] != 0 {
+		t.Errorf("price of unwanted resource = %v, want 0", ceei.Prices[1])
+	}
+	if ceei.Demands[0][1] != 3 || ceei.Demands[1][1] != 3 {
+		t.Errorf("unwanted resource demands = %v, %v, want equal split", ceei.Demands[0][1], ceei.Demands[1][1])
+	}
+}

@@ -1,0 +1,187 @@
+// Package cpu models the out-of-order cores of Table 1 (3 GHz, 4-wide
+// issue/commit) at the interval-analysis level of detail, replacing the
+// MARSSx86 timing model. The core executes non-memory instructions at issue
+// width, overlaps cache misses up to a memory-level-parallelism limit
+// (MSHRs), and stalls when the reorder buffer fills behind an outstanding
+// load. Store misses drain through a store buffer and do not stall retire,
+// but they do consume memory bandwidth.
+//
+// Interval analysis reproduces the two first-order couplings the REF
+// evaluation needs — IPC falls as the miss rate rises (cache sensitivity)
+// and as memory latency rises under bandwidth contention (bandwidth
+// sensitivity) — while remaining fast enough to sweep 28 workloads × 25
+// configurations in seconds.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig reports invalid core parameters.
+var ErrBadConfig = errors.New("cpu: bad config")
+
+// Config describes one core.
+type Config struct {
+	// IssueWidth is instructions issued (and committed) per cycle
+	// (Table 1: 4).
+	IssueWidth int
+	// ROBSize is the reorder-buffer capacity in instructions.
+	ROBSize int
+	// MSHRs bounds concurrently outstanding load misses
+	// (memory-level parallelism).
+	MSHRs int
+	// L1HitCycles is the pipelined L1 hit latency; hits under this
+	// latency never stall the core.
+	L1HitCycles int
+}
+
+// DefaultConfig matches Table 1 with typical OOO structures.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 4, ROBSize: 192, MSHRs: 8, L1HitCycles: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.ROBSize <= 0 || c.MSHRs <= 0 || c.L1HitCycles < 0 {
+		return fmt.Errorf("%w: %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// MemFunc resolves one memory access issued at core cycle `now`, returning
+// the cycle at which its data is available. Implementations wire the cache
+// hierarchy and DRAM controller (see internal/sim).
+type MemFunc func(addr uint64, write bool, now int64) int64
+
+// AccessSource supplies the instruction stream: each call returns the next
+// access and the count of non-memory instructions preceding it.
+type AccessSource interface {
+	NextAccess() (addr uint64, write bool, gap int)
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Instructions is the total committed instruction count (memory and
+	// non-memory).
+	Instructions int64
+	// Cycles is the elapsed core cycles.
+	Cycles int64
+	// LoadMisses counts loads that stalled past the L1.
+	LoadMisses int64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// pendingMiss tracks one outstanding load miss.
+type pendingMiss struct {
+	done  int64 // completion cycle
+	instr int64 // instruction index at issue
+}
+
+// Core is the interval-analysis engine.
+type Core struct {
+	cfg Config
+	mem MemFunc
+}
+
+// New builds a core bound to a memory hierarchy.
+func New(cfg Config, mem MemFunc) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("%w: nil memory function", ErrBadConfig)
+	}
+	return &Core{cfg: cfg, mem: mem}, nil
+}
+
+// Stepper advances one core's execution a single memory access at a time,
+// so several agents' cores can be interleaved on shared hardware by a
+// round-robin-by-cycle scheduler (see internal/sim's unmanaged co-run).
+type Stepper struct {
+	cfg         Config
+	mem         MemFunc
+	cycle       int64
+	instrs      int64
+	misses      int64
+	outstanding []pendingMiss
+}
+
+// NewStepper builds a steppable core bound to a memory hierarchy.
+func NewStepper(cfg Config, mem MemFunc) (*Stepper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("%w: nil memory function", ErrBadConfig)
+	}
+	return &Stepper{cfg: cfg, mem: mem}, nil
+}
+
+// Cycle returns the core's current cycle.
+func (s *Stepper) Cycle() int64 { return s.cycle }
+
+func (s *Stepper) retireOldest() {
+	m := s.outstanding[0]
+	s.outstanding = s.outstanding[1:]
+	if m.done > s.cycle {
+		s.cycle = m.done
+	}
+}
+
+// Step executes the next access from src (its gap instructions plus the
+// memory reference itself), advancing the core's clock.
+func (s *Stepper) Step(src AccessSource) {
+	addr, write, gap := src.NextAccess()
+	width := int64(s.cfg.IssueWidth)
+	rob := int64(s.cfg.ROBSize)
+	// Execute the non-memory gap at issue width.
+	s.instrs += int64(gap) + 1
+	s.cycle += (int64(gap) + width - 1) / width
+	// ROB pressure: any miss issued more than ROBSize instructions ago
+	// must have retired before this instruction can issue.
+	for len(s.outstanding) > 0 && s.outstanding[0].instr <= s.instrs-rob {
+		s.retireOldest()
+	}
+	done := s.mem(addr, write, s.cycle)
+	lat := done - s.cycle
+	if write || lat <= int64(s.cfg.L1HitCycles) {
+		// Pipelined hit, or a store absorbed by the store buffer.
+		return
+	}
+	s.misses++
+	// MSHR pressure: block until a slot frees.
+	for len(s.outstanding) >= s.cfg.MSHRs {
+		s.retireOldest()
+	}
+	s.outstanding = append(s.outstanding, pendingMiss{done: done, instr: s.instrs})
+}
+
+// Finish drains outstanding misses and returns the summary.
+func (s *Stepper) Finish() Result {
+	for len(s.outstanding) > 0 {
+		s.retireOldest()
+	}
+	cycle := s.cycle
+	if cycle == 0 {
+		cycle = 1
+	}
+	return Result{Instructions: s.instrs, Cycles: cycle, LoadMisses: s.misses}
+}
+
+// Run simulates nAccesses memory references drawn from src and returns the
+// performance summary.
+func (c *Core) Run(src AccessSource, nAccesses int) Result {
+	s := &Stepper{cfg: c.cfg, mem: c.mem}
+	for i := 0; i < nAccesses; i++ {
+		s.Step(src)
+	}
+	return s.Finish()
+}

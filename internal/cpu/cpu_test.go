@@ -1,0 +1,159 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptSource replays a fixed access script.
+type scriptSource struct {
+	addrs  []uint64
+	writes []bool
+	gaps   []int
+	i      int
+}
+
+func (s *scriptSource) NextAccess() (uint64, bool, int) {
+	i := s.i
+	s.i++
+	return s.addrs[i%len(s.addrs)], s.writes[i%len(s.writes)], s.gaps[i%len(s.gaps)]
+}
+
+// fixedMem returns a memory with constant latency.
+func fixedMem(lat int64) MemFunc {
+	return func(addr uint64, write bool, now int64) int64 { return now + lat }
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{IssueWidth: 0, ROBSize: 1, MSHRs: 1},
+		{IssueWidth: 1, ROBSize: 0, MSHRs: 1},
+		{IssueWidth: 1, ROBSize: 1, MSHRs: 0},
+		{IssueWidth: 1, ROBSize: 1, MSHRs: 1, L1HitCycles: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, fixedMem(1)); !errors.Is(err, ErrBadConfig) {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil memory accepted")
+	}
+}
+
+func TestAllHitsRunAtIssueWidth(t *testing.T) {
+	// With only L1 hits and gap 7 (8 instructions per access at width 4
+	// → 2 cycles), IPC must be ≈ 4.
+	core, err := New(DefaultConfig(), fixedMem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &scriptSource{addrs: []uint64{0}, writes: []bool{false}, gaps: []int{7}}
+	res := core.Run(src, 10000)
+	if ipc := res.IPC(); ipc < 3.9 || ipc > 4.01 {
+		t.Errorf("all-hit IPC = %v, want ≈4", ipc)
+	}
+	if res.LoadMisses != 0 {
+		t.Errorf("load misses = %d, want 0", res.LoadMisses)
+	}
+}
+
+func TestMissLatencyReducesIPC(t *testing.T) {
+	run := func(lat int64) float64 {
+		core, _ := New(DefaultConfig(), fixedMem(lat))
+		src := &scriptSource{addrs: []uint64{0}, writes: []bool{false}, gaps: []int{9}}
+		return core.Run(src, 5000).IPC()
+	}
+	fast := run(2)    // hit
+	slow := run(100)  // miss
+	awful := run(600) // heavily loaded DRAM
+	if !(fast > slow && slow > awful) {
+		t.Errorf("IPC not decreasing with latency: %v, %v, %v", fast, slow, awful)
+	}
+}
+
+func TestMLPOverlapsMisses(t *testing.T) {
+	// With MSHRs=8 and back-to-back independent misses, eight misses
+	// overlap; with MSHRs=1 they serialize. IPC ratio should approach
+	// the MLP factor.
+	run := func(mshrs int) float64 {
+		cfg := DefaultConfig()
+		cfg.MSHRs = mshrs
+		core, _ := New(cfg, fixedMem(200))
+		src := &scriptSource{addrs: []uint64{0}, writes: []bool{false}, gaps: []int{3}}
+		return core.Run(src, 5000).IPC()
+	}
+	wide := run(8)
+	narrow := run(1)
+	if wide <= narrow*3 {
+		t.Errorf("MLP speedup only %vx (wide %v, narrow %v)", wide/narrow, wide, narrow)
+	}
+}
+
+func TestROBLimitsOverlap(t *testing.T) {
+	// A tiny ROB forces the core to stall on each miss even with many
+	// MSHRs.
+	run := func(rob int) float64 {
+		cfg := DefaultConfig()
+		cfg.ROBSize = rob
+		core, _ := New(cfg, fixedMem(300))
+		src := &scriptSource{addrs: []uint64{0}, writes: []bool{false}, gaps: []int{9}}
+		return core.Run(src, 5000).IPC()
+	}
+	big := run(512)
+	tiny := run(8)
+	if big <= tiny*1.5 {
+		t.Errorf("ROB size has no effect: big %v, tiny %v", big, tiny)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	// All-store streams never occupy MSHRs, so IPC stays at issue width
+	// even with slow memory.
+	core, _ := New(DefaultConfig(), fixedMem(500))
+	src := &scriptSource{addrs: []uint64{0}, writes: []bool{true}, gaps: []int{7}}
+	res := core.Run(src, 5000)
+	if ipc := res.IPC(); ipc < 3.9 {
+		t.Errorf("store-only IPC = %v, want ≈4 (store buffer)", ipc)
+	}
+}
+
+func TestResultIPCZeroCycles(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 {
+		t.Error("IPC of empty result != 0")
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	core, _ := New(DefaultConfig(), fixedMem(2))
+	src := &scriptSource{addrs: []uint64{0}, writes: []bool{false}, gaps: []int{9}}
+	res := core.Run(src, 100)
+	// Each access contributes gap + the memory instruction itself.
+	if res.Instructions != 100*10 {
+		t.Errorf("instructions = %d, want 1000", res.Instructions)
+	}
+}
+
+func TestMemFuncSeesMonotoneTime(t *testing.T) {
+	var last int64 = -1
+	mem := func(addr uint64, write bool, now int64) int64 {
+		if now < last {
+			t.Fatalf("time went backwards: %d after %d", now, last)
+		}
+		last = now
+		return now + 50
+	}
+	core, _ := New(DefaultConfig(), mem)
+	src := &scriptSource{addrs: []uint64{0, 64, 128}, writes: []bool{false, true, false}, gaps: []int{3, 11, 2}}
+	core.Run(src, 3000)
+}

@@ -1,0 +1,264 @@
+// Package dram models the main-memory subsystem of the reproduction's
+// platform (Table 1 of the REF paper): a closed-page DRAM controller with
+// per-rank/bank structures, rank-then-bank round-robin scheduling, and a
+// provisioned data bandwidth swept over 0.8–12.8 GB/s. It replaces
+// DRAMSim2.
+//
+// The model is event-based at request granularity rather than
+// command-cycle granularity: each 64-byte fill occupies its bank for the
+// closed-page cycle (activate + CAS + precharge) and the channel data bus
+// for the line-rate transfer time. Requests to different banks overlap
+// their bank occupancy (bank-level parallelism) but serialize on the data
+// bus.
+//
+// Provisioned bandwidth (Table 1's 0.8–12.8 GB/s ladder) is modeled as a
+// token-bucket rate limit in front of a fixed-line-rate DDR bus: bursts
+// move at line rate, but sustained throughput is capped at the provisioned
+// rate. This is how bandwidth differentiation behaves in practice (channel
+// shares, rate throttling): an unloaded request sees the same DRAM latency
+// at any provisioning, while latency rises smoothly — then sharply — as
+// offered load approaches the provisioned rate. That latency-versus-load
+// behavior is the property the REF evaluation depends on; command-level
+// detail (tFAW, refresh) would change constants, not shapes.
+package dram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig reports invalid controller parameters.
+var ErrBadConfig = errors.New("dram: bad config")
+
+// BurstBytes is the transfer size of one request (a cache block).
+const BurstBytes = 64
+
+// Config describes the memory subsystem.
+type Config struct {
+	// BandwidthGBps is the provisioned (sustained) data bandwidth
+	// (Table 1 sweeps 0.8, 1.6, 3.2, 6.4, 12.8). Enforced by a token
+	// bucket in front of the line-rate bus.
+	BandwidthGBps float64
+	// LineRateGBps is the physical bus transfer rate; individual bursts
+	// always move at this speed. Defaults to max(BandwidthGBps, 12.8)
+	// when zero.
+	LineRateGBps float64
+	// BurstTokens is the token-bucket depth in bursts: how far a quiet
+	// agent can exceed its sustained rate momentarily. Defaults to 4
+	// when zero.
+	BurstTokens int
+	// Channels is the number of independent channels (Table 1: 1).
+	Channels int
+	// RanksPerChannel and BanksPerRank shape bank-level parallelism
+	// (typical DDRx: 2 ranks × 8 banks).
+	RanksPerChannel int
+	BanksPerRank    int
+	// CoreClockGHz converts wall-clock DRAM timings into core cycles.
+	CoreClockGHz float64
+	// RowCycleNs is the closed-page bank occupancy per access
+	// (tRCD + tCL + tRP), in nanoseconds.
+	RowCycleNs float64
+	// CASNs is the portion of RowCycleNs before data starts returning
+	// (tRCD + tCL), in nanoseconds.
+	CASNs float64
+}
+
+// DefaultConfig returns Table 1's memory system at a given bandwidth:
+// single channel, closed page, representative DDR3 timings, 3 GHz core.
+func DefaultConfig(bandwidthGBps float64) Config {
+	return Config{
+		BandwidthGBps:   bandwidthGBps,
+		Channels:        1,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		CoreClockGHz:    3.0,
+		RowCycleNs:      45,
+		CASNs:           27,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BandwidthGBps <= 0 {
+		return fmt.Errorf("%w: bandwidth %v GB/s", ErrBadConfig, c.BandwidthGBps)
+	}
+	if c.LineRateGBps < 0 || c.BurstTokens < 0 {
+		return fmt.Errorf("%w: line rate %v GB/s, burst tokens %d", ErrBadConfig, c.LineRateGBps, c.BurstTokens)
+	}
+	if c.Channels <= 0 || c.RanksPerChannel <= 0 || c.BanksPerRank <= 0 {
+		return fmt.Errorf("%w: geometry %d ch × %d ranks × %d banks", ErrBadConfig, c.Channels, c.RanksPerChannel, c.BanksPerRank)
+	}
+	if c.CoreClockGHz <= 0 {
+		return fmt.Errorf("%w: core clock %v GHz", ErrBadConfig, c.CoreClockGHz)
+	}
+	if c.RowCycleNs <= 0 || c.CASNs <= 0 || c.CASNs > c.RowCycleNs {
+		return fmt.Errorf("%w: timings row=%vns cas=%vns", ErrBadConfig, c.RowCycleNs, c.CASNs)
+	}
+	return nil
+}
+
+// Stats accumulates controller activity.
+type Stats struct {
+	// Requests is the number of serviced requests.
+	Requests uint64
+	// TotalLatency sums request latencies in core cycles.
+	TotalLatency uint64
+	// BusBusyCycles counts cycles the data bus spent transferring.
+	BusBusyCycles uint64
+}
+
+// AvgLatency returns mean request latency in core cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Requests)
+}
+
+// Controller is the event-based memory controller.
+type Controller struct {
+	cfg Config
+	// Per-bank next-free time, indexed [channel][rank*banks+bank].
+	bankFree [][]int64
+	// Per-channel data-bus next-free time.
+	busFree []int64
+	// rrNext is the rank-then-bank round-robin pointer per channel, used
+	// to spread simultaneous arrivals across banks deterministically.
+	rrNext []int
+	// Timings in core cycles.
+	rowCycle, cas, transfer int64
+	// GCRA (token-bucket) state enforcing the provisioned sustained rate:
+	// tat is the theoretical arrival time of the next conforming burst;
+	// tau the burst tolerance ((depth-1) intervals).
+	tokenInterval float64 // cycles per burst at the provisioned rate
+	tat           float64
+	tau           float64
+	stats         Stats
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg}
+	c.bankFree = make([][]int64, cfg.Channels)
+	for ch := range c.bankFree {
+		c.bankFree[ch] = make([]int64, cfg.RanksPerChannel*cfg.BanksPerRank)
+	}
+	c.busFree = make([]int64, cfg.Channels)
+	c.rrNext = make([]int, cfg.Channels)
+	cyclesPerNs := cfg.CoreClockGHz
+	c.rowCycle = int64(cfg.RowCycleNs*cyclesPerNs + 0.5)
+	c.cas = int64(cfg.CASNs*cyclesPerNs + 0.5)
+	// Bursts move at line rate; the provisioned rate is enforced by the
+	// token bucket.
+	line := cfg.LineRateGBps
+	if line == 0 {
+		line = 12.8
+		if cfg.BandwidthGBps > line {
+			line = cfg.BandwidthGBps
+		}
+	}
+	if line < cfg.BandwidthGBps {
+		return nil, fmt.Errorf("%w: line rate %v below provisioned %v", ErrBadConfig, line, cfg.BandwidthGBps)
+	}
+	transferNs := float64(BurstBytes) / line
+	c.transfer = int64(transferNs*cyclesPerNs + 0.5)
+	if c.transfer < 1 {
+		c.transfer = 1
+	}
+	c.tokenInterval = float64(BurstBytes) / cfg.BandwidthGBps * cyclesPerNs
+	depth := float64(cfg.BurstTokens)
+	if depth == 0 {
+		depth = 4
+	}
+	c.tau = (depth - 1) * c.tokenInterval
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes statistics without clearing timing state.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// TransferCycles returns the data-bus occupancy of one burst in core
+// cycles (line rate).
+func (c *Controller) TransferCycles() int64 { return c.transfer }
+
+// SustainedIntervalCycles returns the minimum average spacing between
+// bursts permitted by the provisioned bandwidth, in core cycles.
+func (c *Controller) SustainedIntervalCycles() float64 { return c.tokenInterval }
+
+// takeToken enforces the provisioned rate with the generic cell rate
+// algorithm: it returns the earliest cycle at or after `when` that a burst
+// conforms, and advances the theoretical arrival time.
+func (c *Controller) takeToken(when int64) int64 {
+	w := float64(when)
+	if c.tat < w {
+		c.tat = w // idle time refills the bucket (bounded by tau below)
+	}
+	start := w
+	if earliest := c.tat - c.tau; earliest > start {
+		start = earliest
+	}
+	c.tat += c.tokenInterval
+	return int64(start + 0.5)
+}
+
+// mapAddr maps a block address to (channel, bankIndex) with simple
+// bit-sliced interleaving: consecutive blocks rotate across channels, then
+// across banks within the rank-then-bank order.
+func (c *Controller) mapAddr(addr uint64) (ch, bank int) {
+	block := addr / BurstBytes
+	ch = int(block % uint64(c.cfg.Channels))
+	block /= uint64(c.cfg.Channels)
+	banks := c.cfg.RanksPerChannel * c.cfg.BanksPerRank
+	bank = int(block % uint64(banks))
+	return ch, bank
+}
+
+// Access services one 64-byte request arriving at core cycle `arrival` and
+// returns the cycle its data is complete. Closed-page policy: the bank is
+// occupied for the full row cycle plus the transfer; the data bus is
+// occupied for the transfer only, so accesses to idle banks pipeline behind
+// one another at bus rate.
+func (c *Controller) Access(addr uint64, arrival int64) int64 {
+	ch, bank := c.mapAddr(addr)
+	start := arrival
+	if bf := c.bankFree[ch][bank]; bf > start {
+		start = bf
+	}
+	// The provisioned-rate token bucket gates command issue.
+	start = c.takeToken(start)
+	// Data leaves the bank after tRCD+tCL, then needs the bus.
+	busReq := start + c.cas
+	if bf := c.busFree[ch]; bf > busReq {
+		busReq = bf
+	}
+	done := busReq + c.transfer
+	c.busFree[ch] = done
+	c.bankFree[ch][bank] = start + c.rowCycle + c.transfer
+	lat := done - arrival
+	c.stats.Requests++
+	c.stats.TotalLatency += uint64(lat)
+	c.stats.BusBusyCycles += uint64(c.transfer)
+	return done
+}
+
+// Utilization returns delivered throughput as a fraction of the
+// provisioned bandwidth over the first `upTo` cycles of simulated time.
+func (c *Controller) Utilization(upTo int64) float64 {
+	if upTo <= 0 {
+		return 0
+	}
+	return float64(c.stats.Requests) * c.tokenInterval / float64(upTo)
+}
+
+// UnloadedLatency returns the no-contention request latency in core cycles
+// (CAS + transfer).
+func (c *Controller) UnloadedLatency() int64 { return c.cas + c.transfer }

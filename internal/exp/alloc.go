@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/mech"
+	"ref/internal/opt"
+	"ref/internal/workloads"
+)
+
+// PairCapacity is the two-agent system the Figure 10–12 comparisons run
+// on: the full Table 1 machine (12.8 GB/s, 2 MB LLC).
+var PairCapacity = []float64{12.8, 2.0}
+
+// PairResult compares equal slowdown against proportional elasticity for
+// one benchmark pair (Figures 10, 11, 12).
+type PairResult struct {
+	// Names are the two benchmarks.
+	Names [2]string
+	// EqualSlowdown and Proportional hold each mechanism's allocation as
+	// a fraction of total capacity, indexed [agent][resource].
+	EqualSlowdown, Proportional opt.Alloc
+	// ESReport and PEReport audit the two allocations.
+	ESReport, PEReport fair.Report
+}
+
+// RunPair allocates the two-benchmark system with both mechanisms and
+// audits SI/EF/PE for each.
+func RunPair(cfg Config, a, b string) (*PairResult, error) {
+	fitted, err := workloads.FitAll(cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	fa, ok := fitted[a]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", a)
+	}
+	fb, ok := fitted[b]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", b)
+	}
+	agents := []core.Agent{
+		{Name: a, Utility: fa.Fit.Utility},
+		{Name: b, Utility: fb.Fit.Utility},
+	}
+	utils := []cobb.Utility{fa.Fit.Utility, fb.Fit.Utility}
+
+	es, err := mech.EqualSlowdown{}.Allocate(agents, PairCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("exp: equal slowdown: %w", err)
+	}
+	pe, err := mech.ProportionalElasticity{}.Allocate(agents, PairCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("exp: proportional elasticity: %w", err)
+	}
+	// The iterative equal-slowdown allocation carries solver noise; audit
+	// with a loosened tolerance so only real violations surface.
+	tol := fair.Tolerance{Rel: 5e-3, MRS: 0.05}
+	esRep, err := fair.Audit(utils, PairCapacity, es, tol)
+	if err != nil {
+		return nil, err
+	}
+	peRep, err := fair.Audit(utils, PairCapacity, pe, tol)
+	if err != nil {
+		return nil, err
+	}
+	res := &PairResult{
+		Names:         [2]string{a, b},
+		EqualSlowdown: es,
+		Proportional:  pe,
+		ESReport:      esRep,
+		PEReport:      peRep,
+	}
+	w := cfg.out()
+	classA, classB := fa.Workload.Class, fb.Workload.Class
+	fmt.Fprintf(w, "%s (%s) + %s (%s) sharing %g GB/s, %g MB\n", a, classA, b, classB, PairCapacity[0], PairCapacity[1])
+	printAlloc := func(label string, x opt.Alloc, rep fair.Report) {
+		fmt.Fprintf(w, "  %-24s", label)
+		for i, name := range res.Names {
+			fmt.Fprintf(w, "  %s: %4.1f%% bw, %4.1f%% cache", name,
+				100*x[i][0]/PairCapacity[0], 100*x[i][1]/PairCapacity[1])
+		}
+		fmt.Fprintf(w, "  [%s]\n", rep)
+	}
+	printAlloc("equal slowdown", es, esRep)
+	printAlloc("proportional elasticity", pe, peRep)
+	return res, nil
+}
+
+// Fig10 reproduces the histogram (C) + dedup (M) example, where equal
+// slowdown happens to satisfy SI, EF, and PE.
+func Fig10(cfg Config) (*PairResult, error) {
+	fmt.Fprintln(cfg.out(), "Figure 10: C-M pair where equal slowdown can satisfy the fairness properties")
+	return RunPair(cfg, "histogram", "dedup")
+}
+
+// Fig11 reproduces barnes (C) + canneal (M), where equal slowdown violates
+// SI and EF for canneal.
+func Fig11(cfg Config) (*PairResult, error) {
+	fmt.Fprintln(cfg.out(), "Figure 11: C-M pair where equal slowdown violates SI and EF")
+	return RunPair(cfg, "barnes", "canneal")
+}
+
+// Fig12 reproduces freqmine (C) + linear_regression (C), where equal
+// slowdown violates SI and EF for freqmine.
+func Fig12(cfg Config) (*PairResult, error) {
+	fmt.Fprintln(cfg.out(), "Figure 12: C-C pair where equal slowdown violates SI and EF")
+	return RunPair(cfg, "freqmine", "linear_regression")
+}
+
+func init() {
+	register("fig10", "Equal slowdown vs REF: histogram+dedup (Figure 10)", func(c Config) error {
+		_, err := Fig10(c)
+		return err
+	})
+	register("fig11", "Equal slowdown vs REF: barnes+canneal (Figure 11)", func(c Config) error {
+		_, err := Fig11(c)
+		return err
+	})
+	register("fig12", "Equal slowdown vs REF: freqmine+linear_regression (Figure 12)", func(c Config) error {
+		_, err := Fig12(c)
+		return err
+	})
+}

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+
+	"ref/internal/cobb"
+	"ref/internal/fair"
+	"ref/internal/leontief"
+)
+
+// Paper running example (§3): u1 = x^0.6 y^0.4, u2 = x^0.2 y^0.8 sharing
+// 24 GB/s of memory bandwidth and 12 MB of cache.
+var (
+	exampleU1   = cobb.MustNew(1, 0.6, 0.4)
+	exampleU2   = cobb.MustNew(1, 0.2, 0.8)
+	exampleCapX = 24.0
+	exampleCapY = 12.0
+)
+
+// ExampleBox returns the §3 Edgeworth box.
+func ExampleBox() (*fair.Box, error) {
+	return fair.NewBox(exampleU1, exampleU2, exampleCapX, exampleCapY)
+}
+
+// BoxGridResult is the rendered region raster for Figures 1, 2, and 7.
+type BoxGridResult struct {
+	Box  *fair.Box
+	Grid [][]fair.CellFlags
+}
+
+func runBoxGrid(cfg Config, render func(fair.CellFlags) byte, header string) (*BoxGridResult, error) {
+	box, err := ExampleBox()
+	if err != nil {
+		return nil, err
+	}
+	grid, err := box.Grid(48, 24)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, "x: 0..24 GB/s bandwidth (left→right), y: 0..12 MB cache (bottom→top), user 1 origin bottom-left")
+	for j := len(grid) - 1; j >= 0; j-- {
+		row := make([]byte, len(grid[j]))
+		for i, c := range grid[j] {
+			row[i] = render(c)
+		}
+		fmt.Fprintf(w, "%s\n", row)
+	}
+	return &BoxGridResult{Box: box, Grid: grid}, nil
+}
+
+// Fig1 renders the feasible-allocation box (every cell is feasible) and the
+// worked complement example from the §3 text.
+func Fig1(cfg Config) (*BoxGridResult, error) {
+	res, err := runBoxGrid(cfg, func(fair.CellFlags) byte { return '.' },
+		"Figure 1: Edgeworth box — every point is a feasible allocation")
+	if err != nil {
+		return nil, err
+	}
+	cx, cy := res.Box.Complement(6, 8)
+	fmt.Fprintf(cfg.out(), "user 1 at (6 GB/s, 8 MB) leaves user 2 (%g GB/s, %g MB)\n", cx, cy)
+	return res, nil
+}
+
+// Fig2 renders the envy-free regions of both users.
+func Fig2(cfg Config) (*BoxGridResult, error) {
+	return runBoxGrid(cfg, func(c fair.CellFlags) byte {
+		switch {
+		case c.EF1 && c.EF2:
+			return 'B' // both envy-free
+		case c.EF1:
+			return '1'
+		case c.EF2:
+			return '2'
+		default:
+			return '.'
+		}
+	}, "Figure 2: envy-free regions (1 = EF for user 1, 2 = EF for user 2, B = both)")
+}
+
+// CurveResult holds sampled curves for Figures 3–6.
+type CurveResult struct {
+	// Series maps a label to (x, y) samples.
+	Series map[string][]fair.Point
+}
+
+// Fig3 samples three Cobb-Douglas indifference curves for user 1 (I1 < I2
+// < I3), showing smooth substitution.
+func Fig3(cfg Config) (*CurveResult, error) {
+	res := &CurveResult{Series: map[string][]fair.Point{}}
+	w := cfg.out()
+	fmt.Fprintln(w, "Figure 3: Cobb-Douglas indifference curves for u1 = x^0.6 y^0.4")
+	for i, level := range []float64{4, 8, 12} {
+		pts, err := exampleU1.IndifferenceCurve(level, 1, exampleCapX, 24)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("I%d", i+1)
+		series := make([]fair.Point, len(pts))
+		for k, p := range pts {
+			series[k] = fair.Point{X: p.X, Y: p.Y}
+		}
+		res.Series[label] = series
+		fmt.Fprintf(w, "%s (u=%g):", label, level)
+		for _, p := range series {
+			if p.Y <= exampleCapY*1.5 {
+				fmt.Fprintf(w, " (%.2f,%.2f)", p.X, p.Y)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}
+
+// Fig4 samples Leontief indifference curves (Equation 8's
+// u1 = min{x, 2y}), showing the L-shaped kinks that admit no substitution.
+func Fig4(cfg Config) (*CurveResult, error) {
+	u := leontief.MustNew(1, 0.5) // min(x, 2y)
+	res := &CurveResult{Series: map[string][]fair.Point{}}
+	w := cfg.out()
+	fmt.Fprintln(w, "Figure 4: Leontief indifference curves for u1 = min(x, 2y) — L-shaped, MRS 0 or ∞")
+	for i, level := range []float64{4, 8, 12} {
+		label := fmt.Sprintf("I%d", i+1)
+		// An L-curve is fully described by its kink plus arms.
+		kinkX, kinkY := level, level/2
+		series := []fair.Point{
+			{X: kinkX, Y: exampleCapY},
+			{X: kinkX, Y: kinkY},
+			{X: exampleCapX, Y: kinkY},
+		}
+		res.Series[label] = series
+		fmt.Fprintf(w, "%s (u=%g): vertical arm x=%g, kink (%g,%g), horizontal arm y=%g\n",
+			label, level, kinkX, kinkX, kinkY, kinkY)
+		// Spot-check the wasted-allocation examples from §3.3.
+		if i == 0 {
+			fmt.Fprintf(w, "  u(4,2)=%g u(10,2)=%g u(4,10)=%g (extra resources wasted)\n",
+				u.Eval([]float64{4, 2}), u.Eval([]float64{10, 2}), u.Eval([]float64{4, 10}))
+		}
+	}
+	return res, nil
+}
+
+// Fig5 samples the contract curve (the PE set).
+func Fig5(cfg Config) (*CurveResult, error) {
+	box, err := ExampleBox()
+	if err != nil {
+		return nil, err
+	}
+	curve, err := box.ContractCurve(24)
+	if err != nil {
+		return nil, err
+	}
+	res := &CurveResult{Series: map[string][]fair.Point{"contract": curve}}
+	w := cfg.out()
+	fmt.Fprintln(w, "Figure 5: contract curve — allocations where both users' MRS agree (Equation 10)")
+	for _, p := range curve {
+		m := exampleU1.MRS(0, 1, []float64{p.X, p.Y})
+		fmt.Fprintf(w, "x1=%6.2f y1=%6.2f MRS=%6.3f\n", p.X, p.Y, m)
+	}
+	return res, nil
+}
+
+// FairSetResult holds Figures 6 and 7's fair allocation sets.
+type FairSetResult struct {
+	// Points is the (sampled) fair set.
+	Points []fair.Point
+	// WithSI marks whether sharing incentives were imposed (Figure 7).
+	WithSI bool
+}
+
+func runFairSet(cfg Config, withSI bool, header string) (*FairSetResult, error) {
+	box, err := ExampleBox()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := box.FairSet(400, withSI)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, header)
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return &FairSetResult{WithSI: withSI}, nil
+	}
+	fmt.Fprintf(w, "%d of 400 contract-curve samples qualify; span x1 ∈ [%.2f, %.2f]\n",
+		len(pts), pts[0].X, pts[len(pts)-1].X)
+	for i, p := range pts {
+		if i%25 == 0 || i == len(pts)-1 {
+			fmt.Fprintf(w, "x1=%6.2f y1=%6.2f\n", p.X, p.Y)
+		}
+	}
+	return &FairSetResult{Points: pts, WithSI: withSI}, nil
+}
+
+// Fig6 computes the fair set: contract curve ∩ both EF regions.
+func Fig6(cfg Config) (*FairSetResult, error) {
+	return runFairSet(cfg, false, "Figure 6: fair allocations = contract curve ∩ envy-free regions")
+}
+
+// Fig7 further imposes sharing incentives.
+func Fig7(cfg Config) (*FairSetResult, error) {
+	return runFairSet(cfg, true, "Figure 7: sharing incentives shrink the fair set")
+}
+
+func init() {
+	register("fig1", "Edgeworth box of feasible allocations (§3)", func(c Config) error {
+		_, err := Fig1(c)
+		return err
+	})
+	register("fig2", "Envy-free regions for both users (§3.2)", func(c Config) error {
+		_, err := Fig2(c)
+		return err
+	})
+	register("fig3", "Cobb-Douglas indifference curves (§3.3)", func(c Config) error {
+		_, err := Fig3(c)
+		return err
+	})
+	register("fig4", "Leontief indifference curves (§3.3)", func(c Config) error {
+		_, err := Fig4(c)
+		return err
+	})
+	register("fig5", "Contract curve of Pareto-efficient allocations (§3.3)", func(c Config) error {
+		_, err := Fig5(c)
+		return err
+	})
+	register("fig6", "Fair allocation set (§4)", func(c Config) error {
+		_, err := Fig6(c)
+		return err
+	})
+	register("fig7", "Fair set constrained by sharing incentives (§4)", func(c Config) error {
+		_, err := Fig7(c)
+		return err
+	})
+}

@@ -1,0 +1,79 @@
+// Package exp contains one driver per table and figure of the REF paper's
+// evaluation. Each driver returns structured results (so tests and
+// benchmarks can assert on them) and can render the same rows/series the
+// paper reports to a writer. The refbench command exposes every driver by
+// experiment ID.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ErrUnknownExperiment reports a bad experiment ID.
+var ErrUnknownExperiment = errors.New("exp: unknown experiment")
+
+// Config controls experiment fidelity and output.
+type Config struct {
+	// Accesses is the per-simulation memory-access budget (the synthetic
+	// analogue of the paper's 100M-instruction ROI). Zero selects
+	// DefaultAccesses.
+	Accesses int
+	// Out receives the rendered rows; nil discards them.
+	Out io.Writer
+}
+
+// DefaultAccesses balances fidelity and runtime for the full 28×25 sweep.
+const DefaultAccesses = 20000
+
+func (c Config) accesses() int {
+	if c.Accesses > 0 {
+		return c.Accesses
+	}
+	return DefaultAccesses
+}
+
+func (c Config) out() io.Writer {
+	if c.Out != nil {
+		return c.Out
+	}
+	return io.Discard
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	// ID is the index key, e.g. "fig13".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and renders its rows to cfg.Out.
+	Run func(cfg Config) error
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Config) error) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return e, nil
+}

@@ -1,0 +1,404 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ref/internal/mech"
+	"ref/internal/trace"
+)
+
+// testCfg keeps experiment runtime affordable in tests. The FitAll sweep is
+// memoized across tests in the same binary.
+var testCfg = Config{Accesses: 6000}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "tab1", "tab2", "spl64",
+		"ext-enforce", "ext-3r", "ext-online", "ext-corun", "ext-mc", "ext-interference",
+	}
+	for _, id := range want {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("experiment %s missing: %v", id, err)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, err := Lookup("nonesuch"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllSortedAndTitled(t *testing.T) {
+	all := All()
+	for i, e := range all {
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+		if i > 0 && all[i-1].ID >= e.ID {
+			t.Error("All() not sorted")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.accesses() != DefaultAccesses {
+		t.Errorf("accesses() = %d", c.accesses())
+	}
+	if c.out() == nil {
+		t.Error("out() returned nil")
+	}
+}
+
+func TestFig1ComplementExample(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Fig1(Config{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 24 || len(res.Grid[0]) != 48 {
+		t.Fatalf("grid shape %dx%d", len(res.Grid), len(res.Grid[0]))
+	}
+	if !strings.Contains(buf.String(), "18 GB/s, 4 MB") {
+		t.Errorf("complement example missing from output:\n%s", buf.String())
+	}
+}
+
+func TestFig2RegionsNonTrivial(t *testing.T) {
+	res, err := Fig2(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ef1, ef2, both int
+	for _, row := range res.Grid {
+		for _, c := range row {
+			if c.EF1 {
+				ef1++
+			}
+			if c.EF2 {
+				ef2++
+			}
+			if c.EF1 && c.EF2 {
+				both++
+			}
+		}
+	}
+	total := 24 * 48
+	if ef1 == 0 || ef1 == total || ef2 == 0 || ef2 == total {
+		t.Errorf("degenerate EF regions: ef1=%d ef2=%d of %d", ef1, ef2, total)
+	}
+	if both == 0 {
+		t.Error("no mutually envy-free region")
+	}
+}
+
+func TestFig3CurvesOrdered(t *testing.T) {
+	res, err := Fig3(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d curves", len(res.Series))
+	}
+	// Higher-utility curves lie strictly above lower ones at equal x.
+	i1, i3 := res.Series["I1"], res.Series["I3"]
+	for k := range i1 {
+		if i3[k].Y <= i1[k].Y {
+			t.Fatalf("I3 not above I1 at x=%v", i1[k].X)
+		}
+	}
+}
+
+func TestFig4LeontiefKinks(t *testing.T) {
+	res, err := Fig4(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each L-curve kink sits on the demand ray y = x/2.
+	for label, pts := range res.Series {
+		kink := pts[1]
+		if math.Abs(kink.Y-kink.X/2) > 1e-9 {
+			t.Errorf("%s kink (%v,%v) off the demand ray", label, kink.X, kink.Y)
+		}
+	}
+}
+
+func TestFig5ContractCurve(t *testing.T) {
+	res, err := Fig5(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series["contract"]) != 24 {
+		t.Fatalf("contract curve has %d points", len(res.Series["contract"]))
+	}
+}
+
+func TestFig6Fig7Nesting(t *testing.T) {
+	f6, err := Fig6(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Fig7(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Points) == 0 || len(f7.Points) == 0 {
+		t.Fatal("empty fair sets")
+	}
+	if len(f7.Points) > len(f6.Points) {
+		t.Error("SI constraint enlarged the fair set")
+	}
+	// The REF allocation (x1=18, y1=4) lies in the SI-constrained set.
+	near := false
+	for _, p := range f7.Points {
+		if math.Hypot(p.X-18, p.Y-4) < 0.2 {
+			near = true
+		}
+	}
+	if !near {
+		t.Error("REF allocation not in the Figure 7 fair set")
+	}
+}
+
+func TestTab1MentionsLadder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Tab1(Config{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"128 KB", "2048 KB", "0.8 GB/s", "12.8 GB/s", "closed page"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8aReportsAllBenchmarks(t *testing.T) {
+	rows, err := Fig8a(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(trace.Names()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(trace.Names()))
+	}
+	var good int
+	for _, r := range rows {
+		if r.R2 < -0.1 || r.R2 > 1.0001 {
+			t.Errorf("%s R2 = %v out of range", r.Name, r.R2)
+		}
+		if r.R2 >= 0.7 {
+			good++
+		}
+	}
+	// Paper: "most benchmarks are fitted with R-squared of 0.7-1.0".
+	if good < len(rows)/2 {
+		t.Errorf("only %d/%d benchmarks fit with R2 ≥ 0.7", good, len(rows))
+	}
+}
+
+func TestFig8bTracksSimulation(t *testing.T) {
+	series, err := Fig8b(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 25 {
+			t.Errorf("%s has %d points", s.Name, len(s.Points))
+		}
+		// High-R² workloads: fitted values within 2× everywhere.
+		for _, p := range s.Points {
+			ratio := p.Fitted / p.Simulated
+			if ratio < 0.5 || ratio > 2 {
+				t.Errorf("%s at (%v,%v): est/sim = %v", s.Name, p.BandwidthGBps, p.CacheMB, ratio)
+			}
+		}
+	}
+}
+
+func TestFig8cRuns(t *testing.T) {
+	series, err := Fig8c(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "radiosity" {
+		t.Fatalf("unexpected series: %+v", series)
+	}
+}
+
+func TestFig9Classification(t *testing.T) {
+	rows, err := Fig9(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for _, r := range rows {
+		if math.Abs(r.AlphaMem+r.AlphaCache-1) > 1e-9 {
+			t.Errorf("%s rescaled elasticities sum to %v", r.Name, r.AlphaMem+r.AlphaCache)
+		}
+		if r.Class != r.PaperClass {
+			wrong++
+			t.Logf("%s: fitted %v, paper %v", r.Name, r.Class, r.PaperClass)
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("%d misclassifications at test budget", wrong)
+	}
+}
+
+func TestFig10BothMechanismsFair(t *testing.T) {
+	res, err := Fig10(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PEReport.All() {
+		t.Errorf("REF allocation fails audit: %v", res.PEReport)
+	}
+	if !res.ESReport.SI.Satisfied || !res.ESReport.EF.Satisfied {
+		t.Errorf("equal slowdown should satisfy SI and EF for histogram+dedup: %v", res.ESReport)
+	}
+}
+
+func TestFig11EqualSlowdownViolates(t *testing.T) {
+	res, err := Fig11(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PEReport.All() {
+		t.Errorf("REF allocation fails audit: %v", res.PEReport)
+	}
+	if res.ESReport.SI.Satisfied && res.ESReport.EF.Satisfied {
+		t.Errorf("equal slowdown unexpectedly fair for barnes+canneal: %v", res.ESReport)
+	}
+	// The paper's specific shape: canneal (agent 1) receives less than
+	// half of both resources under equal slowdown, while REF gives it
+	// more than half the bandwidth.
+	if res.EqualSlowdown[1][0] >= PairCapacity[0]/2 || res.EqualSlowdown[1][1] >= PairCapacity[1]/2 {
+		t.Errorf("canneal not squeezed under equal slowdown: %v", res.EqualSlowdown[1])
+	}
+	if res.Proportional[1][0] <= PairCapacity[0]/2 {
+		t.Errorf("REF gives canneal %v GB/s, want > half", res.Proportional[1][0])
+	}
+}
+
+func TestFig12EqualSlowdownViolates(t *testing.T) {
+	res, err := Fig12(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PEReport.All() {
+		t.Errorf("REF allocation fails audit: %v", res.PEReport)
+	}
+	if res.ESReport.SI.Satisfied && res.ESReport.EF.Satisfied {
+		t.Errorf("equal slowdown unexpectedly fair for freqmine+linear_regression: %v", res.ESReport)
+	}
+	// REF divides the C-C pair nearly equally (§5.4: "proportional
+	// elasticity divides resources almost equally").
+	for r := 0; r < 2; r++ {
+		share := res.Proportional[0][r] / PairCapacity[r]
+		if share < 0.35 || share > 0.65 {
+			t.Errorf("REF share of resource %d = %v, want near half", r, share)
+		}
+	}
+}
+
+func TestTab2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Tab2(Config{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"WD1", "WD10"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("Table 2 output missing %s", id)
+		}
+	}
+}
+
+// The paper's two headline throughput claims, asserted over every mix:
+// (1) fairness penalty below 10%; (2) the two fair mechanisms agree.
+func TestFig13Fig14PaperShape(t *testing.T) {
+	for _, fn := range []func(Config) ([]ThroughputRow, error){Fig13, Fig14} {
+		rows, err := fn(testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("%d rows, want 5", len(rows))
+		}
+		for _, r := range rows {
+			if p := r.FairnessPenalty(); p > 0.10 {
+				t.Errorf("%s: fairness penalty %.1f%% exceeds 10%%", r.Mix.ID, 100*p)
+			}
+			fairW := r.Throughput[mech.MaxWelfareFair{}.Name()]
+			refW := r.Throughput[mech.ProportionalElasticity{}.Name()]
+			if math.Abs(fairW-refW) > 0.05*refW {
+				t.Errorf("%s: MaxWelfareFair %.3f differs from REF %.3f", r.Mix.ID, fairW, refW)
+			}
+			es := r.Throughput[mech.EqualSlowdown{}.Name()]
+			unfair := r.Throughput[mech.MaxWelfareUnfair{}.Name()]
+			if es > unfair*1.02 {
+				t.Errorf("%s: equal slowdown %.3f above unfair max welfare %.3f", r.Mix.ID, es, unfair)
+			}
+		}
+	}
+}
+
+// Figure 14's extra observation: at 8 cores equal slowdown underperforms
+// proportional elasticity on (at least most of) the mixes.
+func TestFig14EqualSlowdownLags(t *testing.T) {
+	rows, err := Fig14(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lags := 0
+	for _, r := range rows {
+		if r.Throughput[mech.EqualSlowdown{}.Name()] <= r.Throughput[mech.ProportionalElasticity{}.Name()]+1e-9 {
+			lags++
+		}
+	}
+	if lags < 4 {
+		t.Errorf("equal slowdown lags REF on only %d/5 8-core mixes", lags)
+	}
+}
+
+func TestSPL64Shrinks(t *testing.T) {
+	res, err := SPL64(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	if len(pts) != 6 || pts[0].N != 2 || pts[len(pts)-1].N != 64 {
+		t.Fatalf("unexpected sweep points: %+v", pts)
+	}
+	if pts[len(pts)-1].MaxDeviation > 0.02 {
+		t.Errorf("64-agent deviation %v, want ≈0 (SPL)", pts[len(pts)-1].MaxDeviation)
+	}
+	if pts[0].MaxDeviation < 5*pts[len(pts)-1].MaxDeviation {
+		t.Errorf("deviation does not shrink: N=2 %v vs N=64 %v", pts[0].MaxDeviation, pts[len(pts)-1].MaxDeviation)
+	}
+}
+
+func TestSystemCapacity(t *testing.T) {
+	four := SystemCapacity(4)
+	eight := SystemCapacity(8)
+	if four[0] != 12.8 || four[1] != 2.0 {
+		t.Errorf("4-core capacity = %v", four)
+	}
+	if eight[0] != 25.6 || eight[1] != 4.0 {
+		t.Errorf("8-core capacity = %v", eight)
+	}
+}
+
+func TestRunPairUnknownBenchmark(t *testing.T) {
+	if _, err := RunPair(testCfg, "nonesuch", "dedup"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

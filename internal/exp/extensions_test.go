@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtEnforceWFQProtects(t *testing.T) {
+	rows, err := ExtEnforce(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	light := rows[0]
+	if light.WFQLat > light.FCFSLat/5 {
+		t.Errorf("WFQ latency %v not far below FCFS %v for the light agent", light.WFQLat, light.FCFSLat)
+	}
+	heavy := rows[1]
+	if heavy.WFQShare < 0.6 {
+		t.Errorf("heavy agent share %v — WFQ should stay work-conserving", heavy.WFQShare)
+	}
+}
+
+func TestExt3RFair(t *testing.T) {
+	res, err := Ext3R(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.All() {
+		t.Errorf("three-resource REF fails audit: %v", res.Report)
+	}
+	if len(res.X) != 4 || len(res.X[0]) != 3 {
+		t.Fatalf("allocation shape %dx%d", len(res.X), len(res.X[0]))
+	}
+	// Capacity exhaustion per resource.
+	for r := 0; r < 3; r++ {
+		var tot float64
+		for i := range res.X {
+			tot += res.X[i][r]
+		}
+		if math.Abs(tot-res.Capacity[r]) > 1e-9 {
+			t.Errorf("resource %d total %v, capacity %v", r, tot, res.Capacity[r])
+		}
+	}
+	// Each specialist gets the plurality of its preferred resource.
+	if res.X[0][0] <= res.X[1][0] || res.X[0][0] <= res.X[2][0] {
+		t.Error("core-hungry agent did not get the most cores")
+	}
+	if res.X[1][1] <= res.X[0][1] || res.X[1][1] <= res.X[2][1] {
+		t.Error("cache-hungry agent did not get the most cache")
+	}
+	if res.X[2][2] <= res.X[0][2] || res.X[2][2] <= res.X[1][2] {
+		t.Error("bandwidth-hungry agent did not get the most bandwidth")
+	}
+}
+
+func TestExtOnlineConverges(t *testing.T) {
+	pts, err := ExtOnline(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 20 {
+		t.Fatalf("only %d epochs", len(pts))
+	}
+	// The naive prior (0.5, 0.5) starts ~0.4 from streamcluster's truth;
+	// the final estimate must close most of that gap and classify M.
+	final := pts[len(pts)-1]
+	if final.AlphaErr > 0.1 {
+		t.Errorf("final elasticity error %v, want < 0.1", final.AlphaErr)
+	}
+	first := pts[0]
+	if final.AlphaErr > first.AlphaErr/2 {
+		t.Errorf("error did not halve: %v -> %v", first.AlphaErr, final.AlphaErr)
+	}
+}
+
+func TestExtCoRunPredictionQuality(t *testing.T) {
+	res, err := ExtCoRun(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SimulatedU <= 0 || r.SimulatedU > 1.2 {
+			t.Errorf("%s simulated U = %v out of range", r.Name, r.SimulatedU)
+		}
+		if math.Abs(r.PredictedU-r.SimulatedU) > 0.3 {
+			t.Errorf("%s: predicted %v vs simulated %v — utility model too far off",
+				r.Name, r.PredictedU, r.SimulatedU)
+		}
+	}
+	// Aggregate throughput predictions within 30%.
+	if res.SimulatedThroughput < res.PredictedThroughput*0.7 ||
+		res.SimulatedThroughput > res.PredictedThroughput*1.3 {
+		t.Errorf("throughput: predicted %v vs simulated %v",
+			res.PredictedThroughput, res.SimulatedThroughput)
+	}
+}
+
+func TestExtMCPenaltyBounded(t *testing.T) {
+	res, err := ExtMC(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Economies != 100 || len(res.Penalties) != 100 {
+		t.Fatalf("economies = %d", res.Economies)
+	}
+	// The paper's bound, in distribution.
+	if res.Max > 0.12 {
+		t.Errorf("max fairness penalty %.1f%% exceeds the paper's ~10%% bound", 100*res.Max)
+	}
+	if res.Mean > 0.05 {
+		t.Errorf("mean fairness penalty %.1f%% suspiciously high", 100*res.Mean)
+	}
+	if res.P95 > res.Max+1e-12 || res.Mean > res.P95+1e-12 {
+		t.Error("distribution summaries inconsistent")
+	}
+	// Equal slowdown should lose to REF in a majority of economies.
+	if res.EqualSlowdownWorse < 50 {
+		t.Errorf("equal slowdown beat REF in %d/100 economies", 100-res.EqualSlowdownWorse)
+	}
+}
+
+func TestExtInterferenceVictimRecovers(t *testing.T) {
+	rows, err := ExtInterference(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	victim := rows[0]
+	if victim.ManagedIPC <= victim.UnmanagedIPC {
+		t.Errorf("equal split did not recover the victim: %v vs %v",
+			victim.ManagedIPC, victim.UnmanagedIPC)
+	}
+}

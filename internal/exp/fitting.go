@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+
+	"ref/internal/sim"
+	"ref/internal/trace"
+	"ref/internal/workloads"
+)
+
+// Tab1 prints the platform parameters (Table 1).
+func Tab1(cfg Config) error {
+	w := cfg.out()
+	p := sim.DefaultPlatform(sim.LLCSizes[0], sim.Bandwidths[0])
+	fmt.Fprintln(w, "Table 1: platform parameters")
+	fmt.Fprintf(w, "Processor      : %g GHz OOO cores, %d-width issue and commit, ROB %d, %d MSHRs\n",
+		p.DRAM.CoreClockGHz, p.Core.IssueWidth, p.Core.ROBSize, p.Core.MSHRs)
+	fmt.Fprintf(w, "L1 cache       : %d KB, %d-way, %d-byte blocks, %d-cycle latency\n",
+		p.L1.SizeBytes>>10, p.L1.Ways, p.L1.BlockBytes, p.L1.HitLatency)
+	fmt.Fprintf(w, "L2 cache       : {")
+	for i, s := range sim.LLCSizes {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%d KB", s>>10)
+	}
+	fmt.Fprintf(w, "}, %d-way, %d-byte blocks, %d-cycle latency\n", p.LLC.Ways, p.LLC.BlockBytes, p.LLC.HitLatency)
+	fmt.Fprintf(w, "DRAM controller: closed page, %d ch × %d ranks × %d banks, rank-then-bank round robin\n",
+		p.DRAM.Channels, p.DRAM.RanksPerChannel, p.DRAM.BanksPerRank)
+	fmt.Fprintf(w, "DRAM bandwidth : {")
+	for i, b := range sim.Bandwidths {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%g GB/s", b)
+	}
+	fmt.Fprintln(w, "}, single channel (token-bucket provisioning)")
+	return nil
+}
+
+// Fig8aRow is one benchmark's goodness of fit.
+type Fig8aRow struct {
+	Name string
+	R2   float64
+}
+
+// Fig8a fits Cobb-Douglas utilities to all 28 benchmarks' profiles and
+// reports R² per benchmark (Figure 8a).
+func Fig8a(cfg Config) ([]Fig8aRow, error) {
+	fitted, err := workloads.FitAll(cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, "Figure 8a: coefficient of determination (R²) per benchmark")
+	rows := make([]Fig8aRow, 0, len(fitted))
+	for _, name := range trace.Names() {
+		f := fitted[name]
+		rows = append(rows, Fig8aRow{Name: name, R2: f.Fit.R2})
+		fmt.Fprintf(w, "%-20s R2=%.3f\n", name, f.Fit.R2)
+	}
+	return rows, nil
+}
+
+// Fig8bPoint is one grid configuration's simulated and fitted IPC.
+type Fig8bPoint struct {
+	BandwidthGBps float64
+	CacheMB       float64
+	Simulated     float64
+	Fitted        float64
+}
+
+// Fig8bSeries is one benchmark's curve.
+type Fig8bSeries struct {
+	Name   string
+	R2     float64
+	Points []Fig8bPoint
+}
+
+func fitCurves(cfg Config, names []string, header string) ([]Fig8bSeries, error) {
+	fitted, err := workloads.FitAll(cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, header)
+	out := make([]Fig8bSeries, 0, len(names))
+	for _, name := range names {
+		f, ok := fitted[name]
+		if !ok {
+			return nil, fmt.Errorf("exp: no fitted workload %q", name)
+		}
+		series := Fig8bSeries{Name: name, R2: f.Fit.R2}
+		prof, err := sim.Sweep(f.Workload.Config, cfg.accesses())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%s (R2=%.3f):\n", name, f.Fit.R2)
+		for _, s := range prof.Samples {
+			pt := Fig8bPoint{
+				BandwidthGBps: s.Alloc[0],
+				CacheMB:       s.Alloc[1],
+				Simulated:     s.Perf,
+				Fitted:        f.Fit.Predict(s.Alloc),
+			}
+			series.Points = append(series.Points, pt)
+			fmt.Fprintf(w, "  (%4.1f GB/s, %5.3f MB) sim=%.3f est=%.3f\n",
+				pt.BandwidthGBps, pt.CacheMB, pt.Simulated, pt.Fitted)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig8b plots simulated versus fitted IPC for the paper's high-R² examples
+// (ferret, fmm).
+func Fig8b(cfg Config) ([]Fig8bSeries, error) {
+	return fitCurves(cfg, []string{"ferret", "fmm"},
+		"Figure 8b: simulated vs fitted IPC, high-R² workloads")
+}
+
+// Fig8c plots the low-R² examples (radiosity, string_match).
+func Fig8c(cfg Config) ([]Fig8bSeries, error) {
+	return fitCurves(cfg, []string{"radiosity", "string_match"},
+		"Figure 8c: simulated vs fitted IPC, low-R² workloads")
+}
+
+// Fig9Row is one benchmark's rescaled elasticities and classification.
+type Fig9Row struct {
+	Name       string
+	AlphaMem   float64
+	AlphaCache float64
+	Class      trace.Class
+	PaperClass trace.Class
+}
+
+// Fig9 reports rescaled elasticities and the C/M classification for all
+// benchmarks (Figure 9).
+func Fig9(cfg Config) ([]Fig9Row, error) {
+	fitted, err := workloads.FitAll(cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, "Figure 9: rescaled elasticities (α_mem + α_cache = 1) and C/M classes")
+	rows := make([]Fig9Row, 0, len(fitted))
+	for _, name := range trace.Names() {
+		f := fitted[name]
+		r := f.Fit.Utility.Rescaled()
+		row := Fig9Row{
+			Name:       name,
+			AlphaMem:   r.Alpha[0],
+			AlphaCache: r.Alpha[1],
+			Class:      f.FittedClass(),
+			PaperClass: f.Workload.Class,
+		}
+		rows = append(rows, row)
+		match := " "
+		if row.Class != row.PaperClass {
+			match = "!"
+		}
+		fmt.Fprintf(w, "%-20s α_mem=%.3f α_cache=%.3f class=%s paper=%s %s\n",
+			name, row.AlphaMem, row.AlphaCache, row.Class, row.PaperClass, match)
+	}
+	return rows, nil
+}
+
+func init() {
+	register("tab1", "Platform parameters (Table 1)", Tab1)
+	register("fig8a", "Cobb-Douglas goodness of fit per benchmark (Figure 8a)", func(c Config) error {
+		_, err := Fig8a(c)
+		return err
+	})
+	register("fig8b", "Simulated vs fitted IPC, high-R² workloads (Figure 8b)", func(c Config) error {
+		_, err := Fig8b(c)
+		return err
+	})
+	register("fig8c", "Simulated vs fitted IPC, low-R² workloads (Figure 8c)", func(c Config) error {
+		_, err := Fig8c(c)
+		return err
+	})
+	register("fig9", "Rescaled elasticities and C/M classes (Figure 9)", func(c Config) error {
+		_, err := Fig9(c)
+		return err
+	})
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+
+	"ref/internal/cache"
+	"ref/internal/sim"
+	"ref/internal/trace"
+)
+
+// InterferenceRow compares one agent's IPC under unmanaged sharing vs an
+// enforced equal allocation.
+type InterferenceRow struct {
+	Name string
+	// UnmanagedIPC is the agent's IPC on a globally shared LLC and FCFS
+	// memory controller.
+	UnmanagedIPC float64
+	// ManagedIPC is the agent's IPC under way partitioning + bandwidth
+	// slices at the equal split.
+	ManagedIPC float64
+}
+
+// ExtInterference demonstrates the premise the whole paper rests on (§1:
+// "mechanisms for fair resource allocation … determine whether users have
+// incentives to participate"): with no allocation at all, a streaming
+// aggressor evicts a cache-friendly neighbor's working set from the shared
+// LLC; the enforced equal split restores it. The victim's slowdown under
+// unmanaged sharing is the quantity the mechanism exists to eliminate.
+func ExtInterference(cfg Config) ([]InterferenceRow, error) {
+	victim, err := trace.Lookup("raytrace") // cache-friendly (class C)
+	if err != nil {
+		return nil, err
+	}
+	aggressor, err := trace.Lookup("streamcluster") // streaming (class M)
+	if err != nil {
+		return nil, err
+	}
+	ws := []trace.Config{victim.Config, aggressor.Config}
+	llc := cache.Config{SizeBytes: 2 << 20, Ways: 8, BlockBytes: 64, HitLatency: 20}
+	const bw = 12.8
+	unmanaged, err := sim.UnmanagedCoRun(ws, llc, bw, cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	managed, err := sim.CoRun(ws, llc, bw, [][2]float64{{bw / 2, 1 << 20}, {bw / 2, 1 << 20}}, cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	names := []string{victim.Config.Name, aggressor.Config.Name}
+	rows := make([]InterferenceRow, len(names))
+	w := cfg.out()
+	fmt.Fprintln(w, "Interference (§1 premise): unmanaged shared LLC vs enforced equal split")
+	for i, n := range names {
+		rows[i] = InterferenceRow{
+			Name:         n,
+			UnmanagedIPC: unmanaged.Agents[i].IPC(),
+			ManagedIPC:   managed.Agents[i].IPC(),
+		}
+		fmt.Fprintf(w, "  %-14s unmanaged IPC=%.3f  equal-split IPC=%.3f  (×%.2f)\n",
+			n, rows[i].UnmanagedIPC, rows[i].ManagedIPC, rows[i].ManagedIPC/rows[i].UnmanagedIPC)
+	}
+	return rows, nil
+}
+
+func init() {
+	register("ext-interference", "Unmanaged sharing vs enforced split: the paper's premise (§1)", func(c Config) error {
+		_, err := ExtInterference(c)
+		return err
+	})
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+
+	"ref/internal/mech"
+	"ref/internal/spl"
+	"ref/internal/workloads"
+)
+
+// SystemCapacity returns the shared-machine capacity for an n-core mix:
+// the Table 1 top configuration (12.8 GB/s, 2 MB) scaled so that per-core
+// resources stay within the profiled grid. Four cores share one socket's
+// machine; eight cores share a dual-socket equivalent.
+func SystemCapacity(cores int) []float64 {
+	if cores <= 4 {
+		return []float64{12.8, 2.0}
+	}
+	return []float64{25.6, 4.0}
+}
+
+// Tab2 prints the Table 2 workload characterization.
+func Tab2(cfg Config) error {
+	w := cfg.out()
+	fmt.Fprintln(w, "Table 2: workload characterization")
+	for _, m := range workloads.Table2() {
+		label, err := m.ClassLabel()
+		if err != nil {
+			return err
+		}
+		note := ""
+		if label != m.PaperLabel {
+			note = fmt.Sprintf("  (paper printed %s; see DESIGN.md on Table 2 inconsistency)", m.PaperLabel)
+		}
+		fmt.Fprintf(w, "%-5s %-6s %v%s\n", m.ID, label, m.Benchmarks, note)
+	}
+	return nil
+}
+
+// ThroughputRow is one mix's weighted system throughput under each
+// mechanism (one cluster of bars in Figures 13 and 14).
+type ThroughputRow struct {
+	Mix   workloads.Mix
+	Label string
+	// Throughput maps mechanism name to Σ U_i.
+	Throughput map[string]float64
+}
+
+// FairnessPenalty returns 1 − (REF throughput / unfair max-welfare
+// throughput): the price of SI, EF, and PE that §5.5 bounds at 10%.
+func (r ThroughputRow) FairnessPenalty() float64 {
+	unfair := r.Throughput[mech.MaxWelfareUnfair{}.Name()]
+	ref := r.Throughput[mech.ProportionalElasticity{}.Name()]
+	if unfair <= 0 {
+		return 0
+	}
+	return 1 - ref/unfair
+}
+
+// throughputMechanisms returns the four mechanisms of Figures 13–14 in the
+// paper's legend order.
+func throughputMechanisms() []mech.Mechanism {
+	return []mech.Mechanism{
+		mech.MaxWelfareFair{},
+		mech.ProportionalElasticity{},
+		mech.MaxWelfareUnfair{},
+		mech.EqualSlowdown{},
+	}
+}
+
+func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]ThroughputRow, error) {
+	fitted, err := workloads.FitAll(cfg.accesses())
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, header)
+	rows := make([]ThroughputRow, 0, len(mixes))
+	for _, m := range mixes {
+		agents, err := m.Agents(fitted)
+		if err != nil {
+			return nil, err
+		}
+		cap := SystemCapacity(len(agents))
+		label, err := m.ClassLabel()
+		if err != nil {
+			return nil, err
+		}
+		row := ThroughputRow{Mix: m, Label: label, Throughput: map[string]float64{}}
+		for _, mc := range throughputMechanisms() {
+			x, err := mc.Allocate(agents, cap)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s on %s: %w", mc.Name(), m.ID, err)
+			}
+			wt, err := mech.WeightedThroughput(agents, cap, x)
+			if err != nil {
+				return nil, err
+			}
+			row.Throughput[mc.Name()] = wt
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-5s (%s)", m.ID, label)
+		for _, mc := range throughputMechanisms() {
+			fmt.Fprintf(w, "  %s=%.3f", shortName(mc.Name()), row.Throughput[mc.Name()])
+		}
+		fmt.Fprintf(w, "  fairness penalty=%.1f%%\n", 100*row.FairnessPenalty())
+	}
+	return rows, nil
+}
+
+// shortName compresses mechanism names for row output.
+func shortName(name string) string {
+	switch name {
+	case "Max Welfare w/ Fairness":
+		return "MaxWelFair"
+	case "Proportional Elasticity w/ Fairness":
+		return "PropElast"
+	case "Max Welfare w/o Fairness":
+		return "MaxWelUnfair"
+	case "Equal Slowdown w/o Fairness":
+		return "EqualSlow"
+	default:
+		return name
+	}
+}
+
+// Fig13 reports weighted system throughput for the 4-core mixes WD1–WD5.
+func Fig13(cfg Config) ([]ThroughputRow, error) {
+	return runThroughput(cfg, workloads.FourCore(),
+		"Figure 13: weighted system throughput, 4-core system (WD1–WD5)")
+}
+
+// Fig14 reports weighted system throughput for the 8-core mixes WD6–WD10.
+func Fig14(cfg Config) ([]ThroughputRow, error) {
+	return runThroughput(cfg, workloads.EightCore(),
+		"Figure 14: weighted system throughput, 8-core system (WD6–WD10)")
+}
+
+// SPL64Result is the §4.3 strategy-proofness experiment.
+type SPL64Result struct {
+	Points []spl.SweepPoint
+}
+
+// SPL64 sweeps best-response deviations from 2 to 64 agents with uniform
+// random elasticities, reproducing the §4.3 claim that tens of agents
+// suffice for SPL.
+func SPL64(cfg Config) (*SPL64Result, error) {
+	pts, err := spl.DeviationSweep([]int{2, 4, 8, 16, 32, 64}, 2, 8, 20140301)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, "SPL (§4.3): best-response deviation from truthful elasticities vs system size")
+	for _, p := range pts {
+		fmt.Fprintf(w, "N=%-3d max|α'−α|=%.4f mean=%.4f max gain=%.4f%%\n",
+			p.N, p.MaxDeviation, p.MeanDeviation, 100*p.MaxGain)
+	}
+	return &SPL64Result{Points: pts}, nil
+}
+
+func init() {
+	register("tab2", "Workload characterization (Table 2)", Tab2)
+	register("fig13", "Weighted system throughput, 4-core (Figure 13)", func(c Config) error {
+		_, err := Fig13(c)
+		return err
+	})
+	register("fig14", "Weighted system throughput, 8-core (Figure 14)", func(c Config) error {
+		_, err := Fig14(c)
+		return err
+	})
+	register("spl64", "Strategy-proofness in the large, 64 tasks (§4.3)", func(c Config) error {
+		_, err := SPL64(c)
+		return err
+	})
+}

@@ -1,0 +1,96 @@
+package fair
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ref/internal/cobb"
+	"ref/internal/opt"
+)
+
+// Improvement is a concrete Pareto improvement found by the certificate
+// search: a bilateral trade that makes both parties strictly better off.
+type Improvement struct {
+	// AgentA receives Amount of ResourceA from AgentB and gives Amount
+	// of... more precisely: A gives GiveB of ResourceB to B and receives
+	// GiveA of ResourceA from B.
+	AgentA, AgentB       int
+	ResourceA, ResourceB int
+	GiveA, GiveB         float64
+	// GainA and GainB are the relative utility improvements.
+	GainA, GainB float64
+}
+
+// String renders the trade.
+func (im Improvement) String() string {
+	return fmt.Sprintf("agents %d↔%d trade %.4g of r%d for %.4g of r%d (gains %.3g%%, %.3g%%)",
+		im.AgentA, im.AgentB, im.GiveA, im.ResourceA, im.GiveB, im.ResourceB,
+		100*im.GainA, 100*im.GainB)
+}
+
+// ParetoCertificate searches for a Pareto improvement by random bilateral
+// trades: it repeatedly proposes that agent j hand agent i a sliver of
+// resource r in exchange for a sliver of resource s, and accepts the first
+// proposal that makes both strictly better off. It returns nil when no
+// improvement is found in `trials` attempts.
+//
+// This is the checker the MRS-equality test (ParetoEfficiency) cannot
+// replace: MRS equality is a first-order interior condition, while the
+// trade search also probes boundary allocations and catches sign errors in
+// the analytic check. For a genuinely PE allocation it must come up empty;
+// for an interior non-PE allocation it finds a trade quickly.
+func ParetoCertificate(utils []cobb.Utility, x opt.Alloc, trials int, seed int64) (*Improvement, error) {
+	if err := validate(utils, nil, x); err != nil {
+		return nil, err
+	}
+	n := len(utils)
+	if n < 2 {
+		return nil, nil // a single agent is trivially PE
+	}
+	r := utils[0].NumResources()
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]float64, n)
+	for i, u := range utils {
+		base[i] = u.Eval(x[i])
+	}
+	for t := 0; t < trials; t++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		ra := rng.Intn(r)
+		rb := rng.Intn(r)
+		if ra == rb {
+			continue
+		}
+		// Trade size: a random fraction of the giver's holding.
+		giveA := x[j][ra] * (0.01 + 0.2*rng.Float64()) // j → i, resource ra
+		giveB := x[i][rb] * (0.01 + 0.2*rng.Float64()) // i → j, resource rb
+		if giveA <= 0 || giveB <= 0 {
+			continue
+		}
+		xi := append([]float64(nil), x[i]...)
+		xj := append([]float64(nil), x[j]...)
+		xi[ra] += giveA
+		xi[rb] -= giveB
+		xj[ra] -= giveA
+		xj[rb] += giveB
+		if xi[rb] < 0 || xj[ra] < 0 {
+			continue
+		}
+		ui := utils[i].Eval(xi)
+		uj := utils[j].Eval(xj)
+		const margin = 1e-9
+		if ui > base[i]*(1+margin) && uj > base[j]*(1+margin) {
+			return &Improvement{
+				AgentA: i, AgentB: j,
+				ResourceA: ra, ResourceB: rb,
+				GiveA: giveA, GiveB: giveB,
+				GainA: ui/base[i] - 1,
+				GainB: uj/base[j] - 1,
+			}, nil
+		}
+	}
+	return nil, nil
+}

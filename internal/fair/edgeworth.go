@@ -1,0 +1,175 @@
+package fair
+
+import (
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+)
+
+// Box is an Edgeworth box for a two-agent, two-resource economy (Figure 1).
+// User 1's origin is the lower-left corner; user 2's origin is the
+// upper-right, so an allocation (x, y) to user 1 leaves (CapX−x, CapY−y) for
+// user 2. In the paper's running example CapX is 24 GB/s of memory
+// bandwidth and CapY is 12 MB of cache.
+type Box struct {
+	U1, U2     cobb.Utility
+	CapX, CapY float64
+}
+
+// NewBox validates and constructs an Edgeworth box.
+func NewBox(u1, u2 cobb.Utility, capX, capY float64) (*Box, error) {
+	if err := u1.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: user 1: %v", ErrBadInput, err)
+	}
+	if err := u2.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: user 2: %v", ErrBadInput, err)
+	}
+	if u1.NumResources() != 2 || u2.NumResources() != 2 {
+		return nil, fmt.Errorf("%w: Edgeworth box needs 2-resource utilities", ErrBadInput)
+	}
+	if capX <= 0 || capY <= 0 || math.IsNaN(capX) || math.IsNaN(capY) {
+		return nil, fmt.Errorf("%w: capacities (%v, %v) must be positive", ErrBadInput, capX, capY)
+	}
+	return &Box{U1: u1, U2: u2, CapX: capX, CapY: capY}, nil
+}
+
+// Complement returns user 2's bundle when user 1 holds (x, y).
+func (b *Box) Complement(x, y float64) (float64, float64) {
+	return b.CapX - x, b.CapY - y
+}
+
+// InBox reports whether (x, y) is a feasible bundle for user 1.
+func (b *Box) InBox(x, y float64) bool {
+	return x >= 0 && y >= 0 && x <= b.CapX && y <= b.CapY
+}
+
+// EnvyFree1 reports whether user 1 is envy-free at (x, y): Equation 6.
+func (b *Box) EnvyFree1(x, y float64) bool {
+	cx, cy := b.Complement(x, y)
+	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{cx, cy})*(1-1e-12)
+}
+
+// EnvyFree2 reports whether user 2 is envy-free at user-1 bundle (x, y):
+// Equation 7.
+func (b *Box) EnvyFree2(x, y float64) bool {
+	cx, cy := b.Complement(x, y)
+	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{x, y})*(1-1e-12)
+}
+
+// SI1 reports whether user 1 weakly prefers (x, y) to the equal split
+// (Equation 4).
+func (b *Box) SI1(x, y float64) bool {
+	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-1e-12)
+}
+
+// SI2 reports whether user 2 weakly prefers its complement of (x, y) to the
+// equal split (Equation 5).
+func (b *Box) SI2(x, y float64) bool {
+	cx, cy := b.Complement(x, y)
+	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-1e-12)
+}
+
+// Point is a user-1 bundle inside the box.
+type Point struct {
+	X, Y float64
+}
+
+// ContractY returns the user-1 cache allocation y on the contract curve for
+// a given bandwidth allocation x ∈ (0, CapX). On the contract curve both
+// users' marginal rates of substitution agree (Equation 10):
+//
+//	(α1x/α1y)·(y/x) = (α2x/α2y)·((CapY−y)/(CapX−x))
+//
+// which solves in closed form to
+//
+//	y = B·x·CapY / (A·(CapX−x) + B·x),   A = α1x/α1y, B = α2x/α2y.
+func (b *Box) ContractY(x float64) (float64, error) {
+	if x <= 0 || x >= b.CapX {
+		return 0, fmt.Errorf("%w: contract curve parameter x=%v outside (0, %v)", ErrBadInput, x, b.CapX)
+	}
+	if b.U1.Alpha[1] == 0 || b.U2.Alpha[1] == 0 {
+		return 0, fmt.Errorf("%w: contract curve undefined with zero cache elasticity", ErrBadInput)
+	}
+	a := b.U1.Alpha[0] / b.U1.Alpha[1]
+	bb := b.U2.Alpha[0] / b.U2.Alpha[1]
+	return bb * x * b.CapY / (a*(b.CapX-x) + bb*x), nil
+}
+
+// ContractCurve samples n interior points of the contract curve (Figure 5),
+// ordered by increasing x.
+func (b *Box) ContractCurve(n int) ([]Point, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need n ≥ 2 contract-curve samples", ErrBadInput)
+	}
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		x := b.CapX * float64(i) / float64(n+1)
+		y, err := b.ContractY(x)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return pts, nil
+}
+
+// FairSet returns the contract-curve samples that are envy-free for both
+// users — the fair allocation set of Figure 6. If withSI is true the
+// sharing-incentive constraints of Figure 7 are applied as well.
+func (b *Box) FairSet(n int, withSI bool) ([]Point, error) {
+	curve, err := b.ContractCurve(n)
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for _, p := range curve {
+		if !b.EnvyFree1(p.X, p.Y) || !b.EnvyFree2(p.X, p.Y) {
+			continue
+		}
+		if withSI && (!b.SI1(p.X, p.Y) || !b.SI2(p.X, p.Y)) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CellFlags marks which constraints hold at one grid cell.
+type CellFlags struct {
+	EF1, EF2, SI1, SI2 bool
+}
+
+// Grid evaluates the constraint regions on an nx×ny lattice of user-1
+// bundles, for rendering Figures 2 and 7. Cell (i, j) is the bundle
+// (CapX·(i+½)/nx, CapY·(j+½)/ny).
+func (b *Box) Grid(nx, ny int) ([][]CellFlags, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("%w: grid %dx%d", ErrBadInput, nx, ny)
+	}
+	g := make([][]CellFlags, ny)
+	for j := 0; j < ny; j++ {
+		g[j] = make([]CellFlags, nx)
+		y := b.CapY * (float64(j) + 0.5) / float64(ny)
+		for i := 0; i < nx; i++ {
+			x := b.CapX * (float64(i) + 0.5) / float64(nx)
+			g[j][i] = CellFlags{
+				EF1: b.EnvyFree1(x, y),
+				EF2: b.EnvyFree2(x, y),
+				SI1: b.SI1(x, y),
+				SI2: b.SI2(x, y),
+			}
+		}
+	}
+	return g, nil
+}
+
+// TrivialEFPoints returns the three allocations that are always envy-free
+// (§3.2): the midpoint and the two zero-utility corners.
+func (b *Box) TrivialEFPoints() [3]Point {
+	return [3]Point{
+		{X: b.CapX / 2, Y: b.CapY / 2},
+		{X: 0, Y: b.CapY},
+		{X: b.CapX, Y: 0},
+	}
+}

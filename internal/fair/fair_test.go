@@ -1,0 +1,468 @@
+package fair
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/opt"
+)
+
+var (
+	u1       = cobb.MustNew(1, 0.6, 0.4)
+	u2       = cobb.MustNew(1, 0.2, 0.8)
+	utils    = []cobb.Utility{u1, u2}
+	paperCap = []float64{24, 12}
+	// refAlloc is the §4.1 proportional elasticity outcome.
+	refAlloc = opt.Alloc{{18, 4}, {6, 8}}
+	tol      = DefaultTolerance()
+)
+
+func TestREFAllocationSatisfiesAll(t *testing.T) {
+	rep, err := Audit(utils, paperCap, refAlloc, tol)
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if !rep.All() {
+		t.Fatalf("REF allocation fails audit: %v; SI=%v EF=%v PE=%v",
+			rep, rep.SI.Violations, rep.EF.Violations, rep.PE.Violations)
+	}
+	if !rep.Fair() {
+		t.Fatal("Fair() false for REF allocation")
+	}
+}
+
+func TestEqualSplitSatisfiesSIandEFButNotPE(t *testing.T) {
+	eq := opt.EqualSplit(2, paperCap)
+	si, err := SharingIncentives(utils, paperCap, eq, tol)
+	if err != nil {
+		t.Fatalf("SI: %v", err)
+	}
+	if !si.Satisfied {
+		t.Error("equal split must satisfy SI by definition")
+	}
+	ef, err := EnvyFreeness(utils, eq, tol)
+	if err != nil {
+		t.Fatalf("EF: %v", err)
+	}
+	if !ef.Satisfied {
+		t.Error("equal split must be envy-free (identical bundles)")
+	}
+	// With different MRS at the midpoint, equal split is not PE here.
+	pe, err := ParetoEfficiency(utils, paperCap, eq, tol)
+	if err != nil {
+		t.Fatalf("PE: %v", err)
+	}
+	if pe.Satisfied {
+		t.Error("equal split should NOT be PE for heterogeneous preferences")
+	}
+}
+
+func TestSIViolationDetected(t *testing.T) {
+	// Give agent 0 almost nothing.
+	bad := opt.Alloc{{0.1, 0.1}, {23.9, 11.9}}
+	si, err := SharingIncentives(utils, paperCap, bad, tol)
+	if err != nil {
+		t.Fatalf("SI: %v", err)
+	}
+	if si.Satisfied {
+		t.Fatal("SI violation not detected")
+	}
+	v := si.Violations[0]
+	if v.Agent != 0 || v.Property != "SI" || v.Margin <= 0 {
+		t.Errorf("violation = %+v", v)
+	}
+	if v.String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestEFViolationDetected(t *testing.T) {
+	bad := opt.Alloc{{1, 1}, {23, 11}}
+	ef, err := EnvyFreeness(utils, bad, tol)
+	if err != nil {
+		t.Fatalf("EF: %v", err)
+	}
+	if ef.Satisfied {
+		t.Fatal("EF violation not detected")
+	}
+	found := false
+	for _, v := range ef.Violations {
+		if v.Agent == 0 && v.Other == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("agent 0 should envy agent 1: %v", ef.Violations)
+	}
+}
+
+func TestPEUnderallocationDetected(t *testing.T) {
+	slack := opt.Alloc{{9, 4}, {6, 6}} // totals (15, 10) < (24, 12)
+	pe, err := ParetoEfficiency(utils, paperCap, slack, tol)
+	if err != nil {
+		t.Fatalf("PE: %v", err)
+	}
+	if pe.Satisfied {
+		t.Fatal("slack capacity not flagged")
+	}
+}
+
+func TestPEMRSCheckPaperEquation10(t *testing.T) {
+	// Any point on the contract curve passes; off-curve fails.
+	box, err := NewBox(u1, u2, 24, 12)
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	y, err := box.ContractY(10)
+	if err != nil {
+		t.Fatalf("ContractY: %v", err)
+	}
+	on := opt.Alloc{{10, y}, {14, 12 - y}}
+	pe, err := ParetoEfficiency(utils, paperCap, on, tol)
+	if err != nil {
+		t.Fatalf("PE: %v", err)
+	}
+	if !pe.Satisfied {
+		t.Errorf("contract-curve point flagged as inefficient: %v", pe.Violations)
+	}
+	off := opt.Alloc{{10, 11}, {14, 1}}
+	pe, err = ParetoEfficiency(utils, paperCap, off, tol)
+	if err != nil {
+		t.Fatalf("PE: %v", err)
+	}
+	if pe.Satisfied {
+		t.Error("off-curve point passed the MRS check")
+	}
+}
+
+func TestPEIgnoresZeroElasticityAgents(t *testing.T) {
+	// An agent that only wants resource 0 imposes no tangency condition.
+	mixed := []cobb.Utility{cobb.MustNew(1, 1, 0), cobb.MustNew(1, 0.5, 0.5)}
+	// Give all of resource 1 to agent 1; split resource 0 somehow.
+	x := opt.Alloc{{12, 0}, {12, 12}}
+	pe, err := ParetoEfficiency(mixed, paperCap, x, tol)
+	if err != nil {
+		t.Fatalf("PE: %v", err)
+	}
+	if !pe.Satisfied {
+		t.Errorf("allocation should pass: %v", pe.Violations)
+	}
+}
+
+func TestAuditValidation(t *testing.T) {
+	if _, err := Audit(nil, paperCap, refAlloc, tol); !errors.Is(err, ErrBadInput) {
+		t.Error("no agents accepted")
+	}
+	if _, err := Audit(utils, paperCap, opt.Alloc{{1, 1}}, tol); !errors.Is(err, ErrBadInput) {
+		t.Error("row count mismatch accepted")
+	}
+	if _, err := Audit(utils, []float64{24}, refAlloc, tol); !errors.Is(err, ErrBadInput) {
+		t.Error("capacity dimension mismatch accepted")
+	}
+	if _, err := EnvyFreeness(utils, opt.Alloc{{1}, {1, 1}}, tol); !errors.Is(err, ErrBadInput) {
+		t.Error("ragged allocation accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Audit(utils, paperCap, refAlloc, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != "SI=✓ EF=✓ PE=✓" {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+// Property: the REF mechanism's output passes the audit for random
+// economies — the paper's central theorem, checked end to end.
+func TestREFAlwaysFairProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		r := 2 + rng.Intn(2)
+		cap := make([]float64, r)
+		for j := range cap {
+			cap[j] = 1 + rng.Float64()*100
+		}
+		agents := make([]core.Agent, n)
+		us := make([]cobb.Utility, n)
+		for i := range agents {
+			alpha := make([]float64, r)
+			for j := range alpha {
+				alpha[j] = 0.05 + rng.Float64()
+			}
+			u := cobb.MustNew(0.5+2*rng.Float64(), alpha...)
+			agents[i] = core.Agent{Utility: u}
+			us[i] = u
+		}
+		alloc, err := core.Allocate(agents, cap)
+		if err != nil {
+			return false
+		}
+		rep, err := Audit(us, cap, alloc.X, tol)
+		if err != nil {
+			return false
+		}
+		return rep.All()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox(u1, u2, 0, 12); !errors.Is(err, ErrBadInput) {
+		t.Error("zero capacity accepted")
+	}
+	u3 := cobb.MustNew(1, 0.3, 0.3, 0.4)
+	if _, err := NewBox(u3, u2, 24, 12); !errors.Is(err, ErrBadInput) {
+		t.Error("3-resource utility accepted")
+	}
+	if _, err := NewBox(cobb.Utility{}, u2, 24, 12); !errors.Is(err, ErrBadInput) {
+		t.Error("invalid utility accepted")
+	}
+}
+
+func TestBoxComplement(t *testing.T) {
+	box, _ := NewBox(u1, u2, 24, 12)
+	// Figure 1's worked example: user 1 at (6 GB/s, 8 MB) leaves user 2
+	// with (18 GB/s, 4 MB).
+	cx, cy := box.Complement(6, 8)
+	if cx != 18 || cy != 4 {
+		t.Errorf("Complement = (%v, %v), want (18, 4)", cx, cy)
+	}
+	if !box.InBox(6, 8) || box.InBox(-1, 8) || box.InBox(6, 13) {
+		t.Error("InBox wrong")
+	}
+}
+
+func TestTrivialEFPoints(t *testing.T) {
+	// §3.2: the midpoint and both corners are always envy-free.
+	box, _ := NewBox(u1, u2, 24, 12)
+	for _, p := range box.TrivialEFPoints() {
+		if !box.EnvyFree1(p.X, p.Y) || !box.EnvyFree2(p.X, p.Y) {
+			t.Errorf("trivial EF point (%v,%v) not envy-free", p.X, p.Y)
+		}
+	}
+}
+
+func TestContractCurveTangency(t *testing.T) {
+	box, _ := NewBox(u1, u2, 24, 12)
+	curve, err := box.ContractCurve(20)
+	if err != nil {
+		t.Fatalf("ContractCurve: %v", err)
+	}
+	if len(curve) != 20 {
+		t.Fatalf("got %d points", len(curve))
+	}
+	for _, p := range curve {
+		m1 := u1.MRS(0, 1, []float64{p.X, p.Y})
+		cx, cy := box.Complement(p.X, p.Y)
+		m2 := u2.MRS(0, 1, []float64{cx, cy})
+		if math.Abs(m1-m2) > 1e-9*math.Max(m1, 1) {
+			t.Errorf("MRS mismatch at (%v,%v): %v vs %v", p.X, p.Y, m1, m2)
+		}
+	}
+	// Monotone in x.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].X <= curve[i-1].X {
+			t.Fatal("curve not ordered by x")
+		}
+	}
+}
+
+func TestContractYErrors(t *testing.T) {
+	box, _ := NewBox(u1, u2, 24, 12)
+	if _, err := box.ContractY(0); !errors.Is(err, ErrBadInput) {
+		t.Error("x=0 accepted")
+	}
+	if _, err := box.ContractY(24); !errors.Is(err, ErrBadInput) {
+		t.Error("x=CapX accepted")
+	}
+	zero, _ := NewBox(cobb.MustNew(1, 1, 0), u2, 24, 12)
+	if _, err := zero.ContractY(5); !errors.Is(err, ErrBadInput) {
+		t.Error("zero cache elasticity accepted")
+	}
+}
+
+func TestFairSetContainsREF(t *testing.T) {
+	// The REF allocation lies on the contract curve and is EF and SI, so
+	// a dense fair-set sampling must contain points near it.
+	box, _ := NewBox(u1, u2, 24, 12)
+	fairPts, err := box.FairSet(2000, true)
+	if err != nil {
+		t.Fatalf("FairSet: %v", err)
+	}
+	if len(fairPts) == 0 {
+		t.Fatal("empty fair set")
+	}
+	best := math.Inf(1)
+	for _, p := range fairPts {
+		d := math.Hypot(p.X-18, p.Y-4)
+		if d < best {
+			best = d
+		}
+	}
+	if best > 0.25 {
+		t.Errorf("no fair-set point near REF allocation (closest %v)", best)
+	}
+	// The SI-filtered set is a subset of the unfiltered one.
+	all, err := box.FairSet(2000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fairPts) > len(all) {
+		t.Error("SI filter enlarged the fair set")
+	}
+}
+
+func TestFairSetPointsAreActuallyFair(t *testing.T) {
+	box, _ := NewBox(u1, u2, 24, 12)
+	pts, err := box.FairSet(300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		x := opt.Alloc{{p.X, p.Y}, {24 - p.X, 12 - p.Y}}
+		rep, err := Audit(utils, paperCap, x, Tolerance{Rel: 1e-9, MRS: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.All() {
+			t.Fatalf("fair-set point (%v,%v) fails audit %v", p.X, p.Y, rep)
+		}
+	}
+}
+
+func TestGridRegions(t *testing.T) {
+	box, _ := NewBox(u1, u2, 24, 12)
+	g, err := box.Grid(48, 24)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if len(g) != 24 || len(g[0]) != 48 {
+		t.Fatalf("grid shape %dx%d", len(g), len(g[0]))
+	}
+	// EF1 holds in the "upper right" (user 1 rich) half: at cell near
+	// (18, 9) user 1 should be envy-free, near (3, 2) it should envy.
+	rich := g[18][36] // y≈9.25, x≈18.25
+	if !rich.EF1 {
+		t.Error("EF1 false where user 1 is rich")
+	}
+	poor := g[3][5]
+	if poor.EF1 {
+		t.Error("EF1 true where user 1 is poor")
+	}
+	if _, err := box.Grid(0, 5); !errors.Is(err, ErrBadInput) {
+		t.Error("bad grid accepted")
+	}
+}
+
+// Property: fair set with SI is monotonically nested inside fair set
+// without SI for random boxes.
+func TestFairSetNestingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1 := 0.1 + 0.8*rng.Float64()
+		a2 := 0.1 + 0.8*rng.Float64()
+		box, err := NewBox(cobb.MustNew(1, a1, 1-a1), cobb.MustNew(1, a2, 1-a2), 1+rng.Float64()*50, 1+rng.Float64()*20)
+		if err != nil {
+			return false
+		}
+		withSI, err := box.FairSet(200, true)
+		if err != nil {
+			return false
+		}
+		without, err := box.FairSet(200, false)
+		if err != nil {
+			return false
+		}
+		if len(withSI) > len(without) {
+			return false
+		}
+		// Every SI point must appear in the unfiltered set.
+		seen := make(map[Point]bool, len(without))
+		for _, p := range without {
+			seen[p] = true
+		}
+		for _, p := range withSI {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoCertificateREFClean(t *testing.T) {
+	// The REF allocation is PE: no bilateral trade may improve both
+	// parties. 20k random proposals must all fail.
+	im, err := ParetoCertificate(utils, refAlloc, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im != nil {
+		t.Fatalf("found a Pareto improvement on a PE allocation: %v", im)
+	}
+}
+
+func TestParetoCertificateFindsImprovement(t *testing.T) {
+	// Equal split with heterogeneous preferences is NOT PE: a
+	// bandwidth-for-cache trade helps both agents. The search must find
+	// one quickly.
+	eq := opt.EqualSplit(2, paperCap)
+	im, err := ParetoCertificate(utils, eq, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im == nil {
+		t.Fatal("no Pareto improvement found on the (inefficient) equal split")
+	}
+	if im.GainA <= 0 || im.GainB <= 0 {
+		t.Fatalf("non-improving trade returned: %v", im)
+	}
+	if im.String() == "" {
+		t.Error("empty improvement string")
+	}
+}
+
+func TestParetoCertificateSingleAgent(t *testing.T) {
+	im, err := ParetoCertificate([]cobb.Utility{u1}, opt.Alloc{{24, 12}}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im != nil {
+		t.Fatal("single agent cannot have a bilateral improvement")
+	}
+}
+
+// Property: certificates and the MRS audit agree on contract-curve points.
+func TestParetoCertificateAgreesWithMRSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		box, err := NewBox(u1, u2, 24, 12)
+		if err != nil {
+			return false
+		}
+		x1 := 0.5 + 23*rng.Float64()
+		y1, err := box.ContractY(x1)
+		if err != nil {
+			return false
+		}
+		x := opt.Alloc{{x1, y1}, {24 - x1, 12 - y1}}
+		im, err := ParetoCertificate(utils, x, 3000, seed)
+		return err == nil && im == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// CVResult summarizes leave-one-out cross-validation of a Cobb-Douglas fit.
+// The paper evaluates fit quality in-sample (Figure 8's R²); out-of-sample
+// error is the stronger check that the fitted elasticities generalize to
+// allocations the profiler never measured — which is exactly how the
+// mechanism uses them.
+type CVResult struct {
+	// R2 is the out-of-sample coefficient of determination in log space:
+	// 1 − PRESS/TSS over held-out predictions.
+	R2 float64
+	// RMSLE is the out-of-sample root-mean-square log error.
+	RMSLE float64
+	// MaxAbsLogErr is the worst held-out log-space residual.
+	MaxAbsLogErr float64
+	// N is the number of folds (= samples).
+	N int
+}
+
+// CrossValidate fits the profile N times, each time holding out one sample
+// and predicting it. Profiles need at least R+3 samples so every fold
+// remains identifiable.
+func CrossValidate(p *Profile) (*CVResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Samples)
+	r := p.NumResources()
+	if n < r+3 {
+		return nil, fmt.Errorf("%w: %d samples leave no room for a holdout (need ≥ %d)", ErrBadProfile, n, r+3)
+	}
+	logPerf := make([]float64, n)
+	var mean float64
+	for i, s := range p.Samples {
+		logPerf[i] = math.Log(s.Perf)
+		mean += logPerf[i]
+	}
+	mean /= float64(n)
+
+	var press, tss, worst float64
+	for hold := 0; hold < n; hold++ {
+		train := &Profile{Samples: make([]Sample, 0, n-1)}
+		for i, s := range p.Samples {
+			if i != hold {
+				train.Samples = append(train.Samples, s)
+			}
+		}
+		res, err := CobbDouglas(train)
+		if err != nil {
+			return nil, fmt.Errorf("fit: fold %d: %w", hold, err)
+		}
+		pred := res.Predict(p.Samples[hold].Alloc)
+		if pred <= 0 {
+			return nil, fmt.Errorf("fit: fold %d predicted non-positive performance %v", hold, pred)
+		}
+		e := math.Log(pred) - logPerf[hold]
+		press += e * e
+		if a := math.Abs(e); a > worst {
+			worst = a
+		}
+		d := logPerf[hold] - mean
+		tss += d * d
+	}
+	r2 := 0.0
+	switch {
+	case tss > 0:
+		r2 = 1 - press/tss
+	case press <= 1e-18:
+		r2 = 1
+	}
+	return &CVResult{
+		R2:           r2,
+		RMSLE:        math.Sqrt(press / float64(n)),
+		MaxAbsLogErr: worst,
+		N:            n,
+	}, nil
+}

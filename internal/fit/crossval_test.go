@@ -1,0 +1,62 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ref/internal/cobb"
+)
+
+func TestCrossValidateExactModel(t *testing.T) {
+	truth := cobb.MustNew(1.1, 0.55, 0.45)
+	cv, err := CrossValidate(gridProfile(truth, 0, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.N != 25 {
+		t.Errorf("N = %d", cv.N)
+	}
+	if math.Abs(cv.R2-1) > 1e-9 || cv.RMSLE > 1e-9 {
+		t.Errorf("exact model should cross-validate perfectly: R2=%v RMSLE=%v", cv.R2, cv.RMSLE)
+	}
+}
+
+func TestCrossValidateNoisyModel(t *testing.T) {
+	truth := cobb.MustNew(1, 0.3, 0.7)
+	cv, err := CrossValidate(gridProfile(truth, 0.05, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.R2 < 0.8 {
+		t.Errorf("out-of-sample R2 = %v for mildly noisy data", cv.R2)
+	}
+	if cv.MaxAbsLogErr < cv.RMSLE {
+		t.Errorf("worst error %v below RMSLE %v", cv.MaxAbsLogErr, cv.RMSLE)
+	}
+	// Out-of-sample error is never below in-sample error (up to noise).
+	in, err := CobbDouglas(gridProfile(truth, 0.05, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.RMSLE < in.RMSLE*0.9 {
+		t.Errorf("CV RMSLE %v implausibly below in-sample %v", cv.RMSLE, in.RMSLE)
+	}
+}
+
+func TestCrossValidateTooFewSamples(t *testing.T) {
+	p := &Profile{}
+	for i := 0; i < 4; i++ { // exactly R+2: fit-able but no CV headroom
+		p.Add([]float64{float64(i + 1), float64(i%2 + 1)}, float64(i+1))
+	}
+	if _, err := CrossValidate(p); !errors.Is(err, ErrBadProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossValidateInvalidProfile(t *testing.T) {
+	var empty Profile
+	if _, err := CrossValidate(&empty); !errors.Is(err, ErrBadProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package fit derives Cobb-Douglas utility functions from performance
+// profiles, implementing §4.4 of the REF paper. A profile is a set of
+// (allocation, performance) samples — e.g. IPC measured at 25 combinations
+// of cache size and memory bandwidth. Applying a log transformation
+// linearizes Cobb-Douglas (Equation 16):
+//
+//	log u = log α₀ + Σ_r α_r · log x_r
+//
+// after which ordinary least squares estimates the elasticities α. The
+// coefficient of determination (R²) measures goodness of fit exactly as
+// Figure 8(a) of the paper reports it.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+	"ref/internal/leontief"
+	"ref/internal/linalg"
+)
+
+// ErrBadProfile reports an unusable performance profile.
+var ErrBadProfile = errors.New("fit: bad profile")
+
+// Sample is one profiling observation: the resources an agent was given and
+// the performance (e.g. IPC) it achieved.
+type Sample struct {
+	Alloc []float64
+	Perf  float64
+}
+
+// Profile is a set of profiling observations for one agent.
+type Profile struct {
+	Samples []Sample
+}
+
+// Add appends an observation.
+func (p *Profile) Add(alloc []float64, perf float64) {
+	p.Samples = append(p.Samples, Sample{Alloc: append([]float64(nil), alloc...), Perf: perf})
+}
+
+// NumResources returns the resource dimensionality of the profile, or 0 if
+// it is empty.
+func (p *Profile) NumResources() int {
+	if len(p.Samples) == 0 {
+		return 0
+	}
+	return len(p.Samples[0].Alloc)
+}
+
+// Validate checks that the profile is non-degenerate and fit-ready: at least
+// R+2 samples, consistent dimensions, strictly positive allocations and
+// performance (required by the log transform).
+func (p *Profile) Validate() error {
+	r := p.NumResources()
+	if r == 0 {
+		return fmt.Errorf("%w: empty profile", ErrBadProfile)
+	}
+	if len(p.Samples) < r+2 {
+		return fmt.Errorf("%w: %d samples for %d resources, need at least %d", ErrBadProfile, len(p.Samples), r, r+2)
+	}
+	for i, s := range p.Samples {
+		if len(s.Alloc) != r {
+			return fmt.Errorf("%w: sample %d has %d resources, want %d", ErrBadProfile, i, len(s.Alloc), r)
+		}
+		if s.Perf <= 0 || math.IsNaN(s.Perf) || math.IsInf(s.Perf, 0) {
+			return fmt.Errorf("%w: sample %d has non-positive performance %v", ErrBadProfile, i, s.Perf)
+		}
+		for j, x := range s.Alloc {
+			if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("%w: sample %d resource %d has non-positive allocation %v", ErrBadProfile, i, j, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a fitted Cobb-Douglas model with its fit diagnostics.
+type Result struct {
+	// Utility is the fitted Cobb-Douglas utility function.
+	Utility cobb.Utility
+	// R2 is the coefficient of determination of the log-space regression
+	// (what Figure 8a plots).
+	R2 float64
+	// RMSLE is the root-mean-square error in log space.
+	RMSLE float64
+	// N is the number of samples used.
+	N int
+}
+
+// CobbDouglas fits u = α₀ ∏ x^α to the profile with least squares on the
+// log-linearized model. Elasticities are clamped at zero if the regression
+// produces a (small) negative estimate — Cobb-Douglas requires α ≥ 0 and a
+// negative estimate on this data means the resource is irrelevant, not
+// harmful.
+func CobbDouglas(p *Profile) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := p.NumResources()
+	n := len(p.Samples)
+	a := linalg.NewMatrix(n, r+1)
+	b := linalg.NewVector(n)
+	for i, s := range p.Samples {
+		a.Set(i, 0, 1)
+		for j, x := range s.Alloc {
+			a.Set(i, j+1, math.Log(x))
+		}
+		b[i] = math.Log(s.Perf)
+	}
+	ls, err := linalg.LeastSquares(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("fit: regression failed: %w", err)
+	}
+	alpha0 := math.Exp(ls.Coef[0])
+	alpha := make([]float64, r)
+	anyPositive := false
+	for j := 0; j < r; j++ {
+		alpha[j] = ls.Coef[j+1]
+		if alpha[j] < 0 {
+			alpha[j] = 0
+		}
+		if alpha[j] > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		// Performance is insensitive to every resource; represent it as a
+		// flat utility with uniform tiny elasticities so downstream
+		// mechanisms still treat the agent as having (weak, symmetric)
+		// demand rather than failing.
+		for j := range alpha {
+			alpha[j] = 1e-6
+		}
+	}
+	u, err := cobb.New(alpha0, alpha...)
+	if err != nil {
+		return nil, fmt.Errorf("fit: fitted parameters invalid: %w", err)
+	}
+	rmsle := math.Sqrt(ls.RSS / float64(n))
+	return &Result{Utility: u, R2: ls.R2, RMSLE: rmsle, N: n}, nil
+}
+
+// Predict returns the fitted model's performance prediction for an
+// allocation.
+func (r *Result) Predict(alloc []float64) float64 { return r.Utility.Eval(alloc) }
+
+// LeontiefResult is a best-effort Leontief fit, for the Cobb-Douglas-vs-
+// Leontief comparison in §2 of the paper.
+type LeontiefResult struct {
+	Utility leontief.Utility
+	// Scale converts task units to the performance metric.
+	Scale float64
+	// R2 is computed in the original (not log) space.
+	R2 float64
+}
+
+// Leontief fits u ≈ scale · min_r(x_r/d_r) by grid search over demand
+// ratios. The paper notes that fitting piecewise-linear Leontief utilities
+// to performance data is non-convex and expensive; this deliberately simple
+// O(grid^(R-1)) search makes that cost — and the resulting inferior fit on
+// substitutable resources — observable in benchmarks.
+func Leontief(p *Profile, gridPerDim int) (*LeontiefResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if gridPerDim < 2 {
+		return nil, fmt.Errorf("%w: gridPerDim %d < 2", ErrBadProfile, gridPerDim)
+	}
+	r := p.NumResources()
+	// Demand vectors are scale-free: fix d_0 = 1 and sweep the rest over a
+	// log grid spanning the data's aspect ratios.
+	lo, hi := make([]float64, r), make([]float64, r)
+	for j := 0; j < r; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+		for _, s := range p.Samples {
+			ratio := s.Alloc[j] / s.Alloc[0]
+			if ratio < lo[j] {
+				lo[j] = ratio
+			}
+			if ratio > hi[j] {
+				hi[j] = ratio
+			}
+		}
+	}
+	demand := make([]float64, r)
+	demand[0] = 1
+	best := &LeontiefResult{R2: math.Inf(-1)}
+	var sweep func(dim int)
+	sweep = func(dim int) {
+		if dim == r {
+			res := scoreLeontief(p, demand)
+			if res != nil && res.R2 > best.R2 {
+				*best = *res
+			}
+			return
+		}
+		for g := 0; g < gridPerDim; g++ {
+			f := float64(g) / float64(gridPerDim-1)
+			demand[dim] = math.Exp(math.Log(lo[dim]) + f*(math.Log(hi[dim])-math.Log(lo[dim])))
+			sweep(dim + 1)
+		}
+	}
+	sweep(1)
+	if math.IsInf(best.R2, -1) {
+		return nil, fmt.Errorf("%w: Leontief grid search found no candidate", ErrBadProfile)
+	}
+	return best, nil
+}
+
+// scoreLeontief finds the least-squares scale for a fixed demand vector and
+// returns the scored candidate, or nil if degenerate.
+func scoreLeontief(p *Profile, demand []float64) *LeontiefResult {
+	u, err := leontief.New(demand...)
+	if err != nil {
+		return nil
+	}
+	var num, den float64
+	for _, s := range p.Samples {
+		v := u.Eval(s.Alloc)
+		num += v * s.Perf
+		den += v * v
+	}
+	if den == 0 {
+		return nil
+	}
+	scale := num / den
+	var rss, tss float64
+	var mean float64
+	for _, s := range p.Samples {
+		mean += s.Perf
+	}
+	mean /= float64(len(p.Samples))
+	for _, s := range p.Samples {
+		pred := scale * u.Eval(s.Alloc)
+		rss += (s.Perf - pred) * (s.Perf - pred)
+		tss += (s.Perf - mean) * (s.Perf - mean)
+	}
+	r2 := 0.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	} else if rss <= 1e-18 {
+		r2 = 1
+	}
+	return &LeontiefResult{Utility: u, Scale: scale, R2: r2}
+}

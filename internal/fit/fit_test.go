@@ -1,0 +1,368 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/cobb"
+)
+
+// gridProfile builds a 5×5 profile like the paper's 25-architecture sweep,
+// generating performance from a known Cobb-Douglas model plus optional
+// multiplicative log-normal noise.
+func gridProfile(u cobb.Utility, noise float64, seed int64) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	bw := []float64{0.8, 1.6, 3.2, 6.4, 12.8}
+	cacheMB := []float64{0.125, 0.25, 0.5, 1, 2}
+	p := &Profile{}
+	for _, x := range bw {
+		for _, y := range cacheMB {
+			perf := u.Eval([]float64{x, y})
+			if noise > 0 {
+				perf *= math.Exp(noise * rng.NormFloat64())
+			}
+			p.Add([]float64{x, y}, perf)
+		}
+	}
+	return p
+}
+
+func TestCobbDouglasExactRecovery(t *testing.T) {
+	truth := cobb.MustNew(0.9, 0.6, 0.4)
+	res, err := CobbDouglas(gridProfile(truth, 0, 1))
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	if math.Abs(res.Utility.Alpha0-0.9) > 1e-9 {
+		t.Errorf("Alpha0 = %v, want 0.9", res.Utility.Alpha0)
+	}
+	if math.Abs(res.Utility.Alpha[0]-0.6) > 1e-9 || math.Abs(res.Utility.Alpha[1]-0.4) > 1e-9 {
+		t.Errorf("Alpha = %v, want [0.6 0.4]", res.Utility.Alpha)
+	}
+	if math.Abs(res.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", res.R2)
+	}
+	if res.N != 25 {
+		t.Errorf("N = %d, want 25", res.N)
+	}
+}
+
+func TestCobbDouglasNoisyRecovery(t *testing.T) {
+	truth := cobb.MustNew(1.2, 0.2, 0.8)
+	res, err := CobbDouglas(gridProfile(truth, 0.02, 2))
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	if math.Abs(res.Utility.Alpha[0]-0.2) > 0.05 || math.Abs(res.Utility.Alpha[1]-0.8) > 0.05 {
+		t.Errorf("Alpha = %v, want ≈[0.2 0.8]", res.Utility.Alpha)
+	}
+	if res.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95 for low-noise data", res.R2)
+	}
+	if res.RMSLE <= 0 || res.RMSLE > 0.05 {
+		t.Errorf("RMSLE = %v", res.RMSLE)
+	}
+}
+
+func TestCobbDouglasFlatWorkload(t *testing.T) {
+	// A workload insensitive to both resources (like radiosity in the
+	// paper: "negligible variance and no trend") must still produce a
+	// usable utility rather than failing.
+	p := &Profile{}
+	rng := rand.New(rand.NewSource(3))
+	for _, x := range []float64{1, 2, 4, 8} {
+		for _, y := range []float64{1, 2, 4} {
+			p.Add([]float64{x, y}, 0.88*math.Exp(0.001*rng.NormFloat64()))
+		}
+	}
+	res, err := CobbDouglas(p)
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	if err := res.Utility.Validate(); err != nil {
+		t.Fatalf("fitted utility invalid: %v", err)
+	}
+	// Elasticities must be tiny: the workload doesn't care.
+	if res.Utility.ElasticitySum() > 0.05 {
+		t.Errorf("flat workload got elasticities %v", res.Utility.Alpha)
+	}
+}
+
+func TestCobbDouglasClampsNegative(t *testing.T) {
+	// Performance that *decreases* with a resource (pathological) should
+	// clamp that elasticity to 0, not go negative.
+	p := &Profile{}
+	for _, x := range []float64{1, 2, 4, 8, 16} {
+		for _, y := range []float64{1, 2, 4} {
+			p.Add([]float64{x, y}, 2.0*math.Pow(y, 0.5)/math.Pow(x, 0.2))
+		}
+	}
+	res, err := CobbDouglas(p)
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	if res.Utility.Alpha[0] != 0 {
+		t.Errorf("Alpha[0] = %v, want clamped to 0", res.Utility.Alpha[0])
+	}
+	if math.Abs(res.Utility.Alpha[1]-0.5) > 1e-6 {
+		t.Errorf("Alpha[1] = %v, want 0.5", res.Utility.Alpha[1])
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	var empty Profile
+	if err := empty.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("empty profile: err = %v", err)
+	}
+	few := &Profile{}
+	few.Add([]float64{1, 2}, 1)
+	few.Add([]float64{2, 1}, 1)
+	if err := few.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("too-few samples: err = %v", err)
+	}
+	bad := &Profile{}
+	for i := 0; i < 6; i++ {
+		bad.Add([]float64{1, 2}, 1)
+	}
+	bad.Samples[3].Perf = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("negative perf: err = %v", err)
+	}
+	bad2 := &Profile{}
+	for i := 0; i < 6; i++ {
+		bad2.Add([]float64{1, 2}, 1)
+	}
+	bad2.Samples[2].Alloc = []float64{1}
+	if err := bad2.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("ragged sample: err = %v", err)
+	}
+	bad3 := &Profile{}
+	for i := 0; i < 6; i++ {
+		bad3.Add([]float64{1, 0}, 1)
+	}
+	if err := bad3.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("zero allocation: err = %v", err)
+	}
+}
+
+func TestCobbDouglasDegenerateDesign(t *testing.T) {
+	// All samples at the same allocation → singular design matrix.
+	p := &Profile{}
+	for i := 0; i < 8; i++ {
+		p.Add([]float64{2, 3}, 1.5)
+	}
+	if _, err := CobbDouglas(p); err == nil {
+		t.Fatal("expected error for collinear design")
+	}
+}
+
+// Property: fitting recovers random true elasticities from noiseless grids.
+func TestCobbDouglasRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := cobb.MustNew(0.2+rng.Float64()*3, 0.05+rng.Float64(), 0.05+rng.Float64())
+		res, err := CobbDouglas(gridProfile(truth, 0, seed))
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Utility.Alpha[0]-truth.Alpha[0]) < 1e-6 &&
+			math.Abs(res.Utility.Alpha[1]-truth.Alpha[1]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	truth := cobb.MustNew(1, 0.5, 0.5)
+	res, err := CobbDouglas(gridProfile(truth, 0, 4))
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	x := []float64{5, 0.7}
+	if got, want := res.Predict(x), truth.Eval(x); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestLeontiefFitRatioWorkload(t *testing.T) {
+	// A workload that genuinely consumes resources in a 2:1 ratio is fit
+	// well by Leontief.
+	u := cobb.MustNew(1, 0.5, 0.5) // used only for grid geometry
+	_ = u
+	p := &Profile{}
+	for _, x := range []float64{1, 2, 4, 8} {
+		for _, y := range []float64{0.5, 1, 2, 4} {
+			p.Add([]float64{x, y}, math.Min(x/2, y/1))
+		}
+	}
+	res, err := Leontief(p, 9)
+	if err != nil {
+		t.Fatalf("Leontief: %v", err)
+	}
+	if res.R2 < 0.98 {
+		t.Errorf("R2 = %v, want near-perfect for true Leontief data", res.R2)
+	}
+	// Recovered demand ratio d1/d0 should be ≈ 1/2 (2 bandwidth per cache).
+	ratio := res.Utility.Demand[1] / res.Utility.Demand[0]
+	if math.Abs(ratio-0.5) > 0.15 {
+		t.Errorf("demand ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestLeontiefFitsCobbDouglasPoorly(t *testing.T) {
+	// §2's argument: on substitutable (Cobb-Douglas) data, a Leontief fit
+	// is materially worse than the Cobb-Douglas fit.
+	truth := cobb.MustNew(1, 0.6, 0.4)
+	p := gridProfile(truth, 0, 5)
+	cd, err := CobbDouglas(p)
+	if err != nil {
+		t.Fatalf("CobbDouglas: %v", err)
+	}
+	lt, err := Leontief(p, 9)
+	if err != nil {
+		t.Fatalf("Leontief: %v", err)
+	}
+	if lt.R2 >= cd.R2 {
+		t.Errorf("Leontief R2 %v >= Cobb-Douglas R2 %v on substitutable data", lt.R2, cd.R2)
+	}
+	if lt.R2 > 0.98 {
+		t.Errorf("Leontief R2 %v suspiciously high on Cobb-Douglas data", lt.R2)
+	}
+}
+
+func TestLeontiefErrors(t *testing.T) {
+	p := gridProfile(cobb.MustNew(1, 0.5, 0.5), 0, 6)
+	if _, err := Leontief(p, 1); err == nil {
+		t.Error("gridPerDim=1 accepted")
+	}
+	var empty Profile
+	if _, err := Leontief(&empty, 5); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestOnlineFitterPrior(t *testing.T) {
+	f, err := NewOnlineFitter(2, 5)
+	if err != nil {
+		t.Fatalf("NewOnlineFitter: %v", err)
+	}
+	u := f.Utility()
+	if math.Abs(u.Alpha[0]-0.5) > 1e-15 || math.Abs(u.Alpha[1]-0.5) > 1e-15 {
+		t.Errorf("prior = %v, want uniform x^0.5 y^0.5", u.Alpha)
+	}
+	if f.Fitted() {
+		t.Error("Fitted() true before any data")
+	}
+}
+
+func TestOnlineFitterConverges(t *testing.T) {
+	truth := cobb.MustNew(1, 0.7, 0.3)
+	f, err := NewOnlineFitter(2, 3)
+	if err != nil {
+		t.Fatalf("NewOnlineFitter: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		alloc := []float64{0.5 + rng.Float64()*10, 0.5 + rng.Float64()*10}
+		if err := f.Observe(alloc, truth.Eval(alloc)); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if !f.Fitted() {
+		t.Fatal("fitter never refit")
+	}
+	got := f.Utility()
+	if math.Abs(got.Alpha[0]-0.7) > 1e-6 || math.Abs(got.Alpha[1]-0.3) > 1e-6 {
+		t.Errorf("converged to %v, want [0.7 0.3]", got.Alpha)
+	}
+	if f.R2() < 0.999 {
+		t.Errorf("R2 = %v", f.R2())
+	}
+	if f.Observations() != 40 {
+		t.Errorf("Observations = %d", f.Observations())
+	}
+}
+
+func TestOnlineFitterErrors(t *testing.T) {
+	if _, err := NewOnlineFitter(0, 1); err == nil {
+		t.Error("0 resources accepted")
+	}
+	f, _ := NewOnlineFitter(2, 1)
+	if err := f.Observe([]float64{1}, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := f.Observe([]float64{1, 1}, -1); err == nil {
+		t.Error("negative performance accepted")
+	}
+}
+
+func TestOnlineFitterKeepsPriorOnDegenerateData(t *testing.T) {
+	f, _ := NewOnlineFitter(2, 1)
+	// Same allocation repeatedly → regression impossible; prior retained.
+	for i := 0; i < 10; i++ {
+		if err := f.Observe([]float64{2, 2}, 1); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if f.Fitted() {
+		t.Error("fitter claimed a fit from degenerate data")
+	}
+}
+
+func TestWindowedFitterValidation(t *testing.T) {
+	if _, err := NewWindowedFitter(2, 1, -1); !errors.Is(err, ErrBadProfile) {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewWindowedFitter(2, 1, 3); !errors.Is(err, ErrBadProfile) {
+		t.Error("window below fit minimum accepted")
+	}
+	if _, err := NewWindowedFitter(2, 1, 0); err != nil {
+		t.Errorf("unbounded window rejected: %v", err)
+	}
+}
+
+func TestWindowedFitterTracksPhaseChange(t *testing.T) {
+	// The workload runs a cache-leaning phase, then flips to a
+	// bandwidth-leaning phase. A windowed fitter follows the flip; an
+	// unbounded fitter stays anchored to the average of both phases.
+	phase1 := cobb.MustNew(1, 0.2, 0.8)
+	phase2 := cobb.MustNew(1, 0.8, 0.2)
+	rng := rand.New(rand.NewSource(31))
+	observe := func(f *OnlineFitter, u cobb.Utility, n int) {
+		for i := 0; i < n; i++ {
+			alloc := []float64{0.5 + rng.Float64()*10, 0.5 + rng.Float64()*10}
+			if err := f.Observe(alloc, u.Eval(alloc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	windowed, err := NewWindowedFitter(2, 1, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := NewOnlineFitter(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observe(windowed, phase1, 40)
+	observe(unbounded, phase1, 40)
+	observe(windowed, phase2, 40)
+	observe(unbounded, phase2, 40)
+
+	wAlpha := windowed.Utility().Rescaled().Alpha[0]
+	uAlpha := unbounded.Utility().Rescaled().Alpha[0]
+	if math.Abs(wAlpha-0.8) > 0.05 {
+		t.Errorf("windowed fitter α_mem = %v after phase flip, want ≈0.8", wAlpha)
+	}
+	// The unbounded fitter is stuck between the phases.
+	if uAlpha > 0.7 {
+		t.Errorf("unbounded fitter α_mem = %v, expected it to lag the flip", uAlpha)
+	}
+	if windowed.Observations() != 24 {
+		t.Errorf("window kept %d observations, want 24", windowed.Observations())
+	}
+}

@@ -1,0 +1,108 @@
+package fit
+
+import (
+	"fmt"
+
+	"ref/internal/cobb"
+)
+
+// OnlineFitter implements the on-line profiling loop of §4.4: "Without prior
+// knowledge, a user assumes all resources contribute equally to performance.
+// Such a naive user reports utility u = x^0.5 y^0.5. As the system allocates
+// for this utility, the user profiles software performance. And as profiles
+// are accumulated for varied allocations, the user adapts its utility
+// function."
+//
+// The fitter starts from the uniform prior and refits the Cobb-Douglas model
+// whenever enough fresh observations have accumulated.
+type OnlineFitter struct {
+	resources int
+	profile   Profile
+	current   cobb.Utility
+	refitEach int
+	window    int
+	sinceFit  int
+	lastR2    float64
+	fitted    bool
+}
+
+// NewOnlineFitter returns a fitter over the given number of resources that
+// refits after every refitEach new observations (minimum 1). It remembers
+// every observation; use NewWindowedFitter when the workload's behavior
+// changes over time.
+func NewOnlineFitter(resources, refitEach int) (*OnlineFitter, error) {
+	return NewWindowedFitter(resources, refitEach, 0)
+}
+
+// NewWindowedFitter is NewOnlineFitter with a sliding observation window:
+// only the most recent `window` observations inform each refit, so the
+// estimate tracks phase changes (a workload that shifts from
+// cache-preferring to bandwidth-preferring, say) instead of averaging them
+// away. window = 0 disables the limit.
+func NewWindowedFitter(resources, refitEach, window int) (*OnlineFitter, error) {
+	if resources < 1 {
+		return nil, fmt.Errorf("%w: resources = %d", ErrBadProfile, resources)
+	}
+	if refitEach < 1 {
+		refitEach = 1
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("%w: window = %d", ErrBadProfile, window)
+	}
+	if window > 0 && window < resources+2 {
+		return nil, fmt.Errorf("%w: window %d below the %d samples a fit needs", ErrBadProfile, window, resources+2)
+	}
+	alpha := make([]float64, resources)
+	for i := range alpha {
+		alpha[i] = 1 / float64(resources)
+	}
+	u, err := cobb.New(1, alpha...)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineFitter{resources: resources, current: u, refitEach: refitEach, window: window}, nil
+}
+
+// Utility returns the current belief: the uniform prior before enough data
+// has arrived, the latest fitted model afterwards.
+func (f *OnlineFitter) Utility() cobb.Utility { return f.current }
+
+// Fitted reports whether at least one successful refit has replaced the
+// prior.
+func (f *OnlineFitter) Fitted() bool { return f.fitted }
+
+// R2 returns the goodness of fit of the most recent refit (0 before any).
+func (f *OnlineFitter) R2() float64 { return f.lastR2 }
+
+// Observations returns the number of accumulated samples.
+func (f *OnlineFitter) Observations() int { return len(f.profile.Samples) }
+
+// Observe records a (allocation, performance) observation and refits when
+// due. Refitting silently keeps the previous model if the regression cannot
+// run yet (too few samples or a degenerate design matrix), which matches the
+// adaptive behavior the paper sketches.
+func (f *OnlineFitter) Observe(alloc []float64, perf float64) error {
+	if len(alloc) != f.resources {
+		return fmt.Errorf("%w: observation has %d resources, fitter has %d", ErrBadProfile, len(alloc), f.resources)
+	}
+	if perf <= 0 {
+		return fmt.Errorf("%w: non-positive performance %v", ErrBadProfile, perf)
+	}
+	f.profile.Add(alloc, perf)
+	if f.window > 0 && len(f.profile.Samples) > f.window {
+		f.profile.Samples = f.profile.Samples[len(f.profile.Samples)-f.window:]
+	}
+	f.sinceFit++
+	if f.sinceFit < f.refitEach {
+		return nil
+	}
+	f.sinceFit = 0
+	res, err := CobbDouglas(&f.profile)
+	if err != nil {
+		return nil // keep prior belief; not an error for the caller
+	}
+	f.current = res.Utility
+	f.lastR2 = res.R2
+	f.fitted = true
+	return nil
+}

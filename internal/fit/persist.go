@@ -1,0 +1,79 @@
+package fit
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the profile as CSV: a header naming R resource
+// columns plus "perf", then one row per sample. Profiling is the expensive
+// step of the REF pipeline (§4.4); persisting profiles lets utilities be
+// refit offline without re-running the platform.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	r := p.NumResources()
+	header := make([]string, r+1)
+	for j := 0; j < r; j++ {
+		header[j] = fmt.Sprintf("resource%d", j)
+	}
+	header[r] = "perf"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("fit: write header: %w", err)
+	}
+	row := make([]string, r+1)
+	for _, s := range p.Samples {
+		for j, x := range s.Alloc {
+			row[j] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		row[r] = strconv.FormatFloat(s.Perf, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("fit: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("fit: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a profile written by WriteCSV (or by any tool emitting the
+// same shape: R resource columns then a perf column, with a header row).
+func ReadCSV(r io.Reader) (*Profile, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%w: need a header and at least one row", ErrBadProfile)
+	}
+	cols := len(records[0])
+	if cols < 2 {
+		return nil, fmt.Errorf("%w: need at least one resource column and perf", ErrBadProfile)
+	}
+	p := &Profile{}
+	for i, rec := range records[1:] {
+		if len(rec) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadProfile, i+1, len(rec), cols)
+		}
+		vals := make([]float64, cols)
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d field %d: %v", ErrBadProfile, i+1, j, err)
+			}
+			vals[j] = v
+		}
+		p.Add(vals[:cols-1], vals[cols-1])
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,85 @@
+package fit
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ref/internal/cobb"
+)
+
+func TestProfileCSVRoundTrip(t *testing.T) {
+	truth := cobb.MustNew(1.3, 0.45, 0.55)
+	p := gridProfile(truth, 0.01, 9)
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(p.Samples) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(got.Samples), len(p.Samples))
+	}
+	for i := range p.Samples {
+		if got.Samples[i].Perf != p.Samples[i].Perf {
+			t.Fatalf("sample %d perf %v != %v", i, got.Samples[i].Perf, p.Samples[i].Perf)
+		}
+		for j := range p.Samples[i].Alloc {
+			if got.Samples[i].Alloc[j] != p.Samples[i].Alloc[j] {
+				t.Fatalf("sample %d alloc differs", i)
+			}
+		}
+	}
+	// The fit from the round-tripped profile is identical.
+	a, err := CobbDouglas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CobbDouglas(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Utility.Alpha {
+		if math.Abs(a.Utility.Alpha[j]-b.Utility.Alpha[j]) > 1e-12 {
+			t.Fatalf("fit differs after round trip")
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalidProfile(t *testing.T) {
+	var empty Profile
+	var buf bytes.Buffer
+	if err := empty.WriteCSV(&buf); !errors.Is(err, ErrBadProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"header only":     "resource0,perf\n",
+		"one column":      "perf\n1\n2\n3\n4\n",
+		"non-numeric":     "resource0,resource1,perf\n1,2,x\n1,2,3\n1,2,3\n1,2,3\n1,2,3\n",
+		"negative perf":   "resource0,resource1,perf\n1,2,-3\n1,2,3\n2,1,3\n2,2,3\n1,1,3\n",
+		"zero allocation": "resource0,resource1,perf\n0,2,3\n1,2,3\n2,1,3\n2,2,3\n1,1,3\n",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(data)); !errors.Is(err, ErrBadProfile) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	// encoding/csv itself flags ragged rows.
+	data := "resource0,resource1,perf\n1,2,3\n1,2\n"
+	if _, err := ReadCSV(strings.NewReader(data)); !errors.Is(err, ErrBadProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package gp implements the small geometric-programming (GP) toolkit the
+// REF paper's evaluation leans on. Footnote 2 of the paper: "Cobb-Douglas
+// is a monomial function … and geometric programming can maximize
+// monomials"; the authors used CVX. This package provides the same
+// modeling surface in pure Go:
+//
+//   - Monomial      c·∏ x_i^{a_i}, c > 0
+//   - Posynomial    sum of monomials
+//   - Program       maximize a monomial subject to posynomial ≤ 1
+//     constraints over positive variables
+//
+// After the standard log transform y = log x, a monomial becomes affine and
+// a posynomial-≤-1 constraint becomes log-sum-exp(affine) ≤ 0, which is
+// convex; Solve runs penalized gradient ascent in y-space with the same
+// best-feasible-iterate tracking as internal/opt. The solver is validated
+// in tests against closed forms, including the REF Nash-welfare program.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadProgram reports a malformed GP model.
+var ErrBadProgram = errors.New("gp: bad program")
+
+// ErrNoConvergence reports that the iteration budget ended infeasible.
+var ErrNoConvergence = errors.New("gp: did not converge")
+
+// Monomial is c·∏ x_i^{Exp[i]} with positive coefficient c.
+type Monomial struct {
+	Coeff float64
+	Exp   []float64
+}
+
+// Validate checks the monomial against a variable count.
+func (m Monomial) Validate(nVars int) error {
+	if m.Coeff <= 0 || math.IsNaN(m.Coeff) || math.IsInf(m.Coeff, 0) {
+		return fmt.Errorf("%w: monomial coefficient %v must be positive and finite", ErrBadProgram, m.Coeff)
+	}
+	if len(m.Exp) != nVars {
+		return fmt.Errorf("%w: monomial has %d exponents, program has %d variables", ErrBadProgram, len(m.Exp), nVars)
+	}
+	for i, e := range m.Exp {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("%w: exponent[%d] = %v", ErrBadProgram, i, e)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the monomial at x (componentwise positive).
+func (m Monomial) Eval(x []float64) float64 {
+	v := math.Log(m.Coeff)
+	for i, e := range m.Exp {
+		if e == 0 {
+			continue
+		}
+		if x[i] <= 0 {
+			return 0
+		}
+		v += e * math.Log(x[i])
+	}
+	return math.Exp(v)
+}
+
+// logEval returns log of the monomial at y = log x: affine in y.
+func (m Monomial) logEval(y []float64) float64 {
+	v := math.Log(m.Coeff)
+	for i, e := range m.Exp {
+		v += e * y[i]
+	}
+	return v
+}
+
+// Posynomial is a sum of monomials.
+type Posynomial []Monomial
+
+// Validate checks all terms.
+func (p Posynomial) Validate(nVars int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("%w: empty posynomial", ErrBadProgram)
+	}
+	for i, m := range p {
+		if err := m.Validate(nVars); err != nil {
+			return fmt.Errorf("term %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the posynomial at x.
+func (p Posynomial) Eval(x []float64) float64 {
+	var s float64
+	for _, m := range p {
+		s += m.Eval(x)
+	}
+	return s
+}
+
+// logSumExp returns log Σ exp(logEval terms) at y, with the max-shift trick.
+func (p Posynomial) logSumExp(y []float64) float64 {
+	maxv := math.Inf(-1)
+	for _, m := range p {
+		if v := m.logEval(y); v > maxv {
+			maxv = v
+		}
+	}
+	var s float64
+	for _, m := range p {
+		s += math.Exp(m.logEval(y) - maxv)
+	}
+	return maxv + math.Log(s)
+}
+
+// lseGrad accumulates the gradient of logSumExp at y into grad, scaled.
+func (p Posynomial) lseGrad(y []float64, scale float64, grad []float64) {
+	maxv := math.Inf(-1)
+	for _, m := range p {
+		if v := m.logEval(y); v > maxv {
+			maxv = v
+		}
+	}
+	var z float64
+	ws := make([]float64, len(p))
+	for i, m := range p {
+		ws[i] = math.Exp(m.logEval(y) - maxv)
+		z += ws[i]
+	}
+	for i, m := range p {
+		w := ws[i] / z
+		for j, e := range m.Exp {
+			grad[j] += scale * w * e
+		}
+	}
+}
+
+// Program is a GP in the paper's form: maximize a monomial objective over
+// positive variables subject to posynomial upper bounds.
+type Program struct {
+	nVars     int
+	objective *Monomial
+	bounds    []Posynomial
+}
+
+// New creates a program over nVars positive variables.
+func New(nVars int) (*Program, error) {
+	if nVars <= 0 {
+		return nil, fmt.Errorf("%w: %d variables", ErrBadProgram, nVars)
+	}
+	return &Program{nVars: nVars}, nil
+}
+
+// MaximizeMonomial sets the objective.
+func (p *Program) MaximizeMonomial(m Monomial) error {
+	if err := m.Validate(p.nVars); err != nil {
+		return err
+	}
+	p.objective = &m
+	return nil
+}
+
+// AddUpperBound adds the constraint pos(x) ≤ 1.
+func (p *Program) AddUpperBound(pos Posynomial) error {
+	if err := pos.Validate(p.nVars); err != nil {
+		return err
+	}
+	p.bounds = append(p.bounds, append(Posynomial(nil), pos...))
+	return nil
+}
+
+// AddLinearCapacity adds Σ_i coeff_i·x_i ≤ capacity as a posynomial bound.
+func (p *Program) AddLinearCapacity(coeff []float64, capacity float64) error {
+	if len(coeff) != p.nVars {
+		return fmt.Errorf("%w: %d coefficients for %d variables", ErrBadProgram, len(coeff), p.nVars)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("%w: capacity %v", ErrBadProgram, capacity)
+	}
+	var pos Posynomial
+	for i, c := range coeff {
+		if c == 0 {
+			continue
+		}
+		if c < 0 {
+			return fmt.Errorf("%w: negative coefficient %v (posynomials need positive terms)", ErrBadProgram, c)
+		}
+		exp := make([]float64, p.nVars)
+		exp[i] = 1
+		pos = append(pos, Monomial{Coeff: c / capacity, Exp: exp})
+	}
+	if len(pos) == 0 {
+		return fmt.Errorf("%w: all-zero capacity row", ErrBadProgram)
+	}
+	return p.AddUpperBound(pos)
+}
+
+// Config tunes Solve.
+type Config struct {
+	// MaxIters bounds iterations (default 40000).
+	MaxIters int
+	// Step is the base step size (default 0.1); decays as Step/√t.
+	Step float64
+	// Penalty is the constraint penalty weight (default 100), annealed
+	// upward 10× across the run.
+	Penalty float64
+	// Tol is the feasibility tolerance on log-sum-exp values (default
+	// 1e-6).
+	Tol float64
+	// Init optionally sets the starting point (positive values).
+	Init []float64
+}
+
+// Report describes a solve.
+type Report struct {
+	Iters        int
+	Objective    float64
+	MaxViolation float64
+	Converged    bool
+}
+
+// Solve maximizes the objective, returning the variable assignment.
+func (p *Program) Solve(cfg Config) ([]float64, *Report, error) {
+	if p.objective == nil {
+		return nil, nil, fmt.Errorf("%w: no objective", ErrBadProgram)
+	}
+	if len(p.bounds) == 0 {
+		return nil, nil, fmt.Errorf("%w: unbounded (no constraints)", ErrBadProgram)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 40000
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 0.1
+	}
+	if cfg.Penalty <= 0 {
+		cfg.Penalty = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	n := p.nVars
+	y := make([]float64, n)
+	if cfg.Init != nil {
+		if len(cfg.Init) != n {
+			return nil, nil, fmt.Errorf("%w: init has %d entries, want %d", ErrBadProgram, len(cfg.Init), n)
+		}
+		for i, v := range cfg.Init {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("%w: init[%d] = %v must be positive", ErrBadProgram, i, v)
+			}
+			y[i] = math.Log(v)
+		}
+	}
+	grad := make([]float64, n)
+	best := append([]float64(nil), y...)
+	bestObj := math.Inf(-1)
+	bestViol := math.Inf(1)
+	evalAt := func(y []float64) (obj, viol float64) {
+		obj = p.objective.logEval(y)
+		for _, b := range p.bounds {
+			if v := b.logSumExp(y); v > viol {
+				viol = v
+			}
+		}
+		return obj, viol
+	}
+	consider := func(y []float64) {
+		obj, viol := evalAt(y)
+		if viol <= cfg.Tol {
+			if bestViol > cfg.Tol || obj > bestObj {
+				copy(best, y)
+				bestObj, bestViol = obj, viol
+			}
+		} else if bestViol > cfg.Tol && viol < bestViol {
+			copy(best, y)
+			bestObj, bestViol = obj, viol
+		}
+	}
+	consider(y)
+	iters := 0
+	for t := 0; t < cfg.MaxIters; t++ {
+		iters = t + 1
+		copy(grad, p.objective.Exp)
+		rho := cfg.Penalty * (1 + 9*float64(t)/float64(cfg.MaxIters))
+		for _, b := range p.bounds {
+			if v := b.logSumExp(y); v > 0 {
+				b.lseGrad(y, -rho, grad)
+			}
+		}
+		// Scale-free diminishing step.
+		var gmax float64
+		for _, g := range grad {
+			if a := math.Abs(g); a > gmax {
+				gmax = a
+			}
+		}
+		if gmax == 0 {
+			break
+		}
+		step := cfg.Step / math.Sqrt(float64(t+1)) / gmax
+		for i := range y {
+			y[i] += step * grad[i]
+		}
+		if t%25 == 0 || t == cfg.MaxIters-1 {
+			consider(y)
+		}
+	}
+	obj, viol := evalAt(best)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Exp(best[i])
+	}
+	rep := &Report{Iters: iters, Objective: math.Exp(obj), MaxViolation: viol, Converged: viol <= cfg.Tol}
+	if !rep.Converged {
+		return x, rep, fmt.Errorf("%w: max log violation %.3g after %d iterations", ErrNoConvergence, viol, iters)
+	}
+	return x, rep, nil
+}

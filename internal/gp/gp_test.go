@@ -1,0 +1,236 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/opt"
+)
+
+func mono(c float64, exp ...float64) Monomial { return Monomial{Coeff: c, Exp: exp} }
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); !errors.Is(err, ErrBadProgram) {
+		t.Error("0 variables accepted")
+	}
+	p, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MaximizeMonomial(mono(-1, 1, 0)); !errors.Is(err, ErrBadProgram) {
+		t.Error("negative coefficient accepted")
+	}
+	if err := p.MaximizeMonomial(mono(1, 1)); !errors.Is(err, ErrBadProgram) {
+		t.Error("wrong arity accepted")
+	}
+	if err := p.AddUpperBound(nil); !errors.Is(err, ErrBadProgram) {
+		t.Error("empty posynomial accepted")
+	}
+	if err := p.AddLinearCapacity([]float64{1}, 5); !errors.Is(err, ErrBadProgram) {
+		t.Error("wrong-length capacity accepted")
+	}
+	if err := p.AddLinearCapacity([]float64{1, -1}, 5); !errors.Is(err, ErrBadProgram) {
+		t.Error("negative capacity coefficient accepted")
+	}
+	if err := p.AddLinearCapacity([]float64{0, 0}, 5); !errors.Is(err, ErrBadProgram) {
+		t.Error("all-zero capacity row accepted")
+	}
+	if _, _, err := p.Solve(Config{}); !errors.Is(err, ErrBadProgram) {
+		t.Error("missing objective accepted")
+	}
+	if err := p.MaximizeMonomial(mono(1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Solve(Config{}); !errors.Is(err, ErrBadProgram) {
+		t.Error("unconstrained program accepted")
+	}
+}
+
+func TestSolveSimpleBound(t *testing.T) {
+	// max x s.t. x ≤ 5.
+	p, _ := New(1)
+	if err := p.MaximizeMonomial(mono(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	x, rep, err := p.Solve(Config{})
+	if err != nil {
+		t.Fatalf("Solve: %v (%+v)", err, rep)
+	}
+	if math.Abs(x[0]-5) > 0.02 {
+		t.Errorf("x = %v, want 5", x[0])
+	}
+	if math.Abs(rep.Objective-5) > 0.02 {
+		t.Errorf("objective = %v", rep.Objective)
+	}
+}
+
+func TestSolveProductUnderSum(t *testing.T) {
+	// max x·y s.t. x + y ≤ 4 → x = y = 2 (AM-GM).
+	p, _ := New(2)
+	if err := p.MaximizeMonomial(mono(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{1, 1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := p.Solve(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 0.02 || math.Abs(x[1]-2) > 0.02 {
+		t.Errorf("x = %v, want (2, 2)", x)
+	}
+}
+
+func TestSolveWeightedProduct(t *testing.T) {
+	// max x^0.6·y^0.4 s.t. x + y ≤ 10 → x = 6, y = 4 (Cobb-Douglas
+	// budget shares — the structure underlying Equation 13).
+	p, _ := New(2)
+	if err := p.MaximizeMonomial(mono(1, 0.6, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{1, 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := p.Solve(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-6) > 0.05 || math.Abs(x[1]-4) > 0.05 {
+		t.Errorf("x = %v, want (6, 4)", x)
+	}
+}
+
+// The REF program as a GP: maximize ∏_i û_i(x_i) subject to per-resource
+// capacity. The GP solution must match the Equation 13 closed form — this
+// is the paper's CVX pathway reproduced end to end.
+func TestSolveREFNashProgram(t *testing.T) {
+	// Two agents, two resources: variables x11, x12, x21, x22.
+	alphas := [][]float64{{0.6, 0.4}, {0.2, 0.8}}
+	capacity := []float64{24, 12}
+	p, _ := New(4)
+	obj := mono(1, alphas[0][0], alphas[0][1], alphas[1][0], alphas[1][1])
+	if err := p.MaximizeMonomial(obj); err != nil {
+		t.Fatal(err)
+	}
+	// Resource 0: x11 + x21 ≤ 24; resource 1: x12 + x22 ≤ 12.
+	if err := p.AddLinearCapacity([]float64{1, 0, 1, 0}, capacity[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{0, 1, 0, 1}, capacity[1]); err != nil {
+		t.Fatal(err)
+	}
+	x, rep, err := p.Solve(Config{MaxIters: 60000})
+	if err != nil {
+		t.Fatalf("Solve: %v (%+v)", err, rep)
+	}
+	want, err := opt.Proportional(alphas, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := [][]float64{{x[0], x[1]}, {x[2], x[3]}}
+	for i := range want {
+		for r := range want[i] {
+			if math.Abs(got[i][r]-want[i][r]) > 0.05*capacity[r] {
+				t.Errorf("x[%d][%d] = %v, closed form %v", i, r, got[i][r], want[i][r])
+			}
+		}
+	}
+}
+
+func TestSolveGeneralPosynomialBound(t *testing.T) {
+	// max x·y s.t. x·y² + x ≤ 8 (a genuinely posynomial constraint).
+	p, _ := New(2)
+	if err := p.MaximizeMonomial(mono(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	pos := Posynomial{mono(1.0/8, 1, 2), mono(1.0/8, 1, 0)}
+	if err := p.AddUpperBound(pos); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := p.Solve(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility at the returned point.
+	if v := pos.Eval(x); v > 1.001 {
+		t.Errorf("constraint value %v > 1", v)
+	}
+	// Analytic optimum: maximize log x + log y s.t. x(y²+1) ≤ 8. At the
+	// boundary x = 8/(y²+1); objective ∝ y/(y²+1) maximized at y = 1,
+	// x = 4 → obj 4.
+	if math.Abs(x[1]-1) > 0.05 || math.Abs(x[0]-4) > 0.2 {
+		t.Errorf("x = %v, want ≈(4, 1)", x)
+	}
+}
+
+func TestSolveWithInit(t *testing.T) {
+	p, _ := New(1)
+	if err := p.MaximizeMonomial(mono(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Solve(Config{Init: []float64{-1}}); !errors.Is(err, ErrBadProgram) {
+		t.Error("negative init accepted")
+	}
+	if _, _, err := p.Solve(Config{Init: []float64{1, 2}}); !errors.Is(err, ErrBadProgram) {
+		t.Error("wrong-length init accepted")
+	}
+	x, _, err := p.Solve(Config{Init: []float64{2.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 0.02 {
+		t.Errorf("x = %v", x[0])
+	}
+}
+
+func TestMonomialEval(t *testing.T) {
+	m := mono(2, 1, 0.5)
+	if got := m.Eval([]float64{3, 4}); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Eval = %v, want 12", got)
+	}
+	if got := m.Eval([]float64{0, 4}); got != 0 {
+		t.Errorf("Eval at zero = %v", got)
+	}
+}
+
+// Property: for random Cobb-Douglas budget problems, the GP solution tracks
+// the closed-form budget shares.
+func TestBudgetShareProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-heavy")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + 0.8*rng.Float64()
+		budget := 1 + rng.Float64()*20
+		p, err := New(2)
+		if err != nil {
+			return false
+		}
+		if err := p.MaximizeMonomial(mono(1, a, 1-a)); err != nil {
+			return false
+		}
+		if err := p.AddLinearCapacity([]float64{1, 1}, budget); err != nil {
+			return false
+		}
+		x, _, err := p.Solve(Config{MaxIters: 20000})
+		if err != nil {
+			return false
+		}
+		return math.Abs(x[0]-a*budget) < 0.03*budget &&
+			math.Abs(x[1]-(1-a)*budget) < 0.03*budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package leontief implements Leontief (perfect-complement) utility
+// functions and the Dominant Resource Fairness (DRF) allocation mechanism of
+// Ghodsi et al. (NSDI 2011). The REF paper argues that Leontief preferences,
+// while adequate for coarse-grained distributed-system resources, cannot
+// capture the diminishing returns and substitution effects of
+// micro-architectural resources (§2, §3.3). This package exists so the
+// comparison can be made concrete: fitting quality, indifference-curve
+// geometry, and allocation outcomes are contrasted against Cobb-Douglas in
+// tests and benchmarks.
+package leontief
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidDemand reports a malformed Leontief demand vector.
+var ErrInvalidDemand = errors.New("leontief: invalid demand vector")
+
+// Utility is a Leontief utility u(x) = min_r x_r / Demand[r].
+//
+// Demand is the agent's fixed resource ratio — e.g. ⟨2 GB/s, 1 MB⟩ means the
+// agent consumes bandwidth and cache in a 2:1 ratio and extra allocation of
+// either resource beyond that ratio is wasted.
+type Utility struct {
+	Demand []float64
+}
+
+// New validates and constructs a Leontief utility.
+func New(demand ...float64) (Utility, error) {
+	if len(demand) == 0 {
+		return Utility{}, fmt.Errorf("%w: empty", ErrInvalidDemand)
+	}
+	for r, d := range demand {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+			return Utility{}, fmt.Errorf("%w: Demand[%d] = %v, must be positive and finite", ErrInvalidDemand, r, d)
+		}
+	}
+	return Utility{Demand: append([]float64(nil), demand...)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(demand ...float64) Utility {
+	u, err := New(demand...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Eval returns min_r x_r / Demand[r], the number of complete "task units"
+// the allocation supports.
+func (u Utility) Eval(x []float64) float64 {
+	if len(x) != len(u.Demand) {
+		panic(fmt.Sprintf("leontief: Eval with %d resources, utility has %d", len(x), len(u.Demand)))
+	}
+	m := math.Inf(1)
+	for r, d := range u.Demand {
+		if v := x[r] / d; v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NumResources returns the number of resources.
+func (u Utility) NumResources() int { return len(u.Demand) }
+
+// MRS returns the marginal rate of substitution of resource r for s. For
+// Leontief preferences it is 0 when r is the (strictly) binding resource and
+// +Inf otherwise — there is never an interior trade-off, which is exactly
+// why the paper rejects Leontief for substitutable hardware resources.
+func (u Utility) MRS(r, s int, x []float64) float64 {
+	if r < 0 || r >= len(u.Demand) || s < 0 || s >= len(u.Demand) {
+		panic(fmt.Sprintf("leontief: MRS index out of range (r=%d, s=%d, R=%d)", r, s, len(u.Demand)))
+	}
+	vr := x[r] / u.Demand[r]
+	vs := x[s] / u.Demand[s]
+	switch {
+	case vr < vs:
+		// r binds: gaining r increases utility, losing s (slack) costs
+		// nothing — the agent would trade unboundedly.
+		return math.Inf(1)
+	case vr > vs:
+		return 0
+	default:
+		return math.NaN() // kink point: MRS undefined
+	}
+}
+
+// DominantShare returns the agent's dominant share under total capacities
+// cap: max_r x_r / cap_r — the quantity DRF equalizes across agents.
+func (u Utility) DominantShare(x, cap []float64) float64 {
+	if len(x) != len(u.Demand) || len(cap) != len(u.Demand) {
+		panic("leontief: DominantShare dimension mismatch")
+	}
+	m := 0.0
+	for r := range x {
+		if s := x[r] / cap[r]; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// DRF computes the Dominant Resource Fairness allocation for agents with
+// Leontief demands sharing capacities cap. It is the water-filling
+// formulation: every agent receives tasks in proportion so that all agents'
+// dominant shares are equal and at least one resource is saturated.
+//
+// For agent i with demand d_i, the dominant resource is argmax_r d_ir/cap_r
+// with dominant demand s_i = max_r d_ir/cap_r. Giving each agent t_i task
+// units uses Σ_i t_i·d_ir of resource r. Equalizing dominant shares means
+// t_i·s_i = λ for all i; the largest feasible λ saturates some resource:
+//
+//	λ = min_r cap_r / Σ_i (d_ir / s_i)
+//
+// The returned matrix has one row per agent with that agent's per-resource
+// allocation x_ir = (λ/s_i)·d_ir.
+func DRF(agents []Utility, cap []float64) ([][]float64, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrInvalidDemand)
+	}
+	r := len(cap)
+	for i, a := range agents {
+		if a.NumResources() != r {
+			return nil, fmt.Errorf("%w: agent %d has %d resources, capacities have %d", ErrInvalidDemand, i, a.NumResources(), r)
+		}
+	}
+	for j, c := range cap {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: capacity[%d] = %v", ErrInvalidDemand, j, c)
+		}
+	}
+	// Dominant demand per agent.
+	s := make([]float64, len(agents))
+	for i, a := range agents {
+		for j, d := range a.Demand {
+			if v := d / cap[j]; v > s[i] {
+				s[i] = v
+			}
+		}
+	}
+	// Saturation level.
+	lambda := math.Inf(1)
+	for j := 0; j < r; j++ {
+		var use float64
+		for i, a := range agents {
+			use += a.Demand[j] / s[i]
+		}
+		if use > 0 {
+			if v := cap[j] / use; v < lambda {
+				lambda = v
+			}
+		}
+	}
+	out := make([][]float64, len(agents))
+	for i, a := range agents {
+		row := make([]float64, r)
+		for j, d := range a.Demand {
+			row[j] = lambda / s[i] * d
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// String renders the utility as min(x0/d0, x1/d1, ...).
+func (u Utility) String() string {
+	s := "min("
+	for r, d := range u.Demand {
+		if r > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("x%d/%.3g", r, d)
+	}
+	return s + ")"
+}

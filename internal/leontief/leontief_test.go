@@ -1,0 +1,210 @@
+package leontief
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty demand accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Error("NaN demand accepted")
+	}
+	if _, err := New(2, 1); err != nil {
+		t.Errorf("valid demand rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestEvalPaperEquation8(t *testing.T) {
+	// §3.3: u1 = min{x1, 2y1}, i.e. demand (2 GB/s, 1 MB) scaled: demand
+	// vector (1, 0.5) gives min(x/1, y/0.5) = min(x, 2y).
+	u := MustNew(1, 0.5)
+	// (4 GB/s, 2 MB) and disproportional (10, 2), (4, 10) all give 4.
+	if got := u.Eval([]float64{4, 2}); got != 4 {
+		t.Errorf("u(4,2) = %v, want 4", got)
+	}
+	if got := u.Eval([]float64{10, 2}); got != 4 {
+		t.Errorf("u(10,2) = %v, want 4 (extra bandwidth wasted)", got)
+	}
+	if got := u.Eval([]float64{4, 10}); got != 4 {
+		t.Errorf("u(4,10) = %v, want 4 (extra cache wasted)", got)
+	}
+}
+
+func TestMRSKinked(t *testing.T) {
+	u := MustNew(1, 0.5)
+	// At (10, 2): x/1=10, y/0.5=4, so y binds. MRS of y for x is +Inf,
+	// MRS of x for y is 0.
+	if got := u.MRS(1, 0, []float64{10, 2}); !math.IsInf(got, 1) {
+		t.Errorf("MRS(binding, slack) = %v, want +Inf", got)
+	}
+	if got := u.MRS(0, 1, []float64{10, 2}); got != 0 {
+		t.Errorf("MRS(slack, binding) = %v, want 0", got)
+	}
+	// At the kink the MRS is undefined.
+	if got := u.MRS(0, 1, []float64{4, 2}); !math.IsNaN(got) {
+		t.Errorf("MRS at kink = %v, want NaN", got)
+	}
+}
+
+func TestDominantShare(t *testing.T) {
+	u := MustNew(2, 1)
+	cap := []float64{24, 12}
+	// Allocation (6, 1): shares 6/24=0.25, 1/12≈0.083 → dominant 0.25.
+	if got := u.DominantShare([]float64{6, 1}, cap); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("DominantShare = %v, want 0.25", got)
+	}
+}
+
+func TestDRFTwoAgents(t *testing.T) {
+	// Classic DRF example (Ghodsi et al. §4.1 rescaled): capacities
+	// (9 CPU, 18 GB); agent A demands (1, 4), agent B demands (3, 1).
+	a := MustNew(1, 4)
+	b := MustNew(3, 1)
+	alloc, err := DRF([]Utility{a, b}, []float64{9, 18})
+	if err != nil {
+		t.Fatalf("DRF: %v", err)
+	}
+	// Known solution: A runs 3 tasks (3 CPU, 12 GB), B runs 2 tasks
+	// (6 CPU, 2 GB); both dominant shares are 2/3... (A: 12/18 = 2/3,
+	// B: 6/9 = 2/3) and CPU saturates.
+	if math.Abs(alloc[0][0]-3) > 1e-9 || math.Abs(alloc[0][1]-12) > 1e-9 {
+		t.Errorf("agent A alloc = %v, want [3 12]", alloc[0])
+	}
+	if math.Abs(alloc[1][0]-6) > 1e-9 || math.Abs(alloc[1][1]-2) > 1e-9 {
+		t.Errorf("agent B alloc = %v, want [6 2]", alloc[1])
+	}
+}
+
+func TestDRFEqualDominantShares(t *testing.T) {
+	cap := []float64{24, 12}
+	agents := []Utility{MustNew(2, 1), MustNew(1, 3), MustNew(5, 2)}
+	alloc, err := DRF(agents, cap)
+	if err != nil {
+		t.Fatalf("DRF: %v", err)
+	}
+	s0 := agents[0].DominantShare(alloc[0], cap)
+	for i := 1; i < len(agents); i++ {
+		si := agents[i].DominantShare(alloc[i], cap)
+		if math.Abs(si-s0) > 1e-9 {
+			t.Errorf("dominant shares differ: %v vs %v", si, s0)
+		}
+	}
+}
+
+// Property: DRF never over-allocates any resource and saturates at least one.
+func TestDRFCapacityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		r := 1 + rng.Intn(4)
+		cap := make([]float64, r)
+		for j := range cap {
+			cap[j] = 1 + rng.Float64()*100
+		}
+		agents := make([]Utility, n)
+		for i := range agents {
+			d := make([]float64, r)
+			for j := range d {
+				d[j] = 0.1 + rng.Float64()*5
+			}
+			agents[i] = MustNew(d...)
+		}
+		alloc, err := DRF(agents, cap)
+		if err != nil {
+			return false
+		}
+		saturated := false
+		for j := 0; j < r; j++ {
+			var use float64
+			for i := range agents {
+				use += alloc[i][j]
+			}
+			if use > cap[j]*(1+1e-9) {
+				return false
+			}
+			if use > cap[j]*(1-1e-9) {
+				saturated = true
+			}
+		}
+		return saturated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DRF allocations keep each agent's resources in its demand ratio
+// (no waste inside an allocation).
+func TestDRFDemandRatioProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		cap := []float64{10 + rng.Float64()*50, 10 + rng.Float64()*50}
+		agents := make([]Utility, n)
+		for i := range agents {
+			agents[i] = MustNew(0.1+rng.Float64()*3, 0.1+rng.Float64()*3)
+		}
+		alloc, err := DRF(agents, cap)
+		if err != nil {
+			return false
+		}
+		for i, a := range agents {
+			want := a.Demand[0] / a.Demand[1]
+			got := alloc[i][0] / alloc[i][1]
+			if math.Abs(got-want) > 1e-9*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRFErrors(t *testing.T) {
+	if _, err := DRF(nil, []float64{1}); err == nil {
+		t.Error("no agents accepted")
+	}
+	if _, err := DRF([]Utility{MustNew(1, 1)}, []float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := DRF([]Utility{MustNew(1)}, []float64{0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestEvalDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1, 1).Eval([]float64{1})
+}
+
+func TestString(t *testing.T) {
+	if s := MustNew(2, 1).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

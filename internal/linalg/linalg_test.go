@@ -1,0 +1,428 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestVectorNorm2Extremes(t *testing.T) {
+	// Norm2 must not overflow for large entries or lose tiny entries.
+	big := Vector{1e200, 1e200}
+	if got := big.Norm2(); math.IsInf(got, 0) {
+		t.Errorf("Norm2 overflowed: %v", got)
+	}
+	small := Vector{1e-200, 1e-200}
+	if got := small.Norm2(); got == 0 {
+		t.Errorf("Norm2 underflowed to zero")
+	}
+}
+
+func TestVectorArith(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{10, 20}
+	if got := v.Add(w); !vecAlmostEq(got, Vector{11, 22}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !vecAlmostEq(got, Vector{9, 18}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(3); !vecAlmostEq(got, Vector{3, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	u := v.Clone()
+	u.AXPY(2, w)
+	if !vecAlmostEq(u, Vector{21, 42}, 0) {
+		t.Errorf("AXPY = %v", u)
+	}
+	// v must be unchanged by the non-mutating ops.
+	if !vecAlmostEq(v, Vector{1, 2}, 0) {
+		t.Errorf("v mutated: %v", v)
+	}
+}
+
+func TestVectorStats(t *testing.T) {
+	v := Vector{2, 8, 5}
+	if got := v.Sum(); got != 15 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := v.Mean(); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := v.Min(); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(); got != 8 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := (Vector{}).Mean(); got != 0 {
+		t.Errorf("empty Mean = %v", got)
+	}
+}
+
+func TestVectorAllFinite(t *testing.T) {
+	if !(Vector{1, 2, 3}).AllFinite() {
+		t.Error("finite vector reported as non-finite")
+	}
+	if (Vector{1, math.NaN()}).AllFinite() {
+		t.Error("NaN not detected")
+	}
+	if (Vector{math.Inf(1)}).AllFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set failed")
+	}
+	if got := m.Row(1); !vecAlmostEq(got, Vector{4, 5, 6}, 0) {
+		t.Errorf("Row = %v", got)
+	}
+	if got := m.Col(1); !vecAlmostEq(got, Vector{2, 5}, 0) {
+		t.Errorf("Col = %v", got)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	mt := m.T()
+	if mt.Rows() != 2 || mt.Cols() != 3 {
+		t.Fatalf("T shape = %dx%d", mt.Rows(), mt.Cols())
+	}
+	if mt.At(0, 2) != 5 || mt.At(1, 0) != 2 {
+		t.Errorf("T entries wrong:\n%v", mt)
+	}
+	if !m.T().T().Equal(m, 0) {
+		t.Errorf("double transpose differs")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := MatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Mul =\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if !a.Mul(Identity(3)).Equal(a, 0) {
+		t.Error("A*I != A")
+	}
+	if !Identity(2).Mul(a).Equal(a, 0) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec(Vector{1, 1})
+	if !vecAlmostEq(got, Vector{3, 7}, 0) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixAddScale(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}})
+	b := MatrixFromRows([][]float64{{10, 20}})
+	if got := a.Add(b); !got.Equal(MatrixFromRows([][]float64{{11, 22}}), 0) {
+		t.Errorf("Add =\n%v", got)
+	}
+	if got := a.Scale(-2); !got.Equal(MatrixFromRows([][]float64{{-2, -4}}), 0) {
+		t.Errorf("Scale =\n%v", got)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		m := 5 + rng.Intn(10)
+		n := 1 + rng.Intn(5)
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		f, err := Factorize(a)
+		if err != nil {
+			t.Fatalf("Factorize: %v", err)
+		}
+		// Verify ||QᵀA x - R x|| via solving with a random RHS and
+		// checking the normal equations residual: Aᵀ(Ax - b) ≈ 0.
+		b := NewVector(m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		res := a.MulVec(x).Sub(b)
+		normal := a.T().MulVec(res)
+		if got := normal.NormInf(); got > 1e-9 {
+			t.Errorf("trial %d: normal-equation residual %g too large", trial, got)
+		}
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	_, err := Factorize(NewMatrix(2, 3))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Second column is a multiple of the first.
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	_, err = f.Solve(Vector{1, 2, 3})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3x fits exactly.
+	a := MatrixFromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := Vector{2, 5, 8, 11}
+	res, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !vecAlmostEq(res.Coef, Vector{2, 3}, 1e-10) {
+		t.Errorf("Coef = %v, want [2 3]", res.Coef)
+	}
+	if !almostEq(res.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", res.R2)
+	}
+}
+
+func TestLeastSquaresNoisyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	a := NewMatrix(n, 2)
+	b := NewVector(n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 1.5 + 0.5*x + 0.01*rng.NormFloat64()
+	}
+	res, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEq(res.Coef[0], 1.5, 0.01) || !almostEq(res.Coef[1], 0.5, 0.01) {
+		t.Errorf("Coef = %v, want ~[1.5 0.5]", res.Coef)
+	}
+	if res.R2 < 0.999 {
+		t.Errorf("R2 = %v, want > 0.999", res.R2)
+	}
+}
+
+func TestLeastSquaresConstantResponse(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1}, {1}, {1}})
+	res, err := LeastSquares(a, Vector{4, 4, 4})
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEq(res.Coef[0], 4, 1e-12) {
+		t.Errorf("Coef = %v", res.Coef)
+	}
+	if res.R2 != 1 {
+		t.Errorf("R2 = %v, want 1 for perfectly-explained constant", res.R2)
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveSquare(a, Vector{5, 10})
+	if err != nil {
+		t.Fatalf("SolveSquare: %v", err)
+	}
+	if !vecAlmostEq(x, Vector{1, 3}, 1e-12) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Leading zero pivot requires row exchange.
+	a := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveSquare(a, Vector{2, 3})
+	if err != nil {
+		t.Fatalf("SolveSquare: %v", err)
+	}
+	if !vecAlmostEq(x, Vector{3, 2}, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := SolveSquare(a, Vector{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: for random well-conditioned systems, SolveSquare(A, A*x) ≈ x.
+func TestSolveSquareRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := Identity(n)
+		// Diagonally dominant perturbation keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)*float64(n)+0.3*rng.NormFloat64())
+			}
+		}
+		x := NewVector(n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEq(got, x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: least-squares residual is orthogonal to the column space.
+func TestLeastSquaresOrthogonalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(20)
+		n := 1 + rng.Intn(3)
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		b := NewVector(m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		res, err := LeastSquares(a, b)
+		if err != nil {
+			// Rank deficiency is possible but vanishingly rare with
+			// Gaussian entries; treat as a pass rather than a property
+			// failure.
+			return errors.Is(err, ErrSingular)
+		}
+		// Tolerance scales with the problem: orthogonality error grows
+		// with ||A||·||b|| and worsens as A nears rank deficiency.
+		tol := 1e-7 * (1 + a.FrobeniusNorm()*b.Norm2())
+		return a.T().MulVec(res.Residual).NormInf() < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := MatrixFromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	// Orthogonal columns: condition ≈ 1.
+	good := MatrixFromRows([][]float64{{1, 0}, {0, 1}, {0, 0}})
+	f, err := Factorize(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := f.ConditionEstimate(); c > 1.01 {
+		t.Errorf("orthogonal condition estimate = %v, want ≈1", c)
+	}
+	// Nearly collinear columns: large estimate.
+	badM := MatrixFromRows([][]float64{{1, 1}, {1, 1.0001}, {1, 0.9999}})
+	fb, err := Factorize(badM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fb.ConditionEstimate(); c < 1000 {
+		t.Errorf("near-collinear condition estimate = %v, want large", c)
+	}
+	// Exactly collinear: the tiny rounding-level pivot yields an estimate
+	// at working-precision scale (or +Inf when the pivot is exactly zero).
+	sing := MatrixFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	fs, err := Factorize(sing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fs.ConditionEstimate(); c < 1e12 {
+		t.Errorf("singular condition estimate = %v, want ≥ 1e12", c)
+	}
+}

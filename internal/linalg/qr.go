@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R of an m×n matrix with
+// m >= n. Q is stored implicitly as Householder reflectors in the lower
+// trapezoid of qr; R occupies the upper triangle.
+type QR struct {
+	qr   *Matrix // packed factors
+	tau  Vector  // Householder scalars
+	m, n int
+}
+
+// Factorize computes the QR factorization of a. It returns an error if a has
+// more columns than rows (the least-squares routines require a tall or
+// square matrix).
+func Factorize(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d: %w", m, n, ErrShape)
+	}
+	f := &QR{qr: a.Clone(), tau: NewVector(n), m: m, n: n}
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, f.qr.At(i, k))
+		}
+		if norm == 0 {
+			f.tau[k] = 0
+			continue
+		}
+		// Give norm the sign of the diagonal entry so the reflector head
+		// 1 + a_kk/norm lands in (1, 2], avoiding cancellation.
+		if f.qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			f.qr.Set(i, k, f.qr.At(i, k)/norm)
+		}
+		f.qr.Set(k, k, f.qr.At(k, k)+1)
+		f.tau[k] = f.qr.At(k, k)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += f.qr.At(i, k) * f.qr.At(i, j)
+			}
+			s = -s / f.qr.At(k, k)
+			for i := k; i < m; i++ {
+				f.qr.Set(i, j, f.qr.At(i, j)+s*f.qr.At(i, k))
+			}
+		}
+		f.qr.Set(k, k, -norm)
+	}
+	return f, nil
+}
+
+// ConditionEstimate returns the cheap R-diagonal condition estimate
+// max|r_ii| / min|r_ii|. It lower-bounds the true 2-norm condition number
+// of A but is accurate enough to flag the near-collinear design matrices
+// that make fitted elasticities untrustworthy. It returns +Inf when some
+// diagonal entry is zero.
+func (f *QR) ConditionEstimate() float64 {
+	if f.n == 0 {
+		return 1
+	}
+	minD, maxD := math.Inf(1), 0.0
+	for k := 0; k < f.n; k++ {
+		d := math.Abs(f.qr.At(k, k))
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD == 0 {
+		return math.Inf(1)
+	}
+	return maxD / minD
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *Matrix {
+	r := NewMatrix(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QTVec applies Qᵀ to b in place semantics on a copy, returning Qᵀb.
+func (f *QR) QTVec(b Vector) (Vector, error) {
+	if len(b) != f.m {
+		return nil, fmt.Errorf("linalg: QTVec length %d, want %d: %w", len(b), f.m, ErrShape)
+	}
+	y := b.Clone()
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		// The reflector's head element was saved in tau[k]; the matrix
+		// diagonal now holds R's diagonal instead.
+		s := f.tau[k] * y[k]
+		for i := k + 1; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.tau[k]
+		y[k] += s * f.tau[k]
+		for i := k + 1; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	return y, nil
+}
+
+// Solve solves the least-squares problem min ||A x - b||₂ using the
+// factorization. It returns ErrSingular (wrapped) if R has a zero or
+// near-zero diagonal entry, indicating rank deficiency.
+func (f *QR) Solve(b Vector) (Vector, error) {
+	y, err := f.QTVec(b)
+	if err != nil {
+		return nil, err
+	}
+	x := NewVector(f.n)
+	// Back substitution on R.
+	maxDiag := 0.0
+	for k := 0; k < f.n; k++ {
+		if d := math.Abs(f.qr.At(k, k)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	tol := float64(f.m) * maxDiag * 1e-14
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.qr.At(i, i)
+		if math.Abs(d) <= tol {
+			return nil, fmt.Errorf("linalg: rank-deficient least squares (R[%d,%d]=%g): %w", i, i, d, ErrSingular)
+		}
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||₂ for tall or square A.
+type LeastSquaresResult struct {
+	// Coef is the minimizing coefficient vector.
+	Coef Vector
+	// Residual is b - A*Coef.
+	Residual Vector
+	// RSS is the residual sum of squares.
+	RSS float64
+	// TSS is the total sum of squares of b about its mean.
+	TSS float64
+	// R2 is the coefficient of determination 1 - RSS/TSS. When TSS is zero
+	// (constant response) R2 is defined as 1 if RSS is also ~zero, else 0.
+	R2 float64
+}
+
+// LeastSquares fits x minimizing ||A x - b||₂ and reports goodness of fit.
+func LeastSquares(a *Matrix, b Vector) (*LeastSquaresResult, error) {
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("linalg: LeastSquares rows %d != len(b) %d: %w", a.Rows(), len(b), ErrShape)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	pred := a.MulVec(x)
+	res := b.Sub(pred)
+	rss := res.Dot(res)
+	mean := b.Mean()
+	var tss float64
+	for _, v := range b {
+		d := v - mean
+		tss += d * d
+	}
+	r2 := 0.0
+	switch {
+	case tss > 0:
+		r2 = 1 - rss/tss
+	case rss <= 1e-18:
+		r2 = 1
+	}
+	return &LeastSquaresResult{Coef: x, Residual: res, RSS: rss, TSS: tss, R2: r2}, nil
+}
+
+// SolveSquare solves the square linear system A x = b with partial-pivoting
+// Gaussian elimination. A is not modified.
+func SolveSquare(a *Matrix, b Vector) (Vector, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: SolveSquare needs square matrix, got %dx%d: %w", n, a.Cols(), ErrShape)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveSquare len(b)=%d, want %d: %w", len(b), n, ErrShape)
+	}
+	m := a.Clone()
+	x := b.Clone()
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, best := k, math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: zero pivot at column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				mkj, mpj := m.At(k, j), m.At(p, j)
+				m.Set(k, j, mpj)
+				m.Set(p, j, mkj)
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		// Eliminate below the pivot.
+		for i := k + 1; i < n; i++ {
+			factor := m.At(i, k) / m.At(k, k)
+			if factor == 0 {
+				continue
+			}
+			m.Set(i, k, 0)
+			for j := k + 1; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-factor*m.At(k, j))
+			}
+			x[i] -= factor * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,396 @@
+package mech
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/opt"
+)
+
+var (
+	paperCap    = []float64{24, 12}
+	paperAgents = []core.Agent{
+		{Name: "user1", Utility: cobb.MustNew(1, 0.6, 0.4)},
+		{Name: "user2", Utility: cobb.MustNew(1, 0.2, 0.8)},
+	}
+	tol = fair.DefaultTolerance()
+)
+
+func utilsList(agents []core.Agent) []cobb.Utility {
+	us := make([]cobb.Utility, len(agents))
+	for i, a := range agents {
+		us[i] = a.Utility
+	}
+	return us
+}
+
+func TestMechanismNames(t *testing.T) {
+	for _, m := range []Mechanism{
+		ProportionalElasticity{}, EqualSplitMech{}, MaxWelfareUnfair{},
+		MaxWelfareFair{}, EqualSlowdown{},
+	} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+func TestProportionalElasticityMatchesCore(t *testing.T) {
+	x, err := ProportionalElasticity{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want, err := core.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		for r := range x[i] {
+			if x[i][r] != want.X[i][r] {
+				t.Fatalf("mismatch at [%d][%d]", i, r)
+			}
+		}
+	}
+}
+
+func TestEqualSplitMech(t *testing.T) {
+	x, err := EqualSplitMech{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if x[0][0] != 12 || x[0][1] != 6 || x[1][0] != 12 || x[1][1] != 6 {
+		t.Errorf("equal split = %v", x)
+	}
+}
+
+func TestMaxWelfareUnfairClosedFormMatchesSolver(t *testing.T) {
+	// The ablation the paper implies: the closed form for the unfair Nash
+	// program equals the geometric-programming solution.
+	agents := []core.Agent{
+		{Utility: cobb.MustNew(1, 0.9, 0.2)},
+		{Utility: cobb.MustNew(1, 0.3, 0.6)},
+		{Utility: cobb.MustNew(1, 0.5, 0.5)},
+	}
+	x, err := MaxWelfareUnfair{}.Allocate(agents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	raw := make([]opt.Agent, len(agents))
+	for i, a := range agents {
+		raw[i] = opt.Agent{Alpha: a.Utility.Alpha}
+	}
+	solved, _, err := opt.MaximizeNashWelfare(raw, nil, paperCap, nil, opt.Config{MaxIters: 25000})
+	if err != nil {
+		t.Fatalf("solver: %v", err)
+	}
+	for i := range x {
+		for r := range x[i] {
+			if math.Abs(x[i][r]-solved[i][r]) > 0.05*paperCap[r] {
+				t.Errorf("[%d][%d]: closed form %v vs solver %v", i, r, x[i][r], solved[i][r])
+			}
+		}
+	}
+}
+
+func TestMaxWelfareFairSatisfiesConstraints(t *testing.T) {
+	x, err := MaxWelfareFair{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	si, err := fair.SharingIncentives(utilsList(paperAgents), paperCap, x, fair.Tolerance{Rel: 1e-3, MRS: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !si.Satisfied {
+		t.Errorf("MaxWelfareFair violates SI: %v", si.Violations)
+	}
+	ef, err := fair.EnvyFreeness(utilsList(paperAgents), x, fair.Tolerance{Rel: 1e-3, MRS: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ef.Satisfied {
+		t.Errorf("MaxWelfareFair violates EF: %v", ef.Violations)
+	}
+	if !x.WithinCapacity(paperCap, 1e-6) {
+		t.Errorf("capacity violated: %v", x.ResourceTotals())
+	}
+}
+
+func TestMaxWelfareFairAtLeastREFWelfare(t *testing.T) {
+	// REF is feasible for the constrained program, so the optimizer's
+	// welfare can't be (meaningfully) below REF's.
+	xFair, err := MaxWelfareFair{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	xREF, err := ProportionalElasticity{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFair, err := WeightedThroughput(paperAgents, paperCap, xFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wREF, err := WeightedThroughput(paperAgents, paperCap, xREF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wFair < wREF*0.98 {
+		t.Errorf("MaxWelfareFair throughput %v < REF %v", wFair, wREF)
+	}
+}
+
+func TestEqualSlowdownEqualizes(t *testing.T) {
+	x, err := EqualSlowdown{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	us, err := NormalizedUtilities(paperAgents, paperCap, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(us[0]-us[1]) > 0.02 {
+		t.Errorf("slowdowns not equalized: %v", us)
+	}
+	idx, err := UnfairnessIndex(paperAgents, paperCap, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx > 1.05 {
+		t.Errorf("unfairness index %v, want ≈1", idx)
+	}
+}
+
+// The paper's headline ordering on weighted throughput:
+// unfair max-welfare ≥ fair max-welfare ≈ REF, and the fairness penalty is
+// bounded (<10% in the paper; we allow the same order of magnitude).
+func TestThroughputOrdering(t *testing.T) {
+	agents := []core.Agent{
+		{Utility: cobb.MustNew(1, 0.8, 0.2)},
+		{Utility: cobb.MustNew(1, 0.3, 0.7)},
+		{Utility: cobb.MustNew(1, 0.55, 0.45)},
+		{Utility: cobb.MustNew(1, 0.15, 0.85)},
+	}
+	w := map[string]float64{}
+	for _, m := range []Mechanism{MaxWelfareUnfair{}, MaxWelfareFair{}, ProportionalElasticity{}} {
+		x, err := m.Allocate(agents, paperCap)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		wt, err := WeightedThroughput(agents, paperCap, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w[m.Name()] = wt
+	}
+	unfair := w[MaxWelfareUnfair{}.Name()]
+	fairW := w[MaxWelfareFair{}.Name()]
+	refW := w[ProportionalElasticity{}.Name()]
+	if fairW > unfair*(1+1e-6) {
+		t.Errorf("fair welfare %v exceeds unconstrained optimum %v", fairW, unfair)
+	}
+	if refW > unfair*(1+1e-6) {
+		t.Errorf("REF welfare %v exceeds unconstrained optimum %v", refW, unfair)
+	}
+	// Fairness penalty bounded (paper: <10%).
+	if refW < unfair*0.85 {
+		t.Errorf("fairness penalty too large: REF %v vs unfair %v", refW, unfair)
+	}
+}
+
+// Property: EqualSlowdown's minimum normalized utility can never beat
+// MaxWelfareUnfair's *sum* but must weakly beat every other mechanism's
+// *minimum* (it is the max-min optimum).
+func TestEqualSlowdownIsMaxMinProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-heavy")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		agents := make([]core.Agent, n)
+		for i := range agents {
+			a := 0.1 + 0.8*rng.Float64()
+			agents[i] = core.Agent{Utility: cobb.MustNew(1, a, 1-a)}
+		}
+		cap := []float64{5 + rng.Float64()*40, 5 + rng.Float64()*20}
+		xES, err := EqualSlowdown{Config: opt.Config{MaxIters: 30000}}.Allocate(agents, cap)
+		if err != nil {
+			return false
+		}
+		usES, err := NormalizedUtilities(agents, cap, xES)
+		if err != nil {
+			return false
+		}
+		minES := math.Inf(1)
+		for _, u := range usES {
+			if u < minES {
+				minES = u
+			}
+		}
+		for _, m := range []Mechanism{ProportionalElasticity{}, MaxWelfareUnfair{}} {
+			x, err := m.Allocate(agents, cap)
+			if err != nil {
+				return false
+			}
+			us, err := NormalizedUtilities(agents, cap, x)
+			if err != nil {
+				return false
+			}
+			minOther := math.Inf(1)
+			for _, u := range us {
+				if u < minOther {
+					minOther = u
+				}
+			}
+			if minOther > minES+0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRFFromElasticities(t *testing.T) {
+	x, err := DRFFromElasticities(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("DRFFromElasticities: %v", err)
+	}
+	if !x.WithinCapacity(paperCap, 1e-9) {
+		t.Errorf("capacity violated: %v", x.ResourceTotals())
+	}
+	// Symmetric agents get symmetric allocations.
+	sym := []core.Agent{
+		{Utility: cobb.MustNew(1, 0.5, 0.5)},
+		{Utility: cobb.MustNew(1, 0.5, 0.5)},
+	}
+	xs, err := DRFFromElasticities(sym, paperCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range paperCap {
+		if math.Abs(xs[0][r]-xs[1][r]) > 1e-9 {
+			t.Errorf("symmetric agents allocated asymmetrically: %v", xs)
+		}
+	}
+}
+
+func TestMetricsErrors(t *testing.T) {
+	if _, err := NormalizedUtilities(paperAgents, paperCap, opt.Alloc{{1, 1}}); !errors.Is(err, ErrMechanism) {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := WeightedThroughput(paperAgents, paperCap, opt.Alloc{{1, 1}}); err == nil {
+		t.Error("row mismatch accepted in WeightedThroughput")
+	}
+}
+
+func TestUnfairnessIndex(t *testing.T) {
+	x := opt.Alloc{{12, 6}, {12, 6}}
+	idx, err := UnfairnessIndex(paperAgents, paperCap, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 1 {
+		t.Errorf("index %v < 1", idx)
+	}
+	zero := opt.Alloc{{0, 0}, {24, 12}}
+	idx, err = UnfairnessIndex(paperAgents, paperCap, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(idx, 1) {
+		t.Errorf("index with zero-utility agent = %v, want +Inf", idx)
+	}
+}
+
+func TestMechanismsRejectEmptyAgents(t *testing.T) {
+	for _, m := range []Mechanism{
+		ProportionalElasticity{}, EqualSplitMech{}, MaxWelfareUnfair{},
+		MaxWelfareFair{}, EqualSlowdown{},
+	} {
+		if _, err := m.Allocate(nil, paperCap); err == nil {
+			t.Errorf("%s accepted zero agents", m.Name())
+		}
+	}
+	if _, err := DRFFromElasticities(nil, paperCap); err == nil {
+		t.Error("DRF accepted zero agents")
+	}
+}
+
+func TestEgalitarianFairSatisfiesConstraints(t *testing.T) {
+	x, err := EgalitarianFair{}.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	rep, err := fair.Audit(utilsList(paperAgents), paperCap, x, fair.Tolerance{Rel: 5e-3, MRS: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SI.Satisfied || !rep.EF.Satisfied {
+		t.Errorf("EgalitarianFair violates SI/EF: %v", rep)
+	}
+	if !x.WithinCapacity(paperCap, 1e-6) {
+		t.Errorf("capacity violated: %v", x.ResourceTotals())
+	}
+}
+
+func TestEgalitarianFairIsLowerBoundOnFairThroughput(t *testing.T) {
+	// §4.5: egalitarian allocations provide an empirical lower bound on
+	// fair performance; Nash-welfare-fair is the upper bound.
+	agents := []core.Agent{
+		{Utility: cobb.MustNew(1, 0.8, 0.2)},
+		{Utility: cobb.MustNew(1, 0.3, 0.7)},
+		{Utility: cobb.MustNew(1, 0.6, 0.4)},
+	}
+	xEg, err := EgalitarianFair{}.Allocate(agents, paperCap)
+	if err != nil {
+		t.Fatalf("EgalitarianFair: %v", err)
+	}
+	xNash, err := MaxWelfareFair{}.Allocate(agents, paperCap)
+	if err != nil {
+		t.Fatalf("MaxWelfareFair: %v", err)
+	}
+	wEg, err := WeightedThroughput(agents, paperCap, xEg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wNash, err := WeightedThroughput(agents, paperCap, xNash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wEg > wNash*1.01 {
+		t.Errorf("egalitarian throughput %v above Nash-fair %v", wEg, wNash)
+	}
+	// And the egalitarian minimum is at least the Nash-fair minimum.
+	minOf := func(x opt.Alloc) float64 {
+		us, err := NormalizedUtilities(agents, paperCap, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := math.Inf(1)
+		for _, u := range us {
+			if u < m {
+				m = u
+			}
+		}
+		return m
+	}
+	if minOf(xEg) < minOf(xNash)-0.02 {
+		t.Errorf("egalitarian minimum %v below Nash-fair minimum %v", minOf(xEg), minOf(xNash))
+	}
+}
+
+func TestEgalitarianFairRejectsEmpty(t *testing.T) {
+	if _, err := (EgalitarianFair{}).Allocate(nil, paperCap); err == nil {
+		t.Error("empty agents accepted")
+	}
+}

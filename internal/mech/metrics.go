@@ -1,0 +1,64 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"ref/internal/core"
+	"ref/internal/opt"
+)
+
+// NormalizedUtilities returns U_i(x_i) = u_i(x_i)/u_i(C) for every agent —
+// the utility-based weighted-progress measure the paper substitutes for
+// IPC-based weighted progress (Equation 17).
+func NormalizedUtilities(agents []core.Agent, cap []float64, x opt.Alloc) ([]float64, error) {
+	if len(agents) != len(x) {
+		return nil, fmt.Errorf("%w: %d agents, %d allocation rows", ErrMechanism, len(agents), len(x))
+	}
+	out := make([]float64, len(agents))
+	for i, a := range agents {
+		full := a.Utility.Eval(cap)
+		if full <= 0 {
+			return nil, fmt.Errorf("%w: agent %d has zero utility at full capacity", ErrMechanism, i)
+		}
+		out[i] = a.Utility.Eval(x[i]) / full
+	}
+	return out, nil
+}
+
+// WeightedThroughput returns Σ_i U_i(x_i), the weighted system throughput
+// of Equation 17 that Figures 13 and 14 plot.
+func WeightedThroughput(agents []core.Agent, cap []float64, x opt.Alloc) (float64, error) {
+	us, err := NormalizedUtilities(agents, cap, x)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, u := range us {
+		s += u
+	}
+	return s, nil
+}
+
+// UnfairnessIndex returns max_i U_i / min_j U_j, the slowdown-ratio metric
+// prior work optimizes toward 1 (§4.5). It is infinite when any agent's
+// normalized utility is zero.
+func UnfairnessIndex(agents []core.Agent, cap []float64, x opt.Alloc) (float64, error) {
+	us, err := NormalizedUtilities(agents, cap, x)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, u := range us {
+		if u < lo {
+			lo = u
+		}
+		if u > hi {
+			hi = u
+		}
+	}
+	if lo <= 0 {
+		return math.Inf(1), nil
+	}
+	return hi / lo, nil
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProjectSimplex checks the projection invariants on arbitrary inputs:
+// output entries at/above the floor, sum 1, and fixpoint on re-projection.
+func FuzzProjectSimplex(f *testing.F) {
+	f.Add(0.3, -2.0, 5.0, 0.0)
+	f.Add(0.1, 0.1, 0.1, 0.05)
+	f.Add(1e6, -1e6, 0.0, 0.01)
+	f.Fuzz(func(t *testing.T, a, b, c, floor float64) {
+		for _, v := range []float64{a, b, c, floor} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+		}
+		if floor < 0 || floor*3 >= 1 {
+			return
+		}
+		v := []float64{a, b, c}
+		if err := ProjectSimplex(v, floor); err != nil {
+			t.Fatalf("projection failed on finite input: %v", err)
+		}
+		var sum float64
+		for _, x := range v {
+			if x < floor-1e-9 {
+				t.Fatalf("entry %v below floor %v", x, floor)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("sum = %v", sum)
+		}
+		// Projection of a simplex point is (numerically) itself.
+		w := append([]float64(nil), v...)
+		if err := ProjectSimplex(w, floor); err != nil {
+			t.Fatal(err)
+		}
+		for i := range v {
+			if math.Abs(w[i]-v[i]) > 1e-6 {
+				t.Fatalf("projection not idempotent: %v -> %v", v, w)
+			}
+		}
+	})
+}
+
+// FuzzProportional checks the closed form against arbitrary weights:
+// capacity exactly exhausted, non-negative shares, and scale invariance of
+// the weights.
+func FuzzProportional(f *testing.F) {
+	f.Add(0.6, 0.4, 0.2, 0.8, 24.0, 12.0)
+	f.Add(1.0, 0.0, 0.0, 1.0, 5.0, 5.0)
+	f.Fuzz(func(t *testing.T, w00, w01, w10, w11, c0, c1 float64) {
+		ws := [][]float64{{w00, w01}, {w10, w11}}
+		for _, row := range ws {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e9 {
+					return
+				}
+			}
+		}
+		if !(c0 > 1e-9) || !(c1 > 1e-9) || c0 > 1e9 || c1 > 1e9 {
+			return
+		}
+		cap := []float64{c0, c1}
+		x, err := Proportional(ws, cap)
+		if err != nil {
+			return
+		}
+		tot := x.ResourceTotals()
+		for r := range cap {
+			if math.Abs(tot[r]-cap[r]) > 1e-6*cap[r] {
+				t.Fatalf("resource %d total %v != capacity %v", r, tot[r], cap[r])
+			}
+		}
+		for i := range x {
+			for r := range x[i] {
+				if x[i][r] < 0 {
+					t.Fatalf("negative share %v", x[i][r])
+				}
+			}
+		}
+		// Scaling all weights by a constant changes nothing.
+		scaled := [][]float64{{3 * w00, 3 * w01}, {3 * w10, 3 * w11}}
+		y, err := Proportional(scaled, cap)
+		if err != nil {
+			t.Fatalf("scaled weights rejected: %v", err)
+		}
+		for i := range x {
+			for r := range x[i] {
+				if math.Abs(x[i][r]-y[i][r]) > 1e-6*(1+math.Abs(x[i][r])) {
+					t.Fatalf("not scale invariant: %v vs %v", x[i][r], y[i][r])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ProjectSimplex projects v onto the simplex {s : s_i ≥ floor, Σ s_i = 1}
+// in Euclidean distance, in place, using the sort-based algorithm of
+// Duchi et al. (ICML 2008) applied after the change of variables
+// t = (s - floor) / (1 - n·floor).
+//
+// floor must satisfy 0 ≤ floor < 1/len(v). A small positive floor keeps
+// every share strictly positive so that log-space objectives stay finite.
+func ProjectSimplex(v []float64, floor float64) error {
+	n := len(v)
+	if n == 0 {
+		return fmt.Errorf("%w: empty vector", ErrBadProblem)
+	}
+	if floor < 0 || floor*float64(n) >= 1 {
+		return fmt.Errorf("%w: floor %v infeasible for %d entries", ErrBadProblem, floor, n)
+	}
+	mass := 1 - floor*float64(n)
+	// Shift to the floor-free problem: project w onto {t ≥ 0, Σ t = mass}.
+	w := make([]float64, n)
+	for i, x := range v {
+		w[i] = x - floor
+	}
+	sorted := append([]float64(nil), w...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cum, theta float64
+	k := 0
+	for i, u := range sorted {
+		cum += u
+		t := (cum - mass) / float64(i+1)
+		if u-t > 0 {
+			theta = t
+			k = i + 1
+		}
+	}
+	_ = k
+	for i := range v {
+		t := w[i] - theta
+		if t < 0 {
+			t = 0
+		}
+		v[i] = t + floor
+	}
+	return nil
+}
+
+// normalizeColumn rescales column r of shares so it sums to one with the
+// given floor, falling back to an equal split if the column is degenerate.
+func normalizeColumn(shares Alloc, r int, floor float64) {
+	n := len(shares)
+	col := make([]float64, n)
+	for i := range shares {
+		col[i] = shares[i][r]
+	}
+	if err := ProjectSimplex(col, floor); err != nil {
+		for i := range col {
+			col[i] = 1 / float64(n)
+		}
+	}
+	ok := true
+	for _, v := range col {
+		if math.IsNaN(v) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		for i := range col {
+			col[i] = 1 / float64(n)
+		}
+	}
+	for i := range shares {
+		shares[i][r] = col[i]
+	}
+}

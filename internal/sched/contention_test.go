@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"ref/internal/dram"
+)
+
+// Contention scenario: a light agent offering well under its share and a
+// heavy agent offering far more than the bus can carry. Provisioned
+// 3.2 GB/s ⇒ one burst per 60 cycles ⇒ capacity ≈ 16.7 bursts/kilocycle.
+func contentionRates() []float64 { return []float64{4, 40} }
+
+const contentionHorizon = 400000
+
+func TestFCFSLetsHeavyAgentHurtLightAgent(t *testing.T) {
+	res, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), contentionRates(), contentionHorizon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmanaged, the light agent's latency balloons far beyond unloaded
+	// (~96 cycles) because it queues behind the heavy agent's backlog.
+	if res.AvgLatency[0] < 1000 {
+		t.Errorf("light agent latency %v under FCFS overload, expected severe queueing", res.AvgLatency[0])
+	}
+}
+
+func TestWFQProtectsLightAgent(t *testing.T) {
+	rates := contentionRates()
+	// REF-style shares: light agent guaranteed 30%, heavy 70%.
+	weights := []float64{0.3, 0.7}
+	fcfs, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), rates, contentionHorizon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq, err := RunSharedBusWFQ(dram.DefaultConfig(3.2), rates, weights, contentionHorizon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The light agent offers 4 bursts/kilocycle — under its 30% share of
+	// the ~16.7 capacity — so WFQ must deliver (nearly) all of it.
+	if wfq.Throughput[0] < 3.5 {
+		t.Errorf("light agent delivered %v bursts/kcycle under WFQ, want ≈4", wfq.Throughput[0])
+	}
+	// And its latency must improve dramatically over FCFS.
+	if wfq.AvgLatency[0] > fcfs.AvgLatency[0]/5 {
+		t.Errorf("WFQ light-agent latency %v not far below FCFS %v",
+			wfq.AvgLatency[0], fcfs.AvgLatency[0])
+	}
+	// The heavy agent still gets the bulk of the bus (work conservation).
+	if wfq.Share(1) < 0.6 {
+		t.Errorf("heavy agent share %v under WFQ, want majority", wfq.Share(1))
+	}
+}
+
+func TestSharedBusTotalBoundedByProvisioning(t *testing.T) {
+	res, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), contentionRates(), contentionHorizon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tot float64
+	for _, x := range res.Throughput {
+		tot += x
+	}
+	// Capacity is 1000/60 ≈ 16.7 bursts per kilocycle (plus burst slack).
+	if tot > 17.5 {
+		t.Errorf("delivered %v bursts/kcycle, above the 3.2 GB/s provisioning", tot)
+	}
+	if tot < 14 {
+		t.Errorf("delivered %v bursts/kcycle, bus badly underutilized under saturation", tot)
+	}
+}
+
+func TestContentionValidation(t *testing.T) {
+	if _, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), nil, 100, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("no agents accepted")
+	}
+	if _, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), []float64{1}, 0, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := RunSharedBusWFQ(dram.DefaultConfig(3.2), []float64{1, 2}, []float64{1}, 100, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("weight mismatch accepted")
+	}
+	if _, err := RunSharedBusWFQ(dram.DefaultConfig(3.2), []float64{1}, []float64{1}, -5, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("negative horizon accepted")
+	}
+	bad := dram.DefaultConfig(3.2)
+	bad.Channels = 0
+	if _, err := RunSharedBusFCFS(bad, []float64{1}, 100, 1); err == nil {
+		t.Error("bad DRAM config accepted")
+	}
+}
+
+func TestContentionDeterministic(t *testing.T) {
+	a, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), contentionRates(), 50000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSharedBusFCFS(dram.DefaultConfig(3.2), contentionRates(), 50000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Throughput {
+		if a.Throughput[i] != b.Throughput[i] || a.AvgLatency[i] != b.AvgLatency[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestShareOfEmptyResult(t *testing.T) {
+	empty := &ContentionResult{Throughput: []float64{0, 0}}
+	if empty.Share(0) != 0 {
+		t.Error("Share of empty result != 0")
+	}
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Lottery is a lottery scheduler (Waldspurger & Weihl, OSDI 1994): each
+// agent holds tickets and every scheduling quantum goes to the holder of a
+// uniformly drawn ticket, so long-run CPU share converges to ticket share.
+// REF uses it as the §4.4 enforcement path for time-multiplexed resources.
+type Lottery struct {
+	tickets []int
+	total   int
+	rng     *rand.Rand
+	// wins counts quanta awarded per agent.
+	wins []int64
+	// draws counts total quanta.
+	draws int64
+}
+
+// NewLottery builds a scheduler from per-agent ticket counts.
+func NewLottery(tickets []int, seed int64) (*Lottery, error) {
+	if len(tickets) == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrBadSched)
+	}
+	total := 0
+	for i, t := range tickets {
+		if t <= 0 {
+			return nil, fmt.Errorf("%w: agent %d holds %d tickets", ErrBadSched, i, t)
+		}
+		total += t
+	}
+	return &Lottery{
+		tickets: append([]int(nil), tickets...),
+		total:   total,
+		rng:     rand.New(rand.NewSource(seed)),
+		wins:    make([]int64, len(tickets)),
+	}, nil
+}
+
+// TicketsFromShares converts fractional shares into integer tickets with
+// the given resolution (total tickets ≈ resolution). Every agent receives
+// at least one ticket.
+func TicketsFromShares(shares []float64, resolution int) ([]int, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("%w: no shares", ErrBadSched)
+	}
+	if resolution < len(shares) {
+		return nil, fmt.Errorf("%w: resolution %d below %d agents", ErrBadSched, resolution, len(shares))
+	}
+	var sum float64
+	for i, s := range shares {
+		if s < 0 || math.IsNaN(s) {
+			return nil, fmt.Errorf("%w: share[%d] = %v", ErrBadSched, i, s)
+		}
+		sum += s
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("%w: all shares zero", ErrBadSched)
+	}
+	out := make([]int, len(shares))
+	for i, s := range shares {
+		out[i] = int(s/sum*float64(resolution) + 0.5)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Next draws one quantum and returns the winning agent.
+func (l *Lottery) Next() int {
+	draw := l.rng.Intn(l.total)
+	for i, t := range l.tickets {
+		draw -= t
+		if draw < 0 {
+			l.wins[i]++
+			l.draws++
+			return i
+		}
+	}
+	// Unreachable: the draw is always within the ticket total.
+	panic("sched: lottery draw out of range")
+}
+
+// AchievedShares returns each agent's fraction of quanta so far.
+func (l *Lottery) AchievedShares() []float64 {
+	out := make([]float64, len(l.wins))
+	if l.draws == 0 {
+		return out
+	}
+	for i, w := range l.wins {
+		out[i] = float64(w) / float64(l.draws)
+	}
+	return out
+}
+
+// TargetShares returns ticket fractions.
+func (l *Lottery) TargetShares() []float64 {
+	out := make([]float64, len(l.tickets))
+	for i, t := range l.tickets {
+		out[i] = float64(t) / float64(l.total)
+	}
+	return out
+}
+
+// MaxShareError runs n quanta and returns the largest |achieved − target|
+// across agents — the convergence measurement used by tests and the
+// scheduling example.
+func (l *Lottery) MaxShareError(n int) float64 {
+	for i := 0; i < n; i++ {
+		l.Next()
+	}
+	target := l.TargetShares()
+	achieved := l.AchievedShares()
+	var worst float64
+	for i := range target {
+		if d := math.Abs(target[i] - achieved[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

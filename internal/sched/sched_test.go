@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWFQValidation(t *testing.T) {
+	if _, err := NewWFQ(nil, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("no flows accepted")
+	}
+	if _, err := NewWFQ([]float64{1}, 0); !errors.Is(err, ErrBadSched) {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewWFQ([]float64{1, -1}, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWFQEnqueueValidation(t *testing.T) {
+	w, err := NewWFQ([]float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Enqueue(Request{Flow: 5, Size: 1}); !errors.Is(err, ErrBadSched) {
+		t.Error("bad flow accepted")
+	}
+	if err := w.Enqueue(Request{Flow: 0, Size: 0}); !errors.Is(err, ErrBadSched) {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestWFQBackloggedSharesMatchWeights(t *testing.T) {
+	// The §4.4 enforcement claim: WFQ converges to the REF shares. Use
+	// the paper's bandwidth split 18:6 (user1:user2).
+	w, err := NewWFQ([]float64{18, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.RunBacklogged(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.WeightShares()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.01 {
+			t.Errorf("flow %d share = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWFQThreeFlows(t *testing.T) {
+	w, _ := NewWFQ([]float64{1, 2, 5}, 10)
+	got, err := w.RunBacklogged(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.125, 0.25, 0.625}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.01 {
+			t.Errorf("flow %d share = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWFQWorkConserving(t *testing.T) {
+	// Only flow 0 has traffic: it gets everything despite a low weight.
+	w, _ := NewWFQ([]float64{1, 100}, 1)
+	for i := 0; i < 50; i++ {
+		if err := w.Enqueue(Request{Flow: 0, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := 0
+	for {
+		s, ok := w.DrainOne()
+		if !ok {
+			break
+		}
+		if s.Flow != 0 {
+			t.Fatal("phantom service")
+		}
+		served++
+	}
+	if served != 50 {
+		t.Fatalf("served %d, want 50", served)
+	}
+}
+
+func TestWFQServiceTimesRespectRate(t *testing.T) {
+	w, _ := NewWFQ([]float64{1}, 2) // 2 units per time unit
+	if err := w.Enqueue(Request{Flow: 0, Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := w.DrainOne()
+	if !ok {
+		t.Fatal("no service")
+	}
+	if s.Finish-s.Start != 2 {
+		t.Errorf("service time = %v, want 2", s.Finish-s.Start)
+	}
+}
+
+func TestWFQRunBackloggedValidation(t *testing.T) {
+	w, _ := NewWFQ([]float64{1}, 1)
+	if _, err := w.RunBacklogged(0); !errors.Is(err, ErrBadSched) {
+		t.Error("zero rounds accepted")
+	}
+}
+
+// Property: for random weights, backlogged WFQ shares track weight shares.
+func TestWFQFairnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.2 + rng.Float64()*5
+		}
+		w, err := NewWFQ(weights, 1)
+		if err != nil {
+			return false
+		}
+		got, err := w.RunBacklogged(4000)
+		if err != nil {
+			return false
+		}
+		want := w.WeightShares()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewLotteryValidation(t *testing.T) {
+	if _, err := NewLottery(nil, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("no agents accepted")
+	}
+	if _, err := NewLottery([]int{1, 0}, 1); !errors.Is(err, ErrBadSched) {
+		t.Error("zero tickets accepted")
+	}
+}
+
+func TestLotteryConverges(t *testing.T) {
+	l, err := NewLottery([]int{750, 250}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.MaxShareError(200000); got > 0.01 {
+		t.Errorf("share error = %v after 200k quanta", got)
+	}
+}
+
+func TestLotteryDeterministicWithSeed(t *testing.T) {
+	a, _ := NewLottery([]int{3, 7}, 9)
+	b, _ := NewLottery([]int{3, 7}, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestLotteryTargetShares(t *testing.T) {
+	l, _ := NewLottery([]int{1, 3}, 1)
+	ts := l.TargetShares()
+	if ts[0] != 0.25 || ts[1] != 0.75 {
+		t.Errorf("TargetShares = %v", ts)
+	}
+	if got := l.AchievedShares(); got[0] != 0 || got[1] != 0 {
+		t.Errorf("AchievedShares before draws = %v", got)
+	}
+}
+
+func TestTicketsFromShares(t *testing.T) {
+	tk, err := TicketsFromShares([]float64{0.75, 0.25}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk[0] != 750 || tk[1] != 250 {
+		t.Errorf("tickets = %v", tk)
+	}
+	// Tiny share still gets a ticket.
+	tk, err = TicketsFromShares([]float64{1, 1e-9}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk[1] != 1 {
+		t.Errorf("starved agent tickets = %d, want 1", tk[1])
+	}
+}
+
+func TestTicketsFromSharesErrors(t *testing.T) {
+	if _, err := TicketsFromShares(nil, 100); !errors.Is(err, ErrBadSched) {
+		t.Error("no shares accepted")
+	}
+	if _, err := TicketsFromShares([]float64{1, 1, 1}, 2); !errors.Is(err, ErrBadSched) {
+		t.Error("resolution below agents accepted")
+	}
+	if _, err := TicketsFromShares([]float64{-1, 1}, 100); !errors.Is(err, ErrBadSched) {
+		t.Error("negative share accepted")
+	}
+	if _, err := TicketsFromShares([]float64{0, 0}, 100); !errors.Is(err, ErrBadSched) {
+		t.Error("all-zero shares accepted")
+	}
+}
+
+// Property: lottery shares converge for random ticket vectors.
+func TestLotteryConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		tickets := make([]int, n)
+		for i := range tickets {
+			tickets[i] = 1 + rng.Intn(100)
+		}
+		l, err := NewLottery(tickets, seed)
+		if err != nil {
+			return false
+		}
+		return l.MaxShareError(50000) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

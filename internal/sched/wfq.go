@@ -1,0 +1,187 @@
+// Package sched implements the share-enforcement substrate the REF paper
+// points to in §4.4: once the proportional elasticity mechanism computes
+// each agent's share, "we can enforce those shares with existing
+// approaches, such as weighted fair queuing or lottery scheduling." The
+// package provides both — a start-time fair queuing (SFQ) scheduler for
+// bandwidth-like resources and a lottery scheduler for time-multiplexed
+// resources — plus measurement helpers that verify achieved shares converge
+// to the targets. Cache-capacity enforcement (way partitioning) lives in
+// internal/cache.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadSched reports invalid scheduler parameters.
+var ErrBadSched = errors.New("sched: bad scheduler config")
+
+// Request is one unit of work submitted to a WFQ server.
+type Request struct {
+	// Flow identifies the submitting agent.
+	Flow int
+	// Size is the service demand (e.g. bytes).
+	Size float64
+	// Arrival is the submission time.
+	Arrival float64
+}
+
+// Served describes one completed request.
+type Served struct {
+	Request
+	// Start and Finish bound the service interval.
+	Start, Finish float64
+}
+
+// WFQ is a start-time fair queuing server: a practical packet-by-packet
+// approximation of generalized processor sharing. Backlogged flows receive
+// service in proportion to their weights; idle flows' capacity is
+// redistributed (work conservation).
+type WFQ struct {
+	weights []float64
+	rate    float64 // service units per time unit
+	// virtual is the server's virtual time.
+	virtual float64
+	// lastFinish is each flow's most recent finish tag.
+	lastFinish []float64
+	queue      reqHeap
+	// clock is the real time at which the server last became free.
+	clock float64
+	// seq breaks start-tag ties in FIFO order.
+	seq int
+}
+
+// NewWFQ builds a server for len(weights) flows serving `rate` units per
+// unit time.
+func NewWFQ(weights []float64, rate float64) (*WFQ, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no flows", ErrBadSched)
+	}
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil, fmt.Errorf("%w: rate %v", ErrBadSched, rate)
+	}
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrBadSched, i, w)
+		}
+	}
+	return &WFQ{
+		weights:    append([]float64(nil), weights...),
+		rate:       rate,
+		lastFinish: make([]float64, len(weights)),
+	}, nil
+}
+
+// tagged is a queued request with its fair-queuing tags.
+type tagged struct {
+	req    Request
+	start  float64 // start tag (virtual time)
+	finish float64 // finish tag (virtual time)
+	seq    int
+}
+
+type reqHeap []tagged
+
+func (h reqHeap) Len() int { return len(h) }
+func (h reqHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x interface{}) { *h = append(*h, x.(tagged)) }
+func (h *reqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Enqueue admits a request, assigning SFQ tags.
+func (w *WFQ) Enqueue(r Request) error {
+	if r.Flow < 0 || r.Flow >= len(w.weights) {
+		return fmt.Errorf("%w: flow %d out of range", ErrBadSched, r.Flow)
+	}
+	if r.Size <= 0 {
+		return fmt.Errorf("%w: size %v", ErrBadSched, r.Size)
+	}
+	start := math.Max(w.virtual, w.lastFinish[r.Flow])
+	finish := start + r.Size/w.weights[r.Flow]
+	w.lastFinish[r.Flow] = finish
+	w.seq++
+	heap.Push(&w.queue, tagged{req: r, start: start, finish: finish, seq: w.seq})
+	return nil
+}
+
+// DrainOne serves the next request (lowest start tag) and returns it, or
+// false when the queue is empty.
+func (w *WFQ) DrainOne() (Served, bool) {
+	if w.queue.Len() == 0 {
+		return Served{}, false
+	}
+	t := heap.Pop(&w.queue).(tagged)
+	// Virtual time advances to the start tag of the packet in service.
+	if t.start > w.virtual {
+		w.virtual = t.start
+	}
+	begin := math.Max(w.clock, t.req.Arrival)
+	end := begin + t.req.Size/w.rate
+	w.clock = end
+	return Served{Request: t.req, Start: begin, Finish: end}, true
+}
+
+// RunBacklogged is a measurement helper: it saturates the server with
+// identical-size requests from every flow for `rounds` service slots and
+// returns the fraction of service each flow received. With all flows
+// backlogged, SFQ's achieved shares converge to weight shares — the check
+// that makes "enforce shares with WFQ" an executable claim.
+func (w *WFQ) RunBacklogged(rounds int) ([]float64, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("%w: rounds = %d", ErrBadSched, rounds)
+	}
+	n := len(w.weights)
+	served := make([]float64, n)
+	// Keep each flow one request deep, refilling after service.
+	for i := 0; i < n; i++ {
+		if err := w.Enqueue(Request{Flow: i, Size: 1}); err != nil {
+			return nil, err
+		}
+	}
+	var total float64
+	for r := 0; r < rounds; r++ {
+		s, ok := w.DrainOne()
+		if !ok {
+			break
+		}
+		served[s.Flow] += s.Size
+		total += s.Size
+		if err := w.Enqueue(Request{Flow: s.Flow, Size: 1, Arrival: s.Finish}); err != nil {
+			return nil, err
+		}
+	}
+	if total == 0 {
+		return served, nil
+	}
+	for i := range served {
+		served[i] /= total
+	}
+	return served, nil
+}
+
+// WeightShares returns the normalized weight vector — the target shares.
+func (w *WFQ) WeightShares() []float64 {
+	var sum float64
+	for _, x := range w.weights {
+		sum += x
+	}
+	out := make([]float64, len(w.weights))
+	for i, x := range w.weights {
+		out[i] = x / sum
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"ref/internal/cache"
+	"ref/internal/trace"
+)
+
+// CoRunResult holds per-agent outcomes of a shared-platform simulation.
+type CoRunResult struct {
+	// Agents holds per-agent run results in input order.
+	Agents []RunResult
+}
+
+// CoRun simulates N workloads sharing one platform under an enforced
+// allocation: agent i's LLC share (bytes) becomes a way partition and its
+// bandwidth share (GB/s) becomes a dedicated slice of the memory system's
+// provisioned bandwidth. This mirrors how proportional shares are enforced
+// in practice — way partitioning for capacity, weighted fair queuing for
+// bandwidth (§4.4: "we can enforce those shares with existing approaches").
+// Because partitions isolate agents completely, each agent runs against its
+// slice independently; internal/sched demonstrates that WFQ converges to
+// exactly these slices on a shared bus.
+//
+// totalLLC is the shared cache geometry; totalBandwidth the provisioned
+// GB/s; alloc[i] = (bandwidth GB/s, cache bytes) for agent i.
+func CoRun(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float64, alloc [][2]float64, nAccesses int) (*CoRunResult, error) {
+	n := len(workloads)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no workloads", ErrBadPlatform)
+	}
+	if len(alloc) != n {
+		return nil, fmt.Errorf("%w: %d allocations for %d workloads", ErrBadPlatform, len(alloc), n)
+	}
+	if err := totalLLC.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: LLC: %v", ErrBadPlatform, err)
+	}
+	var bwSum float64
+	cacheShares := make([]float64, n)
+	for i, a := range alloc {
+		if a[0] <= 0 || a[1] <= 0 {
+			return nil, fmt.Errorf("%w: agent %d allocation (%v GB/s, %v B) must be positive", ErrBadPlatform, i, a[0], a[1])
+		}
+		bwSum += a[0]
+		cacheShares[i] = a[1]
+	}
+	if bwSum > totalBandwidth*(1+1e-6) {
+		return nil, fmt.Errorf("%w: bandwidth shares %.3g exceed provisioned %.3g", ErrBadPlatform, bwSum, totalBandwidth)
+	}
+	ways, err := cache.WaysForShare(totalLLC, cacheShares)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	sets := totalLLC.SizeBytes / (totalLLC.Ways * totalLLC.BlockBytes)
+	out := &CoRunResult{Agents: make([]RunResult, n)}
+	for i, w := range workloads {
+		p := DefaultPlatform(LLCSizes[0], alloc[i][0]) // LLC replaced below
+		p.LLC = cache.Config{
+			SizeBytes:  sets * ways[i] * totalLLC.BlockBytes,
+			Ways:       ways[i],
+			BlockBytes: totalLLC.BlockBytes,
+			HitLatency: totalLLC.HitLatency,
+		}
+		res, err := Run(w, p, nAccesses)
+		if err != nil {
+			return nil, fmt.Errorf("sim: agent %d (%s): %w", i, w.Name, err)
+		}
+		out.Agents[i] = res
+	}
+	return out, nil
+}
+
+// WeightedThroughput computes Σ_i IPC_i(shared)/IPC_i(alone): the
+// IPC-based weighted system throughput of Equation 17, with IPC_i(alone)
+// measured on the full machine (all LLC, all bandwidth).
+func WeightedThroughput(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float64, shared *CoRunResult, nAccesses int) (float64, error) {
+	if shared == nil || len(shared.Agents) != len(workloads) {
+		return 0, fmt.Errorf("%w: shared results do not match workloads", ErrBadPlatform)
+	}
+	var sum float64
+	for i, w := range workloads {
+		p := DefaultPlatform(totalLLC.SizeBytes, totalBandwidth)
+		p.LLC = totalLLC
+		alone, err := Run(w, p, nAccesses)
+		if err != nil {
+			return 0, err
+		}
+		if alone.IPC() <= 0 {
+			return 0, fmt.Errorf("%w: agent %d has zero standalone IPC", ErrBadPlatform, i)
+		}
+		sum += shared.Agents[i].IPC() / alone.IPC()
+	}
+	return sum, nil
+}

@@ -1,0 +1,240 @@
+// Package sim wires the substrate models — synthetic traces
+// (internal/trace), the cache hierarchy (internal/cache), the DRAM
+// controller (internal/dram), and the out-of-order core (internal/cpu) —
+// into the full platform of Table 1, replacing the MARSSx86 + DRAMSim2
+// stack the REF paper profiles with. It runs single workloads at any
+// (LLC capacity, memory bandwidth) point, sweeps the paper's 5×5
+// configuration grid to produce performance profiles for Cobb-Douglas
+// fitting, and co-runs multiple agents under an enforced allocation
+// (way-partitioned LLC, bandwidth shares).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ref/internal/cache"
+	"ref/internal/cpu"
+	"ref/internal/dram"
+	"ref/internal/fit"
+	"ref/internal/trace"
+)
+
+// ErrBadPlatform reports invalid platform parameters.
+var ErrBadPlatform = errors.New("sim: bad platform")
+
+// LLCSizes is Table 1's L2 capacity ladder in bytes.
+var LLCSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+
+// Bandwidths is Table 1's DRAM bandwidth ladder in GB/s.
+var Bandwidths = []float64{0.8, 1.6, 3.2, 6.4, 12.8}
+
+// Platform bundles the component configurations of Table 1.
+type Platform struct {
+	L1   cache.Config
+	LLC  cache.Config
+	DRAM dram.Config
+	Core cpu.Config
+	// Prefetch enables a next-line prefetcher at the LLC: each demand
+	// miss also fetches the following block in the background, consuming
+	// bandwidth to convert future misses into LLC hits. Table 1 does not
+	// specify a prefetcher, so the default platform leaves it off; the
+	// prefetcher ablation benchmark measures how it shifts fitted
+	// elasticities.
+	Prefetch bool
+}
+
+// DefaultPlatform returns Table 1's platform at one grid point: 3 GHz
+// 4-wide OOO core, 32 KB 4-way L1 (2-cycle), 8-way LLC of the given size
+// (20-cycle), single-channel closed-page DRAM at the given bandwidth.
+func DefaultPlatform(llcBytes int, bandwidthGBps float64) Platform {
+	return Platform{
+		L1:   cache.Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, HitLatency: 2},
+		LLC:  llcGeometry(llcBytes),
+		DRAM: dram.DefaultConfig(bandwidthGBps),
+		Core: cpu.DefaultConfig(),
+	}
+}
+
+// llcGeometry picks an associativity for the requested capacity: 8-way when
+// the set count comes out a power of two (all Table 1 sizes), otherwise the
+// largest power-of-two set count whose implied associativity stays in the
+// practical 4–16 range. This lets ablations sweep off-ladder capacities
+// such as 192 KB (→ 6-way) without bending the cache model's indexing.
+func llcGeometry(sizeBytes int) cache.Config {
+	cfg := cache.Config{SizeBytes: sizeBytes, Ways: 8, BlockBytes: 64, HitLatency: 20}
+	if cfg.Validate() == nil {
+		return cfg
+	}
+	blocks := sizeBytes / cfg.BlockBytes
+	for sets := 1; sets <= blocks; sets <<= 1 {
+		if blocks%sets != 0 {
+			break
+		}
+		if ways := blocks / sets; ways >= 4 && ways <= 16 {
+			cfg.Ways = ways
+		}
+	}
+	return cfg
+}
+
+// Validate checks all components.
+func (p Platform) Validate() error {
+	if err := p.L1.Validate(); err != nil {
+		return fmt.Errorf("%w: L1: %v", ErrBadPlatform, err)
+	}
+	if err := p.LLC.Validate(); err != nil {
+		return fmt.Errorf("%w: LLC: %v", ErrBadPlatform, err)
+	}
+	if err := p.DRAM.Validate(); err != nil {
+		return fmt.Errorf("%w: DRAM: %v", ErrBadPlatform, err)
+	}
+	if err := p.Core.Validate(); err != nil {
+		return fmt.Errorf("%w: core: %v", ErrBadPlatform, err)
+	}
+	return nil
+}
+
+// hierarchy chains L1 → LLC → DRAM for one agent.
+type hierarchy struct {
+	l1, llc  *cache.Cache
+	mc       *dram.Controller
+	prefetch bool
+}
+
+// access resolves one reference and returns its completion cycle.
+func (h *hierarchy) access(addr uint64, write bool, now int64) int64 {
+	if h.l1.Access(addr, write).Hit {
+		return now + int64(h.l1.Config().HitLatency)
+	}
+	llcRes := h.llc.Access(addr, write)
+	if llcRes.Hit {
+		// Tagged next-line prefetch: hits keep the prefetch stream alive,
+		// otherwise coverage alternates miss/hit down a sequential walk.
+		h.issuePrefetch(addr, now)
+		return now + int64(h.l1.Config().HitLatency) + int64(h.llc.Config().HitLatency)
+	}
+	if llcRes.Writeback {
+		// Dirty victims drain to DRAM in the background: they consume
+		// bandwidth (delaying later fills) but nothing waits on them.
+		h.mc.Access(llcRes.EvictedAddr, now)
+	}
+	done := h.mc.Access(addr, now+int64(h.l1.Config().HitLatency)+int64(h.llc.Config().HitLatency))
+	h.issuePrefetch(addr, done)
+	return done
+}
+
+// issuePrefetch fills addr's successor block in the background when the
+// prefetcher is enabled. Nothing waits on it, but it occupies the bus, a
+// bank, and a cache line — prefetching is not free bandwidth.
+func (h *hierarchy) issuePrefetch(addr uint64, when int64) {
+	if !h.prefetch {
+		return
+	}
+	next := addr + uint64(h.llc.Config().BlockBytes)
+	if h.llc.Contains(next) {
+		return
+	}
+	if pfRes := h.llc.Access(next, false); pfRes.Writeback {
+		h.mc.Access(pfRes.EvictedAddr, when)
+	}
+	h.mc.Access(next, when)
+}
+
+// genSource adapts a trace generator to the core's AccessSource.
+type genSource struct{ g *trace.Generator }
+
+func (s genSource) NextAccess() (uint64, bool, int) {
+	a := s.g.Next()
+	return a.Addr, a.Write, a.Gap
+}
+
+// RunResult is one single-workload simulation outcome.
+type RunResult struct {
+	Core cpu.Result
+	// LLCMissRate is the LLC local miss rate.
+	LLCMissRate float64
+	// L1MissRate is the L1 miss rate.
+	L1MissRate float64
+	// AvgMemLatency is the mean DRAM request latency in cycles.
+	AvgMemLatency float64
+}
+
+// IPC returns the run's instructions per cycle.
+func (r RunResult) IPC() float64 { return r.Core.IPC() }
+
+// Run simulates one workload alone on the platform for nAccesses memory
+// references (the synthetic analogue of the paper's 100M-instruction ROI).
+func Run(w trace.Config, p Platform, nAccesses int) (RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if nAccesses <= 0 {
+		return RunResult{}, fmt.Errorf("%w: nAccesses = %d", ErrBadPlatform, nAccesses)
+	}
+	gen, err := trace.NewGenerator(w)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sim: %w", err)
+	}
+	l1, err := cache.New(p.L1)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sim: %w", err)
+	}
+	llc, err := cache.New(p.LLC)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sim: %w", err)
+	}
+	mc, err := dram.New(p.DRAM)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sim: %w", err)
+	}
+	h := &hierarchy{l1: l1, llc: llc, mc: mc, prefetch: p.Prefetch}
+	core, err := cpu.New(p.Core, h.access)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sim: %w", err)
+	}
+	// Warm the hierarchy with one coldest-first pass over the working set
+	// so measurement starts from the reuse distribution's steady state
+	// rather than an all-compulsory-miss transient, then clear the
+	// warmup's statistics.
+	for _, addr := range gen.WarmupAddrs() {
+		l1.Access(addr, false)
+		llc.Access(addr, false)
+	}
+	l1.ResetStats()
+	llc.ResetStats()
+	res := core.Run(genSource{gen}, nAccesses)
+	return RunResult{
+		Core:          res,
+		LLCMissRate:   llc.Stats().MissRate(),
+		L1MissRate:    l1.Stats().MissRate(),
+		AvgMemLatency: mc.Stats().AvgLatency(),
+	}, nil
+}
+
+// Sweep profiles a workload over the full Table 1 grid (5 LLC sizes × 5
+// bandwidths) and returns a fit-ready profile whose allocation vectors are
+// (bandwidth GB/s, cache MB) — the paper's (x, y) convention.
+func Sweep(w trace.Config, nAccesses int) (*fit.Profile, error) {
+	return SweepGrid(w, nAccesses, LLCSizes, Bandwidths)
+}
+
+// SweepGrid profiles a workload over an arbitrary grid. Used directly by
+// the grid-density ablation.
+func SweepGrid(w trace.Config, nAccesses int, llcSizes []int, bandwidths []float64) (*fit.Profile, error) {
+	if len(llcSizes) == 0 || len(bandwidths) == 0 {
+		return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
+	}
+	p := &fit.Profile{}
+	for _, bw := range bandwidths {
+		for _, sz := range llcSizes {
+			res, err := Run(w, DefaultPlatform(sz, bw), nAccesses)
+			if err != nil {
+				return nil, err
+			}
+			cacheMB := float64(sz) / (1 << 20)
+			p.Add([]float64{bw, cacheMB}, res.IPC())
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,110 @@
+package spl
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicsResult summarizes iterated best-response dynamics of the
+// reporting game.
+type DynamicsResult struct {
+	// Rounds is the number of full best-response rounds executed.
+	Rounds int
+	// Converged is true when a round changed no report by more than tol.
+	Converged bool
+	// Reports holds the final reported elasticities per agent.
+	Reports [][]float64
+	// MaxDeviationFromTruth is max_i ‖report_i − truth_i‖∞ at the end —
+	// the distance between the reporting game's equilibrium and honesty.
+	MaxDeviationFromTruth float64
+	// PerRoundShift records the largest report change in each round
+	// (a convergence trace).
+	PerRoundShift []float64
+}
+
+// BestResponseDynamics runs the full reporting game: starting from truthful
+// reports, every agent in turn replaces its report with the exact best
+// response to the others' current reports (Equation 15 with reported,
+// rather than true, opponent elasticities), until no report moves by more
+// than tol or maxRounds elapses.
+//
+// §4.3 analyzes a single strategic agent; the dynamics answer the harder
+// question of what happens when *everyone* is strategic. A fixed point of
+// this process is a Nash equilibrium of the reporting game, and for large
+// systems it sits next to the truthful profile — SPL as an equilibrium
+// statement, not just a unilateral one.
+func BestResponseDynamics(truths [][]float64, maxRounds int, tol float64) (*DynamicsResult, error) {
+	n := len(truths)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need ≥ 2 agents", ErrBadInput)
+	}
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("%w: maxRounds = %d", ErrBadInput, maxRounds)
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	r := len(truths[0])
+	for i, tr := range truths {
+		if len(tr) != r {
+			return nil, fmt.Errorf("%w: agent %d has %d elasticities, agent 0 has %d", ErrBadInput, i, len(tr), r)
+		}
+		var s float64
+		for _, a := range tr {
+			if a < 0 || math.IsNaN(a) {
+				return nil, fmt.Errorf("%w: agent %d has invalid elasticity", ErrBadInput, i)
+			}
+			s += a
+		}
+		if math.Abs(s-1) > 1e-6 {
+			return nil, fmt.Errorf("%w: agent %d truth sums to %v, must be rescaled", ErrBadInput, i, s)
+		}
+	}
+	reports := make([][]float64, n)
+	for i := range reports {
+		reports[i] = append([]float64(nil), truths[i]...)
+	}
+	res := &DynamicsResult{}
+	sums := make([]float64, r)
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds = round + 1
+		var shift float64
+		for i := 0; i < n; i++ {
+			for k := range sums {
+				sums[k] = 0
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				for k, a := range reports[j] {
+					sums[k] += a
+				}
+			}
+			br, err := BestResponse(truths[i], sums)
+			if err != nil {
+				return nil, err
+			}
+			for k := range br.Report {
+				if d := math.Abs(br.Report[k] - reports[i][k]); d > shift {
+					shift = d
+				}
+			}
+			reports[i] = br.Report
+		}
+		res.PerRoundShift = append(res.PerRoundShift, shift)
+		if shift <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Reports = reports
+	for i := range reports {
+		for k := range reports[i] {
+			if d := math.Abs(reports[i][k] - truths[i][k]); d > res.MaxDeviationFromTruth {
+				res.MaxDeviationFromTruth = d
+			}
+		}
+	}
+	return res, nil
+}

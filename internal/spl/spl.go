@@ -1,0 +1,229 @@
+// Package spl analyzes strategy-proofness in the large (SPL), §4.3 and
+// Appendix A of the REF paper. Under proportional elasticity, a strategic
+// agent i reporting α′ instead of its true (rescaled) elasticities α̂
+// receives share α′_r/(α′_r + S_r) of resource r, where S_r = Σ_{j≠i} α̂_jr.
+// The agent's problem (Equation 15) is
+//
+//	max_{α′ ∈ Δ}  ∏_r ( α′_r / (α′_r + S_r) )^{α̂_r}
+//
+// (the capacities C_r multiply through as constants). Appendix A shows that
+// when 1 ≪ S_r for all r this optimum approaches α′ = α̂ — lying stops
+// paying once the system is large. This package computes exact best
+// responses numerically so that claim becomes a measurable curve:
+// deviation ‖α′ − α̂‖ and utility gain versus the number of agents.
+package spl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ref/internal/opt"
+)
+
+// ErrBadInput reports malformed analysis inputs.
+var ErrBadInput = errors.New("spl: bad input")
+
+// BestResponseResult describes a strategic agent's optimal misreport.
+type BestResponseResult struct {
+	// Report is the utility-maximizing reported elasticity vector α′
+	// (on the simplex).
+	Report []float64
+	// Truth is the rescaled true elasticity vector α̂.
+	Truth []float64
+	// Gain is u(lie)/u(truth) − 1: the relative utility improvement from
+	// the optimal lie. Non-negative by construction (truth is feasible).
+	Gain float64
+	// Deviation is ‖α′ − α̂‖∞.
+	Deviation float64
+}
+
+// logPayoff evaluates Σ_r α̂_r·[log α′_r − log(α′_r + S_r)], the log of the
+// Equation 15 objective without the constant capacity terms.
+func logPayoff(truth, report, otherSums []float64) float64 {
+	var s float64
+	for r, a := range truth {
+		if a == 0 {
+			continue
+		}
+		if report[r] <= 0 {
+			return math.Inf(-1)
+		}
+		s += a * (math.Log(report[r]) - math.Log(report[r]+otherSums[r]))
+	}
+	return s
+}
+
+// BestResponse solves Equation 15 by projected gradient ascent on the
+// simplex. truth must be the agent's rescaled elasticities; otherSums holds
+// S_r = Σ_{j≠i} α̂_jr for each resource.
+func BestResponse(truth, otherSums []float64) (*BestResponseResult, error) {
+	rN := len(truth)
+	if rN == 0 || len(otherSums) != rN {
+		return nil, fmt.Errorf("%w: %d elasticities, %d other-sums", ErrBadInput, len(truth), len(otherSums))
+	}
+	var tsum float64
+	for r, a := range truth {
+		if a < 0 || math.IsNaN(a) {
+			return nil, fmt.Errorf("%w: truth[%d] = %v", ErrBadInput, r, a)
+		}
+		if otherSums[r] < 0 || math.IsNaN(otherSums[r]) {
+			return nil, fmt.Errorf("%w: otherSums[%d] = %v", ErrBadInput, r, otherSums[r])
+		}
+		tsum += a
+	}
+	if math.Abs(tsum-1) > 1e-6 {
+		return nil, fmt.Errorf("%w: truth must be rescaled (sums to %v)", ErrBadInput, tsum)
+	}
+	// Start from the truthful report — always feasible and usually close
+	// to the optimum.
+	report := append([]float64(nil), truth...)
+	floor := 1e-9
+	if err := opt.ProjectSimplex(report, floor); err != nil {
+		return nil, err
+	}
+	grad := make([]float64, rN)
+	const iters = 30000
+	for t := 0; t < iters; t++ {
+		for r, a := range truth {
+			if a == 0 {
+				grad[r] = 0
+				continue
+			}
+			// d/dα′_r of a·[log α′_r − log(α′_r + S_r)].
+			grad[r] = a * (1/report[r] - 1/(report[r]+otherSums[r]))
+		}
+		// Scale-free diminishing step.
+		var gmax float64
+		for _, g := range grad {
+			if a := math.Abs(g); a > gmax {
+				gmax = a
+			}
+		}
+		if gmax == 0 {
+			break
+		}
+		step := 0.1 / math.Sqrt(float64(t+1)) / gmax
+		for r := range report {
+			report[r] += step * grad[r]
+		}
+		if err := opt.ProjectSimplex(report, floor); err != nil {
+			return nil, err
+		}
+	}
+	truthPay := logPayoff(truth, truth, otherSums)
+	liePay := logPayoff(truth, report, otherSums)
+	gain := math.Exp(liePay-truthPay) - 1
+	if gain < 0 {
+		// The truthful report was already optimal; numerical ascent can't
+		// do worse than its own start, but projection rounding can shave
+		// an epsilon — report the truthful point in that case.
+		copy(report, truth)
+		gain = 0
+	}
+	var dev float64
+	for r := range report {
+		if d := math.Abs(report[r] - truth[r]); d > dev {
+			dev = d
+		}
+	}
+	return &BestResponseResult{
+		Report:    report,
+		Truth:     append([]float64(nil), truth...),
+		Gain:      gain,
+		Deviation: dev,
+	}, nil
+}
+
+// SweepPoint is one system size in a deviation sweep.
+type SweepPoint struct {
+	// N is the number of agents sharing the system.
+	N int
+	// MaxDeviation is the largest best-response deviation ‖α′−α̂‖∞ seen
+	// across trials and agents.
+	MaxDeviation float64
+	// MeanDeviation averages the deviation across trials and agents.
+	MeanDeviation float64
+	// MaxGain is the largest relative utility gain from lying.
+	MaxGain float64
+}
+
+// DeviationSweep measures how fast truthfulness becomes optimal as systems
+// grow (the §4.3 experiment: "tens of agents are sufficient"). For each
+// system size in ns it draws trials random economies with elasticities
+// uniform on (0,1) (then rescaled), computes the best response of one
+// randomly chosen strategic agent per trial, and aggregates deviations.
+func DeviationSweep(ns []int, resources, trials int, seed int64) ([]SweepPoint, error) {
+	if resources < 2 {
+		return nil, fmt.Errorf("%w: need ≥ 2 resources, got %d", ErrBadInput, resources)
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("%w: need ≥ 1 trial", ErrBadInput)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SweepPoint, 0, len(ns))
+	for _, n := range ns {
+		if n < 2 {
+			return nil, fmt.Errorf("%w: system size %d < 2", ErrBadInput, n)
+		}
+		pt := SweepPoint{N: n}
+		var devSum float64
+		for trial := 0; trial < trials; trial++ {
+			// Draw all agents' rescaled elasticities.
+			alphas := make([][]float64, n)
+			for i := range alphas {
+				a := make([]float64, resources)
+				var s float64
+				for r := range a {
+					a[r] = rng.Float64()
+					s += a[r]
+				}
+				for r := range a {
+					a[r] /= s
+				}
+				alphas[i] = a
+			}
+			liar := rng.Intn(n)
+			sums := make([]float64, resources)
+			for i, a := range alphas {
+				if i == liar {
+					continue
+				}
+				for r := range sums {
+					sums[r] += a[r]
+				}
+			}
+			br, err := BestResponse(alphas[liar], sums)
+			if err != nil {
+				return nil, err
+			}
+			devSum += br.Deviation
+			if br.Deviation > pt.MaxDeviation {
+				pt.MaxDeviation = br.Deviation
+			}
+			if br.Gain > pt.MaxGain {
+				pt.MaxGain = br.Gain
+			}
+		}
+		pt.MeanDeviation = devSum / float64(trials)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// LargeLimitFixedPoint verifies the Appendix A KKT argument directly: in
+// the large limit (S_r → ∞) the objective degenerates to max ∏ α′^α̂ on the
+// simplex, whose unique maximizer is α′ = α̂. It returns the maximizer of
+// the limit objective computed numerically, for comparison against truth.
+func LargeLimitFixedPoint(truth []float64) ([]float64, error) {
+	huge := make([]float64, len(truth))
+	for r := range huge {
+		huge[r] = 1e9
+	}
+	br, err := BestResponse(truth, huge)
+	if err != nil {
+		return nil, err
+	}
+	return br.Report, nil
+}

@@ -1,0 +1,241 @@
+package spl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBestResponseValidation(t *testing.T) {
+	if _, err := BestResponse(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("empty accepted")
+	}
+	if _, err := BestResponse([]float64{0.5, 0.5}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BestResponse([]float64{0.9, 0.9}, []float64{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Error("unrescaled truth accepted")
+	}
+	if _, err := BestResponse([]float64{-0.5, 1.5}, []float64{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative elasticity accepted")
+	}
+	if _, err := BestResponse([]float64{0.5, 0.5}, []float64{math.NaN(), 1}); !errors.Is(err, ErrBadInput) {
+		t.Error("NaN other-sum accepted")
+	}
+}
+
+func TestSmallSystemLyingPays(t *testing.T) {
+	// Two agents: lying must yield a strictly positive gain — this is why
+	// plain SP fails for Cobb-Douglas (§4.3) and only SPL holds.
+	truth := []float64{0.8, 0.2}
+	other := []float64{0.2, 0.8} // one other agent
+	br, err := BestResponse(truth, other)
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	if br.Gain <= 1e-4 {
+		t.Errorf("2-agent gain = %v, expected materially positive", br.Gain)
+	}
+	if br.Deviation <= 1e-3 {
+		t.Errorf("2-agent deviation = %v, expected materially positive", br.Deviation)
+	}
+}
+
+func TestLargeSystemTruthfulnessOptimal(t *testing.T) {
+	// §4.3: with many agents (S_r ≫ 1), the best response is ≈ truth.
+	truth := []float64{0.7, 0.3}
+	other := []float64{40, 24} // e.g. 64 agents averaging uniform α
+	br, err := BestResponse(truth, other)
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	if br.Deviation > 0.01 {
+		t.Errorf("large-system deviation = %v, want ≈ 0", br.Deviation)
+	}
+	if br.Gain > 1e-3 {
+		t.Errorf("large-system gain = %v, want ≈ 0", br.Gain)
+	}
+}
+
+func TestGainNeverNegative(t *testing.T) {
+	br, err := BestResponse([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Gain < 0 {
+		t.Errorf("Gain = %v < 0", br.Gain)
+	}
+}
+
+func TestSymmetricTruthIsFixedPoint(t *testing.T) {
+	// With symmetric S and symmetric truth the problem is symmetric; the
+	// best response stays symmetric (and equal to truth).
+	br, err := BestResponse([]float64{0.5, 0.5}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(br.Report[0]-0.5) > 1e-3 || math.Abs(br.Report[1]-0.5) > 1e-3 {
+		t.Errorf("symmetric best response = %v, want [0.5 0.5]", br.Report)
+	}
+}
+
+func TestLargeLimitFixedPoint(t *testing.T) {
+	// Appendix A: the limit optimizer is exactly the truth.
+	truth := []float64{0.25, 0.35, 0.4}
+	got, err := LargeLimitFixedPoint(truth)
+	if err != nil {
+		t.Fatalf("LargeLimitFixedPoint: %v", err)
+	}
+	for r := range truth {
+		if math.Abs(got[r]-truth[r]) > 1e-3 {
+			t.Errorf("limit fixed point[%d] = %v, want %v", r, got[r], truth[r])
+		}
+	}
+}
+
+// Property: deviation shrinks (weakly) as the other-agent mass grows.
+func TestDeviationShrinksWithMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + 0.8*rng.Float64()
+		truth := []float64{a, 1 - a}
+		devAt := func(mass float64) float64 {
+			other := []float64{mass * (0.2 + 0.6*rng.Float64()), mass * (0.2 + 0.6*rng.Float64())}
+			br, err := BestResponse(truth, other)
+			if err != nil {
+				return math.NaN()
+			}
+			return br.Deviation
+		}
+		small := devAt(1)
+		large := devAt(100)
+		if math.IsNaN(small) || math.IsNaN(large) {
+			return false
+		}
+		return large <= small+0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationSweepMonotone(t *testing.T) {
+	pts, err := DeviationSweep([]int{2, 8, 64}, 2, 6, 99)
+	if err != nil {
+		t.Fatalf("DeviationSweep: %v", err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The 64-task system of §4.3 must effectively kill deviations.
+	last := pts[len(pts)-1]
+	if last.N != 64 {
+		t.Fatalf("last point N = %d", last.N)
+	}
+	if last.MaxDeviation > 0.02 {
+		t.Errorf("64-agent max deviation = %v, want ≈ 0 (SPL)", last.MaxDeviation)
+	}
+	if last.MaxGain > 0.01 {
+		t.Errorf("64-agent max gain = %v, want ≈ 0", last.MaxGain)
+	}
+	// Deviation at N=2 should dominate N=64.
+	if pts[0].MeanDeviation < last.MeanDeviation {
+		t.Errorf("mean deviation grew with N: %v -> %v", pts[0].MeanDeviation, last.MeanDeviation)
+	}
+}
+
+func TestDeviationSweepValidation(t *testing.T) {
+	if _, err := DeviationSweep([]int{2}, 1, 3, 1); !errors.Is(err, ErrBadInput) {
+		t.Error("1 resource accepted")
+	}
+	if _, err := DeviationSweep([]int{2}, 2, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Error("0 trials accepted")
+	}
+	if _, err := DeviationSweep([]int{1}, 2, 3, 1); !errors.Is(err, ErrBadInput) {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestBestResponseThreeResources(t *testing.T) {
+	truth := []float64{0.2, 0.3, 0.5}
+	br, err := BestResponse(truth, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range br.Report {
+		if v < 0 {
+			t.Errorf("negative report entry %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("report sums to %v", sum)
+	}
+}
+
+func TestBestResponseDynamicsValidation(t *testing.T) {
+	if _, err := BestResponseDynamics([][]float64{{0.5, 0.5}}, 5, 1e-3); !errors.Is(err, ErrBadInput) {
+		t.Error("single agent accepted")
+	}
+	if _, err := BestResponseDynamics([][]float64{{0.5, 0.5}, {0.9, 0.9}}, 5, 1e-3); !errors.Is(err, ErrBadInput) {
+		t.Error("unrescaled truth accepted")
+	}
+	if _, err := BestResponseDynamics([][]float64{{0.5, 0.5}, {0.4}}, 5, 1e-3); !errors.Is(err, ErrBadInput) {
+		t.Error("ragged truths accepted")
+	}
+	if _, err := BestResponseDynamics([][]float64{{0.5, 0.5}, {0.4, 0.6}}, 0, 1e-3); !errors.Is(err, ErrBadInput) {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestBestResponseDynamicsLargeSystemStaysTruthful(t *testing.T) {
+	// 32 agents: the all-strategic equilibrium sits next to honesty.
+	rng := rand.New(rand.NewSource(17))
+	truths := make([][]float64, 32)
+	for i := range truths {
+		a := 0.1 + 0.8*rng.Float64()
+		truths[i] = []float64{a, 1 - a}
+	}
+	res, err := BestResponseDynamics(truths, 20, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("dynamics did not converge in %d rounds (last shift %v)",
+			res.Rounds, res.PerRoundShift[len(res.PerRoundShift)-1])
+	}
+	if res.MaxDeviationFromTruth > 0.02 {
+		t.Errorf("equilibrium deviates %v from truth in a 32-agent system", res.MaxDeviationFromTruth)
+	}
+}
+
+func TestBestResponseDynamicsSmallSystemDeviates(t *testing.T) {
+	// Two agents with opposed preferences: the equilibrium of the
+	// reporting game moves materially away from honesty — exactly why
+	// plain SP fails and only SPL holds.
+	truths := [][]float64{{0.8, 0.2}, {0.2, 0.8}}
+	res, err := BestResponseDynamics(truths, 50, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDeviationFromTruth < 0.01 {
+		t.Errorf("2-agent equilibrium deviation %v, expected material strategic drift",
+			res.MaxDeviationFromTruth)
+	}
+	// Reports remain valid simplex points.
+	for i, rep := range res.Reports {
+		var s float64
+		for _, v := range rep {
+			if v < 0 {
+				t.Fatalf("agent %d negative report %v", i, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("agent %d report sums to %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func validCfg() Config {
+	return Config{
+		Name:               "test",
+		MemOpsPerKiloInstr: 200,
+		WorkingSetBlocks:   1024,
+		ReuseTheta:         1.5,
+		StreamFraction:     0.05,
+		WriteFraction:      0.3,
+		Seed:               1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero intensity", func(c *Config) { c.MemOpsPerKiloInstr = 0 }},
+		{"excess intensity", func(c *Config) { c.MemOpsPerKiloInstr = 1500 }},
+		{"zero working set", func(c *Config) { c.WorkingSetBlocks = 0 }},
+		{"zero theta", func(c *Config) { c.ReuseTheta = 0 }},
+		{"bad stream fraction", func(c *Config) { c.StreamFraction = 1.5 }},
+		{"bad write fraction", func(c *Config) { c.WriteFraction = -0.1 }},
+		{"negative burst", func(c *Config) { c.BurstLen = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := validCfg()
+			c.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	good := validCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g1.Generate(1000)
+	b := g2.Generate(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorAddressesBlockAligned(t *testing.T) {
+	g, err := NewGenerator(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range g.Generate(5000) {
+		if a.Addr%BlockSize != 0 {
+			t.Fatalf("unaligned address %#x", a.Addr)
+		}
+		if a.Gap < 0 {
+			t.Fatalf("negative gap %d", a.Gap)
+		}
+	}
+}
+
+func TestWriteFractionRespected(t *testing.T) {
+	cfg := validCfg()
+	cfg.WriteFraction = 0.5
+	g, _ := NewGenerator(cfg)
+	writes := 0
+	n := 20000
+	for _, a := range g.Generate(n) {
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("write fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestLocalityKnob(t *testing.T) {
+	// Higher ReuseTheta must concentrate accesses on fewer distinct
+	// blocks over a window — the knob the whole catalog rests on.
+	distinct := func(theta float64) int {
+		cfg := validCfg()
+		cfg.ReuseTheta = theta
+		cfg.StreamFraction = 0
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for _, a := range g.Generate(20000) {
+			seen[a.Addr] = true
+		}
+		return len(seen)
+	}
+	tight := distinct(2.5)
+	loose := distinct(0.6)
+	if tight >= loose {
+		t.Errorf("theta=2.5 touched %d blocks, theta=0.6 touched %d; want fewer for tighter reuse", tight, loose)
+	}
+}
+
+func TestStreamingTouchesFreshBlocks(t *testing.T) {
+	cfg := validCfg()
+	cfg.StreamFraction = 1.0
+	g, _ := NewGenerator(cfg)
+	seen := map[uint64]bool{}
+	n := 5000
+	for _, a := range g.Generate(n) {
+		if seen[a.Addr] {
+			t.Fatalf("pure streaming revisited block %#x", a.Addr)
+		}
+		seen[a.Addr] = true
+	}
+}
+
+func TestBurstsProduceBimodalGaps(t *testing.T) {
+	cfg := validCfg()
+	cfg.BurstLen = 16
+	cfg.BurstGap = 500
+	g, _ := NewGenerator(cfg)
+	big, small := 0, 0
+	for _, a := range g.Generate(10000) {
+		if a.Gap >= 500 {
+			big++
+		} else if a.Gap <= 1 {
+			small++
+		}
+	}
+	if big == 0 || small == 0 {
+		t.Errorf("burst gaps not bimodal: big=%d small=%d", big, small)
+	}
+	// Roughly one long gap per BurstLen references.
+	ratio := float64(small) / float64(big)
+	if ratio < 8 || ratio > 32 {
+		t.Errorf("burst ratio = %v, want ≈16", ratio)
+	}
+}
+
+func TestMeanGapTracksIntensity(t *testing.T) {
+	gapMean := func(mpki int) float64 {
+		cfg := validCfg()
+		cfg.MemOpsPerKiloInstr = mpki
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int
+		n := 30000
+		for _, a := range g.Generate(n) {
+			sum += a.Gap
+		}
+		return float64(sum) / float64(n)
+	}
+	sparse := gapMean(50) // 1 mem op per 20 instrs → mean gap ≈ 19
+	dense := gapMean(500) // 1 per 2 → mean gap ≈ 1
+	if sparse < 15 || sparse > 24 {
+		t.Errorf("sparse mean gap = %v, want ≈19", sparse)
+	}
+	if dense > 2.5 {
+		t.Errorf("dense mean gap = %v, want ≈1", dense)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 28 {
+		t.Fatalf("catalog has %d workloads, want 28", len(cat))
+	}
+	seen := map[string]bool{}
+	var c, m int
+	for _, w := range cat {
+		if err := w.Config.Validate(); err != nil {
+			t.Errorf("workload %s invalid: %v", w.Config.Name, err)
+		}
+		if seen[w.Config.Name] {
+			t.Errorf("duplicate workload %s", w.Config.Name)
+		}
+		seen[w.Config.Name] = true
+		if w.Suite == "" {
+			t.Errorf("workload %s has no suite", w.Config.Name)
+		}
+		switch w.Class {
+		case ClassC:
+			c++
+		case ClassM:
+			m++
+		}
+	}
+	if c == 0 || m == 0 {
+		t.Fatalf("degenerate classification: %dC %dM", c, m)
+	}
+	// The paper's named examples must carry the right class.
+	mustClass := map[string]Class{
+		"raytrace": ClassC, "dedup": ClassM, "histogram": ClassC,
+		"barnes": ClassC, "canneal": ClassM, "freqmine": ClassC,
+		"linear_regression": ClassC, "facesim": ClassM,
+		"fluidanimate": ClassM, "streamcluster": ClassM,
+	}
+	for name, want := range mustClass {
+		w, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%s): %v", name, err)
+			continue
+		}
+		if w.Class != want {
+			t.Errorf("%s class = %v, want %v", name, w.Class, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nonesuch"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 28 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	if names[0] != "raytrace" {
+		t.Errorf("first name = %s", names[0])
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassC.String() != "C" || ClassM.String() != "M" {
+		t.Error("Class.String wrong")
+	}
+}
+
+// Property: working-set reuse never references an address outside the
+// blocks the generator has handed out.
+func TestAddressesWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := validCfg()
+		cfg.Seed = seed
+		cfg.StreamFraction = 0.1
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			return false
+		}
+		maxSeen := uint64(0)
+		for _, a := range g.Generate(2000) {
+			if a.Addr%BlockSize != 0 {
+				return false
+			}
+			if a.Addr > maxSeen {
+				maxSeen = a.Addr
+			}
+		}
+		// Addresses are bounded by working set + stream length.
+		bound := uint64(cfg.WorkingSetBlocks+2100) * BlockSize
+		return maxSeen < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

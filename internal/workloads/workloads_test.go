@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ref/internal/trace"
+)
+
+// testAccesses keeps the shared sweep affordable in tests; FitAll memoizes
+// it across tests in this package.
+const testAccesses = 6000
+
+func TestTable2Shape(t *testing.T) {
+	mixes := Table2()
+	if len(mixes) != 10 {
+		t.Fatalf("Table 2 has %d mixes, want 10", len(mixes))
+	}
+	for i, m := range mixes {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s invalid: %v", m.ID, err)
+		}
+		wantCores := 4
+		if i >= 5 {
+			wantCores = 8
+		}
+		if len(m.Benchmarks) != wantCores {
+			t.Errorf("mix %s has %d benchmarks, want %d", m.ID, len(m.Benchmarks), wantCores)
+		}
+		if m.PaperLabel == "" {
+			t.Errorf("mix %s lacks a paper label", m.ID)
+		}
+	}
+	if len(FourCore()) != 5 || len(EightCore()) != 5 {
+		t.Error("FourCore/EightCore split wrong")
+	}
+	if FourCore()[0].ID != "WD1" || EightCore()[0].ID != "WD6" {
+		t.Error("mix ordering wrong")
+	}
+}
+
+func TestClassLabelsMatchPaper(t *testing.T) {
+	// Table 2's own labels for WD4 and WD5 are inconsistent with the
+	// paper's per-benchmark classifications (canneal is M in Example 2
+	// but WD4 is labeled 3C-1M); DESIGN.md documents this. All other
+	// labels must reproduce exactly from catalog classes.
+	skip := map[string]bool{"WD4": true, "WD5": true}
+	for _, m := range Table2() {
+		got, err := m.ClassLabel()
+		if err != nil {
+			t.Fatalf("%s: %v", m.ID, err)
+		}
+		if skip[m.ID] {
+			continue
+		}
+		if got != m.PaperLabel {
+			t.Errorf("%s class label = %s, paper says %s", m.ID, got, m.PaperLabel)
+		}
+	}
+}
+
+func TestMixValidateRejectsUnknown(t *testing.T) {
+	m := Mix{ID: "X", Benchmarks: []string{"nonesuch"}}
+	if err := m.Validate(); !errors.Is(err, ErrBadMix) {
+		t.Fatalf("err = %v", err)
+	}
+	var empty Mix
+	if err := empty.Validate(); !errors.Is(err, ErrBadMix) {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestFitAllCoversCatalogAndClassifies(t *testing.T) {
+	fitted, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted) != len(trace.Catalog()) {
+		t.Fatalf("fitted %d workloads, want %d", len(fitted), len(trace.Catalog()))
+	}
+	wrong := 0
+	for name, f := range fitted {
+		if err := f.Fit.Utility.Validate(); err != nil {
+			t.Errorf("%s: invalid fitted utility: %v", name, err)
+		}
+		if f.FittedClass() != f.Workload.Class {
+			wrong++
+			t.Logf("%s: fitted class %v != catalog class %v", name, f.FittedClass(), f.Workload.Class)
+		}
+	}
+	// With the short test budget allow at most two borderline flips; the
+	// benchmark-scale budget (refbench) reproduces Figure 9 exactly.
+	if wrong > 2 {
+		t.Errorf("%d workloads misclassified at test budget", wrong)
+	}
+}
+
+func TestFitAllMemoized(t *testing.T) {
+	a, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range a {
+		if a[name].Fit != b[name].Fit {
+			t.Fatalf("FitAll not memoized for %s", name)
+		}
+	}
+}
+
+func TestAgentsFromMix(t *testing.T) {
+	fitted, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WD8 contains word_count twice: agents must get distinct names.
+	var wd8 Mix
+	for _, m := range Table2() {
+		if m.ID == "WD8" {
+			wd8 = m
+		}
+	}
+	agents, err := wd8.Agents(fitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 8 {
+		t.Fatalf("WD8 has %d agents", len(agents))
+	}
+	seen := map[string]bool{}
+	dup := false
+	for _, a := range agents {
+		if seen[a.Name] {
+			t.Errorf("duplicate agent name %s", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.HasPrefix(a.Name, "word_count#") {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Error("duplicate benchmark not suffixed")
+	}
+}
+
+func TestAgentsMissingFit(t *testing.T) {
+	m := Table2()[0]
+	if _, err := m.Agents(map[string]Fitted{}); !errors.Is(err, ErrBadMix) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	fitted, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SortedNames(fitted)
+	if len(names) != len(fitted) {
+		t.Fatal("length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

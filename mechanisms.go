@@ -1,0 +1,89 @@
+package ref
+
+import (
+	"ref/internal/mech"
+	"ref/internal/opt"
+	"ref/internal/spl"
+)
+
+// Mechanism allocates capacity among Cobb-Douglas agents. The four
+// implementations below are the mechanisms the paper's evaluation compares
+// (§4.5, §5.5).
+type Mechanism = mech.Mechanism
+
+// ProportionalElasticity returns the REF mechanism: closed-form fair shares
+// with SI, EF, PE, and SPL.
+func ProportionalElasticity() Mechanism { return mech.ProportionalElasticity{} }
+
+// MaxWelfareFair returns the geometric-programming mechanism that maximizes
+// Nash social welfare subject to SI and EF — the empirical upper bound on
+// fair performance.
+func MaxWelfareFair() Mechanism { return mech.MaxWelfareFair{} }
+
+// MaxWelfareUnfair returns the mechanism that maximizes Nash social welfare
+// subject only to capacity — the empirical upper bound on throughput, with
+// no fairness guarantees.
+func MaxWelfareUnfair() Mechanism { return mech.MaxWelfareUnfair{} }
+
+// EqualSlowdown returns the conventional-wisdom mechanism that maximizes
+// the minimum normalized utility (equalizing slowdown), which the paper
+// shows violates SI and EF.
+func EqualSlowdown() Mechanism { return mech.EqualSlowdown{} }
+
+// EgalitarianFair returns the mechanism that maximizes egalitarian welfare
+// (max-min U_i) subject to SI and EF — §4.5's empirical lower bound on fair
+// performance.
+func EgalitarianFair() Mechanism { return mech.EgalitarianFair{} }
+
+// EqualSplit returns the static 1/N partition that sharing incentives are
+// measured against.
+func EqualSplit() Mechanism { return mech.EqualSplitMech{} }
+
+// Mechanisms returns the four evaluation mechanisms in the paper's legend
+// order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{MaxWelfareFair(), ProportionalElasticity(), MaxWelfareUnfair(), EqualSlowdown()}
+}
+
+// NormalizedUtilities returns U_i = u_i(x_i)/u_i(C) per agent — the
+// utility-based weighted-progress measure of Equation 17.
+func NormalizedUtilities(agents []Agent, capacity []float64, x Alloc) ([]float64, error) {
+	return mech.NormalizedUtilities(agents, capacity, x)
+}
+
+// WeightedThroughput returns Σ_i U_i(x_i), the metric Figures 13–14 plot.
+func WeightedThroughput(agents []Agent, capacity []float64, x Alloc) (float64, error) {
+	return mech.WeightedThroughput(agents, capacity, x)
+}
+
+// UnfairnessIndex returns max_i U_i / min_j U_j, the slowdown-ratio metric
+// prior work optimizes toward 1.
+func UnfairnessIndex(agents []Agent, capacity []float64, x Alloc) (float64, error) {
+	return mech.UnfairnessIndex(agents, capacity, x)
+}
+
+// EqualSplitAlloc returns the allocation giving every agent C/N of each
+// resource.
+func EqualSplitAlloc(n int, capacity []float64) Alloc {
+	return opt.EqualSplit(n, capacity)
+}
+
+// BestResponseResult describes a strategic agent's optimal misreport under
+// proportional elasticity (Equation 15).
+type BestResponseResult = spl.BestResponseResult
+
+// BestResponse solves the strategic agent's problem: truth must be the
+// agent's rescaled elasticities; otherSums holds Σ_{j≠i} α̂_jr per resource.
+func BestResponse(truth, otherSums []float64) (*BestResponseResult, error) {
+	return spl.BestResponse(truth, otherSums)
+}
+
+// SPLSweepPoint aggregates best-response deviations at one system size.
+type SPLSweepPoint = spl.SweepPoint
+
+// DeviationSweep measures how fast truthfulness becomes optimal as systems
+// grow (§4.3): for each size in ns it draws `trials` random economies and
+// computes one strategic agent's best response.
+func DeviationSweep(ns []int, resources, trials int, seed int64) ([]SPLSweepPoint, error) {
+	return spl.DeviationSweep(ns, resources, trials, seed)
+}

@@ -1,0 +1,371 @@
+package ref_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ref"
+)
+
+// TestQuickstart exercises the doc-comment example end to end.
+func TestQuickstart(t *testing.T) {
+	u1 := ref.MustNewUtility(1, 0.6, 0.4)
+	u2 := ref.MustNewUtility(1, 0.2, 0.8)
+	agents := []ref.Agent{
+		{Name: "user1", Utility: u1},
+		{Name: "user2", Utility: u2},
+	}
+	capacity := []float64{24, 12}
+	alloc, err := ref.Allocate(agents, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{18, 4}, {6, 8}}
+	for i := range want {
+		for r := range want[i] {
+			if math.Abs(alloc.X[i][r]-want[i][r]) > 1e-9 {
+				t.Errorf("X[%d][%d] = %v, want %v", i, r, alloc.X[i][r], want[i][r])
+			}
+		}
+	}
+	rep, err := ref.Audit(agents, capacity, alloc.X, ref.DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.All() {
+		t.Errorf("REF allocation fails audit: %v", rep)
+	}
+}
+
+func TestMechanismZoo(t *testing.T) {
+	ms := ref.Mechanisms()
+	if len(ms) != 4 {
+		t.Fatalf("got %d mechanisms", len(ms))
+	}
+	agents := []ref.Agent{
+		{Name: "a", Utility: ref.MustNewUtility(1, 0.7, 0.3)},
+		{Name: "b", Utility: ref.MustNewUtility(1, 0.3, 0.7)},
+	}
+	capacity := []float64{10, 10}
+	for _, m := range ms {
+		x, err := m.Allocate(agents, capacity)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !x.WithinCapacity(capacity, 1e-6) {
+			t.Errorf("%s: capacity violated", m.Name())
+		}
+		wt, err := ref.WeightedThroughput(agents, capacity, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wt <= 0 || wt > 2.0001 {
+			t.Errorf("%s: weighted throughput %v", m.Name(), wt)
+		}
+	}
+	if ref.EqualSplit().Name() == "" {
+		t.Error("EqualSplit unnamed")
+	}
+}
+
+func TestCEEIFacade(t *testing.T) {
+	agents := []ref.Agent{
+		{Utility: ref.MustNewUtility(1, 0.6, 0.4)},
+		{Utility: ref.MustNewUtility(1, 0.2, 0.8)},
+	}
+	ceei, err := ref.ComputeCEEI(agents, []float64{24, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ceei.Prices) != 2 || ceei.Prices[0] <= 0 {
+		t.Errorf("prices = %v", ceei.Prices)
+	}
+}
+
+func TestFitFacade(t *testing.T) {
+	truth := ref.MustNewUtility(1, 0.5, 0.5)
+	var p ref.Profile
+	for _, x := range []float64{1, 2, 4} {
+		for _, y := range []float64{1, 3, 9} {
+			p.Add([]float64{x, y}, truth.Eval([]float64{x, y}))
+		}
+	}
+	res, err := ref.FitCobbDouglas(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility.Alpha[0]-0.5) > 1e-9 {
+		t.Errorf("fitted alpha = %v", res.Utility.Alpha)
+	}
+	f, err := ref.NewOnlineFitter(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Utility().Alpha[0] != 0.5 {
+		t.Error("online prior wrong")
+	}
+}
+
+func TestLeontiefAndDRFFacade(t *testing.T) {
+	a, err := ref.NewLeontief(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ref.NewLeontief(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ref.DRF([]ref.LeontiefUtility{a, b}, []float64{9, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc[0][0]-3) > 1e-9 {
+		t.Errorf("DRF alloc = %v", alloc)
+	}
+}
+
+func TestEdgeworthFacade(t *testing.T) {
+	box, err := ref.NewEdgeworthBox(ref.MustNewUtility(1, 0.6, 0.4), ref.MustNewUtility(1, 0.2, 0.8), 24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := box.FairSet(100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Error("empty fair set")
+	}
+}
+
+func TestWorkloadCatalogFacade(t *testing.T) {
+	if got := len(ref.Workloads()); got != 28 {
+		t.Errorf("catalog size = %d", got)
+	}
+	w, err := ref.LookupWorkload("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Config.Name != "dedup" {
+		t.Errorf("lookup returned %q", w.Config.Name)
+	}
+	if len(ref.Table2()) != 10 {
+		t.Error("Table 2 size wrong")
+	}
+	if len(ref.LLCSizes()) != 5 || len(ref.Bandwidths()) != 5 {
+		t.Error("Table 1 ladders wrong")
+	}
+}
+
+func TestSimulatorFacade(t *testing.T) {
+	w, err := ref.LookupWorkload("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.RunWorkload(w.Config, ref.DefaultPlatform(512<<10, 6.4), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Errorf("IPC = %v", res.IPC())
+	}
+}
+
+func TestSchedulingFacade(t *testing.T) {
+	w, err := ref.NewWFQ([]float64{3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := w.RunBacklogged(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[0]-0.75) > 0.02 {
+		t.Errorf("WFQ share = %v", shares[0])
+	}
+	tickets, err := ref.TicketsFromShares([]float64{0.75, 0.25}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ref.NewLottery(tickets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := l.MaxShareError(50000); e > 0.02 {
+		t.Errorf("lottery error = %v", e)
+	}
+}
+
+func TestSPLFacade(t *testing.T) {
+	br, err := ref.BestResponse([]float64{0.5, 0.5}, []float64{30, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Deviation > 0.01 {
+		t.Errorf("large-system deviation = %v", br.Deviation)
+	}
+	pts, err := ref.DeviationSweep([]int{2, 16}, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("sweep points = %d", len(pts))
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	exps := ref.Experiments()
+	if len(exps) < 19 {
+		t.Fatalf("only %d experiments", len(exps))
+	}
+	var buf bytes.Buffer
+	if err := ref.RunExperiment("tab1", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("tab1 output wrong")
+	}
+	if err := ref.RunExperiment("nonesuch", 0, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPreferenceConstants(t *testing.T) {
+	u := ref.MustNewUtility(1, 1, 1)
+	if got := u.Compare([]float64{2, 2}, []float64{1, 1}); got != ref.Better {
+		t.Errorf("Compare = %v", got)
+	}
+	if got := u.Compare([]float64{1, 1}, []float64{2, 2}); got != ref.Worse {
+		t.Errorf("Compare = %v", got)
+	}
+	if got := u.Compare([]float64{1, 4}, []float64{2, 2}); got != ref.Indifferent {
+		t.Errorf("Compare = %v", got)
+	}
+}
+
+func TestProfilePersistenceFacade(t *testing.T) {
+	truth := ref.MustNewUtility(1, 0.5, 0.5)
+	var p ref.Profile
+	for _, x := range []float64{1, 2, 4} {
+		for _, y := range []float64{1, 3, 9} {
+			p.Add([]float64{x, y}, truth.Eval([]float64{x, y}))
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.ReadProfileCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 9 {
+		t.Fatalf("round trip lost samples: %d", len(got.Samples))
+	}
+	cv, err := ref.CrossValidateFit(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.R2 < 0.999 {
+		t.Errorf("CV R2 = %v on exact data", cv.R2)
+	}
+}
+
+func TestWindowedFitterFacade(t *testing.T) {
+	f, err := ref.NewWindowedFitter(2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		x := float64(i%7 + 1)
+		if err := f.Observe([]float64{x, 8 - x}, x*(8-x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Observations() != 10 {
+		t.Errorf("window kept %d observations", f.Observations())
+	}
+}
+
+func TestEgalitarianFairFacade(t *testing.T) {
+	agents := []ref.Agent{
+		{Utility: ref.MustNewUtility(1, 0.7, 0.3)},
+		{Utility: ref.MustNewUtility(1, 0.3, 0.7)},
+	}
+	capacity := []float64{10, 10}
+	x, err := ref.EgalitarianFair().Allocate(agents, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ref.Audit(agents, capacity, x, ref.Tolerance{Rel: 5e-3, MRS: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SI.Satisfied || !rep.EF.Satisfied {
+		t.Errorf("EgalitarianFair violates SI/EF: %v", rep)
+	}
+}
+
+func TestSharedBusFacade(t *testing.T) {
+	res, err := ref.RunSharedBusWFQ(ref.DefaultDRAMConfig(3.2), []float64{4, 40}, []float64{0.3, 0.7}, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Share(0)+res.Share(1) < 0.99 {
+		t.Errorf("shares don't sum: %v", res)
+	}
+	if _, err := ref.RunSharedBusFCFS(ref.DefaultDRAMConfig(3.2), []float64{4}, 50000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPFacade(t *testing.T) {
+	p, err := ref.NewGPProgram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MaximizeMonomial(ref.GPMonomial{Coeff: 1, Exp: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLinearCapacity([]float64{1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	x, rep, err := p.Solve(ref.GPConfig{})
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if math.Abs(x[0]-7) > 0.05 {
+		t.Errorf("x = %v, want 7", x[0])
+	}
+}
+
+func TestCoRunFacade(t *testing.T) {
+	w1, err := ref.LookupWorkload("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ref.LookupWorkload("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := ref.CacheConfig{SizeBytes: 1 << 20, Ways: 8, BlockBytes: 64, HitLatency: 20}
+	ws := []ref.WorkloadConfig{w1.Config, w2.Config}
+	managed, err := ref.CoRun(ws, llc, 12.8, [][2]float64{{6.4, 512 << 10}, {6.4, 512 << 10}}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmanaged, err := ref.UnmanagedCoRun(ws, llc, 12.8, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(managed.Agents) != 2 || len(unmanaged.Agents) != 2 {
+		t.Fatal("agent counts wrong")
+	}
+	for i := 0; i < 2; i++ {
+		if managed.Agents[i].IPC() <= 0 || unmanaged.Agents[i].IPC() <= 0 {
+			t.Errorf("agent %d zero IPC", i)
+		}
+	}
+}

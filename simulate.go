@@ -1,0 +1,168 @@
+package ref
+
+import (
+	"io"
+
+	"ref/internal/cache"
+	"ref/internal/dram"
+	"ref/internal/exp"
+	"ref/internal/sched"
+	"ref/internal/sim"
+	"ref/internal/trace"
+	"ref/internal/workloads"
+)
+
+// Workload is a catalog entry: a named synthetic stand-in for one paper
+// benchmark with its C/M classification.
+type Workload = trace.Workload
+
+// WorkloadConfig parameterizes a synthetic workload trace.
+type WorkloadConfig = trace.Config
+
+// Workloads returns the 28-benchmark catalog of the paper's evaluation
+// (PARSEC, SPLASH-2x, Phoenix).
+func Workloads() []Workload { return trace.Catalog() }
+
+// LookupWorkload finds a catalog entry by name.
+func LookupWorkload(name string) (Workload, error) { return trace.Lookup(name) }
+
+// Platform bundles the Table 1 component configurations.
+type Platform = sim.Platform
+
+// DefaultPlatform returns Table 1's platform at one (LLC bytes, GB/s) grid
+// point.
+func DefaultPlatform(llcBytes int, bandwidthGBps float64) Platform {
+	return sim.DefaultPlatform(llcBytes, bandwidthGBps)
+}
+
+// LLCSizes is Table 1's L2 capacity ladder in bytes.
+func LLCSizes() []int { return append([]int(nil), sim.LLCSizes...) }
+
+// Bandwidths is Table 1's DRAM bandwidth ladder in GB/s.
+func Bandwidths() []float64 { return append([]float64(nil), sim.Bandwidths...) }
+
+// RunResult is one single-workload simulation outcome.
+type RunResult = sim.RunResult
+
+// RunWorkload simulates one workload alone on a platform for nAccesses
+// memory references.
+func RunWorkload(w WorkloadConfig, p Platform, nAccesses int) (RunResult, error) {
+	return sim.Run(w, p, nAccesses)
+}
+
+// SweepWorkload profiles a workload over the full Table 1 grid, returning
+// a fit-ready profile with allocations in (bandwidth GB/s, cache MB).
+func SweepWorkload(w WorkloadConfig, nAccesses int) (*Profile, error) {
+	return sim.Sweep(w, nAccesses)
+}
+
+// SweepWorkloadGrid profiles a workload over an arbitrary grid of LLC
+// capacities (bytes) and bandwidths (GB/s) — used by the grid-density
+// ablation.
+func SweepWorkloadGrid(w WorkloadConfig, nAccesses int, llcSizes []int, bandwidths []float64) (*Profile, error) {
+	return sim.SweepGrid(w, nAccesses, llcSizes, bandwidths)
+}
+
+// CoRunOutcome holds per-agent results of a shared-platform simulation.
+type CoRunOutcome = sim.CoRunResult
+
+// CacheConfig describes cache geometry.
+type CacheConfig = cache.Config
+
+// CoRun simulates workloads sharing a platform under an ENFORCED
+// allocation: alloc[i] = (bandwidth GB/s, cache bytes) becomes a way
+// partition plus a bandwidth slice (§4.4 enforcement).
+func CoRun(workloadCfgs []WorkloadConfig, totalLLC CacheConfig, totalBandwidth float64, alloc [][2]float64, nAccesses int) (*CoRunOutcome, error) {
+	return sim.CoRun(workloadCfgs, totalLLC, totalBandwidth, alloc, nAccesses)
+}
+
+// UnmanagedCoRun simulates workloads sharing a platform with NO allocation:
+// a globally shared LLC and FCFS memory controller — the baseline whose
+// interference the REF mechanism exists to eliminate.
+func UnmanagedCoRun(workloadCfgs []WorkloadConfig, totalLLC CacheConfig, totalBandwidth float64, nAccesses int) (*CoRunOutcome, error) {
+	return sim.UnmanagedCoRun(workloadCfgs, totalLLC, totalBandwidth, nAccesses)
+}
+
+// FittedWorkload is a catalog workload with its fitted utility.
+type FittedWorkload = workloads.Fitted
+
+// FitAllWorkloads sweeps and fits every catalog workload (memoized per
+// access budget) — the profiling pipeline behind Figures 8, 9, 13, and 14.
+func FitAllWorkloads(nAccesses int) (map[string]FittedWorkload, error) {
+	return workloads.FitAll(nAccesses)
+}
+
+// Mix is one Table 2 multi-programmed workload (WD1–WD10).
+type Mix = workloads.Mix
+
+// Table2 returns the ten evaluation mixes.
+func Table2() []Mix { return workloads.Table2() }
+
+// WFQ is a start-time fair queuing server for enforcing bandwidth shares
+// (§4.4).
+type WFQ = sched.WFQ
+
+// NewWFQ builds a WFQ server for len(weights) flows serving rate units per
+// unit time.
+func NewWFQ(weights []float64, rate float64) (*WFQ, error) {
+	return sched.NewWFQ(weights, rate)
+}
+
+// ContentionResult reports a shared-memory-bus experiment: per-agent
+// delivered bandwidth and mean latency.
+type ContentionResult = sched.ContentionResult
+
+// RunSharedBusFCFS feeds Poisson request streams (rates in bursts per
+// kilocycle) into one DRAM controller in arrival order — the unmanaged
+// baseline where a heavy agent inflates everyone's latency.
+func RunSharedBusFCFS(cfg DRAMConfig, ratesPerKilocycle []float64, horizon, seed int64) (*ContentionResult, error) {
+	return sched.RunSharedBusFCFS(cfg, ratesPerKilocycle, horizon, seed)
+}
+
+// RunSharedBusWFQ arbitrates the same streams with start-time fair queuing
+// using the given weights (e.g. REF bandwidth shares), isolating light
+// agents from heavy ones (§4.4).
+func RunSharedBusWFQ(cfg DRAMConfig, ratesPerKilocycle, weights []float64, horizon, seed int64) (*ContentionResult, error) {
+	return sched.RunSharedBusWFQ(cfg, ratesPerKilocycle, weights, horizon, seed)
+}
+
+// DRAMConfig describes the memory subsystem model.
+type DRAMConfig = dram.Config
+
+// DefaultDRAMConfig returns Table 1's memory system at a given provisioned
+// bandwidth.
+func DefaultDRAMConfig(bandwidthGBps float64) DRAMConfig {
+	return dram.DefaultConfig(bandwidthGBps)
+}
+
+// Lottery is a lottery scheduler for enforcing time shares (§4.4).
+type Lottery = sched.Lottery
+
+// NewLottery builds a lottery scheduler from per-agent ticket counts.
+func NewLottery(tickets []int, seed int64) (*Lottery, error) {
+	return sched.NewLottery(tickets, seed)
+}
+
+// TicketsFromShares converts fractional shares into lottery tickets.
+func TicketsFromShares(shares []float64, resolution int) ([]int, error) {
+	return sched.TicketsFromShares(shares, resolution)
+}
+
+// Experiment is one paper table or figure reproduction.
+type Experiment = exp.Experiment
+
+// ExperimentConfig controls experiment fidelity and output.
+type ExperimentConfig = exp.Config
+
+// Experiments lists every reproducible table and figure, sorted by ID.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment regenerates one paper artifact by ID (e.g. "fig13"),
+// writing its rows to out.
+func RunExperiment(id string, accesses int, out io.Writer) error {
+	e, err := exp.Lookup(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(exp.Config{Accesses: accesses, Out: out})
+}
