@@ -79,6 +79,28 @@ func BenchmarkExtEnforcedCoRun(b *testing.B)     { runExperiment(b, "ext-corun")
 func BenchmarkExtMonteCarloPenalty(b *testing.B) { runExperiment(b, "ext-mc") }
 func BenchmarkExtInterference(b *testing.B)      { runExperiment(b, "ext-interference") }
 
+// --- Parallel-engine benches: the profiling sweep serial vs parallel ---
+
+// benchFitAll runs the full 28-workload profiling sweep at a fixed
+// worker-pool width, bypassing the memo cache so every iteration does the
+// real work. The serial/parallel pair quantifies the parallel engine's
+// speedup (compare ns/op; see BENCH_PR1.json).
+func benchFitAll(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.FitAllWorkloadsFresh(benchAccesses(), parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitAllSerial pins the sweep to one worker.
+func BenchmarkFitAllSerial(b *testing.B) { benchFitAll(b, 1) }
+
+// BenchmarkFitAllParallel runs the sweep at the default pool width
+// ($REF_PARALLELISM or GOMAXPROCS).
+func BenchmarkFitAllParallel(b *testing.B) { benchFitAll(b, 0) }
+
 // --- Ablation benches for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationRescaledVsRaw quantifies what Equation 12's rescaling

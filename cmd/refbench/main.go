@@ -6,6 +6,7 @@
 //	refbench -exp fig13            regenerate Figure 13
 //	refbench -exp all              regenerate everything
 //	refbench -exp fig9 -accesses 40000   higher-fidelity sweep
+//	refbench -exp fig13 -parallelism 4   explicit worker-pool width
 //
 // Output is the same rows/series the paper reports, printed to stdout.
 package main
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ref"
@@ -24,6 +26,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		expID    = flag.String("exp", "", "experiment ID to run (or \"all\")")
 		accesses = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
+		parallel = flag.Int("parallelism", 0, "worker-pool width for concurrent simulation units (0 = REF_PARALLELISM or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -37,6 +40,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "refbench: choose an experiment with -exp <id> (see -list)")
 		os.Exit(2)
 	}
+	effParallel := *parallel
+	if effParallel <= 0 {
+		effParallel = ref.Parallelism()
+	}
+	fmt.Printf("refbench: parallelism=%d (GOMAXPROCS=%d)\n\n", effParallel, runtime.GOMAXPROCS(0))
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = ids[:0]
@@ -46,7 +54,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := ref.RunExperiment(id, *accesses, os.Stdout); err != nil {
+		if err := ref.RunExperimentParallel(id, *accesses, *parallel, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}

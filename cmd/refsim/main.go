@@ -24,9 +24,14 @@ func main() {
 		cacheB   = flag.Int("cache", 0, "LLC capacity in bytes (0 = sweep the grid)")
 		bw       = flag.Float64("bw", 0, "memory bandwidth in GB/s (0 = sweep the grid)")
 		accesses = flag.Int("accesses", 20000, "memory accesses to simulate per configuration")
+		parallel = flag.Int("parallelism", 0, "worker-pool width for grid sweeps (0 = REF_PARALLELISM or GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "write the swept profile as CSV to this file")
 	)
 	flag.Parse()
+	effParallel := *parallel
+	if effParallel <= 0 {
+		effParallel = ref.Parallelism()
+	}
 
 	if *listW {
 		for _, w := range ref.Workloads() {
@@ -53,12 +58,13 @@ func main() {
 			*name, *cacheB, *bw, res.IPC(), res.L1MissRate, res.LLCMissRate, res.AvgMemLatency)
 		return
 	}
-	prof, err := ref.SweepWorkload(w.Config, *accesses)
+	prof, err := ref.SweepWorkloadParallel(w.Config, *accesses, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s (%s, class %s): Table 1 sweep, %d accesses per config\n", *name, w.Suite, w.Class, *accesses)
+	fmt.Printf("%s (%s, class %s): Table 1 sweep, %d accesses per config, parallelism=%d\n",
+		*name, w.Suite, w.Class, *accesses, effParallel)
 	for _, s := range prof.Samples {
 		fmt.Printf("  bw=%5.1f GB/s cache=%5.3f MB  IPC=%.3f\n", s.Alloc[0], s.Alloc[1], s.Perf)
 	}

@@ -30,7 +30,7 @@ type PairResult struct {
 // RunPair allocates the two-benchmark system with both mechanisms and
 // audits SI/EF/PE for each.
 func RunPair(cfg Config, a, b string) (*PairResult, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

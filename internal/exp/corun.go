@@ -5,6 +5,7 @@ import (
 
 	"ref/internal/cache"
 	"ref/internal/mech"
+	"ref/internal/par"
 	"ref/internal/sim"
 	"ref/internal/trace"
 	"ref/internal/workloads"
@@ -37,7 +38,7 @@ type CoRunResult struct {
 // simulator's IPC ratios. Equation 17's premise — that fitted utilities
 // stand in for IPC — becomes a measured error, not an assumption.
 func ExtCoRun(cfg Config) (*CoRunResult, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +94,22 @@ func ExtCoRun(cfg Config) (*CoRunResult, error) {
 		alloc[i] = [2]float64{shares[i], x[i][1] * (1 << 20)}
 	}
 	totalLLC := cache.Config{SizeBytes: int(capacity[1] * (1 << 20)), Ways: 8, BlockBytes: 64, HitLatency: 20}
-	shared, err := sim.CoRun(wcfgs, totalLLC, capacity[0], alloc, cfg.accesses())
+	shared, err := sim.CoRunParallel(wcfgs, totalLLC, capacity[0], alloc, cfg.accesses(), cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	// The standalone reference runs are independent of each other and of
+	// the shared result; fan them out before assembling rows in order.
+	aloneIPC := make([]float64, len(mix.Benchmarks))
+	err = par.ForEach(len(mix.Benchmarks), cfg.Parallelism, func(i int) error {
+		alone, err := sim.Run(wcfgs[i], sim.DefaultPlatform(totalLLC.SizeBytes, capacity[0]), cfg.accesses())
+		if err != nil {
+			return err
+		}
+		aloneIPC[i] = alone.IPC()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -102,13 +118,9 @@ func ExtCoRun(cfg Config) (*CoRunResult, error) {
 	w := cfg.out()
 	fmt.Fprintln(w, "Enforced co-run (WD2): utility-predicted vs simulator-measured normalized performance")
 	for i, b := range mix.Benchmarks {
-		alone, err := sim.Run(wcfgs[i], sim.DefaultPlatform(totalLLC.SizeBytes, capacity[0]), cfg.accesses())
-		if err != nil {
-			return nil, err
-		}
 		simU := 0.0
-		if alone.IPC() > 0 {
-			simU = shared.Agents[i].IPC() / alone.IPC()
+		if aloneIPC[i] > 0 {
+			simU = shared.Agents[i].IPC() / aloneIPC[i]
 		}
 		row := CoRunRow{Name: b, PredictedU: predicted[i], SimulatedU: simU}
 		res.Rows = append(res.Rows, row)

@@ -10,17 +10,24 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ref/internal/par"
 )
 
 // ErrUnknownExperiment reports a bad experiment ID.
 var ErrUnknownExperiment = errors.New("exp: unknown experiment")
 
-// Config controls experiment fidelity and output.
+// Config controls experiment fidelity, concurrency, and output.
 type Config struct {
 	// Accesses is the per-simulation memory-access budget (the synthetic
 	// analogue of the paper's 100M-instruction ROI). Zero selects
 	// DefaultAccesses.
 	Accesses int
+	// Parallelism bounds the worker pool used for the experiment's
+	// independent units (grid points, mixes, trials, standalone runs).
+	// Zero selects the default: $REF_PARALLELISM, else GOMAXPROCS.
+	// Results are bit-identical at any setting.
+	Parallelism int
 	// Out receives the rendered rows; nil discards them.
 	Out io.Writer
 }
@@ -41,6 +48,9 @@ func (c Config) out() io.Writer {
 	}
 	return io.Discard
 }
+
+// parallelism resolves the effective worker-pool width.
+func (c Config) parallelism() int { return par.Resolve(c.Parallelism) }
 
 // Experiment pairs an ID with its driver.
 type Experiment struct {

@@ -122,7 +122,7 @@ type OnlinePoint struct {
 // converges to the benchmark's true fitted elasticities within a few tens
 // of epochs.
 func ExtOnline(cfg Config) ([]OnlinePoint, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

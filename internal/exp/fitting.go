@@ -47,7 +47,7 @@ type Fig8aRow struct {
 // Fig8a fits Cobb-Douglas utilities to all 28 benchmarks' profiles and
 // reports R² per benchmark (Figure 8a).
 func Fig8a(cfg Config) ([]Fig8aRow, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ type Fig8bSeries struct {
 }
 
 func fitCurves(cfg Config, names []string, header string) ([]Fig8bSeries, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func fitCurves(cfg Config, names []string, header string) ([]Fig8bSeries, error)
 			return nil, fmt.Errorf("exp: no fitted workload %q", name)
 		}
 		series := Fig8bSeries{Name: name, R2: f.Fit.R2}
-		prof, err := sim.Sweep(f.Workload.Config, cfg.accesses())
+		prof, err := sim.SweepParallel(f.Workload.Config, cfg.accesses(), cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +137,7 @@ type Fig9Row struct {
 // Fig9 reports rescaled elasticities and the C/M classification for all
 // benchmarks (Figure 9).
 func Fig9(cfg Config) ([]Fig9Row, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

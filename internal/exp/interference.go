@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ref/internal/cache"
+	"ref/internal/par"
 	"ref/internal/sim"
 	"ref/internal/trace"
 )
@@ -38,11 +39,20 @@ func ExtInterference(cfg Config) ([]InterferenceRow, error) {
 	ws := []trace.Config{victim.Config, aggressor.Config}
 	llc := cache.Config{SizeBytes: 2 << 20, Ways: 8, BlockBytes: 64, HitLatency: 20}
 	const bw = 12.8
-	unmanaged, err := sim.UnmanagedCoRun(ws, llc, bw, cfg.accesses())
-	if err != nil {
-		return nil, err
-	}
-	managed, err := sim.CoRun(ws, llc, bw, [][2]float64{{bw / 2, 1 << 20}, {bw / 2, 1 << 20}}, cfg.accesses())
+	// The unmanaged and managed scenarios are independent simulations; run
+	// them concurrently. (The unmanaged co-run itself is inherently serial —
+	// its agents share one LLC and controller.)
+	var unmanaged, managed *sim.CoRunResult
+	err = par.ForEach(2, cfg.Parallelism, func(i int) error {
+		var err error
+		if i == 0 {
+			unmanaged, err = sim.UnmanagedCoRun(ws, llc, bw, cfg.accesses())
+		} else {
+			managed, err = sim.CoRunParallel(ws, llc, bw,
+				[][2]float64{{bw / 2, 1 << 20}, {bw / 2, 1 << 20}}, cfg.accesses(), cfg.Parallelism)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

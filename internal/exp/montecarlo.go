@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"ref/internal/core"
 	"ref/internal/mech"
+	"ref/internal/par"
 	"ref/internal/trace"
 	"ref/internal/workloads"
 )
@@ -24,21 +26,28 @@ type MCResult struct {
 	EqualSlowdownWorse int
 }
 
+// mcSeed is the base seed every economy's rand source derives from.
+const mcSeed = 20140305
+
 // ExtMC generalizes Figures 13–14 from ten curated mixes to a Monte Carlo
 // sample: random 4-agent economies drawn from the fitted catalog. The
 // paper's <10% fairness-penalty bound is checked in distribution, not just
-// on WD1–WD10.
+// on WD1–WD10. Economies are independent trials: each derives its own rand
+// source from (mcSeed, economy index) and they run concurrently, with
+// results identical at any parallelism.
 func ExtMC(cfg Config) (*MCResult, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	names := trace.Names()
-	rng := rand.New(rand.NewSource(20140305))
 	const economies = 100
 	capacity := SystemCapacity(4)
 	res := &MCResult{Economies: economies}
-	for e := 0; e < economies; e++ {
+	penalties := make([]float64, economies)
+	esWorse := make([]bool, economies)
+	err = par.ForEach(economies, cfg.Parallelism, func(e int) error {
+		rng := rand.New(rand.NewSource(trace.DeriveSeed(mcSeed, "ext-mc", strconv.Itoa(e))))
 		agents := make([]core.Agent, 4)
 		for i := range agents {
 			n := names[rng.Intn(len(names))]
@@ -49,34 +58,40 @@ func ExtMC(cfg Config) (*MCResult, error) {
 		}
 		xREF, err := mech.ProportionalElasticity{}.Allocate(agents, capacity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xUnfair, err := mech.MaxWelfareUnfair{}.Allocate(agents, capacity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xES, err := mech.EqualSlowdown{}.Allocate(agents, capacity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wREF, err := mech.WeightedThroughput(agents, capacity, xREF)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wUnfair, err := mech.WeightedThroughput(agents, capacity, xUnfair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wES, err := mech.WeightedThroughput(agents, capacity, xES)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		penalty := 0.0
 		if wUnfair > 0 {
-			penalty = 1 - wREF/wUnfair
+			penalties[e] = 1 - wREF/wUnfair
 		}
-		res.Penalties = append(res.Penalties, penalty)
-		if wES < wREF {
+		esWorse[e] = wES < wREF
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Penalties = penalties
+	for _, worse := range esWorse {
+		if worse {
 			res.EqualSlowdownWorse++
 		}
 	}

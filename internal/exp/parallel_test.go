@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExtMCDeterministicAcrossParallelism asserts the Monte Carlo study is
+// bit-identical between serial and parallel execution and across two
+// parallel runs: every economy derives its own rand source, so scheduling
+// cannot leak into the sample.
+func TestExtMCDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) (*MCResult, string) {
+		var buf bytes.Buffer
+		res, err := ExtMC(Config{Accesses: 6000, Parallelism: parallelism, Out: &buf})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res, buf.String()
+	}
+	serial, serialOut := run(1)
+	par8a, par8aOut := run(8)
+	par8b, par8bOut := run(8)
+	if len(serial.Penalties) != len(par8a.Penalties) || len(par8a.Penalties) != len(par8b.Penalties) {
+		t.Fatalf("penalty counts differ: %d / %d / %d",
+			len(serial.Penalties), len(par8a.Penalties), len(par8b.Penalties))
+	}
+	for i := range serial.Penalties {
+		if serial.Penalties[i] != par8a.Penalties[i] || par8a.Penalties[i] != par8b.Penalties[i] {
+			t.Errorf("penalty %d differs: serial %v, parallel %v, parallel-again %v",
+				i, serial.Penalties[i], par8a.Penalties[i], par8b.Penalties[i])
+		}
+	}
+	if serial.EqualSlowdownWorse != par8a.EqualSlowdownWorse || par8a.EqualSlowdownWorse != par8b.EqualSlowdownWorse {
+		t.Errorf("EqualSlowdownWorse differs: %d / %d / %d",
+			serial.EqualSlowdownWorse, par8a.EqualSlowdownWorse, par8b.EqualSlowdownWorse)
+	}
+	if serialOut != par8aOut || par8aOut != par8bOut {
+		t.Errorf("rendered output differs across parallelism:\nserial:   %q\nparallel: %q\nagain:    %q",
+			serialOut, par8aOut, par8bOut)
+	}
+}
+
+// TestThroughputDeterministicAcrossParallelism asserts the Figure 13
+// reproduction renders byte-identical output whatever the worker-pool
+// width: rows are computed into a pre-sized slice and rendered in mix
+// order only after the pool drains.
+func TestThroughputDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) string {
+		var buf bytes.Buffer
+		if _, err := Fig13(Config{Accesses: 6000, Parallelism: parallelism, Out: &buf}); err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	par8 := run(8)
+	if serial != par8 {
+		t.Errorf("fig13 output differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s", serial, par8)
+	}
+}

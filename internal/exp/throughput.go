@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ref/internal/mech"
+	"ref/internal/par"
 	"ref/internal/spl"
 	"ref/internal/workloads"
 )
@@ -69,37 +70,46 @@ func throughputMechanisms() []mech.Mechanism {
 }
 
 func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]ThroughputRow, error) {
-	fitted, err := workloads.FitAll(cfg.accesses())
+	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	w := cfg.out()
-	fmt.Fprintln(w, header)
-	rows := make([]ThroughputRow, 0, len(mixes))
-	for _, m := range mixes {
+	// Each mix is an independent allocate-and-score unit; fan them out and
+	// render afterwards in input order so output is deterministic.
+	rows := make([]ThroughputRow, len(mixes))
+	err = par.ForEach(len(mixes), cfg.Parallelism, func(i int) error {
+		m := mixes[i]
 		agents, err := m.Agents(fitted)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cap := SystemCapacity(len(agents))
 		label, err := m.ClassLabel()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := ThroughputRow{Mix: m, Label: label, Throughput: map[string]float64{}}
 		for _, mc := range throughputMechanisms() {
 			x, err := mc.Allocate(agents, cap)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s on %s: %w", mc.Name(), m.ID, err)
+				return fmt.Errorf("exp: %s on %s: %w", mc.Name(), m.ID, err)
 			}
 			wt, err := mech.WeightedThroughput(agents, cap, x)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Throughput[mc.Name()] = wt
 		}
-		rows = append(rows, row)
-		fmt.Fprintf(w, "%-5s (%s)", m.ID, label)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, header)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-5s (%s)", row.Mix.ID, row.Label)
 		for _, mc := range throughputMechanisms() {
 			fmt.Fprintf(w, "  %s=%.3f", shortName(mc.Name()), row.Throughput[mc.Name()])
 		}
@@ -145,7 +155,7 @@ type SPL64Result struct {
 // random elasticities, reproducing the §4.3 claim that tens of agents
 // suffice for SPL.
 func SPL64(cfg Config) (*SPL64Result, error) {
-	pts, err := spl.DeviationSweep([]int{2, 4, 8, 16, 32, 64}, 2, 8, 20140301)
+	pts, err := spl.DeviationSweepParallel([]int{2, 4, 8, 16, 32, 64}, 2, 8, 20140301, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

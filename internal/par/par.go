@@ -1,0 +1,156 @@
+// Package par is the parallel execution layer beneath every concurrent
+// sweep, co-run, and Monte Carlo fan-out in the repo. It provides a
+// bounded worker pool over *indexed* jobs — each job owns slot i of a
+// pre-sized result slice, so output ordering is deterministic regardless
+// of goroutine scheduling — and a singleflight primitive that deduplicates
+// concurrent computations of the same expensive key (the FitAll profiling
+// sweep being the canonical one).
+//
+// Determinism contract: callers must not share mutable state (in
+// particular rand stream state) across jobs. Each job derives whatever
+// randomness it needs from a stable per-job seed (see trace.DeriveSeed),
+// which makes results bit-identical between serial and parallel execution
+// and across repeated parallel runs.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that overrides the default pool
+// width.
+const EnvVar = "REF_PARALLELISM"
+
+// Default returns the pool width used when a caller does not request one
+// explicitly: $REF_PARALLELISM when set to a positive integer, otherwise
+// runtime.GOMAXPROCS(0).
+func Default() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve normalizes a parallelism knob: positive values pass through,
+// zero and negative values select Default().
+func Resolve(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return Default()
+}
+
+// ForEach runs jobs 0..n-1 on min(Resolve(parallelism), n) workers and
+// blocks until all started jobs finish. With parallelism 1 the jobs run
+// serially in index order and the first error aborts immediately — the
+// exact serial semantics. With more workers, a failing job stops further
+// indices from being claimed, already-running jobs drain, and the error
+// of the lowest-indexed failed job is returned (so the reported error does
+// not depend on scheduling).
+func ForEach(n, parallelism int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Resolve(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flightCall is one in-flight computation shared by concurrent callers.
+type flightCall[V any] struct {
+	done chan struct{}
+	// waiters counts callers sharing this call beyond the one computing
+	// it (observed by tests to sequence dedup scenarios).
+	waiters int
+	val     V
+	err     error
+}
+
+// Flight deduplicates concurrent calls by key: while a computation for a
+// key is in flight, later callers for the same key wait for it and share
+// its result instead of recomputing. Completed results are NOT retained —
+// memoization across non-overlapping calls is the caller's job. The zero
+// value is ready to use.
+type Flight[K comparable, V any] struct {
+	mu       sync.Mutex
+	inflight map[K]*flightCall[V]
+}
+
+// Do invokes fn, unless a call for key is already in flight, in which
+// case it waits for that call and returns its result.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.inflight == nil {
+		f.inflight = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.inflight[key]; ok {
+		c.waiters++
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// waitingFor reports how many callers are blocked on key's in-flight
+// call (0 when no call is in flight). Test hook.
+func (f *Flight[K, V]) waitingFor(key K) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.inflight[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

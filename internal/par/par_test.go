@@ -1,0 +1,211 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+	if got := Resolve(0); got != Default() {
+		t.Errorf("Resolve(0) = %d, want Default() = %d", got, Default())
+	}
+	if got := Resolve(-3); got != Default() {
+		t.Errorf("Resolve(-3) = %d, want Default()", got)
+	}
+	if Default() < 1 {
+		t.Errorf("Default() = %d < 1", Default())
+	}
+}
+
+func TestDefaultEnvOverride(t *testing.T) {
+	t.Setenv(EnvVar, "5")
+	if got := Default(); got != 5 {
+		t.Errorf("Default() = %d with %s=5", got, EnvVar)
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	if got := Default(); got < 1 {
+		t.Errorf("Default() = %d with junk env", got)
+	}
+	t.Setenv(EnvVar, "-2")
+	if got := Default(); got < 1 {
+		t.Errorf("Default() = %d with negative env", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 100} {
+		const n = 57
+		out := make([]int, n)
+		if err := ForEach(n, p, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d", p, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("job called for n=0")
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	e3 := errors.New("job 3")
+	e9 := errors.New("job 9")
+	// Every job from 3 on fails; the reported error must be job 3's
+	// regardless of which worker hit its failure first.
+	for _, p := range []int{1, 4} {
+		err := ForEach(20, p, func(i int) error {
+			switch {
+			case i == 3:
+				return e3
+			case i >= 9:
+				return e9
+			}
+			return nil
+		})
+		if !errors.Is(err, e3) {
+			t.Errorf("p=%d: err = %v, want job 3's", p, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(10000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("%d jobs ran after an index-0 failure; pool did not stop claiming", n)
+	}
+}
+
+func TestFlightDedupsConcurrentCallers(t *testing.T) {
+	var f Flight[int, int]
+	var computed atomic.Int64
+	const waiters = 7
+	results := make([]int, waiters)
+	var wg sync.WaitGroup
+	wg.Add(waiters + 1)
+	// The winner computes until every waiter is provably blocked on its
+	// in-flight call, so no waiter can possibly recompute.
+	go func() {
+		defer wg.Done()
+		if _, err := f.Do(42, func() (int, error) {
+			computed.Add(1)
+			for f.waitingFor(42) < waiters {
+				runtime.Gosched()
+			}
+			return 1234, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	for computed.Load() == 0 {
+		runtime.Gosched()
+	}
+	for c := 0; c < waiters; c++ {
+		go func(c int) {
+			defer wg.Done()
+			v, err := f.Do(42, func() (int, error) {
+				computed.Add(1)
+				return 1234, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[c] = v
+		}(c)
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Errorf("computation ran %d times for one key, want 1", n)
+	}
+	for c, v := range results {
+		if v != 1234 {
+			t.Errorf("caller %d got %d", c, v)
+		}
+	}
+}
+
+func TestFlightDistinctKeysDoNotBlock(t *testing.T) {
+	var f Flight[string, string]
+	a, err := f.Do("a", func() (string, error) { return "va", nil })
+	if err != nil || a != "va" {
+		t.Fatalf("a: %v %v", a, err)
+	}
+	b, err := f.Do("b", func() (string, error) { return "vb", nil })
+	if err != nil || b != "vb" {
+		t.Fatalf("b: %v %v", b, err)
+	}
+}
+
+func TestFlightDoesNotCacheCompletedCalls(t *testing.T) {
+	var f Flight[int, int]
+	var n atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := f.Do(1, func() (int, error) { n.Add(1); return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 3 {
+		t.Errorf("sequential calls computed %d times, want 3 (Flight must not memoize)", n.Load())
+	}
+}
+
+func TestFlightPropagatesErrorToWaiters(t *testing.T) {
+	var f Flight[int, int]
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waiterErr error
+	go func() {
+		defer wg.Done()
+		<-started
+		_, waiterErr = f.Do(7, func() (int, error) {
+			t.Error("waiter recomputed an in-flight key")
+			return 0, nil
+		})
+	}()
+	_, err := f.Do(7, func() (int, error) {
+		close(started)
+		// Hold the call open until the waiter is provably sharing it.
+		for f.waitingFor(7) == 0 {
+			runtime.Gosched()
+		}
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("winner err = %v", err)
+	}
+	wg.Wait()
+	if !errors.Is(waiterErr, boom) {
+		t.Fatalf("waiter err = %v, want shared failure", waiterErr)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ref/internal/cache"
+	"ref/internal/par"
 	"ref/internal/trace"
 )
 
@@ -26,6 +27,14 @@ type CoRunResult struct {
 // totalLLC is the shared cache geometry; totalBandwidth the provisioned
 // GB/s; alloc[i] = (bandwidth GB/s, cache bytes) for agent i.
 func CoRun(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float64, alloc [][2]float64, nAccesses int) (*CoRunResult, error) {
+	return CoRunParallel(workloads, totalLLC, totalBandwidth, alloc, nAccesses, 0)
+}
+
+// CoRunParallel is CoRun with an explicit worker-pool width. Because way
+// partitions and bandwidth slices isolate agents completely, each agent's
+// simulation is independent and they run concurrently; results land in
+// input order.
+func CoRunParallel(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float64, alloc [][2]float64, nAccesses, parallelism int) (*CoRunResult, error) {
 	n := len(workloads)
 	if n == 0 {
 		return nil, fmt.Errorf("%w: no workloads", ErrBadPlatform)
@@ -54,7 +63,8 @@ func CoRun(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float
 	}
 	sets := totalLLC.SizeBytes / (totalLLC.Ways * totalLLC.BlockBytes)
 	out := &CoRunResult{Agents: make([]RunResult, n)}
-	for i, w := range workloads {
+	err = par.ForEach(n, parallelism, func(i int) error {
+		w := workloads[i]
 		p := DefaultPlatform(LLCSizes[0], alloc[i][0]) // LLC replaced below
 		p.LLC = cache.Config{
 			SizeBytes:  sets * ways[i] * totalLLC.BlockBytes,
@@ -64,9 +74,13 @@ func CoRun(workloads []trace.Config, totalLLC cache.Config, totalBandwidth float
 		}
 		res, err := Run(w, p, nAccesses)
 		if err != nil {
-			return nil, fmt.Errorf("sim: agent %d (%s): %w", i, w.Name, err)
+			return fmt.Errorf("sim: agent %d (%s): %w", i, w.Name, err)
 		}
 		out.Agents[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -78,18 +92,28 @@ func WeightedThroughput(workloads []trace.Config, totalLLC cache.Config, totalBa
 	if shared == nil || len(shared.Agents) != len(workloads) {
 		return 0, fmt.Errorf("%w: shared results do not match workloads", ErrBadPlatform)
 	}
-	var sum float64
-	for i, w := range workloads {
+	// The standalone runs are independent; sum in input order after the
+	// pool drains so the floating-point reduction is deterministic.
+	terms := make([]float64, len(workloads))
+	err := par.ForEach(len(workloads), 0, func(i int) error {
 		p := DefaultPlatform(totalLLC.SizeBytes, totalBandwidth)
 		p.LLC = totalLLC
-		alone, err := Run(w, p, nAccesses)
+		alone, err := Run(workloads[i], p, nAccesses)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if alone.IPC() <= 0 {
-			return 0, fmt.Errorf("%w: agent %d has zero standalone IPC", ErrBadPlatform, i)
+			return fmt.Errorf("%w: agent %d has zero standalone IPC", ErrBadPlatform, i)
 		}
-		sum += shared.Agents[i].IPC() / alone.IPC()
+		terms[i] = shared.Agents[i].IPC() / alone.IPC()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, t := range terms {
+		sum += t
 	}
 	return sum, nil
 }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"ref/internal/trace"
+)
+
+// parTestAccesses keeps the determinism sweeps fast; determinism is a
+// property of the execution structure, not the budget.
+const parTestAccesses = 2000
+
+func testWorkload(t *testing.T) trace.Config {
+	t.Helper()
+	w, err := trace.Lookup("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Config
+}
+
+// TestSweepGridParallelDeterministic asserts the tentpole's determinism
+// contract: parallel sweep output is bit-identical to serial output and to
+// itself across runs.
+func TestSweepGridParallelDeterministic(t *testing.T) {
+	w := testWorkload(t)
+	serial, err := SweepGridParallel(w, parTestAccesses, LLCSizes, Bandwidths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8a, err := SweepGridParallel(w, parTestAccesses, LLCSizes, Bandwidths, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8b, err := SweepGridParallel(w, parTestAccesses, LLCSizes, Bandwidths, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Samples) != len(par8a.Samples) || len(par8a.Samples) != len(par8b.Samples) {
+		t.Fatalf("sample counts differ: %d / %d / %d",
+			len(serial.Samples), len(par8a.Samples), len(par8b.Samples))
+	}
+	for i := range serial.Samples {
+		s, a, b := serial.Samples[i], par8a.Samples[i], par8b.Samples[i]
+		if s.Perf != a.Perf || a.Perf != b.Perf {
+			t.Errorf("sample %d: serial %v, parallel %v, parallel-again %v", i, s.Perf, a.Perf, b.Perf)
+		}
+		for r := range s.Alloc {
+			if s.Alloc[r] != a.Alloc[r] || a.Alloc[r] != b.Alloc[r] {
+				t.Errorf("sample %d alloc[%d] differs across runs", i, r)
+			}
+		}
+	}
+}
+
+// TestCoRunParallelDeterministic asserts per-agent co-run results are
+// bit-identical between serial and parallel execution.
+func TestCoRunParallelDeterministic(t *testing.T) {
+	a, err := trace.Lookup("raytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.Lookup("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []trace.Config{a.Config, b.Config}
+	llc := DefaultPlatform(2<<20, 12.8).LLC
+	alloc := [][2]float64{{6.4, 1 << 20}, {6.4, 1 << 20}}
+	serial, err := CoRunParallel(ws, llc, 12.8, alloc, parTestAccesses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8, err := CoRunParallel(ws, llc, 12.8, alloc, parTestAccesses, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Agents {
+		if serial.Agents[i] != par8.Agents[i] {
+			t.Errorf("agent %d: serial %+v != parallel %+v", i, serial.Agents[i], par8.Agents[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ref/internal/cpu"
 	"ref/internal/dram"
 	"ref/internal/fit"
+	"ref/internal/par"
 	"ref/internal/trace"
 )
 
@@ -214,27 +215,52 @@ func Run(w trace.Config, p Platform, nAccesses int) (RunResult, error) {
 
 // Sweep profiles a workload over the full Table 1 grid (5 LLC sizes × 5
 // bandwidths) and returns a fit-ready profile whose allocation vectors are
-// (bandwidth GB/s, cache MB) — the paper's (x, y) convention.
+// (bandwidth GB/s, cache MB) — the paper's (x, y) convention. Grid points
+// run concurrently on the default worker pool.
 func Sweep(w trace.Config, nAccesses int) (*fit.Profile, error) {
-	return SweepGrid(w, nAccesses, LLCSizes, Bandwidths)
+	return SweepGridParallel(w, nAccesses, LLCSizes, Bandwidths, 0)
+}
+
+// SweepParallel is Sweep with an explicit worker-pool width (≤ 0 selects
+// the default: $REF_PARALLELISM or GOMAXPROCS).
+func SweepParallel(w trace.Config, nAccesses, parallelism int) (*fit.Profile, error) {
+	return SweepGridParallel(w, nAccesses, LLCSizes, Bandwidths, parallelism)
 }
 
 // SweepGrid profiles a workload over an arbitrary grid. Used directly by
 // the grid-density ablation.
 func SweepGrid(w trace.Config, nAccesses int, llcSizes []int, bandwidths []float64) (*fit.Profile, error) {
+	return SweepGridParallel(w, nAccesses, llcSizes, bandwidths, 0)
+}
+
+// SweepGridParallel runs the grid's independent platform simulations on a
+// bounded worker pool. Every grid point builds its own trace generator
+// from the workload's configured seed, so results are bit-identical to
+// serial execution (parallelism 1) regardless of scheduling; samples are
+// emitted in the same bandwidth-major order the serial loop produced.
+func SweepGridParallel(w trace.Config, nAccesses int, llcSizes []int, bandwidths []float64, parallelism int) (*fit.Profile, error) {
 	if len(llcSizes) == 0 || len(bandwidths) == 0 {
 		return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
 	}
-	p := &fit.Profile{}
-	for _, bw := range bandwidths {
-		for _, sz := range llcSizes {
-			res, err := Run(w, DefaultPlatform(sz, bw), nAccesses)
-			if err != nil {
-				return nil, err
-			}
-			cacheMB := float64(sz) / (1 << 20)
-			p.Add([]float64{bw, cacheMB}, res.IPC())
+	results := make([]RunResult, len(bandwidths)*len(llcSizes))
+	err := par.ForEach(len(results), parallelism, func(i int) error {
+		bw := bandwidths[i/len(llcSizes)]
+		sz := llcSizes[i%len(llcSizes)]
+		res, err := Run(w, DefaultPlatform(sz, bw), nAccesses)
+		if err != nil {
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &fit.Profile{}
+	for i, res := range results {
+		sz := llcSizes[i%len(llcSizes)]
+		cacheMB := float64(sz) / (1 << 20)
+		p.Add([]float64{bandwidths[i/len(llcSizes)], cacheMB}, res.IPC())
 	}
 	return p, nil
 }

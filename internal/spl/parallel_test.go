@@ -1,0 +1,33 @@
+package spl
+
+import "testing"
+
+// TestDeviationSweepDeterministicAcrossParallelism asserts the sweep is
+// bit-identical between serial and parallel execution and across two
+// parallel runs: each (system size, trial) pair derives its own rand
+// source, so worker scheduling cannot change which economies are drawn.
+func TestDeviationSweepDeterministicAcrossParallelism(t *testing.T) {
+	ns := []int{2, 8, 32}
+	const trials = 6
+	serial, err := DeviationSweepParallel(ns, 2, trials, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8a, err := DeviationSweepParallel(ns, 2, trials, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8b, err := DeviationSweepParallel(ns, 2, trials, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par8a) || len(par8a) != len(par8b) {
+		t.Fatalf("point counts differ: %d / %d / %d", len(serial), len(par8a), len(par8b))
+	}
+	for i := range serial {
+		if serial[i] != par8a[i] || par8a[i] != par8b[i] {
+			t.Errorf("point %d differs: serial %+v, parallel %+v, parallel-again %+v",
+				i, serial[i], par8a[i], par8b[i])
+		}
+	}
+}

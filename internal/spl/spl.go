@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"ref/internal/opt"
+	"ref/internal/par"
+	"ref/internal/trace"
 )
 
 // ErrBadInput reports malformed analysis inputs.
@@ -154,56 +157,80 @@ type SweepPoint struct {
 // system size in ns it draws trials random economies with elasticities
 // uniform on (0,1) (then rescaled), computes the best response of one
 // randomly chosen strategic agent per trial, and aggregates deviations.
+// Trials run concurrently on the default worker pool.
 func DeviationSweep(ns []int, resources, trials int, seed int64) ([]SweepPoint, error) {
+	return DeviationSweepParallel(ns, resources, trials, seed, 0)
+}
+
+// DeviationSweepParallel is DeviationSweep with an explicit worker-pool
+// width. Each (system size, trial) pair derives its own rand source from
+// the sweep seed instead of advancing a shared stream, so results are
+// bit-identical whatever the parallelism and scheduling.
+func DeviationSweepParallel(ns []int, resources, trials int, seed int64, parallelism int) ([]SweepPoint, error) {
 	if resources < 2 {
 		return nil, fmt.Errorf("%w: need ≥ 2 resources, got %d", ErrBadInput, resources)
 	}
 	if trials < 1 {
 		return nil, fmt.Errorf("%w: need ≥ 1 trial", ErrBadInput)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]SweepPoint, 0, len(ns))
 	for _, n := range ns {
 		if n < 2 {
 			return nil, fmt.Errorf("%w: system size %d < 2", ErrBadInput, n)
 		}
+	}
+	type trialOutcome struct{ dev, gain float64 }
+	outcomes := make([]trialOutcome, len(ns)*trials)
+	err := par.ForEach(len(outcomes), parallelism, func(j int) error {
+		n := ns[j/trials]
+		trial := j % trials
+		rng := rand.New(rand.NewSource(trace.DeriveSeed(seed,
+			"spl-deviation", strconv.Itoa(n), strconv.Itoa(trial))))
+		// Draw all agents' rescaled elasticities.
+		alphas := make([][]float64, n)
+		for i := range alphas {
+			a := make([]float64, resources)
+			var s float64
+			for r := range a {
+				a[r] = rng.Float64()
+				s += a[r]
+			}
+			for r := range a {
+				a[r] /= s
+			}
+			alphas[i] = a
+		}
+		liar := rng.Intn(n)
+		sums := make([]float64, resources)
+		for i, a := range alphas {
+			if i == liar {
+				continue
+			}
+			for r := range sums {
+				sums[r] += a[r]
+			}
+		}
+		br, err := BestResponse(alphas[liar], sums)
+		if err != nil {
+			return err
+		}
+		outcomes[j] = trialOutcome{dev: br.Deviation, gain: br.Gain}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(ns))
+	for k, n := range ns {
 		pt := SweepPoint{N: n}
 		var devSum float64
 		for trial := 0; trial < trials; trial++ {
-			// Draw all agents' rescaled elasticities.
-			alphas := make([][]float64, n)
-			for i := range alphas {
-				a := make([]float64, resources)
-				var s float64
-				for r := range a {
-					a[r] = rng.Float64()
-					s += a[r]
-				}
-				for r := range a {
-					a[r] /= s
-				}
-				alphas[i] = a
+			o := outcomes[k*trials+trial]
+			devSum += o.dev
+			if o.dev > pt.MaxDeviation {
+				pt.MaxDeviation = o.dev
 			}
-			liar := rng.Intn(n)
-			sums := make([]float64, resources)
-			for i, a := range alphas {
-				if i == liar {
-					continue
-				}
-				for r := range sums {
-					sums[r] += a[r]
-				}
-			}
-			br, err := BestResponse(alphas[liar], sums)
-			if err != nil {
-				return nil, err
-			}
-			devSum += br.Deviation
-			if br.Deviation > pt.MaxDeviation {
-				pt.MaxDeviation = br.Deviation
-			}
-			if br.Gain > pt.MaxGain {
-				pt.MaxGain = br.Gain
+			if o.gain > pt.MaxGain {
+				pt.MaxGain = o.gain
 			}
 		}
 		pt.MeanDeviation = devSum / float64(trials)

@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(42, "dedup", "3")
+	b := DeriveSeed(42, "dedup", "3")
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedNonNegative(t *testing.T) {
+	for _, base := range []int64{0, -1, 1 << 62, -(1 << 62), 20140305} {
+		if s := DeriveSeed(base, "x"); s < 0 {
+			t.Errorf("DeriveSeed(%d) = %d < 0", base, s)
+		}
+	}
+}
+
+func TestDeriveSeedDistinguishes(t *testing.T) {
+	seen := map[int64][]string{}
+	cases := [][]string{
+		{"dedup", "0"}, {"dedup", "1"}, {"ferret", "0"},
+		{"ab", "c"}, {"a", "bc"}, // separator must keep these apart
+		{"dedup"}, {},
+	}
+	for _, labels := range cases {
+		s := DeriveSeed(7, labels...)
+		if prev, ok := seen[s]; ok {
+			t.Errorf("collision: %v and %v both derive %d", prev, labels, s)
+		}
+		seen[s] = labels
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("base seed ignored")
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+)
+
+// herdAccesses is a budget used by no other test in this binary, so the
+// cache and flight state for it are exercised from scratch here.
+const herdAccesses = 777
+
+// TestFitAllHerdCollapses is the thundering-herd regression test:
+// concurrent first callers at the same access budget must share ONE
+// 28×25-configuration sweep instead of each paying it. Before the
+// singleflight fix, both racing goroutines missed fitCache and computed
+// the full sweep.
+func TestFitAllHerdCollapses(t *testing.T) {
+	before := fitComputations.Load()
+	var wg sync.WaitGroup
+	results := make([]map[string]Fitted, 2)
+	errs := make([]error, 2)
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = FitAll(herdAccesses)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if n := fitComputations.Load() - before; n != 1 {
+		t.Errorf("racing FitAll callers computed the sweep %d times, want 1", n)
+	}
+	// Both callers must see the same result set.
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("result sizes differ: %d vs %d", len(results[0]), len(results[1]))
+	}
+	for name := range results[0] {
+		if results[0][name].Fit != results[1][name].Fit {
+			t.Errorf("%s: racing callers got different Fit pointers", name)
+		}
+	}
+	// A later caller must hit the memo cache, not recompute.
+	if _, err := FitAll(herdAccesses); err != nil {
+		t.Fatal(err)
+	}
+	if n := fitComputations.Load() - before; n != 1 {
+		t.Errorf("memoized FitAll recomputed (total %d sweeps)", n)
+	}
+}
+
+// TestFitAllFreshDeterministic asserts the profiling pipeline's
+// determinism contract: fitted utilities are bit-identical between serial
+// (parallelism 1) and parallel (parallelism 8) execution, and across two
+// parallel executions.
+func TestFitAllFreshDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full catalog sweeps")
+	}
+	const accesses = 1500
+	serial, err := FitAllFresh(accesses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8a, err := FitAllFresh(accesses, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8b, err := FitAllFresh(accesses, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par8a) || len(par8a) != len(par8b) {
+		t.Fatalf("sizes differ: %d / %d / %d", len(serial), len(par8a), len(par8b))
+	}
+	for name, s := range serial {
+		a, ok := par8a[name]
+		if !ok {
+			t.Fatalf("%s missing from parallel run", name)
+		}
+		b := par8b[name]
+		sa, aa, ba := s.Fit.Utility, a.Fit.Utility, b.Fit.Utility
+		if sa.Alpha0 != aa.Alpha0 || aa.Alpha0 != ba.Alpha0 {
+			t.Errorf("%s: Alpha0 differs: serial %v, parallel %v, parallel-again %v",
+				name, sa.Alpha0, aa.Alpha0, ba.Alpha0)
+		}
+		for r := range sa.Alpha {
+			if sa.Alpha[r] != aa.Alpha[r] || aa.Alpha[r] != ba.Alpha[r] {
+				t.Errorf("%s: Alpha[%d] differs across runs", name, r)
+			}
+		}
+		if s.Fit.R2 != a.Fit.R2 || a.Fit.R2 != b.Fit.R2 {
+			t.Errorf("%s: R2 differs: %v / %v / %v", name, s.Fit.R2, a.Fit.R2, b.Fit.R2)
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ref/internal/core"
 	"ref/internal/fit"
+	"ref/internal/par"
 	"ref/internal/sim"
 	"ref/internal/trace"
 )
@@ -129,26 +131,77 @@ func (f Fitted) FittedClass() trace.Class {
 // sweep is the expensive step shared by almost every experiment.
 var fitCache sync.Map // int -> map[string]Fitted
 
+// fitFlight deduplicates concurrent first callers at the same budget:
+// without it, racing callers all miss fitCache and each pay the full
+// 700-simulation sweep (the thundering herd).
+var fitFlight par.Flight[int, map[string]Fitted]
+
+// fitComputations counts full (non-memoized, non-deduplicated) FitAll
+// sweeps, so tests can assert the herd actually collapsed to one.
+var fitComputations atomic.Int64
+
 // FitAll sweeps every catalog workload over the Table 1 grid with the
 // given per-configuration access budget, fits Cobb-Douglas utilities, and
-// returns them keyed by workload name. Results are memoized per budget.
+// returns them keyed by workload name. Results are memoized per budget,
+// concurrent first callers at the same budget share one sweep, and the
+// sweep itself fans workloads out on the default worker pool.
 func FitAll(nAccesses int) (map[string]Fitted, error) {
+	return FitAllParallel(nAccesses, 0)
+}
+
+// FitAllParallel is FitAll with an explicit worker-pool width (≤ 0 selects
+// the default: $REF_PARALLELISM or GOMAXPROCS).
+func FitAllParallel(nAccesses, parallelism int) (map[string]Fitted, error) {
 	if v, ok := fitCache.Load(nAccesses); ok {
 		return v.(map[string]Fitted), nil
 	}
-	out := make(map[string]Fitted)
-	for _, w := range trace.Catalog() {
-		prof, err := sim.Sweep(w.Config, nAccesses)
+	return fitFlight.Do(nAccesses, func() (map[string]Fitted, error) {
+		// A racing caller may have stored the result while this caller
+		// queued for the flight slot.
+		if v, ok := fitCache.Load(nAccesses); ok {
+			return v.(map[string]Fitted), nil
+		}
+		out, err := FitAllFresh(nAccesses, parallelism)
 		if err != nil {
-			return nil, fmt.Errorf("workloads: sweep %s: %w", w.Config.Name, err)
+			return nil, err
+		}
+		fitCache.Store(nAccesses, out)
+		return out, nil
+	})
+}
+
+// FitAllFresh always recomputes the full sweep, bypassing both the memo
+// cache and the singleflight. It exists for benchmarking the sweep itself
+// and for determinism tests that must compare two real executions.
+//
+// Parallelism is applied across the 28 catalog workloads (each inner
+// 25-point grid sweep runs serially) — one bounded pool, no nested
+// oversubscription. Results are keyed by name, so map assembly order
+// cannot affect the outcome.
+func FitAllFresh(nAccesses, parallelism int) (map[string]Fitted, error) {
+	fitComputations.Add(1)
+	catalog := trace.Catalog()
+	fitted := make([]Fitted, len(catalog))
+	err := par.ForEach(len(catalog), parallelism, func(i int) error {
+		w := catalog[i]
+		prof, err := sim.SweepGridParallel(w.Config, nAccesses, sim.LLCSizes, sim.Bandwidths, 1)
+		if err != nil {
+			return fmt.Errorf("workloads: sweep %s: %w", w.Config.Name, err)
 		}
 		res, err := fit.CobbDouglas(prof)
 		if err != nil {
-			return nil, fmt.Errorf("workloads: fit %s: %w", w.Config.Name, err)
+			return fmt.Errorf("workloads: fit %s: %w", w.Config.Name, err)
 		}
-		out[w.Config.Name] = Fitted{Workload: w, Fit: res}
+		fitted[i] = Fitted{Workload: w, Fit: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fitCache.Store(nAccesses, out)
+	out := make(map[string]Fitted, len(fitted))
+	for _, f := range fitted {
+		out[f.Workload.Config.Name] = f
+	}
 	return out, nil
 }
 

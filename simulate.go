@@ -6,11 +6,19 @@ import (
 	"ref/internal/cache"
 	"ref/internal/dram"
 	"ref/internal/exp"
+	"ref/internal/par"
 	"ref/internal/sched"
 	"ref/internal/sim"
 	"ref/internal/trace"
 	"ref/internal/workloads"
 )
+
+// Parallelism reports the effective default worker-pool width used by
+// every concurrent sweep, co-run, and Monte Carlo fan-out: the value of
+// $REF_PARALLELISM when set to a positive integer, otherwise GOMAXPROCS.
+// Every API with a parallelism parameter treats ≤ 0 as this default and
+// produces bit-identical results at any setting.
+func Parallelism() int { return par.Default() }
 
 // Workload is a catalog entry: a named synthetic stand-in for one paper
 // benchmark with its C/M classification.
@@ -52,8 +60,16 @@ func RunWorkload(w WorkloadConfig, p Platform, nAccesses int) (RunResult, error)
 
 // SweepWorkload profiles a workload over the full Table 1 grid, returning
 // a fit-ready profile with allocations in (bandwidth GB/s, cache MB).
+// Grid points run concurrently on the default worker pool.
 func SweepWorkload(w WorkloadConfig, nAccesses int) (*Profile, error) {
 	return sim.Sweep(w, nAccesses)
+}
+
+// SweepWorkloadParallel is SweepWorkload with an explicit worker-pool
+// width (≤ 0 selects the default). Results are bit-identical at any
+// parallelism.
+func SweepWorkloadParallel(w WorkloadConfig, nAccesses, parallelism int) (*Profile, error) {
+	return sim.SweepParallel(w, nAccesses, parallelism)
 }
 
 // SweepWorkloadGrid profiles a workload over an arbitrary grid of LLC
@@ -61,6 +77,12 @@ func SweepWorkload(w WorkloadConfig, nAccesses int) (*Profile, error) {
 // ablation.
 func SweepWorkloadGrid(w WorkloadConfig, nAccesses int, llcSizes []int, bandwidths []float64) (*Profile, error) {
 	return sim.SweepGrid(w, nAccesses, llcSizes, bandwidths)
+}
+
+// SweepWorkloadGridParallel is SweepWorkloadGrid with an explicit
+// worker-pool width.
+func SweepWorkloadGridParallel(w WorkloadConfig, nAccesses int, llcSizes []int, bandwidths []float64, parallelism int) (*Profile, error) {
+	return sim.SweepGridParallel(w, nAccesses, llcSizes, bandwidths, parallelism)
 }
 
 // CoRunOutcome holds per-agent results of a shared-platform simulation.
@@ -88,8 +110,24 @@ type FittedWorkload = workloads.Fitted
 
 // FitAllWorkloads sweeps and fits every catalog workload (memoized per
 // access budget) — the profiling pipeline behind Figures 8, 9, 13, and 14.
+// The sweep fans out across workloads on the default worker pool, and
+// concurrent first callers at the same budget share one sweep.
 func FitAllWorkloads(nAccesses int) (map[string]FittedWorkload, error) {
 	return workloads.FitAll(nAccesses)
+}
+
+// FitAllWorkloadsParallel is FitAllWorkloads with an explicit worker-pool
+// width (≤ 0 selects the default).
+func FitAllWorkloadsParallel(nAccesses, parallelism int) (map[string]FittedWorkload, error) {
+	return workloads.FitAllParallel(nAccesses, parallelism)
+}
+
+// FitAllWorkloadsFresh recomputes the full profiling sweep, bypassing the
+// per-budget memo cache. It exists for benchmarking the sweep itself and
+// for determinism tests comparing independent executions; everything else
+// should use FitAllWorkloads.
+func FitAllWorkloadsFresh(nAccesses, parallelism int) (map[string]FittedWorkload, error) {
+	return workloads.FitAllFresh(nAccesses, parallelism)
 }
 
 // Mix is one Table 2 multi-programmed workload (WD1–WD10).
@@ -158,11 +196,19 @@ type ExperimentConfig = exp.Config
 func Experiments() []Experiment { return exp.All() }
 
 // RunExperiment regenerates one paper artifact by ID (e.g. "fig13"),
-// writing its rows to out.
+// writing its rows to out. Independent simulation units (grid points,
+// mixes, Monte Carlo trials) run concurrently on the default worker pool.
 func RunExperiment(id string, accesses int, out io.Writer) error {
+	return RunExperimentParallel(id, accesses, 0, out)
+}
+
+// RunExperimentParallel is RunExperiment with an explicit worker-pool
+// width (≤ 0 selects the default). Experiment output is bit-identical at
+// any parallelism.
+func RunExperimentParallel(id string, accesses, parallelism int, out io.Writer) error {
 	e, err := exp.Lookup(id)
 	if err != nil {
 		return err
 	}
-	return e.Run(exp.Config{Accesses: accesses, Out: out})
+	return e.Run(exp.Config{Accesses: accesses, Parallelism: parallelism, Out: out})
 }
