@@ -7,8 +7,13 @@
 //	refbench -exp all              regenerate everything
 //	refbench -exp fig9 -accesses 40000   higher-fidelity sweep
 //	refbench -exp fig13 -parallelism 4   explicit worker-pool width
+//	refbench -exp fig13 -metrics-addr :9090 -run-manifest run.json
 //
 // Output is the same rows/series the paper reports, printed to stdout.
+// -metrics-addr serves Prometheus text on /metrics plus expvar and pprof
+// under /debug/ for the duration of the run; -run-manifest writes a
+// structured JSON record (config, per-experiment wall times, final metric
+// snapshot) when the run finishes.
 package main
 
 import (
@@ -23,10 +28,12 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		expID    = flag.String("exp", "", "experiment ID to run (or \"all\")")
-		accesses = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
-		parallel = flag.Int("parallelism", 0, "worker-pool width for concurrent simulation units (0 = REF_PARALLELISM or GOMAXPROCS)")
+		list        = flag.Bool("list", false, "list available experiments")
+		expID       = flag.String("exp", "", "experiment ID to run (or \"all\")")
+		accesses    = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
+		parallel    = flag.Int("parallelism", 0, "worker-pool width for concurrent simulation units (0 = REF_PARALLELISM or GOMAXPROCS)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
+		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
 	)
 	flag.Parse()
 
@@ -44,6 +51,28 @@ func main() {
 	if effParallel <= 0 {
 		effParallel = ref.Parallelism()
 	}
+
+	// Observability: installing a registry turns on instrumentation in
+	// every layer; simulation results are bit-identical either way.
+	var manifest *ref.RunManifest
+	if *metricsAddr != "" || *manifestOut != "" {
+		ref.InstallMetrics(ref.NewMetricsRegistry())
+	}
+	if *metricsAddr != "" {
+		srv, err := ref.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("refbench: metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)\n", srv.Addr())
+	}
+	if *manifestOut != "" {
+		manifest = ref.NewRunManifest("refbench", os.Args[1:])
+		manifest.Parallelism = effParallel
+		manifest.Accesses = *accesses
+	}
+
 	fmt.Printf("refbench: parallelism=%d (GOMAXPROCS=%d)\n\n", effParallel, runtime.GOMAXPROCS(0))
 	ids := []string{*expID}
 	if *expID == "all" {
@@ -54,10 +83,27 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := ref.RunExperimentParallel(id, *accesses, *parallel, os.Stdout); err != nil {
+		err := ref.RunExperimentParallel(id, *accesses, *parallel, os.Stdout)
+		elapsed := time.Since(start)
+		if manifest != nil {
+			manifest.Record(id, elapsed.Seconds(), err)
+		}
+		if err != nil {
+			if manifest != nil {
+				if werr := manifest.WriteFile(*manifestOut); werr != nil {
+					fmt.Fprintf(os.Stderr, "refbench: %v\n", werr)
+				}
+			}
 			fmt.Fprintf(os.Stderr, "refbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintf(os.Stderr, "refbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run manifest written to %s\n", *manifestOut)
 	}
 }

@@ -7,12 +7,18 @@
 //	refsim -w dedup                           sweep the 5×5 grid, print IPC + fit
 //	refsim -w dedup -cache 1048576 -bw 6.4    one configuration
 //	refsim -w dedup -accesses 50000           higher fidelity
+//	refsim -w dedup -metrics-addr :9090 -run-manifest run.json
+//
+// -metrics-addr serves Prometheus text on /metrics plus expvar and pprof
+// under /debug/ for the run's duration; -run-manifest writes a structured
+// JSON record of the run on exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ref"
 )
@@ -26,11 +32,44 @@ func main() {
 		accesses = flag.Int("accesses", 20000, "memory accesses to simulate per configuration")
 		parallel = flag.Int("parallelism", 0, "worker-pool width for grid sweeps (0 = REF_PARALLELISM or GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "write the swept profile as CSV to this file")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
+		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
 	)
 	flag.Parse()
 	effParallel := *parallel
 	if effParallel <= 0 {
 		effParallel = ref.Parallelism()
+	}
+
+	var manifest *ref.RunManifest
+	if *metricsAddr != "" || *manifestOut != "" {
+		ref.InstallMetrics(ref.NewMetricsRegistry())
+	}
+	if *metricsAddr != "" {
+		srv, err := ref.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("refsim: metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)\n", srv.Addr())
+	}
+	if *manifestOut != "" {
+		manifest = ref.NewRunManifest("refsim", os.Args[1:])
+		manifest.Parallelism = effParallel
+		manifest.Accesses = *accesses
+	}
+	writeManifest := func(id string, seconds float64, err error) {
+		if manifest == nil {
+			return
+		}
+		manifest.Record(id, seconds, err)
+		if werr := manifest.WriteFile(*manifestOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("run manifest written to %s\n", *manifestOut)
 	}
 
 	if *listW {
@@ -49,20 +88,26 @@ func main() {
 		os.Exit(1)
 	}
 	if *cacheB > 0 && *bw > 0 {
+		start := time.Now()
 		res, err := ref.RunWorkload(w.Config, ref.DefaultPlatform(*cacheB, *bw), *accesses)
 		if err != nil {
+			writeManifest("run:"+*name, time.Since(start).Seconds(), err)
 			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%s @ %d B LLC, %g GB/s: IPC=%.3f L1 miss=%.3f LLC miss=%.3f avg mem latency=%.0f cycles\n",
 			*name, *cacheB, *bw, res.IPC(), res.L1MissRate, res.LLCMissRate, res.AvgMemLatency)
+		writeManifest("run:"+*name, time.Since(start).Seconds(), nil)
 		return
 	}
+	start := time.Now()
 	prof, err := ref.SweepWorkloadParallel(w.Config, *accesses, *parallel)
 	if err != nil {
+		writeManifest("sweep:"+*name, time.Since(start).Seconds(), err)
 		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
 		os.Exit(1)
 	}
+	writeManifest("sweep:"+*name, time.Since(start).Seconds(), nil)
 	fmt.Printf("%s (%s, class %s): Table 1 sweep, %d accesses per config, parallelism=%d\n",
 		*name, w.Suite, w.Class, *accesses, effParallel)
 	for _, s := range prof.Samples {

@@ -105,6 +105,14 @@ type Stats struct {
 	TotalLatency uint64
 	// BusBusyCycles counts cycles the data bus spent transferring.
 	BusBusyCycles uint64
+	// QueueWaitCycles sums per-request issue delay — how long each request
+	// waited behind its bank's occupancy and the provisioned-rate token
+	// bucket before its command could issue. The queueing component of
+	// latency, i.e. TotalLatency minus the unloaded service time.
+	QueueWaitCycles uint64
+	// PeakQueueWaitCycles is the largest single-request issue delay, the
+	// controller's worst observed congestion.
+	PeakQueueWaitCycles uint64
 }
 
 // AvgLatency returns mean request latency in core cycles.
@@ -113,6 +121,14 @@ func (s Stats) AvgLatency() float64 {
 		return 0
 	}
 	return float64(s.TotalLatency) / float64(s.Requests)
+}
+
+// AvgQueueWait returns mean per-request issue delay in core cycles.
+func (s Stats) AvgQueueWait() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.QueueWaitCycles) / float64(s.Requests)
 }
 
 // Controller is the event-based memory controller.
@@ -247,6 +263,14 @@ func (c *Controller) Access(addr uint64, arrival int64) int64 {
 	c.stats.Requests++
 	c.stats.TotalLatency += uint64(lat)
 	c.stats.BusBusyCycles += uint64(c.transfer)
+	// Queueing delay: everything beyond the unloaded service time — bank
+	// occupancy, token-bucket gating, and data-bus contention.
+	if wait := lat - (c.cas + c.transfer); wait > 0 {
+		c.stats.QueueWaitCycles += uint64(wait)
+		if uw := uint64(wait); uw > c.stats.PeakQueueWaitCycles {
+			c.stats.PeakQueueWaitCycles = uw
+		}
+	}
 	return done
 }
 

@@ -213,6 +213,39 @@ func TestStatsAccumulate(t *testing.T) {
 	if empty.AvgLatency() != 0 {
 		t.Error("empty AvgLatency != 0")
 	}
+	if empty.AvgQueueWait() != 0 {
+		t.Error("empty AvgQueueWait != 0")
+	}
+}
+
+func TestQueueWaitAccounting(t *testing.T) {
+	c, _ := New(DefaultConfig(0.8))
+	// An isolated access to an idle controller pays no queueing delay.
+	c.Access(0, 0)
+	if w := c.Stats().QueueWaitCycles; w != 0 {
+		t.Errorf("isolated access queue wait = %d, want 0", w)
+	}
+	// Hammering one bank from the same arrival time must queue: every
+	// request past the first waits on bank occupancy and the token bucket.
+	for i := 0; i < 64; i++ {
+		c.Access(0, 0)
+	}
+	s := c.Stats()
+	if s.QueueWaitCycles == 0 {
+		t.Fatal("contended accesses recorded no queue wait")
+	}
+	if s.AvgQueueWait() <= 0 {
+		t.Errorf("AvgQueueWait = %v, want > 0 under contention", s.AvgQueueWait())
+	}
+	if s.PeakQueueWaitCycles < uint64(s.AvgQueueWait()) {
+		t.Errorf("peak %d below mean %v", s.PeakQueueWaitCycles, s.AvgQueueWait())
+	}
+	// Queue wait is the latency in excess of unloaded service: totals must
+	// reconcile exactly.
+	unloaded := uint64(c.UnloadedLatency()) * s.Requests
+	if s.TotalLatency != s.QueueWaitCycles+unloaded {
+		t.Errorf("TotalLatency %d != QueueWait %d + unloaded %d", s.TotalLatency, s.QueueWaitCycles, unloaded)
+	}
 }
 
 func TestChannelInterleaving(t *testing.T) {

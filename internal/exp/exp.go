@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"ref/internal/obs"
 	"ref/internal/par"
 )
 
@@ -66,7 +68,31 @@ type Experiment struct {
 var registry = map[string]Experiment{}
 
 func register(id, title string, run func(Config) error) {
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	registry[id] = Experiment{ID: id, Title: title, Run: instrumentRun(id, run)}
+}
+
+// instrumentRun wraps a driver with per-experiment observability: wall
+// time lands in the shared ref_exp_duration_seconds histogram and in a
+// per-experiment gauge, and runs are counted by ID and outcome. With no
+// registry installed the driver runs bare — no clock reads.
+func instrumentRun(id string, run func(Config) error) func(Config) error {
+	return func(cfg Config) error {
+		r := obs.Installed()
+		if r == nil {
+			return run(cfg)
+		}
+		start := time.Now()
+		err := run(cfg)
+		d := time.Since(start).Seconds()
+		r.Histogram("ref_exp_duration_seconds").Observe(d)
+		r.Gauge(fmt.Sprintf("ref_exp_last_duration_seconds{exp=%q}", id)).Set(d)
+		result := "ok"
+		if err != nil {
+			result = "error"
+		}
+		r.Counter(fmt.Sprintf("ref_exp_runs_total{exp=%q,result=%q}", id, result)).Inc()
+		return err
+	}
 }
 
 // All returns every experiment sorted by ID.

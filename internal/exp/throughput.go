@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"ref/internal/cobb"
+	"ref/internal/fair"
 	"ref/internal/mech"
 	"ref/internal/par"
 	"ref/internal/spl"
@@ -45,6 +47,11 @@ type ThroughputRow struct {
 	Label string
 	// Throughput maps mechanism name to Σ U_i.
 	Throughput map[string]float64
+	// RefAudit is the SI/EF/PE audit of the REF (proportional elasticity)
+	// allocation for this mix — the paper claims all three hold, and the
+	// audit makes each run verify it (and feed the
+	// ref_fair_checks_total observability counters).
+	RefAudit fair.Report
 }
 
 // FairnessPenalty returns 1 − (REF throughput / unfair max-welfare
@@ -99,6 +106,16 @@ func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]Throughp
 				return err
 			}
 			row.Throughput[mc.Name()] = wt
+			if (mc == mech.ProportionalElasticity{}) {
+				utils := make([]cobb.Utility, len(agents))
+				for k, a := range agents {
+					utils[k] = a.Utility
+				}
+				row.RefAudit, err = fair.Audit(utils, cap, x, fair.DefaultTolerance())
+				if err != nil {
+					return fmt.Errorf("exp: audit %s on %s: %w", mc.Name(), m.ID, err)
+				}
+			}
 		}
 		rows[i] = row
 		return nil
@@ -113,7 +130,7 @@ func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]Throughp
 		for _, mc := range throughputMechanisms() {
 			fmt.Fprintf(w, "  %s=%.3f", shortName(mc.Name()), row.Throughput[mc.Name()])
 		}
-		fmt.Fprintf(w, "  fairness penalty=%.1f%%\n", 100*row.FairnessPenalty())
+		fmt.Fprintf(w, "  fairness penalty=%.1f%%  REF audit: %s\n", 100*row.FairnessPenalty(), row.RefAudit)
 	}
 	return rows, nil
 }

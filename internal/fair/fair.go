@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"ref/internal/cobb"
+	"ref/internal/obs"
 	"ref/internal/opt"
 )
 
@@ -34,6 +35,21 @@ type Tolerance struct {
 
 // DefaultTolerance is appropriate for allocations computed in float64.
 func DefaultTolerance() Tolerance { return Tolerance{Rel: 1e-9, MRS: 1e-6} }
+
+// recordCheck counts one property-audit outcome on the installed obs
+// registry as ref_fair_checks_total{property=...,result=...}. The enabled
+// check precedes the Sprintf so disabled runs pay one pointer load.
+func recordCheck(property string, satisfied bool) {
+	r := obs.Installed()
+	if r == nil {
+		return
+	}
+	result := "fail"
+	if satisfied {
+		result = "pass"
+	}
+	r.Counter(fmt.Sprintf("ref_fair_checks_total{property=%q,result=%q}", property, result)).Inc()
+}
 
 // Violation describes one failed property instance.
 type Violation struct {
@@ -109,6 +125,7 @@ func SharingIncentives(utils []cobb.Utility, cap []float64, x opt.Alloc, tol Tol
 			})
 		}
 	}
+	recordCheck("SI", res.Satisfied)
 	return res, nil
 }
 
@@ -134,6 +151,7 @@ func EnvyFreeness(utils []cobb.Utility, x opt.Alloc, tol Tolerance) (Result, err
 			}
 		}
 	}
+	recordCheck("EF", res.Satisfied)
 	return res, nil
 }
 
@@ -183,6 +201,7 @@ func ParetoEfficiency(utils []cobb.Utility, cap []float64, x opt.Alloc, tol Tole
 			}
 		}
 	}
+	recordCheck("PE", res.Satisfied)
 	return res, nil
 }
 

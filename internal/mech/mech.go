@@ -23,15 +23,32 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"ref/internal/cobb"
 	"ref/internal/core"
 	"ref/internal/leontief"
+	"ref/internal/obs"
 	"ref/internal/opt"
 )
 
 // ErrMechanism reports a mechanism failure.
 var ErrMechanism = errors.New("mech: mechanism failed")
+
+// instrumentAlloc times one mechanism invocation against the installed
+// obs registry: defer instrumentAlloc(name)() at the top of Allocate.
+// Disabled runs pay one pointer load and no clock read.
+func instrumentAlloc(name string) func() {
+	r := obs.Installed()
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		r.Counter(fmt.Sprintf("ref_mech_alloc_total{mechanism=%q}", name)).Inc()
+		r.Histogram("ref_mech_alloc_seconds").Observe(time.Since(start).Seconds())
+	}
+}
 
 // Mechanism allocates capacity among Cobb-Douglas agents.
 type Mechanism interface {
@@ -79,6 +96,7 @@ func (ProportionalElasticity) Name() string { return "Proportional Elasticity w/
 
 // Allocate implements Mechanism via the closed form.
 func (ProportionalElasticity) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(ProportionalElasticity{}.Name())()
 	a, err := core.Allocate(agents, cap)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrMechanism, err)
@@ -94,6 +112,7 @@ func (EqualSplitMech) Name() string { return "Equal Split" }
 
 // Allocate implements Mechanism.
 func (EqualSplitMech) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(EqualSplitMech{}.Name())()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
@@ -115,6 +134,7 @@ func (MaxWelfareUnfair) Name() string { return "Max Welfare w/o Fairness" }
 
 // Allocate implements Mechanism.
 func (MaxWelfareUnfair) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(MaxWelfareUnfair{}.Name())()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
@@ -146,6 +166,7 @@ func (MaxWelfareFair) Name() string { return "Max Welfare w/ Fairness" }
 
 // Allocate implements Mechanism.
 func (m MaxWelfareFair) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(m.Name())()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
@@ -185,6 +206,7 @@ func (EqualSlowdown) Name() string { return "Equal Slowdown w/o Fairness" }
 
 // Allocate implements Mechanism.
 func (m EqualSlowdown) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(m.Name())()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
@@ -222,6 +244,7 @@ func (EgalitarianFair) Name() string { return "Egalitarian Welfare w/ Fairness" 
 
 // Allocate implements Mechanism.
 func (m EgalitarianFair) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	defer instrumentAlloc(m.Name())()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}

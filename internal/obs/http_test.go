@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ref_sim_runs_total").Add(7)
+	Install(r)
+	defer Install(nil)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "ref_sim_runs_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE ref_sim_runs_total counter") {
+		t.Errorf("/metrics missing TYPE comment:\n%s", body)
+	}
+
+	// The endpoint reads the registry at scrape time: updates between
+	// scrapes must be visible.
+	r.Counter("ref_sim_runs_total").Add(1)
+	if _, body := get(t, base+"/metrics"); !strings.Contains(body, "ref_sim_runs_total 8") {
+		t.Errorf("second scrape stale:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["ref_metrics"]; !ok {
+		t.Error("/debug/vars missing ref_metrics")
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d, body %.80q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999"); err == nil {
+		t.Fatal("Serve accepted an impossible address")
+	}
+}
+
+func TestServeWithoutRegistry(t *testing.T) {
+	Install(nil)
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d with no registry", code)
+	}
+	if strings.Contains(body, "ref_") {
+		t.Errorf("expected empty exposition, got:\n%s", body)
+	}
+}

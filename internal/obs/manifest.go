@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// ManifestSchema identifies the run-manifest JSON layout. Bump the
+// version suffix on breaking changes so downstream tooling can dispatch.
+const ManifestSchema = "ref/run-manifest/v1"
+
+// RunRecord is one unit of work inside a manifest — typically one
+// experiment ID or one workload sweep.
+type RunRecord struct {
+	// ID names the unit, e.g. "fig13" or "sweep:dedup".
+	ID string `json:"id"`
+	// Seconds is the unit's wall time.
+	Seconds float64 `json:"seconds"`
+	// Error is the failure message, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// Manifest is the structured record one CLI invocation writes with
+// -run-manifest: enough configuration to reproduce the run and enough
+// measurement to compare it against other runs. BENCH_*.json trajectory
+// files and the CI manifest artifact share this format.
+type Manifest struct {
+	Schema      string  `json:"schema"`
+	Tool        string  `json:"tool"`
+	Args        []string `json:"args,omitempty"`
+	StartedAt   string  `json:"started_at"`
+	WallSeconds float64 `json:"wall_seconds"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	// Parallelism is the effective worker-pool width of the run.
+	Parallelism int `json:"parallelism"`
+	// Accesses is the per-configuration simulation budget.
+	Accesses int `json:"accesses"`
+	// Runs records each unit of work in execution order.
+	Runs []RunRecord `json:"runs"`
+	// Metrics is the registry snapshot taken when the manifest was
+	// finalized.
+	Metrics *SnapshotData `json:"metrics"`
+
+	started time.Time
+}
+
+// NewManifest starts a manifest for the named tool, stamping environment
+// facts and the start time.
+func NewManifest(tool string, args []string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       tool,
+		Args:       args,
+		StartedAt:  now.UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		started:    now,
+	}
+}
+
+// Record appends one unit of work.
+func (m *Manifest) Record(id string, seconds float64, err error) {
+	rec := RunRecord{ID: id, Seconds: seconds}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	m.Runs = append(m.Runs, rec)
+}
+
+// WriteFile finalizes the manifest — total wall time and the metric
+// snapshot of the installed registry — and writes it as indented JSON via
+// a same-directory temp file and rename, so readers never observe a
+// partial manifest.
+func (m *Manifest) WriteFile(path string) error {
+	m.WallSeconds = time.Since(m.started).Seconds()
+	m.Metrics = Snapshot()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifestFile parses a manifest written by WriteFile.
+func ReadManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

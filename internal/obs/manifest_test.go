@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ref_sim_runs_total").Add(25)
+	r.Histogram("ref_par_job_seconds").Observe(0.01)
+	Install(r)
+	defer Install(nil)
+
+	m := NewManifest("refbench", []string{"-exp", "fig13"})
+	m.Parallelism = 4
+	m.Accesses = 2000
+	m.Record("fig13", 1.5, nil)
+	m.Record("fig14", 2.5, errors.New("synthetic failure"))
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema {
+		t.Errorf("schema = %q", got.Schema)
+	}
+	if got.Tool != "refbench" || got.Parallelism != 4 || got.Accesses != 2000 {
+		t.Errorf("config fields lost: %+v", got)
+	}
+	if got.GoVersion != runtime.Version() || got.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("environment fields lost: %+v", got)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].ID != "fig13" || got.Runs[0].Seconds != 1.5 {
+		t.Errorf("runs lost: %+v", got.Runs)
+	}
+	if got.Runs[1].Error != "synthetic failure" {
+		t.Errorf("error not recorded: %+v", got.Runs[1])
+	}
+	if got.Metrics == nil || got.Metrics.Counters["ref_sim_runs_total"] != 25 {
+		t.Errorf("metric snapshot lost: %+v", got.Metrics)
+	}
+	if h := got.Metrics.Histograms["ref_par_job_seconds"]; h.Count != 1 {
+		t.Errorf("histogram snapshot lost: %+v", h)
+	}
+	if got.WallSeconds < 0 {
+		t.Errorf("wall seconds = %v", got.WallSeconds)
+	}
+	if got.StartedAt == "" {
+		t.Error("StartedAt empty")
+	}
+}
+
+func TestManifestWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	m := NewManifest("refsim", nil)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".manifest-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestReadManifestRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifestFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := ReadManifestFile(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	os.WriteFile(wrong, []byte(`{"schema":"other/v9"}`), 0o644)
+	if _, err := ReadManifestFile(wrong); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package obs is the repo's dependency-free observability layer: a
+// concurrent registry of counters, gauges, and histograms, lightweight
+// spans for timing simulation stages, a Prometheus-text/expvar/pprof HTTP
+// endpoint, and a structured run-manifest format that makes bench
+// trajectories machine-comparable.
+//
+// Design constraints, in priority order:
+//
+//  1. Zero cost when disabled. No registry is installed by default, and
+//     every instrument is nil-safe: a nil *Counter, *Gauge, *Histogram, or
+//     *Registry no-ops on update. Instrumented hot paths pay one atomic
+//     pointer load to discover that observability is off — no allocation,
+//     no locks, no time.Now.
+//  2. Determinism-neutral. Instruments only accumulate numbers on the
+//     side; they never feed back into simulation state, randomness, or
+//     scheduling, so serial and parallel results stay bit-identical with
+//     or without a registry installed.
+//  3. Race-safe hot paths. Counter/gauge/histogram updates are lock-free
+//     atomics; the registry mutex is taken only when resolving a metric
+//     name to its instrument.
+//
+// Metric naming follows the Prometheus convention
+// ref_<subsystem>_<quantity>_<unit>, with an optional {label="value"}
+// suffix baked into the series name for low-cardinality breakdowns (the
+// registry treats the full string as the key and the text exposition
+// prints it verbatim).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The nil Counter discards
+// updates, so call sites need no enabled-check of their own.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (pool width, utilization).
+// The nil Gauge discards updates.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value (0 for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry holds named instruments. The zero value is ready to use; the
+// nil *Registry hands out nil instruments, which no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default exponential
+// buckets, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(defaultBuckets())
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures a point-in-time copy of every instrument. Updates
+// racing the snapshot land in either this snapshot or the next — each
+// individual instrument is read atomically.
+func (r *Registry) Snapshot() *SnapshotData {
+	s := &SnapshotData{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// SnapshotData is a point-in-time copy of a registry, JSON-serializable
+// for run manifests and renderable as Prometheus text.
+type SnapshotData struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// sortedKeys returns map keys in deterministic order for rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// global is the process-wide registry consulted by instrumentation sites.
+// nil (the default) disables observability.
+var global atomic.Pointer[Registry]
+
+// Install makes r the process-wide registry picked up by every
+// instrumented call site. Installing nil disables observability again.
+func Install(r *Registry) { global.Store(r) }
+
+// Installed returns the process-wide registry, or nil when observability
+// is off. Instrumentation sites that update several metrics should load
+// it once and reuse the result.
+func Installed() *Registry { return global.Load() }
+
+// Enabled reports whether a registry is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// Inc bumps a counter on the installed registry (no-op when disabled).
+func Inc(name string) { global.Load().Counter(name).Inc() }
+
+// Add adds to a counter on the installed registry (no-op when disabled).
+func Add(name string, n int64) { global.Load().Counter(name).Add(n) }
+
+// Observe records a histogram sample on the installed registry (no-op
+// when disabled).
+func Observe(name string, v float64) { global.Load().Histogram(name).Observe(v) }
+
+// SetGauge sets a gauge on the installed registry (no-op when disabled).
+func SetGauge(name string, v float64) { global.Load().Gauge(name).Set(v) }
+
+// Snapshot captures the installed registry (empty snapshot when disabled).
+func Snapshot() *SnapshotData { return global.Load().Snapshot() }

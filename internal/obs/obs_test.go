@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilInstrumentsNoOp covers every nil-safe path: a nil registry hands
+// out nil instruments and all of them must silently discard updates.
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3.5)
+	r.Histogram("h").Observe(1)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %v", v)
+	}
+	if n := r.Histogram("h").Count(); n != 0 {
+		t.Errorf("nil histogram count = %d", n)
+	}
+	if s := r.Histogram("h").Sum(); s != 0 {
+		t.Errorf("nil histogram sum = %v", s)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestGlobalDisabledNoOp exercises the package-level helpers with no
+// registry installed.
+func TestGlobalDisabledNoOp(t *testing.T) {
+	Install(nil)
+	if Enabled() {
+		t.Fatal("Enabled() with no registry")
+	}
+	Inc("x")
+	Add("x", 3)
+	Observe("h", 1)
+	SetGauge("g", 2)
+	sp := StartSpan("stage")
+	sp.End()
+	s := Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("disabled snapshot not empty: %+v", s)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge, and one histogram
+// from many goroutines and checks the totals reconcile exactly. Run under
+// -race this is the registry's central safety test.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Resolve by name every time: the map path must be as safe
+				// as the cached-pointer path.
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(g))
+				r.Histogram("h").Observe(float64(i%10) + 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if v := r.Counter("c").Value(); v != total {
+		t.Errorf("counter = %d, want %d", v, total)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != total {
+		t.Errorf("histogram count = %d, want %d", h.Count, total)
+	}
+	// Each goroutine observes 0.5..9.5 cyclically: sum is exact in float64.
+	wantSum := float64(goroutines) * float64(perG) / 10 * (0.5 + 1.5 + 2.5 + 3.5 + 4.5 + 5.5 + 6.5 + 7.5 + 8.5 + 9.5)
+	if math.Abs(h.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %v, want %v", h.Sum, wantSum)
+	}
+	if h.Min != 0.5 || h.Max != 9.5 {
+		t.Errorf("min/max = %v/%v, want 0.5/9.5", h.Min, h.Max)
+	}
+	if g := r.Gauge("g").Value(); g < 0 || g >= goroutines {
+		t.Errorf("gauge = %v out of range", g)
+	}
+	// Cumulative buckets must be monotone and end at the total count.
+	last := uint64(0)
+	for _, b := range h.Buckets {
+		if b.CumulativeCount < last {
+			t.Fatalf("bucket counts not cumulative: %v", h.Buckets)
+		}
+		last = b.CumulativeCount
+	}
+	if last != total {
+		t.Errorf("final cumulative bucket = %d, want %d", last, total)
+	}
+}
+
+// TestConcurrentSnapshotConsistency snapshots while writers are active:
+// the snapshot must never observe counts ahead of what was written, and a
+// final quiescent snapshot must be exact.
+func TestConcurrentSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perW = 1000
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if c := s.Counters["ops"]; c > writers*perW {
+				t.Errorf("snapshot counter %d exceeds maximum %d", c, writers*perW)
+				return
+			}
+			if h, ok := s.Histograms["lat"]; ok && h.Count > writers*perW {
+				t.Errorf("snapshot histogram count %d exceeds maximum", h.Count)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer wg.Done()
+			ops := r.Counter("ops")
+			lat := r.Histogram("lat")
+			for i := 0; i < perW; i++ {
+				ops.Inc()
+				lat.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	s := r.Snapshot()
+	if s.Counters["ops"] != writers*perW {
+		t.Errorf("final counter = %d, want %d", s.Counters["ops"], writers*perW)
+	}
+	if h := s.Histograms["lat"]; h.Count != writers*perW || h.Sum != writers*perW {
+		t.Errorf("final histogram = %+v", h)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m")
+	for _, v := range []float64{1, 2, 3} {
+		h.Observe(v)
+	}
+	if m := r.Snapshot().Histograms["m"].Mean(); m != 2 {
+		t.Errorf("mean = %v, want 2", m)
+	}
+	var zero HistogramSnapshot
+	if zero.Mean() != 0 {
+		t.Error("empty mean != 0")
+	}
+}
+
+func TestInstrumentIdentityStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name resolved to different counters")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Error("different names resolved to the same counter")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("same name resolved to different gauges")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Error("same name resolved to different histograms")
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	r := NewRegistry()
+	Install(r)
+	defer Install(nil)
+	sp := StartSpan("ref_test_stage")
+	sp.End()
+	s := r.Snapshot()
+	if s.Counters["ref_test_stage_total"] != 1 {
+		t.Errorf("span counter = %d", s.Counters["ref_test_stage_total"])
+	}
+	h := s.Histograms["ref_test_stage_seconds"]
+	if h.Count != 1 || h.Sum < 0 {
+		t.Errorf("span histogram = %+v", h)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ref_jobs_total").Add(3)
+	r.Counter(`ref_checks_total{property="SI",result="pass"}`).Add(2)
+	r.Gauge("ref_width").Set(4)
+	r.Histogram("ref_wait_seconds").Observe(0.25)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ref_jobs_total counter",
+		"ref_jobs_total 3",
+		"# TYPE ref_checks_total counter",
+		`ref_checks_total{property="SI",result="pass"} 2`,
+		"# TYPE ref_width gauge",
+		"ref_width 4",
+		"# TYPE ref_wait_seconds histogram",
+		"ref_wait_seconds_sum 0.25",
+		"ref_wait_seconds_count 1",
+		`ref_wait_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The labeled and unlabeled ref_checks_total share one TYPE line.
+	if n := strings.Count(out, "# TYPE ref_checks_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times for one base name", n)
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import "time"
+
+// Span times one logical stage (a grid sweep, a profiling pass, an
+// experiment). Ending a span records its duration into the histogram
+// <name>_seconds and bumps the counter <name>_total on the registry that
+// was installed when the span started.
+//
+// When observability is disabled StartSpan returns the zero Span and End
+// is a no-op: no clock read, no allocation.
+type Span struct {
+	name  string
+	start time.Time
+	r     *Registry
+}
+
+// StartSpan begins timing a stage against the installed registry.
+func StartSpan(name string) Span {
+	r := Installed()
+	if r == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), r: r}
+}
+
+// End records the span. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.Histogram(s.name + "_seconds").Observe(time.Since(s.start).Seconds())
+	s.r.Counter(s.name + "_total").Inc()
+}

@@ -11,28 +11,54 @@
 // randomness it needs from a stable per-job seed (see trace.DeriveSeed),
 // which makes results bit-identical between serial and parallel execution
 // and across repeated parallel runs.
+//
+// When an obs registry is installed the pool reports its activity —
+// ref_par_foreach_total, ref_par_jobs_{started,finished}_total, the
+// ref_par_queue_wait_seconds and ref_par_job_seconds histograms, the
+// ref_par_pool_width gauge, and ref_par_flight_{leader,shared}_total —
+// at per-job granularity, never inside a job.
 package par
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ref/internal/obs"
 )
 
 // EnvVar is the environment variable that overrides the default pool
 // width.
 const EnvVar = "REF_PARALLELISM"
 
+// envWarn backs the one-time malformed-REF_PARALLELISM warning. warnSink
+// is a test seam; production code always writes to stderr.
+var (
+	envWarned atomic.Bool
+	warnSink  io.Writer = os.Stderr
+)
+
 // Default returns the pool width used when a caller does not request one
 // explicitly: $REF_PARALLELISM when set to a positive integer, otherwise
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0). A malformed value (non-numeric, zero, or
+// negative) falls back to GOMAXPROCS and logs a one-time warning to
+// stderr rather than being silently ignored.
 func Default() int {
-	if s := os.Getenv(EnvVar); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			return v
-		}
+	s := os.Getenv(EnvVar)
+	if s == "" {
+		return runtime.GOMAXPROCS(0)
+	}
+	if v, err := strconv.Atoi(s); err == nil && v > 0 {
+		return v
+	}
+	if envWarned.CompareAndSwap(false, true) {
+		fmt.Fprintf(warnSink, "par: ignoring malformed %s=%q (want a positive integer); using GOMAXPROCS=%d\n",
+			EnvVar, s, runtime.GOMAXPROCS(0))
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -61,6 +87,7 @@ func ForEach(n, parallelism int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	job = instrumented(job, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := job(i); err != nil {
@@ -98,14 +125,44 @@ func ForEach(n, parallelism int, job func(i int) error) error {
 	return nil
 }
 
+// instrumented wraps job with pool metrics when an obs registry is
+// installed; otherwise it returns job unchanged, so the disabled path
+// costs one pointer load per ForEach, not per job. Queue wait is measured
+// from pool start to job claim — with one worker it reports how far the
+// serial tail sits behind the head.
+func instrumented(job func(i int) error, workers int) func(i int) error {
+	r := obs.Installed()
+	if r == nil {
+		return job
+	}
+	r.Counter("ref_par_foreach_total").Inc()
+	r.Gauge("ref_par_pool_width").Set(float64(workers))
+	started := r.Counter("ref_par_jobs_started_total")
+	finished := r.Counter("ref_par_jobs_finished_total")
+	queueWait := r.Histogram("ref_par_queue_wait_seconds")
+	jobSeconds := r.Histogram("ref_par_job_seconds")
+	t0 := time.Now()
+	return func(i int) error {
+		ts := time.Now()
+		queueWait.Observe(ts.Sub(t0).Seconds())
+		started.Inc()
+		err := job(i)
+		jobSeconds.Observe(time.Since(ts).Seconds())
+		finished.Inc()
+		return err
+	}
+}
+
 // flightCall is one in-flight computation shared by concurrent callers.
 type flightCall[V any] struct {
 	done chan struct{}
 	// waiters counts callers sharing this call beyond the one computing
 	// it (observed by tests to sequence dedup scenarios).
-	waiters int
-	val     V
-	err     error
+	waiters  int
+	val      V
+	err      error
+	panicked bool
+	panicVal any
 }
 
 // Flight deduplicates concurrent calls by key: while a computation for a
@@ -119,7 +176,10 @@ type Flight[K comparable, V any] struct {
 }
 
 // Do invokes fn, unless a call for key is already in flight, in which
-// case it waits for that call and returns its result.
+// case it waits for that call and returns its result. A panicking fn
+// cannot strand waiters: the in-flight entry is always removed and its
+// done channel closed, the panic value is published to every sharing
+// caller, and each of them (computing caller included) re-panics.
 func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	f.mu.Lock()
 	if f.inflight == nil {
@@ -128,19 +188,31 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	if c, ok := f.inflight[key]; ok {
 		c.waiters++
 		f.mu.Unlock()
+		obs.Inc("ref_par_flight_shared_total")
 		<-c.done
+		if c.panicked {
+			panic(c.panicVal)
+		}
 		return c.val, c.err
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.inflight[key] = c
 	f.mu.Unlock()
+	obs.Inc("ref_par_flight_leader_total")
 
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicked, c.panicVal = true, r
+		}
+		f.mu.Lock()
+		delete(f.inflight, key)
+		f.mu.Unlock()
+		close(c.done)
+		if c.panicked {
+			panic(c.panicVal)
+		}
+	}()
 	c.val, c.err = fn()
-
-	f.mu.Lock()
-	delete(f.inflight, key)
-	f.mu.Unlock()
-	close(c.done)
 	return c.val, c.err
 }
 

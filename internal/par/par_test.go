@@ -1,11 +1,14 @@
 package par
 
 import (
+	"bytes"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -35,6 +38,46 @@ func TestDefaultEnvOverride(t *testing.T) {
 	t.Setenv(EnvVar, "-2")
 	if got := Default(); got < 1 {
 		t.Errorf("Default() = %d with negative env", got)
+	}
+}
+
+func TestDefaultWarnsOnceOnMalformedEnv(t *testing.T) {
+	var buf bytes.Buffer
+	origSink := warnSink
+	origWarned := envWarned.Load()
+	warnSink = &buf
+	envWarned.Store(false)
+	t.Cleanup(func() {
+		warnSink = origSink
+		envWarned.Store(origWarned)
+	})
+
+	t.Setenv(EnvVar, "four")
+	want := runtime.GOMAXPROCS(0)
+	if got := Default(); got != want {
+		t.Errorf("Default() = %d with %s=four, want GOMAXPROCS=%d", got, EnvVar, want)
+	}
+	t.Setenv(EnvVar, "-2")
+	if got := Default(); got != want {
+		t.Errorf("Default() = %d with %s=-2, want GOMAXPROCS=%d", got, EnvVar, want)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "malformed"); n != 1 {
+		t.Errorf("warning emitted %d times, want exactly once; output:\n%s", n, out)
+	}
+	if !strings.Contains(out, EnvVar) || !strings.Contains(out, `"four"`) {
+		t.Errorf("warning missing env var name or offending value: %q", out)
+	}
+
+	// A well-formed value must not warn.
+	buf.Reset()
+	envWarned.Store(false)
+	t.Setenv(EnvVar, "3")
+	if got := Default(); got != 3 {
+		t.Errorf("Default() = %d with %s=3", got, EnvVar)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unexpected warning for valid value: %q", buf.String())
 	}
 }
 
@@ -175,6 +218,52 @@ func TestFlightDoesNotCacheCompletedCalls(t *testing.T) {
 	}
 	if n.Load() != 3 {
 		t.Errorf("sequential calls computed %d times, want 3 (Flight must not memoize)", n.Load())
+	}
+}
+
+func TestFlightPanicDoesNotStrandWaiters(t *testing.T) {
+	var f Flight[int, int]
+	started := make(chan struct{})
+	waiterDone := make(chan any, 1)
+	go func() {
+		<-started
+		defer func() { waiterDone <- recover() }()
+		_, _ = f.Do(7, func() (int, error) {
+			t.Error("waiter recomputed an in-flight key")
+			return 0, nil
+		})
+		waiterDone <- nil // unreachable if the panic propagates
+	}()
+
+	leaderPanic := func() (v any) {
+		defer func() { v = recover() }()
+		_, _ = f.Do(7, func() (int, error) {
+			close(started)
+			// Hold the call open until the waiter is provably sharing it,
+			// then blow up.
+			for f.waitingFor(7) == 0 {
+				runtime.Gosched()
+			}
+			panic("boom in flight")
+		})
+		return nil
+	}()
+	if leaderPanic != "boom in flight" {
+		t.Fatalf("leader recovered %v, want re-panic with the fn's value", leaderPanic)
+	}
+	select {
+	case got := <-waiterDone:
+		if got != "boom in flight" {
+			t.Fatalf("waiter recovered %v, want the shared panic value", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter deadlocked on a panicked flight (done never closed)")
+	}
+
+	// The inflight entry must be gone: a later call recomputes normally.
+	v, err := f.Do(7, func() (int, error) { return 99, nil })
+	if err != nil || v != 99 {
+		t.Fatalf("post-panic Do = (%d, %v), want (99, nil)", v, err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ref/internal/cache"
+	"ref/internal/obs"
 	"ref/internal/par"
 	"ref/internal/trace"
 )
@@ -61,6 +62,7 @@ func CoRunParallel(workloads []trace.Config, totalLLC cache.Config, totalBandwid
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	defer obs.StartSpan("ref_sim_corun").End()
 	sets := totalLLC.SizeBytes / (totalLLC.Ways * totalLLC.BlockBytes)
 	out := &CoRunResult{Agents: make([]RunResult, n)}
 	err = par.ForEach(n, parallelism, func(i int) error {

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"ref/internal/obs"
+)
+
+// TestInstrumentationPreservesDeterminism is the acceptance property of
+// the observability layer: turning metrics on must not change a single
+// bit of simulation output, serially or in parallel.
+func TestInstrumentationPreservesDeterminism(t *testing.T) {
+	w := cWorkload(t)
+	base, err := SweepGridParallel(w, testAccesses, LLCSizes, Bandwidths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Install(obs.NewRegistry())
+	defer obs.Install(nil)
+	for _, parallelism := range []int{1, 4} {
+		prof, err := SweepGridParallel(w, testAccesses, LLCSizes, Bandwidths, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prof.Samples) != len(base.Samples) {
+			t.Fatalf("p=%d: %d samples, want %d", parallelism, len(prof.Samples), len(base.Samples))
+		}
+		for i, s := range prof.Samples {
+			b := base.Samples[i]
+			if s.Perf != b.Perf || s.Alloc[0] != b.Alloc[0] || s.Alloc[1] != b.Alloc[1] {
+				t.Fatalf("p=%d sample %d: instrumented %+v, uninstrumented %+v", parallelism, i, s, b)
+			}
+		}
+	}
+}
+
+// TestSweepMetricsReconcile checks the sweep's metric trail: 25 grid
+// points must count 25 runs, the exact simulated access total, LLC
+// traffic consistent with it, and DRAM latency samples per run.
+func TestSweepMetricsReconcile(t *testing.T) {
+	r := obs.NewRegistry()
+	obs.Install(r)
+	defer obs.Install(nil)
+
+	w := mWorkload(t)
+	if _, err := SweepGridParallel(w, testAccesses, LLCSizes, Bandwidths, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	const gridPoints = 25
+	if got := s.Counters["ref_sim_runs_total"]; got != gridPoints {
+		t.Errorf("ref_sim_runs_total = %d, want %d", got, gridPoints)
+	}
+	if got := s.Counters["ref_sim_accesses_total"]; got != gridPoints*testAccesses {
+		t.Errorf("ref_sim_accesses_total = %d, want %d", got, gridPoints*testAccesses)
+	}
+	// Every L1 miss becomes an LLC access; a memory-bound workload misses
+	// plenty at every configuration.
+	llcTraffic := s.Counters["ref_sim_llc_hits_total"] + s.Counters["ref_sim_llc_misses_total"]
+	if llcTraffic == 0 {
+		t.Error("no LLC traffic recorded")
+	}
+	if s.Counters["ref_dram_requests_total"] == 0 {
+		t.Error("no DRAM requests recorded")
+	}
+	if h := s.Histograms["ref_dram_effective_latency_cycles"]; h.Count != gridPoints {
+		t.Errorf("effective latency samples = %d, want one per run", h.Count)
+	}
+	if h := s.Histograms["ref_dram_queue_wait_cycles"]; h.Count != gridPoints {
+		t.Errorf("queue wait samples = %d, want one per run", h.Count)
+	}
+	// The sweep span and the pool both report.
+	if got := s.Counters["ref_sim_sweep_total"]; got != 1 {
+		t.Errorf("ref_sim_sweep_total = %d, want 1", got)
+	}
+	if got := s.Counters["ref_par_jobs_finished_total"]; got != gridPoints {
+		t.Errorf("ref_par_jobs_finished_total = %d, want %d", got, gridPoints)
+	}
+	if got := s.Counters["ref_par_jobs_started_total"]; got != gridPoints {
+		t.Errorf("ref_par_jobs_started_total = %d, want %d", got, gridPoints)
+	}
+	if w := s.Gauges["ref_par_pool_width"]; w != 2 {
+		t.Errorf("ref_par_pool_width = %v, want 2", w)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ref/internal/cpu"
 	"ref/internal/dram"
 	"ref/internal/fit"
+	"ref/internal/obs"
 	"ref/internal/par"
 	"ref/internal/trace"
 )
@@ -205,12 +206,39 @@ func Run(w trace.Config, p Platform, nAccesses int) (RunResult, error) {
 	l1.ResetStats()
 	llc.ResetStats()
 	res := core.Run(genSource{gen}, nAccesses)
+	recordRunMetrics(nAccesses, l1, llc, mc)
 	return RunResult{
 		Core:          res,
 		LLCMissRate:   llc.Stats().MissRate(),
 		L1MissRate:    l1.Stats().MissRate(),
 		AvgMemLatency: mc.Stats().AvgLatency(),
 	}, nil
+}
+
+// recordRunMetrics publishes one finished run's hierarchy statistics to
+// the installed obs registry. Counters aggregate across runs; latency and
+// queueing land in histograms at per-run granularity, so instrumentation
+// never executes inside the simulated access loop.
+func recordRunMetrics(nAccesses int, l1, llc *cache.Cache, mc *dram.Controller) {
+	r := obs.Installed()
+	if r == nil {
+		return
+	}
+	r.Counter("ref_sim_runs_total").Inc()
+	r.Counter("ref_sim_accesses_total").Add(int64(nAccesses))
+	l1s, llcs, ds := l1.Stats(), llc.Stats(), mc.Stats()
+	r.Counter("ref_sim_l1_hits_total").Add(int64(l1s.Hits))
+	r.Counter("ref_sim_l1_misses_total").Add(int64(l1s.Misses))
+	r.Counter("ref_sim_llc_hits_total").Add(int64(llcs.Hits))
+	r.Counter("ref_sim_llc_misses_total").Add(int64(llcs.Misses))
+	r.Counter("ref_sim_llc_writebacks_total").Add(int64(llcs.Writebacks))
+	r.Counter("ref_dram_requests_total").Add(int64(ds.Requests))
+	r.Counter("ref_dram_bus_busy_cycles_total").Add(int64(ds.BusBusyCycles))
+	if ds.Requests > 0 {
+		r.Histogram("ref_dram_effective_latency_cycles").Observe(ds.AvgLatency())
+		r.Histogram("ref_dram_queue_wait_cycles").Observe(ds.AvgQueueWait())
+		r.Histogram("ref_dram_peak_queue_wait_cycles").Observe(float64(ds.PeakQueueWaitCycles))
+	}
 }
 
 // Sweep profiles a workload over the full Table 1 grid (5 LLC sizes × 5
@@ -242,6 +270,7 @@ func SweepGridParallel(w trace.Config, nAccesses int, llcSizes []int, bandwidths
 	if len(llcSizes) == 0 || len(bandwidths) == 0 {
 		return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
 	}
+	defer obs.StartSpan("ref_sim_sweep").End()
 	results := make([]RunResult, len(bandwidths)*len(llcSizes))
 	err := par.ForEach(len(results), parallelism, func(i int) error {
 		bw := bandwidths[i/len(llcSizes)]

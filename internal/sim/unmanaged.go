@@ -6,6 +6,7 @@ import (
 	"ref/internal/cache"
 	"ref/internal/cpu"
 	"ref/internal/dram"
+	"ref/internal/obs"
 	"ref/internal/trace"
 )
 
@@ -118,6 +119,20 @@ func UnmanagedCoRun(workloadCfgs []trace.Config, totalLLC cache.Config, totalBan
 			L1MissRate:    a.l1.Stats().MissRate(),
 			LLCMissRate:   llc.Stats().MissRate(), // shared: global rate
 			AvgMemLatency: mc.Stats().AvgLatency(),
+		}
+	}
+	if r := obs.Installed(); r != nil {
+		r.Counter("ref_sim_unmanaged_corun_total").Inc()
+		r.Counter("ref_sim_accesses_total").Add(int64(n * nAccesses))
+		llcs, ds := llc.Stats(), mc.Stats()
+		r.Counter("ref_sim_llc_hits_total").Add(int64(llcs.Hits))
+		r.Counter("ref_sim_llc_misses_total").Add(int64(llcs.Misses))
+		r.Counter("ref_dram_requests_total").Add(int64(ds.Requests))
+		r.Counter("ref_dram_bus_busy_cycles_total").Add(int64(ds.BusBusyCycles))
+		if ds.Requests > 0 {
+			r.Histogram("ref_dram_effective_latency_cycles").Observe(ds.AvgLatency())
+			r.Histogram("ref_dram_queue_wait_cycles").Observe(ds.AvgQueueWait())
+			r.Histogram("ref_dram_peak_queue_wait_cycles").Observe(float64(ds.PeakQueueWaitCycles))
 		}
 	}
 	return out, nil

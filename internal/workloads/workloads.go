@@ -14,6 +14,7 @@ import (
 
 	"ref/internal/core"
 	"ref/internal/fit"
+	"ref/internal/obs"
 	"ref/internal/par"
 	"ref/internal/sim"
 	"ref/internal/trace"
@@ -153,12 +154,14 @@ func FitAll(nAccesses int) (map[string]Fitted, error) {
 // the default: $REF_PARALLELISM or GOMAXPROCS).
 func FitAllParallel(nAccesses, parallelism int) (map[string]Fitted, error) {
 	if v, ok := fitCache.Load(nAccesses); ok {
+		obs.Inc("ref_fit_memo_hits_total")
 		return v.(map[string]Fitted), nil
 	}
 	return fitFlight.Do(nAccesses, func() (map[string]Fitted, error) {
 		// A racing caller may have stored the result while this caller
 		// queued for the flight slot.
 		if v, ok := fitCache.Load(nAccesses); ok {
+			obs.Inc("ref_fit_memo_hits_total")
 			return v.(map[string]Fitted), nil
 		}
 		out, err := FitAllFresh(nAccesses, parallelism)
@@ -180,6 +183,8 @@ func FitAllParallel(nAccesses, parallelism int) (map[string]Fitted, error) {
 // cannot affect the outcome.
 func FitAllFresh(nAccesses, parallelism int) (map[string]Fitted, error) {
 	fitComputations.Add(1)
+	obs.Inc("ref_fit_fresh_sweeps_total")
+	defer obs.StartSpan("ref_fit_sweep").End()
 	catalog := trace.Catalog()
 	fitted := make([]Fitted, len(catalog))
 	err := par.ForEach(len(catalog), parallelism, func(i int) error {
@@ -191,6 +196,11 @@ func FitAllFresh(nAccesses, parallelism int) (map[string]Fitted, error) {
 		res, err := fit.CobbDouglas(prof)
 		if err != nil {
 			return fmt.Errorf("workloads: fit %s: %w", w.Config.Name, err)
+		}
+		if r := obs.Installed(); r != nil {
+			r.Counter("ref_fit_fits_total").Inc()
+			r.Histogram("ref_fit_rmsle").Observe(res.RMSLE)
+			r.Histogram("ref_fit_r2").Observe(res.R2)
 		}
 		fitted[i] = Fitted{Workload: w, Fit: res}
 		return nil

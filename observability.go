@@ -1,0 +1,65 @@
+package ref
+
+import (
+	"io"
+
+	"ref/internal/obs"
+)
+
+// MetricsRegistry is a concurrent registry of counters, gauges, and
+// histograms. Installing one turns on instrumentation across the whole
+// library — the worker pool, the platform simulator, the profiling
+// pipeline, the mechanisms, and the fairness audits; with none installed
+// every instrumentation site is a no-op costing one atomic load.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry, serializable to
+// JSON (run manifests) and renderable as Prometheus text.
+type MetricsSnapshot = obs.SnapshotData
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// InstallMetrics makes r the process-wide registry observed by every
+// instrumented path. Install(nil) disables observability again.
+// Instrumentation never feeds back into simulation state, so results stay
+// bit-identical with metrics on or off, serial or parallel.
+func InstallMetrics(r *MetricsRegistry) { obs.Install(r) }
+
+// InstalledMetrics returns the process-wide registry, or nil when
+// observability is off.
+func InstalledMetrics() *MetricsRegistry { return obs.Installed() }
+
+// SnapshotMetrics captures the installed registry (empty when disabled).
+func SnapshotMetrics() *MetricsSnapshot { return obs.Snapshot() }
+
+// WriteMetricsPrometheus renders a snapshot in the Prometheus text
+// exposition format.
+func WriteMetricsPrometheus(w io.Writer, s *MetricsSnapshot) error {
+	return obs.WritePrometheus(w, s)
+}
+
+// MetricsServer is a running observability HTTP endpoint serving
+// /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof/.
+type MetricsServer = obs.Server
+
+// ServeMetrics starts the observability endpoint on addr (":9090",
+// "127.0.0.1:0", ...). It serves whatever registry is installed at scrape
+// time; the returned server's Addr reports the bound address.
+func ServeMetrics(addr string) (*MetricsServer, error) { return obs.Serve(addr) }
+
+// RunManifest is the structured JSON record a CLI run writes with
+// -run-manifest: configuration, per-unit wall times, and a final metric
+// snapshot, in the stable ref/run-manifest/v1 schema shared by the
+// BENCH_*.json trajectory files and the CI manifest artifact.
+type RunManifest = obs.Manifest
+
+// NewRunManifest starts a manifest for the named tool.
+func NewRunManifest(tool string, args []string) *RunManifest {
+	return obs.NewManifest(tool, args)
+}
+
+// ReadRunManifest parses a manifest written by RunManifest.WriteFile.
+func ReadRunManifest(path string) (*RunManifest, error) {
+	return obs.ReadManifestFile(path)
+}

@@ -1,0 +1,62 @@
+package ref
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObservabilityFacade drives the public metrics API end to end: run
+// an instrumented experiment, scrape it over HTTP, and round-trip a
+// manifest — the same path the CLIs use.
+func TestObservabilityFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	InstallMetrics(reg)
+	defer InstallMetrics(nil)
+	if InstalledMetrics() != reg {
+		t.Fatal("InstalledMetrics did not return the installed registry")
+	}
+
+	// fig1 is pure geometry (no simulation) — cheap, but still counted.
+	if err := RunExperiment("fig1", 0, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := SnapshotMetrics()
+	if s.Counters[`ref_exp_runs_total{exp="fig1",result="ok"}`] != 1 {
+		t.Errorf("experiment counter missing: %v", s.Counters)
+	}
+	if s.Histograms["ref_exp_duration_seconds"].Count != 1 {
+		t.Errorf("experiment duration histogram missing")
+	}
+
+	srv, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ref_exp_runs_total") {
+		t.Errorf("scrape missing experiment counter:\n%s", body)
+	}
+
+	m := NewRunManifest("test", nil)
+	m.Record("fig1", 0.1, nil)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics == nil || got.Metrics.Counters[`ref_exp_runs_total{exp="fig1",result="ok"}`] != 1 {
+		t.Errorf("manifest snapshot missing experiment counter")
+	}
+}
