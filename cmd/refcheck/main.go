@@ -1,0 +1,116 @@
+// Command refcheck runs the property-based correctness harness: N seeded
+// random economies checked against every mechanism's invariant oracles —
+// the paper's SI/EF/PE theorems, feasibility, CEEI and solver differential
+// references, SPL gain bounds, and metamorphic symmetries. It prints any
+// violations as minimized, ready-to-paste Go counterexamples and exits
+// nonzero.
+//
+//	refcheck -trials 2000 -seed 1
+//	refcheck -trials 1 -seed 1 -trial-offset 1234   # replay one failing trial
+//
+// -metrics-addr serves live Prometheus metrics for the duration of the
+// run; -run-manifest writes a structured JSON record; -cx-out writes the
+// shrunk counterexamples to a file (CI uploads it as an artifact on
+// failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ref"
+)
+
+func main() {
+	var (
+		trials       = flag.Int("trials", 2000, "random economies to check against the closed-form mechanisms")
+		seed         = flag.Int64("seed", 1, "base seed; every trial's economy derives deterministically from it")
+		trialOffset  = flag.Int("trial-offset", 0, "first trial index (replay a specific failing trial without the run before it)")
+		maxAgents    = flag.Int("max-agents", 0, "max agents per economy (0 = default 64)")
+		maxResources = flag.Int("max-resources", 0, "max resources per economy (0 = default 8)")
+		solverTrials = flag.Int("solver-trials", 0, "trials for the iterative-solver subjects (0 = trials/50, negative disables)")
+		parallelism  = flag.Int("parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
+		noShrink     = flag.Bool("no-shrink", false, "skip counterexample minimization")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		manifestOut  = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
+		cxOut        = flag.String("cx-out", "", "write shrunk counterexamples (Go literals) to this path on failure")
+	)
+	flag.Parse()
+	if err := run(*trials, *seed, *trialOffset, *maxAgents, *maxResources, *solverTrials,
+		*parallelism, *noShrink, *metricsAddr, *manifestOut, *cxOut); err != nil {
+		fmt.Fprintln(os.Stderr, "refcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTrials,
+	parallelism int, noShrink bool, metricsAddr, manifestOut, cxOut string) error {
+	reg := ref.NewMetricsRegistry()
+	ref.InstallMetrics(reg)
+	var manifest *ref.RunManifest
+	if manifestOut != "" {
+		manifest = ref.NewRunManifest("refcheck", os.Args[1:])
+		manifest.Parallelism = ref.ResolveParallelism(parallelism)
+	}
+	if metricsAddr != "" {
+		srv, err := ref.ServeMetrics(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
+	cfg := ref.PropertyCheckConfig{
+		Trials:       trials,
+		Seed:         seed,
+		TrialOffset:  trialOffset,
+		MaxAgents:    maxAgents,
+		MaxResources: maxResources,
+		SolverTrials: solverTrials,
+		Parallelism:  parallelism,
+		NoShrink:     noShrink,
+	}
+	start := time.Now()
+	sum, err := ref.RunPropertyChecks(cfg)
+	elapsed := time.Since(start)
+	if manifest != nil {
+		manifest.Record("check", elapsed.Seconds(), err)
+		if werr := manifest.WriteFile(manifestOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "refcheck: manifest:", werr)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("refcheck: %d fast + %d solver trials, %d oracle evaluations in %s (seed %d)\n",
+		sum.Trials, sum.SolverTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
+	if sum.OK() {
+		fmt.Println("refcheck: all properties hold")
+		return nil
+	}
+
+	var cx strings.Builder
+	for i, f := range sum.Failures {
+		fmt.Printf("\nFAIL %d/%d: %s\n", i+1, len(sum.Failures), f)
+		for _, finding := range f.Findings {
+			fmt.Println("  " + finding)
+		}
+		fmt.Printf("  replay: refcheck -trials 1 -seed %d -trial-offset %d\n", seed, f.Trial)
+		fmt.Printf("  shrunk counterexample (%d agents, %d resources):\n%#v\n",
+			f.Shrunk.NumAgents(), f.Shrunk.NumResources(), f.Shrunk)
+		fmt.Fprintf(&cx, "// %s\n// findings: %s\n%#v\n\n", f, strings.Join(f.Findings, "; "), f.Shrunk)
+	}
+	if cxOut != "" {
+		if werr := os.WriteFile(cxOut, []byte(cx.String()), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "refcheck: cx-out:", werr)
+		} else {
+			fmt.Printf("\ncounterexamples written to %s\n", cxOut)
+		}
+	}
+	return fmt.Errorf("%d invariant violation(s)", len(sum.Failures))
+}

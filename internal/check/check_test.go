@@ -1,0 +1,296 @@
+package check
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/opt"
+)
+
+// testTrials keeps the in-tree property run bounded; cmd/refcheck and CI
+// run the long campaigns.
+const testTrials = 40
+
+// TestCleanRun drives every subject (fast and solver streams) over random
+// economies and expects zero violations: the repo's mechanisms must satisfy
+// the properties the paper proves for them.
+func TestCleanRun(t *testing.T) {
+	sum, err := Run(Config{Trials: testTrials, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SolverTrials == 0 {
+		t.Fatal("solver stream did not run")
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n%s\ncounterexample:\n%#v", f.String(), strings.Join(f.Findings, "\n"), f.Shrunk)
+	}
+	if sum.Checks == 0 {
+		t.Fatal("no checks executed")
+	}
+}
+
+// TestGenerateValid checks that every generator class produces well-formed
+// economies within the configured bounds, and that all classes appear.
+func TestGenerateValid(t *testing.T) {
+	cfg := GenConfig{MaxAgents: 16, MaxResources: 5}
+	seen := map[Class]bool{}
+	for seed := int64(0); seed < 300; seed++ {
+		ec := Generate(rand.New(rand.NewSource(seed)), cfg)
+		if err := ec.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := ec.NumAgents(); n < 2 || n > 16 {
+			t.Fatalf("seed %d: %d agents outside [2,16]", seed, n)
+		}
+		if r := ec.NumResources(); r < 2 || r > 5 {
+			t.Fatalf("seed %d: %d resources outside [2,5]", seed, r)
+		}
+		seen[ec.Class] = true
+	}
+	for _, c := range Classes() {
+		if !seen[c] {
+			t.Errorf("class %q never generated in 300 trials", c)
+		}
+	}
+}
+
+// TestDeterminism reruns the same configuration at different parallelism
+// widths and demands bit-identical summaries, including failure ordering.
+// The mutant subject guarantees there are failures to compare.
+func TestDeterminism(t *testing.T) {
+	mk := func(parallelism int) *Summary {
+		sum, err := Run(Config{
+			Trials:      25,
+			Seed:        42,
+			MaxAgents:   12,
+			Parallelism: parallelism,
+			NoShrink:    true,
+			Subjects:    mutantSubjects(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial, wide := mk(1), mk(8)
+	if len(serial.Failures) == 0 {
+		t.Fatal("mutant produced no failures; determinism test is vacuous")
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("summaries differ across parallelism:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}
+
+// mutantSubjects wires the intentionally broken mechanism (Equation 13
+// without the Equation 12 rescaling) to the SI and EF oracles.
+func mutantSubjects() []Subject {
+	tol := fair.DefaultTolerance()
+	return []Subject{{Mechanism: rawProportional{}, Oracles: []Oracle{SIOracle(tol), EFOracle(tol)}}}
+}
+
+// rawProportional is the test mutant: it allocates each resource in
+// proportion to the RAW elasticities, skipping Equation 12's rescaling.
+// The paper's Theorems 4–5 do not hold for it, and the harness must say so.
+type rawProportional struct{}
+
+func (rawProportional) Name() string { return "raw-proportional (mutant)" }
+
+func (rawProportional) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
+	n := len(agents)
+	sums := make([]float64, len(cap))
+	for _, a := range agents {
+		for r, v := range a.Utility.Alpha {
+			sums[r] += v
+		}
+	}
+	x := make(opt.Alloc, n)
+	for i, a := range agents {
+		x[i] = make([]float64, len(cap))
+		for r, c := range cap {
+			if sums[r] > 0 {
+				x[i][r] = c * a.Utility.Alpha[r] / sums[r]
+			} else {
+				x[i][r] = c / float64(n)
+			}
+		}
+	}
+	return x, nil
+}
+
+// TestMutantCaughtAndShrunk is the harness's own acceptance test: the
+// broken mechanism must be caught, and the shrinker must reduce at least
+// one counterexample to a handful of agents and resources that still
+// reproduces the violation.
+func TestMutantCaughtAndShrunk(t *testing.T) {
+	sum, err := Run(Config{Trials: 60, Seed: 3, MaxAgents: 16, Subjects: mutantSubjects()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK() {
+		t.Fatal("mutant mechanism passed all checks: oracles are toothless")
+	}
+	best := sum.Failures[0]
+	for _, f := range sum.Failures[1:] {
+		if f.Shrunk.NumAgents() < best.Shrunk.NumAgents() ||
+			(f.Shrunk.NumAgents() == best.Shrunk.NumAgents() && f.Shrunk.NumResources() < best.Shrunk.NumResources()) {
+			best = f
+		}
+	}
+	if n, r := best.Shrunk.NumAgents(), best.Shrunk.NumResources(); n > 4 || r > 3 {
+		t.Errorf("best shrunk counterexample still has %d agents, %d resources:\n%#v", n, r, best.Shrunk)
+	}
+	// The shrunk economy must still violate the same oracle.
+	var oracle Oracle
+	for _, o := range mutantSubjects()[0].Oracles {
+		if o.Name == best.Oracle {
+			oracle = o
+		}
+	}
+	if oracle.Check == nil {
+		t.Fatalf("failure names unknown oracle %q", best.Oracle)
+	}
+	x, err := rawProportional{}.Allocate(best.Shrunk.Agents, best.Shrunk.Cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle.Check(best.Shrunk, rawProportional{}, x)) == 0 {
+		t.Errorf("shrunk counterexample no longer violates %q:\n%#v", best.Oracle, best.Shrunk)
+	}
+	// And it must reproduce from its recorded seed.
+	re := ReproduceEconomy(best.EconomySeed, GenConfig{MaxAgents: 16})
+	if !reflect.DeepEqual(re, best.Economy) {
+		t.Error("ReproduceEconomy does not rebuild the recorded economy")
+	}
+}
+
+// TestShrinkMinimizes checks the shrinker against a synthetic predicate
+// with a known minimum.
+func TestShrinkMinimizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ec := Generate(rng, GenConfig{MaxAgents: 24, MaxResources: 8})
+	for ec.NumAgents() < 5 || ec.NumResources() < 3 {
+		ec = Generate(rng, GenConfig{MaxAgents: 24, MaxResources: 8})
+	}
+	shrunk := Shrink(ec, func(cand Economy) bool {
+		return cand.NumAgents() >= 3 && cand.NumResources() >= 2
+	})
+	if shrunk.NumAgents() != 3 {
+		t.Errorf("shrunk to %d agents, want 3", shrunk.NumAgents())
+	}
+	if shrunk.NumResources() != 2 {
+		t.Errorf("shrunk to %d resources, want 2", shrunk.NumResources())
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Errorf("shrunk economy invalid: %v", err)
+	}
+	// A non-reproducing failure must come back unchanged.
+	same := Shrink(ec, func(Economy) bool { return false })
+	if !reflect.DeepEqual(same, ec) {
+		t.Error("Shrink modified an economy whose failure does not reproduce")
+	}
+}
+
+func TestRoundSig(t *testing.T) {
+	cases := []struct {
+		v      float64
+		digits int
+		want   float64
+	}{
+		{1.2345, 1, 1},
+		{1.2345, 2, 1.2},
+		{0.004567, 2, 0.0046},
+		{987.6, 1, 1000},
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := roundSig(c.v, c.digits); got != c.want {
+			t.Errorf("roundSig(%v, %d) = %v, want %v", c.v, c.digits, got, c.want)
+		}
+	}
+}
+
+// TestGoString renders a small economy and spot-checks the literal form.
+func TestGoString(t *testing.T) {
+	ec := Economy{
+		Class: ClassUniform,
+		Cap:   []float64{2, 0.5},
+		Agents: []core.Agent{
+			newAgent(0, 1, []float64{0.25, 0.75}),
+			newAgent(1, 2, []float64{1, 3}),
+		},
+	}
+	s := ec.GoString()
+	for _, want := range []string{
+		"check.Economy{",
+		`Class: "uniform"`,
+		"Cap:   []float64{2, 0.5}",
+		`{Name: "a1", Utility: cobb.MustNew(2, 1, 3)},`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("GoString missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// TestLeontiefDRFInvariants checks the native Leontief water-filling
+// invariants over random economies, independent of the Cobb-Douglas
+// projection path.
+func TestLeontiefDRFInvariants(t *testing.T) {
+	cfg := GenConfig{MaxAgents: 24, MaxResources: 6}
+	for seed := int64(0); seed < 30; seed++ {
+		agents, cap := GenerateLeontief(rand.New(rand.NewSource(seed)), cfg)
+		if findings := DRFInvariants(agents, cap); len(findings) > 0 {
+			t.Errorf("seed %d: %s", seed, strings.Join(findings, "; "))
+		}
+	}
+}
+
+// TestConfigValidation exercises Config.normalize's error paths and
+// defaulting.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Trials: -1}); err == nil {
+		t.Error("negative Trials accepted")
+	}
+	if _, err := Run(Config{Trials: 1, MaxAgents: 1}); err == nil {
+		t.Error("MaxAgents = 1 accepted")
+	}
+	sum, err := Run(Config{Trials: 2, Seed: 5, SolverTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SolverTrials != 0 {
+		t.Errorf("SolverTrials = %d after disabling, want 0", sum.SolverTrials)
+	}
+}
+
+// TestTrialOffset checks that the failing trial from a long run reproduces
+// alone via TrialOffset with the identical economy seed.
+func TestTrialOffset(t *testing.T) {
+	full, err := Run(Config{Trials: 30, Seed: 42, MaxAgents: 12, NoShrink: true, Subjects: mutantSubjects()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Failures) == 0 {
+		t.Fatal("no failures to reproduce")
+	}
+	want := full.Failures[0]
+	solo, err := Run(Config{
+		Trials: 1, Seed: 42, TrialOffset: want.Trial,
+		MaxAgents: 12, NoShrink: true, Subjects: mutantSubjects(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Failures) == 0 {
+		t.Fatalf("trial %d did not fail in isolation", want.Trial)
+	}
+	got := solo.Failures[0]
+	if got.EconomySeed != want.EconomySeed || !reflect.DeepEqual(got.Economy, want.Economy) {
+		t.Errorf("offset reproduction diverged: %v vs %v", got, want)
+	}
+}

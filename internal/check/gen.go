@@ -1,0 +1,270 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/leontief"
+)
+
+// Default generated-economy bounds: the paper's evaluation tops out at 64
+// agents (§4.3) and the repo's platform model at a handful of resources;
+// eight resources stresses every loop that silently assumed R = 2.
+const (
+	DefaultMaxAgents    = 64
+	DefaultMaxResources = 8
+)
+
+// Class labels a generator family. Classes target the corners where the
+// closed forms and the audits are most likely to disagree, not just the
+// bulk of the preference space.
+type Class string
+
+const (
+	// ClassUniform draws independent elasticities uniform on [0.05, 1).
+	ClassUniform Class = "uniform"
+	// ClassZeroElasticity zeroes each elasticity with probability ~1/3
+	// (keeping at least one positive per agent), exercising the
+	// zero-allocation and MRS-exclusion paths.
+	ClassZeroElasticity Class = "zero-elasticity"
+	// ClassNearEqual gives every agent the same elasticity vector up to a
+	// ~1e-6 jitter, pushing SI and EF margins toward their tolerances.
+	ClassNearEqual Class = "near-equal"
+	// ClassDominant concentrates one agent's elasticity almost entirely on
+	// a single resource.
+	ClassDominant Class = "one-dominant"
+	// ClassDenormalized draws elasticities far off the simplex (sums ≫ 1)
+	// with non-unit α₀, exercising the Equation 12 rescaling everywhere it
+	// is (or should be) applied.
+	ClassDenormalized Class = "denormalized"
+)
+
+// Classes returns every generator class in rotation order.
+func Classes() []Class {
+	return []Class{ClassUniform, ClassZeroElasticity, ClassNearEqual, ClassDominant, ClassDenormalized}
+}
+
+// Economy is one randomly generated allocation problem: Cobb-Douglas agents
+// sharing capacities.
+type Economy struct {
+	// Class records the generator family, for diagnostics only.
+	Class Class
+	// Agents are the participants.
+	Agents []core.Agent
+	// Cap holds total capacity per resource.
+	Cap []float64
+}
+
+// NumAgents returns the number of agents.
+func (ec Economy) NumAgents() int { return len(ec.Agents) }
+
+// NumResources returns the number of resources.
+func (ec Economy) NumResources() int { return len(ec.Cap) }
+
+// Validate reports whether the economy is a well-formed allocation problem
+// (every mechanism must accept it).
+func (ec Economy) Validate() error {
+	if len(ec.Agents) == 0 {
+		return fmt.Errorf("%w: no agents", ErrBadConfig)
+	}
+	for r, c := range ec.Cap {
+		if !(c > 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: capacity[%d] = %v", ErrBadConfig, r, c)
+		}
+	}
+	for i, a := range ec.Agents {
+		if err := a.Utility.Validate(); err != nil {
+			return fmt.Errorf("%w: agent %d: %v", ErrBadConfig, i, err)
+		}
+		if a.Utility.NumResources() != len(ec.Cap) {
+			return fmt.Errorf("%w: agent %d has %d resources, economy has %d",
+				ErrBadConfig, i, a.Utility.NumResources(), len(ec.Cap))
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the economy.
+func (ec Economy) Clone() Economy {
+	out := Economy{Class: ec.Class, Cap: append([]float64(nil), ec.Cap...)}
+	out.Agents = make([]core.Agent, len(ec.Agents))
+	for i, a := range ec.Agents {
+		out.Agents[i] = core.Agent{
+			Name: a.Name,
+			Utility: cobb.Utility{
+				Alpha0: a.Utility.Alpha0,
+				Alpha:  append([]float64(nil), a.Utility.Alpha...),
+			},
+		}
+	}
+	return out
+}
+
+// GoString renders the economy as a ready-to-paste Go literal, the form
+// shrunk counterexamples are reported in.
+func (ec Economy) GoString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check.Economy{\n\tClass: %q,\n\tCap:   []float64{%s},\n\tAgents: []core.Agent{\n",
+		string(ec.Class), formatFloats(ec.Cap))
+	for _, a := range ec.Agents {
+		fmt.Fprintf(&b, "\t\t{Name: %q, Utility: cobb.MustNew(%s, %s)},\n",
+			a.Name, formatFloat(a.Utility.Alpha0), formatFloats(a.Utility.Alpha))
+	}
+	b.WriteString("\t},\n}")
+	return b.String()
+}
+
+// formatFloat renders v with round-trip precision.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// GenConfig bounds generated economy sizes.
+type GenConfig struct {
+	// MaxAgents and MaxResources are inclusive upper bounds; zero selects
+	// the package defaults.
+	MaxAgents, MaxResources int
+}
+
+func (g GenConfig) maxAgents() int {
+	if g.MaxAgents >= 2 {
+		return g.MaxAgents
+	}
+	return DefaultMaxAgents
+}
+
+func (g GenConfig) maxResources() int {
+	if g.MaxResources >= 2 {
+		return g.MaxResources
+	}
+	return DefaultMaxResources
+}
+
+// Generate draws one random economy. All randomness comes from rng, so the
+// result is a pure function of the rand source's seed.
+func Generate(rng *rand.Rand, cfg GenConfig) Economy {
+	classes := Classes()
+	class := classes[rng.Intn(len(classes))]
+	n := 2 + rng.Intn(cfg.maxAgents()-1)
+	r := 2 + rng.Intn(cfg.maxResources()-1)
+	ec := Economy{Class: class, Cap: genCaps(rng, r)}
+	ec.Agents = make([]core.Agent, n)
+	switch class {
+	case ClassZeroElasticity:
+		for i := range ec.Agents {
+			alpha := genUniformAlpha(rng, r)
+			for j := range alpha {
+				if rng.Float64() < 0.35 {
+					alpha[j] = 0
+				}
+			}
+			ensurePositive(rng, alpha)
+			ec.Agents[i] = newAgent(i, 1, alpha)
+		}
+	case ClassNearEqual:
+		base := genUniformAlpha(rng, r)
+		for i := range ec.Agents {
+			alpha := make([]float64, r)
+			for j := range alpha {
+				alpha[j] = base[j] + 1e-6*(rng.Float64()-0.5)
+				if alpha[j] <= 0 {
+					alpha[j] = 1e-9
+				}
+			}
+			ec.Agents[i] = newAgent(i, 1, alpha)
+		}
+	case ClassDominant:
+		dom := rng.Intn(r)
+		alpha := make([]float64, r)
+		for j := range alpha {
+			alpha[j] = 1e-3
+		}
+		alpha[dom] = 5
+		ec.Agents[0] = newAgent(0, 1, alpha)
+		for i := 1; i < n; i++ {
+			ec.Agents[i] = newAgent(i, 1, genUniformAlpha(rng, r))
+		}
+	case ClassDenormalized:
+		for i := range ec.Agents {
+			alpha := make([]float64, r)
+			for j := range alpha {
+				alpha[j] = 0.5 + 7.5*rng.Float64()
+			}
+			alpha0 := math.Exp(6*rng.Float64() - 3)
+			ec.Agents[i] = newAgent(i, alpha0, alpha)
+		}
+	default: // ClassUniform
+		for i := range ec.Agents {
+			ec.Agents[i] = newAgent(i, 1, genUniformAlpha(rng, r))
+		}
+	}
+	return ec
+}
+
+func newAgent(i int, alpha0 float64, alpha []float64) core.Agent {
+	return core.Agent{
+		Name:    "a" + strconv.Itoa(i),
+		Utility: cobb.Utility{Alpha0: alpha0, Alpha: alpha},
+	}
+}
+
+// genCaps draws per-resource capacities log-uniform on [0.1, 32] — three
+// decades, covering both a scarce resource and an abundant one in most
+// economies.
+func genCaps(rng *rand.Rand, r int) []float64 {
+	caps := make([]float64, r)
+	for j := range caps {
+		caps[j] = 0.1 * math.Pow(320, rng.Float64())
+	}
+	return caps
+}
+
+func genUniformAlpha(rng *rand.Rand, r int) []float64 {
+	alpha := make([]float64, r)
+	for j := range alpha {
+		alpha[j] = 0.05 + 0.95*rng.Float64()
+	}
+	return alpha
+}
+
+// ensurePositive guarantees at least one positive elasticity, re-drawing a
+// random entry when the zeroing pass cleared them all.
+func ensurePositive(rng *rand.Rand, alpha []float64) {
+	for _, a := range alpha {
+		if a > 0 {
+			return
+		}
+	}
+	alpha[rng.Intn(len(alpha))] = 0.05 + 0.95*rng.Float64()
+}
+
+// GenerateLeontief draws a random Leontief economy (demand vectors plus
+// capacities) for checking the DRF water-filling invariants directly, in
+// addition to the Cobb-Douglas→Leontief projection exercised by the DRF
+// subject.
+func GenerateLeontief(rng *rand.Rand, cfg GenConfig) ([]leontief.Utility, []float64) {
+	n := 2 + rng.Intn(cfg.maxAgents()-1)
+	r := 2 + rng.Intn(cfg.maxResources()-1)
+	cap := genCaps(rng, r)
+	agents := make([]leontief.Utility, n)
+	for i := range agents {
+		demand := make([]float64, r)
+		for j := range demand {
+			// Demands up to one tenth of capacity, never zero.
+			demand[j] = cap[j] * (1e-4 + 0.1*rng.Float64())
+		}
+		agents[i] = leontief.MustNew(demand...)
+	}
+	return agents, cap
+}

@@ -1,0 +1,140 @@
+package check
+
+import "math"
+
+// maxShrinkPasses bounds the fixpoint loop; each pass only keeps strict
+// reductions, so this is a safety valve, not a tuning knob.
+const maxShrinkPasses = 8
+
+// Shrink greedily minimizes a failing economy while keep(candidate) stays
+// true: it drops agents, then resources, then rounds every surviving number
+// toward small integer-ish values, repeating to a fixpoint. keep must be
+// deterministic (the oracles are). If the failure does not reproduce on the
+// input itself, the input is returned unchanged.
+func Shrink(ec Economy, keep func(Economy) bool) Economy {
+	cur := ec.Clone()
+	if !keep(cur) {
+		return cur
+	}
+	for pass := 0; pass < maxShrinkPasses; pass++ {
+		changed := false
+		if shrinkAgents(&cur, keep) {
+			changed = true
+		}
+		if shrinkResources(&cur, keep) {
+			changed = true
+		}
+		if roundValues(&cur, keep) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkAgents removes agents one at a time as long as the failure
+// survives.
+func shrinkAgents(cur *Economy, keep func(Economy) bool) bool {
+	changed := false
+	for i := 0; i < len(cur.Agents) && len(cur.Agents) > 1; {
+		cand := cur.Clone()
+		cand.Agents = append(cand.Agents[:i], cand.Agents[i+1:]...)
+		if keep(cand) {
+			*cur = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// shrinkResources removes whole resource columns (capacity plus every
+// agent's matching elasticity) as long as the failure survives. Candidates
+// that leave an agent without any positive elasticity fail validation and
+// are skipped.
+func shrinkResources(cur *Economy, keep func(Economy) bool) bool {
+	changed := false
+	for r := 0; r < len(cur.Cap) && len(cur.Cap) > 1; {
+		cand := cur.Clone()
+		cand.Cap = append(cand.Cap[:r], cand.Cap[r+1:]...)
+		for i := range cand.Agents {
+			a := cand.Agents[i].Utility.Alpha
+			cand.Agents[i].Utility.Alpha = append(a[:r], a[r+1:]...)
+		}
+		if cand.Validate() == nil && keep(cand) {
+			*cur = cand
+			changed = true
+		} else {
+			r++
+		}
+	}
+	return changed
+}
+
+// roundValues tries to replace every capacity, elasticity, and α₀ with a
+// rounder number — 0, 1, the nearest integer, or few-significant-digit
+// roundings — keeping each substitution only if the failure survives.
+func roundValues(cur *Economy, keep func(Economy) bool) bool {
+	changed := false
+	tryAt := func(read func(ec *Economy) *float64) {
+		v := *read(cur)
+		for _, c := range roundingCandidates(v) {
+			cand := cur.Clone()
+			*read(&cand) = c
+			if cand.Validate() == nil && keep(cand) {
+				*cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	for r := range cur.Cap {
+		r := r
+		tryAt(func(ec *Economy) *float64 { return &ec.Cap[r] })
+	}
+	for i := range cur.Agents {
+		i := i
+		tryAt(func(ec *Economy) *float64 { return &ec.Agents[i].Utility.Alpha0 })
+		for j := range cur.Agents[i].Utility.Alpha {
+			j := j
+			tryAt(func(ec *Economy) *float64 { return &ec.Agents[i].Utility.Alpha[j] })
+		}
+	}
+	return changed
+}
+
+// roundingCandidates lists replacement values for v in decreasing order of
+// simplicity. The first candidate that still fails wins, so order matters.
+func roundingCandidates(v float64) []float64 {
+	var out []float64
+	add := func(c float64) {
+		if c == v || math.IsNaN(c) || math.IsInf(c, 0) {
+			return
+		}
+		for _, e := range out {
+			if e == c {
+				return
+			}
+		}
+		out = append(out, c)
+	}
+	add(0)
+	add(1)
+	add(math.Round(v))
+	add(roundSig(v, 1))
+	add(roundSig(v, 2))
+	add(roundSig(v, 4))
+	return out
+}
+
+// roundSig rounds v to the given number of significant decimal digits.
+func roundSig(v float64, digits int) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	mag := math.Pow(10, float64(digits-1)-math.Floor(math.Log10(math.Abs(v))))
+	return math.Round(v*mag) / mag
+}

@@ -1,0 +1,97 @@
+package cobb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCompareConsistency drives the preference-ordering API with arbitrary
+// parameters and checks that all four views of the same ordering agree:
+// Compare matches the sign of Eval differences, LogEval induces the same
+// ordering as Eval, Compare is antisymmetric, WeaklyPrefers is consistent
+// with Compare, monotonicity holds (a strictly larger bundle is never
+// dispreferred), and — the Equation 12 guarantee the REF mechanism rests
+// on — rescaling the utility never changes which bundle an agent prefers.
+func FuzzCompareConsistency(f *testing.F) {
+	f.Add(1.0, 0.6, 0.4, 3.0, 5.0, 4.0, 4.0)
+	f.Add(2.0, 1.5, 0.2, 1.0, 1.0, 2.0, 0.5)
+	f.Add(0.5, 0.0, 1.0, 7.0, 2.0, 7.0, 2.0)
+	f.Add(1e-2, 3.0, 9.0, 1e3, 1e-3, 1e-3, 1e3)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, x0, x1, y0, y1 float64) {
+		u, err := New(a0, a1, a2)
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{x0, x1, y0, y1} {
+			if !(v > 0) || v > 1e9 {
+				return
+			}
+		}
+		if a1 > 100 || a2 > 100 {
+			return
+		}
+		x := []float64{x0, x1}
+		y := []float64{y0, y1}
+
+		ux, uy := u.Eval(x), u.Eval(y)
+		// Overflowed or underflowed utilities order as float quirks, not
+		// preferences; out of scope.
+		if !(ux > 0) || !(uy > 0) || math.IsInf(ux, 0) || math.IsInf(uy, 0) {
+			return
+		}
+		cmp := u.Compare(x, y)
+		// Compare vs Eval sign (allow ties to disagree only within float
+		// noise of equality).
+		const rel = 1e-9
+		switch cmp {
+		case Better:
+			if ux < uy*(1-rel) {
+				t.Fatalf("Compare says Better but Eval %v < %v", ux, uy)
+			}
+		case Worse:
+			if ux > uy*(1+rel) {
+				t.Fatalf("Compare says Worse but Eval %v > %v", ux, uy)
+			}
+		}
+
+		// Antisymmetry.
+		switch rev := u.Compare(y, x); {
+		case cmp == Better && rev == Better,
+			cmp == Worse && rev == Worse:
+			t.Fatalf("Compare not antisymmetric: %v both ways", cmp)
+		}
+
+		// WeaklyPrefers agrees with Compare.
+		if cmp == Better && !u.WeaklyPrefers(x, y) {
+			t.Fatal("Better but not WeaklyPrefers")
+		}
+		if cmp == Worse && u.WeaklyPrefers(x, y) {
+			t.Fatal("Worse but WeaklyPrefers")
+		}
+
+		// LogEval induces the same ordering where both are finite.
+		lx, ly := u.LogEval(x), u.LogEval(y)
+		if !math.IsInf(lx, 0) && !math.IsInf(ly, 0) {
+			if (ux > uy*(1+rel)) != (lx > ly+math.Log1p(rel)) && math.Abs(lx-ly) > 1e-9 {
+				t.Fatalf("Eval and LogEval disagree: (%v,%v) vs (%v,%v)", ux, uy, lx, ly)
+			}
+		}
+
+		// Monotonicity: doubling a bundle is never dispreferred.
+		if u.Compare([]float64{2 * x0, 2 * x1}, x) == Worse {
+			t.Fatal("doubled bundle dispreferred: utility not monotone")
+		}
+
+		// Equation 12: rescaling is a monotone transform, so the induced
+		// preference ordering is identical.
+		r := u.Rescaled()
+		if rcmp := r.Compare(x, y); rcmp != cmp {
+			// Tolerate flips across (near-)indifference only.
+			rx, ry := r.Eval(x), r.Eval(y)
+			if math.Abs(rx-ry) > 1e-9*math.Max(rx, ry) && math.Abs(ux-uy) > 1e-9*math.Max(ux, uy) {
+				t.Fatalf("rescaling changed preference: %v -> %v (Eval %v vs %v, rescaled %v vs %v)",
+					cmp, rcmp, ux, uy, rx, ry)
+			}
+		}
+	})
+}

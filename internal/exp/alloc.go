@@ -58,7 +58,7 @@ func RunPair(cfg Config, a, b string) (*PairResult, error) {
 	}
 	// The iterative equal-slowdown allocation carries solver noise; audit
 	// with a loosened tolerance so only real violations surface.
-	tol := fair.Tolerance{Rel: 5e-3, MRS: 0.05}
+	tol := fair.SolverTolerance()
 	esRep, err := fair.Audit(utils, PairCapacity, es, tol)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files from the current output:
+//
+//	go test ./internal/exp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current experiment output")
+
+// TestGoldenThroughputTables locks the rendered fig13/fig14 table output
+// against committed goldens. The tables are a function of the deterministic
+// profiling sweep and the mechanisms only, so any diff is a real behavior
+// change: either intentional (rerun with -update and review the diff) or a
+// regression (fix it). The goldens use the test access budget, sharing the
+// memoized FitAll sweep with the rest of this package's tests.
+func TestGoldenThroughputTables(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Config) ([]ThroughputRow, error)
+	}{
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := testCfg
+			cfg.Out = &buf
+			rows, err := c.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 5 {
+				t.Fatalf("%s rendered %d rows, want 5", c.name, len(rows))
+			}
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output diverged from %s\n--- got ---\n%s--- want ---\n%s",
+					c.name, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -81,8 +81,7 @@ func ParetoCertificate(utils []cobb.Utility, x opt.Alloc, trials int, seed int64
 		}
 		ui := utils[i].Eval(xi)
 		uj := utils[j].Eval(xj)
-		const margin = 1e-9
-		if ui > base[i]*(1+margin) && uj > base[j]*(1+margin) {
+		if ui > base[i]*(1+EpsTradeGain) && uj > base[j]*(1+EpsTradeGain) {
 			return &Improvement{
 				AgentA: i, AgentB: j,
 				ResourceA: ra, ResourceB: rb,

@@ -47,27 +47,27 @@ func (b *Box) InBox(x, y float64) bool {
 // EnvyFree1 reports whether user 1 is envy-free at (x, y): Equation 6.
 func (b *Box) EnvyFree1(x, y float64) bool {
 	cx, cy := b.Complement(x, y)
-	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{cx, cy})*(1-1e-12)
+	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{cx, cy})*(1-EpsUtilityRel)
 }
 
 // EnvyFree2 reports whether user 2 is envy-free at user-1 bundle (x, y):
 // Equation 7.
 func (b *Box) EnvyFree2(x, y float64) bool {
 	cx, cy := b.Complement(x, y)
-	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{x, y})*(1-1e-12)
+	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{x, y})*(1-EpsUtilityRel)
 }
 
 // SI1 reports whether user 1 weakly prefers (x, y) to the equal split
 // (Equation 4).
 func (b *Box) SI1(x, y float64) bool {
-	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-1e-12)
+	return b.U1.Eval([]float64{x, y}) >= b.U1.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-EpsUtilityRel)
 }
 
 // SI2 reports whether user 2 weakly prefers its complement of (x, y) to the
 // equal split (Equation 5).
 func (b *Box) SI2(x, y float64) bool {
 	cx, cy := b.Complement(x, y)
-	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-1e-12)
+	return b.U2.Eval([]float64{cx, cy}) >= b.U2.Eval([]float64{b.CapX / 2, b.CapY / 2})*(1-EpsUtilityRel)
 }
 
 // Point is a user-1 bundle inside the box.

@@ -22,6 +22,23 @@ import (
 // ErrBadInput reports malformed checker inputs.
 var ErrBadInput = errors.New("fair: bad input")
 
+// The package's numeric slack constants, hoisted to one exported set so the
+// audits here, the Edgeworth-box geometry, the Pareto certificate search,
+// and the property-based oracles in internal/check all agree on what counts
+// as a violation and cannot drift apart.
+const (
+	// EpsUtilityRel is the relative utility slack for exact (closed-form)
+	// comparisons: two utilities within this factor are considered equal.
+	EpsUtilityRel = 1e-12
+	// EpsCapacityRel is the relative slack for capacity exhaustion and
+	// feasibility totals.
+	EpsCapacityRel = 1e-6
+	// EpsTradeGain is the minimum relative utility gain both parties of a
+	// bilateral trade must realize before the trade counts as a Pareto
+	// improvement.
+	EpsTradeGain = 1e-9
+)
+
 // Tolerance bundles the numeric slack used when auditing allocations.
 // Utilities are floating-point products of powers, so every property is
 // checked up to a relative margin.
@@ -35,6 +52,11 @@ type Tolerance struct {
 
 // DefaultTolerance is appropriate for allocations computed in float64.
 func DefaultTolerance() Tolerance { return Tolerance{Rel: 1e-9, MRS: 1e-6} }
+
+// SolverTolerance is appropriate for allocations produced by the iterative
+// penalty-method solvers in internal/opt, whose constraint tolerance leaves
+// residual slack far above float64 rounding.
+func SolverTolerance() Tolerance { return Tolerance{Rel: 5e-3, MRS: 0.05} }
 
 // recordCheck counts one property-audit outcome on the installed obs
 // registry as ref_fair_checks_total{property=...,result=...}. The enabled
@@ -170,7 +192,7 @@ func ParetoEfficiency(utils []cobb.Utility, cap []float64, x opt.Alloc, tol Tole
 	// is always a Pareto improvement waiting to happen.
 	tot := x.ResourceTotals()
 	for r, c := range cap {
-		if tot[r] < c*(1-1e-6) {
+		if tot[r] < c*(1-EpsCapacityRel) {
 			res.Satisfied = false
 			res.Violations = append(res.Violations, Violation{Property: "PE", Agent: -1, Other: r, Margin: 1 - tot[r]/c})
 		}

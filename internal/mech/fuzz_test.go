@@ -1,0 +1,75 @@
+// The fuzz target lives in mech_test because it reuses the property
+// harness's generators and oracles, and internal/check imports
+// internal/mech.
+package mech_test
+
+import (
+	"math"
+	"testing"
+
+	"ref/internal/check"
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/mech"
+)
+
+// FuzzREFProperties constructs a two-resource economy directly from fuzzed
+// floats and checks the REF mechanism against the harness oracles: exact
+// feasibility, the SI and EF theorems, the CEEI differential reference, and
+// elasticity-scale invariance. The fuzzer's mutation engine explores the
+// parameter corners the random generator only samples.
+func FuzzREFProperties(f *testing.F) {
+	f.Add(0.6, 0.4, 0.2, 0.8, 1.0, 1.0, 24.0, 12.0)
+	f.Add(1.0, 1e-6, 1e-6, 1.0, 0.5, 2.0, 1.0, 1.0)
+	f.Add(5.0, 0.0, 3.0, 3.0, 1.0, 1.0, 0.1, 32.0)
+	f.Add(0.33, 0.33, 0.33, 0.34, 2.0, 0.25, 12.8, 2.0)
+	f.Fuzz(func(t *testing.T, a00, a01, a10, a11, s0, s1, c0, c1 float64) {
+		for _, v := range []float64{a00, a01, a10, a11} {
+			if math.IsNaN(v) || v < 0 || v > 1e6 {
+				return
+			}
+		}
+		for _, v := range []float64{s0, s1} {
+			if !(v > 1e-6) || v > 1e6 {
+				return
+			}
+		}
+		for _, v := range []float64{c0, c1} {
+			if !(v > 1e-6) || v > 1e9 {
+				return
+			}
+		}
+		ec := check.Economy{
+			Class: "fuzz",
+			Cap:   []float64{c0, c1},
+			Agents: []core.Agent{
+				{Name: "a0", Utility: cobb.Utility{Alpha0: s0, Alpha: []float64{a00, a01}}},
+				{Name: "a1", Utility: cobb.Utility{Alpha0: s1, Alpha: []float64{a10, a11}}},
+			},
+		}
+		if ec.Validate() != nil {
+			return // e.g. an all-zero elasticity vector
+		}
+		m := mech.ProportionalElasticity{}
+		x, err := m.Allocate(ec.Agents, ec.Cap)
+		if err != nil {
+			t.Fatalf("REF rejected a valid economy: %v", err)
+		}
+		tol := fair.DefaultTolerance()
+		for _, o := range []check.Oracle{
+			check.Feasibility(true),
+			check.SIOracle(tol),
+			check.EFOracle(tol),
+			check.CEEIOracle(),
+			check.ElasticityScaleInvariance(),
+		} {
+			for _, finding := range o.Check(ec, m, x) {
+				t.Errorf("%s: %s", o.Name, finding)
+			}
+		}
+		if t.Failed() {
+			t.Logf("economy:\n%#v", ec)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// ladder recomputes the default bucket bounds exactly as the histogram
+// does (repeated ×4), so boundary tests compare bit-identical floats.
+func ladder() []float64 {
+	return defaultBuckets()
+}
+
+// bucketOf observes a single value in a fresh histogram and returns the
+// upper bound of the bucket it landed in. Snapshots skip leading empty
+// buckets, so the first bucket with a count is the landing bucket.
+func bucketOf(t *testing.T, v float64) float64 {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("x")
+	h.Observe(v)
+	s := h.snapshot()
+	for _, b := range s.Buckets {
+		if b.CumulativeCount > 0 {
+			return b.UpperBound
+		}
+	}
+	t.Fatalf("sample %v landed in no bucket", v)
+	return math.NaN()
+}
+
+// TestHistogramBucketBoundaries pins the factor-4 ladder edge semantics:
+// upper bounds are inclusive, values just above a bound move to the next
+// bucket, everything at or below the first bound lands in the first
+// bucket, and everything above the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := ladder()
+	if len(bounds) != 27 || bounds[0] != 1e-6 {
+		t.Fatalf("ladder changed: %d buckets starting at %v", len(bounds), bounds[0])
+	}
+	// Every exact bound is inclusive: the sample lands under that bound.
+	for i, b := range bounds {
+		if got := bucketOf(t, b); got != b {
+			t.Errorf("bound %d: sample at %v landed under %v, want inclusive", i, b, got)
+		}
+		// Just above the bound falls to the next bucket (or +Inf after the
+		// last rung).
+		want := math.Inf(1)
+		if i+1 < len(bounds) {
+			want = bounds[i+1]
+		}
+		if got := bucketOf(t, math.Nextafter(b, math.Inf(1))); got != want {
+			t.Errorf("bound %d: sample just above %v landed under %v, want %v", i, b, got, want)
+		}
+	}
+	// At or below the bottom rung: first bucket.
+	for _, v := range []float64{0, -1, 1e-9, math.Nextafter(1e-6, 0)} {
+		if got := bucketOf(t, v); got != bounds[0] {
+			t.Errorf("sample %v landed under %v, want first bucket %v", v, got, bounds[0])
+		}
+	}
+	// Far above the top rung: +Inf bucket.
+	if got := bucketOf(t, 1e12); !math.IsInf(got, 1) {
+		t.Errorf("sample 1e12 landed under %v, want +Inf", got)
+	}
+}
+
+// TestHistogramCumulativeConsistency checks the Prometheus cumulative
+// convention on a multi-sample histogram: counts are monotone across
+// buckets and the +Inf bucket equals the total count.
+func TestHistogramCumulativeConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x")
+	samples := []float64{0, 1e-6, 2e-6, 5e-5, 1, 3.9, 4.0, 4.1, 1e10, -7}
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != uint64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(samples))
+	}
+	var prev uint64
+	for i, b := range s.Buckets {
+		if b.CumulativeCount < prev {
+			t.Fatalf("bucket %d count %d below previous %d", i, b.CumulativeCount, prev)
+		}
+		prev = b.CumulativeCount
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.CumulativeCount != s.Count {
+		t.Fatalf("+Inf bucket = %+v, want cumulative %d", last, s.Count)
+	}
+	if s.Min != -7 || s.Max != 1e10 {
+		t.Fatalf("min/max = %v/%v, want -7/1e10", s.Min, s.Max)
+	}
+}

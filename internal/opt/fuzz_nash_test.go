@@ -1,0 +1,66 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProportionalOptimality checks the optimality claim behind Equation
+// 13: for any non-negative weights, the proportional closed form maximizes
+// the weighted log objective Σ_i Σ_r w_ir·log x_ir over feasible
+// allocations. The fuzzer proposes bilateral transfers of one resource
+// between the two agents; none may increase the objective.
+func FuzzProportionalOptimality(f *testing.F) {
+	f.Add(0.6, 0.4, 0.2, 0.8, 24.0, 12.0, 0, 0.5)
+	f.Add(1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 1, 0.1)
+	f.Add(0.9, 0.05, 0.3, 0.3, 1.0, 100.0, 0, 0.99)
+	f.Fuzz(func(t *testing.T, w00, w01, w10, w11 float64, c0, c1 float64, res int, frac float64) {
+		ws := [][]float64{{w00, w01}, {w10, w11}}
+		for _, row := range ws {
+			for _, v := range row {
+				if math.IsNaN(v) || v < 1e-9 || v > 1e6 {
+					return
+				}
+			}
+		}
+		if !(c0 > 1e-6) || !(c1 > 1e-6) || c0 > 1e9 || c1 > 1e9 {
+			return
+		}
+		if math.IsNaN(frac) || frac <= 0 || frac >= 1 {
+			return
+		}
+		cap := []float64{c0, c1}
+		x, err := Proportional(ws, cap)
+		if err != nil {
+			t.Fatalf("closed form rejected valid weights: %v", err)
+		}
+		obj := func(a Alloc) float64 {
+			var s float64
+			for i, row := range ws {
+				for r, w := range row {
+					if a[i][r] <= 0 {
+						return math.Inf(-1)
+					}
+					s += w * math.Log(a[i][r])
+				}
+			}
+			return s
+		}
+		base := obj(x)
+		if math.IsInf(base, -1) {
+			t.Fatalf("closed form starves a positively weighted agent: %v", x)
+		}
+		// Transfer frac of agent 0's holding of resource `res` to agent 1.
+		r := ((res % 2) + 2) % 2
+		y := Alloc{
+			append([]float64(nil), x[0]...),
+			append([]float64(nil), x[1]...),
+		}
+		d := frac * y[0][r]
+		y[0][r] -= d
+		y[1][r] += d
+		if got := obj(y); got > base+1e-9*math.Abs(base)+1e-9 {
+			t.Fatalf("transfer of %v on resource %d improves objective: %v > %v", d, r, got, base)
+		}
+	})
+}

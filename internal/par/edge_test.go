@@ -1,0 +1,104 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachWidthOne checks the serial contract: jobs run in index order
+// on the caller's goroutine, and the first error aborts before any later
+// index starts.
+func TestForEachWidthOne(t *testing.T) {
+	var order []int
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i) // no lock: width 1 promises serial execution
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order violated: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+
+	boom := errors.New("boom")
+	order = order[:0]
+	err = ForEach(5, 1, func(i int) error {
+		order = append(order, i)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("serial error did not abort immediately: ran %v", order)
+	}
+}
+
+// TestForEachWidthExceedsJobs checks that a pool far wider than the job
+// count still runs every index exactly once and completes (workers beyond
+// n must not deadlock or double-claim).
+func TestForEachWidthExceedsJobs(t *testing.T) {
+	const n = 3
+	var counts [n]atomic.Int64
+	if err := ForEach(n, 64, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestForEachZeroAndNegativeJobs checks the empty pool across widths: the
+// job must never be called and ForEach must return nil.
+func TestForEachZeroAndNegativeJobs(t *testing.T) {
+	for _, n := range []int{0, -4} {
+		for _, width := range []int{0, 1, 8} {
+			called := atomic.Bool{}
+			if err := ForEach(n, width, func(int) error {
+				called.Store(true)
+				return nil
+			}); err != nil {
+				t.Errorf("ForEach(%d, %d) = %v", n, width, err)
+			}
+			if called.Load() {
+				t.Errorf("ForEach(%d, %d) called the job", n, width)
+			}
+		}
+	}
+}
+
+// TestForEachSingleJobWidePool pins the n=1 corner: exactly one execution,
+// any error surfaced.
+func TestForEachSingleJobWidePool(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	runs := 0
+	err := ForEach(1, 16, func(i int) error {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if runs != 1 {
+		t.Fatalf("job ran %d times, want 1", runs)
+	}
+}

@@ -1,0 +1,39 @@
+package ref
+
+import (
+	"ref/internal/check"
+	"ref/internal/par"
+)
+
+// PropertyCheckConfig tunes one property-based correctness run: how many
+// random economies to draw, the base seed, size bounds, the iterative-solver
+// trial budget, and worker-pool width. See internal/check.Config.
+type PropertyCheckConfig = check.Config
+
+// PropertyCheckSummary aggregates a run: trial counts, oracle evaluations,
+// and every violated invariant with its reproduction coordinates and a
+// minimized counterexample.
+type PropertyCheckSummary = check.Summary
+
+// PropertyFailure is one violated invariant. Its Shrunk economy renders as
+// a ready-to-paste Go literal via %#v.
+type PropertyFailure = check.Failure
+
+// CheckEconomy is one randomly generated allocation problem.
+type CheckEconomy = check.Economy
+
+// RunPropertyChecks draws seeded random economies — spanning degenerate
+// corners like zero elasticities, near-identical agents, one dominant
+// agent, and denormalized α — and checks every mechanism against the
+// invariant oracles its contract promises: the paper's SI/EF/PE theorems,
+// budget and capacity feasibility, CEEI and iterative-solver differential
+// references, SPL deviation-gain bounds, and metamorphic symmetries.
+// Trials run concurrently; results are bit-identical at any parallelism.
+func RunPropertyChecks(cfg PropertyCheckConfig) (*PropertyCheckSummary, error) {
+	return check.Run(cfg)
+}
+
+// ResolveParallelism reports the effective worker-pool width a run with
+// the given requested parallelism would use (0 means the default:
+// $REF_PARALLELISM, else GOMAXPROCS).
+func ResolveParallelism(parallelism int) int { return par.Resolve(parallelism) }

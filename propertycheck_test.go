@@ -1,0 +1,34 @@
+package ref_test
+
+import (
+	"testing"
+
+	"ref"
+)
+
+// TestRunPropertyChecks exercises the facade end to end: a bounded run
+// over every subject must execute both streams and find nothing.
+func TestRunPropertyChecks(t *testing.T) {
+	sum, err := ref.RunPropertyChecks(ref.PropertyCheckConfig{Trials: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.OK() {
+		for _, f := range sum.Failures {
+			t.Errorf("%s: %v", f.String(), f.Findings)
+		}
+	}
+	if sum.Trials != 10 || sum.SolverTrials != 1 || sum.Checks == 0 {
+		t.Errorf("unexpected summary: %+v", sum)
+	}
+}
+
+// TestResolveParallelism checks the pass-through and defaulting contract.
+func TestResolveParallelism(t *testing.T) {
+	if got := ref.ResolveParallelism(3); got != 3 {
+		t.Errorf("ResolveParallelism(3) = %d", got)
+	}
+	if got := ref.ResolveParallelism(0); got < 1 {
+		t.Errorf("ResolveParallelism(0) = %d", got)
+	}
+}
