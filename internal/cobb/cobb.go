@@ -103,6 +103,13 @@ func (u Utility) Validate() error {
 	if !anyPositive {
 		return fmt.Errorf("%w: all elasticities are zero", ErrInvalidUtility)
 	}
+	// Individually finite elasticities can still overflow their sum, and a
+	// +Inf sum makes Rescaled silently return all-zero elasticities — a
+	// non-finite value propagated into a wrong (equal-split) allocation.
+	// Reject it here so every downstream consumer sees an error instead.
+	if s := u.ElasticitySum(); math.IsInf(s, 1) {
+		return fmt.Errorf("%w: elasticity sum overflows float64", ErrInvalidUtility)
+	}
 	return nil
 }
 

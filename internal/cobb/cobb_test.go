@@ -33,6 +33,12 @@ func TestNewValidation(t *testing.T) {
 		{"nan elasticity", 1, []float64{math.NaN()}, false},
 		{"all zero elasticities", 1, []float64{0, 0}, false},
 		{"one zero elasticity ok", 1, []float64{0, 0.7}, true},
+		{"inf elasticity", 1, []float64{math.Inf(1), 0.5}, false},
+		// Each elasticity is finite but the sum overflows to +Inf, which
+		// would make Rescaled return all-zero elasticities and turn the
+		// proportional mechanism into a silent equal split.
+		{"elasticity sum overflow", 1, []float64{1e308, 1e308}, false},
+		{"large but summable", 1, []float64{8e307, 8e307}, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

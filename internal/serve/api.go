@@ -1,0 +1,156 @@
+package serve
+
+// Schema identifies the refserve JSON wire format. Every response body —
+// snapshots, mutation acks, and error envelopes — carries it so clients
+// can dispatch on breaking changes.
+const Schema = "ref/serve/v1"
+
+// WireAgent is one tenant as it appears on the wire: a name plus the
+// Cobb-Douglas utility the allocator is currently using for it.
+type WireAgent struct {
+	// Name is the tenant's unique identifier.
+	Name string `json:"name"`
+	// Alpha0 is the utility's multiplicative scale constant (default 1).
+	Alpha0 float64 `json:"alpha0"`
+	// Elasticities holds the per-resource elasticities α_r, one per
+	// capacity entry.
+	Elasticities []float64 `json:"elasticities"`
+	// Workload names the catalog workload the elasticities were fitted
+	// from, when the tenant joined with a profile instead of raw numbers.
+	Workload string `json:"workload,omitempty"`
+}
+
+// Fairness is the §4 audit of one published allocation.
+type Fairness struct {
+	// SI reports sharing incentives (Theorem 4).
+	SI bool `json:"si"`
+	// EF reports envy-freeness (Theorem 5).
+	EF bool `json:"ef"`
+	// PE reports Pareto efficiency (Theorem 6).
+	PE bool `json:"pe"`
+	// Violations lists human-readable findings when any property fails.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Snapshot is one immutable allocation epoch: the agent set after a batch
+// of mutations, the Equation 13 allocation over it, and the fairness
+// audit. Snapshots are published atomically and never mutated; Epoch is
+// strictly increasing.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	// Epoch counts published snapshots, starting at 0 for the empty
+	// snapshot the server boots with.
+	Epoch uint64 `json:"epoch"`
+	// Time is the clock reading when the snapshot was published
+	// (RFC3339Nano).
+	Time string `json:"time"`
+	// Capacity holds total capacity per resource.
+	Capacity []float64 `json:"capacity"`
+	// Agents is the current agent set, sorted by name so the snapshot is
+	// canonical regardless of intra-batch arrival order.
+	Agents []WireAgent `json:"agents"`
+	// Allocation is the agents × resources matrix, rows in Agents order.
+	Allocation [][]float64 `json:"allocation"`
+	// Fairness is the SI/EF/PE audit, nil for the empty agent set.
+	Fairness *Fairness `json:"fairness,omitempty"`
+	// BatchSize counts the mutations coalesced into this epoch.
+	BatchSize int `json:"batch_size"`
+	// Applied counts batch mutations that changed the agent set.
+	Applied int `json:"applied"`
+	// Rejected counts batch mutations refused with a typed error.
+	Rejected int `json:"rejected"`
+	// EpochSeconds is the epoch computation time measured on the
+	// server's Clock (0 under a fake clock, by design — it keeps
+	// replayed snapshot sequences bit-identical).
+	EpochSeconds float64 `json:"epoch_seconds"`
+}
+
+// JoinResponse acknowledges a POST /v1/agents mutation.
+type JoinResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the join was applied in.
+	Epoch uint64 `json:"epoch"`
+	// Agent echoes the joined (or re-declared) tenant.
+	Agent WireAgent `json:"agent"`
+	// Allocation is the tenant's row of the epoch's allocation.
+	Allocation []float64 `json:"allocation"`
+}
+
+// LeaveResponse acknowledges a DELETE /v1/agents/{name} mutation.
+type LeaveResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the departure was applied in.
+	Epoch uint64 `json:"epoch"`
+	// Name echoes the departed tenant.
+	Name string `json:"name"`
+}
+
+// HealthResponse is GET /v1/healthz.
+type HealthResponse struct {
+	Schema string `json:"schema"`
+	// Status is "ok" while serving, "draining" after shutdown begins.
+	Status string `json:"status"`
+	// Epoch is the live snapshot version.
+	Epoch uint64 `json:"epoch"`
+	// Agents counts tenants in the live snapshot.
+	Agents int `json:"agents"`
+}
+
+// Error codes returned in ErrorResponse envelopes.
+const (
+	// CodeBadJSON: the request body is not valid JSON for the expected
+	// shape (syntax error, wrong type, or a number outside float64 range).
+	CodeBadJSON = "bad_json"
+	// CodeBodyTooLarge: the request body exceeds the configured limit.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeInvalidAgent: the agent specification is malformed (missing or
+	// oversized name, neither or both of elasticities/workload).
+	CodeInvalidAgent = "invalid_agent"
+	// CodeInvalidUtility: the declared utility fails validation
+	// (negative, non-finite, all-zero, or overflow-prone elasticities;
+	// wrong resource count; non-positive alpha0).
+	CodeInvalidUtility = "invalid_utility"
+	// CodeUnknownAgent: DELETE for a name not in the agent set.
+	CodeUnknownAgent = "unknown_agent"
+	// CodeUnknownWorkload: join referenced a workload not in the catalog.
+	CodeUnknownWorkload = "unknown_workload"
+	// CodeProfileFailed: the profiling sweep or fit for a workload join
+	// failed.
+	CodeProfileFailed = "profile_failed"
+	// CodeQueueFull: the mutation queue is at capacity; retry after the
+	// epoch window.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down and accepts no new
+	// mutations.
+	CodeDraining = "draining"
+	// CodeDeadline: the request deadline expired before its epoch was
+	// published. The mutation may still be applied by a later epoch.
+	CodeDeadline = "deadline_exceeded"
+	// CodeNotFound: no such route.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this method.
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// APIError is the typed error carried in an ErrorResponse.
+type APIError struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+	// Status is the HTTP status the envelope was sent with.
+	Status int `json:"status"`
+	// RetryAfter, when positive, is the backoff hint in seconds that
+	// shedding responses also carry as a Retry-After header.
+	RetryAfter int `json:"retry_after_seconds,omitempty"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+// ErrorResponse is the uniform error envelope every non-2xx response
+// carries.
+type ErrorResponse struct {
+	Schema string   `json:"schema"`
+	Err    APIError `json:"error"`
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the epoch loop so tests can drive batching
+// windows deterministically. Production code uses RealClock; the
+// integration harness uses FakeClock.
+type Clock interface {
+	// Now returns the current time. Snapshot timestamps and epoch
+	// durations come from here, which is what makes replayed runs
+	// bit-identical under a FakeClock.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of time.Timer the epoch loop needs.
+type Timer interface {
+	// C returns the channel the firing time is delivered on.
+	C() <-chan time.Time
+	// Stop releases the timer. It is safe to call after firing.
+	Stop()
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// NewTimer implements Clock.
+func (RealClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop()               { t.t.Stop() }
+
+// FakeClock is a manually advanced clock. Time stands still until Advance
+// moves it; timers whose deadlines are reached fire synchronously inside
+// Advance. BlockUntil lets a test wait for the code under test to arm its
+// timer before advancing, removing the usual sleep-and-hope race.
+type FakeClock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a FakeClock reading t0.
+func NewFakeClock(t0 time.Time) *FakeClock {
+	c := &FakeClock{now: t0}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTimer implements Clock. A non-positive duration fires on the next
+// Advance call (including Advance(0)), not synchronously, so the caller
+// can finish arming its select first.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, ch: make(chan time.Time, 1), when: c.now.Add(d)}
+	c.timers = append(c.timers, t)
+	c.cond.Broadcast()
+	return t
+}
+
+// Advance moves the clock forward by d and fires every timer whose
+// deadline has been reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.timers, func(i, j int) bool { return c.timers[i].when.Before(c.timers[j].when) })
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if t.when.After(c.now) {
+			kept = append(kept, t)
+			continue
+		}
+		select {
+		case t.ch <- t.when:
+		default: // already fired and unread; drop
+		}
+	}
+	c.timers = kept
+}
+
+// BlockUntil waits until at least n timers are armed and unexpired.
+func (c *FakeClock) BlockUntil(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.timers) < n {
+		c.cond.Wait()
+	}
+}
+
+// Timers reports how many unexpired timers are armed.
+func (c *FakeClock) Timers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+type fakeTimer struct {
+	clock *FakeClock
+	ch    chan time.Time
+	when  time.Time
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, other := range c.timers {
+		if other == t {
+			c.timers = append(c.timers[:i], c.timers[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC) // ASPLOS 2014
+
+func TestFakeClockAdvanceFiresDueTimers(t *testing.T) {
+	c := NewFakeClock(t0)
+	a := c.NewTimer(10 * time.Millisecond)
+	b := c.NewTimer(30 * time.Millisecond)
+
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-a.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-a.C():
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	select {
+	case <-b.C():
+		t.Fatal("later timer fired early")
+	default:
+	}
+	if got := c.Now(); !got.Equal(t0.Add(10 * time.Millisecond)) {
+		t.Fatalf("Now() = %v, want %v", got, t0.Add(10*time.Millisecond))
+	}
+
+	c.Advance(20 * time.Millisecond)
+	select {
+	case <-b.C():
+	default:
+		t.Fatal("second timer did not fire")
+	}
+}
+
+func TestFakeClockStopRemovesTimer(t *testing.T) {
+	c := NewFakeClock(t0)
+	a := c.NewTimer(time.Millisecond)
+	if got := c.Timers(); got != 1 {
+		t.Fatalf("Timers() = %d, want 1", got)
+	}
+	a.Stop()
+	if got := c.Timers(); got != 0 {
+		t.Fatalf("Timers() after Stop = %d, want 0", got)
+	}
+	c.Advance(time.Minute)
+	select {
+	case <-a.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeClockBlockUntil(t *testing.T) {
+	c := NewFakeClock(t0)
+	done := make(chan struct{})
+	go func() {
+		c.BlockUntil(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("BlockUntil returned with no timers armed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.NewTimer(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("BlockUntil did not wake on timer creation")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPErrorPaths is the table-driven sweep over every typed failure
+// the API can produce: each request must come back with the right HTTP
+// status AND the right machine-readable code inside the uniform
+// ErrorResponse envelope.
+func TestHTTPErrorPaths(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBodyBytes = 512
+	cfg.Window = time.Millisecond
+	_, ts := newTestServer(t, cfg)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		// Malformed JSON.
+		{"syntax error", "POST", "/v1/agents", `{"name": "u",`, http.StatusBadRequest, CodeBadJSON},
+		{"wrong type", "POST", "/v1/agents", `{"name": 42}`, http.StatusBadRequest, CodeBadJSON},
+		{"elasticity as string", "POST", "/v1/agents", `{"name":"u","elasticities":["a","b"]}`, http.StatusBadRequest, CodeBadJSON},
+		{"number overflows float64", "POST", "/v1/agents", `{"name":"u","elasticities":[1e999,1]}`, http.StatusBadRequest, CodeBadJSON},
+		{"unknown field", "POST", "/v1/agents", `{"name":"u","elasticities":[1,1],"shares":3}`, http.StatusBadRequest, CodeBadJSON},
+		{"trailing garbage", "POST", "/v1/agents", `{"name":"u","elasticities":[1,1]} extra`, http.StatusBadRequest, CodeBadJSON},
+		{"empty body", "POST", "/v1/agents", ``, http.StatusBadRequest, CodeBadJSON},
+
+		// Malformed agent specifications.
+		{"missing name", "POST", "/v1/agents", `{"elasticities":[1,1]}`, http.StatusBadRequest, CodeInvalidAgent},
+		{"oversized name", "POST", "/v1/agents", `{"name":"` + strings.Repeat("x", maxNameLen+1) + `","elasticities":[1,1]}`, http.StatusBadRequest, CodeInvalidAgent},
+		{"neither elasticities nor workload", "POST", "/v1/agents", `{"name":"u"}`, http.StatusBadRequest, CodeInvalidAgent},
+		{"both elasticities and workload", "POST", "/v1/agents", `{"name":"u","elasticities":[1,1],"workload":"mcf"}`, http.StatusBadRequest, CodeInvalidAgent},
+		{"alpha0 with workload", "POST", "/v1/agents", `{"name":"u","alpha0":2,"workload":"mcf"}`, http.StatusBadRequest, CodeInvalidAgent},
+
+		// Utilities the mechanism must refuse.
+		{"negative elasticity", "POST", "/v1/agents", `{"name":"u","elasticities":[-0.5,0.5]}`, http.StatusBadRequest, CodeInvalidUtility},
+		{"zero elasticities", "POST", "/v1/agents", `{"name":"u","elasticities":[0,0]}`, http.StatusBadRequest, CodeInvalidUtility},
+		{"elasticity count mismatch", "POST", "/v1/agents", `{"name":"u","elasticities":[0.5]}`, http.StatusBadRequest, CodeInvalidUtility},
+		{"negative alpha0", "POST", "/v1/agents", `{"name":"u","alpha0":-1,"elasticities":[1,1]}`, http.StatusBadRequest, CodeInvalidUtility},
+		// Each elasticity is finite but the sum overflows to +Inf — the
+		// validation gap this PR closed in cobb.Validate. Before the fix
+		// this silently rescaled to all-zero elasticities.
+		{"elasticity sum overflow", "POST", "/v1/agents", `{"name":"u","elasticities":[1e308,1e308]}`, http.StatusBadRequest, CodeInvalidUtility},
+
+		// Oversized body (MaxBodyBytes = 512 above).
+		{"oversized body", "POST", "/v1/agents", `{"name":"` + strings.Repeat("x", 600) + `","elasticities":[1,1]}`, http.StatusRequestEntityTooLarge, CodeBodyTooLarge},
+
+		// Unknown references.
+		{"unknown workload", "POST", "/v1/agents", `{"name":"u","workload":"no_such_workload"}`, http.StatusNotFound, CodeUnknownWorkload},
+		{"delete unknown agent", "DELETE", "/v1/agents/ghost", "", http.StatusNotFound, CodeUnknownAgent},
+
+		// Routing.
+		{"unknown route", "GET", "/v2/allocation", "", http.StatusNotFound, CodeNotFound},
+		{"method not allowed", "PUT", "/v1/allocation", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"post to read-only route", "POST", "/v1/healthz", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body []byte
+			if tc.body != "" {
+				body = []byte(tc.body)
+			}
+			status, b, _ := do(t, tc.method, ts.URL+tc.path, body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body: %s)", status, tc.wantStatus, b)
+			}
+			var env ErrorResponse
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatalf("response is not an ErrorResponse envelope: %v (body: %s)", err, b)
+			}
+			if env.Schema != Schema {
+				t.Errorf("envelope schema = %q, want %q", env.Schema, Schema)
+			}
+			if env.Err.Code != tc.wantCode {
+				t.Errorf("error code = %q, want %q (message: %s)", env.Err.Code, tc.wantCode, env.Err.Message)
+			}
+			if env.Err.Status != tc.wantStatus {
+				t.Errorf("envelope status = %d, want %d", env.Err.Status, tc.wantStatus)
+			}
+			if env.Err.Message == "" {
+				t.Error("error envelope has no message")
+			}
+		})
+	}
+
+	// None of the rejected requests may have perturbed the agent set.
+	if snap := getSnapshot(t, ts.URL); len(snap.Agents) != 0 {
+		t.Fatalf("error paths leaked agents into the snapshot: %+v", snap.Agents)
+	}
+}
+
+// TestConfigValidation: the constructor refuses economies the mechanism
+// cannot allocate over.
+func TestConfigValidation(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{24, 0},
+		{24, -1},
+		{24, math.NaN()},
+		{24, math.Inf(1)},
+	}
+	for _, capacity := range bad {
+		if _, err := New(Config{Capacity: capacity}); err == nil {
+			t.Errorf("New accepted capacity %v", capacity)
+		}
+	}
+}

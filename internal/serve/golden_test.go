@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// update rewrites the golden files from the current output:
+//
+//	go test ./internal/serve -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current wire output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// golden under -update (the internal/exp re-bless convention).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from %s\n--- got ---\n%s--- want ---\n%s", name, path, got, want)
+	}
+}
+
+// TestGoldenWire locks the ref/serve/v1 JSON wire format against committed
+// goldens: the §4.1 snapshot, a join ack, and an error envelope. The fake
+// clock pins timestamps, so any diff is a schema change — intentional
+// (re-bless with -update and review) or a regression.
+func TestGoldenWire(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clock = NewFakeClock(t0)
+	cfg.MaxBatch = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+
+	status, joinBody, _ := do(t, http.MethodPost, ts.URL+"/v1/agents",
+		[]byte(`{"name":"user1","elasticities":[0.6,0.4]}`))
+	if status != http.StatusOK {
+		t.Fatalf("join user1: %d: %s", status, joinBody)
+	}
+	status, b, _ := do(t, http.MethodPost, ts.URL+"/v1/agents",
+		[]byte(`{"name":"user2","elasticities":[0.2,0.8]}`))
+	if status != http.StatusOK {
+		t.Fatalf("join user2: %d: %s", status, b)
+	}
+
+	_, snapBody, _ := do(t, http.MethodGet, ts.URL+"/v1/allocation", nil)
+	_, errBody, _ := do(t, http.MethodDelete, ts.URL+"/v1/agents/ghost", nil)
+
+	checkGolden(t, "join_response", joinBody)
+	checkGolden(t, "snapshot_41", snapBody)
+	checkGolden(t, "error_envelope", errBody)
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"unicode/utf8"
+
+	"ref/internal/cobb"
+	"ref/internal/obs"
+	"ref/internal/trace"
+	"ref/internal/workloads"
+)
+
+// MetricHTTPRequests counts HTTP responses, labeled by status code.
+const MetricHTTPRequests = "ref_serve_http_requests_total"
+
+// maxNameLen bounds agent names on the wire.
+const maxNameLen = 256
+
+// joinRequest is the POST /v1/agents body. Exactly one of Elasticities
+// and Workload must be set.
+type joinRequest struct {
+	// Name is the tenant's unique identifier; rejoining re-declares.
+	Name string `json:"name"`
+	// Alpha0 is the utility scale constant; 0 means the default 1.
+	Alpha0 float64 `json:"alpha0"`
+	// Elasticities declares the utility directly, one per resource.
+	Elasticities []float64 `json:"elasticities"`
+	// Workload names a catalog workload to profile and fit instead
+	// (re-fit via workloads.FitAll, memoized process-wide).
+	Workload string `json:"workload"`
+}
+
+// Handler returns the public JSON API:
+//
+//	POST   /v1/agents          join or re-declare (joinRequest body)
+//	DELETE /v1/agents/{name}   leave
+//	GET    /v1/agents          live agent set (from the current snapshot)
+//	GET    /v1/allocation      live snapshot
+//	GET    /v1/healthz         liveness + drain state
+//
+// Every response is JSON with the ref/serve/v1 schema; every failure is
+// an ErrorResponse envelope.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/agents", s.handleJoin)
+	mux.HandleFunc("DELETE /v1/agents/{name}", s.handleLeave)
+	mux.HandleFunc("GET /v1/agents", s.handleAgents)
+	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// The enhanced mux reports both unknown paths and method mismatches
+	// as an empty pattern from Handler; probing the path under the other
+	// supported methods tells the two apart, so both failure modes get
+	// typed envelopes instead of the mux's plain-text bodies.
+	methods := []string{http.MethodGet, http.MethodPost, http.MethodDelete}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		for _, m := range methods {
+			if m == r.Method {
+				continue
+			}
+			probe := r.Clone(r.Context())
+			probe.Method = m
+			if _, pattern := mux.Handler(probe); pattern != "" {
+				writeError(w, &APIError{Code: CodeMethodNotAllowed, Status: http.StatusMethodNotAllowed,
+					Message: fmt.Sprintf("method %s not allowed for %s", r.Method, r.URL.Path)})
+				return
+			}
+		}
+		writeError(w, &APIError{Code: CodeNotFound, Status: http.StatusNotFound,
+			Message: fmt.Sprintf("no route %s %s", r.Method, r.URL.Path)})
+	})
+}
+
+// handleJoin validates the body, resolves workload profiles to fitted
+// utilities, and blocks until the join's epoch publishes.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if aerr := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	wire, util, aerr := s.resolveJoin(req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	epoch, row, aerr := s.Join(r.Context(), wire, util)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{Schema: Schema, Epoch: epoch, Agent: wire, Allocation: row})
+}
+
+// resolveJoin turns a join request into a validated wire agent + utility.
+func (s *Server) resolveJoin(req joinRequest) (WireAgent, cobb.Utility, *APIError) {
+	var zero WireAgent
+	if req.Name == "" {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+			Message: "agent name is required"}
+	}
+	if len(req.Name) > maxNameLen || !utf8.ValidString(req.Name) {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("agent name must be valid UTF-8 of at most %d bytes", maxNameLen)}
+	}
+	hasElast, hasWorkload := len(req.Elasticities) > 0, req.Workload != ""
+	if hasElast == hasWorkload {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+			Message: "declare exactly one of elasticities or workload"}
+	}
+	alpha0 := req.Alpha0
+	if alpha0 == 0 {
+		alpha0 = 1
+	}
+
+	if hasWorkload {
+		if alpha0 != 1 {
+			return zero, cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+				Message: "alpha0 cannot be combined with a workload profile (the fit determines it)"}
+		}
+		util, aerr := s.fitWorkload(req.Workload)
+		if aerr != nil {
+			return zero, cobb.Utility{}, aerr
+		}
+		return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha, Workload: req.Workload}, util, nil
+	}
+
+	if len(req.Elasticities) != len(s.cfg.Capacity) {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("%d elasticities for %d resources", len(req.Elasticities), len(s.cfg.Capacity))}
+	}
+	util, err := cobb.New(alpha0, req.Elasticities...)
+	if err != nil {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+			Message: err.Error()}
+	}
+	return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha}, util, nil
+}
+
+// fitWorkload resolves a catalog workload name to a fitted Cobb-Douglas
+// utility via the memoized profiling sweep. refserve allocates the same
+// two resources the paper's case study does (cache capacity, memory
+// bandwidth), so profile joins require a two-resource capacity vector.
+func (s *Server) fitWorkload(name string) (cobb.Utility, *APIError) {
+	if _, err := trace.Lookup(name); err != nil {
+		return cobb.Utility{}, &APIError{Code: CodeUnknownWorkload, Status: http.StatusNotFound,
+			Message: fmt.Sprintf("workload %q is not in the catalog", name)}
+	}
+	if len(s.cfg.Capacity) != 2 {
+		return cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("workload profiles fit 2 resources (cache, bandwidth); server has %d", len(s.cfg.Capacity))}
+	}
+	fitted, err := workloads.FitAllParallel(s.cfg.ProfileAccesses, s.cfg.Parallelism)
+	if err != nil {
+		return cobb.Utility{}, &APIError{Code: CodeProfileFailed, Status: http.StatusInternalServerError,
+			Message: fmt.Sprintf("profiling sweep failed: %v", err)}
+	}
+	f, ok := fitted[name]
+	if !ok {
+		return cobb.Utility{}, &APIError{Code: CodeUnknownWorkload, Status: http.StatusNotFound,
+			Message: fmt.Sprintf("workload %q is not in the catalog", name)}
+	}
+	return f.Fit.Utility, nil
+}
+
+// handleLeave blocks until the departure's epoch publishes.
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	epoch, aerr := s.Leave(r.Context(), name)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaveResponse{Schema: Schema, Epoch: epoch, Name: name})
+}
+
+// handleAllocation serves the live snapshot, lock-free.
+func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Current())
+}
+
+// agentsResponse is GET /v1/agents.
+type agentsResponse struct {
+	Schema string      `json:"schema"`
+	Epoch  uint64      `json:"epoch"`
+	Agents []WireAgent `json:"agents"`
+}
+
+// handleAgents serves the live agent set.
+func (s *Server) handleAgents(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Current()
+	writeJSON(w, http.StatusOK, agentsResponse{Schema: Schema, Epoch: snap.Epoch, Agents: snap.Agents})
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Current()
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Schema: Schema, Status: status, Epoch: snap.Epoch, Agents: len(snap.Agents)})
+}
+
+// decodeBody reads a bounded JSON body into v, mapping every failure to a
+// typed error. Unknown fields are rejected so schema typos fail loudly;
+// JSON cannot encode NaN or ±Inf, and out-of-float64-range literals
+// (e.g. 1e999) fail decoding, so no non-finite number gets past here.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) *APIError {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &APIError{Code: CodeBodyTooLarge, Status: http.StatusRequestEntityTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return &APIError{Code: CodeBadJSON, Status: http.StatusBadRequest,
+			Message: "invalid request body: " + err.Error()}
+	}
+	if dec.More() {
+		return &APIError{Code: CodeBadJSON, Status: http.StatusBadRequest,
+			Message: "invalid request body: trailing data after JSON value"}
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status and counts the response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	obs.Inc(fmt.Sprintf(MetricHTTPRequests+`{code="%d"}`, status))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the typed error envelope, adding Retry-After on
+// shedding responses so well-behaved clients back off for one epoch
+// window instead of hammering.
+func writeError(w http.ResponseWriter, aerr *APIError) {
+	if aerr.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfter))
+	}
+	writeJSON(w, aerr.Status, ErrorResponse{Schema: Schema, Err: *aerr})
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the public
+// API on it, mirroring the obs.Serve pattern: it returns once the
+// listener is bound so Addr is immediately routable.
+func (s *Server) Serve(addr string) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// HTTPServer is a running public-API listener.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (resolving a requested :0 port).
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Shutdown stops accepting connections and waits for in-flight requests,
+// honoring ctx.
+func (h *HTTPServer) Shutdown(ctx context.Context) error { return h.srv.Shutdown(ctx) }
+
+// Close force-closes the listener.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

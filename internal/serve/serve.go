@@ -1,0 +1,532 @@
+// Package serve is the online allocation service: REF as a long-lived
+// daemon instead of a one-shot CLI. Tenants join, leave, and re-declare
+// Cobb-Douglas preferences over HTTP; writes are coalesced into
+// **allocation epochs** — the server collects mutations for a batching
+// window (or until a maximum batch size, whichever comes first), applies
+// the batch to the agent set, runs the Equation 13 mechanism once, audits
+// the result with the §4 fairness oracles on the internal/par pool, and
+// atomically publishes an immutable versioned Snapshot that readers access
+// lock-free.
+//
+// Robustness is part of the contract:
+//
+//   - per-request deadlines (mutations give up with a typed
+//     deadline_exceeded error when their epoch does not publish in time);
+//   - bounded request bodies and a typed JSON error envelope on every
+//     failure path;
+//   - load shedding: when the mutation queue is full, writes are refused
+//     immediately with 503 + Retry-After instead of queueing unboundedly;
+//   - graceful drain: Close stops new mutations, flushes everything
+//     already accepted through one final epoch, and replies to every
+//     in-flight request before returning.
+//
+// Everything is instrumented through internal/obs: epoch latency and
+// batch-size histograms, shed counters, and live snapshot-epoch/agent
+// gauges (see the Metric* constants).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/obs"
+	"ref/internal/par"
+)
+
+// Metric names published on the installed obs registry.
+const (
+	// MetricEpochs counts published allocation epochs.
+	MetricEpochs = "ref_serve_epochs_total"
+	// MetricEpochSeconds is the epoch computation-latency histogram
+	// (mutation apply + Equation 13 + fairness audit + publish).
+	MetricEpochSeconds = "ref_serve_epoch_seconds"
+	// MetricBatchSize is the mutations-per-epoch histogram.
+	MetricBatchSize = "ref_serve_epoch_batch_size"
+	// MetricEpochGauge is the live snapshot's epoch number.
+	MetricEpochGauge = "ref_serve_epoch"
+	// MetricAgentsGauge is the live snapshot's agent count.
+	MetricAgentsGauge = "ref_serve_agents"
+	// MetricShed counts refused writes, labeled by reason
+	// (queue_full, draining).
+	MetricShed = "ref_serve_shed_total"
+)
+
+// Config parameterizes a Server. The zero value of every field except
+// Capacity selects a sensible default.
+type Config struct {
+	// Capacity holds total capacity per resource; required, every entry
+	// positive and finite.
+	Capacity []float64
+	// Window is how long the epoch loop collects mutations after the
+	// first one arrives before running the mechanism (default 10ms).
+	Window time.Duration
+	// MaxBatch caps mutations per epoch; a full batch triggers the epoch
+	// without waiting out the window (default 64).
+	MaxBatch int
+	// QueueDepth bounds the mutation queue; writes beyond it are shed
+	// with 503 + Retry-After (default 4×MaxBatch).
+	QueueDepth int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline for mutation requests
+	// (default 10s). The HTTP request context, if it expires first, also
+	// cancels the wait.
+	RequestTimeout time.Duration
+	// Parallelism is the internal/par pool width used for the per-epoch
+	// fairness audit (0 = $REF_PARALLELISM, else GOMAXPROCS).
+	Parallelism int
+	// ProfileAccesses is the per-configuration simulation budget used
+	// when a tenant joins with a workload profile instead of raw
+	// elasticities (default 20000, the refbench default; the 28-workload
+	// sweep is memoized process-wide after the first such join).
+	ProfileAccesses int
+	// Clock drives the batching window and snapshot timestamps; nil
+	// selects the wall clock. Tests inject a FakeClock.
+	Clock Clock
+}
+
+// withDefaults validates Capacity and fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Capacity) == 0 {
+		return c, errors.New("serve: config needs at least one resource capacity")
+	}
+	for r, cap := range c.Capacity {
+		if math.IsNaN(cap) || math.IsInf(cap, 0) || cap <= 0 {
+			return c, fmt.Errorf("serve: capacity[%d] = %v, must be positive and finite", r, cap)
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ProfileAccesses <= 0 {
+		c.ProfileAccesses = 20000
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	return c, nil
+}
+
+// mutationKind discriminates the mutation union.
+type mutationKind int
+
+const (
+	mutJoin mutationKind = iota
+	mutLeave
+)
+
+// mutation is one queued agent-set change with its reply channel.
+type mutation struct {
+	kind  mutationKind
+	name  string
+	wire  WireAgent    // join only
+	util  cobb.Utility // join only
+	reply chan mutationResult
+}
+
+// mutationResult is delivered to the waiting request handler after the
+// mutation's epoch publishes.
+type mutationResult struct {
+	epoch uint64
+	// row is the joining agent's allocation row (join only, on success).
+	row []float64
+	// err is the typed rejection, nil when the mutation applied.
+	err *APIError
+}
+
+// agentState is one tenant in the epoch loop's private state.
+type agentState struct {
+	wire WireAgent
+	util cobb.Utility
+}
+
+// Server is the online allocation service. Create with New, mount
+// Handler on an HTTP server, and Close to drain.
+type Server struct {
+	cfg   Config
+	clock Clock
+
+	mutCh   chan mutation
+	drainCh chan struct{}
+	doneCh  chan struct{}
+
+	snap atomic.Pointer[Snapshot]
+
+	// mu guards draining; enqWG tracks handlers between the draining
+	// check and their queue send, so Close can wait for the queue to
+	// stop growing before flushing it.
+	mu       sync.Mutex
+	draining bool
+	enqWG    sync.WaitGroup
+	closeErr error
+	drainOne sync.Once
+
+	// received counts mutations the epoch loop has dequeued — a test
+	// hook for sequencing fake-clock scenarios.
+	received atomic.Int64
+
+	// agents is the epoch loop's private state; no other goroutine
+	// touches it.
+	agents map[string]agentState
+	epoch  uint64
+}
+
+// New validates cfg, publishes the empty epoch-0 snapshot, and starts the
+// epoch loop.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Capacity = append([]float64(nil), cfg.Capacity...)
+	s := &Server{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		mutCh:   make(chan mutation, cfg.QueueDepth),
+		drainCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		agents:  make(map[string]agentState),
+	}
+	s.publish(nil) // epoch 0: empty agent set, so readers always see a snapshot
+	go s.run()
+	return s, nil
+}
+
+// Capacity returns the configured per-resource capacities (a copy).
+func (s *Server) Capacity() []float64 {
+	return append([]float64(nil), s.cfg.Capacity...)
+}
+
+// Current returns the live snapshot, lock-free. The returned value is
+// immutable and must not be modified.
+func (s *Server) Current() *Snapshot { return s.snap.Load() }
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close drains the server: new mutations are refused with a draining
+// error, everything already queued is flushed through a final epoch (so
+// every accepted request gets its reply), and the epoch loop exits. Close
+// is idempotent; ctx bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.drainOne.Do(func() {
+		// Wait for handlers that passed the draining check to finish
+		// their queue sends, so the flush below sees the final queue.
+		s.enqWG.Wait()
+		close(s.drainCh)
+	})
+	select {
+	case <-s.doneCh:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Join queues a join/re-declare mutation and waits for its epoch. The
+// utility must already be validated against the server's capacity vector.
+func (s *Server) Join(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, *APIError) {
+	return s.submit(ctx, mutation{kind: mutJoin, name: wire.Name, wire: wire, util: util})
+}
+
+// Leave queues a departure mutation and waits for its epoch.
+func (s *Server) Leave(ctx context.Context, name string) (uint64, *APIError) {
+	epoch, _, err := s.submit(ctx, mutation{kind: mutLeave, name: name})
+	return epoch, err
+}
+
+// retryAfterSeconds is the shedding backoff hint: one epoch window,
+// rounded up to the 1-second Retry-After granularity.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(s.cfg.Window / time.Second)
+	if time.Duration(secs)*time.Second < s.cfg.Window || secs < 1 {
+		secs++
+	}
+	return secs
+}
+
+// submit enqueues m (shedding if the queue is full or the server is
+// draining) and waits for the epoch loop's reply or the deadline.
+func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *APIError) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		obs.Inc(MetricShed + `{reason="draining"}`)
+		return 0, nil, &APIError{Code: CodeDraining, Status: http.StatusServiceUnavailable,
+			RetryAfter: s.retryAfterSeconds(),
+			Message:    "server is draining; no new mutations accepted"}
+	}
+	s.enqWG.Add(1)
+	s.mu.Unlock()
+
+	m.reply = make(chan mutationResult, 1)
+	select {
+	case s.mutCh <- m:
+		s.enqWG.Done()
+	default:
+		s.enqWG.Done()
+		obs.Inc(MetricShed + `{reason="queue_full"}`)
+		return 0, nil, &APIError{Code: CodeQueueFull, Status: http.StatusServiceUnavailable,
+			RetryAfter: s.retryAfterSeconds(),
+			Message:    fmt.Sprintf("mutation queue full (%d pending); retry after the epoch window", s.cfg.QueueDepth)}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case res := <-m.reply:
+		return res.epoch, res.row, res.err
+	case <-ctx.Done():
+		// The mutation stays queued and may still apply in a later
+		// epoch; the typed error tells the client so.
+		return 0, nil, &APIError{Code: CodeDeadline, Status: http.StatusGatewayTimeout,
+			Message: "deadline expired before the mutation's epoch published; it may still be applied"}
+	}
+}
+
+// run is the epoch loop: one goroutine owning the agent set.
+func (s *Server) run() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case m := <-s.mutCh:
+			s.received.Add(1)
+			batch := s.collect([]mutation{m})
+			s.runEpoch(batch)
+		case <-s.drainCh:
+			if batch := s.flushQueue(nil); len(batch) > 0 {
+				s.runEpoch(batch)
+			}
+			return
+		}
+	}
+}
+
+// collect gathers mutations after the first until the batching window
+// elapses, the batch fills, or a drain begins (which flushes whatever is
+// already queued into this final batch).
+func (s *Server) collect(batch []mutation) []mutation {
+	if len(batch) >= s.cfg.MaxBatch {
+		return batch
+	}
+	t := s.clock.NewTimer(s.cfg.Window)
+	defer t.Stop()
+	for {
+		select {
+		case m := <-s.mutCh:
+			s.received.Add(1)
+			batch = append(batch, m)
+			if len(batch) >= s.cfg.MaxBatch {
+				return batch
+			}
+		case <-t.C():
+			return batch
+		case <-s.drainCh:
+			return s.flushQueue(batch)
+		}
+	}
+}
+
+// flushQueue drains every mutation already sitting in the queue.
+func (s *Server) flushQueue(batch []mutation) []mutation {
+	for {
+		select {
+		case m := <-s.mutCh:
+			s.received.Add(1)
+			batch = append(batch, m)
+		default:
+			return batch
+		}
+	}
+}
+
+// runEpoch applies one batch, recomputes the Equation 13 allocation and
+// its fairness audit, publishes the snapshot, and replies to every
+// mutation in the batch.
+func (s *Server) runEpoch(batch []mutation) {
+	start := s.clock.Now()
+	wallStart := time.Now()
+
+	results := make([]mutationResult, len(batch))
+	applied, rejected := 0, 0
+	for i, m := range batch {
+		switch m.kind {
+		case mutJoin:
+			// Handlers validate before enqueueing; re-check here so a
+			// bad utility can never corrupt the published state.
+			if err := m.util.Validate(); err != nil || m.util.NumResources() != len(s.cfg.Capacity) {
+				results[i].err = &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+					Message: fmt.Sprintf("agent %q: utility rejected at apply time", m.name)}
+				rejected++
+				continue
+			}
+			s.agents[m.name] = agentState{wire: m.wire, util: m.util}
+			applied++
+		case mutLeave:
+			if _, ok := s.agents[m.name]; !ok {
+				results[i].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+					Message: fmt.Sprintf("no agent named %q", m.name)}
+				rejected++
+				continue
+			}
+			delete(s.agents, m.name)
+			applied++
+		}
+	}
+
+	snap := s.publish(&batchInfo{size: len(batch), applied: applied, rejected: rejected, started: start})
+
+	// Reply after publishing so a client that got its ack always finds
+	// an epoch ≥ the acked one at GET /v1/allocation.
+	rowOf := make(map[string]int, len(snap.Agents))
+	for i, a := range snap.Agents {
+		rowOf[a.Name] = i
+	}
+	for i, m := range batch {
+		res := results[i]
+		res.epoch = snap.Epoch
+		if res.err == nil && m.kind == mutJoin {
+			if r, ok := rowOf[m.name]; ok {
+				res.row = snap.Allocation[r]
+			}
+		}
+		m.reply <- res
+	}
+
+	if r := obs.Installed(); r != nil {
+		r.Counter(MetricEpochs).Inc()
+		r.Histogram(MetricEpochSeconds).Observe(time.Since(wallStart).Seconds())
+		r.Histogram(MetricBatchSize).Observe(float64(len(batch)))
+		r.Gauge(MetricEpochGauge).Set(float64(snap.Epoch))
+		r.Gauge(MetricAgentsGauge).Set(float64(len(snap.Agents)))
+	}
+}
+
+// batchInfo carries per-epoch accounting into publish.
+type batchInfo struct {
+	size, applied, rejected int
+	started                 time.Time
+}
+
+// publish computes the allocation and audit for the current agent set and
+// atomically installs the new snapshot. A nil info publishes epoch 0.
+func (s *Server) publish(info *batchInfo) *Snapshot {
+	names := make([]string, 0, len(s.agents))
+	for n := range s.agents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	snap := &Snapshot{
+		Schema:     Schema,
+		Epoch:      s.epoch,
+		Capacity:   append([]float64(nil), s.cfg.Capacity...),
+		Agents:     make([]WireAgent, len(names)),
+		Allocation: make([][]float64, len(names)),
+	}
+	if info != nil {
+		snap.BatchSize, snap.Applied, snap.Rejected = info.size, info.applied, info.rejected
+	}
+
+	if len(names) > 0 {
+		agents := make([]core.Agent, len(names))
+		for i, n := range names {
+			st := s.agents[n]
+			snap.Agents[i] = st.wire
+			agents[i] = core.Agent{Name: n, Utility: st.util}
+		}
+		// The loop re-validates every join, so Allocate cannot fail on
+		// published state; treat failure as a programming error.
+		alloc, err := core.Allocate(agents, s.cfg.Capacity)
+		if err != nil {
+			panic(fmt.Sprintf("serve: allocation over validated state failed: %v", err))
+		}
+		for i := range names {
+			snap.Allocation[i] = alloc.X[i]
+		}
+		snap.Fairness = auditParallel(agents, s.cfg.Capacity, alloc.X, s.cfg.Parallelism)
+	}
+
+	snap.Time = s.clock.Now().UTC().Format(time.RFC3339Nano)
+	if info != nil {
+		snap.EpochSeconds = s.clock.Now().Sub(info.started).Seconds()
+	}
+	s.snap.Store(snap)
+	s.epoch++
+	return snap
+}
+
+// auditParallel runs the three §4 property audits as independent jobs on
+// the internal/par pool — EF is O(n²) in agents and dominates for large
+// tenant counts, so the three properties fan out rather than serialize.
+func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, parallelism int) *Fairness {
+	utils := make([]cobb.Utility, len(agents))
+	for i, a := range agents {
+		utils[i] = a.Utility
+	}
+	tol := fair.DefaultTolerance()
+	results := make([]fair.Result, 3)
+	errs := make([]error, 3)
+	_ = par.ForEach(3, parallelism, func(i int) error {
+		switch i {
+		case 0:
+			results[i], errs[i] = fair.SharingIncentives(utils, capacity, x, tol)
+		case 1:
+			results[i], errs[i] = fair.EnvyFreeness(utils, x, tol)
+		case 2:
+			results[i], errs[i] = fair.ParetoEfficiency(utils, capacity, x, tol)
+		}
+		return nil
+	})
+	f := &Fairness{SI: results[0].Satisfied, EF: results[1].Satisfied, PE: results[2].Satisfied}
+	props := [3]string{"SI", "EF", "PE"}
+	for i, err := range errs {
+		if err != nil {
+			// An audit that cannot run is reported as a violation, never
+			// silently dropped.
+			f.Violations = append(f.Violations, fmt.Sprintf("%s audit failed: %v", props[i], err))
+			switch i {
+			case 0:
+				f.SI = false
+			case 1:
+				f.EF = false
+			case 2:
+				f.PE = false
+			}
+			continue
+		}
+		for _, v := range results[i].Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+	}
+	return f
+}

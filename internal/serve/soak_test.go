@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ref/internal/check"
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/mech"
+	"ref/internal/obs"
+	"ref/internal/opt"
+)
+
+// Soak dimensions: soakClients concurrent tenants, each issuing soakOps
+// requests — ≥10k requests total, run under -race in CI.
+const (
+	soakClients = 120
+	soakOps     = 100
+)
+
+// TestSoak hammers a live server over HTTP with concurrent joins, leaves,
+// and reads, and holds every observed snapshot to the property harness's
+// standards: exact feasibility, sharing incentives, and envy-freeness per
+// the internal/check oracles, plus strictly monotone epochs per client.
+// Epoch latency lands in the obs histograms, so the test closes by
+// asserting a bounded p99.
+func TestSoak(t *testing.T) {
+	prev := obs.Installed()
+	reg := obs.NewRegistry()
+	obs.Install(reg)
+	t.Cleanup(func() { obs.Install(prev) })
+
+	cfg := testConfig()
+	cfg.Window = 2 * time.Millisecond
+	cfg.MaxBatch = 64
+	cfg.QueueDepth = 4096
+	s, ts := newTestServer(t, cfg)
+
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = soakClients
+	}
+
+	oracles := []check.Oracle{
+		check.Feasibility(true),
+		check.SIOracle(fair.DefaultTolerance()),
+		check.EFOracle(fair.DefaultTolerance()),
+	}
+	mechanism := mech.ProportionalElasticity{}
+
+	// auditSnapshot rebuilds the economy from the wire snapshot and runs
+	// the oracles against the published allocation.
+	auditSnapshot := func(snap *Snapshot) []string {
+		if len(snap.Agents) == 0 {
+			return nil
+		}
+		agents := make([]core.Agent, len(snap.Agents))
+		for i, a := range snap.Agents {
+			u, err := cobb.New(a.Alpha0, a.Elasticities...)
+			if err != nil {
+				return []string{fmt.Sprintf("published agent %q has invalid utility: %v", a.Name, err)}
+			}
+			agents[i] = core.Agent{Name: a.Name, Utility: u}
+		}
+		ec := check.Economy{Agents: agents, Cap: snap.Capacity}
+		x := opt.Alloc(snap.Allocation)
+		var out []string
+		for _, o := range oracles {
+			for _, v := range o.Check(ec, mechanism, x) {
+				out = append(out, o.Name+": "+v)
+			}
+		}
+		if snap.Fairness == nil || !snap.Fairness.SI || !snap.Fairness.EF || !snap.Fairness.PE {
+			out = append(out, fmt.Sprintf("server-side audit not clean: %+v", snap.Fairness))
+		}
+		return out
+	}
+
+	var (
+		requests  atomic.Int64
+		sheds     atomic.Int64
+		deadlines atomic.Int64
+
+		mu         sync.Mutex
+		violations []string
+	)
+	report := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(violations) < 20 { // cap the flood; one violation fails the test anyway
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < soakClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1e9 + c)))
+			name := fmt.Sprintf("tenant-%03d", c)
+			joined := false
+			var lastEpoch uint64
+
+			bumpEpoch := func(epoch uint64, what string) {
+				if epoch < lastEpoch {
+					report("client %d: %s epoch went backwards: %d after %d", c, what, epoch, lastEpoch)
+				}
+				lastEpoch = epoch
+			}
+
+			for op := 0; op < soakOps; op++ {
+				requests.Add(1)
+				switch p := rng.Float64(); {
+				case p < 0.60: // read the live snapshot and audit it
+					resp, err := client.Get(ts.URL + "/v1/allocation")
+					if err != nil {
+						report("client %d: GET allocation: %v", c, err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						report("client %d: GET allocation status %d: %s", c, resp.StatusCode, body)
+						continue
+					}
+					var snap Snapshot
+					if err := json.Unmarshal(body, &snap); err != nil {
+						report("client %d: bad snapshot: %v", c, err)
+						continue
+					}
+					bumpEpoch(snap.Epoch, "snapshot")
+					for _, v := range auditSnapshot(&snap) {
+						report("client %d epoch %d: %s", c, snap.Epoch, v)
+					}
+				case p < 0.85 || !joined: // join or re-declare with random preferences
+					e0 := 0.1 + 3.9*rng.Float64()
+					e1 := 0.1 + 3.9*rng.Float64()
+					body, _ := json.Marshal(map[string]any{"name": name, "elasticities": []float64{e0, e1}})
+					resp, err := client.Post(ts.URL+"/v1/agents", "application/json", bytes.NewReader(body))
+					if err != nil {
+						report("client %d: POST join: %v", c, err)
+						return
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var ack JoinResponse
+						if err := json.Unmarshal(b, &ack); err != nil {
+							report("client %d: bad join ack: %v", c, err)
+							continue
+						}
+						bumpEpoch(ack.Epoch, "join")
+						if len(ack.Allocation) != 2 {
+							report("client %d: join ack has %d allocation entries", c, len(ack.Allocation))
+						}
+						joined = true
+					case http.StatusServiceUnavailable:
+						sheds.Add(1) // load shedding is a contractual response, not a failure
+					case http.StatusGatewayTimeout:
+						deadlines.Add(1)
+					default:
+						report("client %d: join status %d: %s", c, resp.StatusCode, b)
+					}
+				default: // leave
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/agents/"+name, nil)
+					resp, err := client.Do(req)
+					if err != nil {
+						report("client %d: DELETE: %v", c, err)
+						return
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var ack LeaveResponse
+						if err := json.Unmarshal(b, &ack); err != nil {
+							report("client %d: bad leave ack: %v", c, err)
+							continue
+						}
+						bumpEpoch(ack.Epoch, "leave")
+						joined = false
+					case http.StatusServiceUnavailable:
+						sheds.Add(1)
+					case http.StatusGatewayTimeout:
+						deadlines.Add(1)
+						joined = false // unknown state; rejoin before the next delete
+					default:
+						report("client %d: leave status %d: %s", c, resp.StatusCode, b)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	for _, v := range violations {
+		t.Error(v)
+	}
+	mu.Unlock()
+
+	if got := requests.Load(); got < 10000 {
+		t.Errorf("soak issued %d requests, want ≥ 10000", got)
+	}
+
+	snap := reg.Snapshot()
+	hist, ok := snap.Histograms[MetricEpochSeconds]
+	if !ok || hist.Count == 0 {
+		t.Fatalf("no %s samples recorded: %+v", MetricEpochSeconds, snap.Histograms)
+	}
+	p99 := histP99(hist)
+	if p99 > 5.0 {
+		t.Errorf("epoch latency p99 bucket bound = %vs, want ≤ 5s", p99)
+	}
+	t.Logf("soak: %d requests, %d epochs (batch mean %.1f), %d shed, %d deadline-expired, epoch p99 ≤ %vs, max %.4fs",
+		requests.Load(), hist.Count, snap.Histograms[MetricBatchSize].Mean(), sheds.Load(), deadlines.Load(), p99, hist.Max)
+	if final := s.Current(); final.Epoch == 0 {
+		t.Error("soak published no epochs")
+	}
+}
+
+// histP99 returns the upper bound of the first bucket containing the 99th
+// percentile sample.
+func histP99(h obs.HistogramSnapshot) float64 {
+	target := uint64(math.Ceil(0.99 * float64(h.Count)))
+	for _, b := range h.Buckets {
+		if b.CumulativeCount >= target {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}

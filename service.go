@@ -1,0 +1,30 @@
+package ref
+
+import (
+	"ref/internal/serve"
+)
+
+// Allocation service — REF as a long-lived daemon (cmd/refserve). Tenants
+// join, leave, and re-declare Cobb-Douglas preferences over a JSON HTTP
+// API; mutations are coalesced into allocation epochs that each run the
+// Equation 13 mechanism once and publish an immutable, fairness-audited
+// snapshot. See internal/serve for the full contract.
+
+// ServeConfig parameterizes an allocation server.
+type ServeConfig = serve.Config
+
+// AllocationServer is the online allocation service.
+type AllocationServer = serve.Server
+
+// AllocationSnapshot is one immutable published epoch.
+type AllocationSnapshot = serve.Snapshot
+
+// ServeSchema identifies the refserve JSON wire format.
+const ServeSchema = serve.Schema
+
+// NewAllocationServer validates cfg, publishes the empty epoch-0
+// snapshot, and starts the epoch loop. Close the returned server to
+// drain it.
+func NewAllocationServer(cfg ServeConfig) (*AllocationServer, error) {
+	return serve.New(cfg)
+}
