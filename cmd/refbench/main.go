@@ -7,7 +7,13 @@
 //	refbench -exp all              regenerate everything
 //	refbench -exp fig9 -accesses 40000   higher-fidelity sweep
 //	refbench -exp fig13 -parallelism 4   explicit worker-pool width
+//	refbench -exp nresource -resources 3 run over the 3-resource platform
 //	refbench -exp fig13 -metrics-addr :9090 -run-manifest run.json
+//
+// -resources selects the standard N-resource platform spec and -spec takes
+// a custom spec as JSON; either reruns profiling experiments over that
+// spec's grid. Unset, output is the historical 2-resource result byte for
+// byte.
 //
 // Output is the same rows/series the paper reports, printed to stdout.
 // -metrics-addr serves Prometheus text on /metrics plus expvar and pprof
@@ -31,6 +37,8 @@ func main() {
 		list        = flag.Bool("list", false, "list available experiments")
 		expID       = flag.String("exp", "", "experiment ID to run (or \"all\")")
 		accesses    = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
+		resources   = flag.Int("resources", 0, "run over the standard N-resource platform spec (0 = legacy 2-resource platform)")
+		specJSON    = flag.String("spec", "", "run over a custom platform spec given as JSON (overrides -resources)")
 		parallel    = flag.Int("parallelism", 0, "worker-pool width for concurrent simulation units (0 = REF_PARALLELISM or GOMAXPROCS)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
 		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
@@ -50,6 +58,14 @@ func main() {
 	effParallel := *parallel
 	if effParallel <= 0 {
 		effParallel = ref.Parallelism()
+	}
+	var spec ref.PlatformSpec
+	if *specJSON != "" || *resources != 0 {
+		var err error
+		if spec, err = ref.ResolveSpecArg([]byte(*specJSON), *resources); err != nil {
+			fmt.Fprintf(os.Stderr, "refbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	// Observability: installing a registry turns on instrumentation in
@@ -83,7 +99,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		err := ref.RunExperimentParallel(id, *accesses, *parallel, os.Stdout)
+		err := ref.RunExperimentSpec(id, spec, *accesses, *parallel, os.Stdout)
 		elapsed := time.Since(start)
 		if manifest != nil {
 			manifest.Record(id, elapsed.Seconds(), err)

@@ -32,6 +32,8 @@ func main() {
 		maxAgents    = flag.Int("max-agents", 0, "max agents per economy (0 = default 64)")
 		maxResources = flag.Int("max-resources", 0, "max resources per economy (0 = default 8)")
 		solverTrials = flag.Int("solver-trials", 0, "trials for the iterative-solver subjects (0 = trials/50, negative disables)")
+		simTrials    = flag.Int("sim-trials", 0, "trials whose economies are sim-backed 3-resource profile fits (0 disables)")
+		simAccesses  = flag.Int("sim-accesses", 0, "per-configuration access budget for sim-backed profiling (0 = default 2000)")
 		parallelism  = flag.Int("parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 		noShrink     = flag.Bool("no-shrink", false, "skip counterexample minimization")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
@@ -40,14 +42,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*trials, *seed, *trialOffset, *maxAgents, *maxResources, *solverTrials,
-		*parallelism, *noShrink, *metricsAddr, *manifestOut, *cxOut); err != nil {
+		*simTrials, *simAccesses, *parallelism, *noShrink, *metricsAddr, *manifestOut, *cxOut); err != nil {
 		fmt.Fprintln(os.Stderr, "refcheck:", err)
 		os.Exit(1)
 	}
 }
 
 func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTrials,
-	parallelism int, noShrink bool, metricsAddr, manifestOut, cxOut string) error {
+	simTrials, simAccesses, parallelism int, noShrink bool, metricsAddr, manifestOut, cxOut string) error {
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
 	var manifest *ref.RunManifest
@@ -71,6 +73,8 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		MaxAgents:    maxAgents,
 		MaxResources: maxResources,
 		SolverTrials: solverTrials,
+		SimTrials:    simTrials,
+		SimAccesses:  simAccesses,
 		Parallelism:  parallelism,
 		NoShrink:     noShrink,
 	}
@@ -87,8 +91,8 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		return err
 	}
 
-	fmt.Printf("refcheck: %d fast + %d solver trials, %d oracle evaluations in %s (seed %d)\n",
-		sum.Trials, sum.SolverTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
+	fmt.Printf("refcheck: %d fast + %d solver + %d sim trials, %d oracle evaluations in %s (seed %d)\n",
+		sum.Trials, sum.SolverTrials, sum.SimTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
 	if sum.OK() {
 		fmt.Println("refcheck: all properties hold")
 		return nil

@@ -6,6 +6,11 @@
 // immutable versioned snapshot that reads access lock-free.
 //
 //	refserve -addr 127.0.0.1:8080 -cap 24,12
+//	refserve -addr 127.0.0.1:8080 -resources 3
+//
+// -resources selects the standard N-resource platform spec and -spec takes
+// a custom spec as JSON; workload-profile joins are then fitted on that
+// spec's grid, and -cap may be omitted to serve the spec's full capacity.
 //
 //	curl -X POST localhost:8080/v1/agents \
 //	     -d '{"name":"user1","elasticities":[0.6,0.4]}'
@@ -36,7 +41,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "public API listen address")
-		capStr      = flag.String("cap", "", "total capacity per resource, e.g. 24,12 (required)")
+		capStr      = flag.String("cap", "", "total capacity per resource, e.g. 24,12 (required unless -resources/-spec is set)")
+		resources   = flag.Int("resources", 0, "serve the standard N-resource platform spec (0 = capacity-only, 2-resource workload profiling)")
+		specJSON    = flag.String("spec", "", "serve a custom platform spec given as JSON (overrides -resources)")
 		window      = flag.Duration("epoch-window", 10*time.Millisecond, "mutation batching window per allocation epoch")
 		maxBatch    = flag.Int("max-batch", 64, "mutations per epoch before the window is cut short")
 		queueDepth  = flag.Int("queue-depth", 0, "mutation queue bound before load shedding (0 = 4×max-batch)")
@@ -49,7 +56,7 @@ func main() {
 		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *capStr, *window, *maxBatch, *queueDepth, *maxBody, *reqTimeout,
+	if err := run(*addr, *capStr, *specJSON, *resources, *window, *maxBatch, *queueDepth, *maxBody, *reqTimeout,
 		*accesses, *parallelism, *drainWait, *metricsAddr, *manifestOut); err != nil {
 		fmt.Fprintln(os.Stderr, "refserve:", err)
 		os.Exit(1)
@@ -69,15 +76,24 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func run(addr, capStr string, window time.Duration, maxBatch, queueDepth int, maxBody int64,
+func run(addr, capStr, specJSON string, resources int, window time.Duration, maxBatch, queueDepth int, maxBody int64,
 	reqTimeout time.Duration, accesses, parallelism int, drainWait time.Duration,
 	metricsAddr, manifestOut string) error {
-	if capStr == "" {
-		return fmt.Errorf("need -cap (total capacity per resource, e.g. -cap 24,12)")
+	var spec ref.PlatformSpec
+	if specJSON != "" || resources != 0 {
+		var err error
+		if spec, err = ref.ResolveSpecArg([]byte(specJSON), resources); err != nil {
+			return err
+		}
+	} else if capStr == "" {
+		return fmt.Errorf("need -cap (total capacity per resource, e.g. -cap 24,12) or -resources/-spec")
 	}
-	capacity, err := parseFloats(capStr)
-	if err != nil {
-		return err
+	var capacity []float64
+	if capStr != "" {
+		var err error
+		if capacity, err = parseFloats(capStr); err != nil {
+			return err
+		}
 	}
 
 	reg := ref.NewMetricsRegistry()
@@ -98,6 +114,7 @@ func run(addr, capStr string, window time.Duration, maxBatch, queueDepth int, ma
 	}
 
 	srv, err := ref.NewAllocationServer(ref.ServeConfig{
+		Spec:            spec,
 		Capacity:        capacity,
 		Window:          window,
 		MaxBatch:        maxBatch,
@@ -115,8 +132,14 @@ func run(addr, capStr string, window time.Duration, maxBatch, queueDepth int, ma
 		return err
 	}
 	start := time.Now()
-	fmt.Printf("refserve: serving on http://%s (capacity %v, window %s, max batch %d)\n",
-		httpSrv.Addr(), capacity, window, maxBatch)
+	served := srv.Capacity()
+	if len(spec.Dims) > 0 {
+		fmt.Printf("refserve: serving on http://%s (spec %q, capacity %v, window %s, max batch %d)\n",
+			httpSrv.Addr(), spec.Name, served, window, maxBatch)
+	} else {
+		fmt.Printf("refserve: serving on http://%s (capacity %v, window %s, max batch %d)\n",
+			httpSrv.Addr(), served, window, maxBatch)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

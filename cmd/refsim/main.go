@@ -7,7 +7,14 @@
 //	refsim -w dedup                           sweep the 5×5 grid, print IPC + fit
 //	refsim -w dedup -cache 1048576 -bw 6.4    one configuration
 //	refsim -w dedup -accesses 50000           higher fidelity
+//	refsim -w dedup -resources 3              sweep the 3-resource spec's grid
+//	refsim -w dedup -spec '{"dims":[...]}'    sweep a custom platform spec
 //	refsim -w dedup -metrics-addr :9090 -run-manifest run.json
+//
+// Without -resources/-spec the output is the historical 2-resource sweep,
+// byte for byte. With either flag the sweep runs over the spec's grid and
+// prints one dim-labeled line per configuration plus the fitted per-dim
+// elasticities.
 //
 // -metrics-addr serves Prometheus text on /metrics plus expvar and pprof
 // under /debug/ for the run's duration; -run-manifest writes a structured
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ref"
@@ -32,6 +40,9 @@ func main() {
 		accesses = flag.Int("accesses", 20000, "memory accesses to simulate per configuration")
 		parallel = flag.Int("parallelism", 0, "worker-pool width for grid sweeps (0 = REF_PARALLELISM or GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "write the swept profile as CSV to this file")
+
+		resources = flag.Int("resources", 0, "sweep the standard N-resource platform spec instead of the Table 1 pair (0 = legacy 2-resource output)")
+		specJSON  = flag.String("spec", "", "sweep a custom platform spec given as JSON (overrides -resources)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
 		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
@@ -87,6 +98,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
 		os.Exit(1)
 	}
+	if *specJSON != "" || *resources != 0 {
+		if *cacheB > 0 || *bw > 0 {
+			fmt.Fprintln(os.Stderr, "refsim: -cache/-bw select a Table 1 point and cannot combine with -resources/-spec")
+			os.Exit(2)
+		}
+		spec, err := ref.ResolveSpecArg([]byte(*specJSON), *resources)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		prof, err := ref.SweepWorkloadSpec(w.Config, spec, *accesses, *parallel)
+		if err != nil {
+			writeManifest("sweep-spec:"+*name, time.Since(start).Seconds(), err)
+			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+			os.Exit(1)
+		}
+		writeManifest("sweep-spec:"+*name, time.Since(start).Seconds(), nil)
+		fmt.Printf("%s (%s, class %s): %q sweep over %d resources, %d accesses per config, parallelism=%d\n",
+			*name, w.Suite, w.Class, spec.Name, spec.NumResources(), *accesses, effParallel)
+		for _, s := range prof.Samples {
+			parts := make([]string, len(spec.Dims))
+			for j, d := range spec.Dims {
+				parts[j] = d.Name + "=" + d.FormatValue(s.Alloc[j])
+			}
+			fmt.Printf("  %s  perf=%.3f\n", strings.Join(parts, "  "), s.Perf)
+		}
+		if *csvPath != "" {
+			writeCSV(prof, *csvPath)
+		}
+		fit, err := ref.FitCobbDouglas(prof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refsim: fit: %v\n", err)
+			os.Exit(1)
+		}
+		r := fit.Utility.Rescaled()
+		fmt.Printf("fitted: u = %s   (R²=%.3f)\n", fit.Utility, fit.R2)
+		var el strings.Builder
+		el.WriteString("rescaled elasticities:")
+		for j, d := range spec.Dims {
+			fmt.Fprintf(&el, " α_%s=%.3f", d.Name, r.Alpha[j])
+		}
+		if ci, bi := spec.DimIndex("cache"), spec.DimIndex("bandwidth"); ci >= 0 && bi >= 0 {
+			fmt.Fprintf(&el, " → class %s", map[bool]string{true: "C", false: "M"}[r.Alpha[ci] > r.Alpha[bi]])
+		}
+		fmt.Println(el.String())
+		return
+	}
 	if *cacheB > 0 && *bw > 0 {
 		start := time.Now()
 		res, err := ref.RunWorkload(w.Config, ref.DefaultPlatform(*cacheB, *bw), *accesses)
@@ -114,20 +173,7 @@ func main() {
 		fmt.Printf("  bw=%5.1f GB/s cache=%5.3f MB  IPC=%.3f\n", s.Alloc[0], s.Alloc[1], s.Perf)
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := prof.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("profile written to %s\n", *csvPath)
+		writeCSV(prof, *csvPath)
 	}
 	fit, err := ref.FitCobbDouglas(prof)
 	if err != nil {
@@ -138,4 +184,21 @@ func main() {
 	fmt.Printf("fitted: u = %s   (R²=%.3f)\n", fit.Utility, fit.R2)
 	fmt.Printf("rescaled elasticities: α_mem=%.3f α_cache=%.3f → class %s\n",
 		r.Alpha[0], r.Alpha[1], map[bool]string{true: "C", false: "M"}[r.Alpha[1] > 0.5])
+}
+
+func writeCSV(prof *ref.Profile, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := prof.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profile written to %s\n", path)
 }

@@ -62,6 +62,14 @@ type Config struct {
 	// forms. Zero derives Trials/50 (at least 1 when Trials > 0); negative
 	// disables the solver stream.
 	SolverTrials int
+	// SimTrials is the number of trials for the sim-backed stream, whose
+	// economies are real 3-resource profile→fit products (see GenerateSim)
+	// checked against the closed-form subjects. Zero disables the stream —
+	// the first trial pays for platform simulations.
+	SimTrials int
+	// SimAccesses is the per-configuration access budget of the sim-backed
+	// stream's profiling sweeps. Zero selects DefaultSimAccesses.
+	SimAccesses int
 	// Parallelism bounds the worker pool; zero selects the default
 	// ($REF_PARALLELISM, else GOMAXPROCS). Results are bit-identical at
 	// any width.
@@ -81,6 +89,10 @@ const (
 	solverMaxAgents    = 6
 	solverMaxResources = 3
 )
+
+// DefaultSimAccesses keeps the sim-backed stream's one-time profiling cost
+// to a few seconds per catalog workload on the coarse SimSpec grid.
+const DefaultSimAccesses = 2000
 
 func (c *Config) normalize() error {
 	if c.Trials < 0 {
@@ -104,6 +116,15 @@ func (c *Config) normalize() error {
 	}
 	if c.SolverTrials < 0 || c.Subjects != nil {
 		c.SolverTrials = 0
+	}
+	if c.SimTrials < 0 || c.Subjects != nil {
+		c.SimTrials = 0
+	}
+	if c.SimAccesses == 0 {
+		c.SimAccesses = DefaultSimAccesses
+	}
+	if c.SimAccesses < 0 {
+		return fmt.Errorf("%w: SimAccesses = %d", ErrBadConfig, c.SimAccesses)
 	}
 	return nil
 }
@@ -136,8 +157,8 @@ func (f Failure) String() string {
 
 // Summary aggregates one Run.
 type Summary struct {
-	// Trials and SolverTrials count executed trials per stream.
-	Trials, SolverTrials int
+	// Trials, SolverTrials, and SimTrials count executed trials per stream.
+	Trials, SolverTrials, SimTrials int
 	// Checks counts individual oracle evaluations.
 	Checks int64
 	// Failures holds every violated invariant, ordered by stream then
@@ -161,7 +182,7 @@ func Run(cfg Config) (*Summary, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sum := &Summary{Trials: cfg.Trials, SolverTrials: cfg.SolverTrials}
+	sum := &Summary{Trials: cfg.Trials, SolverTrials: cfg.SolverTrials, SimTrials: cfg.SimTrials}
 	var checks atomic.Int64
 
 	fastSubjects := cfg.Subjects
@@ -169,7 +190,7 @@ func Run(cfg Config) (*Summary, error) {
 		fastSubjects = FastSubjects()
 	}
 	fastGen := GenConfig{MaxAgents: cfg.MaxAgents, MaxResources: cfg.MaxResources}
-	fails, err := runStream(cfg, "fast", cfg.Trials, fastSubjects, fastGen, &checks)
+	fails, err := runStream(cfg, "fast", cfg.Trials, fastSubjects, synthGen(fastGen), &checks)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +201,18 @@ func Run(cfg Config) (*Summary, error) {
 			MaxAgents:    min(cfg.MaxAgents, solverMaxAgents),
 			MaxResources: min(cfg.MaxResources, solverMaxResources),
 		}
-		fails, err := runStream(cfg, "solver", cfg.SolverTrials, SolverSubjects(), solverGen, &checks)
+		fails, err := runStream(cfg, "solver", cfg.SolverTrials, SolverSubjects(), synthGen(solverGen), &checks)
+		if err != nil {
+			return nil, err
+		}
+		sum.Failures = append(sum.Failures, fails...)
+	}
+
+	if cfg.SimTrials > 0 {
+		simGen := func(rng *rand.Rand) (Economy, error) {
+			return GenerateSim(rng, cfg.SimAccesses)
+		}
+		fails, err := runStream(cfg, "sim", cfg.SimTrials, FastSubjects(), simGen, &checks)
 		if err != nil {
 			return nil, err
 		}
@@ -190,9 +222,18 @@ func Run(cfg Config) (*Summary, error) {
 	return sum, nil
 }
 
+// synthGen adapts a synthetic GenConfig to runStream's generator hook.
+func synthGen(gen GenConfig) func(*rand.Rand) (Economy, error) {
+	return func(rng *rand.Rand) (Economy, error) {
+		return Generate(rng, gen), nil
+	}
+}
+
 // runStream fans one stream's trials out on the worker pool and collects
-// failures in trial order.
-func runStream(cfg Config, stream string, trials int, subjects []Subject, gen GenConfig, checks *atomic.Int64) ([]Failure, error) {
+// failures in trial order. The generator hook turns each trial's derived
+// rand source into an economy — synthetic preference classes or sim-backed
+// fits — and must itself be deterministic in the rng.
+func runStream(cfg Config, stream string, trials int, subjects []Subject, gen func(*rand.Rand) (Economy, error), checks *atomic.Int64) ([]Failure, error) {
 	if trials <= 0 || len(subjects) == 0 {
 		return nil, nil
 	}
@@ -200,7 +241,10 @@ func runStream(cfg Config, stream string, trials int, subjects []Subject, gen Ge
 	err := par.ForEach(trials, cfg.Parallelism, func(i int) error {
 		trial := cfg.TrialOffset + i
 		seed := economySeed(cfg.Seed, stream, trial)
-		ec := Generate(rand.New(rand.NewSource(seed)), gen)
+		ec, err := gen(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
 		start := time.Now()
 		for _, sub := range subjects {
 			fail := func(oracle string, findings []string, keep func(Economy) bool) {

@@ -1,0 +1,52 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ref/internal/core"
+	"ref/internal/platform"
+	"ref/internal/trace"
+	"ref/internal/workloads"
+)
+
+// SimSpec is the platform the sim-backed stream profiles: the 3-resource
+// machine (bandwidth, cache, core frequency) on a deliberately coarse
+// 3×3×2 grid, so each workload's profile costs 18 simulations instead of
+// the full ladder's 100. Fits are memoized per workload across trials, so
+// a stream of any length pays for at most one sweep per catalog workload.
+func SimSpec() platform.Spec {
+	spec := platform.ThreeResource()
+	spec.Name = "check-sim-3r"
+	spec.Dims[0].Levels = []float64{1.6, 6.4, 12.8}
+	spec.Dims[1].Levels = []float64{0.25, 1, 2}
+	spec.Dims[2].Levels = []float64{1.5, 3}
+	return spec
+}
+
+// GenerateSim draws a random economy whose agents are real sim-backed fits:
+// 2–4 catalog workloads (duplicates allowed) profiled on SimSpec and fitted
+// to 3-dimensional Cobb-Douglas utilities, sharing the spec's full
+// capacity. Unlike Generate's synthetic preference classes, every utility
+// here came out of the actual profile→fit pipeline, so the property oracles
+// exercise the elasticity distributions the simulator really produces.
+// The rng drives only the workload draw; fits are deterministic, so a
+// (seed, trial) pair reproduces the economy exactly.
+func GenerateSim(rng *rand.Rand, accesses int) (Economy, error) {
+	spec := SimSpec()
+	n := 2 + rng.Intn(3)
+	names := trace.Names()
+	ec := Economy{Cap: spec.Capacities()}
+	for i := 0; i < n; i++ {
+		name := names[rng.Intn(len(names))]
+		f, err := workloads.FitWorkloadSpec(spec, name, accesses, 1)
+		if err != nil {
+			return Economy{}, fmt.Errorf("check: sim fit %s: %w", name, err)
+		}
+		ec.Agents = append(ec.Agents, core.Agent{
+			Name:    fmt.Sprintf("%s#%d", name, i),
+			Utility: f.Fit.Utility,
+		})
+	}
+	return ec, nil
+}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The sim-backed generator produces valid 3-resource economies whose
+// utilities came from the real profile→fit pipeline, deterministically in
+// the rng.
+func TestGenerateSimValid(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		seed := economySeed(7, "sim", trial)
+		ec, err := GenerateSim(rand.New(rand.NewSource(seed)), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ec.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := ec.NumResources(); got != 3 {
+			t.Fatalf("trial %d: %d resources, want 3", trial, got)
+		}
+		if n := ec.NumAgents(); n < 2 || n > 4 {
+			t.Fatalf("trial %d: %d agents, want 2–4", trial, n)
+		}
+		again, err := GenerateSim(rand.New(rand.NewSource(seed)), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ec, again) {
+			t.Fatalf("trial %d: not deterministic in the rng", trial)
+		}
+	}
+}
+
+// A short sim-backed run holds every closed-form invariant and is
+// bit-identical across worker-pool widths.
+func TestSimStreamCleanAndDeterministic(t *testing.T) {
+	base := Config{Trials: 0, SolverTrials: -1, SimTrials: 4, SimAccesses: 1000, Seed: 11, Parallelism: 1}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.SimTrials != 4 {
+		t.Fatalf("SimTrials = %d, want 4", serial.SimTrials)
+	}
+	if !serial.OK() {
+		for _, f := range serial.Failures {
+			t.Errorf("sim-backed economy violated an invariant: %s\n%#v", f, f.Shrunk)
+		}
+		t.FailNow()
+	}
+	wide := base
+	wide.Parallelism = 8
+	again, err := Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("sim stream diverged across parallelism widths")
+	}
+}

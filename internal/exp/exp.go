@@ -14,6 +14,7 @@ import (
 
 	"ref/internal/obs"
 	"ref/internal/par"
+	"ref/internal/platform"
 )
 
 // ErrUnknownExperiment reports a bad experiment ID.
@@ -30,6 +31,11 @@ type Config struct {
 	// Zero selects the default: $REF_PARALLELISM, else GOMAXPROCS.
 	// Results are bit-identical at any setting.
 	Parallelism int
+	// Spec selects the platform resource model experiments profile and
+	// allocate over. The zero value selects platform.Default() — the
+	// paper's 2-resource (bandwidth, cache) machine — which reproduces
+	// the historical output byte for byte.
+	Spec platform.Spec
 	// Out receives the rendered rows; nil discards them.
 	Out io.Writer
 }
@@ -42,6 +48,14 @@ func (c Config) accesses() int {
 		return c.Accesses
 	}
 	return DefaultAccesses
+}
+
+// spec resolves the effective platform spec.
+func (c Config) spec() platform.Spec {
+	if len(c.Spec.Dims) == 0 {
+		return platform.Default()
+	}
+	return c.Spec
 }
 
 func (c Config) out() io.Writer {

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "tab2", "spl64",
 		"ext-enforce", "ext-3r", "ext-online", "ext-corun", "ext-mc", "ext-interference",
+		"nresource",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

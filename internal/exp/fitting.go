@@ -78,9 +78,20 @@ type Fig8bSeries struct {
 }
 
 func fitCurves(cfg Config, names []string, header string) ([]Fig8bSeries, error) {
-	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
+	spec := cfg.spec()
+	fitted, err := workloads.FitAllSpec(spec, cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
+	}
+	// Resolve the plot axes by dim name, not position: the spec's dims may
+	// be declared in any order. Unlabeled (legacy) specs keep the historical
+	// (bandwidth, cache) positions.
+	bwIdx, cacheIdx := spec.DimIndex("bandwidth"), spec.DimIndex("cache")
+	if bwIdx < 0 {
+		bwIdx = 0
+	}
+	if cacheIdx < 0 {
+		cacheIdx = 1
 	}
 	w := cfg.out()
 	fmt.Fprintln(w, header)
@@ -91,15 +102,15 @@ func fitCurves(cfg Config, names []string, header string) ([]Fig8bSeries, error)
 			return nil, fmt.Errorf("exp: no fitted workload %q", name)
 		}
 		series := Fig8bSeries{Name: name, R2: f.Fit.R2}
-		prof, err := sim.SweepParallel(f.Workload.Config, cfg.accesses(), cfg.Parallelism)
+		prof, err := sim.SweepSpecParallel(f.Workload.Config, spec, cfg.accesses(), cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(w, "%s (R2=%.3f):\n", name, f.Fit.R2)
 		for _, s := range prof.Samples {
 			pt := Fig8bPoint{
-				BandwidthGBps: s.Alloc[0],
-				CacheMB:       s.Alloc[1],
+				BandwidthGBps: s.Alloc[bwIdx],
+				CacheMB:       s.Alloc[cacheIdx],
 				Simulated:     s.Perf,
 				Fitted:        f.Fit.Predict(s.Alloc),
 			}
@@ -147,10 +158,19 @@ func Fig9(cfg Config) ([]Fig9Row, error) {
 	for _, name := range trace.Names() {
 		f := fitted[name]
 		r := f.Fit.Utility.Rescaled()
+		// Labeled fits locate the two elasticities by dim name; unlabeled
+		// (legacy) fits keep the historical (bandwidth, cache) positions.
+		memIdx, cacheIdx := f.Fit.DimIndex("bandwidth"), f.Fit.DimIndex("cache")
+		if memIdx < 0 {
+			memIdx = 0
+		}
+		if cacheIdx < 0 {
+			cacheIdx = 1
+		}
 		row := Fig9Row{
 			Name:       name,
-			AlphaMem:   r.Alpha[0],
-			AlphaCache: r.Alpha[1],
+			AlphaMem:   r.Alpha[memIdx],
+			AlphaCache: r.Alpha[cacheIdx],
 			Class:      f.FittedClass(),
 			PaperClass: f.Workload.Class,
 		}

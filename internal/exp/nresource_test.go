@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ref/internal/platform"
+)
+
+// The N-resource pipeline must close end to end: sim-backed 3-dimensional
+// fits, an Eq. 13 allocation that exhausts each capacity, a passing
+// SI/EF/PE audit, and positive co-run performance — all deterministic
+// across worker-pool widths.
+func TestNResourceEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testCfg
+	cfg.Parallelism = 1
+	cfg.Out = &buf
+	res, err := NResource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Spec.NumResources(); got != 3 {
+		t.Fatalf("default spec has %d resources, want 3", got)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (WD2)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.R2 < 0.5 {
+			t.Errorf("%s: R² = %.3f, implausibly low", row.Name, row.R2)
+		}
+		if row.IPC <= 0 {
+			t.Errorf("%s: co-run IPC %v", row.Name, row.IPC)
+		}
+		if len(row.Alloc) != 3 || len(row.Alpha) != 3 {
+			t.Errorf("%s: alloc/alpha not 3-dimensional", row.Name)
+		}
+	}
+	// Eq. 13 exhausts every resource: per-dim allocations sum to capacity.
+	for r := 0; r < 3; r++ {
+		var sum float64
+		for _, row := range res.Rows {
+			sum += row.Alloc[r]
+		}
+		if d := sum/res.Capacity[r] - 1; d > 1e-6 || d < -1e-6 {
+			t.Errorf("dim %d: allocations sum to %v, capacity %v", r, sum, res.Capacity[r])
+		}
+	}
+	if !res.Report.All() {
+		t.Fatalf("REF audit failed: %s", res.Report)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("weighted throughput %v", res.Throughput)
+	}
+	// Deterministic across widths, memoized or not.
+	for _, width := range []int{2, 8} {
+		var buf2 bytes.Buffer
+		cfg2 := testCfg
+		cfg2.Parallelism = width
+		cfg2.Out = &buf2
+		again, err := NResource(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spec carries func fields (never DeepEqual); compare the data.
+		if !reflect.DeepEqual(res.Rows, again.Rows) ||
+			!reflect.DeepEqual(res.Capacity, again.Capacity) ||
+			res.Throughput != again.Throughput ||
+			!reflect.DeepEqual(res.Report, again.Report) {
+			t.Fatalf("width %d result diverged from serial", width)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("width %d rendering diverged from serial", width)
+		}
+	}
+}
+
+// TestGoldenNResource locks the rendered nresource output against the
+// committed golden, same convention as fig13/fig14: regenerate with
+//
+//	go test ./internal/exp -run TestGoldenNResource -update
+func TestGoldenNResource(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testCfg
+	cfg.Out = &buf
+	if _, err := NResource(cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "nresource.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("nresource output diverged from %s\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// Fig8b must locate the bandwidth and cache axes by dim name: with a spec
+// whose dims are declared cache-first, every point's coordinates must still
+// land on the right axis. (The historical code read Alloc[0] as bandwidth
+// positionally, which this spec would silently transpose.)
+func TestFig8bPermutedSpec(t *testing.T) {
+	cacheDim := platform.CacheDim()
+	cacheDim.Levels = []float64{0.5, 1, 2}
+	bwDim := platform.BandwidthDim()
+	bwDim.Levels = []float64{3.2, 6.4, 12.8}
+	spec := platform.Spec{Name: "permuted", Dims: []platform.ResourceDim{cacheDim, bwDim}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg
+	cfg.Spec = spec
+	series, err := Fig8b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwLevels := map[float64]bool{3.2: true, 6.4: true, 12.8: true}
+	cacheLevels := map[float64]bool{0.5: true, 1: true, 2: true}
+	for _, s := range series {
+		if len(s.Points) != 9 {
+			t.Fatalf("%s: %d points, want 9", s.Name, len(s.Points))
+		}
+		seen := map[[2]float64]bool{}
+		for _, pt := range s.Points {
+			if !bwLevels[pt.BandwidthGBps] {
+				t.Fatalf("%s: BandwidthGBps = %v is not a bandwidth level (axes transposed?)", s.Name, pt.BandwidthGBps)
+			}
+			if !cacheLevels[pt.CacheMB] {
+				t.Fatalf("%s: CacheMB = %v is not a cache level (axes transposed?)", s.Name, pt.CacheMB)
+			}
+			seen[[2]float64{pt.BandwidthGBps, pt.CacheMB}] = true
+		}
+		if len(seen) != 9 {
+			t.Fatalf("%s: %d distinct (bw, cache) pairs, want the full 3×3 grid", s.Name, len(seen))
+		}
+	}
+}

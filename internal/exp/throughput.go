@@ -7,6 +7,7 @@ import (
 	"ref/internal/fair"
 	"ref/internal/mech"
 	"ref/internal/par"
+	"ref/internal/platform"
 	"ref/internal/spl"
 	"ref/internal/workloads"
 )
@@ -20,6 +21,20 @@ func SystemCapacity(cores int) []float64 {
 		return []float64{12.8, 2.0}
 	}
 	return []float64{25.6, 4.0}
+}
+
+// specCapacity generalizes SystemCapacity to any platform spec: the
+// single-socket capacity is each dim's profiled maximum, and eight-core
+// mixes get the dual-socket equivalent (every dim doubled). For the
+// default 2-resource spec this reproduces SystemCapacity exactly.
+func specCapacity(spec platform.Spec, cores int) []float64 {
+	cap := spec.Capacities()
+	if cores > 4 {
+		for i := range cap {
+			cap[i] *= 2
+		}
+	}
+	return cap
 }
 
 // Tab2 prints the Table 2 workload characterization.
@@ -77,7 +92,8 @@ func throughputMechanisms() []mech.Mechanism {
 }
 
 func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]ThroughputRow, error) {
-	fitted, err := workloads.FitAllParallel(cfg.accesses(), cfg.Parallelism)
+	spec := cfg.spec()
+	fitted, err := workloads.FitAllSpec(spec, cfg.accesses(), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +106,7 @@ func runThroughput(cfg Config, mixes []workloads.Mix, header string) ([]Throughp
 		if err != nil {
 			return err
 		}
-		cap := SystemCapacity(len(agents))
+		cap := specCapacity(spec, len(agents))
 		label, err := m.ClassLabel()
 		if err != nil {
 			return err

@@ -34,6 +34,13 @@ type Sample struct {
 // Profile is a set of profiling observations for one agent.
 type Profile struct {
 	Samples []Sample
+	// Names optionally labels the resource dimensions, in Alloc order
+	// (e.g. "bandwidth", "cache", "compute"). When set, its length must
+	// match the sample dimensionality; CSV persistence uses the names as
+	// column headers and fitted results carry them so downstream tables
+	// can look resources up by name instead of position. Nil means
+	// unlabeled (the historical behavior).
+	Names []string
 }
 
 // Add appends an observation.
@@ -60,6 +67,9 @@ func (p *Profile) Validate() error {
 	}
 	if len(p.Samples) < r+2 {
 		return fmt.Errorf("%w: %d samples for %d resources, need at least %d", ErrBadProfile, len(p.Samples), r, r+2)
+	}
+	if p.Names != nil && len(p.Names) != r {
+		return fmt.Errorf("%w: %d resource names for %d resources", ErrBadProfile, len(p.Names), r)
 	}
 	for i, s := range p.Samples {
 		if len(s.Alloc) != r {
@@ -88,6 +98,9 @@ type Result struct {
 	RMSLE float64
 	// N is the number of samples used.
 	N int
+	// Names carries the profile's resource-dimension labels (nil when the
+	// profile was unlabeled). Names[j] describes Utility.Alpha[j].
+	Names []string
 }
 
 // CobbDouglas fits u = α₀ ∏ x^α to the profile with least squares on the
@@ -140,7 +153,19 @@ func CobbDouglas(p *Profile) (*Result, error) {
 		return nil, fmt.Errorf("fit: fitted parameters invalid: %w", err)
 	}
 	rmsle := math.Sqrt(ls.RSS / float64(n))
-	return &Result{Utility: u, R2: ls.R2, RMSLE: rmsle, N: n}, nil
+	return &Result{Utility: u, R2: ls.R2, RMSLE: rmsle, N: n,
+		Names: append([]string(nil), p.Names...)}, nil
+}
+
+// DimIndex returns the index of the named resource dimension, or -1 when
+// the result is unlabeled or the name is unknown.
+func (r *Result) DimIndex(name string) int {
+	for j, n := range r.Names {
+		if n == name {
+			return j
+		}
+	}
+	return -1
 }
 
 // Predict returns the fitted model's performance prediction for an

@@ -8,7 +8,9 @@ import (
 )
 
 // WriteCSV serializes the profile as CSV: a header naming R resource
-// columns plus "perf", then one row per sample. Profiling is the expensive
+// columns plus "perf", then one row per sample. Labeled profiles
+// (Profile.Names set) use the dim names as column headers; unlabeled ones
+// keep the historical "resource0…" numbering. Profiling is the expensive
 // step of the REF pipeline (§4.4); persisting profiles lets utilities be
 // refit offline without re-running the platform.
 func (p *Profile) WriteCSV(w io.Writer) error {
@@ -19,7 +21,11 @@ func (p *Profile) WriteCSV(w io.Writer) error {
 	r := p.NumResources()
 	header := make([]string, r+1)
 	for j := 0; j < r; j++ {
-		header[j] = fmt.Sprintf("resource%d", j)
+		if p.Names != nil {
+			header[j] = p.Names[j]
+		} else {
+			header[j] = fmt.Sprintf("resource%d", j)
+		}
 	}
 	header[r] = "perf"
 	if err := cw.Write(header); err != nil {
@@ -44,6 +50,8 @@ func (p *Profile) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a profile written by WriteCSV (or by any tool emitting the
 // same shape: R resource columns then a perf column, with a header row).
+// Dim-named headers round-trip into Profile.Names; the historical
+// "resource0…" numbering reads back as an unlabeled profile.
 func ReadCSV(r io.Reader) (*Profile, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
@@ -58,6 +66,12 @@ func ReadCSV(r io.Reader) (*Profile, error) {
 		return nil, fmt.Errorf("%w: need at least one resource column and perf", ErrBadProfile)
 	}
 	p := &Profile{}
+	for j, name := range records[0][:cols-1] {
+		if name != fmt.Sprintf("resource%d", j) {
+			p.Names = append([]string(nil), records[0][:cols-1]...)
+			break
+		}
+	}
 	for i, rec := range records[1:] {
 		if len(rec) != cols {
 			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadProfile, i+1, len(rec), cols)

@@ -1,0 +1,63 @@
+package mech
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ref/internal/core"
+	"ref/internal/opt"
+)
+
+// Pins normalizationOffsets to the loop it was hoisted from: offsets[i] =
+// Σ_r α_ir·log C_r over positive elasticities, zero-capacity terms
+// dropped. EqualSlowdown and EgalitarianFair both depend on exactly these
+// values for their normalized objectives.
+func TestNormalizationOffsetsPinned(t *testing.T) {
+	raw := []opt.Agent{
+		{Alpha: []float64{0.6, 0.4}},
+		{Alpha: []float64{0.2, 0}},   // zero elasticity contributes nothing
+		{Alpha: []float64{1.5, 0.5}}, // raw (unrescaled) elasticities allowed
+	}
+	cap := []float64{24, 12}
+	want := []float64{
+		0.6*math.Log(24) + 0.4*math.Log(12),
+		0.2 * math.Log(24),
+		1.5*math.Log(24) + 0.5*math.Log(12),
+	}
+	got := normalizationOffsets(raw, cap)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+	// Non-positive capacity: the logOf guard keeps the term out instead of
+	// producing -Inf.
+	got = normalizationOffsets([]opt.Agent{{Alpha: []float64{1, 1}}}, []float64{math.E, 0})
+	if want := []float64{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-capacity offsets = %v, want %v", got, want)
+	}
+}
+
+// warmStartConfig must seed Init with the REF allocation only when the
+// caller left it unset, and must leave everything else in the config
+// untouched.
+func TestWarmStartConfigPinned(t *testing.T) {
+	cfg := warmStartConfig(opt.Config{}, paperAgents, paperCap)
+	ref, err := core.Allocate(paperAgents, paperCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Init, ref.X) {
+		t.Fatalf("Init = %v, want REF allocation %v", cfg.Init, ref.X)
+	}
+	// A caller-supplied Init wins.
+	mine := opt.Alloc{{1, 1}, {23, 11}}
+	cfg = warmStartConfig(opt.Config{Init: mine}, paperAgents, paperCap)
+	if !reflect.DeepEqual(cfg.Init, mine) {
+		t.Fatalf("caller Init overwritten: %v", cfg.Init)
+	}
+	// Infeasible agents (core.Allocate fails): Init stays nil.
+	cfg = warmStartConfig(opt.Config{}, nil, paperCap)
+	if cfg.Init != nil {
+		t.Fatalf("Init = %v for unallocatable agents, want nil", cfg.Init)
+	}
+}

@@ -88,6 +88,37 @@ func optAgentsRaw(agents []core.Agent) []opt.Agent {
 	return out
 }
 
+// normalizationOffsets computes, per agent, the log of its utility at full
+// capacity up to the shared α₀ term: Σ_r α_r·log C_r. Subtracting the
+// offset turns a log-utility into the normalized log U_i = log u_i(x) −
+// log u_i(C) the egalitarian objectives maximize the minimum of.
+func normalizationOffsets(raw []opt.Agent, cap []float64) []float64 {
+	offsets := make([]float64, len(raw))
+	for i := range raw {
+		var s float64
+		for r, a := range raw[i].Alpha {
+			if a > 0 {
+				s += a * logOf(cap[r])
+			}
+		}
+		offsets[i] = s
+	}
+	return offsets
+}
+
+// warmStartConfig seeds an iterative solver's initial iterate with the REF
+// allocation when the caller supplied none: REF is provably feasible for
+// SI ∧ EF, so the penalty method's tracked best starts inside the feasible
+// region (and never ends worse than a fair allocation).
+func warmStartConfig(cfg opt.Config, agents []core.Agent, cap []float64) opt.Config {
+	if cfg.Init == nil {
+		if ref, err := core.Allocate(agents, cap); err == nil {
+			cfg.Init = ref.X
+		}
+	}
+	return cfg
+}
+
 // ProportionalElasticity is the REF mechanism (Equation 13).
 type ProportionalElasticity struct{}
 
@@ -176,15 +207,7 @@ func (m MaxWelfareFair) Allocate(agents []core.Agent, cap []float64) (opt.Alloc,
 	// stated over the raw elasticities.
 	raw := optAgentsRaw(agents)
 	cons := append(opt.SIConstraints(raw, cap), opt.EFConstraints(raw, len(cap))...)
-	cfg := m.Config
-	if cfg.Init == nil {
-		// The REF allocation is provably feasible for SI ∧ EF; warm-start
-		// the penalty method from it so the tracked best iterate starts
-		// inside the feasible region.
-		if ref, err := core.Allocate(agents, cap); err == nil {
-			cfg.Init = ref.X
-		}
-	}
+	cfg := warmStartConfig(m.Config, agents, cap)
 	x, _, err := opt.MaximizeNashWelfare(raw, nil, cap, cons, cfg)
 	if err != nil {
 		return x, fmt.Errorf("%w: %v", ErrMechanism, err)
@@ -211,16 +234,7 @@ func (m EqualSlowdown) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, 
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
 	raw := optAgentsRaw(agents)
-	offsets := make([]float64, len(agents))
-	for i := range raw {
-		var s float64
-		for r, a := range raw[i].Alpha {
-			if a > 0 {
-				s += a * logOf(cap[r])
-			}
-		}
-		offsets[i] = s
-	}
+	offsets := normalizationOffsets(raw, cap)
 	x, _, err := opt.MaximizeEgalitarian(raw, offsets, cap, nil, m.Config)
 	if err != nil {
 		return x, fmt.Errorf("%w: %v", ErrMechanism, err)
@@ -249,25 +263,9 @@ func (m EgalitarianFair) Allocate(agents []core.Agent, cap []float64) (opt.Alloc
 		return nil, fmt.Errorf("%w: no agents", ErrMechanism)
 	}
 	raw := optAgentsRaw(agents)
-	offsets := make([]float64, len(agents))
-	for i := range raw {
-		var s float64
-		for r, a := range raw[i].Alpha {
-			if a > 0 {
-				s += a * logOf(cap[r])
-			}
-		}
-		offsets[i] = s
-	}
+	offsets := normalizationOffsets(raw, cap)
 	cons := append(opt.SIConstraints(raw, cap), opt.EFConstraints(raw, len(cap))...)
-	cfg := m.Config
-	if cfg.Init == nil {
-		// REF is feasible for SI ∧ EF; warm-start there so the penalty
-		// method's best iterate is never worse than a fair allocation.
-		if ref, err := core.Allocate(agents, cap); err == nil {
-			cfg.Init = ref.X
-		}
-	}
+	cfg := warmStartConfig(m.Config, agents, cap)
 	x, _, err := opt.MaximizeEgalitarian(raw, offsets, cap, cons, cfg)
 	if err != nil {
 		return x, fmt.Errorf("%w: %v", ErrMechanism, err)

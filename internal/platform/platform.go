@@ -1,0 +1,101 @@
+// Package platform models the simulated machine as a set of allocatable
+// resource dimensions instead of a hardwired (cache, bandwidth) pair. The
+// REF paper's theory (§3) is stated over an arbitrary number of resources
+// R; this package makes the repo's simulation and profiling pipeline match
+// that generality:
+//
+//   - Platform bundles the Table 1 component configurations (moved here
+//     from internal/sim so the spec layer can construct machines without
+//     an import cycle; sim re-exports an alias).
+//   - ResourceDim names one allocatable resource — its unit, total
+//     capacity, profiling ladder, and the hook that applies an allocated
+//     share to the timing model.
+//   - Spec is an ordered list of dims plus an optional performance metric;
+//     it generates the cartesian profiling grid, builds the machine for
+//     any allocation vector, and hashes canonically for memoization.
+//
+// Default() reproduces the paper's two-resource case study bit for bit;
+// ThreeResource() adds a core-frequency compute dim so R=3 is a real,
+// simulated economy rather than a hand-written example.
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"ref/internal/cache"
+	"ref/internal/cpu"
+	"ref/internal/dram"
+)
+
+// ErrBadPlatform reports invalid platform parameters. The message keeps the
+// historical "sim:" prefix: the error predates this package and is matched
+// by value (errors.Is) through the sim.ErrBadPlatform alias, and every
+// message that ever reached a user spelled it this way.
+var ErrBadPlatform = errors.New("sim: bad platform")
+
+// Platform bundles the component configurations of Table 1.
+type Platform struct {
+	L1   cache.Config
+	LLC  cache.Config
+	DRAM dram.Config
+	Core cpu.Config
+	// Prefetch enables a next-line prefetcher at the LLC: each demand
+	// miss also fetches the following block in the background, consuming
+	// bandwidth to convert future misses into LLC hits. Table 1 does not
+	// specify a prefetcher, so the default platform leaves it off; the
+	// prefetcher ablation benchmark measures how it shifts fitted
+	// elasticities.
+	Prefetch bool
+}
+
+// DefaultPlatform returns Table 1's platform at one grid point: 3 GHz
+// 4-wide OOO core, 32 KB 4-way L1 (2-cycle), 8-way LLC of the given size
+// (20-cycle), single-channel closed-page DRAM at the given bandwidth.
+func DefaultPlatform(llcBytes int, bandwidthGBps float64) Platform {
+	return Platform{
+		L1:   cache.Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, HitLatency: 2},
+		LLC:  LLCGeometry(llcBytes),
+		DRAM: dram.DefaultConfig(bandwidthGBps),
+		Core: cpu.DefaultConfig(),
+	}
+}
+
+// Validate checks all components.
+func (p Platform) Validate() error {
+	if err := p.L1.Validate(); err != nil {
+		return fmt.Errorf("%w: L1: %v", ErrBadPlatform, err)
+	}
+	if err := p.LLC.Validate(); err != nil {
+		return fmt.Errorf("%w: LLC: %v", ErrBadPlatform, err)
+	}
+	if err := p.DRAM.Validate(); err != nil {
+		return fmt.Errorf("%w: DRAM: %v", ErrBadPlatform, err)
+	}
+	if err := p.Core.Validate(); err != nil {
+		return fmt.Errorf("%w: core: %v", ErrBadPlatform, err)
+	}
+	return nil
+}
+
+// LLCGeometry picks an associativity for the requested capacity: 8-way when
+// the set count comes out a power of two (all Table 1 sizes), otherwise the
+// largest power-of-two set count whose implied associativity stays in the
+// practical 4–16 range. This lets ablations sweep off-ladder capacities
+// such as 192 KB (→ 6-way) without bending the cache model's indexing.
+func LLCGeometry(sizeBytes int) cache.Config {
+	cfg := cache.Config{SizeBytes: sizeBytes, Ways: 8, BlockBytes: 64, HitLatency: 20}
+	if cfg.Validate() == nil {
+		return cfg
+	}
+	blocks := sizeBytes / cfg.BlockBytes
+	for sets := 1; sets <= blocks; sets <<= 1 {
+		if blocks%sets != 0 {
+			break
+		}
+		if ways := blocks / sets; ways >= 4 && ways <= 16 {
+			cfg.Ways = ways
+		}
+	}
+	return cfg
+}

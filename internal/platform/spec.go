@@ -1,0 +1,445 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReferenceClockGHz is the Table 1 core frequency every performance metric
+// is normalized against. The compute dim sweeps the clock around this
+// value; at exactly ReferenceClockGHz the three-resource performance
+// metric coincides with plain IPC.
+const ReferenceClockGHz = 3.0
+
+// Dim kind identifiers, used by the JSON spec encoding and ByKind.
+const (
+	KindBandwidth = "bandwidth"
+	KindCache     = "cache"
+	KindCompute   = "compute"
+)
+
+// ResourceDim is one allocatable resource dimension: its identity, total
+// capacity, profiling ladder, and the hook that applies an allocated share
+// to the timing model.
+type ResourceDim struct {
+	// Kind identifies the timing-model hook ("bandwidth", "cache",
+	// "compute"); it survives JSON round trips where Apply cannot.
+	Kind string
+	// Name is the dimension's identity in profiles, tables, and lookups
+	// (e.g. "bandwidth"); unique within a Spec.
+	Name string
+	// Unit is the human-readable unit ("GB/s", "MB", "GHz").
+	Unit string
+	// Format is the fmt verb tables print allocation values with
+	// (e.g. "%4.1f"); empty means "%g".
+	Format string
+	// Capacity is the total allocatable amount, in Unit.
+	Capacity float64
+	// Levels is the profiling ladder, ascending, in Unit.
+	Levels []float64
+	// Apply configures the platform for an allocation of x Unit of this
+	// dimension. Hooks mutate only their own component fields, so dims
+	// compose in any order.
+	Apply func(p *Platform, x float64) error
+}
+
+// fmtVerb returns the dim's printing verb.
+func (d ResourceDim) fmtVerb() string {
+	if d.Format == "" {
+		return "%g"
+	}
+	return d.Format
+}
+
+// FormatValue renders one allocation value with the dim's verb and unit,
+// e.g. " 6.4 GB/s".
+func (d ResourceDim) FormatValue(x float64) string {
+	return fmt.Sprintf(d.fmtVerb()+" %s", x, d.Unit)
+}
+
+// Spec is an ordered set of resource dimensions plus the performance
+// metric profiled over them. The dim order fixes the allocation-vector
+// convention everywhere downstream: profiles, fitted elasticities,
+// capacity vectors, and allocation matrices all index resources in
+// Spec.Dims order.
+type Spec struct {
+	// Name labels the spec in hashes and reports (e.g. "cache+bandwidth").
+	Name string
+	// Dims are the resource dimensions, in allocation-vector order.
+	Dims []ResourceDim
+	// Perf maps a run's IPC and the allocation that produced it to the
+	// profiled performance metric. Nil means IPC itself (the 2-resource
+	// convention, where the clock is pinned at ReferenceClockGHz).
+	Perf func(ipc float64, alloc []float64) float64
+}
+
+// NumResources returns R, the number of dimensions.
+func (s Spec) NumResources() int { return len(s.Dims) }
+
+// Names returns the dim names in order.
+func (s Spec) Names() []string {
+	out := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Capacities returns the per-dim total capacities in order.
+func (s Spec) Capacities() []float64 {
+	out := make([]float64, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = d.Capacity
+	}
+	return out
+}
+
+// DimIndex returns the index of the named dim, or -1.
+func (s Spec) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the spec is usable for sweeping and allocation.
+func (s Spec) Validate() error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("%w: spec has no dimensions", ErrBadPlatform)
+	}
+	seen := map[string]bool{}
+	for i, d := range s.Dims {
+		if d.Name == "" {
+			return fmt.Errorf("%w: dim %d has no name", ErrBadPlatform, i)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("%w: duplicate dim name %q", ErrBadPlatform, d.Name)
+		}
+		seen[d.Name] = true
+		if d.Apply == nil {
+			return fmt.Errorf("%w: dim %q has no Apply hook", ErrBadPlatform, d.Name)
+		}
+		if !(d.Capacity > 0) || math.IsInf(d.Capacity, 0) {
+			return fmt.Errorf("%w: dim %q capacity %v", ErrBadPlatform, d.Name, d.Capacity)
+		}
+		if len(d.Levels) == 0 {
+			return fmt.Errorf("%w: dim %q has no sweep levels", ErrBadPlatform, d.Name)
+		}
+		for j, l := range d.Levels {
+			if !(l > 0) || math.IsInf(l, 0) {
+				return fmt.Errorf("%w: dim %q level %d = %v", ErrBadPlatform, d.Name, j, l)
+			}
+			if j > 0 && l <= d.Levels[j-1] {
+				return fmt.Errorf("%w: dim %q levels not ascending at %d", ErrBadPlatform, d.Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// GridSize returns the number of points in the cartesian profiling grid.
+func (s Spec) GridSize() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= len(d.Levels)
+	}
+	return n
+}
+
+// GridPoint returns the i-th allocation vector of the cartesian grid in
+// row-major order with dim 0 outermost — for the default spec this is
+// exactly the historical bandwidth-major sample order.
+func (s Spec) GridPoint(i int) []float64 {
+	alloc := make([]float64, len(s.Dims))
+	for d := len(s.Dims) - 1; d >= 0; d-- {
+		levels := s.Dims[d].Levels
+		alloc[d] = levels[i%len(levels)]
+		i /= len(levels)
+	}
+	return alloc
+}
+
+// Machine builds the platform for one allocation vector by applying every
+// dim's hook to the base Table 1 machine.
+func (s Spec) Machine(alloc []float64) (Platform, error) {
+	if len(alloc) != len(s.Dims) {
+		return Platform{}, fmt.Errorf("%w: %d allocation entries for %d dims", ErrBadPlatform, len(alloc), len(s.Dims))
+	}
+	p := BasePlatform()
+	for d, dim := range s.Dims {
+		if dim.Apply == nil {
+			return Platform{}, fmt.Errorf("%w: dim %q has no Apply hook", ErrBadPlatform, dim.Name)
+		}
+		if err := dim.Apply(&p, alloc[d]); err != nil {
+			return Platform{}, fmt.Errorf("%w: dim %q at %v: %v", ErrBadPlatform, dim.Name, alloc[d], err)
+		}
+	}
+	return p, nil
+}
+
+// PerfOf maps a run's IPC at the given allocation to the spec's
+// performance metric.
+func (s Spec) PerfOf(ipc float64, alloc []float64) float64 {
+	if s.Perf == nil {
+		return ipc
+	}
+	return s.Perf(ipc, alloc)
+}
+
+// Key returns a canonical string identifying the spec for memoization:
+// name, then each dim's identity, capacity, and ladder with round-trip
+// float formatting. Two specs with equal keys profile and fit identically.
+func (s Spec) Key() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, d := range s.Dims {
+		b.WriteString("|")
+		b.WriteString(d.Kind)
+		b.WriteString(":")
+		b.WriteString(d.Name)
+		b.WriteString(":")
+		b.WriteString(d.Unit)
+		b.WriteString(":")
+		b.WriteString(strconv.FormatFloat(d.Capacity, 'g', -1, 64))
+		for _, l := range d.Levels {
+			b.WriteString(",")
+			b.WriteString(strconv.FormatFloat(l, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// BasePlatform returns the Table 1 machine every spec starts from: the
+// top of both default ladders at the reference clock. Dims overwrite the
+// components they own, so the base values only matter for dimensions a
+// spec does not allocate.
+func BasePlatform() Platform {
+	return DefaultPlatform(2<<20, 12.8)
+}
+
+// BandwidthDim is the memory-bandwidth resource: Table 1's GB/s ladder,
+// applied as the DRAM token-bucket's sustained rate.
+func BandwidthDim() ResourceDim {
+	return ResourceDim{
+		Kind:     KindBandwidth,
+		Name:     "bandwidth",
+		Unit:     "GB/s",
+		Format:   "%4.1f",
+		Capacity: 12.8,
+		Levels:   []float64{0.8, 1.6, 3.2, 6.4, 12.8},
+		Apply: func(p *Platform, x float64) error {
+			if !(x > 0) {
+				return fmt.Errorf("bandwidth %v GB/s must be positive", x)
+			}
+			p.DRAM.BandwidthGBps = x
+			return nil
+		},
+	}
+}
+
+// CacheDim is the LLC-capacity resource: Table 1's size ladder in MB,
+// applied as the LLC geometry. All Table 1 sizes are exact in MB (powers
+// of two), so MB→bytes round-trips bit for bit.
+func CacheDim() ResourceDim {
+	return ResourceDim{
+		Kind:     KindCache,
+		Name:     "cache",
+		Unit:     "MB",
+		Format:   "%5.3f",
+		Capacity: 2.0,
+		Levels:   []float64{0.125, 0.25, 0.5, 1, 2},
+		Apply: func(p *Platform, x float64) error {
+			if !(x > 0) {
+				return fmt.Errorf("cache %v MB must be positive", x)
+			}
+			p.LLC = LLCGeometry(int(x*(1<<20) + 0.5))
+			return nil
+		},
+	}
+}
+
+// ComputeDim is the core-frequency resource: the allocated share is the
+// core clock in GHz. Raising the clock shortens the core cycle, so fixed
+// DRAM nanosecond timings cost more cycles — memory-bound workloads see
+// diminishing returns exactly as Cobb-Douglas assumes, while compute-bound
+// workloads scale nearly linearly. Performance under a compute dim is
+// measured in reference-clock IPC (see ThreeResource), keeping the metric
+// comparable across grid points at different frequencies.
+func ComputeDim() ResourceDim {
+	return ResourceDim{
+		Kind:     KindCompute,
+		Name:     "compute",
+		Unit:     "GHz",
+		Format:   "%5.3f",
+		Capacity: ReferenceClockGHz,
+		Levels:   []float64{1.0, 1.5, 2.0, 3.0},
+		Apply: func(p *Platform, x float64) error {
+			if !(x > 0) {
+				return fmt.Errorf("compute %v GHz must be positive", x)
+			}
+			p.DRAM.CoreClockGHz = x
+			return nil
+		},
+	}
+}
+
+// Default returns the paper's two-resource case study: bandwidth × cache,
+// in the historical (bandwidth GB/s, cache MB) allocation-vector order.
+// Sweeping it reproduces the legacy Table 1 grid bit for bit.
+func Default() Spec {
+	return Spec{Name: "cache+bandwidth", Dims: []ResourceDim{BandwidthDim(), CacheDim()}}
+}
+
+// ThreeResource returns the R=3 spec: bandwidth × cache × compute. The
+// performance metric is instructions per reference-clock cycle,
+// IPC · f/ReferenceClockGHz — instructions retired per wall-clock time,
+// normalized so it equals IPC at the reference clock.
+func ThreeResource() Spec {
+	dims := []ResourceDim{BandwidthDim(), CacheDim(), ComputeDim()}
+	computeIdx := len(dims) - 1
+	return Spec{
+		Name: "cache+bandwidth+compute",
+		Dims: dims,
+		Perf: func(ipc float64, alloc []float64) float64 {
+			return ipc * alloc[computeIdx] / ReferenceClockGHz
+		},
+	}
+}
+
+// ByResources maps a resource count to a standard spec: 2 → Default,
+// 3 → ThreeResource.
+func ByResources(n int) (Spec, error) {
+	switch n {
+	case 2:
+		return Default(), nil
+	case 3:
+		return ThreeResource(), nil
+	default:
+		return Spec{}, fmt.Errorf("%w: no standard spec with %d resources (have 2, 3)", ErrBadPlatform, n)
+	}
+}
+
+// ByKind returns the standard dim of the given kind.
+func ByKind(kind string) (ResourceDim, error) {
+	switch kind {
+	case KindBandwidth:
+		return BandwidthDim(), nil
+	case KindCache:
+		return CacheDim(), nil
+	case KindCompute:
+		return ComputeDim(), nil
+	default:
+		return ResourceDim{}, fmt.Errorf("%w: unknown dim kind %q (have bandwidth, cache, compute)", ErrBadPlatform, kind)
+	}
+}
+
+// specJSON is the serialized spec form: Apply hooks cannot travel through
+// JSON, so each dim names its kind and may override the identity fields.
+type specJSON struct {
+	Name string    `json:"name,omitempty"`
+	Perf string    `json:"perf,omitempty"` // "ipc" or "reference-clock"
+	Dims []dimJSON `json:"dims"`
+}
+
+type dimJSON struct {
+	Kind     string    `json:"kind"`
+	Name     string    `json:"name,omitempty"`
+	Unit     string    `json:"unit,omitempty"`
+	Format   string    `json:"format,omitempty"`
+	Capacity float64   `json:"capacity,omitempty"`
+	Levels   []float64 `json:"levels,omitempty"`
+}
+
+// ParseSpec decodes a JSON platform spec. Each dim is a standard kind
+// (bandwidth, cache, compute) with optional overrides for name, unit,
+// capacity, and sweep levels, e.g.:
+//
+//	{"name": "big-box",
+//	 "dims": [
+//	   {"kind": "bandwidth", "capacity": 25.6},
+//	   {"kind": "cache", "levels": [0.25, 0.5, 1, 2, 4], "capacity": 4},
+//	   {"kind": "compute"}]}
+//
+// When any dim's kind is "compute" the reference-clock performance metric
+// is selected automatically (override with "perf": "ipc").
+func ParseSpec(data []byte) (Spec, error) {
+	var raw specJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Spec{}, fmt.Errorf("%w: spec JSON: %v", ErrBadPlatform, err)
+	}
+	if len(raw.Dims) == 0 {
+		return Spec{}, fmt.Errorf("%w: spec JSON has no dims", ErrBadPlatform)
+	}
+	s := Spec{Name: raw.Name, Dims: make([]ResourceDim, len(raw.Dims))}
+	computeIdx := -1
+	for i, dj := range raw.Dims {
+		d, err := ByKind(dj.Kind)
+		if err != nil {
+			return Spec{}, err
+		}
+		if dj.Name != "" {
+			d.Name = dj.Name
+		}
+		if dj.Unit != "" {
+			d.Unit = dj.Unit
+		}
+		if dj.Format != "" {
+			d.Format = dj.Format
+		}
+		if dj.Capacity != 0 {
+			d.Capacity = dj.Capacity
+		}
+		if len(dj.Levels) > 0 {
+			d.Levels = append([]float64(nil), dj.Levels...)
+		}
+		if dj.Kind == KindCompute && computeIdx < 0 {
+			computeIdx = i
+		}
+		s.Dims[i] = d
+	}
+	if s.Name == "" {
+		parts := make([]string, len(s.Dims))
+		for i, d := range s.Dims {
+			parts[i] = d.Name
+		}
+		s.Name = strings.Join(parts, "+")
+	}
+	switch raw.Perf {
+	case "", "reference-clock":
+		if computeIdx >= 0 {
+			idx := computeIdx
+			s.Perf = func(ipc float64, alloc []float64) float64 {
+				return ipc * alloc[idx] / ReferenceClockGHz
+			}
+		}
+		if raw.Perf != "" && computeIdx < 0 {
+			return Spec{}, fmt.Errorf("%w: perf \"reference-clock\" needs a compute dim", ErrBadPlatform)
+		}
+	case "ipc":
+		s.Perf = nil
+	default:
+		return Spec{}, fmt.Errorf("%w: unknown perf metric %q (have ipc, reference-clock)", ErrBadPlatform, raw.Perf)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ParseSpecArg resolves the CLI convention shared by refsim, refbench,
+// refserve, and refcheck: an explicit spec JSON (path contents) wins,
+// else a resource count (0 or 2 → the default 2-resource spec).
+func ParseSpecArg(specJSONBytes []byte, resources int) (Spec, error) {
+	if len(specJSONBytes) > 0 {
+		return ParseSpec(specJSONBytes)
+	}
+	if resources == 0 {
+		return Default(), nil
+	}
+	return ByResources(resources)
+}

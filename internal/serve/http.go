@@ -12,6 +12,7 @@ import (
 
 	"ref/internal/cobb"
 	"ref/internal/obs"
+	"ref/internal/platform"
 	"ref/internal/trace"
 	"ref/internal/workloads"
 )
@@ -147,27 +148,43 @@ func (s *Server) resolveJoin(req joinRequest) (WireAgent, cobb.Utility, *APIErro
 }
 
 // fitWorkload resolves a catalog workload name to a fitted Cobb-Douglas
-// utility via the memoized profiling sweep. refserve allocates the same
-// two resources the paper's case study does (cache capacity, memory
-// bandwidth), so profile joins require a two-resource capacity vector.
+// utility via the memoized profiling sweep, on whatever resource model the
+// server runs: the configured Spec when one was given, otherwise a spec
+// inferred from the capacity dimensionality (2 → the paper's
+// cache+bandwidth machine, 3 → the 3-resource machine). Two-resource
+// servers keep the historical whole-catalog sweep; other specs fit the one
+// joining workload, memoized per (spec, budget, workload).
 func (s *Server) fitWorkload(name string) (cobb.Utility, *APIError) {
 	if _, err := trace.Lookup(name); err != nil {
 		return cobb.Utility{}, &APIError{Code: CodeUnknownWorkload, Status: http.StatusNotFound,
 			Message: fmt.Sprintf("workload %q is not in the catalog", name)}
 	}
-	if len(s.cfg.Capacity) != 2 {
-		return cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
-			Message: fmt.Sprintf("workload profiles fit 2 resources (cache, bandwidth); server has %d", len(s.cfg.Capacity))}
+	spec := s.cfg.Spec
+	if len(spec.Dims) == 0 {
+		var err error
+		spec, err = platform.ByResources(len(s.cfg.Capacity))
+		if err != nil {
+			return cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+				Message: fmt.Sprintf("workload profiles need a platform spec; none is defined for %d resources", len(s.cfg.Capacity))}
+		}
 	}
-	fitted, err := workloads.FitAllParallel(s.cfg.ProfileAccesses, s.cfg.Parallelism)
+	if spec.Key() == platform.Default().Key() {
+		fitted, err := workloads.FitAllParallel(s.cfg.ProfileAccesses, s.cfg.Parallelism)
+		if err != nil {
+			return cobb.Utility{}, &APIError{Code: CodeProfileFailed, Status: http.StatusInternalServerError,
+				Message: fmt.Sprintf("profiling sweep failed: %v", err)}
+		}
+		f, ok := fitted[name]
+		if !ok {
+			return cobb.Utility{}, &APIError{Code: CodeUnknownWorkload, Status: http.StatusNotFound,
+				Message: fmt.Sprintf("workload %q is not in the catalog", name)}
+		}
+		return f.Fit.Utility, nil
+	}
+	f, err := workloads.FitWorkloadSpec(spec, name, s.cfg.ProfileAccesses, s.cfg.Parallelism)
 	if err != nil {
 		return cobb.Utility{}, &APIError{Code: CodeProfileFailed, Status: http.StatusInternalServerError,
 			Message: fmt.Sprintf("profiling sweep failed: %v", err)}
-	}
-	f, ok := fitted[name]
-	if !ok {
-		return cobb.Utility{}, &APIError{Code: CodeUnknownWorkload, Status: http.StatusNotFound,
-			Message: fmt.Sprintf("workload %q is not in the catalog", name)}
 	}
 	return f.Fit.Utility, nil
 }

@@ -41,6 +41,7 @@ import (
 	"ref/internal/fair"
 	"ref/internal/obs"
 	"ref/internal/par"
+	"ref/internal/platform"
 )
 
 // Metric names published on the installed obs registry.
@@ -90,6 +91,12 @@ type Config struct {
 	// elasticities (default 20000, the refbench default; the 28-workload
 	// sweep is memoized process-wide after the first such join).
 	ProfileAccesses int
+	// Spec selects the platform resource model used to profile and fit
+	// workload-profile joins. Empty infers a spec from the capacity
+	// dimensionality (2 → the paper's cache+bandwidth machine, 3 → the
+	// 3-resource machine); when set, its dimensionality must match
+	// Capacity, and an empty Capacity defaults to the spec's capacities.
+	Spec platform.Spec
 	// Clock drives the batching window and snapshot timestamps; nil
 	// selects the wall clock. Tests inject a FakeClock.
 	Clock Clock
@@ -97,6 +104,18 @@ type Config struct {
 
 // withDefaults validates Capacity and fills zero fields.
 func (c Config) withDefaults() (Config, error) {
+	if len(c.Spec.Dims) > 0 {
+		if err := c.Spec.Validate(); err != nil {
+			return c, fmt.Errorf("serve: %w", err)
+		}
+		if len(c.Capacity) == 0 {
+			c.Capacity = c.Spec.Capacities()
+		}
+		if len(c.Capacity) != c.Spec.NumResources() {
+			return c, fmt.Errorf("serve: %d capacities for the %d-resource spec %q",
+				len(c.Capacity), c.Spec.NumResources(), c.Spec.Name)
+		}
+	}
 	if len(c.Capacity) == 0 {
 		return c, errors.New("serve: config needs at least one resource capacity")
 	}

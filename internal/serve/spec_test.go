@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ref/internal/platform"
+)
+
+// A server configured with the 3-resource spec accepts workload-profile
+// joins: the catalog workload is profiled on the spec's grid, fitted to a
+// 3-dimensional utility, and allocated alongside raw-elasticity tenants.
+func TestThreeResourceCatalogJoin(t *testing.T) {
+	spec := platform.ThreeResource()
+	// Coarse profiling grid + small budget keep the sim work testable.
+	spec.Dims[0].Levels = []float64{1.6, 6.4, 12.8}
+	spec.Dims[1].Levels = []float64{0.25, 1, 2}
+	spec.Dims[2].Levels = []float64{1.5, 3}
+	_, ts := newTestServer(t, Config{Spec: spec, ProfileAccesses: 1000})
+
+	// Capacity was inferred from the spec.
+	body, _ := json.Marshal(map[string]any{"name": "tenant-a", "workload": "ferret"})
+	status, b, _ := do(t, http.MethodPost, ts.URL+"/v1/agents", body)
+	if status != http.StatusOK {
+		t.Fatalf("workload join: status %d: %s", status, b)
+	}
+	var ack JoinResponse
+	if err := json.Unmarshal(b, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ack.Agent.Elasticities); got != 3 {
+		t.Fatalf("fitted %d elasticities, want 3", got)
+	}
+	if got := len(ack.Allocation); got != 3 {
+		t.Fatalf("allocation has %d resources, want 3", got)
+	}
+
+	// A raw-elasticity tenant shares the machine; both rows stay within
+	// the spec's capacities and the audit holds.
+	join(t, ts.URL, "tenant-b", 0.2, 0.3, 0.5)
+	status, b, _ = do(t, http.MethodGet, ts.URL+"/v1/allocation", nil)
+	if status != http.StatusOK {
+		t.Fatalf("allocation: status %d: %s", status, b)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Agents) != 2 {
+		t.Fatalf("snapshot has %d agents, want 2", len(snap.Agents))
+	}
+	want := platform.ThreeResource().Capacities()
+	for r, c := range snap.Capacity {
+		if c != want[r] {
+			t.Fatalf("capacity[%d] = %v, want %v (inferred from spec)", r, c, want[r])
+		}
+	}
+	for r := range snap.Capacity {
+		var sum float64
+		for i := range snap.Allocation {
+			sum += snap.Allocation[i][r]
+		}
+		if sum > snap.Capacity[r]*(1+1e-9) {
+			t.Fatalf("resource %d oversubscribed: %v > %v", r, sum, snap.Capacity[r])
+		}
+	}
+	if snap.Fairness == nil || !snap.Fairness.SI || !snap.Fairness.EF || !snap.Fairness.PE {
+		t.Fatalf("fairness audit failed: %+v", snap.Fairness)
+	}
+}
+
+// Config validation: a spec whose dimensionality disagrees with an explicit
+// capacity vector is rejected; a 4-resource server without a spec rejects
+// workload joins but accepts raw elasticities.
+func TestSpecConfigValidation(t *testing.T) {
+	if _, err := New(Config{Spec: platform.ThreeResource(), Capacity: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched spec/capacity accepted")
+	}
+	bad := platform.ThreeResource()
+	bad.Dims[0].Levels = nil
+	if _, err := New(Config{Spec: bad}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+
+	_, ts := newTestServer(t, Config{Capacity: []float64{1, 2, 3, 4}})
+	body, _ := json.Marshal(map[string]any{"name": "u", "workload": "ferret"})
+	status, b, _ := do(t, http.MethodPost, ts.URL+"/v1/agents", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("4-resource workload join: status %d: %s", status, b)
+	}
+	var envelope ErrorResponse
+	if err := json.Unmarshal(b, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Err.Code != CodeInvalidAgent {
+		t.Fatalf("code = %s, want %s", envelope.Err.Code, CodeInvalidAgent)
+	}
+	join(t, ts.URL, "raw", 0.1, 0.2, 0.3, 0.4)
+}

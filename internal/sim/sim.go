@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 
 	"ref/internal/cache"
@@ -18,12 +17,14 @@ import (
 	"ref/internal/dram"
 	"ref/internal/fit"
 	"ref/internal/obs"
-	"ref/internal/par"
+	"ref/internal/platform"
 	"ref/internal/trace"
 )
 
-// ErrBadPlatform reports invalid platform parameters.
-var ErrBadPlatform = errors.New("sim: bad platform")
+// ErrBadPlatform reports invalid platform parameters. It is the same error
+// value as platform.ErrBadPlatform, so errors.Is matches across both
+// packages.
+var ErrBadPlatform = platform.ErrBadPlatform
 
 // LLCSizes is Table 1's L2 capacity ladder in bytes.
 var LLCSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
@@ -31,70 +32,17 @@ var LLCSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
 // Bandwidths is Table 1's DRAM bandwidth ladder in GB/s.
 var Bandwidths = []float64{0.8, 1.6, 3.2, 6.4, 12.8}
 
-// Platform bundles the component configurations of Table 1.
-type Platform struct {
-	L1   cache.Config
-	LLC  cache.Config
-	DRAM dram.Config
-	Core cpu.Config
-	// Prefetch enables a next-line prefetcher at the LLC: each demand
-	// miss also fetches the following block in the background, consuming
-	// bandwidth to convert future misses into LLC hits. Table 1 does not
-	// specify a prefetcher, so the default platform leaves it off; the
-	// prefetcher ablation benchmark measures how it shifts fitted
-	// elasticities.
-	Prefetch bool
-}
+// Platform bundles the component configurations of Table 1. It is an alias
+// for platform.Platform — the struct moved to internal/platform when the
+// machine became a set of generic resource dimensions (platform.Spec), and
+// the alias keeps every existing constructor and field reference working.
+type Platform = platform.Platform
 
 // DefaultPlatform returns Table 1's platform at one grid point: 3 GHz
 // 4-wide OOO core, 32 KB 4-way L1 (2-cycle), 8-way LLC of the given size
 // (20-cycle), single-channel closed-page DRAM at the given bandwidth.
 func DefaultPlatform(llcBytes int, bandwidthGBps float64) Platform {
-	return Platform{
-		L1:   cache.Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, HitLatency: 2},
-		LLC:  llcGeometry(llcBytes),
-		DRAM: dram.DefaultConfig(bandwidthGBps),
-		Core: cpu.DefaultConfig(),
-	}
-}
-
-// llcGeometry picks an associativity for the requested capacity: 8-way when
-// the set count comes out a power of two (all Table 1 sizes), otherwise the
-// largest power-of-two set count whose implied associativity stays in the
-// practical 4–16 range. This lets ablations sweep off-ladder capacities
-// such as 192 KB (→ 6-way) without bending the cache model's indexing.
-func llcGeometry(sizeBytes int) cache.Config {
-	cfg := cache.Config{SizeBytes: sizeBytes, Ways: 8, BlockBytes: 64, HitLatency: 20}
-	if cfg.Validate() == nil {
-		return cfg
-	}
-	blocks := sizeBytes / cfg.BlockBytes
-	for sets := 1; sets <= blocks; sets <<= 1 {
-		if blocks%sets != 0 {
-			break
-		}
-		if ways := blocks / sets; ways >= 4 && ways <= 16 {
-			cfg.Ways = ways
-		}
-	}
-	return cfg
-}
-
-// Validate checks all components.
-func (p Platform) Validate() error {
-	if err := p.L1.Validate(); err != nil {
-		return fmt.Errorf("%w: L1: %v", ErrBadPlatform, err)
-	}
-	if err := p.LLC.Validate(); err != nil {
-		return fmt.Errorf("%w: LLC: %v", ErrBadPlatform, err)
-	}
-	if err := p.DRAM.Validate(); err != nil {
-		return fmt.Errorf("%w: DRAM: %v", ErrBadPlatform, err)
-	}
-	if err := p.Core.Validate(); err != nil {
-		return fmt.Errorf("%w: core: %v", ErrBadPlatform, err)
-	}
-	return nil
+	return platform.DefaultPlatform(llcBytes, bandwidthGBps)
 }
 
 // hierarchy chains L1 → LLC → DRAM for one agent.
@@ -262,34 +210,29 @@ func SweepGrid(w trace.Config, nAccesses int, llcSizes []int, bandwidths []float
 }
 
 // SweepGridParallel runs the grid's independent platform simulations on a
-// bounded worker pool. Every grid point builds its own trace generator
-// from the workload's configured seed, so results are bit-identical to
-// serial execution (parallelism 1) regardless of scheduling; samples are
-// emitted in the same bandwidth-major order the serial loop produced.
+// bounded worker pool. It is the legacy two-axis entry point, now a thin
+// wrapper over SweepSpecParallel with the default (bandwidth, cache) spec
+// carrying the requested ladders: every grid point builds its own trace
+// generator from the workload's configured seed, so results are
+// bit-identical to serial execution (parallelism 1) regardless of
+// scheduling, and samples are emitted in the same bandwidth-major order
+// the original serial loop produced. The returned profile carries no dim
+// names, preserving the historical "resource0,resource1" CSV header.
 func SweepGridParallel(w trace.Config, nAccesses int, llcSizes []int, bandwidths []float64, parallelism int) (*fit.Profile, error) {
 	if len(llcSizes) == 0 || len(bandwidths) == 0 {
 		return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
 	}
-	defer obs.StartSpan("ref_sim_sweep").End()
-	results := make([]RunResult, len(bandwidths)*len(llcSizes))
-	err := par.ForEach(len(results), parallelism, func(i int) error {
-		bw := bandwidths[i/len(llcSizes)]
-		sz := llcSizes[i%len(llcSizes)]
-		res, err := Run(w, DefaultPlatform(sz, bw), nAccesses)
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
+	spec := platform.Default()
+	spec.Dims[0].Levels = append([]float64(nil), bandwidths...)
+	cacheMB := make([]float64, len(llcSizes))
+	for i, sz := range llcSizes {
+		cacheMB[i] = float64(sz) / (1 << 20) // exact: sizes are whole bytes, 2^20 is a power of two
+	}
+	spec.Dims[1].Levels = cacheMB
+	p, err := SweepSpecParallel(w, spec, nAccesses, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	p := &fit.Profile{}
-	for i, res := range results {
-		sz := llcSizes[i%len(llcSizes)]
-		cacheMB := float64(sz) / (1 << 20)
-		p.Add([]float64{bandwidths[i/len(llcSizes)], cacheMB}, res.IPC())
-	}
+	p.Names = nil
 	return p, nil
 }

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+
+	"ref/internal/cache"
+	"ref/internal/fit"
+	"ref/internal/obs"
+	"ref/internal/par"
+	"ref/internal/platform"
+	"ref/internal/trace"
+)
+
+// SweepSpec profiles a workload over a platform spec's full cartesian
+// grid (∏ len(dim.Levels) machines) on the default worker pool.
+func SweepSpec(w trace.Config, spec platform.Spec, nAccesses int) (*fit.Profile, error) {
+	return SweepSpecParallel(w, spec, nAccesses, 0)
+}
+
+// SweepSpecParallel runs the spec grid's independent platform simulations
+// on a bounded worker pool. Each grid point builds its machine through the
+// spec's dim hooks and its own trace generator from the workload's
+// configured seed, so results are bit-identical to serial execution at any
+// parallelism; samples land in row-major grid order (dim 0 outermost),
+// which for the default spec is exactly the historical bandwidth-major
+// order. The returned profile's allocation vectors follow spec dim order
+// and carry the spec's dim names.
+func SweepSpecParallel(w trace.Config, spec platform.Spec, nAccesses, parallelism int) (*fit.Profile, error) {
+	if len(spec.Dims) == 0 {
+		return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
+	}
+	for _, d := range spec.Dims {
+		if len(d.Levels) == 0 {
+			return nil, fmt.Errorf("%w: empty sweep grid", ErrBadPlatform)
+		}
+	}
+	defer obs.StartSpan("ref_sim_sweep").End()
+	results := make([]RunResult, spec.GridSize())
+	err := par.ForEach(len(results), parallelism, func(i int) error {
+		alloc := spec.GridPoint(i)
+		m, err := spec.Machine(alloc)
+		if err != nil {
+			return err
+		}
+		res, err := Run(w, m, nAccesses)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &fit.Profile{Names: spec.Names()}
+	for i, res := range results {
+		alloc := spec.GridPoint(i)
+		p.Add(alloc, spec.PerfOf(res.IPC(), alloc))
+	}
+	return p, nil
+}
+
+// CoRunSpec simulates N workloads sharing one machine under an enforced
+// N-dimensional allocation: alloc[i][r] is agent i's share of
+// spec.Dims[r], in that dim's unit. Enforcement follows §4.4 per dim kind:
+// cache shares become a way partition of the spec's total LLC, bandwidth
+// shares become dedicated token-bucket slices, and compute shares become
+// per-agent core clocks (DVFS). Because partitions isolate agents
+// completely, each agent's simulation is independent and they run
+// concurrently; results land in input order.
+func CoRunSpec(workloads []trace.Config, spec platform.Spec, alloc [][]float64, nAccesses, parallelism int) (*CoRunResult, error) {
+	n := len(workloads)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no workloads", ErrBadPlatform)
+	}
+	if len(alloc) != n {
+		return nil, fmt.Errorf("%w: %d allocations for %d workloads", ErrBadPlatform, len(alloc), n)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := spec.NumResources()
+	sums := make([]float64, r)
+	for i, a := range alloc {
+		if len(a) != r {
+			return nil, fmt.Errorf("%w: agent %d allocation has %d entries for %d dims", ErrBadPlatform, i, len(a), r)
+		}
+		for j, v := range a {
+			if v <= 0 {
+				return nil, fmt.Errorf("%w: agent %d %s share %v must be positive", ErrBadPlatform, i, spec.Dims[j].Name, v)
+			}
+			sums[j] += v
+		}
+	}
+	for j, d := range spec.Dims {
+		if sums[j] > d.Capacity*(1+1e-6) {
+			return nil, fmt.Errorf("%w: %s shares %.3g exceed capacity %.3g %s", ErrBadPlatform, d.Name, sums[j], d.Capacity, d.Unit)
+		}
+	}
+	machines := make([]Platform, n)
+	for i := range machines {
+		machines[i] = platform.BasePlatform()
+	}
+	for j, d := range spec.Dims {
+		if d.Kind == platform.KindCache {
+			// Capacity shares need collective enforcement: convert byte
+			// shares into a way partition of the spec's total LLC, exactly
+			// as the legacy 2-resource co-run does.
+			totalLLC := platform.LLCGeometry(int(d.Capacity*(1<<20) + 0.5))
+			shares := make([]float64, n)
+			for i := range shares {
+				shares[i] = alloc[i][j] * (1 << 20)
+			}
+			ways, err := cache.WaysForShare(totalLLC, shares)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			sets := totalLLC.SizeBytes / (totalLLC.Ways * totalLLC.BlockBytes)
+			for i := range machines {
+				machines[i].LLC = cache.Config{
+					SizeBytes:  sets * ways[i] * totalLLC.BlockBytes,
+					Ways:       ways[i],
+					BlockBytes: totalLLC.BlockBytes,
+					HitLatency: totalLLC.HitLatency,
+				}
+			}
+			continue
+		}
+		for i := range machines {
+			if err := d.Apply(&machines[i], alloc[i][j]); err != nil {
+				return nil, fmt.Errorf("%w: agent %d dim %q: %v", ErrBadPlatform, i, d.Name, err)
+			}
+		}
+	}
+	defer obs.StartSpan("ref_sim_corun").End()
+	out := &CoRunResult{Agents: make([]RunResult, n)}
+	err := par.ForEach(n, parallelism, func(i int) error {
+		res, err := Run(workloads[i], machines[i], nAccesses)
+		if err != nil {
+			return fmt.Errorf("sim: agent %d (%s): %w", i, workloads[i].Name, err)
+		}
+		out.Agents[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"ref/internal/fit"
+	"ref/internal/obs"
+	"ref/internal/par"
+	"ref/internal/platform"
+	"ref/internal/sim"
+	"ref/internal/trace"
+)
+
+// defaultSpecKey identifies the paper's 2-resource spec, whose fits route
+// through the legacy integer-keyed memo so spec-aware and legacy callers
+// share one sweep.
+var defaultSpecKey = platform.Default().Key()
+
+// specKey canonicalizes a (spec, budget) pair for memoization.
+func specKey(spec platform.Spec, nAccesses int) string {
+	return spec.Key() + "|accesses=" + strconv.Itoa(nAccesses)
+}
+
+// specFitCache memoizes FitAllSpec per (spec hash, access budget); the
+// legacy 2-resource path keeps its own integer-keyed cache.
+var specFitCache sync.Map // string -> map[string]Fitted
+
+// specFitFlight deduplicates concurrent first callers per (spec, budget).
+var specFitFlight par.Flight[string, map[string]Fitted]
+
+// FitAllSpec sweeps every catalog workload over the spec's profiling grid,
+// fits Cobb-Douglas utilities over all R dimensions, and returns them
+// keyed by workload name. Results are memoized per (spec hash, budget);
+// the default 2-resource spec shares the legacy FitAll memo, so mixing
+// spec-aware and legacy callers never repeats a sweep.
+func FitAllSpec(spec platform.Spec, nAccesses, parallelism int) (map[string]Fitted, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Key() == defaultSpecKey {
+		return FitAllParallel(nAccesses, parallelism)
+	}
+	key := specKey(spec, nAccesses)
+	if v, ok := specFitCache.Load(key); ok {
+		obs.Inc("ref_fit_memo_hits_total")
+		return v.(map[string]Fitted), nil
+	}
+	return specFitFlight.Do(key, func() (map[string]Fitted, error) {
+		if v, ok := specFitCache.Load(key); ok {
+			obs.Inc("ref_fit_memo_hits_total")
+			return v.(map[string]Fitted), nil
+		}
+		out, err := FitAllSpecFresh(spec, nAccesses, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		specFitCache.Store(key, out)
+		return out, nil
+	})
+}
+
+// FitAllSpecFresh always recomputes the full spec sweep, bypassing memo
+// and singleflight — for benchmarks and determinism tests. Parallelism is
+// applied across catalog workloads (each inner grid sweep runs serially),
+// matching FitAllFresh's one-bounded-pool discipline.
+func FitAllSpecFresh(spec platform.Spec, nAccesses, parallelism int) (map[string]Fitted, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fitComputations.Add(1)
+	obs.Inc("ref_fit_fresh_sweeps_total")
+	defer obs.StartSpan("ref_fit_sweep").End()
+	catalog := trace.Catalog()
+	fitted := make([]Fitted, len(catalog))
+	err := par.ForEach(len(catalog), parallelism, func(i int) error {
+		f, err := fitOneSpec(spec, catalog[i], nAccesses, 1)
+		if err != nil {
+			return err
+		}
+		fitted[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Fitted, len(fitted))
+	for _, f := range fitted {
+		out[f.Workload.Config.Name] = f
+	}
+	return out, nil
+}
+
+// workloadFitCache memoizes single-workload spec fits, keyed by
+// (spec, budget, workload). FitWorkloadSpec is the serve catalog-join
+// path: joining one tenant must not pay a 28-workload sweep.
+var workloadFitCache sync.Map // string -> Fitted
+
+// workloadFitFlight deduplicates concurrent first joins of one workload.
+var workloadFitFlight par.Flight[string, Fitted]
+
+// FitWorkloadSpec profiles and fits a single catalog workload over the
+// spec's grid, memoized per (spec hash, budget, name). When FitAllSpec has
+// already populated the whole-catalog memo for this (spec, budget), the
+// fit is served from there.
+func FitWorkloadSpec(spec platform.Spec, name string, nAccesses, parallelism int) (Fitted, error) {
+	if err := spec.Validate(); err != nil {
+		return Fitted{}, err
+	}
+	w, err := trace.Lookup(name)
+	if err != nil {
+		return Fitted{}, fmt.Errorf("workloads: %w", err)
+	}
+	if all, ok := specFitCache.Load(specKey(spec, nAccesses)); ok {
+		if f, ok := all.(map[string]Fitted)[name]; ok {
+			obs.Inc("ref_fit_memo_hits_total")
+			return f, nil
+		}
+	}
+	key := specKey(spec, nAccesses) + "|workload=" + name
+	if v, ok := workloadFitCache.Load(key); ok {
+		obs.Inc("ref_fit_memo_hits_total")
+		return v.(Fitted), nil
+	}
+	return workloadFitFlight.Do(key, func() (Fitted, error) {
+		if v, ok := workloadFitCache.Load(key); ok {
+			obs.Inc("ref_fit_memo_hits_total")
+			return v.(Fitted), nil
+		}
+		f, err := fitOneSpec(spec, w, nAccesses, parallelism)
+		if err != nil {
+			return Fitted{}, err
+		}
+		workloadFitCache.Store(key, f)
+		return f, nil
+	})
+}
+
+// fitOneSpec sweeps one workload over the spec grid and fits it.
+func fitOneSpec(spec platform.Spec, w trace.Workload, nAccesses, parallelism int) (Fitted, error) {
+	prof, err := sim.SweepSpecParallel(w.Config, spec, nAccesses, parallelism)
+	if err != nil {
+		return Fitted{}, fmt.Errorf("workloads: sweep %s: %w", w.Config.Name, err)
+	}
+	res, err := fit.CobbDouglas(prof)
+	if err != nil {
+		return Fitted{}, fmt.Errorf("workloads: fit %s: %w", w.Config.Name, err)
+	}
+	if r := obs.Installed(); r != nil {
+		r.Counter("ref_fit_fits_total").Inc()
+		r.Histogram("ref_fit_rmsle").Observe(res.RMSLE)
+		r.Histogram("ref_fit_r2").Observe(res.R2)
+	}
+	return Fitted{Workload: w, Fit: res}, nil
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"ref/internal/platform"
+	"ref/internal/trace"
+)
+
+// The default spec must route through the legacy memo: spec-aware and
+// legacy callers at the same budget share one sweep and one result map.
+func TestFitAllSpecDefaultSharesLegacyMemo(t *testing.T) {
+	legacy, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fitComputations.Load()
+	viaSpec, err := FitAllSpec(platform.Default(), testAccesses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fitComputations.Load(); after != before {
+		t.Fatalf("default-spec fit recomputed the sweep (%d -> %d)", before, after)
+	}
+	if !reflect.DeepEqual(legacy, viaSpec) {
+		t.Fatal("default-spec fits diverged from legacy FitAll")
+	}
+}
+
+// A three-resource fit covers the catalog, labels every result with the
+// spec's dim names, and is memoized.
+func TestFitAllSpecThreeResource(t *testing.T) {
+	spec := platform.ThreeResource()
+	fitted, err := FitAllSpec(spec, testAccesses, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(fitted), len(trace.Catalog()); got != want {
+		t.Fatalf("fitted %d workloads, want %d", got, want)
+	}
+	wantNames := spec.Names()
+	for name, f := range fitted {
+		if !reflect.DeepEqual(f.Fit.Names, wantNames) {
+			t.Fatalf("%s: fit names %v, want %v", name, f.Fit.Names, wantNames)
+		}
+		if len(f.Fit.Utility.Alpha) != 3 {
+			t.Fatalf("%s: %d elasticities, want 3", name, len(f.Fit.Utility.Alpha))
+		}
+		if f.Fit.R2 < 0.5 {
+			t.Errorf("%s: R² = %.3f, implausibly low for a sim-backed fit", name, f.Fit.R2)
+		}
+	}
+	before := fitComputations.Load()
+	again, err := FitAllSpec(spec, testAccesses, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fitComputations.Load(); after != before {
+		t.Fatalf("memoized 3-resource fit recomputed (%d -> %d)", before, after)
+	}
+	if !reflect.DeepEqual(fitted, again) {
+		t.Fatal("memoized 3-resource fit returned a different map")
+	}
+}
+
+// FitWorkloadSpec serves single-workload joins from the whole-catalog memo
+// when available, and matches the catalog-wide fit exactly.
+func TestFitWorkloadSpecMatchesCatalogFit(t *testing.T) {
+	spec := platform.ThreeResource()
+	all, err := FitAllSpec(spec, testAccesses, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := trace.Catalog()[0].Config.Name
+	before := fitComputations.Load()
+	one, err := FitWorkloadSpec(spec, name, testAccesses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fitComputations.Load(); after != before {
+		t.Fatalf("single-workload join triggered a catalog sweep (%d -> %d)", before, after)
+	}
+	if !reflect.DeepEqual(one, all[name]) {
+		t.Fatalf("FitWorkloadSpec(%s) diverged from FitAllSpec result", name)
+	}
+	if _, err := FitWorkloadSpec(spec, "no-such-workload", testAccesses, 1); err == nil {
+		t.Fatal("unknown workload: expected error")
+	}
+}
+
+// FittedClass's name-based lookup must agree with the historical positional
+// rule on the legacy 2-resource fits.
+func TestFittedClassNameLookupMatchesLegacy(t *testing.T) {
+	fitted, err := FitAll(testAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range fitted {
+		r := f.Fit.Utility.Rescaled()
+		legacy := trace.ClassM
+		if r.Alpha[1] > 0.5 {
+			legacy = trace.ClassC
+		}
+		if got := f.FittedClass(); got != legacy {
+			t.Errorf("%s: FittedClass() = %v, legacy rule says %v", name, got, legacy)
+		}
+	}
+}
+
+func TestFitAllSpecRejectsInvalidSpec(t *testing.T) {
+	if _, err := FitAllSpec(platform.Spec{}, testAccesses, 1); err == nil {
+		t.Fatal("empty spec: expected error")
+	}
+	if _, err := FitWorkloadSpec(platform.Spec{}, "x", testAccesses, 1); err == nil {
+		t.Fatal("empty spec: expected error")
+	}
+}

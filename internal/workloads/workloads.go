@@ -119,10 +119,22 @@ type Fitted struct {
 	Fit      *fit.Result
 }
 
-// FittedClass classifies by the fitted, rescaled cache elasticity.
+// FittedClass classifies by the fitted, rescaled cache elasticity: a
+// workload is cache-sensitive when its cache elasticity exceeds its
+// bandwidth elasticity. Dimensions are resolved by name when the fit is
+// labeled; unlabeled (legacy 2-resource) fits use the historical
+// (bandwidth, cache) positions, for which the comparison is identical
+// because rescaled elasticities sum to 1.
 func (f Fitted) FittedClass() trace.Class {
 	r := f.Fit.Utility.Rescaled()
-	if r.Alpha[1] > 0.5 {
+	cacheIdx, bwIdx := 1, 0
+	if i := f.Fit.DimIndex("cache"); i >= 0 {
+		cacheIdx = i
+	}
+	if i := f.Fit.DimIndex("bandwidth"); i >= 0 {
+		bwIdx = i
+	}
+	if r.Alpha[cacheIdx] > r.Alpha[bwIdx] {
 		return trace.ClassC
 	}
 	return trace.ClassM

@@ -1,0 +1,76 @@
+package ref
+
+import (
+	"io"
+
+	"ref/internal/exp"
+	"ref/internal/platform"
+	"ref/internal/sim"
+	"ref/internal/workloads"
+)
+
+// PlatformSpec describes an N-resource platform as an ordered list of
+// resource dimensions, each with a name, unit, capacity, and profiling
+// ladder. The zero value is invalid; use DefaultSpec, ThreeResourceSpec,
+// SpecByResources, or ParsePlatformSpec to construct one.
+type PlatformSpec = platform.Spec
+
+// PlatformDim is one resource dimension of a PlatformSpec.
+type PlatformDim = platform.ResourceDim
+
+// DefaultSpec returns the paper's 2-resource platform (memory bandwidth ×
+// LLC capacity) with Table 1's ladders. Every legacy 2-resource API is
+// equivalent to the spec-aware one at this spec.
+func DefaultSpec() PlatformSpec { return platform.Default() }
+
+// ThreeResourceSpec returns the 3-resource demonstration platform:
+// bandwidth × cache × core frequency.
+func ThreeResourceSpec() PlatformSpec { return platform.ThreeResource() }
+
+// SpecByResources returns the standard spec with n resources (2 or 3).
+func SpecByResources(n int) (PlatformSpec, error) { return platform.ByResources(n) }
+
+// ParsePlatformSpec builds a spec from its JSON description — dims with
+// name/unit/capacity/levels and an optional kind selecting the simulator
+// hook ("bandwidth", "cache", "compute", or "abstract").
+func ParsePlatformSpec(data []byte) (PlatformSpec, error) { return platform.ParseSpec(data) }
+
+// ResolveSpecArg resolves the CLI flag pair (-spec JSON, -resources N)
+// into a spec: JSON wins when present, then a standard N-resource spec,
+// then the 2-resource default.
+func ResolveSpecArg(specJSON []byte, resources int) (PlatformSpec, error) {
+	return platform.ParseSpecArg(specJSON, resources)
+}
+
+// SweepWorkloadSpec profiles a workload over a spec's full grid, returning
+// a dim-labeled profile whose allocations are in spec order. At
+// DefaultSpec it produces exactly SweepWorkloadParallel's samples.
+func SweepWorkloadSpec(w WorkloadConfig, spec PlatformSpec, nAccesses, parallelism int) (*Profile, error) {
+	return sim.SweepSpecParallel(w, spec, nAccesses, parallelism)
+}
+
+// FitAllWorkloadsSpec sweeps and fits every catalog workload on a spec's
+// grid (memoized per spec and access budget). At DefaultSpec it shares the
+// legacy FitAllWorkloads memo.
+func FitAllWorkloadsSpec(spec PlatformSpec, nAccesses, parallelism int) (map[string]FittedWorkload, error) {
+	return workloads.FitAllSpec(spec, nAccesses, parallelism)
+}
+
+// FitWorkloadSpec sweeps and fits a single catalog workload on a spec's
+// grid, memoized per (spec, budget, workload) and served from the
+// whole-catalog memo when one exists.
+func FitWorkloadSpec(spec PlatformSpec, name string, nAccesses, parallelism int) (FittedWorkload, error) {
+	return workloads.FitWorkloadSpec(spec, name, nAccesses, parallelism)
+}
+
+// RunExperimentSpec is RunExperimentParallel over an explicit platform
+// spec. Experiments that profile workloads (fig8, fig9, fig13, fig14,
+// nresource) run on the spec's grid; a zero spec selects the 2-resource
+// default and reproduces RunExperimentParallel byte for byte.
+func RunExperimentSpec(id string, spec PlatformSpec, accesses, parallelism int, out io.Writer) error {
+	e, err := exp.Lookup(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(exp.Config{Spec: spec, Accesses: accesses, Parallelism: parallelism, Out: out})
+}
