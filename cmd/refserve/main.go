@@ -167,6 +167,6 @@ func run(addr, capStr, specJSON string, resources int, window time.Duration, max
 		return drainErr
 	}
 	snap := srv.Current()
-	fmt.Printf("refserve: drained cleanly at epoch %d (%d agents)\n", snap.Epoch, len(snap.Agents))
+	fmt.Printf("refserve: drained cleanly at epoch %d (%d agents)\n", snap.Epoch, snap.NumAgents())
 	return nil
 }

@@ -404,6 +404,62 @@ func (drfMech) Allocate(agents []core.Agent, cap []float64) (opt.Alloc, error) {
 	return mech.DRFFromElasticities(agents, cap)
 }
 
+// IncrementalEq13 is the differential reference for the incremental epoch
+// engine: driving the economy through an IncrementalAllocator under a
+// deterministic churn sequence — join everyone, remove every third agent,
+// cross an exact-resummation boundary, re-add the removed, re-declare the
+// rest as no-ops — must land every agent's O(R) row within 1 ulp of the
+// mechanism's from-scratch allocation. Both sides maintain compensated
+// (faithfully rounded) per-resource sums, so they can disagree by at most
+// the final rounding.
+func IncrementalEq13() Oracle {
+	return Oracle{Name: "incremental-eq13-differential", Check: func(ec Economy, m mech.Mechanism, x opt.Alloc) []string {
+		inc, err := core.NewIncrementalAllocator(ec.Cap, core.IncrementalOptions{ResumEvery: 2})
+		if err != nil {
+			return []string{"incremental allocator error: " + err.Error()}
+		}
+		name := func(i int) string { return fmt.Sprintf("inc%04d", i) }
+		for i, a := range ec.Agents {
+			if err := inc.Upsert(name(i), a.Utility); err != nil {
+				return []string{fmt.Sprintf("join agent %d: %v", i, err)}
+			}
+		}
+		inc.EndEpoch()
+		// Churn: every third agent leaves, an epoch ends (crossing the
+		// ResumEvery=2 resummation boundary), then they rejoin and the
+		// others re-declare unchanged utilities.
+		for i := range ec.Agents {
+			if i%3 == 0 {
+				if err := inc.Remove(name(i)); err != nil {
+					return []string{fmt.Sprintf("leave agent %d: %v", i, err)}
+				}
+			}
+		}
+		inc.EndEpoch()
+		for i, a := range ec.Agents {
+			if err := inc.Upsert(name(i), a.Utility); err != nil {
+				return []string{fmt.Sprintf("re-declare agent %d: %v", i, err)}
+			}
+		}
+		inc.EndEpoch()
+
+		var out []string
+		row := make([]float64, len(ec.Cap))
+		for i := range ec.Agents {
+			if _, err := inc.Row(name(i), row); err != nil {
+				return []string{fmt.Sprintf("row of agent %d: %v", i, err)}
+			}
+			for r := range ec.Cap {
+				if d := core.UlpDiff(row[r], x[i][r]); d > 1 {
+					out = append(out, fmt.Sprintf("agent %d resource %d: incremental %v vs mechanism %v (%d ulps apart)",
+						i, r, row[r], x[i][r], d))
+				}
+			}
+		}
+		return out
+	}}
+}
+
 // NashOptimality is the differential reference for Equation 13's optimality
 // claim (the interior optimum of the Nash program): projected gradient
 // ascent warm-started at the closed form must not find a better feasible
@@ -518,6 +574,7 @@ func FastSubjects() []Subject {
 			EFOracle(tol),
 			PEOracle(tol),
 			CEEIOracle(),
+			IncrementalEq13(),
 			SPLGainBound(),
 			PermutationSymmetry(),
 			UnitRescaling(),

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+)
+
+// IncrementalAllocator maintains the Equation 13 allocation under
+// join/leave/update deltas in O(ΔN·R) per epoch instead of the O(N·R)
+// full recompute. The mechanism is proportional — agent i's share of
+// resource r is its rescaled elasticity over the sum of rescaled
+// elasticities — so the only global state an epoch needs is the
+// per-resource sum Σ_j α̂_jr, which the allocator keeps as a
+// Neumaier-compensated running sum (CompSum) updated by each delta.
+//
+// Numeric policy: compensated summation keeps the running sums within one
+// ulp of the exact sum under any realistic delta volume, and two triggers
+// force an exact O(N·R) resummation anyway — every ResumEvery epochs, and
+// whenever the absolute churn moved through a sum since the last
+// resummation exceeds DriftRatio times the live sum (the regime where
+// cancellation could let the compensation term's own rounding grow).
+// Between those, allocations agree with the full recompute (Allocate over
+// the same agents) to within 1 ulp; the differential tests assert it.
+//
+// The allocator is not safe for concurrent use; the serve layer shards
+// agent state and gives each shard its own sums.
+type IncrementalAllocator struct {
+	cap []float64
+
+	// Dense agent storage: removal swap-deletes, so iteration order is a
+	// deterministic function of the operation history (which keeps exact
+	// resummation deterministic too).
+	idx     map[string]int
+	names   []string
+	weights [][]float64
+
+	sums  []CompSum
+	churn []float64
+
+	epochsSinceResum int
+	resumEvery       int
+	driftRatio       float64
+	resums           int
+}
+
+// IncrementalOptions tunes the resummation policy. The zero value selects
+// the defaults.
+type IncrementalOptions struct {
+	// ResumEvery forces an exact resummation every K epochs (default 256).
+	ResumEvery int
+	// DriftRatio triggers an immediate exact resummation when the
+	// absolute churn through a resource's sum since the last resummation
+	// exceeds this multiple of the live sum (default 1e12 — compensated
+	// error is ~eps²·churn, so this keeps the bound near 1e-20 of the
+	// sum, orders of magnitude under one ulp).
+	DriftRatio float64
+}
+
+// NewIncrementalAllocator validates the capacity vector and returns an
+// empty allocator.
+func NewIncrementalAllocator(capacity []float64, opts IncrementalOptions) (*IncrementalAllocator, error) {
+	if len(capacity) == 0 {
+		return nil, fmt.Errorf("%w: no resources", ErrBadInput)
+	}
+	for r, c := range capacity {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: capacity[%d] = %v, must be positive and finite", ErrBadInput, r, c)
+		}
+	}
+	if opts.ResumEvery <= 0 {
+		opts.ResumEvery = 256
+	}
+	if opts.DriftRatio <= 0 {
+		opts.DriftRatio = 1e12
+	}
+	r := len(capacity)
+	return &IncrementalAllocator{
+		cap:        append([]float64(nil), capacity...),
+		idx:        make(map[string]int),
+		sums:       make([]CompSum, r),
+		churn:      make([]float64, r),
+		resumEvery: opts.ResumEvery,
+		driftRatio: opts.DriftRatio,
+	}, nil
+}
+
+// Len returns the number of agents.
+func (a *IncrementalAllocator) Len() int { return len(a.names) }
+
+// NumResources returns the resource dimensionality.
+func (a *IncrementalAllocator) NumResources() int { return len(a.cap) }
+
+// Capacity returns the capacity vector (not a copy; callers must not
+// mutate it).
+func (a *IncrementalAllocator) Capacity() []float64 { return a.cap }
+
+// Upsert joins a new agent or re-declares an existing one, applying the
+// O(R) weight delta to the running sums.
+func (a *IncrementalAllocator) Upsert(name string, u cobb.Utility) error {
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("%w: agent %s: %v", ErrBadInput, name, err)
+	}
+	if u.NumResources() != len(a.cap) {
+		return fmt.Errorf("%w: agent %s has %d resources, system has %d",
+			ErrBadInput, name, u.NumResources(), len(a.cap))
+	}
+	w := u.Rescaled().Alpha
+	if i, ok := a.idx[name]; ok {
+		ApplyWeightDelta(a.sums, a.churn, a.weights[i], w)
+		a.weights[i] = w
+		return nil
+	}
+	a.idx[name] = len(a.names)
+	a.names = append(a.names, name)
+	a.weights = append(a.weights, w)
+	ApplyWeightDelta(a.sums, a.churn, nil, w)
+	return nil
+}
+
+// Remove departs an agent, applying the O(R) weight delta.
+func (a *IncrementalAllocator) Remove(name string) error {
+	i, ok := a.idx[name]
+	if !ok {
+		return fmt.Errorf("%w: no agent named %q", ErrBadInput, name)
+	}
+	ApplyWeightDelta(a.sums, a.churn, a.weights[i], nil)
+	last := len(a.names) - 1
+	if i != last {
+		a.names[i] = a.names[last]
+		a.weights[i] = a.weights[last]
+		a.idx[a.names[i]] = i
+	}
+	a.names = a.names[:last]
+	a.weights = a.weights[:last]
+	delete(a.idx, name)
+	return nil
+}
+
+// EndEpoch closes one delta batch and applies the resummation policy:
+// exact resummation every ResumEvery epochs, or immediately when churn
+// has outrun the drift tolerance on any resource.
+func (a *IncrementalAllocator) EndEpoch() {
+	a.epochsSinceResum++
+	if a.epochsSinceResum >= a.resumEvery {
+		a.Resum()
+		return
+	}
+	for r := range a.sums {
+		if a.churn[r] > a.driftRatio*math.Max(math.Abs(a.sums[r].Value()), math.SmallestNonzeroFloat64) {
+			a.Resum()
+			return
+		}
+	}
+}
+
+// Resum recomputes every running sum exactly from the cached weights
+// (O(N·R)), resetting the churn accounting. Iteration over the dense
+// weight table keeps it deterministic.
+func (a *IncrementalAllocator) Resum() {
+	for r := range a.sums {
+		a.sums[r].Reset()
+		a.churn[r] = 0
+	}
+	for _, w := range a.weights {
+		for r := range a.sums {
+			a.sums[r].Add(w[r])
+		}
+	}
+	a.epochsSinceResum = 0
+	a.resums++
+}
+
+// Resums reports how many exact resummations have run (test hook for the
+// policy).
+func (a *IncrementalAllocator) Resums() int { return a.resums }
+
+// Sums rounds the running per-resource rescaled-elasticity sums into dst
+// (allocated when nil) and returns it.
+func (a *IncrementalAllocator) Sums(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a.sums))
+	}
+	for r := range a.sums {
+		dst[r] = a.sums[r].Value()
+	}
+	return dst
+}
+
+// RowFromSums computes one agent's Equation 13 allocation row from a
+// cached weight vector and rounded sums, matching opt.Proportional's
+// expression order exactly (including the equal-split fallback for a
+// resource no agent values). It is the single row formula every caller —
+// the allocator, the serve layer's point reads, and snapshot
+// materialization — shares, so their values cannot drift apart.
+func RowFromSums(dst, weight, sums, capacity []float64, n int) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(capacity))
+	}
+	for r := range capacity {
+		if sums[r] > 0 {
+			dst[r] = weight[r] / sums[r] * capacity[r]
+		} else {
+			dst[r] = capacity[r] / float64(n)
+		}
+	}
+	return dst
+}
+
+// Row computes one agent's current allocation row in O(R) into dst
+// (allocated when nil).
+func (a *IncrementalAllocator) Row(name string, dst []float64) ([]float64, error) {
+	i, ok := a.idx[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: no agent named %q", ErrBadInput, name)
+	}
+	sums := a.Sums(make([]float64, len(a.sums)))
+	return RowFromSums(dst, a.weights[i], sums, a.cap, len(a.names)), nil
+}
+
+// Weight returns the cached rescaled elasticity vector of one agent (not
+// a copy), or nil when absent.
+func (a *IncrementalAllocator) Weight(name string) []float64 {
+	if i, ok := a.idx[name]; ok {
+		return a.weights[i]
+	}
+	return nil
+}
+
+// Each visits every agent with its cached weight vector in the dense
+// (deterministic) iteration order.
+func (a *IncrementalAllocator) Each(fn func(name string, weight []float64)) {
+	for i, n := range a.names {
+		fn(n, a.weights[i])
+	}
+}

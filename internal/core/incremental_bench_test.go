@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ref/internal/cobb"
+)
+
+// deltaBatch is the small-delta epoch size the BENCH_PR6 comparison is
+// stated at: at most 64 mutations against economies up to a million
+// agents.
+const deltaBatch = 64
+
+// benchEconomy seeds an allocator (and the parallel full-recompute agent
+// slice) with n agents over r resources.
+func benchEconomy(b *testing.B, n, r int) (*IncrementalAllocator, []Agent, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	capacity := make([]float64, r)
+	for j := range capacity {
+		capacity[j] = 1 + rng.Float64()*100
+	}
+	a, err := NewIncrementalAllocator(capacity, IncrementalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents := make([]Agent, n)
+	for i := 0; i < n; i++ {
+		alpha := make([]float64, r)
+		for j := range alpha {
+			alpha[j] = rng.Float64() + 1e-3
+		}
+		u := cobb.MustNew(1, alpha...)
+		name := fmt.Sprintf("agent%07d", i)
+		agents[i] = Agent{Name: name, Utility: u}
+		if err := a.Upsert(name, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a, agents, capacity
+}
+
+var benchSizes = []int{1_000, 10_000, 100_000, 1_000_000}
+
+// BenchmarkEpochIncremental measures one small-delta epoch through the
+// incremental engine: deltaBatch updates applied in O(ΔN·R), EndEpoch
+// policy, and one O(R) row read. Cost must not scale with N.
+func BenchmarkEpochIncremental(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			a, agents, _ := benchEconomy(b, n, 2)
+			rng := rand.New(rand.NewSource(2))
+			row := make([]float64, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for d := 0; d < deltaBatch; d++ {
+					ag := agents[rng.Intn(n)]
+					if err := a.Upsert(ag.Name, ag.Utility); err != nil {
+						b.Fatal(err)
+					}
+				}
+				a.EndEpoch()
+				if _, err := a.Row(agents[0].Name, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEpochFull measures the same epoch as a from-scratch recompute:
+// Allocate over all N agents, the cost every epoch paid before this
+// engine existed.
+func BenchmarkEpochFull(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			_, agents, capacity := benchEconomy(b, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Allocate(agents, capacity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

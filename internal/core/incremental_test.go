@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ref/internal/cobb"
+)
+
+// maxUlps is the agreement bound the differential tests hold the
+// incremental engine to: every allocation entry within one ulp of the
+// full recompute.
+const maxUlps = 1
+
+// randUtility draws a utility whose elasticities span several magnitude
+// classes, including zeros (a resource the agent does not value).
+func randUtility(rng *rand.Rand, r int) cobb.Utility {
+	alpha := make([]float64, r)
+	positive := false
+	for j := range alpha {
+		switch rng.Intn(4) {
+		case 0:
+			alpha[j] = 0
+		case 1:
+			alpha[j] = rng.Float64()
+		case 2:
+			alpha[j] = rng.Float64() * 1e3
+		default:
+			alpha[j] = rng.Float64() * 1e-3
+		}
+		if alpha[j] > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		alpha[rng.Intn(r)] = rng.Float64() + 0.1
+	}
+	return cobb.MustNew(0.5+rng.Float64(), alpha...)
+}
+
+// fullRows recomputes the allocation from scratch with Allocate over the
+// allocator's current agents (in its deterministic iteration order) and
+// returns rows keyed by name.
+func fullRows(t *testing.T, a *IncrementalAllocator, utils map[string]cobb.Utility) map[string][]float64 {
+	t.Helper()
+	if a.Len() == 0 {
+		return nil
+	}
+	agents := make([]Agent, 0, a.Len())
+	a.Each(func(name string, _ []float64) {
+		agents = append(agents, Agent{Name: name, Utility: utils[name]})
+	})
+	alloc, err := Allocate(agents, a.Capacity())
+	if err != nil {
+		t.Fatalf("full recompute: %v", err)
+	}
+	out := make(map[string][]float64, len(agents))
+	for i, ag := range agents {
+		out[ag.Name] = alloc.X[i]
+	}
+	return out
+}
+
+// assertAgreement compares every agent's incremental row against the full
+// recompute at ulp resolution.
+func assertAgreement(t *testing.T, a *IncrementalAllocator, utils map[string]cobb.Utility, epoch int) {
+	t.Helper()
+	want := fullRows(t, a, utils)
+	for name, w := range want {
+		got, err := a.Row(name, nil)
+		if err != nil {
+			t.Fatalf("epoch %d: Row(%s): %v", epoch, name, err)
+		}
+		for r := range w {
+			if d := UlpDiff(got[r], w[r]); d > maxUlps {
+				t.Fatalf("epoch %d: agent %s resource %d: incremental %v vs full %v (%d ulps apart)",
+					epoch, name, r, got[r], w[r], d)
+			}
+		}
+	}
+}
+
+// TestIncrementalDifferential drives randomized join/leave/update
+// sequences through the incremental allocator and asserts agreement with
+// the full recompute within 1 ulp at every epoch, with ResumEvery forced
+// low so the sequence crosses many exact-resummation boundaries.
+func TestIncrementalDifferential(t *testing.T) {
+	for _, resources := range []int{2, 3, 5} {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("R=%d/seed=%d", resources, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(resources)))
+				capacity := make([]float64, resources)
+				for r := range capacity {
+					capacity[r] = 1 + rng.Float64()*100
+				}
+				a, err := NewIncrementalAllocator(capacity, IncrementalOptions{ResumEvery: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				utils := make(map[string]cobb.Utility)
+				live := []string{}
+				joined := 0
+				for epoch := 0; epoch < 60; epoch++ {
+					batch := 1 + rng.Intn(8)
+					for b := 0; b < batch; b++ {
+						switch op := rng.Intn(10); {
+						case op < 5 || len(live) == 0: // join
+							name := fmt.Sprintf("agent%04d", joined)
+							joined++
+							u := randUtility(rng, resources)
+							utils[name] = u
+							live = append(live, name)
+							if err := a.Upsert(name, u); err != nil {
+								t.Fatalf("join %s: %v", name, err)
+							}
+						case op < 8: // update
+							name := live[rng.Intn(len(live))]
+							u := randUtility(rng, resources)
+							utils[name] = u
+							if err := a.Upsert(name, u); err != nil {
+								t.Fatalf("update %s: %v", name, err)
+							}
+						default: // leave
+							i := rng.Intn(len(live))
+							name := live[i]
+							live = append(live[:i], live[i+1:]...)
+							delete(utils, name)
+							if err := a.Remove(name); err != nil {
+								t.Fatalf("leave %s: %v", name, err)
+							}
+						}
+					}
+					a.EndEpoch()
+					assertAgreement(t, a, utils, epoch)
+				}
+				if a.Resums() == 0 {
+					t.Fatalf("60 epochs at ResumEvery=7 never resummed")
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalLargeChurn pushes a bigger economy (N=512) through heavy
+// churn to exercise the compensated sums where naive running sums would
+// drift, still requiring 1-ulp agreement.
+func TestIncrementalLargeChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	capacity := []float64{24, 12, 3}
+	a, err := NewIncrementalAllocator(capacity, IncrementalOptions{ResumEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := make(map[string]cobb.Utility)
+	for i := 0; i < 512; i++ {
+		name := fmt.Sprintf("agent%04d", i)
+		utils[name] = randUtility(rng, 3)
+		if err := a.Upsert(name, utils[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 50 epochs of 64-agent update batches: ~6× the population churned
+	// through the sums without a single exact resummation.
+	for epoch := 0; epoch < 50; epoch++ {
+		for b := 0; b < 64; b++ {
+			name := fmt.Sprintf("agent%04d", rng.Intn(512))
+			utils[name] = randUtility(rng, 3)
+			if err := a.Upsert(name, utils[name]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.EndEpoch()
+	}
+	if a.Resums() != 0 {
+		t.Fatalf("drift policy fired on benign churn (%d resums)", a.Resums())
+	}
+	assertAgreement(t, a, utils, 50)
+}
+
+// TestIncrementalDriftTrigger proves the drift policy fires: with a tiny
+// DriftRatio any churn forces an exact resummation.
+func TestIncrementalDriftTrigger(t *testing.T) {
+	a, err := NewIncrementalAllocator([]float64{10, 10}, IncrementalOptions{ResumEvery: 1 << 30, DriftRatio: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Upsert("a", cobb.MustNew(1, 0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	a.EndEpoch()
+	if a.Resums() != 1 {
+		t.Fatalf("DriftRatio=1e-9 with churn did not trigger a resummation (resums=%d)", a.Resums())
+	}
+}
+
+// TestIncrementalErrors locks the error paths: invalid utilities, wrong
+// dimensionality, and removing an unknown agent are all refused without
+// corrupting the sums.
+func TestIncrementalErrors(t *testing.T) {
+	a, err := NewIncrementalAllocator([]float64{10, 10}, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Upsert("bad", cobb.Utility{Alpha0: 1, Alpha: []float64{-1, 1}}); err == nil {
+		t.Fatal("negative elasticity accepted")
+	}
+	if err := a.Upsert("bad", cobb.MustNew(1, 0.5, 0.5, 0.5)); err == nil {
+		t.Fatal("wrong dimensionality accepted")
+	}
+	if err := a.Remove("ghost"); err == nil {
+		t.Fatal("removing an unknown agent succeeded")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("failed mutations changed the agent count: %d", a.Len())
+	}
+	if _, err := NewIncrementalAllocator(nil, IncrementalOptions{}); err == nil {
+		t.Fatal("empty capacity accepted")
+	}
+	if _, err := NewIncrementalAllocator([]float64{-1}, IncrementalOptions{}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+// TestUlpDiff pins the ulp metric the differential tests are stated in.
+func TestUlpDiff(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want int64
+	}{
+		{1, 1, 0},
+		{1, math.Nextafter(1, 2), 1},
+		{1, math.Nextafter(math.Nextafter(1, 2), 2), 2},
+		{0, math.Copysign(0, -1), 0},
+		{-1, math.Nextafter(-1, -2), 1},
+	}
+	for _, c := range cases {
+		if got := UlpDiff(c.a, c.b); got != c.want {
+			t.Errorf("UlpDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if UlpDiff(math.NaN(), 1) != math.MaxInt64 {
+		t.Error("NaN must compare maximally distant")
+	}
+}
+
+// TestCompSumMerge checks that merging per-shard partial sums preserves
+// the compensation (the serve combiner depends on it).
+func TestCompSumMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 10000)
+	var exact float64 // accumulate in descending magnitude for a tight reference
+	for i := range vals {
+		vals[i] = rng.Float64() * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	var one CompSum
+	for _, v := range vals {
+		one.Add(v)
+	}
+	shards := make([]CompSum, 16)
+	for i, v := range vals {
+		shards[i%16].Add(v)
+	}
+	var merged CompSum
+	for i := range shards {
+		merged.Merge(shards[i])
+	}
+	if d := UlpDiff(one.Value(), merged.Value()); d > 1 {
+		t.Fatalf("merged shard sums %v vs direct sum %v: %d ulps apart", merged.Value(), one.Value(), d)
+	}
+	_ = exact
+}

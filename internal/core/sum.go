@@ -1,0 +1,97 @@
+package core
+
+import "math"
+
+// CompSum is a Neumaier-compensated running sum that supports removal.
+// The value is carried as an unevaluated pair hi+lo: every Add folds the
+// exact rounding error of the primary addition into the compensation term,
+// so the only error the accumulator itself introduces is the rounding of
+// the lo accumulation — bounded by eps² per operation relative to the
+// operand magnitude, which stays far below one ulp of the total across
+// billions of updates. Subtraction is addition of the negation, which
+// makes the sum maintainable under join/leave/update deltas instead of
+// recomputed from scratch.
+//
+// The zero value is an empty sum.
+type CompSum struct {
+	hi, lo float64
+}
+
+// Add folds v into the sum (TwoSum: t is the rounded sum, and the branch
+// recovers the exact residue, which cannot be lost because the smaller
+// operand fits in the slack of the larger).
+func (s *CompSum) Add(v float64) {
+	t := s.hi + v
+	if math.Abs(s.hi) >= math.Abs(v) {
+		s.lo += (s.hi - t) + v
+	} else {
+		s.lo += (v - t) + s.hi
+	}
+	s.hi = t
+}
+
+// Sub removes v from the sum.
+func (s *CompSum) Sub(v float64) { s.Add(-v) }
+
+// Merge folds another compensated sum into this one, preserving both
+// compensation terms. Combining per-shard partial sums in a fixed shard
+// order keeps the result deterministic.
+func (s *CompSum) Merge(o CompSum) {
+	s.Add(o.hi)
+	s.Add(o.lo)
+}
+
+// Value rounds the pair to a float64.
+func (s *CompSum) Value() float64 { return s.hi + s.lo }
+
+// Reset empties the sum.
+func (s *CompSum) Reset() { *s = CompSum{} }
+
+// ApplyWeightDelta applies one agent's weight change to per-resource
+// running sums in O(R): oldW is removed (nil for a join) and newW is added
+// (nil for a leave). When churn is non-nil it accumulates the absolute
+// magnitude moved through each sum — the quantity the drift-triggered
+// resummation policy compares against the live sum.
+func ApplyWeightDelta(sums []CompSum, churn []float64, oldW, newW []float64) {
+	for r := range sums {
+		if oldW != nil {
+			sums[r].Sub(oldW[r])
+			if churn != nil {
+				churn[r] += math.Abs(oldW[r])
+			}
+		}
+		if newW != nil {
+			sums[r].Add(newW[r])
+			if churn != nil {
+				churn[r] += math.Abs(newW[r])
+			}
+		}
+	}
+}
+
+// UlpDiff returns the distance between a and b in units of representable
+// float64 values (0 when bit-identical, 1 for adjacent floats). It treats
+// +0 and −0 as equal and returns math.MaxInt64 when either argument is
+// NaN. Tests use it to assert the incremental engine agrees with the full
+// recompute to the last bit or the bit next to it.
+func UlpDiff(a, b float64) int64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxInt64
+	}
+	// Map the floats onto a monotone integer line: negative floats are
+	// reflected so that ordering of the integers matches ordering of the
+	// floats.
+	ai := int64(math.Float64bits(a))
+	if ai < 0 {
+		ai = math.MinInt64 - ai
+	}
+	bi := int64(math.Float64bits(b))
+	if bi < 0 {
+		bi = math.MinInt64 - bi
+	}
+	d := ai - bi
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

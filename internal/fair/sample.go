@@ -1,0 +1,103 @@
+package fair
+
+import (
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+	"ref/internal/opt"
+)
+
+// Sampled audits: at millions of agents the exact EF audit is O(N²) and
+// even exact SI is a full O(N·R) pass, so the serve layer's epoch loop
+// audits a sample. The functions here take the *sampled* agents (their
+// utilities and allocation rows) together with whatever global facts the
+// property needs (total agent count for SI's equal split), and apply the
+// same tolerances as the exact audits. A sampled audit can only find
+// violations the exact audit would also find — every check it runs is a
+// subset of the exact audit's checks — and when the sample covers the
+// whole economy it degenerates to the exact audit; the cross-check tests
+// assert both.
+
+// SampledSharingIncentives audits SI over a sample: every sampled agent
+// must weakly prefer its bundle to the equal split C/totalN, where totalN
+// is the full economy's agent count (not the sample size — the outside
+// option does not shrink because we audit fewer agents). Violation.Agent
+// indexes into the sample.
+func SampledSharingIncentives(utils []cobb.Utility, cap []float64, x opt.Alloc, totalN int, tol Tolerance) (Result, error) {
+	if err := validate(utils, cap, x); err != nil {
+		return Result{}, err
+	}
+	if totalN < len(utils) {
+		return Result{}, fmt.Errorf("%w: total agent count %d below sample size %d", ErrBadInput, totalN, len(utils))
+	}
+	equal := make([]float64, len(cap))
+	for r, c := range cap {
+		equal[r] = c / float64(totalN)
+	}
+	res := Result{Satisfied: true}
+	for i, u := range utils {
+		own := u.Eval(x[i])
+		split := u.Eval(equal)
+		if own < split*(1-tol.Rel) {
+			res.Satisfied = false
+			res.Violations = append(res.Violations, Violation{
+				Property: "SI", Agent: i, Other: -1, Margin: split/math.Max(own, 1e-300) - 1,
+			})
+		}
+	}
+	recordCheck("SI", res.Satisfied)
+	return res, nil
+}
+
+// SampledEnvyFreeness audits EF over all ordered pairs within the sample
+// — O(K²) instead of O(N²). It is exactly EnvyFreeness restricted to the
+// sampled sub-economy, exported under this name so call sites state what
+// guarantee they are getting: envy between a sampled and an unsampled
+// agent is not checked.
+func SampledEnvyFreeness(utils []cobb.Utility, x opt.Alloc, tol Tolerance) (Result, error) {
+	return EnvyFreeness(utils, x, tol)
+}
+
+// Tangency audits only the MRS-agreement half of Pareto efficiency
+// (Equation 10) over the given agents, skipping the capacity-exhaustion
+// check — the sampled audit verifies exhaustion analytically from the
+// maintained weight sums, because a sample's rows never sum to the full
+// capacity.
+func Tangency(utils []cobb.Utility, x opt.Alloc, tol Tolerance) (Result, error) {
+	if err := validate(utils, nil, x); err != nil {
+		return Result{}, err
+	}
+	res := Result{Satisfied: true}
+	rN := 0
+	if len(utils) > 0 {
+		rN = utils[0].NumResources()
+	}
+	for r := 0; r < rN; r++ {
+		for s := r + 1; s < rN; s++ {
+			ref := math.NaN()
+			refAgent := -1
+			for i, u := range utils {
+				if u.Alpha[r] == 0 || u.Alpha[s] == 0 {
+					continue
+				}
+				if x[i][r] <= 0 || x[i][s] <= 0 {
+					continue
+				}
+				m := u.MRS(r, s, x[i])
+				if math.IsNaN(ref) {
+					ref, refAgent = m, i
+					continue
+				}
+				if math.Abs(m-ref) > tol.MRS*math.Max(math.Abs(ref), 1) {
+					res.Satisfied = false
+					res.Violations = append(res.Violations, Violation{
+						Property: "PE", Agent: i, Other: refAgent, Margin: math.Abs(m-ref) / math.Max(math.Abs(ref), 1e-300),
+					})
+				}
+			}
+		}
+	}
+	recordCheck("PE", res.Satisfied)
+	return res, nil
+}

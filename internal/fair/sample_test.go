@@ -1,0 +1,171 @@
+package fair
+
+import (
+	"math/rand"
+	"testing"
+
+	"ref/internal/cobb"
+	"ref/internal/opt"
+)
+
+// randEconomy draws n agents over r resources plus the Equation 13
+// allocation (proportional to rescaled elasticities).
+func randEconomy(rng *rand.Rand, n, r int) ([]cobb.Utility, []float64, opt.Alloc) {
+	capacity := make([]float64, r)
+	for j := range capacity {
+		capacity[j] = 1 + rng.Float64()*50
+	}
+	utils := make([]cobb.Utility, n)
+	weights := make([][]float64, n)
+	for i := range utils {
+		alpha := make([]float64, r)
+		for j := range alpha {
+			alpha[j] = rng.Float64() + 1e-3
+		}
+		utils[i] = cobb.MustNew(1, alpha...)
+		weights[i] = utils[i].Rescaled().Alpha
+	}
+	x, err := opt.Proportional(weights, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return utils, capacity, x
+}
+
+// TestSampledCoversExact: when the sample is the whole economy, the
+// sampled audits must agree with the exact audits bit for bit — on clean
+// REF allocations and on deliberately corrupted ones. This is the regime
+// the serve layer's exactness fallback relies on: a sampled audit that
+// covers everything can never pass where the exact audit fails.
+func TestSampledCoversExact(t *testing.T) {
+	tol := DefaultTolerance()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		r := 2 + rng.Intn(3)
+		utils, capacity, x := randEconomy(rng, n, r)
+
+		if trial%2 == 1 {
+			// Corrupt the allocation: steal most of a random agent's
+			// bundle and hand it to another, breaking SI/EF/tangency.
+			from, to := rng.Intn(n), rng.Intn(n)
+			for from == to {
+				to = rng.Intn(n)
+			}
+			for j := range x[from] {
+				x[to][j] += 0.9 * x[from][j]
+				x[from][j] *= 0.1
+			}
+		}
+
+		exactSI, err := SharingIncentives(utils, capacity, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampSI, err := SampledSharingIncentives(utils, capacity, x, n, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactSI.Satisfied != sampSI.Satisfied || len(exactSI.Violations) != len(sampSI.Violations) {
+			t.Fatalf("trial %d: full-coverage sampled SI diverged: exact %+v, sampled %+v", trial, exactSI, sampSI)
+		}
+
+		exactEF, err := EnvyFreeness(utils, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampEF, err := SampledEnvyFreeness(utils, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactEF.Satisfied != sampEF.Satisfied || len(exactEF.Violations) != len(sampEF.Violations) {
+			t.Fatalf("trial %d: full-coverage sampled EF diverged: exact %+v, sampled %+v", trial, exactEF, sampEF)
+		}
+
+		exactPE, err := ParetoEfficiency(utils, capacity, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tang, err := Tangency(utils, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tangency is PE minus the capacity check: a tangency violation
+		// must always be a PE violation.
+		if !tang.Satisfied && exactPE.Satisfied {
+			t.Fatalf("trial %d: tangency failed where exact PE passed", trial)
+		}
+	}
+}
+
+// TestSampledSubsetProperty: violations a strict sub-sample reports must
+// be a subset of what the exact audit reports — sampling can miss
+// violations but can never invent one.
+func TestSampledSubsetProperty(t *testing.T) {
+	tol := DefaultTolerance()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 8 + rng.Intn(24)
+		utils, capacity, x := randEconomy(rng, n, 3)
+		// Corrupt one agent so exact audits fail.
+		victim := rng.Intn(n)
+		for j := range x[victim] {
+			x[victim][j] *= 0.05
+		}
+
+		// Draw a strict sub-sample.
+		k := 2 + rng.Intn(n-2)
+		idx := rng.Perm(n)[:k]
+		sUtils := make([]cobb.Utility, k)
+		sRows := make(opt.Alloc, k)
+		for i, j := range idx {
+			sUtils[i] = utils[j]
+			sRows[i] = x[j]
+		}
+
+		sampSI, err := SampledSharingIncentives(sUtils, capacity, sRows, n, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSI, err := SharingIncentives(utils, capacity, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sampSI.Satisfied && exactSI.Satisfied {
+			t.Fatalf("trial %d: sampled SI found a violation exact SI did not", trial)
+		}
+		for _, v := range sampSI.Violations {
+			orig := idx[v.Agent]
+			found := false
+			for _, ev := range exactSI.Violations {
+				if ev.Agent == orig {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: sampled SI violation for agent %d absent from exact audit", trial, orig)
+			}
+		}
+
+		sampEF, err := SampledEnvyFreeness(sUtils, sRows, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactEF, err := EnvyFreeness(utils, x, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sampEF.Satisfied && exactEF.Satisfied {
+			t.Fatalf("trial %d: sampled EF found a violation exact EF did not", trial)
+		}
+	}
+}
+
+// TestSampledSIRejectsBadTotal locks the guard: totalN below the sample
+// size is a caller bug, not a smaller outside option.
+func TestSampledSIRejectsBadTotal(t *testing.T) {
+	utils, capacity, x := randEconomy(rand.New(rand.NewSource(1)), 4, 2)
+	if _, err := SampledSharingIncentives(utils, capacity, x, 3, DefaultTolerance()); err == nil {
+		t.Fatal("totalN < sample size accepted")
+	}
+}

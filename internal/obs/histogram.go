@@ -174,6 +174,45 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the cumulative
+// buckets by linear interpolation within the bucket that crosses the
+// target rank — the same estimate Prometheus's histogram_quantile gives.
+// The lowest bucket interpolates from 0, and a rank landing in the +Inf
+// bucket reports the observed Max (the bucket has no finite upper bound
+// to interpolate toward). With no samples Quantile returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var prevCum uint64
+	prevUB := 0.0
+	for _, b := range s.Buckets {
+		if float64(b.CumulativeCount) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return s.Max
+			}
+			in := float64(b.CumulativeCount - prevCum)
+			v := b.UpperBound
+			if in > 0 {
+				v = prevUB + (b.UpperBound-prevUB)*(rank-float64(prevCum))/in
+			}
+			// The estimate can overshoot what was actually observed
+			// (bucket bounds are coarser than samples); never report a
+			// quantile above the max.
+			return math.Min(v, s.Max)
+		}
+		prevCum, prevUB = b.CumulativeCount, b.UpperBound
+	}
+	return s.Max
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:   h.count.Load(),

@@ -94,3 +94,54 @@ func TestHistogramCumulativeConsistency(t *testing.T) {
 		t.Fatalf("min/max = %v/%v, want -7/1e10", s.Min, s.Max)
 	}
 }
+
+// TestHistogramQuantile pins the interpolated quantile estimate the
+// refload latency reports are built on.
+func TestHistogramQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+
+	// 100 samples in one bucket: the q-quantile interpolates linearly
+	// across it. Snapshots compact away the empty leading buckets, so the
+	// first rendered bucket's lower edge is 0.
+	r := NewRegistry()
+	h := r.Histogram("q")
+	for i := 1; i <= 100; i++ {
+		h.Observe(5e-6)
+	}
+	s := h.snapshot()
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		want := math.Min(1.6e-5*q, 5e-6) // clamped at the observed max
+		if got := s.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+
+	// A rank landing in the +Inf bucket reports the observed max.
+	h2 := r.Histogram("inf")
+	h2.Observe(1e12)
+	h2.Observe(1e-6)
+	if got := h2.snapshot().Quantile(0.99); got != 1e12 {
+		t.Fatalf("+Inf-bucket quantile = %v, want the max", got)
+	}
+
+	// Quantiles are monotone in q and clamped to [min-ish, max].
+	h3 := r.Histogram("mono")
+	for i := 0; i < 1000; i++ {
+		h3.Observe(float64(i) * 1e-5)
+	}
+	s3 := h3.snapshot()
+	prev := 0.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := s3.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if s3.Quantile(1) > s3.Max {
+		t.Fatalf("Quantile(1) = %v above max %v", s3.Quantile(1), s3.Max)
+	}
+}

@@ -145,10 +145,24 @@ func Proportional(weights [][]float64, cap []float64) (Alloc, error) {
 	}
 	out := NewAlloc(n, r)
 	for j := 0; j < r; j++ {
-		var sum float64
+		// Neumaier-compensated column sum: the weight sum is the only
+		// quantity Equation 13 shares across agents, and carrying its
+		// rounding error would skew every share. Compensation keeps the
+		// sum faithfully rounded at any agent count, which is also what
+		// lets the incremental engine (core.IncrementalAllocator) match
+		// this full recompute to within 1 ulp.
+		var sum, comp float64
 		for i := 0; i < n; i++ {
-			sum += weights[i][j]
+			v := weights[i][j]
+			t := sum + v
+			if math.Abs(sum) >= math.Abs(v) {
+				comp += (sum - t) + v
+			} else {
+				comp += (v - t) + sum
+			}
+			sum = t
 		}
+		sum += comp
 		for i := 0; i < n; i++ {
 			if sum > 0 {
 				out[i][j] = weights[i][j] / sum * cap[j]

@@ -1,5 +1,7 @@
 package serve
 
+import "sort"
+
 // Schema identifies the refserve JSON wire format. Every response body —
 // snapshots, mutation acks, and error envelopes — carries it so clients
 // can dispatch on breaking changes.
@@ -30,6 +32,14 @@ type Fairness struct {
 	PE bool `json:"pe"`
 	// Violations lists human-readable findings when any property fails.
 	Violations []string `json:"violations,omitempty"`
+	// Sampled reports that the audit ran over a sample (population above
+	// the exact-audit threshold) rather than the whole agent set. A
+	// sampled audit can only find violations the exact audit would also
+	// find, but may miss violations outside the sample.
+	Sampled bool `json:"sampled,omitempty"`
+	// SampleSize counts the agents the sampled audit covered this epoch
+	// (batch-touched agents plus the rotating window).
+	SampleSize int `json:"sample_size,omitempty"`
 }
 
 // Snapshot is one immutable allocation epoch: the agent set after a batch
@@ -47,10 +57,18 @@ type Snapshot struct {
 	// Capacity holds total capacity per resource.
 	Capacity []float64 `json:"capacity"`
 	// Agents is the current agent set, sorted by name so the snapshot is
-	// canonical regardless of intra-batch arrival order.
+	// canonical regardless of intra-batch arrival order. Nil when
+	// AgentsElided is set.
 	Agents []WireAgent `json:"agents"`
 	// Allocation is the agents × resources matrix, rows in Agents order.
+	// Nil when AgentsElided is set.
 	Allocation [][]float64 `json:"allocation"`
+	// AgentsElided reports that the population exceeded the inline
+	// threshold, so Agents and Allocation were omitted; read individual
+	// rows with GET /v1/allocation?agent=X or catch up with ?since=E.
+	AgentsElided bool `json:"agents_elided,omitempty"`
+	// AgentCount is the population size when AgentsElided is set.
+	AgentCount int `json:"agent_count,omitempty"`
 	// Fairness is the SI/EF/PE audit, nil for the empty agent set.
 	Fairness *Fairness `json:"fairness,omitempty"`
 	// BatchSize counts the mutations coalesced into this epoch.
@@ -65,7 +83,67 @@ type Snapshot struct {
 	EpochSeconds float64 `json:"epoch_seconds"`
 }
 
-// JoinResponse acknowledges a POST /v1/agents mutation.
+// NumAgents returns the population size whether or not the agent list
+// was materialized inline.
+func (s *Snapshot) NumAgents() int {
+	if s.AgentsElided {
+		return s.AgentCount
+	}
+	return len(s.Agents)
+}
+
+// AgentAllocationResponse is GET /v1/allocation?agent=X: one tenant's
+// current declaration and allocation row, answered in O(R) from the
+// incremental sums regardless of population size.
+type AgentAllocationResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the row is consistent with.
+	Epoch uint64 `json:"epoch"`
+	// Agent is the tenant's current declaration.
+	Agent WireAgent `json:"agent"`
+	// Allocation is the tenant's current row.
+	Allocation []float64 `json:"allocation"`
+}
+
+// DeltaChange is one changed tenant in a DeltaResponse.
+type DeltaChange struct {
+	// Agent is the tenant's declaration as of the response epoch.
+	Agent WireAgent `json:"agent"`
+	// Allocation is the tenant's current row.
+	Allocation []float64 `json:"allocation"`
+}
+
+// DeltaResponse is GET /v1/allocation?since=E: every agent whose
+// declaration changed, and every name that departed, across epochs
+// (since, epoch]. Each name is reported once by its final state in the
+// window; clients apply Left removals first, then Changes upserts. Note
+// that rows of *unchanged* agents also move when the population shifts —
+// a delta-following client tracks declarations exactly but should
+// recompute or re-read rows it needs precisely.
+type DeltaResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the delta is consistent with.
+	Epoch uint64 `json:"epoch"`
+	// Since echoes the request cursor.
+	Since uint64 `json:"since"`
+	// Complete reports whether the changelog still covered every epoch
+	// after Since; when false the client must fall back to a full read.
+	Complete bool `json:"complete"`
+	// Changes lists tenants that joined or re-declared, sorted by name.
+	Changes []DeltaChange `json:"changes,omitempty"`
+	// Left lists tenants that departed, sorted.
+	Left []string `json:"left,omitempty"`
+}
+
+// sortDeltaResponse orders Changes and Left by name so the delta wire
+// form is canonical regardless of iteration order.
+func sortDeltaResponse(d *DeltaResponse) {
+	sort.Slice(d.Changes, func(i, j int) bool { return d.Changes[i].Agent.Name < d.Changes[j].Agent.Name })
+	sort.Strings(d.Left)
+}
+
+// JoinResponse acknowledges a POST /v1/agents mutation (and, with the
+// updated declaration echoed, a PATCH /v1/agents/{name} re-declaration).
 type JoinResponse struct {
 	Schema string `json:"schema"`
 	// Epoch is the snapshot version the join was applied in.
@@ -126,6 +204,9 @@ const (
 	// CodeDeadline: the request deadline expired before its epoch was
 	// published. The mutation may still be applied by a later epoch.
 	CodeDeadline = "deadline_exceeded"
+	// CodeBadQuery: a query parameter (e.g. ?since=) failed to parse or
+	// conflicting parameters were combined.
+	CodeBadQuery = "bad_query"
 	// CodeNotFound: no such route.
 	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed: the route exists but not for this method.

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/par"
+)
+
+// auditExact runs the full §4 suite over the whole population — the
+// historical behavior, kept for populations up to AuditExactBelow where
+// the O(N²) envy audit is affordable every epoch. Rows are the published
+// ones (recomputed from the same sums the snapshot uses), so the audit
+// covers exactly what clients see. Callers hold stateMu.
+func (s *Server) auditExact(n int, sums []float64) *Fairness {
+	agents := make([]core.Agent, 0, n)
+	x := make([][]float64, 0, n)
+	s.table.forEachSorted(func(name string, e *agentEntry) {
+		agents = append(agents, core.Agent{Name: name, Utility: e.util})
+		x = append(x, core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n))
+	})
+	return auditParallel(agents, s.cfg.Capacity, x, s.cfg.Parallelism)
+}
+
+// auditSampled audits at scale in O(Δ + K) per epoch instead of O(N²):
+//
+//   - SI is checked from each audited agent's *cached* equal-split
+//     margin. In rescaled log space the margin of agent i is
+//
+//     Σ_r α̂_ir·log α̂_ir  +  log N  −  Σ_r α̂_ir·log S_r
+//
+//     (own Equation 13 bundle vs the equal split C/N; the capacities
+//     cancel). The first term is cached per agent at declaration time
+//     (agentEntry.siTerm), so per audited agent the check is an O(R)
+//     dot product against the log-sums — no utility evaluation, no
+//     exponentials. The margin is compared against the exact audit's
+//     relative tolerance mapped into rescaled log space, log1p(−tol)/s_i
+//     with s_i the agent's elasticity sum, so the two audits agree on
+//     pass/fail.
+//
+//   - EF and the MRS-tangency half of PE run over the audited sample
+//     through the same internal/fair code paths as the exact audit
+//     (fair.SampledEnvyFreeness, fair.Tangency). Capacity exhaustion —
+//     the other half of PE — holds analytically for Equation 13 rows
+//     (Σ_i α̂_ir/S_r·C_r = C_r), so it is not re-checked numerically.
+//
+// The audited set is every agent the current batch upserted (their
+// margins are the ones that can newly break) plus a rotating window of
+// AuditSample agents, so successive epochs sweep the entire population
+// every ~N/AuditSample epochs. Callers hold stateMu.
+func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness {
+	tol := fair.DefaultTolerance()
+	k := s.cfg.AuditSample
+	if k > n {
+		k = n
+	}
+	entries := make([]*agentEntry, 0, k+len(touched))
+	for _, name := range touched {
+		if e := s.table.get(name); e != nil {
+			entries = append(entries, e)
+		}
+	}
+	for i := 0; i < k; i++ {
+		entries = append(entries, s.table.entryAt((s.auditCursor+i)%n))
+	}
+	s.auditCursor = (s.auditCursor + k) % n
+
+	f := &Fairness{SI: true, EF: true, PE: true, Sampled: true, SampleSize: len(entries)}
+
+	if cap(s.logScratch) < len(sums) {
+		s.logScratch = make([]float64, len(sums))
+	}
+	logS := s.logScratch[:len(sums)]
+	for r, v := range sums {
+		if v > 0 {
+			logS[r] = math.Log(v)
+		} else {
+			logS[r] = 0
+		}
+	}
+	logN := math.Log(float64(n))
+	for i, e := range entries {
+		margin := e.siTerm + logN
+		for r, wr := range e.weight {
+			if wr > 0 {
+				margin -= wr * logS[r]
+			}
+		}
+		if margin < math.Log1p(-tol.Rel)/e.elastSum {
+			f.SI = false
+			f.Violations = append(f.Violations,
+				fmt.Sprintf("SI: sampled agent %d prefers the equal split (log margin %g)", i, margin))
+		}
+	}
+
+	// EF is O(K²) in its sample, so a huge batch (every touched agent is
+	// in `entries`) must not ride into it wholesale: bound the pairwise
+	// sample at 2·AuditSample — the first AuditSample touched agents plus
+	// the full rotating window. The SI loop above already covered every
+	// touched agent; it is O(R) per agent and needs no bound.
+	efEntries := entries
+	if limit := 2 * k; k > 0 && len(efEntries) > limit {
+		efEntries = make([]*agentEntry, 0, limit)
+		efEntries = append(efEntries, entries[:limit-k]...)
+		efEntries = append(efEntries, entries[len(entries)-k:]...)
+	}
+	utils := make([]cobb.Utility, len(efEntries))
+	rows := make([][]float64, len(efEntries))
+	for i, e := range efEntries {
+		utils[i] = e.util
+		rows[i] = core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n)
+	}
+	ef, err := fair.SampledEnvyFreeness(utils, rows, tol)
+	if err != nil {
+		f.EF = false
+		f.Violations = append(f.Violations, fmt.Sprintf("EF audit failed: %v", err))
+	} else {
+		f.EF = ef.Satisfied
+		for _, v := range ef.Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+	}
+	tang, err := fair.Tangency(utils, rows, tol)
+	if err != nil {
+		f.PE = false
+		f.Violations = append(f.Violations, fmt.Sprintf("PE audit failed: %v", err))
+	} else {
+		f.PE = tang.Satisfied
+		for _, v := range tang.Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+	}
+	return f
+}
+
+// auditParallel runs the three §4 property audits as independent jobs on
+// the internal/par pool — EF is O(n²) in agents and dominates for large
+// tenant counts, so the three properties fan out rather than serialize.
+func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, parallelism int) *Fairness {
+	utils := make([]cobb.Utility, len(agents))
+	for i, a := range agents {
+		utils[i] = a.Utility
+	}
+	tol := fair.DefaultTolerance()
+	results := make([]fair.Result, 3)
+	errs := make([]error, 3)
+	_ = par.ForEach(3, parallelism, func(i int) error {
+		switch i {
+		case 0:
+			results[i], errs[i] = fair.SharingIncentives(utils, capacity, x, tol)
+		case 1:
+			results[i], errs[i] = fair.EnvyFreeness(utils, x, tol)
+		case 2:
+			results[i], errs[i] = fair.ParetoEfficiency(utils, capacity, x, tol)
+		}
+		return nil
+	})
+	f := &Fairness{SI: results[0].Satisfied, EF: results[1].Satisfied, PE: results[2].Satisfied}
+	props := [3]string{"SI", "EF", "PE"}
+	for i, err := range errs {
+		if err != nil {
+			// An audit that cannot run is reported as a violation, never
+			// silently dropped.
+			f.Violations = append(f.Violations, fmt.Sprintf("%s audit failed: %v", props[i], err))
+			switch i {
+			case 0:
+				f.SI = false
+			case 1:
+				f.EF = false
+			case 2:
+				f.PE = false
+			}
+			continue
+		}
+		for _, v := range results[i].Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+	}
+	return f
+}

@@ -37,19 +37,32 @@ type joinRequest struct {
 	Workload string `json:"workload"`
 }
 
+// patchRequest is the PATCH /v1/agents/{name} body: a raw elasticity
+// re-declaration for an agent that must already exist.
+type patchRequest struct {
+	// Alpha0 is the utility scale constant; 0 means the default 1.
+	Alpha0 float64 `json:"alpha0"`
+	// Elasticities declares the new utility, one per resource.
+	Elasticities []float64 `json:"elasticities"`
+}
+
 // Handler returns the public JSON API:
 //
-//	POST   /v1/agents          join or re-declare (joinRequest body)
-//	DELETE /v1/agents/{name}   leave
-//	GET    /v1/agents          live agent set (from the current snapshot)
-//	GET    /v1/allocation      live snapshot
-//	GET    /v1/healthz         liveness + drain state
+//	POST   /v1/agents            join or re-declare (joinRequest body)
+//	PATCH  /v1/agents/{name}     re-declare elasticities (patchRequest body)
+//	DELETE /v1/agents/{name}     leave
+//	GET    /v1/agents            live agent set (elided above the inline threshold)
+//	GET    /v1/allocation        live snapshot
+//	GET    /v1/allocation?agent=X  one agent's row (O(R) at any scale)
+//	GET    /v1/allocation?since=E  changes since epoch E
+//	GET    /v1/healthz           liveness + drain state
 //
 // Every response is JSON with the ref/serve/v1 schema; every failure is
 // an ErrorResponse envelope.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/agents", s.handleJoin)
+	mux.HandleFunc("PATCH /v1/agents/{name}", s.handlePatch)
 	mux.HandleFunc("DELETE /v1/agents/{name}", s.handleLeave)
 	mux.HandleFunc("GET /v1/agents", s.handleAgents)
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
@@ -58,7 +71,7 @@ func (s *Server) Handler() http.Handler {
 	// as an empty pattern from Handler; probing the path under the other
 	// supported methods tells the two apart, so both failure modes get
 	// typed envelopes instead of the mux's plain-text bodies.
-	methods := []string{http.MethodGet, http.MethodPost, http.MethodDelete}
+	methods := []string{http.MethodGet, http.MethodPost, http.MethodPatch, http.MethodDelete}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern != "" {
 			mux.ServeHTTP(w, r)
@@ -189,6 +202,44 @@ func (s *Server) fitWorkload(name string) (cobb.Utility, *APIError) {
 	return f.Fit.Utility, nil
 }
 
+// handlePatch validates an elasticity re-declaration for an existing
+// agent and blocks until its epoch publishes. Unlike POST /v1/agents it
+// never creates an agent: an unknown name is a 404.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" || len(name) > maxNameLen || !utf8.ValidString(name) {
+		writeError(w, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("agent name must be valid UTF-8 of at most %d bytes", maxNameLen)})
+		return
+	}
+	var req patchRequest
+	if aerr := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if len(req.Elasticities) != len(s.cfg.Capacity) {
+		writeError(w, &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("%d elasticities for %d resources", len(req.Elasticities), len(s.cfg.Capacity))})
+		return
+	}
+	alpha0 := req.Alpha0
+	if alpha0 == 0 {
+		alpha0 = 1
+	}
+	util, err := cobb.New(alpha0, req.Elasticities...)
+	if err != nil {
+		writeError(w, &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest, Message: err.Error()})
+		return
+	}
+	wire := WireAgent{Name: name, Alpha0: util.Alpha0, Elasticities: util.Alpha}
+	epoch, row, aerr := s.Update(r.Context(), wire, util)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{Schema: Schema, Epoch: epoch, Agent: wire, Allocation: row})
+}
+
 // handleLeave blocks until the departure's epoch publishes.
 func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
@@ -200,9 +251,35 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, LeaveResponse{Schema: Schema, Epoch: epoch, Name: name})
 }
 
-// handleAllocation serves the live snapshot, lock-free.
-func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Current())
+// handleAllocation serves the live snapshot; with ?agent=X it answers a
+// single row and with ?since=E a delta, both from the sharded table's
+// per-shard indexes without serializing the population.
+func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name, sinceStr := q.Get("agent"), q.Get("since")
+	switch {
+	case name != "" && sinceStr != "":
+		writeError(w, &APIError{Code: CodeBadQuery, Status: http.StatusBadRequest,
+			Message: "agent and since cannot be combined"})
+	case name != "":
+		resp := s.AgentRow(name)
+		if resp == nil {
+			writeError(w, &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+				Message: fmt.Sprintf("no agent named %q", name)})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case sinceStr != "":
+		since, err := strconv.ParseUint(sinceStr, 10, 64)
+		if err != nil {
+			writeError(w, &APIError{Code: CodeBadQuery, Status: http.StatusBadRequest,
+				Message: fmt.Sprintf("since must be an epoch number: %v", err)})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.DeltaSince(since))
+	default:
+		writeJSON(w, http.StatusOK, s.Current())
+	}
 }
 
 // agentsResponse is GET /v1/agents.
@@ -210,12 +287,20 @@ type agentsResponse struct {
 	Schema string      `json:"schema"`
 	Epoch  uint64      `json:"epoch"`
 	Agents []WireAgent `json:"agents"`
+	// Elided and Count mirror the snapshot's elision above the inline
+	// threshold: the agent list is omitted, only its size is reported.
+	Elided bool `json:"agents_elided,omitempty"`
+	Count  int  `json:"agent_count,omitempty"`
 }
 
 // handleAgents serves the live agent set.
 func (s *Server) handleAgents(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Current()
-	writeJSON(w, http.StatusOK, agentsResponse{Schema: Schema, Epoch: snap.Epoch, Agents: snap.Agents})
+	resp := agentsResponse{Schema: Schema, Epoch: snap.Epoch, Agents: snap.Agents}
+	if snap.AgentsElided {
+		resp.Elided, resp.Count = true, snap.AgentCount
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports liveness and drain state.
@@ -225,7 +310,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Schema: Schema, Status: status, Epoch: snap.Epoch, Agents: len(snap.Agents)})
+	writeJSON(w, http.StatusOK, HealthResponse{Schema: Schema, Status: status, Epoch: snap.Epoch, Agents: snap.NumAgents()})
 }
 
 // decodeBody reads a bounded JSON body into v, mapping every failure to a

@@ -3,10 +3,30 @@
 // Cobb-Douglas preferences over HTTP; writes are coalesced into
 // **allocation epochs** — the server collects mutations for a batching
 // window (or until a maximum batch size, whichever comes first), applies
-// the batch to the agent set, runs the Equation 13 mechanism once, audits
-// the result with the §4 fairness oracles on the internal/par pool, and
-// atomically publishes an immutable versioned Snapshot that readers access
-// lock-free.
+// the batch to the agent set, advances the Equation 13 mechanism, audits
+// the result with the §4 fairness oracles, and atomically publishes an
+// immutable versioned Snapshot that readers access lock-free.
+//
+// Epochs are **incremental**: the agent set lives in a sharded table
+// (striped by name hash) whose shards carry compensated running sums of
+// the rescaled elasticity vectors — the only global state Equation 13
+// needs. A batch of Δ mutations costs O(Δ·R) regardless of the total
+// population, because each join/leave/update is an O(R) delta against
+// its shard's sums and any agent's allocation row is an O(R) read from
+// the combined sums. Exact resummations (every ResumEvery epochs, or
+// sooner when accumulated churn outruns DriftRatio) bound floating-point
+// drift so published rows stay within 1 ulp of a from-scratch recompute;
+// the differential tests in internal/core pin that bound.
+//
+// Snapshots adapt to scale: below InlineSnapshotAgents the snapshot
+// materializes the full agent list and allocation matrix (small servers
+// behave exactly as before); above it the snapshot elides them
+// (AgentsElided/AgentCount) and clients read point allocations
+// (GET /v1/allocation?agent=X) or deltas (?since=EPOCH) answered from
+// the table without serializing millions of entries. The fairness audit
+// likewise runs exactly below AuditExactBelow agents and switches to a
+// sampled audit (cached per-agent SI margins plus a rotating EF/tangency
+// window) above it.
 //
 // Robustness is part of the contract:
 //
@@ -31,14 +51,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ref/internal/cobb"
 	"ref/internal/core"
-	"ref/internal/fair"
 	"ref/internal/obs"
 	"ref/internal/par"
 	"ref/internal/platform"
@@ -60,6 +78,9 @@ const (
 	// MetricShed counts refused writes, labeled by reason
 	// (queue_full, draining).
 	MetricShed = "ref_serve_shed_total"
+	// MetricResums counts exact resummations of the incremental sums
+	// (periodic or drift-triggered).
+	MetricResums = "ref_serve_resums_total"
 )
 
 // Config parameterizes a Server. The zero value of every field except
@@ -83,8 +104,9 @@ type Config struct {
 	// (default 10s). The HTTP request context, if it expires first, also
 	// cancels the wait.
 	RequestTimeout time.Duration
-	// Parallelism is the internal/par pool width used for the per-epoch
-	// fairness audit (0 = $REF_PARALLELISM, else GOMAXPROCS).
+	// Parallelism is the internal/par pool width used for the per-shard
+	// batch apply and the per-epoch fairness audit
+	// (0 = $REF_PARALLELISM, else GOMAXPROCS).
 	Parallelism int
 	// ProfileAccesses is the per-configuration simulation budget used
 	// when a tenant joins with a workload profile instead of raw
@@ -100,6 +122,36 @@ type Config struct {
 	// Clock drives the batching window and snapshot timestamps; nil
 	// selects the wall clock. Tests inject a FakeClock.
 	Clock Clock
+
+	// Shards is the number of stripes in the agent table (default 32).
+	// Million-agent deployments want more (joins pay an O(n/Shards)
+	// sorted-insert within their shard).
+	Shards int
+	// InlineSnapshotAgents is the largest population whose snapshots
+	// still materialize the full agent list and allocation matrix
+	// (default 4096). Above it snapshots set AgentsElided/AgentCount and
+	// clients use point or delta reads. Negative never inlines.
+	InlineSnapshotAgents int
+	// AuditExactBelow is the largest population audited with the exact
+	// §4 suite every epoch (default 512). Above it the sampled audit
+	// runs instead. Negative always samples.
+	AuditExactBelow int
+	// AuditSample is the rotating audit-window size for the sampled
+	// audit (default 256). Successive epochs sweep disjoint windows, so
+	// the whole population is re-audited every ~N/AuditSample epochs;
+	// agents touched by the current batch are always audited.
+	AuditSample int
+	// DeltaWindow is how many epochs of changes the server retains for
+	// GET /v1/allocation?since=E (default 64). Older cursors get
+	// Complete=false and must fall back to a full read.
+	DeltaWindow int
+	// ResumEvery forces an exact resummation of the incremental sums
+	// every ResumEvery epochs (default 256).
+	ResumEvery int
+	// DriftRatio additionally triggers a resummation when a shard's
+	// accumulated churn exceeds DriftRatio × its current sum magnitude
+	// (default 1e12).
+	DriftRatio float64
 }
 
 // withDefaults validates Capacity and fills zero fields.
@@ -145,6 +197,27 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Clock == nil {
 		c.Clock = RealClock{}
 	}
+	if c.Shards <= 0 {
+		c.Shards = 32
+	}
+	if c.InlineSnapshotAgents == 0 {
+		c.InlineSnapshotAgents = 4096
+	}
+	if c.AuditExactBelow == 0 {
+		c.AuditExactBelow = 512
+	}
+	if c.AuditSample <= 0 {
+		c.AuditSample = 256
+	}
+	if c.DeltaWindow <= 0 {
+		c.DeltaWindow = 64
+	}
+	if c.ResumEvery <= 0 {
+		c.ResumEvery = 256
+	}
+	if c.DriftRatio <= 0 {
+		c.DriftRatio = 1e12
+	}
 	return c, nil
 }
 
@@ -153,6 +226,7 @@ type mutationKind int
 
 const (
 	mutJoin mutationKind = iota
+	mutUpdate
 	mutLeave
 )
 
@@ -160,8 +234,8 @@ const (
 type mutation struct {
 	kind  mutationKind
 	name  string
-	wire  WireAgent    // join only
-	util  cobb.Utility // join only
+	wire  WireAgent    // join/update only
+	util  cobb.Utility // join/update only
 	reply chan mutationResult
 }
 
@@ -169,16 +243,20 @@ type mutation struct {
 // mutation's epoch publishes.
 type mutationResult struct {
 	epoch uint64
-	// row is the joining agent's allocation row (join only, on success).
+	// row is the agent's allocation row (join/update only, on success).
 	row []float64
 	// err is the typed rejection, nil when the mutation applied.
 	err *APIError
 }
 
-// agentState is one tenant in the epoch loop's private state.
-type agentState struct {
-	wire WireAgent
-	util cobb.Utility
+// epochDelta is one epoch's entry in the changelog ring: the names whose
+// declarations changed (joins and updates that applied) and the names
+// that departed. Rows are not stored — a delta read materializes them
+// from the live sums, so the ring costs O(Δ) strings per epoch.
+type epochDelta struct {
+	epoch   uint64
+	upserts []string
+	leaves  []string
 }
 
 // Server is the online allocation service. Create with New, mount
@@ -206,10 +284,27 @@ type Server struct {
 	// hook for sequencing fake-clock scenarios.
 	received atomic.Int64
 
-	// agents is the epoch loop's private state; no other goroutine
-	// touches it.
-	agents map[string]agentState
-	epoch  uint64
+	// stateMu guards the sharded table, the published sums, and the
+	// changelog ring. The epoch loop write-locks while applying a batch
+	// and publishing; point reads, delta reads, and full dumps RLock, so
+	// what readers compute from the table is always consistent with the
+	// latest published snapshot.
+	stateMu sync.RWMutex
+	table   *agentTable
+	pubSums []float64 // rounded combined sums backing the published rows
+	deltas  []epochDelta
+	deltaHead, deltaLen int
+	auditCursor         int
+	epoch               uint64
+
+	// Steady-state epoch scratch, reused so an epoch's allocations are
+	// proportional to its batch (and audit sample), never to the total
+	// population.
+	resScratch   []mutationResult
+	shardMuts    [][]int
+	activeShards []int
+	sumScratch   []float64
+	logScratch   []float64
 }
 
 // New validates cfg, publishes the empty epoch-0 snapshot, and starts the
@@ -226,9 +321,12 @@ func New(cfg Config) (*Server, error) {
 		mutCh:   make(chan mutation, cfg.QueueDepth),
 		drainCh: make(chan struct{}),
 		doneCh:  make(chan struct{}),
-		agents:  make(map[string]agentState),
+		table:   newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
+		deltas:  make([]epochDelta, cfg.DeltaWindow),
 	}
+	s.stateMu.Lock()
 	s.publish(nil) // epoch 0: empty agent set, so readers always see a snapshot
+	s.stateMu.Unlock()
 	go s.run()
 	return s, nil
 }
@@ -275,6 +373,13 @@ func (s *Server) Close(ctx context.Context) error {
 // utility must already be validated against the server's capacity vector.
 func (s *Server) Join(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, *APIError) {
 	return s.submit(ctx, mutation{kind: mutJoin, name: wire.Name, wire: wire, util: util})
+}
+
+// Update queues an elasticity re-declaration for an existing agent and
+// waits for its epoch. Unlike Join it fails with unknown_agent when the
+// name is not in the agent set at apply time.
+func (s *Server) Update(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, *APIError) {
+	return s.submit(ctx, mutation{kind: mutUpdate, name: wire.Name, wire: wire, util: util})
 }
 
 // Leave queues a departure mutation and waits for its epoch.
@@ -332,7 +437,7 @@ func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *AP
 	}
 }
 
-// run is the epoch loop: one goroutine owning the agent set.
+// run is the epoch loop: one goroutine owning all agent-set writes.
 func (s *Server) run() {
 	defer close(s.doneCh)
 	for {
@@ -388,54 +493,111 @@ func (s *Server) flushQueue(batch []mutation) []mutation {
 	}
 }
 
-// runEpoch applies one batch, recomputes the Equation 13 allocation and
-// its fairness audit, publishes the snapshot, and replies to every
-// mutation in the batch.
+// runEpoch applies one batch through the sharded incremental engine,
+// publishes the snapshot, and replies to every mutation in the batch.
+// Total cost is O(Δ·R) in the batch plus the (inline or sampled)
+// publication work — never a full pass over the population.
 func (s *Server) runEpoch(batch []mutation) {
 	start := s.clock.Now()
 	wallStart := time.Now()
 
-	results := make([]mutationResult, len(batch))
-	applied, rejected := 0, 0
+	if cap(s.resScratch) < len(batch) {
+		s.resScratch = make([]mutationResult, len(batch))
+	}
+	results := s.resScratch[:len(batch)]
+	for i := range results {
+		results[i] = mutationResult{}
+	}
+
+	s.stateMu.Lock()
+
+	// Partition the batch by shard. Mutations for the same name land in
+	// the same shard in batch order, so per-name ordering survives the
+	// parallel apply; distinct shards share no state.
+	if s.shardMuts == nil {
+		s.shardMuts = make([][]int, s.cfg.Shards)
+	}
+	active := s.activeShards[:0]
 	for i, m := range batch {
-		switch m.kind {
-		case mutJoin:
-			// Handlers validate before enqueueing; re-check here so a
-			// bad utility can never corrupt the published state.
-			if err := m.util.Validate(); err != nil || m.util.NumResources() != len(s.cfg.Capacity) {
-				results[i].err = &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
-					Message: fmt.Sprintf("agent %q: utility rejected at apply time", m.name)}
-				rejected++
-				continue
+		si := s.table.shardOf(m.name)
+		if len(s.shardMuts[si]) == 0 {
+			active = append(active, si)
+		}
+		s.shardMuts[si] = append(s.shardMuts[si], i)
+	}
+	s.activeShards = active
+
+	_ = par.ForEach(len(active), s.cfg.Parallelism, func(k int) error {
+		sh := s.table.shards[active[k]]
+		for _, bi := range s.shardMuts[active[k]] {
+			m := batch[bi]
+			switch m.kind {
+			case mutJoin, mutUpdate:
+				// Handlers validate before enqueueing; re-check here so a
+				// bad utility can never corrupt the published state.
+				if err := m.util.Validate(); err != nil || m.util.NumResources() != len(s.cfg.Capacity) {
+					results[bi].err = &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+						Message: fmt.Sprintf("agent %q: utility rejected at apply time", m.name)}
+					continue
+				}
+				if m.kind == mutUpdate {
+					if _, ok := sh.entries[m.name]; !ok {
+						results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+							Message: fmt.Sprintf("no agent named %q", m.name)}
+						continue
+					}
+				}
+				sh.upsert(m.name, m.wire, m.util)
+			case mutLeave:
+				if !sh.remove(m.name) {
+					results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+						Message: fmt.Sprintf("no agent named %q", m.name)}
+				}
 			}
-			s.agents[m.name] = agentState{wire: m.wire, util: m.util}
-			applied++
-		case mutLeave:
-			if _, ok := s.agents[m.name]; !ok {
-				results[i].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
-					Message: fmt.Sprintf("no agent named %q", m.name)}
-				rejected++
-				continue
-			}
-			delete(s.agents, m.name)
-			applied++
+		}
+		s.shardMuts[active[k]] = s.shardMuts[active[k]][:0]
+		return nil
+	})
+
+	s.table.endEpoch()
+
+	applied, rejected := 0, 0
+	var upserts, leaves []string
+	touched := make([]string, 0, len(batch))
+	for i, m := range batch {
+		if results[i].err != nil {
+			rejected++
+			continue
+		}
+		applied++
+		if m.kind == mutLeave {
+			leaves = append(leaves, m.name)
+		} else {
+			upserts = append(upserts, m.name)
+			touched = append(touched, m.name)
 		}
 	}
 
-	snap := s.publish(&batchInfo{size: len(batch), applied: applied, rejected: rejected, started: start})
+	snap := s.publishBatch(&batchInfo{size: len(batch), applied: applied, rejected: rejected, started: start}, touched)
+
+	// Record this epoch in the changelog ring so ?since= readers can
+	// catch up without a full dump.
+	s.recordDelta(epochDelta{epoch: snap.Epoch, upserts: upserts, leaves: leaves})
+
+	n := s.table.count()
+	resums := s.table.resums
+	s.stateMu.Unlock()
 
 	// Reply after publishing so a client that got its ack always finds
-	// an epoch ≥ the acked one at GET /v1/allocation.
-	rowOf := make(map[string]int, len(snap.Agents))
-	for i, a := range snap.Agents {
-		rowOf[a.Name] = i
-	}
+	// an epoch ≥ the acked one at GET /v1/allocation. Rows are O(R)
+	// reads from the published sums — no per-epoch index over the
+	// population is built (the old code rebuilt an O(N) row map here).
 	for i, m := range batch {
 		res := results[i]
 		res.epoch = snap.Epoch
-		if res.err == nil && m.kind == mutJoin {
-			if r, ok := rowOf[m.name]; ok {
-				res.row = snap.Allocation[r]
+		if res.err == nil && m.kind != mutLeave {
+			if e := s.table.get(m.name); e != nil {
+				res.row = core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n)
 			}
 		}
 		m.reply <- res
@@ -446,7 +608,8 @@ func (s *Server) runEpoch(batch []mutation) {
 		r.Histogram(MetricEpochSeconds).Observe(time.Since(wallStart).Seconds())
 		r.Histogram(MetricBatchSize).Observe(float64(len(batch)))
 		r.Gauge(MetricEpochGauge).Set(float64(snap.Epoch))
-		r.Gauge(MetricAgentsGauge).Set(float64(len(snap.Agents)))
+		r.Gauge(MetricAgentsGauge).Set(float64(n))
+		r.Gauge(MetricResums).Set(float64(resums))
 	}
 }
 
@@ -456,43 +619,62 @@ type batchInfo struct {
 	started                 time.Time
 }
 
-// publish computes the allocation and audit for the current agent set and
-// atomically installs the new snapshot. A nil info publishes epoch 0.
-func (s *Server) publish(info *batchInfo) *Snapshot {
-	names := make([]string, 0, len(s.agents))
-	for n := range s.agents {
-		names = append(names, n)
+// recordDelta appends one epoch to the changelog ring, evicting the
+// oldest entry when the window is full. Callers hold stateMu.
+func (s *Server) recordDelta(d epochDelta) {
+	if s.deltaLen < len(s.deltas) {
+		s.deltas[(s.deltaHead+s.deltaLen)%len(s.deltas)] = d
+		s.deltaLen++
+		return
 	}
-	sort.Strings(names)
+	s.deltas[s.deltaHead] = d
+	s.deltaHead = (s.deltaHead + 1) % len(s.deltas)
+}
+
+// publish is the epoch-0 boot publication. Callers hold stateMu.
+func (s *Server) publish(info *batchInfo) *Snapshot {
+	return s.publishBatch(info, nil)
+}
+
+// publishBatch computes the new snapshot from the sharded table and
+// atomically installs it. Callers hold stateMu. Below the inline
+// threshold the snapshot materializes agents and allocation rows in
+// canonical order; above it both are elided and served through point and
+// delta reads. touched lists the names this batch upserted, which the
+// sampled audit always includes.
+func (s *Server) publishBatch(info *batchInfo, touched []string) *Snapshot {
+	n := s.table.count()
+	sums := s.table.combineSums(s.sumScratch)
+	s.sumScratch = sums
+	s.pubSums = append(s.pubSums[:0], sums...)
 
 	snap := &Snapshot{
-		Schema:     Schema,
-		Epoch:      s.epoch,
-		Capacity:   append([]float64(nil), s.cfg.Capacity...),
-		Agents:     make([]WireAgent, len(names)),
-		Allocation: make([][]float64, len(names)),
+		Schema:   Schema,
+		Epoch:    s.epoch,
+		Capacity: append([]float64(nil), s.cfg.Capacity...),
 	}
 	if info != nil {
 		snap.BatchSize, snap.Applied, snap.Rejected = info.size, info.applied, info.rejected
 	}
 
-	if len(names) > 0 {
-		agents := make([]core.Agent, len(names))
-		for i, n := range names {
-			st := s.agents[n]
-			snap.Agents[i] = st.wire
-			agents[i] = core.Agent{Name: n, Utility: st.util}
+	if s.cfg.InlineSnapshotAgents >= 0 && n <= s.cfg.InlineSnapshotAgents {
+		snap.Agents = make([]WireAgent, 0, n)
+		snap.Allocation = make([][]float64, 0, n)
+		s.table.forEachSorted(func(_ string, e *agentEntry) {
+			snap.Agents = append(snap.Agents, e.wire)
+			snap.Allocation = append(snap.Allocation, core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n))
+		})
+	} else {
+		snap.AgentsElided = true
+		snap.AgentCount = n
+	}
+
+	if n > 0 {
+		if s.cfg.AuditExactBelow >= 0 && n <= s.cfg.AuditExactBelow {
+			snap.Fairness = s.auditExact(n, sums)
+		} else {
+			snap.Fairness = s.auditSampled(n, sums, touched)
 		}
-		// The loop re-validates every join, so Allocate cannot fail on
-		// published state; treat failure as a programming error.
-		alloc, err := core.Allocate(agents, s.cfg.Capacity)
-		if err != nil {
-			panic(fmt.Sprintf("serve: allocation over validated state failed: %v", err))
-		}
-		for i := range names {
-			snap.Allocation[i] = alloc.X[i]
-		}
-		snap.Fairness = auditParallel(agents, s.cfg.Capacity, alloc.X, s.cfg.Parallelism)
 	}
 
 	snap.Time = s.clock.Now().UTC().Format(time.RFC3339Nano)
@@ -504,48 +686,71 @@ func (s *Server) publish(info *batchInfo) *Snapshot {
 	return snap
 }
 
-// auditParallel runs the three §4 property audits as independent jobs on
-// the internal/par pool — EF is O(n²) in agents and dominates for large
-// tenant counts, so the three properties fan out rather than serialize.
-func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, parallelism int) *Fairness {
-	utils := make([]cobb.Utility, len(agents))
-	for i, a := range agents {
-		utils[i] = a.Utility
-	}
-	tol := fair.DefaultTolerance()
-	results := make([]fair.Result, 3)
-	errs := make([]error, 3)
-	_ = par.ForEach(3, parallelism, func(i int) error {
-		switch i {
-		case 0:
-			results[i], errs[i] = fair.SharingIncentives(utils, capacity, x, tol)
-		case 1:
-			results[i], errs[i] = fair.EnvyFreeness(utils, x, tol)
-		case 2:
-			results[i], errs[i] = fair.ParetoEfficiency(utils, capacity, x, tol)
-		}
+// AgentRow answers GET /v1/allocation?agent=X: one agent's current
+// allocation row, computed in O(R) from the published sums without
+// touching the rest of the population. It returns nil when the agent is
+// not in the table.
+func (s *Server) AgentRow(name string) *AgentAllocationResponse {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	e := s.table.get(name)
+	if e == nil {
 		return nil
-	})
-	f := &Fairness{SI: results[0].Satisfied, EF: results[1].Satisfied, PE: results[2].Satisfied}
-	props := [3]string{"SI", "EF", "PE"}
-	for i, err := range errs {
-		if err != nil {
-			// An audit that cannot run is reported as a violation, never
-			// silently dropped.
-			f.Violations = append(f.Violations, fmt.Sprintf("%s audit failed: %v", props[i], err))
-			switch i {
-			case 0:
-				f.SI = false
-			case 1:
-				f.EF = false
-			case 2:
-				f.PE = false
-			}
+	}
+	return &AgentAllocationResponse{
+		Schema:     Schema,
+		Epoch:      s.snap.Load().Epoch,
+		Agent:      e.wire,
+		Allocation: core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, s.table.count()),
+	}
+}
+
+// DeltaSince answers GET /v1/allocation?since=E: the agents whose
+// declarations changed and the names that departed in epochs (since,
+// current], materialized from the changelog ring and the live sums. A
+// name is reported by its *final* state in the window — apply Left
+// removals first, then Changes upserts. Complete is false when the ring
+// no longer covers since+1, in which case the client must fall back to a
+// full read.
+func (s *Server) DeltaSince(since uint64) *DeltaResponse {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	cur := s.snap.Load().Epoch
+	resp := &DeltaResponse{Schema: Schema, Epoch: cur, Since: since, Complete: true}
+	if since >= cur {
+		return resp
+	}
+	// The window must cover every epoch in (since, cur]. Epoch 0 has no
+	// ring entry (nothing changed to produce it), so a cursor at 0 is
+	// covered as long as epoch 1's entry is still present.
+	if s.deltaLen == 0 || s.deltas[s.deltaHead].epoch > since+1 {
+		resp.Complete = false
+		return resp
+	}
+	seen := make(map[string]struct{})
+	for i := 0; i < s.deltaLen; i++ {
+		d := &s.deltas[(s.deltaHead+i)%len(s.deltas)]
+		if d.epoch <= since {
 			continue
 		}
-		for _, v := range results[i].Violations {
-			f.Violations = append(f.Violations, v.String())
+		for _, name := range d.upserts {
+			seen[name] = struct{}{}
+		}
+		for _, name := range d.leaves {
+			seen[name] = struct{}{}
 		}
 	}
-	return f
+	n := s.table.count()
+	for name := range seen {
+		if e := s.table.get(name); e != nil {
+			resp.Changes = append(resp.Changes, DeltaChange{
+				Agent:      e.wire,
+				Allocation: core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n),
+			})
+		} else {
+			resp.Left = append(resp.Left, name)
+		}
+	}
+	sortDeltaResponse(resp)
+	return resp
 }

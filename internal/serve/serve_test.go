@@ -394,7 +394,9 @@ func TestQueueFullSheds(t *testing.T) {
 	cfg.Clock = NewFakeClock(t0)
 	// A server whose epoch loop never runs: the queue cannot drain.
 	s := &Server{cfg: cfg, clock: cfg.Clock, mutCh: make(chan mutation, 1),
-		drainCh: make(chan struct{}), doneCh: make(chan struct{}), agents: map[string]agentState{}}
+		drainCh: make(chan struct{}), doneCh: make(chan struct{}),
+		table:   newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
+		deltas:  make([]epochDelta, cfg.DeltaWindow)}
 	s.publish(nil)
 	s.mutCh <- mutation{kind: mutLeave, name: "filler"}
 

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+)
+
+// agentEntry is one tenant in the sharded table. Beyond the wire form and
+// utility it caches everything the incremental epoch engine needs in O(R):
+// the rescaled elasticity vector (the agent's Equation 13 weight), the
+// elasticity sum, and the Σ α̂·log α̂ term of the sharing-incentive margin
+// (see auditSampled) — all computed once per declaration, never per epoch.
+type agentEntry struct {
+	wire     WireAgent
+	util     cobb.Utility
+	weight   []float64
+	elastSum float64
+	siTerm   float64
+}
+
+// shard is one stripe of the agent table: its members, their canonical
+// (name-sorted) order maintained incrementally, and the shard's partial
+// per-resource weight sums with churn accounting for the drift policy.
+// Distinct shards share nothing, so per-shard epoch workers apply their
+// sub-batches in parallel without locks; the table-level combiner folds
+// the partial sums in fixed shard order to stay deterministic.
+type shard struct {
+	entries map[string]*agentEntry
+	sorted  []string
+	sums    []core.CompSum
+	churn   []float64
+}
+
+// insertSorted places name into the shard's canonical order (binary
+// search + shift — O(log n + n/S) per join instead of re-sorting all N
+// names every epoch).
+func (sh *shard) insertSorted(name string) {
+	i := sort.SearchStrings(sh.sorted, name)
+	sh.sorted = append(sh.sorted, "")
+	copy(sh.sorted[i+1:], sh.sorted[i:])
+	sh.sorted[i] = name
+}
+
+// removeSorted drops name from the canonical order.
+func (sh *shard) removeSorted(name string) {
+	i := sort.SearchStrings(sh.sorted, name)
+	if i < len(sh.sorted) && sh.sorted[i] == name {
+		sh.sorted = append(sh.sorted[:i], sh.sorted[i+1:]...)
+	}
+}
+
+// upsert joins or re-declares one tenant, applying the O(R) weight delta
+// to the shard's running sums. It reports whether the agent is new.
+func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility) bool {
+	w := util.Rescaled().Alpha
+	var siTerm float64
+	for _, a := range w {
+		if a > 0 {
+			siTerm += a * math.Log(a)
+		}
+	}
+	if e, ok := sh.entries[name]; ok {
+		core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, w)
+		e.wire, e.util, e.weight, e.elastSum, e.siTerm = wire, util, w, util.ElasticitySum(), siTerm
+		return false
+	}
+	core.ApplyWeightDelta(sh.sums, sh.churn, nil, w)
+	sh.entries[name] = &agentEntry{wire: wire, util: util, weight: w, elastSum: util.ElasticitySum(), siTerm: siTerm}
+	sh.insertSorted(name)
+	return true
+}
+
+// remove departs one tenant. It reports whether the agent existed.
+func (sh *shard) remove(name string) bool {
+	e, ok := sh.entries[name]
+	if !ok {
+		return false
+	}
+	core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, nil)
+	delete(sh.entries, name)
+	sh.removeSorted(name)
+	return true
+}
+
+// resum recomputes the shard's partial sums exactly from its members in
+// canonical order (deterministic), resetting churn.
+func (sh *shard) resum() {
+	for r := range sh.sums {
+		sh.sums[r].Reset()
+		sh.churn[r] = 0
+	}
+	for _, name := range sh.sorted {
+		w := sh.entries[name].weight
+		for r := range sh.sums {
+			sh.sums[r].Add(w[r])
+		}
+	}
+}
+
+// agentTable is the striped agent map plus the resummation policy state.
+type agentTable struct {
+	shards     []*shard
+	nRes       int
+	resumEvery int
+	driftRatio float64
+
+	epochsSinceResum int
+	resums           int
+}
+
+func newAgentTable(shardCount, nRes, resumEvery int, driftRatio float64) *agentTable {
+	t := &agentTable{
+		shards:     make([]*shard, shardCount),
+		nRes:       nRes,
+		resumEvery: resumEvery,
+		driftRatio: driftRatio,
+	}
+	for i := range t.shards {
+		t.shards[i] = &shard{
+			entries: make(map[string]*agentEntry),
+			sums:    make([]core.CompSum, nRes),
+			churn:   make([]float64, nRes),
+		}
+	}
+	return t
+}
+
+// shardOf stripes by FNV-1a of the name.
+func (t *agentTable) shardOf(name string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum64() % uint64(len(t.shards)))
+}
+
+// get returns one entry, nil when absent.
+func (t *agentTable) get(name string) *agentEntry {
+	return t.shards[t.shardOf(name)].entries[name]
+}
+
+// count returns the total agent population (O(S)).
+func (t *agentTable) count() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh.entries)
+	}
+	return n
+}
+
+// combineSums folds the per-shard partial sums into dst (rounded), in
+// fixed shard order so the result is deterministic at any parallelism.
+func (t *agentTable) combineSums(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, t.nRes)
+	}
+	for r := 0; r < t.nRes; r++ {
+		var s core.CompSum
+		for _, sh := range t.shards {
+			s.Merge(sh.sums[r])
+		}
+		dst[r] = s.Value()
+	}
+	return dst
+}
+
+// endEpoch applies the resummation policy: every resumEvery epochs all
+// shards resum exactly; otherwise any shard whose churn outran the drift
+// tolerance resums alone.
+func (t *agentTable) endEpoch() {
+	t.epochsSinceResum++
+	if t.epochsSinceResum >= t.resumEvery {
+		for _, sh := range t.shards {
+			sh.resum()
+		}
+		t.epochsSinceResum = 0
+		t.resums++
+		return
+	}
+	for _, sh := range t.shards {
+		for r := range sh.churn {
+			if sh.churn[r] > t.driftRatio*math.Max(math.Abs(sh.sums[r].Value()), math.SmallestNonzeroFloat64) {
+				sh.resum()
+				t.resums++
+				break
+			}
+		}
+	}
+}
+
+// forEachSorted visits every agent in the canonical global (name-sorted)
+// order via an S-way merge of the per-shard sorted runs — O(N·S)
+// comparisons, allocation-free, and only ever invoked by materialization
+// paths (inline snapshots, exact audits, full dumps), never by the
+// steady-state epoch.
+func (t *agentTable) forEachSorted(fn func(name string, e *agentEntry)) {
+	heads := make([]int, len(t.shards))
+	for {
+		best := -1
+		for si, sh := range t.shards {
+			if heads[si] >= len(sh.sorted) {
+				continue
+			}
+			if best < 0 || sh.sorted[heads[si]] < t.shards[best].sorted[heads[best]] {
+				best = si
+			}
+		}
+		if best < 0 {
+			return
+		}
+		name := t.shards[best].sorted[heads[best]]
+		heads[best]++
+		fn(name, t.shards[best].entries[name])
+	}
+}
+
+// entryAt resolves a global index in [0, count) to the entry at that
+// position of the concatenated per-shard canonical orders — the O(S)
+// random access the rotating audit window uses to sweep the population
+// without materializing it.
+func (t *agentTable) entryAt(i int) *agentEntry {
+	for _, sh := range t.shards {
+		if i < len(sh.sorted) {
+			return sh.entries[sh.sorted[i]]
+		}
+		i -= len(sh.sorted)
+	}
+	return nil
+}

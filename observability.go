@@ -17,6 +17,16 @@ type MetricsRegistry = obs.Registry
 // JSON (run manifests) and renderable as Prometheus text.
 type MetricsSnapshot = obs.SnapshotData
 
+// LatencyHistogram is a point-in-time copy of one histogram:
+// cumulative Prometheus-style buckets plus count/sum/min/max, with
+// interpolated quantile estimates via its Quantile method. Metrics
+// snapshots carry one per registered histogram.
+type LatencyHistogram = obs.HistogramSnapshot
+
+// HistogramBucket is one (upper bound, cumulative count) pair of a
+// LatencyHistogram.
+type HistogramBucket = obs.Bucket
+
 // NewMetricsRegistry returns an empty registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 

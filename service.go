@@ -1,6 +1,7 @@
 package ref
 
 import (
+	"ref/internal/core"
 	"ref/internal/serve"
 )
 
@@ -21,6 +22,47 @@ type AllocationSnapshot = serve.Snapshot
 
 // ServeSchema identifies the refserve JSON wire format.
 const ServeSchema = serve.Schema
+
+// WireAgent is one tenant on the refserve wire.
+type WireAgent = serve.WireAgent
+
+// AgentAllocation is a GET /v1/allocation?agent=X point read.
+type AgentAllocation = serve.AgentAllocationResponse
+
+// AllocationDelta is a GET /v1/allocation?since=E delta read.
+type AllocationDelta = serve.DeltaResponse
+
+// ServeError is the service's typed error envelope; the Go-level
+// mutation methods (Join, Update, Leave) return it alongside the HTTP
+// handlers' JSON encoding of it.
+type ServeError = serve.APIError
+
+// CodeUnknownAgent identifies a mutation or point read naming a tenant
+// that is not in the agent set.
+const CodeUnknownAgent = serve.CodeUnknownAgent
+
+// MetricEpochSeconds names the allocation server's epoch-latency
+// histogram on the installed metrics registry (mutation apply +
+// Equation 13 + fairness audit + publish). cmd/refload reads it to
+// report epoch latency percentiles.
+const MetricEpochSeconds = serve.MetricEpochSeconds
+
+// IncrementalAllocator maintains the Equation 13 allocation under
+// join/leave/update deltas in O(Δ·R) per epoch with compensated
+// per-resource sums, staying within 1 ulp of a from-scratch Allocate.
+// The allocation server builds its epochs on it; it is exported for
+// embedders running their own epoch loops.
+type IncrementalAllocator = core.IncrementalAllocator
+
+// IncrementalOptions tunes an IncrementalAllocator's exact-resummation
+// policy.
+type IncrementalOptions = core.IncrementalOptions
+
+// NewIncrementalAllocator validates the capacity vector and returns an
+// empty incremental allocator.
+func NewIncrementalAllocator(capacity []float64, opts IncrementalOptions) (*IncrementalAllocator, error) {
+	return core.NewIncrementalAllocator(capacity, opts)
+}
 
 // NewAllocationServer validates cfg, publishes the empty epoch-0
 // snapshot, and starts the epoch loop. Close the returned server to
