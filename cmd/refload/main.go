@@ -65,14 +65,32 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "worker pool width for -inproc (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 		drainWait   = flag.Duration("drain-timeout", 60*time.Second, "how long the final drain may take")
 		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on exit")
+		traceEvents = flag.Int("trace", 0, "retain the last N trace spans and embed them in the manifest (0 = off)")
+		flightRec   = flag.Int("flight-recorder", 0, "epoch flight-recorder ring size for -inproc (0 = off)")
+		sloEpoch    = flag.Duration("slo-epoch", 0, "epoch-latency SLO threshold for -inproc; the run fails if the error budget burns over 1× (0 = no SLO)")
+		sloBudget   = flag.Float64("slo-budget", 0.01, "fraction of epochs allowed over the SLO threshold")
 	)
 	flag.Parse()
+	obsOpts := obsOptions{
+		traceEvents: *traceEvents,
+		flightRec:   *flightRec,
+		sloEpoch:    *sloEpoch,
+		sloBudget:   *sloBudget,
+	}
 	if err := run(*addr, *capStr, *mixStr, *rate, *duration, *ramp, *seed,
 		*maxInflight, *shards, *maxBatch, *auditSample, *parallelism,
-		*window, *drainWait, *inproc, *manifestOut); err != nil {
+		*window, *drainWait, *inproc, *manifestOut, obsOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "refload:", err)
 		os.Exit(1)
 	}
+}
+
+// obsOptions bundles refload's observability flags.
+type obsOptions struct {
+	traceEvents int
+	flightRec   int
+	sloEpoch    time.Duration
+	sloBudget   float64
 }
 
 // opKind enumerates the workload operations.
@@ -448,7 +466,7 @@ func diffHist(pre, post ref.LatencyHistogram) ref.LatencyHistogram {
 
 func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp int, seed int64,
 	maxInflight, shards, maxBatch, auditSample, parallelism int,
-	window, drainWait time.Duration, inproc bool, manifestOut string) error {
+	window, drainWait time.Duration, inproc bool, manifestOut string, obsOpts obsOptions) error {
 	if inproc == (addr != "") {
 		return fmt.Errorf("need exactly one of -inproc or -addr")
 	}
@@ -465,6 +483,9 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
+	if obsOpts.traceEvents > 0 {
+		ref.InstallTracer(ref.NewTracer(obsOpts.traceEvents))
+	}
 	var manifest *ref.RunManifest
 	if manifestOut != "" {
 		manifest = ref.NewRunManifest("refload", os.Args[1:])
@@ -481,12 +502,15 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 		}
 		nRes = len(capacity)
 		srv, err = ref.NewAllocationServer(ref.ServeConfig{
-			Capacity:    capacity,
-			Window:      window,
-			MaxBatch:    maxBatch,
-			Parallelism: parallelism,
-			Shards:      shards,
-			AuditSample: auditSample,
+			Capacity:        capacity,
+			Window:          window,
+			MaxBatch:        maxBatch,
+			Parallelism:     parallelism,
+			Shards:          shards,
+			AuditSample:     auditSample,
+			FlightRecorder:  obsOpts.flightRec,
+			SLOEpochLatency: obsOpts.sloEpoch,
+			SLOBudget:       obsOpts.sloBudget,
 		})
 		if err != nil {
 			return err
@@ -640,7 +664,32 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 			manifest.Record("p99:epoch:all", all.Quantile(0.99), nil)
 		}
 	}
+	// The SLO verdict is an assertion, not just telemetry: a burn rate
+	// over 1 means the run spent more than its whole error budget, and
+	// refload exits nonzero so CI fails on the latency regression.
+	var sloErr error
+	if srv != nil {
+		if slo, ok := srv.SLOStats(); ok {
+			fmt.Printf("refload: SLO %s: %d good, %d bad, burn rate %.3f\n",
+				slo.Name, slo.Good, slo.Bad, slo.BurnRate)
+			if manifest != nil {
+				manifest.SLO = append(manifest.SLO, slo)
+			}
+			if slo.BurnRate > 1 {
+				sloErr = fmt.Errorf("SLO %s burned %.3f× its error budget (%d/%d epochs over threshold)",
+					slo.Name, slo.BurnRate, slo.Bad, slo.Good+slo.Bad)
+			}
+		}
+		fs := srv.FlightState()
+		if fs.Enabled && len(fs.Dumps) > 0 {
+			fmt.Printf("refload: flight recorder captured %d anomaly dumps\n", len(fs.Dumps))
+			for _, d := range fs.Dumps {
+				fmt.Printf("refload:   dump seq=%d reason=%s (%d records)\n", d.Seq, d.Reason, len(d.Records))
+			}
+		}
+	}
 	if manifest != nil {
+		manifest.AttachTrace(ref.InstalledTracer())
 		if werr := manifest.WriteFile(manifestOut); werr != nil {
 			return werr
 		}
@@ -648,6 +697,9 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 	}
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)
+	}
+	if sloErr != nil {
+		return sloErr
 	}
 	if e := g.errs.Load(); e > 0 {
 		return fmt.Errorf("%d operations failed", e)

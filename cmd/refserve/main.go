@@ -22,6 +22,15 @@
 // requests get their replies, and the run manifest (if requested) is
 // written on the way out. -metrics-addr serves Prometheus metrics, expvar
 // and pprof on a separate private mux.
+//
+// Observability extras: -trace N retains the last N epoch/stage spans in
+// a ring served as Chrome trace-event JSON at /debug/trace on the metrics
+// mux (and embedded in the run manifest); -flight-recorder N keeps a
+// per-epoch flight recorder served at GET /debug/ref/flightrecorder on
+// the public mux, dumping automatically on audit failures, latency
+// breaches, and shed spikes; -slo-epoch sets the epoch-latency SLO those
+// breaches are judged against; -profile-rate enables runtime block and
+// mutex profiling for /debug/pprof.
 package main
 
 import (
@@ -38,26 +47,55 @@ import (
 	"ref"
 )
 
+// serveOptions bundles refserve's flag values.
+type serveOptions struct {
+	addr        string
+	capStr      string
+	specJSON    string
+	resources   int
+	window      time.Duration
+	maxBatch    int
+	queueDepth  int
+	maxBody     int64
+	reqTimeout  time.Duration
+	accesses    int
+	parallelism int
+	drainWait   time.Duration
+	metricsAddr string
+	manifestOut string
+
+	traceEvents int
+	flightRec   int
+	flightDir   string
+	sloEpoch    time.Duration
+	sloBudget   float64
+	profileRate int
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "public API listen address")
-		capStr      = flag.String("cap", "", "total capacity per resource, e.g. 24,12 (required unless -resources/-spec is set)")
-		resources   = flag.Int("resources", 0, "serve the standard N-resource platform spec (0 = capacity-only, 2-resource workload profiling)")
-		specJSON    = flag.String("spec", "", "serve a custom platform spec given as JSON (overrides -resources)")
-		window      = flag.Duration("epoch-window", 10*time.Millisecond, "mutation batching window per allocation epoch")
-		maxBatch    = flag.Int("max-batch", 64, "mutations per epoch before the window is cut short")
-		queueDepth  = flag.Int("queue-depth", 0, "mutation queue bound before load shedding (0 = 4×max-batch)")
-		maxBody     = flag.Int64("max-body-bytes", 1<<20, "request body size limit")
-		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for mutation requests")
-		accesses    = flag.Int("accesses", 20000, "simulation budget per configuration for workload-profile joins")
-		parallelism = flag.Int("parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
-		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "how long a signal-triggered drain may take")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
-		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on shutdown")
-	)
+	var o serveOptions
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "public API listen address")
+	flag.StringVar(&o.capStr, "cap", "", "total capacity per resource, e.g. 24,12 (required unless -resources/-spec is set)")
+	flag.IntVar(&o.resources, "resources", 0, "serve the standard N-resource platform spec (0 = capacity-only, 2-resource workload profiling)")
+	flag.StringVar(&o.specJSON, "spec", "", "serve a custom platform spec given as JSON (overrides -resources)")
+	flag.DurationVar(&o.window, "epoch-window", 10*time.Millisecond, "mutation batching window per allocation epoch")
+	flag.IntVar(&o.maxBatch, "max-batch", 64, "mutations per epoch before the window is cut short")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "mutation queue bound before load shedding (0 = 4×max-batch)")
+	flag.Int64Var(&o.maxBody, "max-body-bytes", 1<<20, "request body size limit")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 10*time.Second, "per-request deadline for mutation requests")
+	flag.IntVar(&o.accesses, "accesses", 20000, "simulation budget per configuration for workload-profile joins")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
+	flag.DurationVar(&o.drainWait, "drain-timeout", 15*time.Second, "how long a signal-triggered drain may take")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/trace on this address")
+	flag.StringVar(&o.manifestOut, "run-manifest", "", "write a structured JSON run manifest on shutdown")
+	flag.IntVar(&o.traceEvents, "trace", 0, "retain the last N trace spans and serve them at /debug/trace (0 = tracing off)")
+	flag.IntVar(&o.flightRec, "flight-recorder", 0, "retain the last N epoch records in the flight recorder (0 = off)")
+	flag.StringVar(&o.flightDir, "flight-dump-dir", "", "directory for anomaly-triggered flight-recorder dump files (empty = in-memory only)")
+	flag.DurationVar(&o.sloEpoch, "slo-epoch", 0, "epoch-latency SLO threshold; epochs over it burn error budget (0 = no SLO)")
+	flag.Float64Var(&o.sloBudget, "slo-budget", 0.01, "fraction of epochs allowed over the SLO threshold")
+	flag.IntVar(&o.profileRate, "profile-rate", 0, "runtime block/mutex profile rate for /debug/pprof (0 = off)")
 	flag.Parse()
-	if err := run(*addr, *capStr, *specJSON, *resources, *window, *maxBatch, *queueDepth, *maxBody, *reqTimeout,
-		*accesses, *parallelism, *drainWait, *metricsAddr, *manifestOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "refserve:", err)
 		os.Exit(1)
 	}
@@ -76,36 +114,38 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func run(addr, capStr, specJSON string, resources int, window time.Duration, maxBatch, queueDepth int, maxBody int64,
-	reqTimeout time.Duration, accesses, parallelism int, drainWait time.Duration,
-	metricsAddr, manifestOut string) error {
+func run(o serveOptions) error {
 	var spec ref.PlatformSpec
-	if specJSON != "" || resources != 0 {
+	if o.specJSON != "" || o.resources != 0 {
 		var err error
-		if spec, err = ref.ResolveSpecArg([]byte(specJSON), resources); err != nil {
+		if spec, err = ref.ResolveSpecArg([]byte(o.specJSON), o.resources); err != nil {
 			return err
 		}
-	} else if capStr == "" {
+	} else if o.capStr == "" {
 		return fmt.Errorf("need -cap (total capacity per resource, e.g. -cap 24,12) or -resources/-spec")
 	}
 	var capacity []float64
-	if capStr != "" {
+	if o.capStr != "" {
 		var err error
-		if capacity, err = parseFloats(capStr); err != nil {
+		if capacity, err = parseFloats(o.capStr); err != nil {
 			return err
 		}
 	}
 
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
-	var manifest *ref.RunManifest
-	if manifestOut != "" {
-		manifest = ref.NewRunManifest("refserve", os.Args[1:])
-		manifest.Parallelism = ref.ResolveParallelism(parallelism)
-		manifest.Accesses = accesses
+	if o.traceEvents > 0 {
+		ref.InstallTracer(ref.NewTracer(o.traceEvents))
 	}
-	if metricsAddr != "" {
-		msrv, err := ref.ServeMetrics(metricsAddr)
+	ref.SetRuntimeProfileRate(o.profileRate)
+	var manifest *ref.RunManifest
+	if o.manifestOut != "" {
+		manifest = ref.NewRunManifest("refserve", os.Args[1:])
+		manifest.Parallelism = ref.ResolveParallelism(o.parallelism)
+		manifest.Accesses = o.accesses
+	}
+	if o.metricsAddr != "" {
+		msrv, err := ref.ServeMetrics(o.metricsAddr)
 		if err != nil {
 			return err
 		}
@@ -116,18 +156,22 @@ func run(addr, capStr, specJSON string, resources int, window time.Duration, max
 	srv, err := ref.NewAllocationServer(ref.ServeConfig{
 		Spec:            spec,
 		Capacity:        capacity,
-		Window:          window,
-		MaxBatch:        maxBatch,
-		QueueDepth:      queueDepth,
-		MaxBodyBytes:    maxBody,
-		RequestTimeout:  reqTimeout,
-		Parallelism:     parallelism,
-		ProfileAccesses: accesses,
+		Window:          o.window,
+		MaxBatch:        o.maxBatch,
+		QueueDepth:      o.queueDepth,
+		MaxBodyBytes:    o.maxBody,
+		RequestTimeout:  o.reqTimeout,
+		Parallelism:     o.parallelism,
+		ProfileAccesses: o.accesses,
+		FlightRecorder:  o.flightRec,
+		FlightDumpDir:   o.flightDir,
+		SLOEpochLatency: o.sloEpoch,
+		SLOBudget:       o.sloBudget,
 	})
 	if err != nil {
 		return err
 	}
-	httpSrv, err := srv.Serve(addr)
+	httpSrv, err := srv.Serve(o.addr)
 	if err != nil {
 		return err
 	}
@@ -135,10 +179,10 @@ func run(addr, capStr, specJSON string, resources int, window time.Duration, max
 	served := srv.Capacity()
 	if len(spec.Dims) > 0 {
 		fmt.Printf("refserve: serving on http://%s (spec %q, capacity %v, window %s, max batch %d)\n",
-			httpSrv.Addr(), spec.Name, served, window, maxBatch)
+			httpSrv.Addr(), spec.Name, served, o.window, o.maxBatch)
 	} else {
 		fmt.Printf("refserve: serving on http://%s (capacity %v, window %s, max batch %d)\n",
-			httpSrv.Addr(), served, window, maxBatch)
+			httpSrv.Addr(), served, o.window, o.maxBatch)
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -146,7 +190,7 @@ func run(addr, capStr, specJSON string, resources int, window time.Duration, max
 	sig := <-sigCh
 	fmt.Printf("refserve: %s received, draining\n", sig)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainWait)
 	defer cancel()
 	// Order matters: drain the allocator first so in-flight mutation
 	// requests get their final-epoch replies, then stop the listener,
@@ -157,10 +201,14 @@ func run(addr, capStr, specJSON string, resources int, window time.Duration, max
 	}
 	if manifest != nil {
 		manifest.Record("serve", time.Since(start).Seconds(), drainErr)
-		if werr := manifest.WriteFile(manifestOut); werr != nil {
+		if slo, ok := srv.SLOStats(); ok {
+			manifest.SLO = append(manifest.SLO, slo)
+		}
+		manifest.AttachTrace(ref.InstalledTracer())
+		if werr := manifest.WriteFile(o.manifestOut); werr != nil {
 			fmt.Fprintln(os.Stderr, "refserve: manifest:", werr)
 		} else {
-			fmt.Printf("refserve: run manifest written to %s\n", manifestOut)
+			fmt.Printf("refserve: run manifest written to %s\n", o.manifestOut)
 		}
 	}
 	if drainErr != nil {

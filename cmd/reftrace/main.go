@@ -1,0 +1,267 @@
+// Command reftrace inspects the serve path's observability artifacts
+// offline: a Chrome trace-event JSON export (from /debug/trace or a run
+// manifest's trace section) or a flight-recorder payload (from
+// /debug/ref/flightrecorder or an anomaly dump file). It prints a
+// per-stage latency breakdown and, for flight-recorder input, an
+// anomaly timeline of audit failures, shed spikes, and captured dumps.
+//
+//	curl -s localhost:9090/debug/trace > trace.json
+//	reftrace trace.json
+//
+//	curl -s localhost:8080/debug/ref/flightrecorder > flightrec.json
+//	reftrace -top 10 flightrec.json
+//
+// The input format is detected from the payload: a traceEvents key
+// selects trace analysis, the ref/flightrec/v1 schema selects
+// flight-recorder analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ref"
+)
+
+func main() {
+	top := flag.Int("top", 5, "how many slowest spans / worst epochs to list")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reftrace [-top N] <trace.json | flightrec.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reftrace:", err)
+		os.Exit(1)
+	}
+	out, err := analyze(data, *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reftrace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// analyze dispatches on the payload format and renders the report.
+func analyze(data []byte, top int) (string, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("input is not a JSON object: %v", err)
+	}
+	if _, ok := probe["traceEvents"]; ok {
+		var tr ref.ChromeTrace
+		if err := json.Unmarshal(data, &tr); err != nil {
+			return "", fmt.Errorf("bad Chrome trace: %v", err)
+		}
+		return analyzeTrace(&tr, top), nil
+	}
+	if schemaRaw, ok := probe["schema"]; ok {
+		var schema string
+		_ = json.Unmarshal(schemaRaw, &schema)
+		if schema == "ref/flightrec/v1" {
+			return analyzeFlight(data, top)
+		}
+		return "", fmt.Errorf("unsupported schema %q (want a Chrome trace or ref/flightrec/v1)", schema)
+	}
+	return "", fmt.Errorf("unrecognized input: neither a Chrome trace (traceEvents) nor a flight-recorder payload (schema)")
+}
+
+// spanStats aggregates one span name's durations.
+type spanStats struct {
+	name            string
+	count           int
+	total, min, max float64 // microseconds
+}
+
+// analyzeTrace renders a per-span-name latency breakdown plus the
+// slowest individual spans.
+func analyzeTrace(tr *ref.ChromeTrace, top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events\n", len(tr.TraceEvents))
+	if len(tr.TraceEvents) == 0 {
+		return b.String()
+	}
+	byName := map[string]*spanStats{}
+	for _, e := range tr.TraceEvents {
+		st, ok := byName[e.Name]
+		if !ok {
+			st = &spanStats{name: e.Name, min: e.Dur}
+			byName[st.name] = st
+		}
+		st.count++
+		st.total += e.Dur
+		if e.Dur < st.min {
+			st.min = e.Dur
+		}
+		if e.Dur > st.max {
+			st.max = e.Dur
+		}
+	}
+	names := make([]*spanStats, 0, len(byName))
+	for _, st := range byName {
+		names = append(names, st)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].total > names[j].total })
+
+	fmt.Fprintf(&b, "\n%-32s %8s %12s %12s %12s %12s\n", "span", "count", "total", "mean", "min", "max")
+	for _, st := range names {
+		fmt.Fprintf(&b, "%-32s %8d %12s %12s %12s %12s\n", st.name, st.count,
+			us(st.total), us(st.total/float64(st.count)), us(st.min), us(st.max))
+	}
+
+	slow := append([]ref.ChromeTraceEvent(nil), tr.TraceEvents...)
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Dur > slow[j].Dur })
+	if top > len(slow) {
+		top = len(slow)
+	}
+	fmt.Fprintf(&b, "\nslowest spans:\n")
+	for _, e := range slow[:top] {
+		fmt.Fprintf(&b, "  %-32s %12s  ts=%s", e.Name, us(e.Dur), us(e.Ts))
+		if p, ok := e.Args["parent"]; ok {
+			fmt.Fprintf(&b, "  parent=%.0f", p)
+		}
+		if ep, ok := e.Args["epoch"]; ok {
+			fmt.Fprintf(&b, "  epoch=%.0f", ep)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// flightPayload is the common shape of flight-recorder snapshots and
+// dump files: both carry records; snapshots additionally carry dumps.
+type flightPayload struct {
+	Schema  string                  `json:"schema"`
+	Enabled *bool                   `json:"enabled"`
+	Reason  string                  `json:"reason"`
+	Time    string                  `json:"time"`
+	Records []ref.EpochFlightRecord `json:"records"`
+	Dumps   []flightDumpHead        `json:"dumps"`
+}
+
+// flightDumpHead is a dump's header inside a snapshot payload.
+type flightDumpHead struct {
+	Reason  string                  `json:"reason"`
+	Time    string                  `json:"time"`
+	Seq     uint64                  `json:"seq"`
+	File    string                  `json:"file"`
+	Records []ref.EpochFlightRecord `json:"records"`
+}
+
+// analyzeFlight renders the per-stage breakdown across epoch records and
+// the anomaly timeline.
+func analyzeFlight(data []byte, top int) (string, error) {
+	var p flightPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return "", fmt.Errorf("bad flight-recorder payload: %v", err)
+	}
+	var b strings.Builder
+	switch {
+	case p.Reason != "":
+		fmt.Fprintf(&b, "flight-recorder dump: reason=%s time=%s (%d records)\n", p.Reason, p.Time, len(p.Records))
+	case p.Enabled != nil && !*p.Enabled:
+		return "flight recorder: disabled\n", nil
+	default:
+		fmt.Fprintf(&b, "flight recorder: %d records, %d dumps\n", len(p.Records), len(p.Dumps))
+	}
+	if len(p.Records) == 0 {
+		return b.String(), nil
+	}
+
+	stages := []struct {
+		name string
+		get  func(ref.EpochFlightRecord) float64
+	}{
+		{"apply", func(r ref.EpochFlightRecord) float64 { return r.ApplySeconds }},
+		{"allocate", func(r ref.EpochFlightRecord) float64 { return r.AllocateSeconds }},
+		{"audit", func(r ref.EpochFlightRecord) float64 { return r.AuditSeconds }},
+		{"publish", func(r ref.EpochFlightRecord) float64 { return r.PublishSeconds }},
+		{"total", func(r ref.EpochFlightRecord) float64 { return r.TotalSeconds }},
+	}
+	first, last := p.Records[0], p.Records[len(p.Records)-1]
+	fmt.Fprintf(&b, "epochs %d..%d, agents %d..%d\n", first.Epoch, last.Epoch, first.Agents, last.Agents)
+	fmt.Fprintf(&b, "\n%-10s %12s %12s %12s\n", "stage", "mean", "max", "sum")
+	for _, st := range stages {
+		var sum, max float64
+		for _, r := range p.Records {
+			v := st.get(r)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", st.name,
+			secs(sum/float64(len(p.Records))), secs(max), secs(sum))
+	}
+
+	worst := append([]ref.EpochFlightRecord(nil), p.Records...)
+	sort.Slice(worst, func(i, j int) bool { return worst[i].TotalSeconds > worst[j].TotalSeconds })
+	if top > len(worst) {
+		top = len(worst)
+	}
+	fmt.Fprintf(&b, "\nworst epochs by total:\n")
+	for _, r := range worst[:top] {
+		fmt.Fprintf(&b, "  epoch %-8d total=%s batch=%d agents=%d audit=%s\n",
+			r.Epoch, secs(r.TotalSeconds), r.BatchSize, r.Agents, r.AuditMode)
+	}
+
+	fmt.Fprintf(&b, "\nanomaly timeline:\n")
+	anomalies := 0
+	for _, r := range p.Records {
+		var notes []string
+		if r.AuditMode != "none" && !(r.SI && r.EF && r.PE) {
+			notes = append(notes, fmt.Sprintf("AUDIT FAILURE si=%t ef=%t pe=%t (%d violations)", r.SI, r.EF, r.PE, r.Violations))
+		}
+		if r.Shed > 0 {
+			notes = append(notes, fmt.Sprintf("shed %d writes", r.Shed))
+		}
+		if r.Resummed {
+			notes = append(notes, "exact resummation")
+		}
+		if len(notes) == 0 {
+			continue
+		}
+		anomalies++
+		fmt.Fprintf(&b, "  epoch %-8d %s  %s\n", r.Epoch, r.Time, strings.Join(notes, "; "))
+	}
+	for _, d := range p.Dumps {
+		anomalies++
+		span := ""
+		if len(d.Records) > 0 {
+			span = fmt.Sprintf(" epochs %d..%d", d.Records[0].Epoch, d.Records[len(d.Records)-1].Epoch)
+		}
+		file := ""
+		if d.File != "" {
+			file = " file=" + d.File
+		}
+		fmt.Fprintf(&b, "  dump  seq=%-6d %s  reason=%s%s%s\n", d.Seq, d.Time, d.Reason, span, file)
+	}
+	if anomalies == 0 {
+		fmt.Fprintf(&b, "  (none)\n")
+	}
+	return b.String(), nil
+}
+
+// us renders a microsecond quantity human-readably.
+func us(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fs", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", v)
+	}
+}
+
+// secs renders a seconds quantity human-readably.
+func secs(v float64) string { return us(v * 1e6) }

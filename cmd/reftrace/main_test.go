@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{
+  "traceEvents": [
+    {"name": "ref_serve_epoch", "ph": "X", "ts": 0, "dur": 1500, "pid": 1, "tid": 1,
+     "args": {"span": 7, "epoch": 3, "batch": 2}},
+    {"name": "ref_serve_epoch_apply", "ph": "X", "ts": 0, "dur": 400, "pid": 1, "tid": 1,
+     "args": {"parent": 7, "epoch": 3}},
+    {"name": "ref_serve_epoch_audit", "ph": "X", "ts": 400, "dur": 1100, "pid": 1, "tid": 1,
+     "args": {"parent": 7, "epoch": 3}}
+  ],
+  "displayTimeUnit": "ms"
+}`
+
+const sampleFlight = `{
+  "schema": "ref/flightrec/v1",
+  "enabled": true,
+  "size": 8,
+  "seq": 3,
+  "records": [
+    {"epoch": 1, "time": "2026-08-08T00:00:01Z", "agents": 10, "batch_size": 10,
+     "applied": 10, "rejected": 0, "apply_seconds": 0.001, "allocate_seconds": 0.002,
+     "audit_seconds": 0.003, "publish_seconds": 0.0005, "total_seconds": 0.007,
+     "audit_mode": "exact", "si": true, "ef": true, "pe": true},
+    {"epoch": 2, "time": "2026-08-08T00:00:02Z", "agents": 10, "batch_size": 0,
+     "applied": 0, "rejected": 0, "apply_seconds": 0.001, "allocate_seconds": 0.002,
+     "audit_seconds": 0.009, "publish_seconds": 0.0005, "total_seconds": 0.013,
+     "audit_mode": "sampled", "si": false, "ef": true, "pe": true,
+     "violations": 2, "sample_size": 4, "si_margin_min": -0.25, "shed": 300}
+  ],
+  "dumps": [
+    {"schema": "ref/flightrec/v1", "reason": "audit_failure",
+     "time": "2026-08-08T00:00:02Z", "seq": 2,
+     "records": [{"epoch": 2, "audit_mode": "sampled", "si": false, "ef": true, "pe": true}]}
+  ]
+}`
+
+func TestAnalyzeTrace(t *testing.T) {
+	out, err := analyze([]byte(sampleTrace), 5)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{
+		"trace: 3 events",
+		"ref_serve_epoch",
+		"ref_serve_epoch_audit",
+		"slowest spans:",
+		"parent=7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeFlight(t *testing.T) {
+	out, err := analyze([]byte(sampleFlight), 5)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{
+		"flight recorder: 2 records, 1 dumps",
+		"epochs 1..2",
+		"audit",
+		"worst epochs by total:",
+		"anomaly timeline:",
+		"AUDIT FAILURE si=false ef=true pe=true (2 violations)",
+		"shed 300 writes",
+		"reason=audit_failure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight report missing %q:\n%s", want, out)
+		}
+	}
+	// Epoch 2 is the slowest; it should lead the worst list.
+	worst := out[strings.Index(out, "worst epochs"):]
+	if !strings.Contains(strings.SplitN(worst, "\n", 3)[1], "epoch 2") {
+		t.Errorf("expected epoch 2 to top the worst list:\n%s", worst)
+	}
+}
+
+func TestAnalyzeFlightDumpFile(t *testing.T) {
+	dump := `{"schema": "ref/flightrec/v1", "reason": "latency_breach",
+	  "time": "2026-08-08T00:00:05Z", "seq": 9,
+	  "records": [{"epoch": 5, "total_seconds": 0.5, "audit_mode": "exact",
+	    "si": true, "ef": true, "pe": true, "agents": 3, "batch_size": 1}]}`
+	out, err := analyze([]byte(dump), 3)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !strings.Contains(out, "flight-recorder dump: reason=latency_breach") {
+		t.Errorf("dump header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "epoch 5") {
+		t.Errorf("dump record missing:\n%s", out)
+	}
+}
+
+func TestAnalyzeDisabledRecorder(t *testing.T) {
+	out, err := analyze([]byte(`{"schema": "ref/flightrec/v1", "enabled": false}`), 3)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !strings.Contains(out, "disabled") {
+		t.Errorf("want disabled notice, got:\n%s", out)
+	}
+}
+
+func TestAnalyzeRejectsUnknownInput(t *testing.T) {
+	if _, err := analyze([]byte(`{"foo": 1}`), 3); err == nil {
+		t.Error("unrecognized object should error")
+	}
+	if _, err := analyze([]byte(`{"schema": "other/v9"}`), 3); err == nil {
+		t.Error("unknown schema should error")
+	}
+	if _, err := analyze([]byte(`not json`), 3); err == nil {
+		t.Error("non-JSON should error")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	out, err := analyze([]byte(`{"traceEvents": [], "displayTimeUnit": "ms"}`), 3)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !strings.Contains(out, "trace: 0 events") {
+		t.Errorf("want empty-trace header, got:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type testRec struct {
+	Epoch int `json:"epoch"`
+}
+
+func flightTime(sec int) time.Time {
+	return time.Date(2026, 8, 8, 0, 0, sec, 0, time.UTC)
+}
+
+func TestFlightRecorderRingOrder(t *testing.T) {
+	f := NewFlightRecorder[testRec](4, FlightOptions{})
+	for i := 1; i <= 6; i++ {
+		f.Record(testRec{Epoch: i})
+	}
+	snap := f.Snapshot()
+	if !snap.Enabled || snap.Size != 4 || snap.Seq != 6 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	want := []int{3, 4, 5, 6}
+	if len(snap.Records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(snap.Records), len(want))
+	}
+	for i, rec := range snap.Records {
+		if rec.Epoch != want[i] {
+			t.Errorf("records[%d] = epoch %d, want %d (oldest first)", i, rec.Epoch, want[i])
+		}
+	}
+}
+
+func TestFlightRecorderDumpAndRearm(t *testing.T) {
+	f := NewFlightRecorder[testRec](4, FlightOptions{})
+	for i := 1; i <= 4; i++ {
+		f.Record(testRec{Epoch: i})
+	}
+	dumped, _, err := f.Dump("audit_failure", flightTime(1))
+	if err != nil || !dumped {
+		t.Fatalf("first Dump = %v, %v; want true, nil", dumped, err)
+	}
+	// Same reason before the ring turns over: suppressed.
+	f.Record(testRec{Epoch: 5})
+	if dumped, _, _ := f.Dump("audit_failure", flightTime(2)); dumped {
+		t.Error("dump re-fired before ring turnover")
+	}
+	// A different reason is independently armed.
+	if dumped, _, _ := f.Dump("latency_breach", flightTime(3)); !dumped {
+		t.Error("independent reason was suppressed")
+	}
+	// After a full turnover the original reason re-arms.
+	for i := 6; i <= 9; i++ {
+		f.Record(testRec{Epoch: i})
+	}
+	if dumped, _, _ := f.Dump("audit_failure", flightTime(4)); !dumped {
+		t.Error("dump did not re-arm after ring turnover")
+	}
+	dumps := f.Dumps()
+	if len(dumps) != 3 {
+		t.Fatalf("got %d dumps, want 3", len(dumps))
+	}
+	if dumps[0].Reason != "audit_failure" || dumps[1].Reason != "latency_breach" || dumps[2].Reason != "audit_failure" {
+		t.Errorf("dump reasons = %v", []string{dumps[0].Reason, dumps[1].Reason, dumps[2].Reason})
+	}
+	if dumps[0].Seq != 4 || dumps[2].Seq != 9 {
+		t.Errorf("dump seqs = %d, %d; want 4, 9", dumps[0].Seq, dumps[2].Seq)
+	}
+	if got := dumps[2].Records[0].Epoch; got != 6 {
+		t.Errorf("second audit dump starts at epoch %d, want 6", got)
+	}
+}
+
+func TestFlightRecorderMaxDumpsRoll(t *testing.T) {
+	f := NewFlightRecorder[testRec](1, FlightOptions{MaxDumps: 2})
+	for i := 1; i <= 5; i++ {
+		f.Record(testRec{Epoch: i})
+		if dumped, _, _ := f.Dump("r", flightTime(i)); !dumped {
+			t.Fatalf("dump %d suppressed (size-1 ring turns over every record)", i)
+		}
+	}
+	dumps := f.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dumps, want MaxDumps 2", len(dumps))
+	}
+	if dumps[0].Seq != 4 || dumps[1].Seq != 5 {
+		t.Errorf("retained seqs = %d, %d; want the newest (4, 5)", dumps[0].Seq, dumps[1].Seq)
+	}
+}
+
+func TestFlightRecorderDumpFiles(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder[testRec](2, FlightOptions{Dir: dir})
+	f.Record(testRec{Epoch: 1})
+	f.Record(testRec{Epoch: 2})
+	dumped, file, err := f.Dump("audit_failure", flightTime(1))
+	if !dumped || err != nil {
+		t.Fatalf("Dump = %v, %v", dumped, err)
+	}
+	if filepath.Dir(file) != dir {
+		t.Fatalf("dump file %q not in %q", file, dir)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("reading dump file: %v", err)
+	}
+	var d FlightDump[testRec]
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump file is not valid JSON: %v", err)
+	}
+	if d.Schema != FlightSchema || d.Reason != "audit_failure" || len(d.Records) != 2 {
+		t.Errorf("dump file contents = %+v", d)
+	}
+}
+
+func TestFlightRecorderDumpFileErrorNonFatal(t *testing.T) {
+	f := NewFlightRecorder[testRec](2, FlightOptions{Dir: filepath.Join(t.TempDir(), "missing-subdir")})
+	f.Record(testRec{Epoch: 1})
+	dumped, file, err := f.Dump("r", flightTime(1))
+	if !dumped {
+		t.Fatal("dump suppressed by write error")
+	}
+	if err == nil {
+		t.Fatal("expected a write error for a missing directory")
+	}
+	if file != "" {
+		t.Errorf("failed write still reported file %q", file)
+	}
+	if dumps := f.Dumps(); len(dumps) != 1 || dumps[0].File != "" {
+		t.Errorf("in-memory dump after write error = %+v", dumps)
+	}
+}
+
+func TestNilFlightRecorderNoOps(t *testing.T) {
+	var f *FlightRecorder[testRec]
+	f.Record(testRec{Epoch: 1})
+	if dumped, _, err := f.Dump("r", flightTime(1)); dumped || err != nil {
+		t.Error("nil recorder dumped")
+	}
+	if f.Dumps() != nil {
+		t.Error("nil recorder has dumps")
+	}
+	snap := f.Snapshot()
+	if snap.Enabled {
+		t.Error("nil recorder reports enabled")
+	}
+	if snap.Schema != FlightSchema {
+		t.Errorf("nil snapshot schema = %q, want %q (probes still parse it)", snap.Schema, FlightSchema)
+	}
+}

@@ -213,6 +213,15 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Max
 }
 
+// Snapshot returns a point-in-time copy of the histogram (the zero
+// snapshot for the nil Histogram), ready for Quantile interpolation.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:   h.count.Load(),

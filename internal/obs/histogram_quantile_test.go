@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile edge cases, pinned against hand-built snapshots so the
+// expected interpolation is exact.
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// A nil histogram's Snapshot is the empty snapshot.
+	var h *Histogram
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All 10 samples in one finite bucket (0, 8]: the lowest bucket
+	// interpolates from 0, so the median lands mid-bucket.
+	s := HistogramSnapshot{
+		Count: 10, Sum: 40, Min: 2, Max: 6,
+		Buckets: []Bucket{
+			{UpperBound: 8, CumulativeCount: 10},
+			{UpperBound: math.Inf(1), CumulativeCount: 10},
+		},
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("single-bucket Quantile(0.5) = %v, want 4 (interpolated from 0)", got)
+	}
+	// Interpolation toward the bound is capped at the observed max.
+	if got := s.Quantile(0.99); got != 6 {
+		t.Errorf("single-bucket Quantile(0.99) = %v, want Max 6", got)
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	s := HistogramSnapshot{
+		Count: 4, Sum: 10, Min: 1, Max: 4,
+		Buckets: []Bucket{
+			{UpperBound: 2, CumulativeCount: 2},
+			{UpperBound: 4, CumulativeCount: 4},
+			{UpperBound: math.Inf(1), CumulativeCount: 4},
+		},
+	}
+	if got, want := s.Quantile(0), s.Quantile(-3); got != want {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", want, got)
+	}
+	if got, want := s.Quantile(1), s.Quantile(17); got != want {
+		t.Errorf("Quantile(17) = %v, want clamp to Quantile(1) = %v", want, got)
+	}
+	// q=0 has rank 0, satisfied by the first bucket at interpolated 0…
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	// …and q=1 is the full count, capped at the observed max.
+	if got := s.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want Max 4", got)
+	}
+}
+
+func TestQuantileAllInOverflow(t *testing.T) {
+	// Every sample above the last finite bound: the +Inf bucket has no
+	// upper bound to interpolate toward, so every quantile reports Max.
+	s := HistogramSnapshot{
+		Count: 3, Sum: 3000, Min: 900, Max: 1100,
+		Buckets: []Bucket{
+			{UpperBound: math.Inf(1), CumulativeCount: 3},
+		},
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 1100 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want Max 1100", q, got)
+		}
+	}
+}
+
+func TestQuantileLiveHistogramOverflow(t *testing.T) {
+	// End-to-end: observations beyond the ladder's top bound (~4.5e9)
+	// land in +Inf and quantiles degrade to Max, not to garbage.
+	r := NewRegistry()
+	h := r.Histogram("overflow_test")
+	h.Observe(1e12)
+	h.Observe(2e12)
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.5); got != 2e12 {
+		t.Errorf("overflow Quantile(0.5) = %v, want Max 2e12", got)
+	}
+}

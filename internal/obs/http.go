@@ -6,8 +6,24 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 )
+
+// SetRuntimeProfileRate enables runtime block and mutex profiling at the
+// given rate, exposing /debug/pprof/block and /debug/pprof/mutex with
+// real data. rate ≤ 0 disables both again (the default: both profiles
+// cost on every contended lock when enabled, so they are opt-in via
+// -profile-rate on the serving CLIs).
+func SetRuntimeProfileRate(rate int) {
+	if rate <= 0 {
+		runtime.SetBlockProfileRate(0)
+		runtime.SetMutexProfileFraction(0)
+		return
+	}
+	runtime.SetBlockProfileRate(rate)
+	runtime.SetMutexProfileFraction(rate)
+}
 
 // expvarOnce guards the one-time expvar publication (expvar.Publish
 // panics on duplicate names).
@@ -17,10 +33,12 @@ var expvarOnce sync.Once
 //
 //	/metrics       Prometheus text exposition of the installed registry
 //	/debug/vars    expvar JSON (includes the registry under "ref_metrics")
+//	/debug/trace   Chrome trace-event JSON of the installed tracer
 //	/debug/pprof/  the standard runtime profiles
 //
-// The handler reads the registry installed at scrape time, so it can be
-// mounted before Install.
+// The handler reads the registry and tracer installed at scrape time, so
+// it can be mounted before Install/InstallTracer. /debug/trace answers
+// an empty (but well-formed) trace while no tracer is installed.
 func Handler() http.Handler {
 	expvarOnce.Do(func() {
 		expvar.Publish("ref_metrics", expvar.Func(func() any { return Snapshot() }))
@@ -29,6 +47,10 @@ func Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, InstalledTracer())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -41,7 +63,7 @@ func Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ref observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "ref observability endpoint\n\n/metrics\n/debug/vars\n/debug/trace\n/debug/pprof/\n")
 	})
 	return mux
 }

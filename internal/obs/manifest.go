@@ -29,13 +29,13 @@ type RunRecord struct {
 // measurement to compare it against other runs. BENCH_*.json trajectory
 // files and the CI manifest artifact share this format.
 type Manifest struct {
-	Schema      string  `json:"schema"`
-	Tool        string  `json:"tool"`
+	Schema      string   `json:"schema"`
+	Tool        string   `json:"tool"`
 	Args        []string `json:"args,omitempty"`
-	StartedAt   string  `json:"started_at"`
-	WallSeconds float64 `json:"wall_seconds"`
-	GoVersion   string  `json:"go_version"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
+	StartedAt   string   `json:"started_at"`
+	WallSeconds float64  `json:"wall_seconds"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
 	// Parallelism is the effective worker-pool width of the run.
 	Parallelism int `json:"parallelism"`
 	// Accesses is the per-configuration simulation budget.
@@ -45,8 +45,23 @@ type Manifest struct {
 	// Metrics is the registry snapshot taken when the manifest was
 	// finalized.
 	Metrics *SnapshotData `json:"metrics"`
+	// SLO summarizes each service-level objective the run tracked
+	// (epoch-latency good/bad counters and burn rate for serving tools).
+	SLO []SLOSnapshot `json:"slo,omitempty"`
+	// Trace is the Chrome trace-event export of the run's tracer, when
+	// tracing was enabled — the same payload /debug/trace serves.
+	Trace *ChromeTrace `json:"trace,omitempty"`
 
 	started time.Time
+}
+
+// AttachTrace embeds t's Chrome export into the manifest; a nil or empty
+// tracer leaves the manifest unchanged.
+func (m *Manifest) AttachTrace(t *Tracer) {
+	if t == nil || t.Len() == 0 {
+		return
+	}
+	m.Trace = t.Chrome()
 }
 
 // NewManifest starts a manifest for the named tool, stamping environment

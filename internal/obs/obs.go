@@ -83,10 +83,36 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// spans caches each span name's resolved (histogram, counter) pair so
+	// the span hot path resolves both instruments with one lock and zero
+	// name concatenation after first use.
+	spans map[string]spanHandle
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
+
+// spanHandle is a span name's cached instrument pair.
+type spanHandle struct {
+	hist  *Histogram
+	total *Counter
+}
+
+// spanInstruments resolves the <name>_seconds histogram and <name>_total
+// counter for a span site, building the suffixed names only on first use.
+func (r *Registry) spanInstruments(name string) (*Histogram, *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.spans[name]; ok {
+		return h.hist, h.total
+	}
+	if r.spans == nil {
+		r.spans = make(map[string]spanHandle)
+	}
+	h := spanHandle{hist: r.histogramLocked(name + "_seconds"), total: r.counterLocked(name + "_total")}
+	r.spans[name] = h
+	return h.hist, h.total
+}
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
@@ -95,6 +121,10 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.counterLocked(name)
+}
+
+func (r *Registry) counterLocked(name string) *Counter {
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
@@ -132,6 +162,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.histogramLocked(name)
+}
+
+func (r *Registry) histogramLocked(name string) *Histogram {
 	if r.histograms == nil {
 		r.histograms = make(map[string]*Histogram)
 	}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRuntimeProfileRate(t *testing.T) {
+	SetRuntimeProfileRate(1)
+	defer SetRuntimeProfileRate(0)
+
+	// Generate a little lock contention so the profiles have data.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				mu.Lock()
+				runtime.Gosched()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := Handler()
+	for _, profile := range []string{"block", "mutex"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/"+profile+"?debug=1", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET /debug/pprof/%s = %d, want 200", profile, rec.Code)
+		}
+	}
+
+	// Disabling resets the runtime rates.
+	SetRuntimeProfileRate(0)
+	if frac := runtime.SetMutexProfileFraction(-1); frac != 0 {
+		t.Errorf("mutex profile fraction after disable = %d, want 0", frac)
+	}
+}

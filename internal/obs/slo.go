@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks one latency service-level objective: each observation is
+// classified good (≤ objective) or bad, cumulative good/bad counters
+// accumulate for the process lifetime, and a rolling window yields the
+// burn rate — the fraction of recent observations that were bad,
+// normalized by the error budget, so burn > 1 means the objective is
+// being missed faster than the budget allows. The nil SLO no-ops.
+type SLO struct {
+	name      string
+	objective float64 // seconds
+	budget    float64 // allowed bad fraction, in (0, 1]
+
+	mu        sync.Mutex
+	good, bad uint64
+	window    []bool // true = bad
+	head, n   int
+	windowBad int
+}
+
+// SLOSnapshot is a point-in-time copy of an SLO tracker,
+// JSON-serializable for healthz responses and run manifests.
+type SLOSnapshot struct {
+	// Name identifies the objective, e.g. "epoch_latency".
+	Name string `json:"name"`
+	// ObjectiveSeconds is the latency threshold.
+	ObjectiveSeconds float64 `json:"objective_seconds"`
+	// Budget is the allowed bad fraction.
+	Budget float64 `json:"budget"`
+	// Good and Bad count observations at or under / over the objective
+	// since the tracker was created.
+	Good uint64 `json:"good"`
+	Bad  uint64 `json:"bad"`
+	// WindowBad and WindowSize describe the rolling window behind the
+	// burn rate.
+	WindowBad  int `json:"window_bad"`
+	WindowSize int `json:"window_size"`
+	// BurnRate is (WindowBad/WindowSize)/Budget; above 1 the objective
+	// is currently being violated.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// NewSLO returns a tracker for a latency objective. budget ≤ 0 defaults
+// to 0.01 (1% of observations may exceed the objective); window ≤ 0
+// defaults to 1024 observations.
+func NewSLO(name string, objective time.Duration, budget float64, window int) *SLO {
+	if budget <= 0 {
+		budget = 0.01
+	}
+	if budget > 1 {
+		budget = 1
+	}
+	if window <= 0 {
+		window = 1024
+	}
+	return &SLO{
+		name:      name,
+		objective: objective.Seconds(),
+		budget:    budget,
+		window:    make([]bool, window),
+	}
+}
+
+// Observe classifies one latency sample and reports whether it met the
+// objective (true for the nil SLO).
+func (s *SLO) Observe(seconds float64) bool {
+	if s == nil {
+		return true
+	}
+	bad := seconds > s.objective
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		s.bad++
+	} else {
+		s.good++
+	}
+	if s.n == len(s.window) {
+		if s.window[s.head] {
+			s.windowBad--
+		}
+	} else {
+		s.n++
+	}
+	s.window[s.head] = bad
+	if bad {
+		s.windowBad++
+	}
+	s.head = (s.head + 1) % len(s.window)
+	return !bad
+}
+
+// BurnRate returns the current burn rate (0 for the nil SLO or before
+// any observation).
+func (s *SLO) BurnRate() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.burnRateLocked()
+}
+
+func (s *SLO) burnRateLocked() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.windowBad) / float64(s.n) / s.budget
+}
+
+// Snapshot returns a point-in-time copy (the zero snapshot for nil).
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SLOSnapshot{
+		Name:             s.name,
+		ObjectiveSeconds: s.objective,
+		Budget:           s.budget,
+		Good:             s.good,
+		Bad:              s.bad,
+		WindowBad:        s.windowBad,
+		WindowSize:       s.n,
+		BurnRate:         s.burnRateLocked(),
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLOClassification(t *testing.T) {
+	s := NewSLO("epoch_latency", 10*time.Millisecond, 0.1, 8)
+	if !s.Observe(0.005) {
+		t.Error("5ms under a 10ms objective classified bad")
+	}
+	if !s.Observe(0.010) {
+		t.Error("exactly-at-objective classified bad (want good: bad is strictly over)")
+	}
+	if s.Observe(0.011) {
+		t.Error("11ms over a 10ms objective classified good")
+	}
+	snap := s.Snapshot()
+	if snap.Good != 2 || snap.Bad != 1 {
+		t.Errorf("good/bad = %d/%d, want 2/1", snap.Good, snap.Bad)
+	}
+	if snap.Name != "epoch_latency" || snap.ObjectiveSeconds != 0.01 || snap.Budget != 0.1 {
+		t.Errorf("snapshot header = %+v", snap)
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	s := NewSLO("x", time.Millisecond, 0.25, 4)
+	if got := s.BurnRate(); got != 0 {
+		t.Errorf("burn rate before observations = %v, want 0", got)
+	}
+	// 1 bad of 2 seen: (1/2)/0.25 = 2.
+	s.Observe(0.0005)
+	s.Observe(0.002)
+	if got := s.BurnRate(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("burn rate = %v, want 2", got)
+	}
+	// Window rolls: 4 good observations push the bad one out entirely.
+	for i := 0; i < 4; i++ {
+		s.Observe(0.0001)
+	}
+	if got := s.BurnRate(); got != 0 {
+		t.Errorf("burn rate after window rolled = %v, want 0", got)
+	}
+	snap := s.Snapshot()
+	if snap.WindowBad != 0 || snap.WindowSize != 4 {
+		t.Errorf("window state = %d bad of %d", snap.WindowBad, snap.WindowSize)
+	}
+	// Cumulative counters never roll.
+	if snap.Good != 5 || snap.Bad != 1 {
+		t.Errorf("cumulative good/bad = %d/%d, want 5/1", snap.Good, snap.Bad)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	s := NewSLO("d", time.Second, 0, 0)
+	if s.budget != 0.01 {
+		t.Errorf("default budget = %v, want 0.01", s.budget)
+	}
+	if len(s.window) != 1024 {
+		t.Errorf("default window = %d, want 1024", len(s.window))
+	}
+	if s2 := NewSLO("d", time.Second, 7, 1); s2.budget != 1 {
+		t.Errorf("budget > 1 clamps to 1, got %v", s2.budget)
+	}
+}
+
+func TestNilSLONoOps(t *testing.T) {
+	var s *SLO
+	if !s.Observe(99) {
+		t.Error("nil SLO classified an observation bad")
+	}
+	if s.BurnRate() != 0 {
+		t.Error("nil SLO has a burn rate")
+	}
+	if snap := s.Snapshot(); snap != (SLOSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}

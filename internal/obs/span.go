@@ -3,32 +3,74 @@ package obs
 import "time"
 
 // Span times one logical stage (a grid sweep, a profiling pass, an
-// experiment). Ending a span records its duration into the histogram
-// <name>_seconds and bumps the counter <name>_total on the registry that
-// was installed when the span started.
+// allocation epoch). Ending a span records its duration into the
+// histogram <name>_seconds and bumps the counter <name>_total on the
+// registry that was installed when the span started; when a tracer is
+// also installed, End emits a trace event carrying the span's ID, its
+// parent link (for spans started with StartChild), and any attributes
+// passed to End.
 //
-// When observability is disabled StartSpan returns the zero Span and End
-// is a no-op: no clock read, no allocation.
+// StartSpan resolves the histogram/counter handles once, through the
+// registry's span-handle cache, so End never concatenates metric names
+// or takes the registry mutex — the enabled steady state is
+// allocation-free (the tracer path costs one Event allocation per
+// span, by design: events are immutable ring entries).
+//
+// When both observability and tracing are disabled StartSpan returns the
+// zero Span and End is a no-op: no clock read, no allocation.
 type Span struct {
-	name  string
-	start time.Time
-	r     *Registry
+	name   string
+	start  time.Time
+	hist   *Histogram
+	total  *Counter
+	tr     *Tracer
+	id     uint64
+	parent uint64
 }
 
-// StartSpan begins timing a stage against the installed registry.
+// StartSpan begins timing a stage against the installed registry and
+// tracer.
 func StartSpan(name string) Span {
 	r := Installed()
-	if r == nil {
+	tr := InstalledTracer()
+	if r == nil && tr == nil {
 		return Span{}
 	}
-	return Span{name: name, start: time.Now(), r: r}
+	s := Span{name: name, start: time.Now(), tr: tr}
+	if r != nil {
+		s.hist, s.total = r.spanInstruments(name)
+	}
+	if tr != nil {
+		s.id = tr.NewID()
+	}
+	return s
 }
 
-// End records the span. Safe to call on the zero Span.
-func (s Span) End() {
-	if s.r == nil {
+// StartChild begins a span parent-linked to s, so trace viewers nest it
+// under s's interval. With tracing off it is identical to StartSpan.
+func (s Span) StartChild(name string) Span {
+	c := StartSpan(name)
+	c.parent = s.id
+	return c
+}
+
+// ID returns the span's trace identifier (0 with tracing off).
+func (s Span) ID() uint64 { return s.id }
+
+// End records the span, attaching attrs to the trace event when tracing
+// is on. Safe to call on the zero Span.
+func (s Span) End(attrs ...Attr) {
+	if s.hist == nil && s.tr == nil {
 		return
 	}
-	s.r.Histogram(s.name + "_seconds").Observe(time.Since(s.start).Seconds())
-	s.r.Counter(s.name + "_total").Inc()
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+		s.total.Inc()
+	}
+	if s.tr != nil {
+		e := &Event{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Dur: d}
+		e.SetAttrs(attrs...)
+		s.tr.Emit(e)
+	}
 }

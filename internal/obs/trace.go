@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Causal tracing: structured span events with IDs, parent links, and
+// key/value attributes, recorded into a bounded lock-free ring and
+// exportable as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+// The tracer follows the same contract as the metrics registry: nothing
+// is installed by default, the nil *Tracer no-ops on every method, and
+// instrumented sites pay one atomic pointer load to discover tracing is
+// off. When tracing is on, each finished span costs one small allocation
+// (the immutable Event stored in the ring) — events are never mutated
+// after Emit, so concurrent Snapshot readers are race-free without
+// locks.
+
+// Attr is one numeric key/value attribute on a trace event. Trace
+// attributes are numbers by design (epoch, batch size, counts, 0/1
+// flags): the event name carries the semantic, and numeric args keep the
+// hot path free of string formatting.
+type Attr struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// maxEventAttrs bounds per-event attributes; they live inline in the
+// Event so attribute-carrying spans cost no extra allocation.
+const maxEventAttrs = 8
+
+// Event is one completed span: a named interval with a tracer-unique ID,
+// an optional parent link, and inline attributes. Events are immutable
+// once emitted.
+type Event struct {
+	// ID is the span's tracer-unique identifier (assigned by NewID or at
+	// Emit time; never 0 once recorded).
+	ID uint64
+	// Parent is the enclosing span's ID, 0 for a root span.
+	Parent uint64
+	// Name identifies the span site, e.g. "ref_serve_epoch_audit".
+	Name string
+	// Start and Dur delimit the interval.
+	Start time.Time
+	Dur   time.Duration
+	// Attrs[:NAttrs] are the event's attributes.
+	Attrs  [maxEventAttrs]Attr
+	NAttrs int
+}
+
+// SetAttrs copies up to maxEventAttrs attributes into the event.
+func (e *Event) SetAttrs(attrs ...Attr) {
+	e.NAttrs = copy(e.Attrs[:], attrs)
+}
+
+// Tracer records completed span events into a bounded ring. Create with
+// NewTracer; the nil Tracer discards everything.
+type Tracer struct {
+	// slots is a power-of-two ring of immutable events. Writers claim a
+	// ticket and store unconditionally; the ring keeps the most recent
+	// len(slots) events.
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	// next is the ticket counter (total events ever emitted).
+	next atomic.Uint64
+	// ids hands out span IDs; separate from next so StartChild can link
+	// to a parent that has not finished (and thus not claimed a ticket).
+	ids atomic.Uint64
+	// base anchors Chrome-export timestamps.
+	base time.Time
+}
+
+// DefaultTraceEvents is the ring capacity NewTracer uses for
+// capacity <= 0.
+const DefaultTraceEvents = 65536
+
+// NewTracer returns a tracer retaining the most recent events in a ring
+// of the given capacity, rounded up to a power of two (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &Tracer{
+		slots: make([]atomic.Pointer[Event], size),
+		mask:  uint64(size - 1),
+		base:  time.Now(),
+	}
+}
+
+// NewID returns a fresh nonzero span ID (0 for the nil Tracer).
+func (t *Tracer) NewID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// Emit records a completed event, assigning an ID if it has none. The
+// ring keeps the most recent cap events; older ones are overwritten.
+func (t *Tracer) Emit(e *Event) {
+	if t == nil || e == nil {
+		return
+	}
+	if e.ID == 0 {
+		e.ID = t.ids.Add(1)
+	}
+	ticket := t.next.Add(1) - 1
+	t.slots[ticket&t.mask].Store(e)
+}
+
+// Len reports how many events the tracer currently retains.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.next.Load()
+	if n > uint64(len(t.slots)) {
+		return len(t.slots)
+	}
+	return int(n)
+}
+
+// Snapshot copies the retained events, ordered by span ID (a stable,
+// deterministic order; ring tickets race under concurrent emitters).
+// Slots mid-overwrite yield either the old or the new event, never a
+// torn one.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// globalTracer is the process-wide tracer consulted by StartSpan sites.
+// nil (the default) disables tracing.
+var globalTracer atomic.Pointer[Tracer]
+
+// InstallTracer makes t the process-wide tracer picked up by every span
+// site. Installing nil disables tracing again.
+func InstallTracer(t *Tracer) { globalTracer.Store(t) }
+
+// InstalledTracer returns the process-wide tracer, or nil when tracing
+// is off.
+func InstalledTracer() *Tracer { return globalTracer.Load() }
+
+// TracingEnabled reports whether a tracer is installed.
+func TracingEnabled() bool { return globalTracer.Load() != nil }
+
+// ChromeEvent is one entry of the Chrome trace-event JSON format: a
+// complete ("ph":"X") duration event with microsecond timestamps. The
+// span's own ID and parent link ride in Args as "span" and "parent".
+type ChromeEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the Chrome trace-event format,
+// loadable in Perfetto and chrome://tracing.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// Chrome exports the retained events in Chrome trace-event form.
+// Timestamps are microseconds relative to the tracer's creation time.
+// The nil Tracer exports an empty (but well-formed) trace.
+func (t *Tracer) Chrome() *ChromeTrace {
+	out := &ChromeTrace{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	if t == nil {
+		return out
+	}
+	for _, e := range t.Snapshot() {
+		ce := ChromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   float64(e.Start.Sub(t.base)) / float64(time.Microsecond),
+			Dur:  float64(e.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+			Args: make(map[string]float64, e.NAttrs+2),
+		}
+		ce.Args["span"] = float64(e.ID)
+		if e.Parent != 0 {
+			ce.Args["parent"] = float64(e.Parent)
+		}
+		for _, a := range e.Attrs[:e.NAttrs] {
+			ce.Args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	return out
+}
+
+// WriteChromeTrace writes t's events as indented Chrome trace-event
+// JSON.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t.Chrome()); err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 100; i++ {
+		tr.Emit(&Event{Name: "e", Start: time.Now(), Dur: time.Microsecond})
+	}
+	if got := tr.Len(); got != 16 {
+		t.Fatalf("Len after overflow = %d, want ring size 16", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(snap))
+	}
+	// The ring keeps the most recent events: IDs 85..100.
+	for _, e := range snap {
+		if e.ID <= 84 {
+			t.Errorf("stale event ID %d survived wraparound", e.ID)
+		}
+	}
+}
+
+func TestTracerCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultTraceEvents}, {-5, DefaultTraceEvents},
+		{1, 16}, {16, 16}, {17, 32}, {1000, 1024},
+	} {
+		tr := NewTracer(tc.in)
+		if got := len(tr.slots); got != tc.want {
+			t.Errorf("NewTracer(%d) ring size = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if id := tr.NewID(); id != 0 {
+		t.Errorf("nil NewID = %d, want 0", id)
+	}
+	tr.Emit(&Event{Name: "x"})
+	if tr.Len() != 0 || tr.Snapshot() != nil {
+		t.Error("nil tracer retained events")
+	}
+	ch := tr.Chrome()
+	if ch == nil || ch.TraceEvents == nil || len(ch.TraceEvents) != 0 {
+		t.Errorf("nil Chrome() = %+v, want empty well-formed trace", ch)
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatalf("WriteChromeTrace(nil): %v", err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents": []`) {
+		t.Errorf("nil trace JSON = %s", b.String())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := &Event{Name: "concurrent", Start: time.Now(), Dur: time.Nanosecond}
+				e.SetAttrs(Attr{Key: "i", Value: float64(i)})
+				tr.Emit(e)
+				if i%10 == 0 {
+					tr.Snapshot() // concurrent reads must be race-free
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 64 {
+		t.Fatalf("Len = %d, want full ring 64", got)
+	}
+	for _, e := range tr.Snapshot() {
+		if e.ID == 0 {
+			t.Error("retained event with zero ID")
+		}
+	}
+}
+
+func TestChromeExportShape(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.NewID()
+	child := &Event{Parent: root, Name: "stage", Start: tr.base.Add(time.Millisecond), Dur: 2 * time.Millisecond}
+	child.SetAttrs(Attr{Key: "epoch", Value: 7})
+	tr.Emit(child)
+	tr.Emit(&Event{ID: root, Name: "root", Start: tr.base, Dur: 5 * time.Millisecond})
+
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var ch ChromeTrace
+	if err := json.Unmarshal([]byte(b.String()), &ch); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(ch.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(ch.TraceEvents))
+	}
+	byName := map[string]ChromeEvent{}
+	for _, e := range ch.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", e.Name, e.Ph)
+		}
+		if e.Pid != 1 || e.Tid != 1 {
+			t.Errorf("event %q pid/tid = %d/%d, want 1/1", e.Name, e.Pid, e.Tid)
+		}
+		byName[e.Name] = e
+	}
+	rootEv, stage := byName["root"], byName["stage"]
+	if rootEv.Args["span"] != float64(root) {
+		t.Errorf("root span arg = %v, want %d", rootEv.Args["span"], root)
+	}
+	if stage.Args["parent"] != float64(root) {
+		t.Errorf("stage parent arg = %v, want %d", stage.Args["parent"], root)
+	}
+	if _, ok := rootEv.Args["parent"]; ok {
+		t.Error("root event should have no parent arg")
+	}
+	if stage.Args["epoch"] != 7 {
+		t.Errorf("stage epoch arg = %v, want 7", stage.Args["epoch"])
+	}
+	if stage.Ts != 1000 {
+		t.Errorf("stage ts = %v µs, want 1000", stage.Ts)
+	}
+	if stage.Dur != 2000 {
+		t.Errorf("stage dur = %v µs, want 2000", stage.Dur)
+	}
+}
+
+func TestSpanEmitsTraceEvents(t *testing.T) {
+	tr := NewTracer(16)
+	InstallTracer(tr)
+	defer InstallTracer(nil)
+
+	parent := StartSpan("outer")
+	child := parent.StartChild("inner")
+	child.End(Attr{Key: "n", Value: 3})
+	parent.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d events, want 2", len(snap))
+	}
+	var outer, inner *Event
+	for i := range snap {
+		switch snap[i].Name {
+		case "outer":
+			outer = &snap[i]
+		case "inner":
+			inner = &snap[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("missing spans in %+v", snap)
+	}
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want outer ID %d", inner.Parent, outer.ID)
+	}
+	if inner.NAttrs != 1 || inner.Attrs[0] != (Attr{Key: "n", Value: 3}) {
+		t.Errorf("inner attrs = %+v", inner.Attrs[:inner.NAttrs])
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	tr := NewTracer(16)
+	InstallTracer(tr)
+	defer InstallTracer(nil)
+	tr.Emit(&Event{Name: "served", Start: time.Now(), Dur: time.Millisecond})
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/trace = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var ch ChromeTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		t.Fatalf("body is not a Chrome trace: %v", err)
+	}
+	if len(ch.TraceEvents) != 1 || ch.TraceEvents[0].Name != "served" {
+		t.Errorf("trace = %+v", ch.TraceEvents)
+	}
+}
+
+func TestDebugTraceEndpointDisabled(t *testing.T) {
+	InstallTracer(nil)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/trace (disabled) = %d", rec.Code)
+	}
+	var ch ChromeTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		t.Fatalf("disabled trace is not valid JSON: %v", err)
+	}
+	if ch.TraceEvents == nil || len(ch.TraceEvents) != 0 {
+		t.Errorf("disabled trace events = %+v, want empty list", ch.TraceEvents)
+	}
+}
+
+// TestSpanDisabledZeroAlloc pins the fully-disabled span path: no
+// registry, no tracer, no allocation.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	Install(nil)
+	InstallTracer(nil)
+	if avg := testing.AllocsPerRun(1000, func() {
+		StartSpan("ref_zero_alloc_probe").End()
+	}); avg != 0 {
+		t.Errorf("disabled StartSpan/End allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestSpanMetricsOnlyZeroAlloc pins the satellite fix: with a registry
+// installed but no tracer, End resolves cached handles and never
+// concatenates metric names — zero allocations in steady state.
+func TestSpanMetricsOnlyZeroAlloc(t *testing.T) {
+	Install(NewRegistry())
+	defer Install(nil)
+	InstallTracer(nil)
+	if avg := testing.AllocsPerRun(1000, func() {
+		StartSpan("ref_zero_alloc_probe").End()
+	}); avg != 0 {
+		t.Errorf("metrics-only StartSpan/End allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestSpanTracingAllocBound pins the enabled-tracing span cost at its
+// designed budget: one immutable Event allocation per span.
+func TestSpanTracingAllocBound(t *testing.T) {
+	Install(NewRegistry())
+	InstallTracer(NewTracer(1024))
+	defer func() {
+		Install(nil)
+		InstallTracer(nil)
+	}()
+	if avg := testing.AllocsPerRun(1000, func() {
+		StartSpan("ref_zero_alloc_probe").End(Attr{Key: "k", Value: 1})
+	}); avg > 1 {
+		t.Errorf("tracing StartSpan/End allocates %.1f per op, want <= 1", avg)
+	}
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "sort"
+import (
+	"sort"
+
+	"ref/internal/obs"
+)
 
 // Schema identifies the refserve JSON wire format. Every response body —
 // snapshots, mutation acks, and error envelopes — carries it so clients
@@ -172,6 +176,14 @@ type HealthResponse struct {
 	Epoch uint64 `json:"epoch"`
 	// Agents counts tenants in the live snapshot.
 	Agents int `json:"agents"`
+	// EpochP50Seconds and EpochP99Seconds are interpolated quantiles of
+	// the epoch-latency histogram on the installed metrics registry;
+	// both are 0 when no registry is installed or no epoch has run.
+	EpochP50Seconds float64 `json:"epoch_p50_seconds"`
+	EpochP99Seconds float64 `json:"epoch_p99_seconds"`
+	// SLO is the epoch-latency objective's rolling state, present only
+	// when the server was configured with one.
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 }
 
 // Error codes returned in ErrorResponse envelopes.

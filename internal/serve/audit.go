@@ -7,6 +7,7 @@ import (
 	"ref/internal/cobb"
 	"ref/internal/core"
 	"ref/internal/fair"
+	"ref/internal/obs"
 	"ref/internal/par"
 )
 
@@ -82,6 +83,12 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 		}
 	}
 	logN := math.Log(float64(n))
+	// The margin distribution and its minimum are fairness telemetry:
+	// the histogram shows how much SI headroom the population has, the
+	// min (kept on the server and surfaced as a gauge and in flight
+	// records) is the agent closest to preferring the equal split.
+	marginHist := obs.Installed().Histogram(MetricSIMargin)
+	minMargin := math.Inf(1)
 	for i, e := range entries {
 		margin := e.siTerm + logN
 		for r, wr := range e.weight {
@@ -89,11 +96,18 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 				margin -= wr * logS[r]
 			}
 		}
+		marginHist.Observe(margin)
+		if margin < minMargin {
+			minMargin = margin
+		}
 		if margin < math.Log1p(-tol.Rel)/e.elastSum {
 			f.SI = false
 			f.Violations = append(f.Violations,
 				fmt.Sprintf("SI: sampled agent %d prefers the equal split (log margin %g)", i, margin))
 		}
+	}
+	if len(entries) > 0 {
+		s.lastSIMargin = minMargin
 	}
 
 	// EF is O(K²) in its sample, so a huge batch (every touched agent is

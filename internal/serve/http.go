@@ -55,7 +55,8 @@ type patchRequest struct {
 //	GET    /v1/allocation        live snapshot
 //	GET    /v1/allocation?agent=X  one agent's row (O(R) at any scale)
 //	GET    /v1/allocation?since=E  changes since epoch E
-//	GET    /v1/healthz           liveness + drain state
+//	GET    /v1/healthz           liveness, drain state, epoch latency, SLO
+//	GET    /debug/ref/flightrecorder  epoch flight recorder ring + dumps
 //
 // Every response is JSON with the ref/serve/v1 schema; every failure is
 // an ErrorResponse envelope.
@@ -67,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/agents", s.handleAgents)
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/ref/flightrecorder", s.handleFlightRecorder)
 	// The enhanced mux reports both unknown paths and method mismatches
 	// as an empty pattern from Handler; probing the path under the other
 	// supported methods tells the two apart, so both failure modes get
@@ -303,14 +305,33 @@ func (s *Server) handleAgents(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness and drain state.
+// handleHealthz reports liveness, drain state, interpolated epoch
+// latency quantiles from the installed registry, and the epoch-latency
+// SLO when one is configured.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Current()
 	status := "ok"
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Schema: Schema, Status: status, Epoch: snap.Epoch, Agents: snap.NumAgents()})
+	resp := HealthResponse{Schema: Schema, Status: status, Epoch: snap.Epoch, Agents: snap.NumAgents()}
+	if r := obs.Installed(); r != nil {
+		if h := r.Histogram(MetricEpochSeconds).Snapshot(); h.Count > 0 {
+			resp.EpochP50Seconds = h.Quantile(0.5)
+			resp.EpochP99Seconds = h.Quantile(0.99)
+		}
+	}
+	if slo, ok := s.SLOStats(); ok {
+		resp.SLO = &slo
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFlightRecorder serves the epoch flight recorder's live ring and
+// retained anomaly dumps. With the recorder off it still answers 200
+// with enabled: false, so probes can tell "off" from "broken".
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.FlightState())
 }
 
 // decodeBody reads a bounded JSON body into v, mapping every failure to a

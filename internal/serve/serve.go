@@ -81,6 +81,27 @@ const (
 	// MetricResums counts exact resummations of the incremental sums
 	// (periodic or drift-triggered).
 	MetricResums = "ref_serve_resums_total"
+	// MetricAuditMode reports the live audit mode: 0 exact, 1 sampled.
+	MetricAuditMode = "ref_serve_audit_mode"
+	// MetricAuditCoverage is the fraction of the population the latest
+	// audit covered (1 for the exact audit, sample/N for the sampled one).
+	MetricAuditCoverage = "ref_serve_audit_coverage"
+	// MetricSIMargin is the histogram of sampled per-agent SI log margins
+	// (distance from preferring the equal split; negative = violation).
+	MetricSIMargin = "ref_serve_si_margin"
+	// MetricSIMarginMin is the smallest SI log margin the latest sampled
+	// audit observed.
+	MetricSIMarginMin = "ref_serve_si_margin_min"
+	// MetricSLOGood / MetricSLOBad count epochs that met / missed the
+	// configured epoch-latency SLO.
+	MetricSLOGood = "ref_serve_slo_epoch_good_total"
+	MetricSLOBad  = "ref_serve_slo_epoch_bad_total"
+	// MetricSLOBurn is the epoch-latency SLO's rolling burn rate
+	// (window bad fraction / error budget; above 1 the SLO is burning).
+	MetricSLOBurn = "ref_serve_slo_epoch_burn_rate"
+	// MetricFlightDumps counts anomaly-triggered flight-recorder dumps,
+	// labeled by reason (audit_failure, latency_breach, shed_spike).
+	MetricFlightDumps = "ref_serve_flight_dumps_total"
 )
 
 // Config parameterizes a Server. The zero value of every field except
@@ -152,6 +173,35 @@ type Config struct {
 	// accumulated churn exceeds DriftRatio × its current sum magnitude
 	// (default 1e12).
 	DriftRatio float64
+
+	// FlightRecorder, when positive, keeps the last N per-epoch records
+	// (batch composition, per-stage durations, audit verdict, shed
+	// counts) in a bounded ring served at GET /debug/ref/flightrecorder,
+	// with anomaly-triggered dumps. 0 disables the recorder.
+	FlightRecorder int
+	// FlightDumpDir, when set, additionally writes each anomaly dump as
+	// a JSON file in that directory.
+	FlightDumpDir string
+	// SLOEpochLatency, when positive, is the epoch-latency objective,
+	// measured on the server's Clock. Epochs over it count against the
+	// SLO (and, with the flight recorder on, trigger a latency_breach
+	// dump). 0 disables SLO tracking.
+	SLOEpochLatency time.Duration
+	// SLOBudget is the allowed fraction of epochs over the objective
+	// (default 0.01).
+	SLOBudget float64
+	// SLOWindow is the rolling epoch window behind the SLO burn rate
+	// (default 1024).
+	SLOWindow int
+	// ShedSpike is the sheds-between-epochs count that triggers a
+	// shed_spike flight dump (default 256; negative disables).
+	ShedSpike int
+
+	// auditHook, when set, observes (and may mutate) each epoch's
+	// fairness verdict after the audit runs — a test seam for injecting
+	// audit failures without constructing an unfair allocation, which
+	// Equation 13 never produces.
+	auditHook func(*Fairness)
 }
 
 // withDefaults validates Capacity and fills zero fields.
@@ -217,6 +267,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DriftRatio <= 0 {
 		c.DriftRatio = 1e12
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 1024
+	}
+	if c.ShedSpike == 0 {
+		c.ShedSpike = 256
 	}
 	return c, nil
 }
@@ -289,10 +348,10 @@ type Server struct {
 	// and publishing; point reads, delta reads, and full dumps RLock, so
 	// what readers compute from the table is always consistent with the
 	// latest published snapshot.
-	stateMu sync.RWMutex
-	table   *agentTable
-	pubSums []float64 // rounded combined sums backing the published rows
-	deltas  []epochDelta
+	stateMu             sync.RWMutex
+	table               *agentTable
+	pubSums             []float64 // rounded combined sums backing the published rows
+	deltas              []epochDelta
 	deltaHead, deltaLen int
 	auditCursor         int
 	epoch               uint64
@@ -305,6 +364,23 @@ type Server struct {
 	activeShards []int
 	sumScratch   []float64
 	logScratch   []float64
+
+	// flight is the epoch flight recorder (nil when disabled); slo
+	// tracks the epoch-latency objective (nil when disabled). Both are
+	// nil-safe, but runEpoch still gates its record-building on them so
+	// the disabled path stays allocation-free.
+	flight *obs.FlightRecorder[EpochRecord]
+	slo    *obs.SLO
+	// shedSinceEpoch counts shed writes since the last published epoch,
+	// feeding the shed_spike anomaly trigger.
+	shedSinceEpoch atomic.Int64
+	// lastSIMargin is the smallest SI log margin the latest sampled
+	// audit observed (NaN when the epoch audited exactly or not at
+	// all). Guarded by stateMu.
+	lastSIMargin float64
+	// timingScratch is the per-epoch stage-timestamp scratch, reused so
+	// tracing adds no steady-state allocations.
+	timingScratch epochTiming
 }
 
 // New validates cfg, publishes the empty epoch-0 snapshot, and starts the
@@ -323,6 +399,12 @@ func New(cfg Config) (*Server, error) {
 		doneCh:  make(chan struct{}),
 		table:   newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
 		deltas:  make([]epochDelta, cfg.DeltaWindow),
+	}
+	if cfg.FlightRecorder > 0 {
+		s.flight = obs.NewFlightRecorder[EpochRecord](cfg.FlightRecorder, obs.FlightOptions{Dir: cfg.FlightDumpDir})
+	}
+	if cfg.SLOEpochLatency > 0 {
+		s.slo = obs.NewSLO("epoch_latency", cfg.SLOEpochLatency, cfg.SLOBudget, cfg.SLOWindow)
 	}
 	s.stateMu.Lock()
 	s.publish(nil) // epoch 0: empty agent set, so readers always see a snapshot
@@ -404,6 +486,7 @@ func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *AP
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.shedSinceEpoch.Add(1)
 		obs.Inc(MetricShed + `{reason="draining"}`)
 		return 0, nil, &APIError{Code: CodeDraining, Status: http.StatusServiceUnavailable,
 			RetryAfter: s.retryAfterSeconds(),
@@ -418,6 +501,7 @@ func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *AP
 		s.enqWG.Done()
 	default:
 		s.enqWG.Done()
+		s.shedSinceEpoch.Add(1)
 		obs.Inc(MetricShed + `{reason="queue_full"}`)
 		return 0, nil, &APIError{Code: CodeQueueFull, Status: http.StatusServiceUnavailable,
 			RetryAfter: s.retryAfterSeconds(),
@@ -501,6 +585,16 @@ func (s *Server) runEpoch(batch []mutation) {
 	start := s.clock.Now()
 	wallStart := time.Now()
 
+	// Stage timestamps are captured only when the flight recorder or a
+	// tracer wants them; the disabled path takes the exact pre-existing
+	// clock reads, keeping steady-state epochs allocation-flat.
+	tr := obs.InstalledTracer()
+	var tm *epochTiming
+	if s.flight != nil || tr != nil {
+		s.timingScratch = epochTiming{start: start}
+		tm = &s.timingScratch
+	}
+
 	if cap(s.resScratch) < len(batch) {
 		s.resScratch = make([]mutationResult, len(batch))
 	}
@@ -510,6 +604,7 @@ func (s *Server) runEpoch(batch []mutation) {
 	}
 
 	s.stateMu.Lock()
+	resumsBefore := s.table.resums
 
 	// Partition the batch by shard. Mutations for the same name land in
 	// the same shard in batch order, so per-name ordering survives the
@@ -560,8 +655,12 @@ func (s *Server) runEpoch(batch []mutation) {
 	})
 
 	s.table.endEpoch()
+	if tm != nil {
+		tm.afterApply = s.clock.Now()
+	}
 
 	applied, rejected := 0, 0
+	joins, updates, departs := 0, 0, 0
 	var upserts, leaves []string
 	touched := make([]string, 0, len(batch))
 	for i, m := range batch {
@@ -572,13 +671,19 @@ func (s *Server) runEpoch(batch []mutation) {
 		applied++
 		if m.kind == mutLeave {
 			leaves = append(leaves, m.name)
+			departs++
 		} else {
+			if m.kind == mutJoin {
+				joins++
+			} else {
+				updates++
+			}
 			upserts = append(upserts, m.name)
 			touched = append(touched, m.name)
 		}
 	}
 
-	snap := s.publishBatch(&batchInfo{size: len(batch), applied: applied, rejected: rejected, started: start}, touched)
+	snap := s.publishBatch(&batchInfo{size: len(batch), applied: applied, rejected: rejected, started: start}, touched, tm)
 
 	// Record this epoch in the changelog ring so ?since= readers can
 	// catch up without a full dump.
@@ -586,6 +691,7 @@ func (s *Server) runEpoch(batch []mutation) {
 
 	n := s.table.count()
 	resums := s.table.resums
+	siMargin := s.lastSIMargin
 	s.stateMu.Unlock()
 
 	// Reply after publishing so a client that got its ack always finds
@@ -603,13 +709,65 @@ func (s *Server) runEpoch(batch []mutation) {
 		m.reply <- res
 	}
 
-	if r := obs.Installed(); r != nil {
+	// The epoch's clock-measured duration feeds the SLO and the anomaly
+	// triggers; under a FakeClock tests can inject a breach
+	// deterministically.
+	var clockSecs float64
+	if tm != nil || s.slo != nil {
+		end := s.clock.Now()
+		if tm != nil {
+			tm.end = end
+		}
+		clockSecs = end.Sub(start).Seconds()
+	}
+
+	r := obs.Installed()
+	if r != nil {
 		r.Counter(MetricEpochs).Inc()
 		r.Histogram(MetricEpochSeconds).Observe(time.Since(wallStart).Seconds())
 		r.Histogram(MetricBatchSize).Observe(float64(len(batch)))
 		r.Gauge(MetricEpochGauge).Set(float64(snap.Epoch))
 		r.Gauge(MetricAgentsGauge).Set(float64(n))
 		r.Gauge(MetricResums).Set(float64(resums))
+		if fair := snap.Fairness; fair != nil {
+			mode, coverage := 0.0, 1.0
+			if fair.Sampled {
+				mode = 1
+				if coverage = float64(fair.SampleSize) / float64(n); coverage > 1 {
+					coverage = 1
+				}
+			}
+			r.Gauge(MetricAuditMode).Set(mode)
+			r.Gauge(MetricAuditCoverage).Set(coverage)
+			if !math.IsNaN(siMargin) {
+				r.Gauge(MetricSIMarginMin).Set(siMargin)
+			}
+		}
+	}
+
+	breach := false
+	if s.slo != nil {
+		good := s.slo.Observe(clockSecs)
+		breach = !good
+		if r != nil {
+			if good {
+				r.Counter(MetricSLOGood).Inc()
+			} else {
+				r.Counter(MetricSLOBad).Inc()
+			}
+			r.Gauge(MetricSLOBurn).Set(s.slo.BurnRate())
+		}
+	}
+
+	shed := s.shedSinceEpoch.Swap(0)
+	if s.flight != nil {
+		s.flight.Record(s.buildEpochRecord(snap, tm, n, len(batch), applied, rejected,
+			joins, updates, departs, clockSecs, siMargin, shed, resums > resumsBefore))
+		s.maybeDump(snap.Fairness, breach, shed)
+	}
+
+	if tr != nil && tm != nil {
+		s.emitEpochTrace(tr, tm, snap, n, len(batch), applied, rejected)
 	}
 }
 
@@ -633,7 +791,7 @@ func (s *Server) recordDelta(d epochDelta) {
 
 // publish is the epoch-0 boot publication. Callers hold stateMu.
 func (s *Server) publish(info *batchInfo) *Snapshot {
-	return s.publishBatch(info, nil)
+	return s.publishBatch(info, nil, nil)
 }
 
 // publishBatch computes the new snapshot from the sharded table and
@@ -641,9 +799,12 @@ func (s *Server) publish(info *batchInfo) *Snapshot {
 // threshold the snapshot materializes agents and allocation rows in
 // canonical order; above it both are elided and served through point and
 // delta reads. touched lists the names this batch upserted, which the
-// sampled audit always includes.
-func (s *Server) publishBatch(info *batchInfo, touched []string) *Snapshot {
+// sampled audit always includes. tm, when non-nil, receives the
+// allocate/audit/publish stage timestamps for the flight recorder and
+// tracer.
+func (s *Server) publishBatch(info *batchInfo, touched []string, tm *epochTiming) *Snapshot {
 	n := s.table.count()
+	s.lastSIMargin = math.NaN()
 	sums := s.table.combineSums(s.sumScratch)
 	s.sumScratch = sums
 	s.pubSums = append(s.pubSums[:0], sums...)
@@ -669,12 +830,22 @@ func (s *Server) publishBatch(info *batchInfo, touched []string) *Snapshot {
 		snap.AgentCount = n
 	}
 
+	if tm != nil {
+		tm.afterAllocate = s.clock.Now()
+	}
+
 	if n > 0 {
 		if s.cfg.AuditExactBelow >= 0 && n <= s.cfg.AuditExactBelow {
 			snap.Fairness = s.auditExact(n, sums)
 		} else {
 			snap.Fairness = s.auditSampled(n, sums, touched)
 		}
+	}
+	if s.cfg.auditHook != nil && snap.Fairness != nil {
+		s.cfg.auditHook(snap.Fairness)
+	}
+	if tm != nil {
+		tm.afterAudit = s.clock.Now()
 	}
 
 	snap.Time = s.clock.Now().UTC().Format(time.RFC3339Nano)
@@ -683,6 +854,9 @@ func (s *Server) publishBatch(info *batchInfo, touched []string) *Snapshot {
 	}
 	s.snap.Store(snap)
 	s.epoch++
+	if tm != nil {
+		tm.afterPublish = s.clock.Now()
+	}
 	return snap
 }
 

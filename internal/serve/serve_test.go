@@ -226,8 +226,8 @@ func TestEpochWindowBatching(t *testing.T) {
 	}
 
 	go post("user1", 0.6, 0.4)
-	waitReceived(t, s, 1)   // the loop holds user1 in its batch...
-	clock.BlockUntil(1)     // ...and has armed the window timer
+	waitReceived(t, s, 1) // the loop holds user1 in its batch...
+	clock.BlockUntil(1)   // ...and has armed the window timer
 	go post("user2", 0.2, 0.8)
 	waitReceived(t, s, 2)
 
@@ -395,8 +395,8 @@ func TestQueueFullSheds(t *testing.T) {
 	// A server whose epoch loop never runs: the queue cannot drain.
 	s := &Server{cfg: cfg, clock: cfg.Clock, mutCh: make(chan mutation, 1),
 		drainCh: make(chan struct{}), doneCh: make(chan struct{}),
-		table:   newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
-		deltas:  make([]epochDelta, cfg.DeltaWindow)}
+		table:  newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
+		deltas: make([]epochDelta, cfg.DeltaWindow)}
 	s.publish(nil)
 	s.mutCh <- mutation{kind: mutLeave, name: "filler"}
 

@@ -58,6 +58,56 @@ type MetricsServer = obs.Server
 // time; the returned server's Addr reports the bound address.
 func ServeMetrics(addr string) (*MetricsServer, error) { return obs.Serve(addr) }
 
+// Tracer records completed spans — IDs, parent links, numeric
+// attributes — into a bounded lock-free ring, exportable as Chrome
+// trace-event JSON (Perfetto-loadable) at /debug/trace on the metrics
+// endpoint or via WriteChromeTrace. With no tracer installed every span
+// site pays one atomic load and allocates nothing.
+type Tracer = obs.Tracer
+
+// TraceEvent is one completed span in a Tracer's ring.
+type TraceEvent = obs.Event
+
+// TraceAttr is one numeric key/value attribute on a TraceEvent.
+type TraceAttr = obs.Attr
+
+// ChromeTrace is the Chrome trace-event JSON form of a trace, the
+// payload /debug/trace serves and run manifests embed.
+type ChromeTrace = obs.ChromeTrace
+
+// ChromeTraceEvent is one element of a ChromeTrace's traceEvents list.
+type ChromeTraceEvent = obs.ChromeEvent
+
+// NewTracer returns a tracer retaining the most recent events in a ring
+// of the given capacity (rounded up to a power of two; ≤ 0 selects the
+// 65536-event default).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// InstallTracer makes t the process-wide tracer observed by every span
+// site. InstallTracer(nil) disables tracing again.
+func InstallTracer(t *Tracer) { obs.InstallTracer(t) }
+
+// InstalledTracer returns the process-wide tracer, or nil when tracing
+// is off.
+func InstalledTracer() *Tracer { return obs.InstalledTracer() }
+
+// WriteChromeTrace writes t's retained events as Chrome trace-event
+// JSON (a nil tracer writes an empty, well-formed trace).
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return obs.WriteChromeTrace(w, t) }
+
+// SLOSnapshot is the rolling state of one latency service-level
+// objective: cumulative good/bad counters and the windowed burn rate.
+// The allocation server reports one for its epoch-latency SLO in
+// /v1/healthz and run manifests.
+type SLOSnapshot = obs.SLOSnapshot
+
+// SetRuntimeProfileRate enables runtime block and mutex profiling at the
+// given rate (≤ 0 disables both), populating /debug/pprof/block and
+// /debug/pprof/mutex on the metrics endpoint. Behind -profile-rate on
+// the serving CLIs; off by default because both profiles tax every
+// contended lock.
+func SetRuntimeProfileRate(rate int) { obs.SetRuntimeProfileRate(rate) }
+
 // RunManifest is the structured JSON record a CLI run writes with
 // -run-manifest: configuration, per-unit wall times, and a final metric
 // snapshot, in the stable ref/run-manifest/v1 schema shared by the

@@ -47,6 +47,16 @@ const CodeUnknownAgent = serve.CodeUnknownAgent
 // report epoch latency percentiles.
 const MetricEpochSeconds = serve.MetricEpochSeconds
 
+// EpochFlightRecord is one epoch's flight-recorder entry: batch
+// composition, per-stage apply/allocate/audit/publish durations, audit
+// mode and verdict, shed count, and resummation flag.
+type EpochFlightRecord = serve.EpochRecord
+
+// FlightRecorderState is the allocation server's flight-recorder
+// snapshot — the live ring plus anomaly dumps — served at
+// GET /debug/ref/flightrecorder and via AllocationServer.FlightState.
+type FlightRecorderState = serve.FlightSnapshot
+
 // IncrementalAllocator maintains the Equation 13 allocation under
 // join/leave/update deltas in O(Δ·R) per epoch with compensated
 // per-resource sums, staying within 1 ulp of a from-scratch Allocate.
