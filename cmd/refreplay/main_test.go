@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ref"
+)
+
+// TestRunScenarioWithManifest drives the CLI's run function end to end:
+// a small scenario replay must pass, fill the manifest's replay section,
+// and leave an empty violations list for CI's jq assertion.
+func TestRunScenarioWithManifest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "replay.json")
+	err := run("steady", "", 1, 10, 8, ref.ReplayOptions{}, false, out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m, err := ref.ReadRunManifest(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replay) != 1 {
+		t.Fatalf("manifest replay section has %d entries", len(m.Replay))
+	}
+	r := m.Replay[0]
+	if r.Name != "steady" || r.Epochs != 8 || r.Digest == "" || len(r.Violations) != 0 {
+		t.Fatalf("replay record %+v", r)
+	}
+	if len(m.Runs) == 0 || !strings.HasPrefix(m.Runs[0].ID, "replay:") {
+		t.Fatalf("manifest runs %+v", m.Runs)
+	}
+}
+
+// TestRunTraceFile exercises the -trace path: a generated trace written
+// to disk replays cleanly, and input selection is validated.
+func TestRunTraceFile(t *testing.T) {
+	tr, err := ref.GenerateReplayScenario("diurnal", ref.ReplayScenarioConfig{Agents: 8, Epochs: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run("", path, 1, 0, 0, ref.ReplayOptions{}, false, ""); err != nil {
+		t.Fatalf("trace replay: %v", err)
+	}
+
+	if err := run("", "", 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+		t.Error("neither -scenario nor -trace accepted")
+	}
+	if err := run("steady", path, 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+		t.Error("both -scenario and -trace accepted")
+	}
+	if err := run("no-such", "", 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("", filepath.Join(t.TempDir(), "missing.jsonl"), 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package check
+
+// Snapshot-level oracle adapters: the serve layer and the replay harness
+// publish allocations as (agent set, capacity, row matrix) triples rather
+// than as mechanism invocations, so these helpers re-run the §4 oracles
+// against a published snapshot exactly as the property harness runs them
+// against a fresh allocation. They exist so an online system's *output*
+// can be audited with the same code that audits the mechanism itself —
+// no second implementation of the fairness checks to drift.
+
+import (
+	"fmt"
+
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/mech"
+	"ref/internal/opt"
+)
+
+// DefaultSnapshotUlps is the row-level agreement bound between a
+// published snapshot and a from-scratch Equation 13 recompute. The
+// incremental engine guarantees 1 ulp against its own resummation
+// (IncrementalEq13); one more ulp covers the independent summation order
+// of the from-scratch reference.
+const DefaultSnapshotUlps = 2
+
+// SnapshotOracles is the oracle suite a published allocation snapshot
+// must pass: real allocation (feasible and exhaustive), sharing
+// incentives, and envy-freeness. Pareto efficiency is deliberately
+// excluded — its randomized certificate search is priced for offline
+// property trials, not for every epoch of a replay; PE coverage comes
+// from the tangency half inside the serve audit and from the Equation 13
+// differential (the closed form is PE by Theorem 6).
+func SnapshotOracles() []Oracle {
+	tol := fair.DefaultTolerance()
+	return []Oracle{
+		Feasibility(true),
+		SIOracle(tol),
+		EFOracle(tol),
+	}
+}
+
+// AuditSnapshot re-audits one published snapshot: the SnapshotOracles
+// suite plus the from-scratch Equation 13 differential with maxUlps row
+// tolerance (0 selects DefaultSnapshotUlps). Findings are prefixed with
+// the oracle name; an empty slice means the snapshot is exactly what the
+// mechanism would have published.
+func AuditSnapshot(agents []core.Agent, capacity []float64, x opt.Alloc, maxUlps int64) []string {
+	// An empty economy is a legitimate snapshot (nothing to allocate, so
+	// exhaustion does not apply); only phantom rows are a finding.
+	if len(agents) == 0 {
+		return SnapshotEq13Differential(agents, capacity, x, maxUlps)
+	}
+	ec := Economy{Agents: agents, Cap: capacity}
+	m := mech.ProportionalElasticity{}
+	var out []string
+	for _, o := range SnapshotOracles() {
+		for _, f := range o.Check(ec, m, x) {
+			out = append(out, o.Name+": "+f)
+		}
+	}
+	out = append(out, SnapshotEq13Differential(agents, capacity, x, maxUlps)...)
+	return out
+}
+
+// SnapshotEq13Differential checks a published row matrix against a
+// from-scratch core.Allocate over the same agent set: every entry must
+// agree within maxUlps (0 selects DefaultSnapshotUlps). This is the
+// online counterpart of IncrementalEq13 — it catches incremental-sum
+// drift that survived the engine's own resummation discipline.
+func SnapshotEq13Differential(agents []core.Agent, capacity []float64, x opt.Alloc, maxUlps int64) []string {
+	if maxUlps <= 0 {
+		maxUlps = DefaultSnapshotUlps
+	}
+	if len(agents) == 0 {
+		if len(x) != 0 {
+			return []string{fmt.Sprintf("eq13-differential: %d rows for empty agent set", len(x))}
+		}
+		return nil
+	}
+	ref, err := core.Allocate(agents, capacity)
+	if err != nil {
+		return []string{"eq13-differential: reference allocation error: " + err.Error()}
+	}
+	if len(x) != len(agents) {
+		return []string{fmt.Sprintf("eq13-differential: allocation has %d rows for %d agents", len(x), len(agents))}
+	}
+	var out []string
+	for i := range agents {
+		if len(x[i]) != len(capacity) {
+			out = append(out, fmt.Sprintf("eq13-differential: agent %d row has %d resources, want %d",
+				i, len(x[i]), len(capacity)))
+			continue
+		}
+		for r := range capacity {
+			if d := core.UlpDiff(x[i][r], ref.X[i][r]); d > maxUlps {
+				out = append(out, fmt.Sprintf(
+					"eq13-differential: agent %d (%s) resource %d: published %v vs from-scratch %v (%d ulps apart)",
+					i, agents[i].Name, r, x[i][r], ref.X[i][r], d))
+			}
+		}
+	}
+	return out
+}

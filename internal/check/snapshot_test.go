@@ -1,0 +1,143 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/opt"
+)
+
+// snapshotEconomy builds a small published-snapshot fixture: the agents,
+// the capacity, and the exact Equation 13 allocation they should carry.
+func snapshotEconomy(t *testing.T) ([]core.Agent, []float64, opt.Alloc) {
+	t.Helper()
+	capacity := []float64{24, 12}
+	specs := [][]float64{{0.6, 0.4}, {0.2, 0.8}, {1.5, 1.5}}
+	agents := make([]core.Agent, len(specs))
+	for i, sp := range specs {
+		u, err := cobb.New(1, sp...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = core.Agent{Name: string(rune('a' + i)), Utility: u}
+	}
+	ref, err := core.Allocate(agents, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(opt.Alloc, len(ref.X))
+	for i, row := range ref.X {
+		x[i] = append([]float64(nil), row...)
+	}
+	return agents, capacity, x
+}
+
+// TestAuditSnapshotClean: the mechanism's own output must pass the full
+// snapshot audit with zero findings at the default ulp tolerance.
+func TestAuditSnapshotClean(t *testing.T) {
+	agents, capacity, x := snapshotEconomy(t)
+	if out := AuditSnapshot(agents, capacity, x, 0); len(out) != 0 {
+		t.Fatalf("clean snapshot audit found: %v", out)
+	}
+	// Empty economies audit clean too.
+	if out := AuditSnapshot(nil, capacity, nil, 0); len(out) != 0 {
+		t.Fatalf("empty snapshot audit found: %v", out)
+	}
+}
+
+// TestAuditSnapshotCatchesCorruption perturbs published rows in the ways
+// an online allocator could actually get wrong and requires the audit to
+// name each one: inflated rows (infeasible), deflated rows (Eq13 drift
+// and SI), swapped rows (envy), and shape mismatches.
+func TestAuditSnapshotCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(x opt.Alloc) opt.Alloc
+		want string // substring some finding must carry
+	}{
+		{"inflated row", func(x opt.Alloc) opt.Alloc {
+			x[0][0] *= 1.5
+			return x
+		}, "feasibility"},
+		{"deflated row", func(x opt.Alloc) opt.Alloc {
+			x[1][1] *= 0.5
+			return x
+		}, "eq13-differential"},
+		{"swapped rows", func(x opt.Alloc) opt.Alloc {
+			x[0], x[2] = x[2], x[0]
+			return x
+		}, "eq13-differential"},
+		{"row count mismatch", func(x opt.Alloc) opt.Alloc {
+			return x[:2]
+		}, "rows"},
+		{"resource count mismatch", func(x opt.Alloc) opt.Alloc {
+			x[2] = x[2][:1]
+			return x
+		}, "resources"},
+		{"one-ulp-past tolerance", func(x opt.Alloc) opt.Alloc {
+			v := x[0][0]
+			for i := 0; i < DefaultSnapshotUlps+1; i++ {
+				v = math.Nextafter(v, math.Inf(1))
+			}
+			x[0][0] = v
+			return x
+		}, "ulps apart"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			agents, capacity, x := snapshotEconomy(t)
+			out := AuditSnapshot(agents, capacity, tc.mut(x), 0)
+			if len(out) == 0 {
+				t.Fatal("corrupted snapshot audited clean")
+			}
+			found := false
+			for _, f := range out {
+				if strings.Contains(strings.ToLower(f), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no finding mentions %q: %v", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestSnapshotEq13DifferentialTolerance pins the ulp boundary: drift at
+// exactly maxUlps passes, one ulp more fails, and the zero value selects
+// DefaultSnapshotUlps.
+func TestSnapshotEq13DifferentialTolerance(t *testing.T) {
+	agents, capacity, x := snapshotEconomy(t)
+	bump := func(v float64, ulps int) float64 {
+		for i := 0; i < ulps; i++ {
+			v = math.Nextafter(v, math.Inf(1))
+		}
+		return v
+	}
+
+	exact := x[0][0]
+	x[0][0] = bump(exact, 4)
+	if out := SnapshotEq13Differential(agents, capacity, x, 4); len(out) != 0 {
+		t.Errorf("drift at the bound flagged: %v", out)
+	}
+	if out := SnapshotEq13Differential(agents, capacity, x, 3); len(out) == 0 {
+		t.Error("drift past the bound not flagged")
+	}
+
+	x[0][0] = bump(exact, DefaultSnapshotUlps)
+	if out := SnapshotEq13Differential(agents, capacity, x, 0); len(out) != 0 {
+		t.Errorf("default tolerance rejects %d ulps: %v", DefaultSnapshotUlps, out)
+	}
+	x[0][0] = bump(exact, DefaultSnapshotUlps+1)
+	if out := SnapshotEq13Differential(agents, capacity, x, 0); len(out) == 0 {
+		t.Error("default tolerance accepts out-of-bound drift")
+	}
+
+	// Rows without agents are themselves a finding.
+	if out := SnapshotEq13Differential(nil, capacity, x, 0); len(out) == 0 {
+		t.Error("rows for an empty agent set audited clean")
+	}
+}

@@ -51,8 +51,42 @@ type Manifest struct {
 	// Trace is the Chrome trace-event export of the run's tracer, when
 	// tracing was enabled — the same payload /debug/trace serves.
 	Trace *ChromeTrace `json:"trace,omitempty"`
+	// Replay summarizes each trace-replay scenario the run drove
+	// (refreplay fills this; CI jq-asserts it).
+	Replay []ReplayScenario `json:"replay,omitempty"`
 
 	started time.Time
+}
+
+// ReplayScenario is one replayed trace's summary inside a manifest:
+// identity, scale, the run digest the goldens pin, and every invariant
+// finding (empty Violations is the pass criterion CI asserts).
+type ReplayScenario struct {
+	// Name is the scenario or trace name.
+	Name string `json:"name"`
+	// Seed is the generator seed the trace was synthesized with.
+	Seed int64 `json:"seed"`
+	// Events, Epochs, FinalAgents, and PeakAgents size the replay.
+	Events      int `json:"events"`
+	Epochs      int `json:"epochs"`
+	FinalAgents int `json:"final_agents"`
+	PeakAgents  int `json:"peak_agents"`
+	// Checks counts invariant evaluations the harness ran inline.
+	Checks int `json:"checks"`
+	// Digest is the run digest (sha256 over the per-epoch snapshot
+	// digests); bit-identical replays produce equal digests.
+	Digest string `json:"digest"`
+	// Violations lists invariant findings; empty means the replay passed.
+	Violations []string `json:"violations"`
+	// FlightDumps counts anomaly dumps the flight recorder captured.
+	FlightDumps int `json:"flight_dumps,omitempty"`
+	// Seconds is the replay's wall time.
+	Seconds float64 `json:"seconds"`
+}
+
+// RecordReplay appends one replay summary.
+func (m *Manifest) RecordReplay(r ReplayScenario) {
+	m.Replay = append(m.Replay, r)
 }
 
 // AttachTrace embeds t's Chrome export into the manifest; a nil or empty

@@ -1,0 +1,85 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode hammers the ref/trace/v1 parser: arbitrary bytes must
+// either decode into a trace that re-validates and round-trips through
+// the JSONL encoder, or error — never panic, never accept an
+// inconsistent trace. The seed corpus covers both accepted layouts and
+// each rejection class the decoder promises (malformed JSON, out-of-order
+// ticks, duplicate joins, unknown agents, negative rates).
+func FuzzTraceDecode(f *testing.F) {
+	seeds := []string{
+		// Valid single-document and JSONL layouts.
+		`{"schema":"ref/trace/v1","name":"s","capacity":[24,12],"events":[
+			{"tick":0,"op":"join","agent":"a","elasticities":[0.6,0.4]},
+			{"tick":1,"op":"update","agent":"a","alpha0":2,"elasticities":[0.5,0.5]},
+			{"tick":2,"op":"leave","agent":"a"}]}`,
+		`{"schema":"ref/trace/v1","capacity":[8]}
+{"tick":0,"op":"join","agent":"a","elasticities":[1]}
+{"tick":0,"op":"leave","agent":"a"}`,
+		// Rejection classes.
+		``,
+		`{`,
+		`null`,
+		`{"schema":"ref/trace/v0","capacity":[1],"events":[]}`,
+		`{"schema":"ref/trace/v1","capacity":[0],"events":[]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":5,"op":"join","agent":"a","elasticities":[1]},
+			{"tick":4,"op":"leave","agent":"a"}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":0,"op":"join","agent":"a","elasticities":[1]},
+			{"tick":0,"op":"join","agent":"a","elasticities":[1]}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":0,"op":"leave","agent":"ghost"}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":0,"op":"join","agent":"a","elasticities":[-0.5]}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":0,"op":"join","agent":"a","elasticities":[1e308,1e308]}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1],"events":[
+			{"tick":0,"op":"dance","agent":"a"}]}`,
+		`{"schema":"ref/trace/v1","capacity":[1]}
+not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatalf("error %v returned alongside a trace", err)
+			}
+			return
+		}
+		// Accepted traces must be internally consistent...
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded trace fails its own validation: %v", err)
+		}
+		// ...and must survive an encode/decode round trip losslessly
+		// enough to stay valid (float formatting is exact in Go's JSON).
+		var buf bytes.Buffer
+		if err := tr.EncodeJSONL(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		rt, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nencoded:\n%s", err, buf.String())
+		}
+		if len(rt.Events) != len(tr.Events) || rt.Ticks() != tr.Ticks() {
+			t.Fatalf("round trip changed shape: %d/%d events, %d/%d ticks",
+				len(rt.Events), len(tr.Events), rt.Ticks(), tr.Ticks())
+		}
+		// Negative rates can never survive into an accepted trace.
+		for i, ev := range tr.Events {
+			for r, e := range ev.Elasticities {
+				if e < 0 || e != e {
+					t.Fatalf("event %d elasticity[%d] = %v accepted", i, r, e)
+				}
+			}
+		}
+	})
+}

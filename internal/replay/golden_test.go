@@ -1,0 +1,57 @@
+package replay
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files from the current output:
+//
+//	go test ./internal/replay -run TestReplayGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current replay digests")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// golden under -update (the repo-wide re-bless convention).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from %s\n--- got ---\n%s--- want ---\n%s", name, path, got, want)
+	}
+}
+
+// TestReplayGolden pins every built-in scenario's per-epoch snapshot
+// digests at the canonical configuration (default scale, seed 1, default
+// serve parameters). Any change to allocation arithmetic, audit
+// behavior, snapshot layout, or scenario generation lands here as a
+// reviewed golden diff; re-bless with -update after review.
+func TestReplayGolden(t *testing.T) {
+	for _, name := range Scenarios() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := mustRun(t, name, ScenarioConfig{Seed: 1}, Options{})
+			if res.Failed() {
+				t.Fatalf("golden run must be clean, got violations: %v", res.Violations)
+			}
+			checkGolden(t, name, []byte(res.GoldenText()))
+		})
+	}
+}

@@ -1,0 +1,678 @@
+package replay
+
+// The replay driver: one trace through the real serve epoch loop, one
+// allocation epoch per distinct tick, every published snapshot re-audited
+// and invariant-checked inline.
+//
+// Determinism is engineered, not hoped for:
+//
+//   - the server runs on a FakeClock anchored at ReplayT0, so snapshot
+//     timestamps and epoch durations are pure functions of the trace;
+//   - each tick's events are submitted one at a time, each waiting for
+//     the epoch loop's dequeue counter (Server.ReceivedMutations) to
+//     advance before the next goes in — the mutation queue order, and so
+//     the batch composition, is the trace order regardless of goroutine
+//     scheduling;
+//   - MaxBatch is sized above the largest tick, so the epoch fires only
+//     when the driver advances the clock past the batching window — never
+//     early on a full batch;
+//   - snapshots are digested from their canonical JSON, so "bit-identical
+//     across runs and par widths" is checkable as string equality.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ref/internal/check"
+	"ref/internal/core"
+	"ref/internal/opt"
+	"ref/internal/serve"
+)
+
+// ReplayT0 anchors every replay's FakeClock: simulated tick k publishes
+// its epoch at ReplayT0 + k·TickSpacing + the batching window. The paper's
+// publication month, like the other determinism anchors in this repo.
+var ReplayT0 = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// TickSpacing is the simulated time between trace ticks.
+const TickSpacing = time.Second
+
+// replayWindow is the epoch batching window replays run with. Small
+// enough that simulated timestamps stay readable, but the exact value
+// only shifts snapshot timestamps — never batch composition.
+const replayWindow = 10 * time.Millisecond
+
+// maxViolations bounds the recorded findings so a systematically broken
+// run reports a readable prefix, not a megabyte of repetition.
+const maxViolations = 48
+
+// Options configures a replay run beyond what the trace itself fixes.
+// The zero value is the canonical configuration the goldens pin.
+type Options struct {
+	// Parallelism is the serve worker-pool width. Replays must be
+	// bit-identical across widths; the determinism tests sweep it.
+	Parallelism int
+	// Shards overrides the agent-table stripe count (0 = serve default).
+	Shards int
+	// DeltaWindow overrides the changelog ring depth (0 = serve default).
+	DeltaWindow int
+	// ForceSampled forces the sampled audit (AuditExactBelow = -1)
+	// regardless of population, enabling the sampled-vs-exact parity
+	// invariant: the harness re-audits exactly and the two verdicts must
+	// agree.
+	ForceSampled bool
+	// AuditSample sets the rotating window size under ForceSampled
+	// (0 = serve default).
+	AuditSample int
+	// FlightRecorder enables the serve flight recorder with the given
+	// ring depth (0 = disabled).
+	FlightRecorder int
+	// InjectAuditFailureEpoch, when nonzero, flips the SI verdict of
+	// that epoch through the serve AuditHook seam. With the flight
+	// recorder on, the run then asserts an audit_failure dump was
+	// captured — the anomaly-path end-to-end check.
+	InjectAuditFailureEpoch uint64
+	// MaxUlps bounds the published-vs-from-scratch Equation 13
+	// differential (0 = check.DefaultSnapshotUlps).
+	MaxUlps int64
+}
+
+// EpochDigest pins one published epoch: identity, population, batch
+// size, and the sha256 of the snapshot's canonical JSON.
+type EpochDigest struct {
+	Epoch  uint64 `json:"epoch"`
+	Tick   uint64 `json:"tick"`
+	Agents int    `json:"agents"`
+	Batch  int    `json:"batch"`
+	Digest string `json:"digest"`
+}
+
+// Result is one replay's full outcome.
+type Result struct {
+	// Trace and Seed identify the input.
+	Trace string `json:"trace"`
+	Seed  int64  `json:"seed"`
+	// Events and Epochs count trace events and published epochs.
+	Events int `json:"events"`
+	Epochs int `json:"epochs"`
+	// FinalAgents and PeakAgents are the closing and maximum populations.
+	FinalAgents int `json:"final_agents"`
+	PeakAgents  int `json:"peak_agents"`
+	// Checks counts individual invariant evaluations (oracle runs, delta
+	// probes, row comparisons' parent checks — not per-float work).
+	Checks int `json:"checks"`
+	// Violations lists invariant findings, capped at maxViolations; an
+	// empty slice is the pass criterion.
+	Violations []string `json:"violations,omitempty"`
+	// EpochDigests pins every published epoch in order.
+	EpochDigests []EpochDigest `json:"epoch_digests"`
+	// Digest is the run digest: sha256 over the per-epoch digests.
+	Digest string `json:"digest"`
+	// FlightDumps counts anomaly dumps the flight recorder captured.
+	FlightDumps int `json:"flight_dumps,omitempty"`
+
+	truncated int
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// GoldenText renders the result in the stable line format the committed
+// goldens pin: a header, one line per epoch, and the run digest.
+func (r *Result) GoldenText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace=%s seed=%d events=%d epochs=%d\n", r.Trace, r.Seed, r.Events, r.Epochs)
+	for _, e := range r.EpochDigests {
+		fmt.Fprintf(&b, "epoch=%d tick=%d agents=%d batch=%d digest=%s\n",
+			e.Epoch, e.Tick, e.Agents, e.Batch, e.Digest)
+	}
+	fmt.Fprintf(&b, "final agents=%d peak=%d digest=%s\n", r.FinalAgents, r.PeakAgents, r.Digest)
+	return b.String()
+}
+
+// mirrorAgent is the harness's independent model of one live tenant.
+type mirrorAgent struct {
+	wire serve.WireAgent
+}
+
+// driver carries one replay's state.
+type driver struct {
+	t     *Trace
+	opts  Options
+	srv   *serve.Server
+	clock *serve.FakeClock
+	res   *Result
+
+	window  time.Duration
+	ulps    int64
+	dwindow int
+
+	// mirror is the live agent set as the trace implies it; history keeps
+	// per-epoch copies for delta-read reconstruction, bounded to the
+	// delta window plus slack.
+	mirror  map[string]mirrorAgent
+	history map[uint64]map[string]mirrorAgent
+
+	// pendingEpoch is the epoch about to publish, read by the audit hook
+	// on the epoch-loop goroutine.
+	pendingEpoch atomic.Uint64
+
+	prevEpoch uint64
+	digests   sha256digest
+}
+
+type sha256digest struct{ h []byte }
+
+func (d *sha256digest) add(s string) { d.h = append(d.h, s...) }
+func (d *sha256digest) sum() string {
+	s := sha256.Sum256(d.h)
+	return hex.EncodeToString(s[:])
+}
+
+// Run replays t through a fresh serve instance and returns the full
+// result. The returned error covers harness failures (server boot,
+// sequencing timeouts); invariant findings land in Result.Violations.
+func Run(t *Trace, opts Options) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	maxTick := 0
+	cnt := 0
+	for i, ev := range t.Events {
+		if i > 0 && ev.Tick != t.Events[i-1].Tick {
+			cnt = 0
+		}
+		cnt++
+		if cnt > maxTick {
+			maxTick = cnt
+		}
+	}
+
+	clock := serve.NewFakeClock(ReplayT0)
+	cfg := serve.Config{
+		Capacity: t.Capacity,
+		Window:   replayWindow,
+		// The epoch must fire on the driver's clock advance, never early
+		// on a full batch.
+		MaxBatch: maxTick + 1,
+		// RequestTimeout runs on the wall clock even under a FakeClock;
+		// keep it far above any CI scheduling hiccup.
+		RequestTimeout:       5 * time.Minute,
+		Parallelism:          opts.Parallelism,
+		Clock:                clock,
+		Shards:               opts.Shards,
+		DeltaWindow:          opts.DeltaWindow,
+		InlineSnapshotAgents: 1 << 20, // the harness audits inline snapshots
+		FlightRecorder:       opts.FlightRecorder,
+	}
+	if opts.ForceSampled {
+		cfg.AuditExactBelow = -1
+		cfg.AuditSample = opts.AuditSample
+	}
+
+	d := &driver{
+		t:     t,
+		opts:  opts,
+		clock: clock,
+		res: &Result{
+			Trace:  t.Name,
+			Seed:   t.Seed,
+			Events: len(t.Events),
+		},
+		window:  replayWindow,
+		ulps:    opts.MaxUlps,
+		mirror:  map[string]mirrorAgent{},
+		history: map[uint64]map[string]mirrorAgent{0: {}},
+	}
+	if d.ulps <= 0 {
+		d.ulps = check.DefaultSnapshotUlps
+	}
+	if opts.InjectAuditFailureEpoch > 0 {
+		cfg.AuditHook = func(f *serve.Fairness) {
+			if d.pendingEpoch.Load() == opts.InjectAuditFailureEpoch {
+				f.SI = false
+				f.Violations = append(f.Violations, "replay: injected audit failure")
+			}
+		}
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("replay: server boot: %w", err)
+	}
+	d.srv = srv
+	d.dwindow = cfg.DeltaWindow
+	if d.dwindow <= 0 {
+		d.dwindow = 64 // serve default
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+
+	for start := 0; start < len(t.Events); {
+		end := start
+		for end < len(t.Events) && t.Events[end].Tick == t.Events[start].Tick {
+			end++
+		}
+		if err := d.runTick(t.Events[start:end]); err != nil {
+			return nil, err
+		}
+		start = end
+	}
+
+	d.res.FinalAgents = len(d.mirror)
+	d.res.Epochs = len(d.res.EpochDigests)
+	d.res.Digest = d.digests.sum()
+	if d.res.truncated > 0 {
+		d.res.Violations = append(d.res.Violations,
+			fmt.Sprintf("... and %d more violations truncated", d.res.truncated))
+	}
+	d.checkFlightRecorder()
+	return d.res, nil
+}
+
+// violate records one finding, bounded.
+func (d *driver) violate(format string, args ...any) {
+	if len(d.res.Violations) >= maxViolations {
+		d.res.truncated++
+		return
+	}
+	d.res.Violations = append(d.res.Violations, fmt.Sprintf(format, args...))
+}
+
+// waitReceived blocks (on the wall clock) until the epoch loop has
+// dequeued want mutations.
+func (d *driver) waitReceived(want int64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for d.srv.ReceivedMutations() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replay: epoch loop stuck: %d of %d mutations dequeued",
+				d.srv.ReceivedMutations(), want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return nil
+}
+
+// mutReply is one mutation's outcome.
+type mutReply struct {
+	epoch uint64
+	err   *serve.APIError
+}
+
+// runTick drives one simulated tick: advance the clock to the tick
+// instant, feed the tick's events into the mutation queue in trace order,
+// fire the batching window, collect every reply, and run the full
+// per-epoch invariant suite on the published snapshot.
+func (d *driver) runTick(evs []Event) error {
+	tick := evs[0].Tick
+	target := ReplayT0.Add(time.Duration(tick) * TickSpacing)
+	if dt := target.Sub(d.clock.Now()); dt > 0 {
+		d.clock.Advance(dt)
+	}
+
+	expectEpoch := d.prevEpoch + 1
+	d.pendingEpoch.Store(expectEpoch)
+
+	replies := make([]mutReply, len(evs))
+	var wg sync.WaitGroup
+	for i := range evs {
+		ev := &evs[i]
+		base := d.srv.ReceivedMutations()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch ev.Op {
+			case OpJoin, OpUpdate:
+				util, err := ev.Utility()
+				if err != nil { // Validate() makes this unreachable
+					replies[i] = mutReply{err: &serve.APIError{Code: "invalid_utility", Message: err.Error()}}
+					return
+				}
+				alpha0 := ev.Alpha0
+				if alpha0 == 0 {
+					alpha0 = 1
+				}
+				wire := serve.WireAgent{
+					Name:         ev.Agent,
+					Alpha0:       alpha0,
+					Elasticities: append([]float64(nil), ev.Elasticities...),
+				}
+				var epoch uint64
+				var apiErr *serve.APIError
+				if ev.Op == OpJoin {
+					epoch, _, apiErr = d.srv.Join(context.Background(), wire, util)
+				} else {
+					epoch, _, apiErr = d.srv.Update(context.Background(), wire, util)
+				}
+				replies[i] = mutReply{epoch: epoch, err: apiErr}
+			case OpLeave:
+				epoch, apiErr := d.srv.Leave(context.Background(), ev.Agent)
+				replies[i] = mutReply{epoch: epoch, err: apiErr}
+			}
+		}(i)
+		if err := d.waitReceived(base + 1); err != nil {
+			return err
+		}
+	}
+
+	// Every event is in the queue in trace order; fire the window.
+	d.clock.BlockUntil(1)
+	d.clock.Advance(d.window)
+	wg.Wait()
+
+	// Apply the tick to the mirror (the trace is pre-validated, so every
+	// mutation must have been accepted).
+	for i := range evs {
+		ev := &evs[i]
+		if replies[i].err != nil {
+			d.violate("epoch %d: %s %q rejected: %v", expectEpoch, ev.Op, ev.Agent, replies[i].err)
+			continue
+		}
+		if replies[i].epoch != expectEpoch {
+			d.violate("epoch %d: %s %q acked in epoch %d", expectEpoch, ev.Op, ev.Agent, replies[i].epoch)
+		}
+		switch ev.Op {
+		case OpJoin, OpUpdate:
+			alpha0 := ev.Alpha0
+			if alpha0 == 0 {
+				alpha0 = 1
+			}
+			d.mirror[ev.Agent] = mirrorAgent{wire: serve.WireAgent{
+				Name:         ev.Agent,
+				Alpha0:       alpha0,
+				Elasticities: append([]float64(nil), ev.Elasticities...),
+			}}
+		case OpLeave:
+			delete(d.mirror, ev.Agent)
+		}
+	}
+
+	snap := d.srv.Current()
+	d.checkEpoch(snap, tick, len(evs), expectEpoch)
+	d.prevEpoch = snap.Epoch
+
+	// Retain this epoch's mirror for delta reconstruction, and trim
+	// history beyond the ring's reach.
+	h := make(map[string]mirrorAgent, len(d.mirror))
+	for k, v := range d.mirror {
+		h[k] = v
+	}
+	d.history[snap.Epoch] = h
+	for e := range d.history {
+		if e+uint64(d.dwindow)+2 < snap.Epoch {
+			delete(d.history, e)
+		}
+	}
+
+	if n := len(d.mirror); n > d.res.PeakAgents {
+		d.res.PeakAgents = n
+	}
+	return nil
+}
+
+// checkEpoch runs the per-epoch invariant suite and records the digest.
+func (d *driver) checkEpoch(snap *serve.Snapshot, tick uint64, batch int, expectEpoch uint64) {
+	d.res.Checks++
+	if snap.Epoch != expectEpoch {
+		d.violate("epoch %d: snapshot epoch %d (monotonicity broken)", expectEpoch, snap.Epoch)
+	}
+	if snap.AgentsElided {
+		d.violate("epoch %d: snapshot elided %d agents; harness requires inline snapshots", snap.Epoch, snap.AgentCount)
+		d.recordDigest(snap, tick, batch)
+		return
+	}
+
+	// Mirror equality: the published agent set must be exactly the
+	// trace-implied set, sorted by name.
+	d.res.Checks++
+	names := make([]string, 0, len(d.mirror))
+	for name := range d.mirror {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(snap.Agents) != len(names) {
+		d.violate("epoch %d: snapshot has %d agents, trace implies %d", snap.Epoch, len(snap.Agents), len(names))
+	} else {
+		for i, name := range names {
+			if got := snap.Agents[i]; got.Name != name || !reflect.DeepEqual(got, d.mirror[name].wire) {
+				d.violate("epoch %d: agent %d is %+v, trace implies %+v", snap.Epoch, i, got, d.mirror[name].wire)
+			}
+		}
+	}
+
+	// Oracle re-audit + Equation 13 differential over the published rows.
+	if len(snap.Agents) == len(names) && len(names) > 0 {
+		agents := make([]core.Agent, len(snap.Agents))
+		ok := true
+		for i, wa := range snap.Agents {
+			util, err := (&Event{Alpha0: wa.Alpha0, Elasticities: wa.Elasticities}).Utility()
+			if err != nil {
+				d.violate("epoch %d: agent %q carries invalid utility: %v", snap.Epoch, wa.Name, err)
+				ok = false
+				break
+			}
+			agents[i] = core.Agent{Name: wa.Name, Utility: util}
+		}
+		if ok {
+			d.res.Checks += len(check.SnapshotOracles()) + 1
+			for _, f := range check.AuditSnapshot(agents, snap.Capacity, opt.Alloc(snap.Allocation), d.ulps) {
+				d.violate("epoch %d: %s", snap.Epoch, f)
+			}
+		}
+	}
+
+	d.checkFairnessVerdict(snap)
+	d.checkDeltaReads(snap)
+	d.recordDigest(snap, tick, batch)
+}
+
+// checkFairnessVerdict asserts the server's own audit verdict: clean on
+// every epoch (Equation 13 guarantees SI/EF/PE) except the injected one,
+// and in the audit mode the configuration demands. Under ForceSampled
+// this is the sampled-audit-parity invariant — the harness's exact
+// oracle re-audit (checkEpoch above) and the server's sampled verdict
+// must agree that the allocation is fair.
+func (d *driver) checkFairnessVerdict(snap *serve.Snapshot) {
+	d.res.Checks++
+	f := snap.Fairness
+	if len(d.mirror) == 0 {
+		if f != nil {
+			d.violate("epoch %d: fairness verdict %+v for empty agent set", snap.Epoch, f)
+		}
+		return
+	}
+	if f == nil {
+		d.violate("epoch %d: no fairness verdict", snap.Epoch)
+		return
+	}
+	if d.opts.ForceSampled && !f.Sampled {
+		d.violate("epoch %d: exact audit ran despite ForceSampled", snap.Epoch)
+	}
+	if !d.opts.ForceSampled && f.Sampled {
+		d.violate("epoch %d: sampled audit ran for %d agents without ForceSampled", snap.Epoch, len(d.mirror))
+	}
+	if snap.Epoch == d.opts.InjectAuditFailureEpoch && d.opts.InjectAuditFailureEpoch > 0 {
+		if f.SI {
+			d.violate("epoch %d: injected audit failure did not surface", snap.Epoch)
+		}
+		return
+	}
+	if !f.SI || !f.EF || !f.PE {
+		d.violate("epoch %d: server audit failed (si=%v ef=%v pe=%v sampled=%v): %v",
+			snap.Epoch, f.SI, f.EF, f.PE, f.Sampled, f.Violations)
+	}
+}
+
+// checkDeltaReads probes the ?since= changelog against the mirror
+// history at three cursors: the previous epoch, the exact oldest covered
+// epoch (ring capacity edge), and one past it (which must be refused
+// with Complete=false). For covered cursors, applying the delta to the
+// mirror-at-cursor must reproduce the current agent set, and every
+// returned row must equal the point read — the delta-read-consistency
+// invariant.
+func (d *driver) checkDeltaReads(snap *serve.Snapshot) {
+	cur := snap.Epoch
+	oldestCovered := uint64(0)
+	if cur > uint64(d.dwindow) {
+		oldestCovered = cur - uint64(d.dwindow)
+	}
+	cursors := []uint64{cur - 1, oldestCovered}
+	if oldestCovered > 0 {
+		cursors = append(cursors, oldestCovered-1)
+	}
+	seen := map[uint64]bool{}
+	for _, c := range cursors {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		d.res.Checks++
+		resp := d.srv.DeltaSince(c)
+		if resp.Epoch != cur {
+			d.violate("epoch %d: DeltaSince(%d) answered at epoch %d", cur, c, resp.Epoch)
+			continue
+		}
+		wantComplete := c >= oldestCovered
+		if resp.Complete != wantComplete {
+			d.violate("epoch %d: DeltaSince(%d) complete=%v, want %v (window %d)",
+				cur, c, resp.Complete, wantComplete, d.dwindow)
+			continue
+		}
+		if !resp.Complete {
+			continue
+		}
+		base, ok := d.history[c]
+		if !ok {
+			continue // history trimmed; nothing to reconstruct against
+		}
+		rec := make(map[string]mirrorAgent, len(base))
+		for k, v := range base {
+			rec[k] = v
+		}
+		for _, name := range resp.Left {
+			delete(rec, name)
+		}
+		for _, ch := range resp.Changes {
+			rec[ch.Agent.Name] = mirrorAgent{wire: ch.Agent}
+			// Row consistency: the delta row must be byte-identical to
+			// the point read and to the inline snapshot row.
+			d.checkRowConsistency(snap, ch.Agent.Name, ch.Allocation, c)
+		}
+		if len(rec) != len(d.mirror) {
+			d.violate("epoch %d: DeltaSince(%d) reconstructs %d agents, want %d", cur, c, len(rec), len(d.mirror))
+			continue
+		}
+		for name, want := range d.mirror {
+			got, ok := rec[name]
+			if !ok {
+				d.violate("epoch %d: DeltaSince(%d) reconstruction misses %q", cur, c, name)
+				continue
+			}
+			if !reflect.DeepEqual(got.wire, want.wire) {
+				d.violate("epoch %d: DeltaSince(%d) reconstructs %q as %+v, want %+v",
+					cur, c, name, got.wire, want.wire)
+			}
+		}
+	}
+}
+
+// checkRowConsistency asserts one agent's delta row equals its point
+// read and its inline snapshot row, bit for bit.
+func (d *driver) checkRowConsistency(snap *serve.Snapshot, name string, row []float64, cursor uint64) {
+	d.res.Checks++
+	pt := d.srv.AgentRow(name)
+	if pt == nil {
+		d.violate("epoch %d: DeltaSince(%d) lists %q but the point read misses it", snap.Epoch, cursor, name)
+		return
+	}
+	if !equalRows(pt.Allocation, row) {
+		d.violate("epoch %d: %q delta row %v != point row %v", snap.Epoch, name, row, pt.Allocation)
+	}
+	i := sort.Search(len(snap.Agents), func(i int) bool { return snap.Agents[i].Name >= name })
+	if i >= len(snap.Agents) || snap.Agents[i].Name != name {
+		d.violate("epoch %d: %q in delta but not in the inline snapshot", snap.Epoch, name)
+		return
+	}
+	if !equalRows(snap.Allocation[i], row) {
+		d.violate("epoch %d: %q delta row %v != snapshot row %v", snap.Epoch, name, row, snap.Allocation[i])
+	}
+}
+
+func equalRows(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordDigest hashes the snapshot's canonical JSON into the run record.
+func (d *driver) recordDigest(snap *serve.Snapshot, tick uint64, batch int) {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		d.violate("epoch %d: snapshot marshal: %v", snap.Epoch, err)
+		return
+	}
+	sum := sha256.Sum256(b)
+	ed := EpochDigest{
+		Epoch:  snap.Epoch,
+		Tick:   tick,
+		Agents: snap.NumAgents(),
+		Batch:  batch,
+		Digest: hex.EncodeToString(sum[:]),
+	}
+	d.res.EpochDigests = append(d.res.EpochDigests, ed)
+	d.digests.add(ed.Digest)
+}
+
+// checkFlightRecorder closes the anomaly loop: with an injected audit
+// failure and the recorder on, an audit_failure dump must have been
+// captured; with neither, no dumps at all.
+func (d *driver) checkFlightRecorder() {
+	if d.opts.FlightRecorder <= 0 {
+		return
+	}
+	d.res.Checks++
+	fs := d.srv.FlightState()
+	d.res.FlightDumps = len(fs.Dumps)
+	if d.opts.InjectAuditFailureEpoch > 0 {
+		found := false
+		for _, dump := range fs.Dumps {
+			if dump.Reason == "audit_failure" {
+				found = true
+			}
+		}
+		if !found {
+			d.violate("injected audit failure produced no audit_failure flight dump (%d dumps)", len(fs.Dumps))
+		}
+		return
+	}
+	if len(fs.Dumps) > 0 {
+		d.violate("clean replay captured %d flight dumps: first reason %q", len(fs.Dumps), fs.Dumps[0].Reason)
+	}
+}
+
+// RunScenario generates and replays a built-in scenario in one call.
+func RunScenario(name string, cfg ScenarioConfig, opts Options) (*Result, error) {
+	t, err := GenerateScenario(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Run(t, opts)
+}

@@ -1,0 +1,339 @@
+package replay
+
+// Scenario generators: seeded synthesizers of ref/trace/v1 traces with the
+// temporal shapes that stress the incremental epoch engine — diurnal
+// population swings, flash crowds, correlated departures, adversarial
+// churn, and a steady-state baseline. Every generator is a pure function
+// of (config, seed): the rand stream is seeded through trace.DeriveSeed
+// with the scenario name, so two runs (and two machines) synthesize
+// byte-identical traces.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ref/internal/trace"
+)
+
+// Built-in scenario names.
+const (
+	// ScenarioSteady ramps to the target population and holds it with a
+	// low background rate of joins, leaves, and re-declarations — the
+	// baseline the shaped scenarios are compared against.
+	ScenarioSteady = "steady"
+	// ScenarioDiurnal tracks a sinusoidal population target (two full
+	// day-night cycles across the trace), the pattern that sweeps the
+	// delta ring through sustained growth and shrink phases.
+	ScenarioDiurnal = "diurnal"
+	// ScenarioFlashcrowd triples the population in a two-tick burst a
+	// third of the way in, holds, then departs the crowd almost at once —
+	// the MaxBatch/queue-pressure shape.
+	ScenarioFlashcrowd = "flashcrowd"
+	// ScenarioCorrelatedDeparture removes a 40% cohort within two ticks
+	// mid-trace (a rack failure or spot-instance reclaim), then refills —
+	// the shape that most distorts incremental sums in one step.
+	ScenarioCorrelatedDeparture = "correlated-departure"
+	// ScenarioAdversarialChurn turns over ~30% of the population every
+	// tick with magnitude-skewed elasticities (1e-2 to 1e2 scales),
+	// same-tick join+leave flickers, and elasticity flips on survivors —
+	// the drift-resummation and audit-coverage stressor.
+	ScenarioAdversarialChurn = "adversarial-churn"
+)
+
+// Scenarios lists the built-in scenario names in stable order.
+func Scenarios() []string {
+	return []string{
+		ScenarioAdversarialChurn,
+		ScenarioCorrelatedDeparture,
+		ScenarioDiurnal,
+		ScenarioFlashcrowd,
+		ScenarioSteady,
+	}
+}
+
+// ScenarioConfig sizes a generated scenario. The zero value of every
+// field selects the default.
+type ScenarioConfig struct {
+	// Agents is the target (steady-state) population (default 48).
+	Agents int
+	// Epochs is the number of simulated ticks — one allocation epoch
+	// each (default 40).
+	Epochs int
+	// Capacity is the platform capacity vector (default {24, 12}, the
+	// paper's two-resource machine).
+	Capacity []float64
+	// Seed is the base seed; the per-scenario stream is derived from it
+	// with trace.DeriveSeed, so distinct scenarios at the same base seed
+	// are uncorrelated.
+	Seed int64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Agents <= 0 {
+		c.Agents = 48
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if len(c.Capacity) == 0 {
+		c.Capacity = []float64{24, 12}
+	}
+	return c
+}
+
+// GenerateScenario synthesizes the named built-in scenario and validates
+// the result — a generator bug that emits an inconsistent trace fails
+// here, not deep inside a replay.
+func GenerateScenario(name string, cfg ScenarioConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		rng: rand.New(rand.NewSource(trace.DeriveSeed(cfg.Seed, "replay", name))),
+		t: &Trace{
+			Schema:   TraceSchema,
+			Name:     name,
+			Seed:     cfg.Seed,
+			Capacity: append([]float64(nil), cfg.Capacity...),
+		},
+	}
+	switch name {
+	case ScenarioSteady:
+		g.steady(cfg)
+	case ScenarioDiurnal:
+		g.diurnal(cfg)
+	case ScenarioFlashcrowd:
+		g.flashcrowd(cfg)
+	case ScenarioCorrelatedDeparture:
+		g.correlatedDeparture(cfg)
+	case ScenarioAdversarialChurn:
+		g.adversarialChurn(cfg)
+	default:
+		return nil, fmt.Errorf("replay: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	if err := g.t.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: scenario %q generated an invalid trace: %w", name, err)
+	}
+	return g.t, nil
+}
+
+// gen is the shared generator state: the derived rand stream, the trace
+// under construction, and the live population in insertion order (a slice,
+// not a map, so random victim selection is deterministic).
+type gen struct {
+	rng  *rand.Rand
+	t    *Trace
+	live []string
+	next int
+}
+
+// elasticities draws a declaration: per-resource elasticities in
+// [0.2, 1.2) with an occasional zeroed dimension (never all — validation
+// requires one positive entry), scaled by mag to exercise magnitude-mixed
+// populations.
+func (g *gen) elasticities(mag float64) []float64 {
+	nres := len(g.t.Capacity)
+	e := make([]float64, nres)
+	zeroed := -1
+	if nres > 1 && g.rng.Float64() < 0.15 {
+		zeroed = g.rng.Intn(nres)
+	}
+	for r := range e {
+		if r == zeroed {
+			continue
+		}
+		e[r] = (0.2 + g.rng.Float64()) * mag
+	}
+	return e
+}
+
+// join emits a join of a fresh agent and returns its name.
+func (g *gen) join(tick uint64, mag float64) string {
+	name := fmt.Sprintf("a%05d", g.next)
+	g.next++
+	g.t.Events = append(g.t.Events, Event{
+		Tick: tick, Op: OpJoin, Agent: name,
+		Alpha0:       1 + g.rng.Float64(),
+		Elasticities: g.elasticities(mag),
+	})
+	g.live = append(g.live, name)
+	return name
+}
+
+// leaveAt emits a departure of the live agent at index i.
+func (g *gen) leaveAt(tick uint64, i int) {
+	name := g.live[i]
+	g.live = append(g.live[:i], g.live[i+1:]...)
+	g.t.Events = append(g.t.Events, Event{Tick: tick, Op: OpLeave, Agent: name})
+}
+
+// update emits a re-declaration of a random live agent.
+func (g *gen) update(tick uint64, mag float64) {
+	if len(g.live) == 0 {
+		return
+	}
+	name := g.live[g.rng.Intn(len(g.live))]
+	g.t.Events = append(g.t.Events, Event{
+		Tick: tick, Op: OpUpdate, Agent: name,
+		Alpha0:       1 + g.rng.Float64(),
+		Elasticities: g.elasticities(mag),
+	})
+}
+
+// settle moves the population toward target with joins or random leaves.
+func (g *gen) settle(tick uint64, target int, mag float64) {
+	for len(g.live) < target {
+		g.join(tick, mag)
+	}
+	for len(g.live) > target && len(g.live) > 1 {
+		g.leaveAt(tick, g.rng.Intn(len(g.live)))
+	}
+}
+
+// steady: ramp in over the first quarter, then hold with ~5% updates and
+// ~2% join/leave pairs per tick.
+func (g *gen) steady(cfg ScenarioConfig) {
+	ramp := cfg.Epochs / 4
+	if ramp < 1 {
+		ramp = 1
+	}
+	for tick := 0; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		if tick < ramp {
+			g.settle(t, cfg.Agents*(tick+1)/ramp, 1)
+			continue
+		}
+		for i := 0; i < max(1, cfg.Agents/20); i++ {
+			g.update(t, 1)
+		}
+		for i := 0; i < max(1, cfg.Agents/50); i++ {
+			g.leaveAt(t, g.rng.Intn(len(g.live)))
+			g.join(t, 1)
+		}
+	}
+}
+
+// diurnal: the population tracks a sinusoid between Agents/2 and Agents,
+// two full cycles over the trace, with a trickle of re-declarations.
+func (g *gen) diurnal(cfg ScenarioConfig) {
+	lo, hi := cfg.Agents/2, cfg.Agents
+	if lo < 2 {
+		lo = 2
+	}
+	for tick := 0; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		phase := 2 * math.Pi * 2 * float64(tick) / float64(cfg.Epochs)
+		target := lo + int(math.Round(float64(hi-lo)*(1-math.Cos(phase))/2))
+		g.settle(t, max(target, 1), 1)
+		if tick%3 == 0 {
+			g.update(t, 1)
+		}
+	}
+}
+
+// flashcrowd: baseline population, a 3× burst joined across two ticks at
+// Epochs/3, a plateau, then the whole crowd departing within two ticks.
+func (g *gen) flashcrowd(cfg ScenarioConfig) {
+	base := max(cfg.Agents/3, 2)
+	burstAt := cfg.Epochs / 3
+	crowdGone := 2 * cfg.Epochs / 3
+	var crowd []string
+	for tick := 0; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		switch {
+		case tick < burstAt:
+			g.settle(t, base, 1)
+		case tick == burstAt || tick == burstAt+1:
+			// Two-tick burst up to ~3× base; remember the crowd so the
+			// departure is exactly correlated with the arrival.
+			for len(g.live) < base*3*(tick-burstAt+1)/2 {
+				crowd = append(crowd, g.join(t, 1))
+			}
+		case tick == crowdGone || tick == crowdGone+1:
+			half := len(crowd) / 2
+			departing := crowd[:half]
+			crowd = crowd[half:]
+			if tick == crowdGone+1 {
+				departing = append(departing, crowd...)
+				crowd = nil
+			}
+			for _, name := range departing {
+				for i, live := range g.live {
+					if live == name {
+						g.leaveAt(t, i)
+						break
+					}
+				}
+			}
+			if len(departing) == 0 {
+				g.update(t, 1)
+			}
+		default:
+			g.update(t, 1)
+		}
+	}
+}
+
+// correlatedDeparture: ramp to target, then a 40% cohort leaves within
+// two ticks mid-trace and the population refills over the back half.
+func (g *gen) correlatedDeparture(cfg ScenarioConfig) {
+	failAt := cfg.Epochs / 2
+	for tick := 0; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		switch {
+		case tick < failAt/2:
+			g.settle(t, cfg.Agents*(tick+1)/max(failAt/2, 1), 1)
+		case tick == failAt || tick == failAt+1:
+			// The cohort is a contiguous 20% slice of the live ordering per
+			// tick — correlated names, as a rack shares a prefix.
+			n := len(g.live) / 5
+			if n == 0 && len(g.live) > 1 {
+				n = 1
+			}
+			start := g.rng.Intn(max(len(g.live)-n, 1))
+			for i := 0; i < n && len(g.live) > 1; i++ {
+				g.leaveAt(t, start%len(g.live))
+			}
+		case tick > failAt+1:
+			// Refill toward the target, a few joins per tick.
+			for i := 0; i < 3 && len(g.live) < cfg.Agents; i++ {
+				g.join(t, 1)
+			}
+			g.update(t, 1)
+		default:
+			g.update(t, 1)
+		}
+	}
+}
+
+// adversarialChurn: every tick turns over ~30% of the population with
+// magnitude-skewed declarations (scales 1e-2, 1, 1e2), flips survivors'
+// elasticities across magnitude classes to force drift-triggered
+// resummations, and adds same-tick join+leave flickers so a batch can
+// contain an agent's entire lifetime.
+func (g *gen) adversarialChurn(cfg ScenarioConfig) {
+	mags := []float64{1e-2, 1, 1e2}
+	mag := func() float64 { return mags[g.rng.Intn(len(mags))] }
+	g.settle(0, cfg.Agents, 1)
+	for tick := 1; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		churn := max(len(g.live)*3/10, 1)
+		for i := 0; i < churn; i++ {
+			g.leaveAt(t, g.rng.Intn(len(g.live)))
+			g.join(t, mag())
+		}
+		for i := 0; i < max(cfg.Agents/10, 1); i++ {
+			g.update(t, mag())
+		}
+		// A flicker: a join and leave inside one batch, never surviving
+		// to the snapshot.
+		g.join(t, mag())
+		g.leaveAt(t, len(g.live)-1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,232 @@
+// Package replay is the deterministic cluster-trace replay harness: it
+// drives tenant arrival/departure/re-declaration traces — synthesized by
+// seeded scenario generators or loaded from a versioned trace file —
+// through the *real* internal/serve epoch loop at simulated-time speed on
+// a FakeClock, re-auditing every published snapshot with the
+// internal/check oracles and checking the service's online invariants
+// (epoch monotonicity, delta-read consistency, incremental-vs-from-scratch
+// Equation 13 agreement, sampled-audit parity) inline.
+//
+// Replays are bit-identical across runs and worker-pool widths: every
+// event lands in the mutation queue in trace order (sequenced on the epoch
+// loop's dequeue counter), every epoch fires off a manually advanced
+// clock, and every snapshot digest is a pure function of (trace, config).
+// That makes the harness the standing regression suite for the scale
+// engine: a committed golden per scenario pins the digest sequence, so any
+// change to allocation arithmetic, audit behavior, or the wire format
+// shows up as a reviewed golden diff.
+//
+// This file defines the ref/trace/v1 trace format and its strict decoder.
+package replay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"unicode/utf8"
+
+	"ref/internal/cobb"
+)
+
+// TraceSchema identifies the trace wire format. Traces carry it so
+// replays fail loudly on a layout they were not written for.
+const TraceSchema = "ref/trace/v1"
+
+// maxAgentName bounds agent names, mirroring the serve wire limit so a
+// valid trace never produces a serve-side rejection.
+const maxAgentName = 256
+
+// maxTraceEvents bounds decoded traces; a trace is a test input, not a
+// bulk-transfer format, and the bound keeps hostile inputs from ballooning
+// memory before validation sees them.
+const maxTraceEvents = 1 << 20
+
+// Event ops.
+const (
+	// OpJoin adds a tenant that must not currently be live.
+	OpJoin = "join"
+	// OpUpdate re-declares a live tenant's elasticities.
+	OpUpdate = "update"
+	// OpLeave departs a live tenant.
+	OpLeave = "leave"
+)
+
+// ErrBadTrace reports a trace that failed schema or semantic validation.
+var ErrBadTrace = errors.New("replay: bad trace")
+
+// Event is one tenant mutation at a simulated tick. Events at the same
+// tick coalesce into a single allocation epoch, in trace order.
+type Event struct {
+	// Tick is the simulated time step the event fires at. Ticks must be
+	// non-decreasing across the trace.
+	Tick uint64 `json:"tick"`
+	// Op is one of join, update, leave.
+	Op string `json:"op"`
+	// Agent names the tenant (non-empty UTF-8, at most 256 bytes).
+	Agent string `json:"agent"`
+	// Alpha0 is the utility scale constant for join/update; 0 selects the
+	// default 1.
+	Alpha0 float64 `json:"alpha0,omitempty"`
+	// Elasticities declares the Cobb-Douglas elasticities for join and
+	// update events, one per trace capacity entry. Entries must be finite
+	// and non-negative with at least one positive.
+	Elasticities []float64 `json:"elasticities,omitempty"`
+}
+
+// Trace is a full ref/trace/v1 document: the platform capacities the
+// replayed server runs with, plus the ordered event log.
+type Trace struct {
+	Schema string `json:"schema"`
+	// Name labels the trace (the scenario name for generated traces).
+	Name string `json:"name,omitempty"`
+	// Seed records the generator seed for provenance; informational.
+	Seed int64 `json:"seed,omitempty"`
+	// Capacity holds total capacity per resource.
+	Capacity []float64 `json:"capacity"`
+	// Events is the ordered mutation log.
+	Events []Event `json:"events"`
+}
+
+// Ticks returns the number of distinct ticks (= allocation epochs the
+// replay will publish).
+func (t *Trace) Ticks() int {
+	n := 0
+	for i, ev := range t.Events {
+		if i == 0 || ev.Tick != t.Events[i-1].Tick {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the trace end to end: schema, capacities, event
+// ordering, per-event declarations, and liveness (a join of a live agent,
+// or an update/leave of an absent one, is an error — the generators never
+// produce such traces, and rejecting them at decode time means a valid
+// trace never sees a serve-side rejection).
+func (t *Trace) Validate() error {
+	if t.Schema != TraceSchema {
+		return fmt.Errorf("%w: schema %q, want %q", ErrBadTrace, t.Schema, TraceSchema)
+	}
+	if len(t.Capacity) == 0 {
+		return fmt.Errorf("%w: no resource capacities", ErrBadTrace)
+	}
+	for r, c := range t.Capacity {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+			return fmt.Errorf("%w: capacity[%d] = %v, must be positive and finite", ErrBadTrace, r, c)
+		}
+	}
+	if len(t.Events) > maxTraceEvents {
+		return fmt.Errorf("%w: %d events exceeds the %d-event bound", ErrBadTrace, len(t.Events), maxTraceEvents)
+	}
+	live := make(map[string]struct{})
+	var lastTick uint64
+	for i, ev := range t.Events {
+		if ev.Tick < lastTick {
+			return fmt.Errorf("%w: event %d: tick %d after tick %d (out of order)", ErrBadTrace, i, ev.Tick, lastTick)
+		}
+		lastTick = ev.Tick
+		if ev.Agent == "" || len(ev.Agent) > maxAgentName || !utf8.ValidString(ev.Agent) {
+			return fmt.Errorf("%w: event %d: agent name must be non-empty valid UTF-8 of at most %d bytes", ErrBadTrace, i, maxAgentName)
+		}
+		switch ev.Op {
+		case OpJoin, OpUpdate:
+			if _, ok := live[ev.Agent]; ev.Op == OpJoin && ok {
+				return fmt.Errorf("%w: event %d: duplicate join of live agent %q", ErrBadTrace, i, ev.Agent)
+			} else if ev.Op == OpUpdate && !ok {
+				return fmt.Errorf("%w: event %d: update of absent agent %q", ErrBadTrace, i, ev.Agent)
+			}
+			if len(ev.Elasticities) != len(t.Capacity) {
+				return fmt.Errorf("%w: event %d: %d elasticities for %d resources", ErrBadTrace, i, len(ev.Elasticities), len(t.Capacity))
+			}
+			for r, e := range ev.Elasticities {
+				if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+					return fmt.Errorf("%w: event %d: elasticity[%d] = %v, must be finite and non-negative", ErrBadTrace, i, r, e)
+				}
+			}
+			if ev.Alpha0 < 0 || math.IsNaN(ev.Alpha0) || math.IsInf(ev.Alpha0, 0) {
+				return fmt.Errorf("%w: event %d: alpha0 = %v, must be finite and non-negative", ErrBadTrace, i, ev.Alpha0)
+			}
+			// cobb.New is the authority on utility validity (all-zero,
+			// overflow-prone sums, denormal scales); run it here so a
+			// decoded trace can never be rejected at apply time.
+			if _, err := ev.Utility(); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
+			live[ev.Agent] = struct{}{}
+		case OpLeave:
+			if _, ok := live[ev.Agent]; !ok {
+				return fmt.Errorf("%w: event %d: leave of absent agent %q", ErrBadTrace, i, ev.Agent)
+			}
+			if len(ev.Elasticities) != 0 {
+				return fmt.Errorf("%w: event %d: leave carries elasticities", ErrBadTrace, i)
+			}
+			delete(live, ev.Agent)
+		default:
+			return fmt.Errorf("%w: event %d: unknown op %q (have join, update, leave)", ErrBadTrace, i, ev.Op)
+		}
+	}
+	return nil
+}
+
+// Utility builds the event's validated Cobb-Douglas utility (join/update
+// events only).
+func (ev *Event) Utility() (cobb.Utility, error) {
+	alpha0 := ev.Alpha0
+	if alpha0 == 0 {
+		alpha0 = 1
+	}
+	return cobb.New(alpha0, ev.Elasticities...)
+}
+
+// DecodeTrace parses a ref/trace/v1 document from r and validates it. Two
+// layouts are accepted:
+//
+//   - a single JSON object with an inline "events" array;
+//   - JSONL: a header object (schema/name/capacity, no events) on the
+//     first line followed by one event object per line.
+//
+// Malformed input of either shape returns an error wrapping ErrBadTrace or
+// the JSON decode failure; DecodeTrace never panics.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<28))
+	dec.DisallowUnknownFields()
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("replay: decode trace: %w", err)
+	}
+	// JSONL: the first value was a bare header; the rest are events.
+	for dec.More() {
+		if len(t.Events) >= maxTraceEvents {
+			return nil, fmt.Errorf("%w: more than %d events", ErrBadTrace, maxTraceEvents)
+		}
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("replay: decode trace event %d: %w", len(t.Events), err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// EncodeJSONL writes the trace in the JSONL layout DecodeTrace accepts: a
+// header line (without events) followed by one event per line.
+func (t *Trace) EncodeJSONL(w io.Writer) error {
+	header := *t
+	header.Events = nil
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&header); err != nil {
+		return fmt.Errorf("replay: encode trace header: %w", err)
+	}
+	for i := range t.Events {
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			return fmt.Errorf("replay: encode trace event %d: %w", i, err)
+		}
+	}
+	return nil
+}

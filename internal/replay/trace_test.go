@@ -1,0 +1,244 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validTrace is a small hand-written ref/trace/v1 document the decode
+// tests perturb.
+func validTrace() *Trace {
+	return &Trace{
+		Schema:   TraceSchema,
+		Name:     "hand",
+		Capacity: []float64{24, 12},
+		Events: []Event{
+			{Tick: 0, Op: OpJoin, Agent: "a", Elasticities: []float64{0.6, 0.4}},
+			{Tick: 0, Op: OpJoin, Agent: "b", Alpha0: 2, Elasticities: []float64{0.2, 0.8}},
+			{Tick: 1, Op: OpUpdate, Agent: "a", Elasticities: []float64{0.5, 0.5}},
+			{Tick: 2, Op: OpLeave, Agent: "b"},
+		},
+	}
+}
+
+func TestTraceValidateAccepts(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestTraceValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Trace)
+		want string
+	}{
+		{"bad schema", func(tr *Trace) { tr.Schema = "ref/trace/v0" }, "schema"},
+		{"no capacity", func(tr *Trace) { tr.Capacity = nil }, "capacities"},
+		{"negative capacity", func(tr *Trace) { tr.Capacity[1] = -1 }, "positive"},
+		{"out-of-order ticks", func(tr *Trace) { tr.Events[2].Tick = 0; tr.Events[1].Tick = 1 }, "out of order"},
+		{"empty agent name", func(tr *Trace) { tr.Events[0].Agent = "" }, "agent name"},
+		{"oversized agent name", func(tr *Trace) { tr.Events[0].Agent = strings.Repeat("x", maxAgentName+1) }, "agent name"},
+		{"duplicate join", func(tr *Trace) { tr.Events[1] = Event{Tick: 0, Op: OpJoin, Agent: "a", Elasticities: []float64{1, 1}} }, "duplicate join"},
+		{"update of absent", func(tr *Trace) { tr.Events[2].Agent = "ghost" }, "absent agent"},
+		{"leave of absent", func(tr *Trace) { tr.Events[3].Agent = "ghost" }, "absent agent"},
+		{"negative rate", func(tr *Trace) { tr.Events[0].Elasticities[0] = -0.1 }, "non-negative"},
+		{"all-zero rates", func(tr *Trace) { tr.Events[0].Elasticities = []float64{0, 0} }, ""},
+		{"wrong rate count", func(tr *Trace) { tr.Events[0].Elasticities = []float64{0.6} }, "elasticities for"},
+		{"negative alpha0", func(tr *Trace) { tr.Events[0].Alpha0 = -1 }, "alpha0"},
+		{"leave with rates", func(tr *Trace) { tr.Events[3].Elasticities = []float64{1, 1} }, "leave carries"},
+		{"unknown op", func(tr *Trace) { tr.Events[0].Op = "rejoin" }, "unknown op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := validTrace()
+			tc.mut(tr)
+			err := tr.Validate()
+			if err == nil {
+				t.Fatalf("mutated trace accepted")
+			}
+			if !errors.Is(err, ErrBadTrace) {
+				t.Errorf("error %v does not wrap ErrBadTrace", err)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeTraceSingleDocument(t *testing.T) {
+	doc := `{
+		"schema": "ref/trace/v1",
+		"name": "hand",
+		"capacity": [24, 12],
+		"events": [
+			{"tick": 0, "op": "join", "agent": "a", "elasticities": [0.6, 0.4]},
+			{"tick": 1, "op": "leave", "agent": "a"}
+		]
+	}`
+	tr, err := DecodeTrace(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "hand" || len(tr.Events) != 2 || tr.Events[1].Op != OpLeave {
+		t.Fatalf("decoded %+v", tr)
+	}
+}
+
+func TestDecodeTraceJSONLRoundTrip(t *testing.T) {
+	want, err := GenerateScenario(ScenarioSteady, ScenarioConfig{Agents: 8, Epochs: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := want.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want.Events)+1 {
+		t.Fatalf("JSONL has %d lines for %d events", lines, len(want.Events))
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeTraceRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"empty", ""},
+		{"syntax error", `{"schema": "ref/trace/v1",`},
+		{"wrong type", `{"schema": 42}`},
+		{"unknown field", `{"schema": "ref/trace/v1", "capacity": [1], "bogus": 1, "events": []}`},
+		{"bad schema", `{"schema": "ref/trace/v0", "capacity": [1], "events": []}`},
+		{"nan capacity", `{"schema": "ref/trace/v1", "capacity": ["nan"], "events": []}`},
+		{"negative rate", `{"schema": "ref/trace/v1", "capacity": [1],
+			"events": [{"tick": 0, "op": "join", "agent": "a", "elasticities": [-1]}]}`},
+		{"bad event line", `{"schema": "ref/trace/v1", "capacity": [1]}
+			{"tick": "zero"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeTrace(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("malformed trace accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Agents: 12, Epochs: 10, Seed: 42}
+	for _, name := range Scenarios() {
+		a, err := GenerateScenario(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := GenerateScenario(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", name)
+		}
+		other := cfg
+		other.Seed = 43
+		c, err := GenerateScenario(name, other)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reflect.DeepEqual(a.Events, c.Events) {
+			t.Errorf("%s: seeds 42 and 43 produced identical event logs", name)
+		}
+		if a.Ticks() == 0 || len(a.Events) == 0 {
+			t.Errorf("%s: degenerate trace: %d ticks, %d events", name, a.Ticks(), len(a.Events))
+		}
+	}
+	if _, err := GenerateScenario("no-such-scenario", cfg); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenarioShapes pins the temporal signatures the scenarios exist
+// for: the flash crowd's burst, the correlated departure's mass leave,
+// and the adversarial churn's same-tick join+leave flicker.
+func TestScenarioShapes(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 1}
+
+	fc, err := GenerateScenario(ScenarioFlashcrowd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak, base := populationExtremes(fc); peak < 2*base {
+		t.Errorf("flashcrowd peak %d not a burst over base %d", peak, base)
+	}
+
+	cd, err := GenerateScenario(ScenarioCorrelatedDeparture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLeaves := 0
+	leavesAt := map[uint64]int{}
+	for _, ev := range cd.Events {
+		if ev.Op == OpLeave {
+			leavesAt[ev.Tick]++
+			if leavesAt[ev.Tick] > maxLeaves {
+				maxLeaves = leavesAt[ev.Tick]
+			}
+		}
+	}
+	if maxLeaves < 4 {
+		t.Errorf("correlated-departure max leaves per tick = %d, want a cohort", maxLeaves)
+	}
+
+	ac, err := GenerateScenario(ScenarioAdversarialChurn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flicker := false
+	joinedAt := map[string]uint64{}
+	for _, ev := range ac.Events {
+		switch ev.Op {
+		case OpJoin:
+			joinedAt[ev.Agent] = ev.Tick
+		case OpLeave:
+			if at, ok := joinedAt[ev.Agent]; ok && at == ev.Tick {
+				flicker = true
+			}
+		}
+	}
+	if !flicker {
+		t.Error("adversarial-churn has no same-tick join+leave flicker")
+	}
+}
+
+// populationExtremes simulates the live population over the trace.
+func populationExtremes(tr *Trace) (peak, preBurstBase int) {
+	live := 0
+	peakTick := uint64(0)
+	pops := map[uint64]int{}
+	for _, ev := range tr.Events {
+		switch ev.Op {
+		case OpJoin:
+			live++
+		case OpLeave:
+			live--
+		}
+		pops[ev.Tick] = live
+		if live > peak {
+			peak, peakTick = live, ev.Tick
+		}
+	}
+	base := peak
+	for tick, p := range pops {
+		if tick < peakTick/2 && p > 0 && p < base {
+			base = p
+		}
+	}
+	return peak, base
+}

@@ -69,6 +69,14 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 	}
 	s.auditCursor = (s.auditCursor + k) % n
 
+	if s.cfg.auditObserver != nil {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.wire.Name
+		}
+		s.cfg.auditObserver(names)
+	}
+
 	f := &Fairness{SI: true, EF: true, PE: true, Sampled: true, SampleSize: len(entries)}
 
 	if cap(s.logScratch) < len(sums) {

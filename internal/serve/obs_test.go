@@ -88,7 +88,7 @@ func TestFlightDumpOnAuditFailure(t *testing.T) {
 	cfg.FlightDumpDir = t.TempDir()
 	// Force the verdict bad after the real audit ran: Equation 13 rows
 	// always pass a real audit, so failure must be injected.
-	cfg.auditHook = func(f *Fairness) { f.SI = false }
+	cfg.AuditHook = func(f *Fairness) { f.SI = false }
 
 	reg := obs.NewRegistry()
 	obs.Install(reg)

@@ -197,11 +197,17 @@ type Config struct {
 	// shed_spike flight dump (default 256; negative disables).
 	ShedSpike int
 
-	// auditHook, when set, observes (and may mutate) each epoch's
-	// fairness verdict after the audit runs — a test seam for injecting
-	// audit failures without constructing an unfair allocation, which
-	// Equation 13 never produces.
-	auditHook func(*Fairness)
+	// AuditHook, when set, observes (and may mutate) each epoch's
+	// fairness verdict after the audit runs — a seam for injecting audit
+	// failures without constructing an unfair allocation, which
+	// Equation 13 never produces. The serve tests and the replay
+	// harness use it to drive the audit_failure flight-recorder trigger
+	// deterministically.
+	AuditHook func(*Fairness)
+
+	// auditObserver, when set, receives the names the sampled audit
+	// covered each epoch — the tap behind the audit-coverage tests.
+	auditObserver func(names []string)
 }
 
 // withDefaults validates Capacity and fills zero fields.
@@ -421,6 +427,13 @@ func (s *Server) Capacity() []float64 {
 // Current returns the live snapshot, lock-free. The returned value is
 // immutable and must not be modified.
 func (s *Server) Current() *Snapshot { return s.snap.Load() }
+
+// ReceivedMutations reports how many mutations the epoch loop has
+// dequeued since boot. Deterministic drivers (the replay harness, the
+// fake-clock tests) sequence on it: submit one mutation, wait for the
+// counter to advance, submit the next — which fixes the queue order, and
+// with it the batch composition, independent of goroutine scheduling.
+func (s *Server) ReceivedMutations() int64 { return s.received.Load() }
 
 // Draining reports whether Close has begun.
 func (s *Server) Draining() bool {
@@ -841,8 +854,8 @@ func (s *Server) publishBatch(info *batchInfo, touched []string, tm *epochTiming
 			snap.Fairness = s.auditSampled(n, sums, touched)
 		}
 	}
-	if s.cfg.auditHook != nil && snap.Fairness != nil {
-		s.cfg.auditHook(snap.Fairness)
+	if s.cfg.AuditHook != nil && snap.Fairness != nil {
+		s.cfg.AuditHook(snap.Fairness)
 	}
 	if tm != nil {
 		tm.afterAudit = s.clock.Now()

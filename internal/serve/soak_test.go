@@ -16,18 +16,21 @@ import (
 	"ref/internal/check"
 	"ref/internal/cobb"
 	"ref/internal/core"
-	"ref/internal/fair"
-	"ref/internal/mech"
 	"ref/internal/obs"
 	"ref/internal/opt"
 )
 
 // Soak dimensions: soakClients concurrent tenants, each issuing soakOps
-// requests — ≥10k requests total, run under -race in CI.
-const (
-	soakClients = 120
-	soakOps     = 100
-)
+// requests — ≥10k requests total, run under -race in CI. Under -short
+// the soak shrinks to a smoke: same protocol and invariants, a fraction
+// of the traffic, so the default developer loop stays fast while the
+// race job keeps the full load.
+func soakDims(t *testing.T) (clients, ops, minRequests int) {
+	if testing.Short() {
+		return 24, 25, 600
+	}
+	return 120, 100, 10000
+}
 
 // TestSoak hammers a live server over HTTP with concurrent joins, leaves,
 // and reads, and holds every observed snapshot to the property harness's
@@ -36,6 +39,7 @@ const (
 // Epoch latency lands in the obs histograms, so the test closes by
 // asserting a bounded p99.
 func TestSoak(t *testing.T) {
+	soakClients, soakOps, minRequests := soakDims(t)
 	prev := obs.Installed()
 	reg := obs.NewRegistry()
 	obs.Install(reg)
@@ -52,15 +56,10 @@ func TestSoak(t *testing.T) {
 		tr.MaxIdleConnsPerHost = soakClients
 	}
 
-	oracles := []check.Oracle{
-		check.Feasibility(true),
-		check.SIOracle(fair.DefaultTolerance()),
-		check.EFOracle(fair.DefaultTolerance()),
-	}
-	mechanism := mech.ProportionalElasticity{}
-
 	// auditSnapshot rebuilds the economy from the wire snapshot and runs
-	// the oracles against the published allocation.
+	// the snapshot oracle suite (feasibility, SI, EF, Equation 13
+	// differential) against the published allocation — the same adapter
+	// the trace-replay harness applies per epoch.
 	auditSnapshot := func(snap *Snapshot) []string {
 		if len(snap.Agents) == 0 {
 			return nil
@@ -73,14 +72,7 @@ func TestSoak(t *testing.T) {
 			}
 			agents[i] = core.Agent{Name: a.Name, Utility: u}
 		}
-		ec := check.Economy{Agents: agents, Cap: snap.Capacity}
-		x := opt.Alloc(snap.Allocation)
-		var out []string
-		for _, o := range oracles {
-			for _, v := range o.Check(ec, mechanism, x) {
-				out = append(out, o.Name+": "+v)
-			}
-		}
+		out := check.AuditSnapshot(agents, snap.Capacity, opt.Alloc(snap.Allocation), 0)
 		if snap.Fairness == nil || !snap.Fairness.SI || !snap.Fairness.EF || !snap.Fairness.PE {
 			out = append(out, fmt.Sprintf("server-side audit not clean: %+v", snap.Fairness))
 		}
@@ -212,8 +204,8 @@ func TestSoak(t *testing.T) {
 	}
 	mu.Unlock()
 
-	if got := requests.Load(); got < 10000 {
-		t.Errorf("soak issued %d requests, want ≥ 10000", got)
+	if got := requests.Load(); got < int64(minRequests) {
+		t.Errorf("soak issued %d requests, want ≥ %d", got, minRequests)
 	}
 
 	snap := reg.Snapshot()

@@ -3,6 +3,7 @@ package ref
 import (
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,6 +49,7 @@ func TestObservabilityFacade(t *testing.T) {
 
 	m := NewRunManifest("test", nil)
 	m.Record("fig1", 0.1, nil)
+	m.RecordReplay(ReplayRecord{Name: "steady", Seed: 1, Epochs: 8, Digest: "abc", Violations: []string{}})
 	path := filepath.Join(t.TempDir(), "m.json")
 	if err := m.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -58,5 +60,14 @@ func TestObservabilityFacade(t *testing.T) {
 	}
 	if got.Metrics == nil || got.Metrics.Counters[`ref_exp_runs_total{exp="fig1",result="ok"}`] != 1 {
 		t.Errorf("manifest snapshot missing experiment counter")
+	}
+	if len(got.Replay) != 1 || got.Replay[0].Name != "steady" || got.Replay[0].Digest != "abc" {
+		t.Errorf("manifest replay section did not round-trip: %+v", got.Replay)
+	}
+	// CI jq-asserts `.replay[].violations | length == 0`, so the empty
+	// list must serialize as [], not null.
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), `"violations": []`) && !strings.Contains(string(raw), `"violations":[]`) {
+		t.Errorf("empty violations list not serialized as []:\n%s", raw)
 	}
 }

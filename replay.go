@@ -1,0 +1,64 @@
+package ref
+
+import (
+	"io"
+
+	"ref/internal/obs"
+	"ref/internal/replay"
+)
+
+// Trace replay — the deterministic discrete-event regression harness
+// (cmd/refreplay). Tenant arrival/departure/re-declaration traces, either
+// synthesized by seeded scenario generators or loaded from a ref/trace/v1
+// file, are driven through the real allocation server on a fake clock;
+// every published snapshot is re-audited with the §4 oracles and the
+// online invariants (epoch monotonicity, delta-read consistency,
+// Equation 13 differential, sampled-audit parity) are checked inline.
+// See internal/replay for the full contract.
+
+// TraceSchema identifies the ref/trace/v1 trace wire format.
+const TraceSchema = replay.TraceSchema
+
+// ReplayTrace is a full trace document: capacities plus the event log.
+type ReplayTrace = replay.Trace
+
+// ReplayEvent is one tenant mutation at a simulated tick.
+type ReplayEvent = replay.Event
+
+// ReplayOptions configures a replay run beyond what the trace fixes.
+type ReplayOptions = replay.Options
+
+// ReplayResult is one replay's outcome: per-epoch snapshot digests, the
+// run digest, and every invariant violation (empty = pass).
+type ReplayResult = replay.Result
+
+// ReplayScenarioConfig sizes a generated scenario.
+type ReplayScenarioConfig = replay.ScenarioConfig
+
+// ReplayRecord is one replay's summary inside a run manifest (the
+// `replay` section CI jq-asserts); pass it to RunManifest.RecordReplay.
+type ReplayRecord = obs.ReplayScenario
+
+// ReplayScenarios lists the built-in scenario names in stable order.
+func ReplayScenarios() []string { return replay.Scenarios() }
+
+// GenerateReplayScenario synthesizes a built-in scenario trace; the
+// result is a pure function of (name, config).
+func GenerateReplayScenario(name string, cfg ReplayScenarioConfig) (*ReplayTrace, error) {
+	return replay.GenerateScenario(name, cfg)
+}
+
+// DecodeReplayTrace parses and validates a ref/trace/v1 document (single
+// JSON object or JSONL).
+func DecodeReplayTrace(r io.Reader) (*ReplayTrace, error) { return replay.DecodeTrace(r) }
+
+// RunReplay replays a trace through a fresh allocation server with the
+// full inline invariant suite.
+func RunReplay(t *ReplayTrace, opts ReplayOptions) (*ReplayResult, error) {
+	return replay.Run(t, opts)
+}
+
+// RunReplayScenario generates and replays a built-in scenario.
+func RunReplayScenario(name string, cfg ReplayScenarioConfig, opts ReplayOptions) (*ReplayResult, error) {
+	return replay.RunScenario(name, cfg, opts)
+}
