@@ -32,6 +32,7 @@ func main() {
 		maxAgents    = flag.Int("max-agents", 0, "max agents per economy (0 = default 64)")
 		maxResources = flag.Int("max-resources", 0, "max resources per economy (0 = default 8)")
 		solverTrials = flag.Int("solver-trials", 0, "trials for the iterative-solver subjects (0 = trials/50, negative disables)")
+		hierTrials   = flag.Int("hier-trials", 0, "trials for the hierarchical queue-tree stream (0 = trials, negative disables)")
 		simTrials    = flag.Int("sim-trials", 0, "trials whose economies are sim-backed 3-resource profile fits (0 disables)")
 		simAccesses  = flag.Int("sim-accesses", 0, "per-configuration access budget for sim-backed profiling (0 = default 2000)")
 		parallelism  = flag.Int("parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
@@ -41,14 +42,14 @@ func main() {
 		cxOut        = flag.String("cx-out", "", "write shrunk counterexamples (Go literals) to this path on failure")
 	)
 	flag.Parse()
-	if err := run(*trials, *seed, *trialOffset, *maxAgents, *maxResources, *solverTrials,
+	if err := run(*trials, *seed, *trialOffset, *maxAgents, *maxResources, *solverTrials, *hierTrials,
 		*simTrials, *simAccesses, *parallelism, *noShrink, *metricsAddr, *manifestOut, *cxOut); err != nil {
 		fmt.Fprintln(os.Stderr, "refcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTrials,
+func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTrials, hierTrials,
 	simTrials, simAccesses, parallelism int, noShrink bool, metricsAddr, manifestOut, cxOut string) error {
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
@@ -73,6 +74,7 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		MaxAgents:    maxAgents,
 		MaxResources: maxResources,
 		SolverTrials: solverTrials,
+		HierTrials:   hierTrials,
 		SimTrials:    simTrials,
 		SimAccesses:  simAccesses,
 		Parallelism:  parallelism,
@@ -91,8 +93,8 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		return err
 	}
 
-	fmt.Printf("refcheck: %d fast + %d solver + %d sim trials, %d oracle evaluations in %s (seed %d)\n",
-		sum.Trials, sum.SolverTrials, sum.SimTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
+	fmt.Printf("refcheck: %d fast + %d solver + %d sim + %d hier trials, %d oracle evaluations in %s (seed %d)\n",
+		sum.Trials, sum.SolverTrials, sum.SimTrials, sum.HierTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
 	if sum.OK() {
 		fmt.Println("refcheck: all properties hold")
 		return nil
@@ -103,6 +105,15 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		fmt.Printf("\nFAIL %d/%d: %s\n", i+1, len(sum.Failures), f)
 		for _, finding := range f.Findings {
 			fmt.Println("  " + finding)
+		}
+		if f.ShrunkTree != nil {
+			// Hier-stream failures shrink to a queue-tree economy; replay
+			// them by pinning the hier stream to the failing trial.
+			fmt.Printf("  replay: refcheck -trials 1 -hier-trials 1 -seed %d -trial-offset %d\n", seed, f.Trial)
+			fmt.Printf("  shrunk counterexample (%d agents, %d queues):\n%#v\n",
+				f.ShrunkTree.NumAgents(), len(f.ShrunkTree.Cfg.Queues), *f.ShrunkTree)
+			fmt.Fprintf(&cx, "// %s\n// findings: %s\n%#v\n\n", f, strings.Join(f.Findings, "; "), *f.ShrunkTree)
+			continue
 		}
 		fmt.Printf("  replay: refcheck -trials 1 -seed %d -trial-offset %d\n", seed, f.Trial)
 		fmt.Printf("  shrunk counterexample (%d agents, %d resources):\n%#v\n",

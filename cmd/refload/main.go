@@ -130,7 +130,7 @@ func (t *inprocTarget) join(name string, elast []float64) error {
 	if err != nil {
 		return err
 	}
-	_, _, apiErr := t.srv.Join(context.Background(), ref.WireAgent{Name: name, Alpha0: 1, Elasticities: elast}, u)
+	_, _, _, apiErr := t.srv.Join(context.Background(), ref.WireAgent{Name: name, Alpha0: 1, Elasticities: elast}, u)
 	if apiErr != nil {
 		return apiErr
 	}
@@ -142,7 +142,7 @@ func (t *inprocTarget) update(name string, elast []float64) error {
 	if err != nil {
 		return err
 	}
-	_, _, apiErr := t.srv.Update(context.Background(), ref.WireAgent{Name: name, Alpha0: 1, Elasticities: elast}, u)
+	_, _, _, apiErr := t.srv.Update(context.Background(), ref.WireAgent{Name: name, Alpha0: 1, Elasticities: elast}, u)
 	if apiErr != nil {
 		if apiErr.Code == ref.CodeUnknownAgent {
 			return errMiss

@@ -35,6 +35,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "scenario generator seed")
 		agents      = flag.Int("agents", 0, "scenario population scale (0 = default)")
 		epochs      = flag.Int("epochs", 0, "scenario length in ticks (0 = default)")
+		queueCount  = flag.Int("queue-count", 0, "static queues declared by queue-aware scenarios (0 = default, negative disables; others ignore it)")
 		parallelism = flag.Int("parallelism", 0, "serve worker-pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 		shards      = flag.Int("shards", 0, "agent-table shards (0 = serve default)")
 		deltaWindow = flag.Int("delta-window", 0, "changelog ring depth for ?since= reads (0 = serve default)")
@@ -47,7 +48,7 @@ func main() {
 		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on exit")
 	)
 	flag.Parse()
-	if err := run(*scenario, *tracePath, *seed, *agents, *epochs, ref.ReplayOptions{
+	if err := run(*scenario, *tracePath, *seed, *agents, *epochs, *queueCount, ref.ReplayOptions{
 		Parallelism:             *parallelism,
 		Shards:                  *shards,
 		DeltaWindow:             *deltaWindow,
@@ -73,7 +74,7 @@ func scenarioList() string {
 	return s
 }
 
-func run(scenario, tracePath string, seed int64, agents, epochs int,
+func run(scenario, tracePath string, seed int64, agents, epochs, queueCount int,
 	opts ref.ReplayOptions, golden bool, manifestOut string) error {
 	if (scenario == "") == (tracePath == "") {
 		return fmt.Errorf("need exactly one of -scenario or -trace")
@@ -116,7 +117,7 @@ func run(scenario, tracePath string, seed int64, agents, epochs int,
 		jobs = append(jobs, job{name: scenario})
 	}
 
-	cfg := ref.ReplayScenarioConfig{Agents: agents, Epochs: epochs, Seed: seed}
+	cfg := ref.ReplayScenarioConfig{Agents: agents, Epochs: epochs, Seed: seed, Queues: queueCount}
 	failed := 0
 	for _, j := range jobs {
 		start := time.Now()

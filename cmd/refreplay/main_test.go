@@ -14,7 +14,7 @@ import (
 // and leave an empty violations list for CI's jq assertion.
 func TestRunScenarioWithManifest(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "replay.json")
-	err := run("steady", "", 1, 10, 8, ref.ReplayOptions{}, false, out)
+	err := run("steady", "", 1, 10, 8, 0, ref.ReplayOptions{}, false, out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -51,20 +51,20 @@ func TestRunTraceFile(t *testing.T) {
 	}
 	f.Close()
 
-	if err := run("", path, 1, 0, 0, ref.ReplayOptions{}, false, ""); err != nil {
+	if err := run("", path, 1, 0, 0, 0, ref.ReplayOptions{}, false, ""); err != nil {
 		t.Fatalf("trace replay: %v", err)
 	}
 
-	if err := run("", "", 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+	if err := run("", "", 1, 0, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
 		t.Error("neither -scenario nor -trace accepted")
 	}
-	if err := run("steady", path, 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+	if err := run("steady", path, 1, 0, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
 		t.Error("both -scenario and -trace accepted")
 	}
-	if err := run("no-such", "", 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+	if err := run("no-such", "", 1, 0, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("", filepath.Join(t.TempDir(), "missing.jsonl"), 1, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
+	if err := run("", filepath.Join(t.TempDir(), "missing.jsonl"), 1, 0, 0, 0, ref.ReplayOptions{}, false, ""); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }

@@ -52,6 +52,7 @@ type serveOptions struct {
 	addr        string
 	capStr      string
 	specJSON    string
+	queuesFile  string
 	resources   int
 	window      time.Duration
 	maxBatch    int
@@ -78,6 +79,7 @@ func main() {
 	flag.StringVar(&o.capStr, "cap", "", "total capacity per resource, e.g. 24,12 (required unless -resources/-spec is set)")
 	flag.IntVar(&o.resources, "resources", 0, "serve the standard N-resource platform spec (0 = capacity-only, 2-resource workload profiling)")
 	flag.StringVar(&o.specJSON, "spec", "", "serve a custom platform spec given as JSON (overrides -resources)")
+	flag.StringVar(&o.queuesFile, "queues", "", "declare a hierarchical queue tree at boot from a ref/queues/v1 JSON file")
 	flag.DurationVar(&o.window, "epoch-window", 10*time.Millisecond, "mutation batching window per allocation epoch")
 	flag.IntVar(&o.maxBatch, "max-batch", 64, "mutations per epoch before the window is cut short")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "mutation queue bound before load shedding (0 = 4×max-batch)")
@@ -131,6 +133,19 @@ func run(o serveOptions) error {
 			return err
 		}
 	}
+	var queues []ref.QueueConfig
+	if o.queuesFile != "" {
+		f, err := os.Open(o.queuesFile)
+		if err != nil {
+			return err
+		}
+		tc, err := ref.DecodeQueueTreeConfig(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", o.queuesFile, err)
+		}
+		queues = tc.Queues
+	}
 
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
@@ -156,6 +171,7 @@ func run(o serveOptions) error {
 	srv, err := ref.NewAllocationServer(ref.ServeConfig{
 		Spec:            spec,
 		Capacity:        capacity,
+		Queues:          queues,
 		Window:          o.window,
 		MaxBatch:        o.maxBatch,
 		QueueDepth:      o.queueDepth,

@@ -70,6 +70,12 @@ type Config struct {
 	// SimAccesses is the per-configuration access budget of the sim-backed
 	// stream's profiling sweeps. Zero selects DefaultSimAccesses.
 	SimAccesses int
+	// HierTrials is the number of trials for the hierarchical stream:
+	// random queue trees (see GenerateTree) checked against the
+	// internal/hier invariants — quota floors, subtree SI/EF, reclaim
+	// order preservation, and the degenerate-tree ulp bound. Zero
+	// derives Trials; negative disables the stream.
+	HierTrials int
 	// Parallelism bounds the worker pool; zero selects the default
 	// ($REF_PARALLELISM, else GOMAXPROCS). Results are bit-identical at
 	// any width.
@@ -120,6 +126,12 @@ func (c *Config) normalize() error {
 	if c.SimTrials < 0 || c.Subjects != nil {
 		c.SimTrials = 0
 	}
+	if c.HierTrials == 0 && c.Subjects == nil {
+		c.HierTrials = c.Trials
+	}
+	if c.HierTrials < 0 || c.Subjects != nil {
+		c.HierTrials = 0
+	}
 	if c.SimAccesses == 0 {
 		c.SimAccesses = DefaultSimAccesses
 	}
@@ -147,6 +159,9 @@ type Failure struct {
 	// Shrunk is the minimized counterexample (equal to Economy when
 	// shrinking is disabled or no reduction survived).
 	Shrunk Economy
+	// Tree and ShrunkTree are the hierarchical stream's counterparts of
+	// Economy and Shrunk; nil for the flat streams.
+	Tree, ShrunkTree *TreeEconomy
 }
 
 // String renders the failure header.
@@ -157,8 +172,9 @@ func (f Failure) String() string {
 
 // Summary aggregates one Run.
 type Summary struct {
-	// Trials, SolverTrials, and SimTrials count executed trials per stream.
-	Trials, SolverTrials, SimTrials int
+	// Trials, SolverTrials, SimTrials, and HierTrials count executed
+	// trials per stream.
+	Trials, SolverTrials, SimTrials, HierTrials int
 	// Checks counts individual oracle evaluations.
 	Checks int64
 	// Failures holds every violated invariant, ordered by stream then
@@ -182,7 +198,8 @@ func Run(cfg Config) (*Summary, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sum := &Summary{Trials: cfg.Trials, SolverTrials: cfg.SolverTrials, SimTrials: cfg.SimTrials}
+	sum := &Summary{Trials: cfg.Trials, SolverTrials: cfg.SolverTrials, SimTrials: cfg.SimTrials,
+		HierTrials: cfg.HierTrials}
 	var checks atomic.Int64
 
 	fastSubjects := cfg.Subjects
@@ -218,8 +235,68 @@ func Run(cfg Config) (*Summary, error) {
 		}
 		sum.Failures = append(sum.Failures, fails...)
 	}
+	if cfg.HierTrials > 0 {
+		fails, err := runHierStream(cfg, &checks)
+		if err != nil {
+			return nil, err
+		}
+		sum.Failures = append(sum.Failures, fails...)
+	}
 	sum.Checks = checks.Load()
 	return sum, nil
+}
+
+// runHierStream fans the hierarchical trials out on the worker pool:
+// each trial draws a random queue tree and checks every HierOracle,
+// shrinking tree counterexamples with ShrinkTree.
+func runHierStream(cfg Config, checks *atomic.Int64) ([]Failure, error) {
+	oracles := HierOracles()
+	gen := GenConfig{MaxAgents: min(cfg.MaxAgents, treeMaxAgents),
+		MaxResources: min(cfg.MaxResources, treeMaxResources)}
+	perTrial := make([][]Failure, cfg.HierTrials)
+	err := par.ForEach(cfg.HierTrials, cfg.Parallelism, func(i int) error {
+		trial := cfg.TrialOffset + i
+		seed := economySeed(cfg.Seed, "hier", trial)
+		te := GenerateTree(rand.New(rand.NewSource(seed)), gen)
+		start := time.Now()
+		for _, o := range oracles {
+			o := o
+			checks.Add(1)
+			findings := o.Check(te)
+			if len(findings) == 0 {
+				continue
+			}
+			f := Failure{
+				Mechanism:   "hier-tree",
+				Oracle:      o.Name,
+				Trial:       trial,
+				Stream:      "hier",
+				EconomySeed: seed,
+				Findings:    findings,
+				Tree:        &te,
+			}
+			shrunk := te
+			if !cfg.NoShrink {
+				shrunk = ShrinkTree(te, func(cand TreeEconomy) bool {
+					return len(o.Check(cand)) > 0
+				})
+			}
+			f.ShrunkTree = &shrunk
+			perTrial[i] = append(perTrial[i], f)
+			obs.Inc(fmt.Sprintf("ref_check_violations_total{mechanism=%q,oracle=%q}", "hier-tree", o.Name))
+		}
+		obs.Inc(`ref_check_trials_total{stream="hier"}`)
+		obs.Observe("ref_check_trial_seconds", time.Since(start).Seconds())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Failure
+	for _, fs := range perTrial {
+		out = append(out, fs...)
+	}
+	return out, nil
 }
 
 // synthGen adapts a synthetic GenConfig to runStream's generator hook.

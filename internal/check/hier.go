@@ -1,0 +1,569 @@
+package check
+
+// Hierarchical-fairness property stream: random queue trees (2–5 levels,
+// skewed nested quotas, zero-weight queues, empty leaves) checked
+// against the internal/hier allocator's invariants — quota floors,
+// subtree sharing incentives, subtree envy-freeness, the
+// order-preserving reclaim pass (the KAI invariant: sibling
+// saturation-ratio order is never inverted), and the degenerate
+// single-queue tree's ≤ 2 ulp agreement with the flat Equation 13 path.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+	"ref/internal/hier"
+)
+
+// TreeAgent is one tenant of a hierarchical economy: a Cobb-Douglas
+// utility plus the leaf queue holding it.
+type TreeAgent struct {
+	Name    string
+	Queue   string // canonical leaf name ("default" allowed)
+	Utility cobb.Utility
+}
+
+// TreeEconomy is one randomly generated hierarchical allocation problem:
+// a queue-tree declaration, capacities, and agents assigned to leaves.
+type TreeEconomy struct {
+	Cfg    hier.TreeConfig
+	Agents []TreeAgent
+	Cap    []float64
+}
+
+// NumAgents returns the number of agents.
+func (te TreeEconomy) NumAgents() int { return len(te.Agents) }
+
+// Clone deep-copies the economy.
+func (te TreeEconomy) Clone() TreeEconomy {
+	out := TreeEconomy{Cap: append([]float64(nil), te.Cap...)}
+	out.Cfg.Schema = te.Cfg.Schema
+	out.Cfg.Queues = make([]hier.QueueConfig, len(te.Cfg.Queues))
+	for i, q := range te.Cfg.Queues {
+		cq := hier.QueueConfig{Name: q.Name, Parent: q.Parent,
+			Quota: append([]float64(nil), q.Quota...)}
+		if q.Weight != nil {
+			w := *q.Weight
+			cq.Weight = &w
+		}
+		out.Cfg.Queues[i] = cq
+	}
+	out.Agents = make([]TreeAgent, len(te.Agents))
+	for i, a := range te.Agents {
+		out.Agents[i] = TreeAgent{Name: a.Name, Queue: a.Queue,
+			Utility: cobb.Utility{Alpha0: a.Utility.Alpha0, Alpha: append([]float64(nil), a.Utility.Alpha...)}}
+	}
+	return out
+}
+
+// Validate reports whether the hierarchical economy is well-formed: a
+// valid tree declaration and every agent on an existing leaf.
+func (te TreeEconomy) Validate() error {
+	tr, err := te.Build()
+	if err != nil {
+		return err
+	}
+	_ = tr
+	return nil
+}
+
+// Build constructs the queue tree and joins every agent into its leaf
+// (weights are the Equation 12 rescaled elasticities, exactly as the
+// serve path derives them).
+func (te TreeEconomy) Build() (*hier.Tree, error) {
+	tr, err := hier.NewTree(te.Cap, &te.Cfg, hier.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range te.Agents {
+		if err := a.Utility.Validate(); err != nil {
+			return nil, fmt.Errorf("agent %d: %w", i, err)
+		}
+		if a.Utility.NumResources() != len(te.Cap) {
+			return nil, fmt.Errorf("agent %d: %d resources, economy has %d",
+				i, a.Utility.NumResources(), len(te.Cap))
+		}
+		w := a.Utility.Rescaled().Alpha
+		if err := tr.AgentDelta("", a.Queue, nil, w); err != nil {
+			return nil, fmt.Errorf("agent %d (%s→%s): %w", i, a.Name, a.Queue, err)
+		}
+	}
+	return tr, nil
+}
+
+// GoString renders the economy as a ready-to-paste Go literal, the form
+// shrunk counterexamples are reported in.
+func (te TreeEconomy) GoString() string {
+	var b strings.Builder
+	b.WriteString("check.TreeEconomy{\n\tCap: []float64{" + formatFloats(te.Cap) + "},\n\tCfg: hier.TreeConfig{Queues: []hier.QueueConfig{\n")
+	for _, q := range te.Cfg.Queues {
+		fmt.Fprintf(&b, "\t\t{Name: %q", q.Name)
+		if q.Parent != "" {
+			fmt.Fprintf(&b, ", Parent: %q", q.Parent)
+		}
+		if len(q.Quota) > 0 {
+			fmt.Fprintf(&b, ", Quota: []float64{%s}", formatFloats(q.Quota))
+		}
+		if q.Weight != nil {
+			fmt.Fprintf(&b, ", Weight: ptr(%s)", formatFloat(*q.Weight))
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("\t}},\n\tAgents: []check.TreeAgent{\n")
+	for _, a := range te.Agents {
+		fmt.Fprintf(&b, "\t\t{Name: %q, Queue: %q, Utility: cobb.MustNew(%s, %s)},\n",
+			a.Name, a.Queue, formatFloat(a.Utility.Alpha0), formatFloats(a.Utility.Alpha))
+	}
+	b.WriteString("\t},\n}")
+	return b.String()
+}
+
+// treeGen bounds generated trees: deep enough to exercise multi-level
+// quota nesting, small enough that a 1000-trial sweep stays fast.
+const (
+	treeMaxAgents    = 24
+	treeMaxResources = 4
+)
+
+// GenerateTree draws one random hierarchical economy: 2–5 tree levels
+// below the root, skewed quotas nested within parent budgets, ~10%
+// zero-weight queues, and deliberately empty leaves. All randomness
+// comes from rng.
+func GenerateTree(rng *rand.Rand, cfg GenConfig) TreeEconomy {
+	nRes := 2 + rng.Intn(min(cfg.maxResources(), treeMaxResources)-1)
+	te := TreeEconomy{Cap: genCaps(rng, nRes)}
+
+	// Levels of user queues below the root: 1 (flat siblings of
+	// "default") up to 4, giving total tree depth 2–5 counting the root.
+	levels := 1 + rng.Intn(4)
+
+	// quotaBudget[name] is the per-resource quota still assignable to
+	// children of name ("" = root, budgeted by capacity).
+	budget := map[string][]float64{"": append([]float64(nil), te.Cap...)}
+	// Root-level queues may not claim the default leaf's share: scale
+	// the root budget down so demand-positive floors stay feasible.
+	for r := range budget[""] {
+		budget[""][r] *= 0.9
+	}
+
+	declare := func(parent string, id int) hier.QueueConfig {
+		name := "q" + strconv.Itoa(id)
+		if parent != "" {
+			name = parent + "." + strconv.Itoa(id)
+		}
+		q := hier.QueueConfig{Name: name, Parent: parent}
+		// Skewed quota: with probability ~0.6 claim a Pow-skewed slice
+		// of the parent's remaining budget (often near zero, sometimes
+		// most of it); otherwise no floor at all.
+		if rng.Float64() < 0.6 {
+			q.Quota = make([]float64, len(te.Cap))
+			for r := range q.Quota {
+				frac := math.Pow(rng.Float64(), 3)
+				q.Quota[r] = budget[parent][r] * frac
+				budget[parent][r] -= q.Quota[r]
+			}
+		}
+		switch {
+		case rng.Float64() < 0.10:
+			zero := 0.0
+			q.Weight = &zero
+		case rng.Float64() < 0.3:
+			w := 0.1 + 4*rng.Float64()
+			q.Weight = &w
+		}
+		if q.Quota != nil {
+			budget[q.Name] = append([]float64(nil), q.Quota...)
+		} else {
+			budget[q.Name] = make([]float64, len(te.Cap))
+		}
+		te.Cfg.Queues = append(te.Cfg.Queues, q)
+		return q
+	}
+
+	frontier := []string{""}
+	for lvl := 0; lvl < levels; lvl++ {
+		var next []string
+		for _, parent := range frontier {
+			// The root always fans out; deeper nodes branch with
+			// decreasing probability so trees stay narrow.
+			if parent != "" && rng.Float64() < 0.45 {
+				continue
+			}
+			kids := 2 + rng.Intn(3)
+			for k := 0; k < kids; k++ {
+				q := declare(parent, k)
+				next = append(next, q.Name)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+
+	// Leaves are the declared queues nobody parents, plus the reserved
+	// default leaf.
+	hasChild := map[string]bool{}
+	for _, q := range te.Cfg.Queues {
+		hasChild[q.Parent] = true
+	}
+	leaves := []string{hier.DefaultQueue}
+	for _, q := range te.Cfg.Queues {
+		if !hasChild[q.Name] {
+			leaves = append(leaves, q.Name)
+		}
+	}
+
+	// Populate ~70% of the leaves, guaranteeing some stay empty (empty
+	// subtrees must donate their floors, the q̃ path).
+	active := leaves
+	if len(leaves) > 2 {
+		rng.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+		keep := 1 + (len(leaves)*7)/10
+		active = leaves[:keep]
+	}
+	n := 2 + rng.Intn(treeMaxAgents-1)
+	te.Agents = make([]TreeAgent, n)
+	for i := range te.Agents {
+		alpha := genUniformAlpha(rng, nRes)
+		if rng.Float64() < 0.2 {
+			for j := range alpha {
+				if rng.Float64() < 0.35 {
+					alpha[j] = 0
+				}
+			}
+			ensurePositive(rng, alpha)
+		}
+		alpha0 := 1.0
+		if rng.Float64() < 0.15 {
+			alpha0 = math.Exp(4*rng.Float64() - 2)
+		}
+		te.Agents[i] = TreeAgent{
+			Name:    "a" + strconv.Itoa(i),
+			Queue:   active[rng.Intn(len(active))],
+			Utility: cobb.Utility{Alpha0: alpha0, Alpha: alpha},
+		}
+	}
+	return te
+}
+
+// HierOracle is one invariant over a hierarchical economy.
+type HierOracle struct {
+	Name  string
+	Check func(te TreeEconomy) []string
+}
+
+// HierOracles returns the default hierarchical invariant set, in report
+// order.
+func HierOracles() []HierOracle {
+	return []HierOracle{
+		HierFloorsOracle(),
+		HierSIOracle(),
+		HierEFOracle(),
+		ReclaimOrderOracle(),
+		HierDegenerateOracle(),
+	}
+}
+
+// auditFindings builds the tree, allocates, audits, and returns the
+// findings carrying the given prefix ("" keeps all).
+func auditFindings(te TreeEconomy, prefix string) []string {
+	tr, err := te.Build()
+	if err != nil {
+		return []string{"build: " + err.Error()}
+	}
+	rep := hier.AuditTree(tr, tr.Allocate(), 0)
+	if prefix == "" {
+		return rep.Findings
+	}
+	var out []string
+	for _, f := range rep.Findings {
+		if strings.HasPrefix(f, prefix) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HierFloorsOracle checks that every demand-positive queue's quota floor
+// is met at every level of the tree.
+func HierFloorsOracle() HierOracle {
+	return HierOracle{Name: "hier-quota-floors", Check: func(te TreeEconomy) []string {
+		return auditFindings(te, "hier-floors:")
+	}}
+}
+
+// HierSIOracle checks sharing incentives between sibling subtrees: no
+// subtree can afford a bundle it strictly prefers at CEEI prices under
+// its open-market entitlement.
+func HierSIOracle() HierOracle {
+	return HierOracle{Name: "hier-sharing-incentives", Check: func(te TreeEconomy) []string {
+		return auditFindings(te, "hier-si:")
+	}}
+}
+
+// HierEFOracle checks envy-freeness between sibling subtrees under
+// entitlement-normalized comparisons.
+func HierEFOracle() HierOracle {
+	return HierOracle{Name: "hier-envy-freeness", Check: func(te TreeEconomy) []string {
+		return auditFindings(te, "hier-ef:")
+	}}
+}
+
+// ReclaimFunc is the reclaim pass under test; ReclaimOrderOracle checks
+// hier.Reclaim, and mutant tests substitute broken variants.
+type ReclaimFunc func(alloc, fair [][]float64, budget float64) float64
+
+// ReclaimOrderOracle property-checks the order-preserving reclaim pass
+// on deterministically jittered states derived from the economy's own
+// fair split: conservation, monotone movement toward fair without
+// crossing it, budget respect, and the KAI invariant — the relative
+// saturation-ratio order of any two sibling queues is never inverted.
+func ReclaimOrderOracle() HierOracle { return reclaimOracleFor(hier.Reclaim) }
+
+// reclaimOracleFor builds the reclaim oracle around an arbitrary
+// implementation (exported indirectly for mutant hunting in tests).
+func reclaimOracleFor(reclaim ReclaimFunc) HierOracle {
+	return HierOracle{Name: "reclaim-order", Check: func(te TreeEconomy) []string {
+		tr, err := te.Build()
+		if err != nil {
+			return []string{"build: " + err.Error()}
+		}
+		al := tr.Allocate()
+		// Deterministic jitter: seeded from the economy's shape only, so
+		// the oracle is a pure function of te.
+		jrng := rand.New(rand.NewSource(int64(31*len(te.Agents) + 7*len(te.Cfg.Queues) + len(te.Cap))))
+		var findings []string
+		// One reclaim state per trial: every queue's fair row, with the
+		// starting allocation perturbed around it.
+		var rows []*hier.QueueAlloc
+		for _, q := range al.Queues {
+			if len(q.Fair) == len(te.Cap) {
+				rows = append(rows, q)
+			}
+		}
+		k := len(rows)
+		if k < 2 {
+			return nil
+		}
+		fair := make([][]float64, k)
+		alloc := make([][]float64, k)
+		before := make([][]float64, k)
+		for i, q := range rows {
+			fair[i] = make([]float64, len(te.Cap))
+			alloc[i] = make([]float64, len(te.Cap))
+			before[i] = make([]float64, len(te.Cap))
+			for r := range te.Cap {
+				f := q.Fair[r]
+				if f <= 0 {
+					f = 0.05 * te.Cap[r] / float64(k)
+				}
+				fair[i][r] = f
+				alloc[i][r] = f * (0.2 + 1.6*jrng.Float64())
+				before[i][r] = alloc[i][r]
+			}
+		}
+		budget := -1.0 // unbounded: exact assignment to fair
+		if jrng.Intn(2) == 0 {
+			budget = jrng.Float64() * 3
+		}
+		moved := reclaim(alloc, fair, budget)
+		if moved < 0 || (budget >= 0 && moved > budget+1e-12) {
+			findings = append(findings, fmt.Sprintf("reclaim moved %v with budget %v", moved, budget))
+		}
+		for r := range te.Cap {
+			sumB, sumA := 0.0, 0.0
+			for i := 0; i < k; i++ {
+				sumB += before[i][r]
+				sumA += alloc[i][r]
+				db, da := before[i][r]-fair[i][r], alloc[i][r]-fair[i][r]
+				if db*da < -1e-12 || math.Abs(da) > math.Abs(db)+1e-9 {
+					findings = append(findings, fmt.Sprintf(
+						"queue %d resource %d crossed or receded from fair: %v -> %v (fair %v)",
+						i, r, before[i][r], alloc[i][r], fair[i][r]))
+				}
+			}
+			if budget >= 0 && math.Abs(sumA-sumB) > 1e-9*(1+sumB) {
+				findings = append(findings, fmt.Sprintf(
+					"resource %d not conserved under bounded reclaim: %v -> %v", r, sumB, sumA))
+			}
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					si0, sj0 := before[i][r]/fair[i][r], before[j][r]/fair[j][r]
+					si1, sj1 := alloc[i][r]/fair[i][r], alloc[j][r]/fair[j][r]
+					if si0 < sj0-1e-12 && si1 > sj1+1e-9 {
+						findings = append(findings, fmt.Sprintf(
+							"KAI inversion at resource %d: queues %d,%d saturation (%v,%v) -> (%v,%v)",
+							r, i, j, si0, sj0, si1, sj1))
+					}
+				}
+			}
+		}
+		return findings
+	}}
+}
+
+// HierDegenerateOracle rebuilds the economy as a single-leaf tree
+// holding every agent and requires its rows to agree with the flat
+// Equation 13 path within 2 ulps — the hierarchical machinery must be
+// arithmetically invisible when the hierarchy is trivial.
+func HierDegenerateOracle() HierOracle {
+	return HierOracle{Name: "degenerate-flat-ulps", Check: func(te TreeEconomy) []string {
+		if len(te.Agents) == 0 {
+			return nil
+		}
+		solo := TreeEconomy{
+			Cap: te.Cap,
+			Cfg: hier.TreeConfig{Queues: []hier.QueueConfig{{Name: "solo"}}},
+		}
+		solo.Agents = make([]TreeAgent, len(te.Agents))
+		for i, a := range te.Agents {
+			solo.Agents[i] = TreeAgent{Name: a.Name, Queue: "solo", Utility: a.Utility}
+		}
+		tr, err := solo.Build()
+		if err != nil {
+			return []string{"build: " + err.Error()}
+		}
+		al := tr.Allocate()
+		var share []float64
+		for _, q := range al.Queues {
+			if q.Name == "solo" {
+				share = q.Share
+			}
+		}
+		if share == nil {
+			return []string{"single-leaf tree has no solo share"}
+		}
+		leafSums := tr.LeafSums("solo", nil)
+
+		// The flat reference: one compensated sum over the same weights
+		// in the same order, rows from capacity.
+		flatSums := make([]core.CompSum, len(te.Cap))
+		weights := make([][]float64, len(te.Agents))
+		for i, a := range te.Agents {
+			weights[i] = a.Utility.Rescaled().Alpha
+			core.ApplyWeightDelta(flatSums, nil, nil, weights[i])
+		}
+		flat := make([]float64, len(te.Cap))
+		for r := range flat {
+			flat[r] = flatSums[r].Value()
+		}
+		n := len(te.Agents)
+		var findings []string
+		for i := range te.Agents {
+			hrow := core.RowFromSums(nil, weights[i], leafSums, share, n)
+			frow := core.RowFromSums(nil, weights[i], flat, te.Cap, n)
+			for r := range hrow {
+				if d := core.UlpDiff(hrow[r], frow[r]); d > 2 {
+					findings = append(findings, fmt.Sprintf(
+						"agent %d resource %d: hier %v vs flat %v (%d ulps)",
+						i, r, hrow[r], frow[r], d))
+				}
+			}
+		}
+		return findings
+	}}
+}
+
+// ShrinkTree greedily minimizes a failing hierarchical economy while
+// keep(candidate) stays true: it drops agents, prunes empty leaf
+// queues, zeroes quotas, resets weights to the default, and rounds
+// surviving numbers.
+func ShrinkTree(te TreeEconomy, keep func(TreeEconomy) bool) TreeEconomy {
+	cur := te.Clone()
+	if !keep(cur) {
+		return cur
+	}
+	for pass := 0; pass < maxShrinkPasses; pass++ {
+		changed := false
+		// Drop agents.
+		for i := 0; i < len(cur.Agents) && len(cur.Agents) > 1; {
+			cand := cur.Clone()
+			cand.Agents = append(cand.Agents[:i], cand.Agents[i+1:]...)
+			if keep(cand) {
+				cur = cand
+				changed = true
+			} else {
+				i++
+			}
+		}
+		// Prune queues with no agents anywhere below them (children
+		// first: a parent only becomes prunable once its subtree is
+		// gone, and the fixpoint loop retries).
+		for i := 0; i < len(cur.Cfg.Queues); {
+			name := cur.Cfg.Queues[i].Name
+			used := false
+			for _, a := range cur.Agents {
+				used = used || a.Queue == name
+			}
+			for _, q := range cur.Cfg.Queues {
+				used = used || q.Parent == name
+			}
+			if used {
+				i++
+				continue
+			}
+			cand := cur.Clone()
+			cand.Cfg.Queues = append(cand.Cfg.Queues[:i], cand.Cfg.Queues[i+1:]...)
+			if cand.Validate() == nil && keep(cand) {
+				cur = cand
+				changed = true
+			} else {
+				i++
+			}
+		}
+		// Zero quotas and default weights.
+		for i := range cur.Cfg.Queues {
+			if cur.Cfg.Queues[i].Quota != nil {
+				cand := cur.Clone()
+				cand.Cfg.Queues[i].Quota = nil
+				if cand.Validate() == nil && keep(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+			if cur.Cfg.Queues[i].Weight != nil {
+				cand := cur.Clone()
+				cand.Cfg.Queues[i].Weight = nil
+				if cand.Validate() == nil && keep(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+		// Round capacities and agent elasticities.
+		tryRound := func(read func(te *TreeEconomy) *float64) {
+			v := *read(&cur)
+			for _, c := range roundingCandidates(v) {
+				cand := cur.Clone()
+				*read(&cand) = c
+				if cand.Validate() == nil && keep(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+		for r := range cur.Cap {
+			r := r
+			tryRound(func(te *TreeEconomy) *float64 { return &te.Cap[r] })
+		}
+		for i := range cur.Agents {
+			i := i
+			tryRound(func(te *TreeEconomy) *float64 { return &te.Agents[i].Utility.Alpha0 })
+			for j := range cur.Agents[i].Utility.Alpha {
+				j := j
+				tryRound(func(te *TreeEconomy) *float64 { return &te.Agents[i].Utility.Alpha[j] })
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}

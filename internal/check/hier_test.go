@@ -1,0 +1,235 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ref/internal/hier"
+)
+
+// TestHierStreamClean drives the hierarchical stream alone at a higher
+// trial count than TestCleanRun's shared run: random queue trees must
+// satisfy floors, subtree SI/EF, reclaim order preservation, and the
+// degenerate ulp bound with zero violations.
+func TestHierStreamClean(t *testing.T) {
+	sum, err := Run(Config{Trials: 1, HierTrials: 150, SolverTrials: -1, SimTrials: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.HierTrials != 150 {
+		t.Fatalf("hier stream ran %d trials, want 150", sum.HierTrials)
+	}
+	for _, f := range sum.Failures {
+		shrunk := any(f.Shrunk)
+		if f.ShrunkTree != nil {
+			shrunk = *f.ShrunkTree
+		}
+		t.Errorf("%s\n%s\ncounterexample:\n%#v", f.String(), strings.Join(f.Findings, "\n"), shrunk)
+	}
+}
+
+// TestGenerateTreeValid checks the tree generator over many seeds:
+// configs validate, depth stays within the 2–5 band, every agent sits
+// on a live leaf, and the targeted corners (zero-weight queues, empty
+// leaves, quota floors) all appear.
+func TestGenerateTreeValid(t *testing.T) {
+	gen := GenConfig{MaxAgents: treeMaxAgents, MaxResources: treeMaxResources}
+	var sawZeroWeight, sawEmptyLeaf, sawQuota, sawDeep bool
+	for seed := int64(0); seed < 300; seed++ {
+		te := GenerateTree(rand.New(rand.NewSource(seed)), gen)
+		tr, err := te.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := len(te.Agents); n < 2 || n > treeMaxAgents {
+			t.Fatalf("seed %d: %d agents outside [2,%d]", seed, n, treeMaxAgents)
+		}
+		maxDepth := 0
+		for _, q := range te.Cfg.Queues {
+			depth := 1
+			parent := q.Parent
+			for parent != "" {
+				depth++
+				for _, p := range te.Cfg.Queues {
+					if p.Name == parent {
+						parent = p.Parent
+						break
+					}
+				}
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			if q.Weight != nil && *q.Weight == 0 {
+				sawZeroWeight = true
+			}
+			if len(q.Quota) > 0 {
+				for _, v := range q.Quota {
+					if v > 0 {
+						sawQuota = true
+					}
+				}
+			}
+			if tr.IsLeaf(q.Name) && tr.AgentCount(q.Name) == 0 {
+				sawEmptyLeaf = true
+			}
+		}
+		// maxDepth counts user-queue levels; the tree depth adds the
+		// root, giving the 2–5 band.
+		if maxDepth < 1 || maxDepth > 4 {
+			t.Fatalf("seed %d: user-queue depth %d outside [1,4]", seed, maxDepth)
+		}
+		if maxDepth >= 3 {
+			sawDeep = true
+		}
+	}
+	if !sawZeroWeight || !sawEmptyLeaf || !sawQuota || !sawDeep {
+		t.Fatalf("corners missed in 300 seeds: zeroWeight=%v emptyLeaf=%v quota=%v deep=%v",
+			sawZeroWeight, sawEmptyLeaf, sawQuota, sawDeep)
+	}
+}
+
+// brokenEconomies draws a few generated economies for mutant hunting.
+func brokenEconomies(t *testing.T, n int) []TreeEconomy {
+	t.Helper()
+	gen := GenConfig{MaxAgents: treeMaxAgents, MaxResources: treeMaxResources}
+	out := make([]TreeEconomy, n)
+	for i := range out {
+		out[i] = GenerateTree(rand.New(rand.NewSource(int64(100+i))), gen)
+	}
+	return out
+}
+
+// TestReclaimOracleCatchesMutants substitutes deliberately broken
+// reclaim passes and requires the order oracle to flag them — the
+// oracle must not be vacuous.
+func TestReclaimOracleCatchesMutants(t *testing.T) {
+	mutants := map[string]ReclaimFunc{
+		// Reflects every queue across its fair row: crosses fair and
+		// inverts sibling saturation order.
+		"reflect": func(alloc, fair [][]float64, budget float64) float64 {
+			moved := 0.0
+			for i := range alloc {
+				for r := range alloc[i] {
+					nv := 2*fair[i][r] - alloc[i][r]
+					if nv < 0 {
+						nv = 0
+					}
+					moved += abs(nv - alloc[i][r])
+					alloc[i][r] = nv
+				}
+			}
+			return moved / 2
+		},
+		// Ignores the budget: under a bounded pass it moves everything
+		// to fair and under-reports the volume.
+		"budget-blind": func(alloc, fair [][]float64, budget float64) float64 {
+			return hier.Reclaim(alloc, fair, -1)
+		},
+		// Overshoots donors: drains surplus queues to 40% of fair,
+		// receding past the fair point.
+		"overshoot": func(alloc, fair [][]float64, budget float64) float64 {
+			moved := 0.0
+			for i := range alloc {
+				for r := range alloc[i] {
+					if alloc[i][r] > fair[i][r] {
+						moved += alloc[i][r] - 0.4*fair[i][r]
+						alloc[i][r] = 0.4 * fair[i][r]
+					}
+				}
+			}
+			return moved
+		},
+	}
+	for name, mutant := range mutants {
+		oracle := reclaimOracleFor(mutant)
+		caught := false
+		for _, te := range brokenEconomies(t, 12) {
+			if len(oracle.Check(te)) > 0 {
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			t.Errorf("mutant %q survived the reclaim-order oracle over 12 economies", name)
+		}
+	}
+	// Sanity: the real implementation is clean on the same economies.
+	real := ReclaimOrderOracle()
+	for i, te := range brokenEconomies(t, 12) {
+		if f := real.Check(te); len(f) > 0 {
+			t.Fatalf("economy %d: real reclaim flagged: %v", i, f)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestShrinkTreeReduces minimizes a mutant-induced failure and checks
+// the result still fails, is structurally no larger, and validates.
+func TestShrinkTreeReduces(t *testing.T) {
+	oracle := reclaimOracleFor(func(alloc, fair [][]float64, budget float64) float64 {
+		moved := 0.0
+		for i := range alloc {
+			for r := range alloc[i] {
+				nv := 2*fair[i][r] - alloc[i][r]
+				if nv < 0 {
+					nv = 0
+				}
+				moved += abs(nv - alloc[i][r])
+				alloc[i][r] = nv
+			}
+		}
+		return moved / 2
+	})
+	var te TreeEconomy
+	found := false
+	for _, cand := range brokenEconomies(t, 12) {
+		if len(oracle.Check(cand)) > 0 {
+			te, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no failing economy to shrink")
+	}
+	keep := func(cand TreeEconomy) bool { return len(oracle.Check(cand)) > 0 }
+	shrunk := ShrinkTree(te, keep)
+	if !keep(shrunk) {
+		t.Fatal("shrunk economy no longer fails")
+	}
+	if shrunk.Validate() != nil {
+		t.Fatalf("shrunk economy invalid: %v", shrunk.Validate())
+	}
+	if len(shrunk.Agents) > len(te.Agents) || len(shrunk.Cfg.Queues) > len(te.Cfg.Queues) {
+		t.Fatalf("shrink grew the economy: %d→%d agents, %d→%d queues",
+			len(te.Agents), len(shrunk.Agents), len(te.Cfg.Queues), len(shrunk.Cfg.Queues))
+	}
+	if len(shrunk.Agents) == len(te.Agents) && len(shrunk.Cfg.Queues) == len(te.Cfg.Queues) {
+		t.Logf("shrink kept full size (acceptable but unusual): %#v", shrunk)
+	}
+}
+
+// TestHierOraclesDeterministic: every oracle is a pure function of the
+// economy — two checks of the same value must agree exactly.
+func TestHierOraclesDeterministic(t *testing.T) {
+	te := GenerateTree(rand.New(rand.NewSource(42)),
+		GenConfig{MaxAgents: treeMaxAgents, MaxResources: treeMaxResources})
+	for _, o := range HierOracles() {
+		a, b := o.Check(te), o.Check(te.Clone())
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic (%d vs %d findings)", o.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: finding %d differs:\n%s\n%s", o.Name, i, a[i], b[i])
+			}
+		}
+	}
+}

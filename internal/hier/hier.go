@@ -1,0 +1,751 @@
+// Package hier implements hierarchical multi-tenant fairness: a queue
+// tree where every internal node splits its share among its children by
+// running REF's Equation 13 over child elasticity *aggregates*, so the
+// paper's fairness guarantees hold between sibling subtrees, not just
+// between flat agents.
+//
+// # Model
+//
+// Queues form a tree rooted at an implicit root whose share is the
+// system capacity. Leaf queues hold agents (tenants on the serve
+// layer's sharded table); internal queues hold child queues. Every
+// queue carries three knobs:
+//
+//   - quota  — a guaranteed per-resource floor, validated so that child
+//     quotas always nest inside their parent's (Σ child quota ≤ parent
+//     quota per resource, and Σ top-level quota ≤ capacity), which makes
+//     demand-positive floors feasible at every level by induction;
+//   - weight — the over-quota split weight (default 1; zero means the
+//     queue never receives over-quota allocation);
+//   - parent — its position in the tree.
+//
+// A reserved leaf named "default" always exists directly under the
+// root: agents that join without a queue land there, so a tree with no
+// user-defined queues degenerates to the paper's flat economy.
+//
+// # Aggregates
+//
+// Each node maintains, per resource, the Neumaier-compensated sum
+// (core.CompSum) of the rescaled elasticities of every agent in its
+// subtree. An agent join/leave/update applies core.ApplyWeightDelta
+// along the leaf-to-root path — O(depth·R) per delta, the hierarchical
+// extension of core.IncrementalAllocator's running sums — and the same
+// two resummation triggers (epoch cadence and churn-vs-sum drift)
+// force an exact O(N·depth·R) rebuild in canonical agent order.
+//
+// # Allocation
+//
+// Allocate walks the tree top-down. At a node with share S, children
+// first receive their quota floors, then the over-quota pool
+// O_r = S_r − Σ quota splits by Equation 13 over weighted aggregates:
+// child c's share of O_r is w_c·A_cr / Σ_d w_d·A_dr, where A_cr is c's
+// subtree aggregate on r. A second pass — the order-preserving reclaim
+// — re-targets floors held by zero-demand subtrees (A_cr = 0, e.g.
+// empty queues) back into the pool, then moves allocation from the
+// fair point toward that target with the affine rule of Reclaim, which
+// provably never inverts relative saturation-ratio order between
+// siblings. A child's final share becomes the share its own children
+// split, down to the leaves; a leaf's share is what its direct agents
+// split by the ordinary flat Equation 13.
+package hier
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"unicode/utf8"
+
+	"ref/internal/core"
+)
+
+// ConfigSchema identifies the queue-tree wire format.
+const ConfigSchema = "ref/queues/v1"
+
+// DefaultQueue is the reserved leaf that holds agents which join
+// without naming a queue. It always exists directly under the root and
+// cannot be declared, re-parented, or deleted.
+const DefaultQueue = "default"
+
+// Structural limits: generous for any real tenancy layout, tight
+// enough that fuzzed configs cannot build pathological trees.
+const (
+	MaxQueues  = 4096
+	MaxDepth   = 16
+	maxNameLen = 256
+)
+
+// QueueConfig is one queue declaration on the wire (POST /v1/queues,
+// the -queues file, and trace queue events all share it).
+type QueueConfig struct {
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"` // "" = directly under the root
+	// Quota is the guaranteed per-resource floor. Empty means zero
+	// floor; otherwise its length must match the resource
+	// dimensionality.
+	Quota []float64 `json:"quota,omitempty"`
+	// Weight is the over-quota split weight. nil selects the default
+	// of 1; an explicit 0 is legal and means the queue never receives
+	// over-quota allocation.
+	Weight *float64 `json:"weight,omitempty"`
+}
+
+// weightOrDefault resolves the wire pointer.
+func (q QueueConfig) weightOrDefault() float64 {
+	if q.Weight == nil {
+		return 1
+	}
+	return *q.Weight
+}
+
+// TreeConfig is a full queue-tree declaration.
+type TreeConfig struct {
+	Schema string        `json:"schema,omitempty"`
+	Queues []QueueConfig `json:"queues"`
+}
+
+// DecodeConfig parses a queue-tree document (strict: unknown fields and
+// trailing data are errors). It does not validate tree structure; pass
+// the result to Validate or NewTree.
+func DecodeConfig(r io.Reader) (*TreeConfig, error) {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<24))
+	dec.DisallowUnknownFields()
+	var cfg TreeConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("queue config: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("queue config: trailing data after document")
+	}
+	return &cfg, nil
+}
+
+// validateQueue checks one declaration's fields in isolation.
+func validateQueue(q QueueConfig, nRes int) error {
+	if q.Name == "" {
+		return fmt.Errorf("queue name must be non-empty")
+	}
+	if len(q.Name) > maxNameLen || !utf8.ValidString(q.Name) {
+		return fmt.Errorf("queue name %q invalid: must be valid UTF-8, at most %d bytes", q.Name, maxNameLen)
+	}
+	if q.Name == DefaultQueue {
+		return fmt.Errorf("queue name %q is reserved", DefaultQueue)
+	}
+	if q.Parent == DefaultQueue {
+		return fmt.Errorf("queue %s: parent %q is a reserved leaf", q.Name, DefaultQueue)
+	}
+	if len(q.Quota) != 0 && len(q.Quota) != nRes {
+		return fmt.Errorf("queue %s: quota has %d resources, system has %d", q.Name, len(q.Quota), nRes)
+	}
+	for r, v := range q.Quota {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("queue %s: quota[%d] = %v, must be finite and non-negative", q.Name, r, v)
+		}
+	}
+	if w := q.weightOrDefault(); w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("queue %s: weight = %v, must be finite and non-negative", q.Name, w)
+	}
+	return nil
+}
+
+// Validate checks the whole declaration against a capacity vector:
+// per-queue field validity, unique names, resolvable acyclic parents
+// within the depth bound, and the quota nesting invariant (Σ child
+// quota ≤ parent quota per resource, Σ top-level quota ≤ capacity)
+// that makes demand-positive floors feasible at every level.
+func (c *TreeConfig) Validate(capacity []float64) error {
+	if c.Schema != "" && c.Schema != ConfigSchema {
+		return fmt.Errorf("queue config: schema %q, want %q", c.Schema, ConfigSchema)
+	}
+	if len(c.Queues) > MaxQueues {
+		return fmt.Errorf("queue config: %d queues exceeds limit %d", len(c.Queues), MaxQueues)
+	}
+	_, err := NewTree(capacity, c, Options{})
+	return err
+}
+
+// Encode renders the canonical wire form (schema stamped, queues in
+// declaration order).
+func (c *TreeConfig) Encode() ([]byte, error) {
+	out := TreeConfig{Schema: ConfigSchema, Queues: c.Queues}
+	if out.Queues == nil {
+		out.Queues = []QueueConfig{}
+	}
+	return json.MarshalIndent(&out, "", "  ")
+}
+
+// Options tunes the aggregate resummation policy; the zero value
+// selects core.IncrementalAllocator's defaults.
+type Options struct {
+	ResumEvery int
+	DriftRatio float64
+}
+
+// node is one queue (or the synthetic root). Children are kept sorted
+// by name so every tree walk is deterministic.
+type node struct {
+	name     string
+	parent   *node
+	children []*node
+
+	weight    float64
+	hasWeight bool // wire carried an explicit weight
+	quota     []float64
+
+	agents    int // direct agents (leaves only)
+	subAgents int // agents anywhere in the subtree
+
+	sums  []core.CompSum // subtree aggregate of rescaled elasticities
+	churn []float64
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// childIndex locates name in the sorted children slice, or returns
+// len and false.
+func (n *node) childIndex(name string) (int, bool) {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].name >= name })
+	return i, i < len(n.children) && n.children[i].name == name
+}
+
+func (n *node) attachChild(c *node) {
+	i, _ := n.childIndex(c.name)
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	c.parent = n
+}
+
+func (n *node) detachChild(c *node) {
+	if i, ok := n.childIndex(c.name); ok {
+		n.children = append(n.children[:i], n.children[i+1:]...)
+	}
+	c.parent = nil
+}
+
+func (n *node) depth() int {
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// subtreeHeight is the number of edges on the longest downward path.
+func (n *node) subtreeHeight() int {
+	h := 0
+	for _, c := range n.children {
+		if ch := c.subtreeHeight() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// inSubtree reports whether m lies in n's subtree (including n).
+func (n *node) inSubtree(m *node) bool {
+	for ; m != nil; m = m.parent {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is the runtime queue hierarchy. It is not safe for concurrent
+// mutation; the serve layer mutates it only from the single epoch
+// goroutine and reads it under the snapshot lock.
+type Tree struct {
+	capacity []float64
+	root     *node
+	deflt    *node
+	byName   map[string]*node // named queues only (not root, not default)
+
+	resumEvery       int
+	driftRatio       float64
+	epochsSinceResum int
+	resums           int
+}
+
+// NewTree builds a tree from a declaration. Declaration order does not
+// matter (parents may be declared after children); the result is a
+// pure function of the declaration set.
+func NewTree(capacity []float64, cfg *TreeConfig, opts Options) (*Tree, error) {
+	if len(capacity) == 0 {
+		return nil, fmt.Errorf("queue tree: no resources")
+	}
+	if opts.ResumEvery <= 0 {
+		opts.ResumEvery = 256
+	}
+	if opts.DriftRatio <= 0 {
+		opts.DriftRatio = 1e12
+	}
+	t := &Tree{
+		capacity:   append([]float64(nil), capacity...),
+		byName:     make(map[string]*node),
+		resumEvery: opts.ResumEvery,
+		driftRatio: opts.DriftRatio,
+	}
+	t.root = t.newNode("")
+	t.root.quota = append([]float64(nil), capacity...)
+	t.deflt = t.newNode(DefaultQueue)
+	t.root.attachChild(t.deflt)
+	if cfg != nil {
+		if len(cfg.Queues) > MaxQueues {
+			return nil, fmt.Errorf("queue config: %d queues exceeds limit %d", len(cfg.Queues), MaxQueues)
+		}
+		// Two passes so declaration order is irrelevant: create every
+		// node first, then link parents and check structure.
+		for _, q := range cfg.Queues {
+			if err := validateQueue(q, len(capacity)); err != nil {
+				return nil, fmt.Errorf("queue config: %w", err)
+			}
+			if _, dup := t.byName[q.Name]; dup {
+				return nil, fmt.Errorf("queue config: duplicate queue %q", q.Name)
+			}
+			n := t.newNode(q.Name)
+			n.weight = q.weightOrDefault()
+			n.hasWeight = q.Weight != nil
+			n.quota = denseQuota(q.Quota, len(capacity))
+			t.byName[q.Name] = n
+		}
+		for _, q := range cfg.Queues {
+			n := t.byName[q.Name]
+			if q.Parent == "" {
+				t.root.attachChild(n)
+				continue
+			}
+			p, ok := t.byName[q.Parent]
+			if !ok {
+				return nil, fmt.Errorf("queue config: queue %s: unknown parent %q", q.Name, q.Parent)
+			}
+			p.attachChild(n)
+		}
+		// Orphan detection doubles as cycle detection: a cycle's nodes
+		// are never reachable from the root, so the root walk (which
+		// cannot itself loop — it only ever enters reachable nodes
+		// once, since every node has one parent) misses them.
+		reached := make(map[*node]bool, len(t.byName)+2)
+		var walk func(n *node, depth int) error
+		walk = func(n *node, depth int) error {
+			if depth > MaxDepth {
+				return fmt.Errorf("queue config: tree deeper than %d levels", MaxDepth)
+			}
+			reached[n] = true
+			for _, c := range n.children {
+				if err := walk(c, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(t.root, 0); err != nil {
+			return nil, err
+		}
+		for name, n := range t.byName {
+			if !reached[n] {
+				return nil, fmt.Errorf("queue config: queue %q unreachable from root (parent cycle)", name)
+			}
+		}
+		if err := t.checkQuotaNesting(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *Tree) newNode(name string) *node {
+	r := len(t.capacity)
+	return &node{
+		name:   name,
+		weight: 1,
+		quota:  make([]float64, r),
+		sums:   make([]core.CompSum, r),
+		churn:  make([]float64, r),
+	}
+}
+
+func denseQuota(q []float64, nRes int) []float64 {
+	d := make([]float64, nRes)
+	copy(d, q)
+	return d
+}
+
+// checkQuotaNesting enforces Σ child quota ≤ parent quota per resource
+// at every node (the root's quota is the capacity vector). The slack
+// tolerance is zero on purpose: quotas are operator-declared constants,
+// not computed values.
+func (t *Tree) checkQuotaNesting() error {
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		for r := range t.capacity {
+			sum := 0.0
+			for _, c := range n.children {
+				sum += c.quota[r]
+			}
+			if sum > n.quota[r] {
+				where := n.name
+				if n == t.root {
+					where = "root (capacity)"
+				}
+				return fmt.Errorf("queue config: child quotas of %s sum to %v on resource %d, exceeding its %v",
+					where, sum, r, n.quota[r])
+			}
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// NumResources returns the resource dimensionality.
+func (t *Tree) NumResources() int { return len(t.capacity) }
+
+// Capacity returns the capacity vector (not a copy).
+func (t *Tree) Capacity() []float64 { return t.capacity }
+
+// Len returns the number of user-declared queues.
+func (t *Tree) Len() int { return len(t.byName) }
+
+// NonTrivial reports whether any user-declared queue exists — the
+// switch between the flat serve path and the hierarchical one.
+func (t *Tree) NonTrivial() bool { return len(t.byName) > 0 }
+
+// CanonicalQueue maps the wire queue field to the tree's leaf name
+// ("" joins the default queue).
+func CanonicalQueue(name string) string {
+	if name == "" {
+		return DefaultQueue
+	}
+	return name
+}
+
+func (t *Tree) lookup(name string) *node {
+	if name == DefaultQueue {
+		return t.deflt
+	}
+	return t.byName[name]
+}
+
+// Has reports whether the queue exists (the default leaf always does).
+func (t *Tree) Has(name string) bool { return t.lookup(CanonicalQueue(name)) != nil }
+
+// IsLeaf reports whether the queue exists and has no child queues —
+// the only queues agents may join.
+func (t *Tree) IsLeaf(name string) bool {
+	n := t.lookup(CanonicalQueue(name))
+	return n != nil && n.isLeaf()
+}
+
+// Names returns every queue name (default included) in sorted order.
+func (t *Tree) Names() []string {
+	out := make([]string, 0, len(t.byName)+1)
+	out = append(out, DefaultQueue)
+	for name := range t.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config returns the wire declaration of a named queue.
+func (t *Tree) Config(name string) (QueueConfig, bool) {
+	n := t.byName[name]
+	if n == nil {
+		return QueueConfig{}, false
+	}
+	return t.configOf(n), true
+}
+
+func (t *Tree) configOf(n *node) QueueConfig {
+	cfg := QueueConfig{Name: n.name, Quota: append([]float64(nil), n.quota...)}
+	if n.parent != nil && n.parent != t.root {
+		cfg.Parent = n.parent.name
+	}
+	if n.hasWeight {
+		w := n.weight
+		cfg.Weight = &w
+	}
+	return cfg
+}
+
+// ConfigSnapshot returns the full current declaration in sorted order
+// (the form the replay driver re-submits on queue moves).
+func (t *Tree) ConfigSnapshot() *TreeConfig {
+	cfg := &TreeConfig{Schema: ConfigSchema}
+	for name := range t.byName {
+		cfg.Queues = append(cfg.Queues, QueueConfig{Name: name})
+	}
+	sort.Slice(cfg.Queues, func(i, j int) bool { return cfg.Queues[i].Name < cfg.Queues[j].Name })
+	for i := range cfg.Queues {
+		cfg.Queues[i] = t.configOf(t.byName[cfg.Queues[i].Name])
+	}
+	return cfg
+}
+
+// AgentCount returns the subtree agent population of a queue.
+func (t *Tree) AgentCount(name string) int {
+	n := t.lookup(CanonicalQueue(name))
+	if n == nil {
+		return 0
+	}
+	return n.subAgents
+}
+
+// LeafAgents returns the direct agent count of a leaf queue.
+func (t *Tree) LeafAgents(name string) int {
+	n := t.lookup(CanonicalQueue(name))
+	if n == nil {
+		return 0
+	}
+	return n.agents
+}
+
+// LeafSums rounds a leaf queue's aggregate elasticity sums into dst
+// (allocated when nil) — the denominator of the flat Equation 13 its
+// direct agents split their leaf share by.
+func (t *Tree) LeafSums(name string, dst []float64) []float64 {
+	n := t.lookup(CanonicalQueue(name))
+	if dst == nil {
+		dst = make([]float64, len(t.capacity))
+	}
+	if n == nil {
+		for r := range dst {
+			dst[r] = 0
+		}
+		return dst
+	}
+	for r := range n.sums {
+		dst[r] = n.sums[r].Value()
+	}
+	return dst
+}
+
+// Upsert declares a new queue or re-declares an existing one (quota,
+// weight, and — for a re-declare — parent, which moves the whole
+// subtree). Structural invariants are revalidated against the live
+// tree; an error leaves the tree unchanged.
+func (t *Tree) Upsert(q QueueConfig) error {
+	if err := validateQueue(q, len(t.capacity)); err != nil {
+		return err
+	}
+	parent := t.root
+	if q.Parent != "" {
+		p, ok := t.byName[q.Parent]
+		if !ok {
+			return fmt.Errorf("queue %s: unknown parent %q", q.Name, q.Parent)
+		}
+		parent = p
+	}
+	n := t.byName[q.Name]
+	if n != nil && n.inSubtree(parent) {
+		return fmt.Errorf("queue %s: parent %q is inside its own subtree", q.Name, q.Parent)
+	}
+	if n == nil && len(t.byName) >= MaxQueues {
+		return fmt.Errorf("queue %s: %d queues exceeds limit %d", q.Name, len(t.byName)+1, MaxQueues)
+	}
+	if parent != t.root && parent.agents > 0 {
+		return fmt.Errorf("queue %s: parent %q holds agents; only leaf queues may hold agents", q.Name, q.Parent)
+	}
+	if parent.depth()+1+t.heightAfterMove(n) > MaxDepth {
+		return fmt.Errorf("queue %s: tree would exceed %d levels", q.Name, MaxDepth)
+	}
+
+	quota := denseQuota(q.Quota, len(t.capacity))
+	// Quota nesting: the (re)declared quota must fit beside its future
+	// siblings, and — when the queue already has children — cover them.
+	for r := range t.capacity {
+		sum := quota[r]
+		for _, c := range parent.children {
+			if c != n {
+				sum += c.quota[r]
+			}
+		}
+		if sum > parent.quota[r] {
+			return fmt.Errorf("queue %s: child quotas of %s would sum to %v on resource %d, exceeding its %v",
+				q.Name, parentName(t, parent), sum, r, parent.quota[r])
+		}
+		if n != nil {
+			csum := 0.0
+			for _, c := range n.children {
+				csum += c.quota[r]
+			}
+			if csum > quota[r] {
+				return fmt.Errorf("queue %s: new quota %v on resource %d is below its children's sum %v",
+					q.Name, quota[r], r, csum)
+			}
+		}
+	}
+
+	if n == nil {
+		n = t.newNode(q.Name)
+		t.byName[q.Name] = n
+		parent.attachChild(n)
+	} else if n.parent != parent {
+		t.moveSubtree(n, parent)
+	}
+	n.weight = q.weightOrDefault()
+	n.hasWeight = q.Weight != nil
+	n.quota = quota
+	return nil
+}
+
+func parentName(t *Tree, p *node) string {
+	if p == t.root {
+		return "root (capacity)"
+	}
+	return p.name
+}
+
+// heightAfterMove is the height of n's subtree (0 for a new queue).
+func (t *Tree) heightAfterMove(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.subtreeHeight()
+}
+
+// moveSubtree re-hangs n under a new parent, transferring its rounded
+// aggregate and population up both ancestor paths. The rounded
+// transfer is churn-accounted, so any compensation residue it leaves
+// behind is cleaned by the next drift- or cadence-triggered resum.
+func (t *Tree) moveSubtree(n *node, newParent *node) {
+	delta := make([]float64, len(t.capacity))
+	for r := range n.sums {
+		delta[r] = n.sums[r].Value()
+	}
+	for p := n.parent; p != nil; p = p.parent {
+		p.subAgents -= n.subAgents
+		core.ApplyWeightDelta(p.sums, p.churn, delta, nil)
+	}
+	n.parent.detachChild(n)
+	newParent.attachChild(n)
+	for p := newParent; p != nil; p = p.parent {
+		p.subAgents += n.subAgents
+		core.ApplyWeightDelta(p.sums, p.churn, nil, delta)
+	}
+}
+
+// Delete removes a queue. Only empty leaves may go: a queue with child
+// queues or with agents anywhere in its subtree is refused.
+func (t *Tree) Delete(name string) error {
+	if name == DefaultQueue {
+		return fmt.Errorf("queue %q is reserved and cannot be deleted", DefaultQueue)
+	}
+	n := t.byName[name]
+	if n == nil {
+		return fmt.Errorf("no queue named %q", name)
+	}
+	if !n.isLeaf() {
+		return fmt.Errorf("queue %s has %d child queues", name, len(n.children))
+	}
+	if n.subAgents > 0 {
+		return fmt.Errorf("queue %s holds %d agents", name, n.subAgents)
+	}
+	n.parent.detachChild(n)
+	delete(t.byName, name)
+	return nil
+}
+
+// AgentDelta applies one agent mutation to the aggregates along the
+// leaf-to-root path — O(depth·R). oldW nil is a join, newW nil is a
+// leave; both set moves the agent's weight in place. oldQueue and
+// newQueue differ when an agent re-declares into another leaf.
+func (t *Tree) AgentDelta(oldQueue, newQueue string, oldW, newW []float64) error {
+	if oldW != nil {
+		n := t.lookup(CanonicalQueue(oldQueue))
+		if n == nil {
+			return fmt.Errorf("agent delta: unknown queue %q", oldQueue)
+		}
+		n.agents--
+		for ; n != nil; n = n.parent {
+			n.subAgents--
+			core.ApplyWeightDelta(n.sums, n.churn, oldW, nil)
+		}
+	}
+	if newW != nil {
+		n := t.lookup(CanonicalQueue(newQueue))
+		if n == nil {
+			return fmt.Errorf("agent delta: unknown queue %q", newQueue)
+		}
+		if !n.isLeaf() {
+			return fmt.Errorf("agent delta: queue %q is not a leaf", newQueue)
+		}
+		n.agents++
+		for ; n != nil; n = n.parent {
+			n.subAgents++
+			core.ApplyWeightDelta(n.sums, n.churn, nil, newW)
+		}
+	}
+	return nil
+}
+
+// EachAgent is the resummation callback contract: it must visit every
+// live agent as (leaf queue, rescaled weight) in a deterministic
+// order. The serve layer passes its canonical name-sorted table walk.
+type EachAgent func(visit func(queue string, weight []float64))
+
+// EndEpoch closes one delta batch, applying the same resummation
+// policy as the flat engine: an exact rebuild every ResumEvery epochs,
+// or immediately when churn through any node's aggregate has outrun
+// the drift tolerance.
+func (t *Tree) EndEpoch(each EachAgent) {
+	t.epochsSinceResum++
+	if t.epochsSinceResum >= t.resumEvery {
+		t.Resum(each)
+		return
+	}
+	drift := false
+	var walk func(n *node)
+	walk = func(n *node) {
+		for r := range n.churn {
+			if n.churn[r] > t.driftRatio*math.Max(math.Abs(n.sums[r].Value()), math.SmallestNonzeroFloat64) {
+				drift = true
+				return
+			}
+		}
+		for _, c := range n.children {
+			if drift {
+				return
+			}
+			walk(c)
+		}
+	}
+	walk(t.root)
+	if drift {
+		t.Resum(each)
+	}
+}
+
+// Resum rebuilds every aggregate exactly from the live agents in the
+// caller's canonical order — O(N·depth·R) — resetting churn.
+func (t *Tree) Resum(each EachAgent) {
+	var reset func(n *node)
+	reset = func(n *node) {
+		for r := range n.sums {
+			n.sums[r].Reset()
+			n.churn[r] = 0
+		}
+		for _, c := range n.children {
+			reset(c)
+		}
+	}
+	reset(t.root)
+	each(func(queue string, w []float64) {
+		for n := t.lookup(CanonicalQueue(queue)); n != nil; n = n.parent {
+			for r := range n.sums {
+				n.sums[r].Add(w[r])
+			}
+		}
+	})
+	t.epochsSinceResum = 0
+	t.resums++
+}
+
+// Resums reports how many exact rebuilds have run (policy test hook).
+func (t *Tree) Resums() int { return t.resums }

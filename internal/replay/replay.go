@@ -20,6 +20,7 @@ package replay
 //     across runs and par widths" is checkable as string equality.
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -34,6 +35,7 @@ import (
 
 	"ref/internal/check"
 	"ref/internal/core"
+	"ref/internal/hier"
 	"ref/internal/opt"
 	"ref/internal/serve"
 )
@@ -158,9 +160,13 @@ type driver struct {
 
 	// mirror is the live agent set as the trace implies it; history keeps
 	// per-epoch copies for delta-read reconstruction, bounded to the
-	// delta window plus slack.
-	mirror  map[string]mirrorAgent
-	history map[uint64]map[string]mirrorAgent
+	// delta window plus slack. queues is the live user-queue set the
+	// trace implies (name → declaration), qhistory its per-epoch name
+	// sets for delta-removal reconstruction.
+	mirror   map[string]mirrorAgent
+	history  map[uint64]map[string]mirrorAgent
+	queues   map[string]hier.QueueConfig
+	qhistory map[uint64]map[string]struct{}
 
 	// pendingEpoch is the epoch about to publish, read by the audit hook
 	// on the epoch-loop goroutine.
@@ -228,10 +234,12 @@ func Run(t *Trace, opts Options) (*Result, error) {
 			Seed:   t.Seed,
 			Events: len(t.Events),
 		},
-		window:  replayWindow,
-		ulps:    opts.MaxUlps,
-		mirror:  map[string]mirrorAgent{},
-		history: map[uint64]map[string]mirrorAgent{0: {}},
+		window:   replayWindow,
+		ulps:     opts.MaxUlps,
+		mirror:   map[string]mirrorAgent{},
+		history:  map[uint64]map[string]mirrorAgent{0: {}},
+		queues:   map[string]hier.QueueConfig{},
+		qhistory: map[uint64]map[string]struct{}{0: {}},
 	}
 	if d.ulps <= 0 {
 		d.ulps = check.DefaultSnapshotUlps
@@ -308,7 +316,149 @@ func (d *driver) waitReceived(want int64) error {
 // mutReply is one mutation's outcome.
 type mutReply struct {
 	epoch uint64
+	queue string // join/update ack's canonical wire queue
 	err   *serve.APIError
+}
+
+// plannedMut is one trace event resolved into its serve submission and
+// its post-apply mirror effect. Planning happens up front, in trace
+// order, against an overlay of the mirror — a queue-move event carries
+// no declaration of its own, so its submission wire is the moved
+// agent's current declaration as of its position in the tick.
+type plannedMut struct {
+	submit func() mutReply
+	// wire is the agent's post-event wire state (join/update/move);
+	// nil for leaves and queue mutations.
+	wire *serve.WireAgent
+	// ackQueue is true when the reply's queue must equal wire.Queue —
+	// set only on the agent's last join/update/move of the tick (and
+	// only when no later leave removes it), because serve acks echo the
+	// post-batch table state, not the post-event one.
+	ackQueue bool
+}
+
+// canonWireQueue maps a trace queue name to the canonical serve wire
+// form: "" for the default queue.
+func canonWireQueue(q string) string {
+	if q == hier.DefaultQueue {
+		return ""
+	}
+	return q
+}
+
+// planTick resolves the tick's events into submissions and mirror
+// effects against an overlay view of the live agent set.
+func (d *driver) planTick(evs []Event) ([]plannedMut, error) {
+	view := make(map[string]serve.WireAgent, len(evs))
+	get := func(name string) (serve.WireAgent, bool) {
+		if w, ok := view[name]; ok {
+			return w, ok
+		}
+		m, ok := d.mirror[name]
+		return m.wire, ok
+	}
+	plans := make([]plannedMut, len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Op {
+		case OpJoin, OpUpdate:
+			util, err := ev.Utility()
+			if err != nil { // Validate() makes this unreachable
+				return nil, fmt.Errorf("replay: event for %q: %w", ev.Agent, err)
+			}
+			alpha0 := ev.Alpha0
+			if alpha0 == 0 {
+				alpha0 = 1
+			}
+			sub := serve.WireAgent{
+				Name:         ev.Agent,
+				Alpha0:       alpha0,
+				Elasticities: append([]float64(nil), ev.Elasticities...),
+				Queue:        ev.Queue,
+			}
+			post := sub
+			post.Queue = canonWireQueue(ev.Queue)
+			if ev.Op == OpUpdate && ev.Queue == "" {
+				// Empty queue on update inherits the entry's queue.
+				if old, ok := get(ev.Agent); ok {
+					post.Queue = old.Queue
+				}
+			}
+			join := ev.Op == OpJoin
+			plans[i] = plannedMut{wire: &post, submit: func() mutReply {
+				var epoch uint64
+				var queue string
+				var apiErr *serve.APIError
+				if join {
+					epoch, _, queue, apiErr = d.srv.Join(context.Background(), sub, util)
+				} else {
+					epoch, _, queue, apiErr = d.srv.Update(context.Background(), sub, util)
+				}
+				return mutReply{epoch: epoch, queue: queue, err: apiErr}
+			}}
+			view[ev.Agent] = post
+		case OpLeave:
+			name := ev.Agent
+			plans[i] = plannedMut{submit: func() mutReply {
+				epoch, apiErr := d.srv.Leave(context.Background(), name)
+				return mutReply{epoch: epoch, err: apiErr}
+			}}
+			delete(view, name)
+			if _, ok := d.mirror[name]; ok {
+				view[name] = serve.WireAgent{} // tombstone shadows the mirror
+			}
+		case OpQueueMove:
+			old, ok := get(ev.Agent)
+			if !ok || old.Name == "" {
+				return nil, fmt.Errorf("replay: queue-move of absent agent %q", ev.Agent)
+			}
+			util, err := (&Event{Alpha0: old.Alpha0, Elasticities: old.Elasticities}).Utility()
+			if err != nil {
+				return nil, fmt.Errorf("replay: queue-move of %q: %w", ev.Agent, err)
+			}
+			sub := old
+			// An explicit name is required on the wire: an empty queue on
+			// update means "stay put", so a move to the default queue
+			// names it outright.
+			sub.Queue = hier.CanonicalQueue(ev.Queue)
+			post := old
+			post.Queue = canonWireQueue(ev.Queue)
+			plans[i] = plannedMut{wire: &post, submit: func() mutReply {
+				epoch, _, queue, apiErr := d.srv.Update(context.Background(), sub, util)
+				return mutReply{epoch: epoch, queue: queue, err: apiErr}
+			}}
+			view[ev.Agent] = post
+		case OpQueueCreate:
+			cfg := ev.QueueConfig()
+			plans[i] = plannedMut{submit: func() mutReply {
+				epoch, apiErr := d.srv.QueueUpsert(context.Background(), cfg)
+				return mutReply{epoch: epoch, err: apiErr}
+			}}
+		case OpQueueDelete:
+			name := ev.Queue
+			plans[i] = plannedMut{submit: func() mutReply {
+				epoch, apiErr := d.srv.QueueDelete(context.Background(), name)
+				return mutReply{epoch: epoch, err: apiErr}
+			}}
+		default:
+			return nil, fmt.Errorf("replay: unknown op %q", ev.Op)
+		}
+	}
+	// Acks echo the post-batch table state; only the agent's final
+	// surviving declaration of the tick has a checkable queue.
+	last := make(map[string]int, len(evs))
+	for i := range evs {
+		switch evs[i].Op {
+		case OpJoin, OpUpdate, OpQueueMove:
+			last[evs[i].Agent] = i
+		}
+	}
+	for name, i := range last {
+		if w, ok := view[name]; ok && w.Name != "" {
+			plans[i].ackQueue = true
+		}
+	}
+	return plans, nil
 }
 
 // runTick drives one simulated tick: advance the clock to the tick
@@ -325,42 +475,18 @@ func (d *driver) runTick(evs []Event) error {
 	expectEpoch := d.prevEpoch + 1
 	d.pendingEpoch.Store(expectEpoch)
 
+	plans, err := d.planTick(evs)
+	if err != nil {
+		return err
+	}
 	replies := make([]mutReply, len(evs))
 	var wg sync.WaitGroup
 	for i := range evs {
-		ev := &evs[i]
 		base := d.srv.ReceivedMutations()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			switch ev.Op {
-			case OpJoin, OpUpdate:
-				util, err := ev.Utility()
-				if err != nil { // Validate() makes this unreachable
-					replies[i] = mutReply{err: &serve.APIError{Code: "invalid_utility", Message: err.Error()}}
-					return
-				}
-				alpha0 := ev.Alpha0
-				if alpha0 == 0 {
-					alpha0 = 1
-				}
-				wire := serve.WireAgent{
-					Name:         ev.Agent,
-					Alpha0:       alpha0,
-					Elasticities: append([]float64(nil), ev.Elasticities...),
-				}
-				var epoch uint64
-				var apiErr *serve.APIError
-				if ev.Op == OpJoin {
-					epoch, _, apiErr = d.srv.Join(context.Background(), wire, util)
-				} else {
-					epoch, _, apiErr = d.srv.Update(context.Background(), wire, util)
-				}
-				replies[i] = mutReply{epoch: epoch, err: apiErr}
-			case OpLeave:
-				epoch, apiErr := d.srv.Leave(context.Background(), ev.Agent)
-				replies[i] = mutReply{epoch: epoch, err: apiErr}
-			}
+			replies[i] = plans[i].submit()
 		}(i)
 		if err := d.waitReceived(base + 1); err != nil {
 			return err
@@ -376,26 +502,30 @@ func (d *driver) runTick(evs []Event) error {
 	// mutation must have been accepted).
 	for i := range evs {
 		ev := &evs[i]
+		who := ev.Agent
+		if who == "" {
+			who = ev.Queue
+		}
 		if replies[i].err != nil {
-			d.violate("epoch %d: %s %q rejected: %v", expectEpoch, ev.Op, ev.Agent, replies[i].err)
+			d.violate("epoch %d: %s %q rejected: %v", expectEpoch, ev.Op, who, replies[i].err)
 			continue
 		}
 		if replies[i].epoch != expectEpoch {
-			d.violate("epoch %d: %s %q acked in epoch %d", expectEpoch, ev.Op, ev.Agent, replies[i].epoch)
+			d.violate("epoch %d: %s %q acked in epoch %d", expectEpoch, ev.Op, who, replies[i].epoch)
+		}
+		if plans[i].ackQueue && replies[i].queue != plans[i].wire.Queue {
+			d.violate("epoch %d: %s %q acked queue %q, trace implies %q",
+				expectEpoch, ev.Op, who, replies[i].queue, plans[i].wire.Queue)
 		}
 		switch ev.Op {
-		case OpJoin, OpUpdate:
-			alpha0 := ev.Alpha0
-			if alpha0 == 0 {
-				alpha0 = 1
-			}
-			d.mirror[ev.Agent] = mirrorAgent{wire: serve.WireAgent{
-				Name:         ev.Agent,
-				Alpha0:       alpha0,
-				Elasticities: append([]float64(nil), ev.Elasticities...),
-			}}
+		case OpJoin, OpUpdate, OpQueueMove:
+			d.mirror[ev.Agent] = mirrorAgent{wire: *plans[i].wire}
 		case OpLeave:
 			delete(d.mirror, ev.Agent)
+		case OpQueueCreate:
+			d.queues[ev.Queue] = ev.QueueConfig()
+		case OpQueueDelete:
+			delete(d.queues, ev.Queue)
 		}
 	}
 
@@ -410,9 +540,15 @@ func (d *driver) runTick(evs []Event) error {
 		h[k] = v
 	}
 	d.history[snap.Epoch] = h
+	qh := make(map[string]struct{}, len(d.queues))
+	for name := range d.queues {
+		qh[name] = struct{}{}
+	}
+	d.qhistory[snap.Epoch] = qh
 	for e := range d.history {
 		if e+uint64(d.dwindow)+2 < snap.Epoch {
 			delete(d.history, e)
+			delete(d.qhistory, e)
 		}
 	}
 
@@ -465,17 +601,154 @@ func (d *driver) checkEpoch(snap *serve.Snapshot, tick uint64, batch int, expect
 			}
 			agents[i] = core.Agent{Name: wa.Name, Utility: util}
 		}
-		if ok {
+		if ok && len(snap.Queues) == 0 {
 			d.res.Checks += len(check.SnapshotOracles()) + 1
 			for _, f := range check.AuditSnapshot(agents, snap.Capacity, opt.Alloc(snap.Allocation), d.ulps) {
 				d.violate("epoch %d: %s", snap.Epoch, f)
 			}
+		} else if ok {
+			// Flat SI/EF do not apply under a non-trivial tree (an agent
+			// in a low-weight queue rightly gets less than the global
+			// equal split); the hierarchical audit is the oracle here.
+			d.checkHierSnapshot(snap, agents)
 		}
 	}
 
 	d.checkFairnessVerdict(snap)
+	d.checkQueueRollups(snap)
 	d.checkDeltaReads(snap)
 	d.recordDigest(snap, tick, batch)
+}
+
+// checkHierSnapshot is the hierarchical analog of the flat oracle
+// re-audit: rebuild the queue tree and its aggregates from scratch from
+// the trace-implied state, re-audit the tree allocation from first
+// principles (quota floors, sibling-subtree SI and EF), and re-derive
+// every agent's row through the shared Equation 13 leaf formula — the
+// published incremental rows must match within the ulp budget.
+func (d *driver) checkHierSnapshot(snap *serve.Snapshot, agents []core.Agent) {
+	names := make([]string, 0, len(d.queues))
+	for name := range d.queues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cfg := &hier.TreeConfig{Queues: make([]hier.QueueConfig, 0, len(names))}
+	for _, name := range names {
+		cfg.Queues = append(cfg.Queues, d.queues[name])
+	}
+	tree, err := hier.NewTree(snap.Capacity, cfg, hier.Options{})
+	if err != nil {
+		d.violate("epoch %d: from-scratch tree rebuild: %v", snap.Epoch, err)
+		return
+	}
+	weights := make([][]float64, len(agents))
+	for i := range agents {
+		weights[i] = agents[i].Utility.Rescaled().Alpha
+		if err := tree.AgentDelta("", snap.Agents[i].Queue, nil, weights[i]); err != nil {
+			d.violate("epoch %d: from-scratch tree rebuild of %q: %v", snap.Epoch, agents[i].Name, err)
+			return
+		}
+	}
+	al := tree.Allocate()
+	d.res.Checks++
+	for _, f := range hier.AuditTree(tree, al, 0).Findings {
+		d.violate("epoch %d: %s", snap.Epoch, f)
+	}
+	d.res.Checks++
+	leafSums := make(map[string][]float64)
+	for i := range agents {
+		q := hier.CanonicalQueue(snap.Agents[i].Queue)
+		qa := al.Queue(q)
+		if qa == nil {
+			d.violate("epoch %d: agent %q sits in queue %q with no allocation", snap.Epoch, agents[i].Name, q)
+			continue
+		}
+		sums, ok := leafSums[q]
+		if !ok {
+			sums = tree.LeafSums(q, nil)
+			leafSums[q] = sums
+		}
+		row := core.RowFromSums(nil, weights[i], sums, qa.Share, tree.LeafAgents(q))
+		for r := range row {
+			if core.UlpDiff(row[r], snap.Allocation[i][r]) > d.ulps {
+				d.violate("epoch %d: agent %q row[%d] = %v diverges from the from-scratch tree's %v (> %d ulps)",
+					snap.Epoch, agents[i].Name, r, snap.Allocation[i][r], row[r], d.ulps)
+			}
+		}
+	}
+}
+
+// checkQueueRollups asserts the published per-queue rollups against the
+// trace-implied queue set: rollups exist exactly while user queues do,
+// cover every live queue plus the reserved default, report the
+// trace-implied subtree populations, and the point read
+// (Server.QueueRollups) is byte-identical to the snapshot's set.
+func (d *driver) checkQueueRollups(snap *serve.Snapshot) {
+	d.res.Checks++
+	if len(d.queues) == 0 {
+		if len(snap.Queues) != 0 {
+			d.violate("epoch %d: %d queue rollups published with no user queues", snap.Epoch, len(snap.Queues))
+		}
+	} else if want := len(d.queues) + 1; len(snap.Queues) != want {
+		d.violate("epoch %d: %d queue rollups, trace implies %d", snap.Epoch, len(snap.Queues), want)
+	} else {
+		counts := d.queueAgentCounts()
+		seen := make(map[string]bool, len(snap.Queues))
+		for _, q := range snap.Queues {
+			if _, ok := d.queues[q.Name]; !ok && q.Name != hier.DefaultQueue {
+				d.violate("epoch %d: rollup for unknown queue %q", snap.Epoch, q.Name)
+				continue
+			}
+			if seen[q.Name] {
+				d.violate("epoch %d: duplicate rollup for queue %q", snap.Epoch, q.Name)
+			}
+			seen[q.Name] = true
+			if q.Agents != counts[q.Name] {
+				d.violate("epoch %d: queue %q rollup reports %d agents, trace implies %d",
+					snap.Epoch, q.Name, q.Agents, counts[q.Name])
+			}
+		}
+		if !seen[hier.DefaultQueue] {
+			d.violate("epoch %d: no rollup for the default queue", snap.Epoch)
+		}
+		for name := range d.queues {
+			if !seen[name] {
+				d.violate("epoch %d: no rollup for queue %q", snap.Epoch, name)
+			}
+		}
+	}
+	d.res.Checks++
+	ep, rolls := d.srv.QueueRollups()
+	if ep != snap.Epoch {
+		d.violate("epoch %d: QueueRollups answered at epoch %d", snap.Epoch, ep)
+		return
+	}
+	a, errA := json.Marshal(rolls)
+	b, errB := json.Marshal(snap.Queues)
+	if errA != nil || errB != nil {
+		d.violate("epoch %d: rollup marshal: %v / %v", snap.Epoch, errA, errB)
+		return
+	}
+	if !bytes.Equal(a, b) {
+		d.violate("epoch %d: QueueRollups point read diverges from the snapshot:\n%s\n%s", snap.Epoch, a, b)
+	}
+}
+
+// queueAgentCounts folds the mirror into per-queue subtree populations:
+// each agent counts toward its leaf and every ancestor.
+func (d *driver) queueAgentCounts() map[string]int {
+	counts := make(map[string]int, len(d.queues)+1)
+	for _, m := range d.mirror {
+		q := m.wire.Queue
+		if q == "" {
+			counts[hier.DefaultQueue]++
+			continue
+		}
+		for cur := q; cur != ""; cur = d.queues[cur].Parent {
+			counts[cur]++
+		}
+	}
+	return counts
 }
 
 // checkFairnessVerdict asserts the server's own audit verdict: clean on
@@ -583,6 +856,37 @@ func (d *driver) checkDeltaReads(snap *serve.Snapshot) {
 			if !reflect.DeepEqual(got.wire, want.wire) {
 				d.violate("epoch %d: DeltaSince(%d) reconstructs %q as %+v, want %+v",
 					cur, c, name, got.wire, want.wire)
+			}
+		}
+
+		// Rollups ride the delta whole: the client's reconstructed
+		// per-queue state is the response's Queues set verbatim, so it
+		// must be byte-identical to the snapshot's. QueuesRemoved must
+		// name every queue the client knew at the cursor that no longer
+		// exists — and never a live one.
+		d.res.Checks++
+		aq, errA := json.Marshal(resp.Queues)
+		bq, errB := json.Marshal(snap.Queues)
+		if errA != nil || errB != nil {
+			d.violate("epoch %d: delta rollup marshal: %v / %v", cur, errA, errB)
+		} else if !bytes.Equal(aq, bq) {
+			d.violate("epoch %d: DeltaSince(%d) rollups diverge from the snapshot:\n%s\n%s", cur, c, aq, bq)
+		}
+		removed := make(map[string]bool, len(resp.QueuesRemoved))
+		for _, name := range resp.QueuesRemoved {
+			if removed[name] {
+				d.violate("epoch %d: DeltaSince(%d) reports %q removed twice", cur, c, name)
+			}
+			removed[name] = true
+			if _, live := d.queues[name]; live {
+				d.violate("epoch %d: DeltaSince(%d) reports live queue %q removed", cur, c, name)
+			}
+		}
+		if qbase, ok := d.qhistory[c]; ok {
+			for name := range qbase {
+				if _, live := d.queues[name]; !live && !removed[name] {
+					d.violate("epoch %d: DeltaSince(%d) misses removal of queue %q", cur, c, name)
+				}
 			}
 		}
 	}

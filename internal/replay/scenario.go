@@ -67,6 +67,12 @@ type ScenarioConfig struct {
 	// with trace.DeriveSeed, so distinct scenarios at the same base seed
 	// are uncorrelated.
 	Seed int64
+	// Queues is the static leaf-queue count for scenarios that exercise
+	// the hierarchical fairness tree (currently adversarial-churn): 0
+	// selects the default of 4, negative disables queue events entirely,
+	// and values above 8 clamp to 8. Scenarios without queue churn
+	// ignore it, so their traces stay byte-identical.
+	Queues int
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -124,6 +130,19 @@ type gen struct {
 	t    *Trace
 	live []string
 	next int
+	// Queue-churn state (adversarial-churn only). queueOf tracks each
+	// live agent's leaf ("" = default), leaves the joinable targets, and
+	// transients the short-lived queues by creation tick.
+	queueOf    map[string]string
+	leaves     []string
+	transients []transientQueue
+	nextQueue  int
+}
+
+// transientQueue is a short-lived queue awaiting drain-and-delete.
+type transientQueue struct {
+	name string
+	born uint64
 }
 
 // elasticities draws a declaration: per-resource elasticities in
@@ -146,16 +165,28 @@ func (g *gen) elasticities(mag float64) []float64 {
 	return e
 }
 
-// join emits a join of a fresh agent and returns its name.
+// join emits a join of a fresh agent into the default queue and returns
+// its name.
 func (g *gen) join(tick uint64, mag float64) string {
+	return g.joinQ(tick, mag, "")
+}
+
+// joinQ emits a join of a fresh agent into the named leaf queue ("" =
+// default). It draws exactly the rng values join always drew, so
+// scenarios without queue churn synthesize byte-identical traces.
+func (g *gen) joinQ(tick uint64, mag float64, queue string) string {
 	name := fmt.Sprintf("a%05d", g.next)
 	g.next++
 	g.t.Events = append(g.t.Events, Event{
 		Tick: tick, Op: OpJoin, Agent: name,
 		Alpha0:       1 + g.rng.Float64(),
 		Elasticities: g.elasticities(mag),
+		Queue:        queue,
 	})
 	g.live = append(g.live, name)
+	if g.queueOf != nil {
+		g.queueOf[name] = queue
+	}
 	return name
 }
 
@@ -164,6 +195,7 @@ func (g *gen) leaveAt(tick uint64, i int) {
 	name := g.live[i]
 	g.live = append(g.live[:i], g.live[i+1:]...)
 	g.t.Events = append(g.t.Events, Event{Tick: tick, Op: OpLeave, Agent: name})
+	delete(g.queueOf, name)
 }
 
 // update emits a re-declaration of a random live agent.
@@ -305,28 +337,156 @@ func (g *gen) correlatedDeparture(cfg ScenarioConfig) {
 	}
 }
 
+// declareStatics emits the tick-0 static queue layout for n leaves: an
+// "org" subtree (internal node with both a quota floor and an over-quota
+// weight, fanning into one quota'd and one weighted leaf — tree depth 3)
+// plus flat top-level queues alternating quota floors and over-quota
+// weights. Top-level quotas sum to at most 3/4 of capacity, so the
+// layout is admissible on any platform.
+func (g *gen) declareStatics(n int) {
+	quota := func(div float64) []float64 {
+		q := make([]float64, len(g.t.Capacity))
+		for r, c := range g.t.Capacity {
+			q[r] = c / div
+		}
+		return q
+	}
+	w := func(v float64) *float64 { return &v }
+	add := func(ev Event) { g.t.Events = append(g.t.Events, ev) }
+	if n >= 2 {
+		add(Event{Op: OpQueueCreate, Queue: "org", Quota: quota(4), Weight: w(2)})
+		add(Event{Op: OpQueueCreate, Queue: "org.a", Parent: "org", Quota: quota(8)})
+		add(Event{Op: OpQueueCreate, Queue: "org.b", Parent: "org", Weight: w(0.5)})
+		g.leaves = append(g.leaves, "org.a", "org.b")
+	}
+	for i := len(g.leaves); i < n; i++ {
+		name := fmt.Sprintf("q%d", i)
+		if i%2 == 0 {
+			add(Event{Op: OpQueueCreate, Queue: name, Quota: quota(6)})
+		} else {
+			add(Event{Op: OpQueueCreate, Queue: name, Weight: w(0.5)})
+		}
+		g.leaves = append(g.leaves, name)
+	}
+}
+
+// pickLeaf draws a join/move target uniformly over the default queue,
+// the static leaves, and the live transient queues.
+func (g *gen) pickLeaf() string {
+	k := g.rng.Intn(1 + len(g.leaves) + len(g.transients))
+	if k == 0 {
+		return ""
+	}
+	k--
+	if k < len(g.leaves) {
+		return g.leaves[k]
+	}
+	return g.transients[k-len(g.leaves)].name
+}
+
+// moveTo emits a queue-move of the live agent at index i into leaf q.
+func (g *gen) moveTo(tick uint64, i int, q string) {
+	name := g.live[i]
+	g.t.Events = append(g.t.Events, Event{Tick: tick, Op: OpQueueMove, Agent: name, Queue: q})
+	g.queueOf[name] = q
+}
+
+// drainAndDelete moves every resident of the named queue out (to the
+// default queue or a static leaf) and then deletes the emptied queue —
+// all inside one tick, exercising the serve batch's order guarantee that
+// same-epoch moves apply before the delete.
+func (g *gen) drainAndDelete(tick uint64, name string) {
+	for i := 0; i < len(g.live); i++ {
+		if g.queueOf[g.live[i]] != name {
+			continue
+		}
+		target := ""
+		if len(g.leaves) > 0 && g.rng.Intn(2) == 1 {
+			target = g.leaves[g.rng.Intn(len(g.leaves))]
+		}
+		g.moveTo(tick, i, target)
+	}
+	g.t.Events = append(g.t.Events, Event{Tick: tick, Op: OpQueueDelete, Queue: name})
+}
+
 // adversarialChurn: every tick turns over ~30% of the population with
 // magnitude-skewed declarations (scales 1e-2, 1, 1e2), flips survivors'
 // elasticities across magnitude classes to force drift-triggered
 // resummations, and adds same-tick join+leave flickers so a batch can
-// contain an agent's entire lifetime.
+// contain an agent's entire lifetime. With queues enabled (cfg.Queues
+// ≥ 0) the population is spread across a static quota/weight tree and
+// every tick also churns the tree itself: transient queues are created,
+// seeded by moves, drained, and deleted, alongside a trickle of random
+// re-homings.
 func (g *gen) adversarialChurn(cfg ScenarioConfig) {
 	mags := []float64{1e-2, 1, 1e2}
 	mag := func() float64 { return mags[g.rng.Intn(len(mags))] }
-	g.settle(0, cfg.Agents, 1)
+	nq := cfg.Queues
+	if nq == 0 {
+		nq = 4
+	}
+	if nq < 0 {
+		nq = 0
+	}
+	if nq > 8 {
+		nq = 8
+	}
+	if nq > 0 {
+		g.queueOf = make(map[string]string)
+		g.declareStatics(nq)
+		for len(g.live) < cfg.Agents {
+			g.joinQ(0, 1, g.pickLeaf())
+		}
+	} else {
+		g.settle(0, cfg.Agents, 1)
+	}
 	for tick := 1; tick < cfg.Epochs; tick++ {
 		t := uint64(tick)
+		if nq > 0 {
+			// The oldest transient dies after two ticks: drain, delete.
+			if len(g.transients) > 0 && t-g.transients[0].born >= 2 {
+				tq := g.transients[0]
+				g.transients = g.transients[1:]
+				g.drainAndDelete(t, tq.name)
+			}
+			// Every third tick a fresh transient appears and two random
+			// residents move in.
+			if tick%3 == 1 {
+				name := fmt.Sprintf("t%d", g.nextQueue)
+				g.nextQueue++
+				g.t.Events = append(g.t.Events, Event{
+					Tick: t, Op: OpQueueCreate, Queue: name,
+					Weight: func() *float64 { w := 0.25 + 2*g.rng.Float64(); return &w }(),
+				})
+				g.transients = append(g.transients, transientQueue{name: name, born: t})
+				for i := 0; i < 2 && len(g.live) > 0; i++ {
+					g.moveTo(t, g.rng.Intn(len(g.live)), name)
+				}
+			}
+			// Background re-homings keep rollup deltas busy.
+			for i := 0; i < max(cfg.Agents/12, 1); i++ {
+				g.moveTo(t, g.rng.Intn(len(g.live)), g.pickLeaf())
+			}
+		}
 		churn := max(len(g.live)*3/10, 1)
 		for i := 0; i < churn; i++ {
 			g.leaveAt(t, g.rng.Intn(len(g.live)))
-			g.join(t, mag())
+			if nq > 0 {
+				g.joinQ(t, mag(), g.pickLeaf())
+			} else {
+				g.join(t, mag())
+			}
 		}
 		for i := 0; i < max(cfg.Agents/10, 1); i++ {
 			g.update(t, mag())
 		}
 		// A flicker: a join and leave inside one batch, never surviving
 		// to the snapshot.
-		g.join(t, mag())
+		if nq > 0 {
+			g.joinQ(t, mag(), g.pickLeaf())
+		} else {
+			g.join(t, mag())
+		}
 		g.leaveAt(t, len(g.live)-1)
 	}
 }

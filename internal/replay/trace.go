@@ -28,6 +28,7 @@ import (
 	"unicode/utf8"
 
 	"ref/internal/cobb"
+	"ref/internal/hier"
 )
 
 // TraceSchema identifies the trace wire format. Traces carry it so
@@ -51,6 +52,14 @@ const (
 	OpUpdate = "update"
 	// OpLeave departs a live tenant.
 	OpLeave = "leave"
+	// OpQueueCreate declares (or re-declares) a queue in the
+	// hierarchical fairness tree.
+	OpQueueCreate = "queue-create"
+	// OpQueueDelete removes an empty leaf queue.
+	OpQueueDelete = "queue-delete"
+	// OpQueueMove re-homes a live tenant into another leaf queue,
+	// keeping its current declaration.
+	OpQueueMove = "queue-move"
 )
 
 // ErrBadTrace reports a trace that failed schema or semantic validation.
@@ -73,6 +82,24 @@ type Event struct {
 	// update events, one per trace capacity entry. Entries must be finite
 	// and non-negative with at least one positive.
 	Elasticities []float64 `json:"elasticities,omitempty"`
+	// Queue names a leaf queue: the target leaf for join/update (empty =
+	// default queue, or for update: stay put), the moved-to leaf for
+	// queue-move, and the declared/deleted queue for queue-create and
+	// queue-delete (which leave Agent empty). All queue fields are
+	// omitted on the wire when unused, so pre-queue traces round-trip
+	// byte-identical.
+	Queue string `json:"queue,omitempty"`
+	// Parent, Quota, and Weight carry the queue-create declaration
+	// (hier.QueueConfig semantics: empty parent = directly under the
+	// root, nil weight = default 1).
+	Parent string    `json:"parent,omitempty"`
+	Quota  []float64 `json:"quota,omitempty"`
+	Weight *float64  `json:"weight,omitempty"`
+}
+
+// QueueConfig builds the queue-create event's declaration.
+func (ev *Event) QueueConfig() hier.QueueConfig {
+	return hier.QueueConfig{Name: ev.Queue, Parent: ev.Parent, Quota: ev.Quota, Weight: ev.Weight}
 }
 
 // Trace is a full ref/trace/v1 document: the platform capacities the
@@ -121,19 +148,59 @@ func (t *Trace) Validate() error {
 	if len(t.Events) > maxTraceEvents {
 		return fmt.Errorf("%w: %d events exceeds the %d-event bound", ErrBadTrace, len(t.Events), maxTraceEvents)
 	}
-	live := make(map[string]struct{})
+	// The validation mirror is a real hier.Tree: queue declarations are
+	// checked by the same code that will apply them at replay time, and
+	// agent membership is folded in (with unit weights) so the tree's own
+	// guards — non-empty leaf deletion, joining an internal queue —
+	// reject exactly the traces serve would reject.
+	tree, err := hier.NewTree(t.Capacity, nil, hier.Options{})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	unit := make([]float64, len(t.Capacity))
+	for r := range unit {
+		unit[r] = 1
+	}
+	// queueOf maps each live agent to the canonical leaf it occupies.
+	queueOf := make(map[string]string)
+	checkLeaf := func(i int, name string) error {
+		if !tree.Has(name) {
+			return fmt.Errorf("%w: event %d: unknown queue %q", ErrBadTrace, i, name)
+		}
+		if !tree.IsLeaf(name) {
+			return fmt.Errorf("%w: event %d: queue %q is not a leaf", ErrBadTrace, i, name)
+		}
+		return nil
+	}
 	var lastTick uint64
 	for i, ev := range t.Events {
 		if ev.Tick < lastTick {
 			return fmt.Errorf("%w: event %d: tick %d after tick %d (out of order)", ErrBadTrace, i, ev.Tick, lastTick)
 		}
 		lastTick = ev.Tick
-		if ev.Agent == "" || len(ev.Agent) > maxAgentName || !utf8.ValidString(ev.Agent) {
-			return fmt.Errorf("%w: event %d: agent name must be non-empty valid UTF-8 of at most %d bytes", ErrBadTrace, i, maxAgentName)
+		switch ev.Op {
+		case OpJoin, OpUpdate, OpLeave, OpQueueMove:
+			if ev.Agent == "" || len(ev.Agent) > maxAgentName || !utf8.ValidString(ev.Agent) {
+				return fmt.Errorf("%w: event %d: agent name must be non-empty valid UTF-8 of at most %d bytes", ErrBadTrace, i, maxAgentName)
+			}
+			if ev.Parent != "" || len(ev.Quota) != 0 || ev.Weight != nil {
+				return fmt.Errorf("%w: event %d: %s carries queue declaration fields", ErrBadTrace, i, ev.Op)
+			}
+		case OpQueueCreate, OpQueueDelete:
+			if ev.Agent != "" {
+				return fmt.Errorf("%w: event %d: %s names an agent", ErrBadTrace, i, ev.Op)
+			}
+			if ev.Queue == "" {
+				return fmt.Errorf("%w: event %d: %s without a queue name", ErrBadTrace, i, ev.Op)
+			}
+			if len(ev.Elasticities) != 0 || ev.Alpha0 != 0 {
+				return fmt.Errorf("%w: event %d: %s carries a utility declaration", ErrBadTrace, i, ev.Op)
+			}
 		}
 		switch ev.Op {
 		case OpJoin, OpUpdate:
-			if _, ok := live[ev.Agent]; ev.Op == OpJoin && ok {
+			old, ok := queueOf[ev.Agent]
+			if ev.Op == OpJoin && ok {
 				return fmt.Errorf("%w: event %d: duplicate join of live agent %q", ErrBadTrace, i, ev.Agent)
 			} else if ev.Op == OpUpdate && !ok {
 				return fmt.Errorf("%w: event %d: update of absent agent %q", ErrBadTrace, i, ev.Agent)
@@ -155,17 +222,64 @@ func (t *Trace) Validate() error {
 			if _, err := ev.Utility(); err != nil {
 				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
 			}
-			live[ev.Agent] = struct{}{}
+			// An update with an empty queue stays in the agent's current
+			// leaf (serve's inheritance rule); joins default to "".
+			target := hier.CanonicalQueue(ev.Queue)
+			if ev.Op == OpUpdate && ev.Queue == "" {
+				target = old
+			}
+			if err := checkLeaf(i, target); err != nil {
+				return err
+			}
+			if ev.Op == OpJoin {
+				if err := tree.AgentDelta("", target, nil, unit); err != nil {
+					return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+				}
+			} else if err := tree.AgentDelta(old, target, unit, unit); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
+			queueOf[ev.Agent] = target
 		case OpLeave:
-			if _, ok := live[ev.Agent]; !ok {
+			old, ok := queueOf[ev.Agent]
+			if !ok {
 				return fmt.Errorf("%w: event %d: leave of absent agent %q", ErrBadTrace, i, ev.Agent)
 			}
 			if len(ev.Elasticities) != 0 {
 				return fmt.Errorf("%w: event %d: leave carries elasticities", ErrBadTrace, i)
 			}
-			delete(live, ev.Agent)
+			if ev.Queue != "" {
+				return fmt.Errorf("%w: event %d: leave carries a queue", ErrBadTrace, i)
+			}
+			if err := tree.AgentDelta(old, "", unit, nil); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
+			delete(queueOf, ev.Agent)
+		case OpQueueMove:
+			old, ok := queueOf[ev.Agent]
+			if !ok {
+				return fmt.Errorf("%w: event %d: queue-move of absent agent %q", ErrBadTrace, i, ev.Agent)
+			}
+			if len(ev.Elasticities) != 0 || ev.Alpha0 != 0 {
+				return fmt.Errorf("%w: event %d: queue-move carries a utility declaration", ErrBadTrace, i)
+			}
+			target := hier.CanonicalQueue(ev.Queue)
+			if err := checkLeaf(i, target); err != nil {
+				return err
+			}
+			if err := tree.AgentDelta(old, target, unit, unit); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
+			queueOf[ev.Agent] = target
+		case OpQueueCreate:
+			if err := tree.Upsert(ev.QueueConfig()); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
+		case OpQueueDelete:
+			if err := tree.Delete(ev.Queue); err != nil {
+				return fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+			}
 		default:
-			return fmt.Errorf("%w: event %d: unknown op %q (have join, update, leave)", ErrBadTrace, i, ev.Op)
+			return fmt.Errorf("%w: event %d: unknown op %q (have join, update, leave, queue-create, queue-delete, queue-move)", ErrBadTrace, i, ev.Op)
 		}
 	}
 	return nil

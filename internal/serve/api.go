@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 
+	"ref/internal/hier"
 	"ref/internal/obs"
 )
 
@@ -24,6 +25,10 @@ type WireAgent struct {
 	// Workload names the catalog workload the elasticities were fitted
 	// from, when the tenant joined with a profile instead of raw numbers.
 	Workload string `json:"workload,omitempty"`
+	// Queue is the leaf queue the tenant belongs to. Empty means the
+	// reserved default queue (an explicit "default" is normalized to
+	// empty so the wire form is canonical).
+	Queue string `json:"queue,omitempty"`
 }
 
 // Fairness is the §4 audit of one published allocation.
@@ -44,6 +49,59 @@ type Fairness struct {
 	// SampleSize counts the agents the sampled audit covered this epoch
 	// (batch-touched agents plus the rotating window).
 	SampleSize int `json:"sample_size,omitempty"`
+	// Hier is the hierarchical fairness audit between sibling subtrees
+	// (hier.AuditTree), present only when user-declared queues exist.
+	// Its findings are also appended to Violations.
+	Hier *HierFairness `json:"hier,omitempty"`
+}
+
+// HierFairness is the queue-tree half of the fairness audit: the
+// guarantees between sibling subtrees at every internal node, proved
+// from the published aggregates by hier.AuditTree.
+type HierFairness struct {
+	// Floors: every demand-positive queue received at least its quota.
+	Floors bool `json:"floors"`
+	// SI: every queue weakly prefers its over-quota bundle to the
+	// entitlement split of the pool.
+	SI bool `json:"si"`
+	// EF: no queue prefers a sibling's over-quota bundle scaled by
+	// their entitlement ratio.
+	EF bool `json:"ef"`
+	// MinSIMargin is the smallest normalized queue SI log-margin this
+	// epoch (0 when no queue was eligible).
+	MinSIMargin float64 `json:"min_si_margin,omitempty"`
+	// ReclaimMoved is the total allocation volume the order-preserving
+	// reclaim pass moved this epoch (floors donated by zero-demand
+	// subtrees back into the over-quota pools).
+	ReclaimMoved float64 `json:"reclaim_moved,omitempty"`
+}
+
+// QueueRollup is one queue's per-epoch summary: its declaration knobs,
+// subtree population, the phase-1 fair share, the final share after the
+// order-preserving reclaim pass, and the reclaim volume it donated or
+// received. Snapshots and delta reads carry the full rollup set (queues
+// are few — at most hier.MaxQueues — so rollups ride along whole rather
+// than as diffs, which keeps client-side reconstruction trivial).
+type QueueRollup struct {
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"` // "" = directly under the root
+	Leaf   bool   `json:"leaf"`
+	// Weight is the over-quota split weight (default 1 materialized).
+	Weight float64 `json:"weight"`
+	// Quota is the guaranteed per-resource floor.
+	Quota []float64 `json:"quota"`
+	// Agents is the subtree agent population.
+	Agents int `json:"agents"`
+	// Fair is the phase-1 share (quota floor + Equation 13 over-quota
+	// split); Share is the final share after reclaim. For a leaf, Share
+	// is what its direct agents split; for an internal queue, what its
+	// children split.
+	Fair  []float64 `json:"fair"`
+	Share []float64 `json:"share"`
+	// ReclaimOut / ReclaimIn are the volumes this queue donated to or
+	// received from its siblings in the reclaim pass.
+	ReclaimOut float64 `json:"reclaim_out,omitempty"`
+	ReclaimIn  float64 `json:"reclaim_in,omitempty"`
 }
 
 // Snapshot is one immutable allocation epoch: the agent set after a batch
@@ -85,6 +143,11 @@ type Snapshot struct {
 	// server's Clock (0 under a fake clock, by design — it keeps
 	// replayed snapshot sequences bit-identical).
 	EpochSeconds float64 `json:"epoch_seconds"`
+	// Queues is the per-queue rollup of the hierarchical allocation,
+	// sorted by name with the default queue included. Nil when no
+	// user-declared queues exist (the flat economy), so snapshots of
+	// queue-free servers are byte-identical to earlier versions.
+	Queues []QueueRollup `json:"queues,omitempty"`
 }
 
 // NumAgents returns the population size whether or not the agent list
@@ -107,6 +170,9 @@ type AgentAllocationResponse struct {
 	Agent WireAgent `json:"agent"`
 	// Allocation is the tenant's current row.
 	Allocation []float64 `json:"allocation"`
+	// Queue is the rollup of the tenant's leaf queue, present only when
+	// user-declared queues exist.
+	Queue *QueueRollup `json:"queue,omitempty"`
 }
 
 // DeltaChange is one changed tenant in a DeltaResponse.
@@ -137,6 +203,14 @@ type DeltaResponse struct {
 	Changes []DeltaChange `json:"changes,omitempty"`
 	// Left lists tenants that departed, sorted.
 	Left []string `json:"left,omitempty"`
+	// Queues is the full current rollup set when user-declared queues
+	// exist — rollups of *unchanged* queues also move whenever the
+	// population shifts, so the delta carries the whole (small) set and
+	// clients reconstruct per-queue state bitwise by replacement.
+	Queues []QueueRollup `json:"queues,omitempty"`
+	// QueuesRemoved lists queues deleted in the window that no longer
+	// exist, sorted; clients drop them after replacing Queues.
+	QueuesRemoved []string `json:"queues_removed,omitempty"`
 }
 
 // sortDeltaResponse orders Changes and Left by name so the delta wire
@@ -144,6 +218,7 @@ type DeltaResponse struct {
 func sortDeltaResponse(d *DeltaResponse) {
 	sort.Slice(d.Changes, func(i, j int) bool { return d.Changes[i].Agent.Name < d.Changes[j].Agent.Name })
 	sort.Strings(d.Left)
+	sort.Strings(d.QueuesRemoved)
 }
 
 // JoinResponse acknowledges a POST /v1/agents mutation (and, with the
@@ -165,6 +240,32 @@ type LeaveResponse struct {
 	Epoch uint64 `json:"epoch"`
 	// Name echoes the departed tenant.
 	Name string `json:"name"`
+}
+
+// QueueResponse acknowledges a POST /v1/queues declaration.
+type QueueResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the declaration was applied in.
+	Epoch uint64 `json:"epoch"`
+	// Queue echoes the declared queue.
+	Queue hier.QueueConfig `json:"queue"`
+}
+
+// QueueDeleteResponse acknowledges a DELETE /v1/queues/{name} mutation.
+type QueueDeleteResponse struct {
+	Schema string `json:"schema"`
+	// Epoch is the snapshot version the deletion was applied in.
+	Epoch uint64 `json:"epoch"`
+	// Name echoes the deleted queue.
+	Name string `json:"name"`
+}
+
+// QueuesResponse is GET /v1/queues: the live per-queue rollups (empty
+// when no user-declared queues exist).
+type QueuesResponse struct {
+	Schema string        `json:"schema"`
+	Epoch  uint64        `json:"epoch"`
+	Queues []QueueRollup `json:"queues"`
 }
 
 // HealthResponse is GET /v1/healthz.
@@ -216,6 +317,16 @@ const (
 	// CodeDeadline: the request deadline expired before its epoch was
 	// published. The mutation may still be applied by a later epoch.
 	CodeDeadline = "deadline_exceeded"
+	// CodeUnknownQueue: an agent named a queue that does not exist, or a
+	// queue mutation referenced an unknown queue or parent.
+	CodeUnknownQueue = "unknown_queue"
+	// CodeInvalidQueue: the queue declaration is malformed, would break a
+	// tree invariant (cycle, depth, quota nesting), or an agent tried to
+	// join a non-leaf queue.
+	CodeInvalidQueue = "invalid_queue"
+	// CodeQueueNotEmpty: DELETE for a queue that still has child queues
+	// or agents anywhere in its subtree.
+	CodeQueueNotEmpty = "queue_not_empty"
 	// CodeBadQuery: a query parameter (e.g. ?since=) failed to parse or
 	// conflicting parameters were combined.
 	CodeBadQuery = "bad_query"

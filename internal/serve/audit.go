@@ -158,6 +158,188 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 	return f
 }
 
+// auditHier is the agent-level fairness audit on a non-trivial queue
+// tree: the paper's guarantees hold *within each leaf* (a leaf's agents
+// split the leaf's share by the flat Equation 13, so SI/EF/PE apply
+// with the leaf share as the capacity vector and the leaf population as
+// N), while the guarantees *between* queues are hier.AuditTree's job
+// (attached by publishBatch as Fairness.Hier). Thresholds mirror the
+// flat path: populations up to AuditExactBelow run the exact per-leaf
+// suite, larger ones run the sampled audit with leaf-relative margins.
+// Callers hold stateMu.
+func (s *Server) auditHier(n int, touched []string) *Fairness {
+	if s.cfg.AuditExactBelow >= 0 && n <= s.cfg.AuditExactBelow {
+		return s.auditHierExact()
+	}
+	return s.auditHierSampled(n, touched)
+}
+
+// auditHierExact groups the whole population by leaf queue and runs the
+// exact §4 suite per leaf with the leaf's share as capacity, ANDing the
+// verdicts. Violations are prefixed with the queue name.
+func (s *Server) auditHierExact() *Fairness {
+	type group struct {
+		agents []core.Agent
+		x      [][]float64
+	}
+	groups := make(map[string]*group)
+	var order []string
+	s.table.forEachSorted(func(name string, e *agentEntry) {
+		g := groups[e.queue]
+		if g == nil {
+			g = &group{}
+			groups[e.queue] = g
+			order = append(order, e.queue)
+		}
+		lp := s.pubLeaf[e.queue]
+		g.agents = append(g.agents, core.Agent{Name: name, Utility: e.util})
+		g.x = append(g.x, core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n))
+	})
+	f := &Fairness{SI: true, EF: true, PE: true}
+	for _, q := range order {
+		g := groups[q]
+		qf := auditParallel(g.agents, s.pubLeaf[q].share, g.x, s.cfg.Parallelism)
+		f.SI = f.SI && qf.SI
+		f.EF = f.EF && qf.EF
+		f.PE = f.PE && qf.PE
+		for _, v := range qf.Violations {
+			f.Violations = append(f.Violations, "queue "+q+": "+v)
+		}
+	}
+	return f
+}
+
+// auditHierSampled is auditSampled with leaf-relative baselines: an
+// agent's SI margin compares its leaf-share Equation 13 bundle to the
+// equal split of its *leaf's* share among the leaf's population —
+// leaf shares cancel exactly as capacities do in the flat derivation,
+// so the margin is siTerm + log n_q − Σ_r α̂_r·log S_qr over the leaf
+// count n_q and leaf aggregate S_q. EF and tangency run per-leaf over
+// the bounded sample (cross-leaf comparisons are meaningless: different
+// leaves clear at different prices, and envy across queues is governed
+// by the tree-level audit instead). Callers hold stateMu.
+func (s *Server) auditHierSampled(n int, touched []string) *Fairness {
+	tol := fair.DefaultTolerance()
+	k := s.cfg.AuditSample
+	if k > n {
+		k = n
+	}
+	entries := make([]*agentEntry, 0, k+len(touched))
+	for _, name := range touched {
+		if e := s.table.get(name); e != nil {
+			entries = append(entries, e)
+		}
+	}
+	for i := 0; i < k; i++ {
+		entries = append(entries, s.table.entryAt((s.auditCursor+i)%n))
+	}
+	s.auditCursor = (s.auditCursor + k) % n
+
+	if s.cfg.auditObserver != nil {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.wire.Name
+		}
+		s.cfg.auditObserver(names)
+	}
+
+	f := &Fairness{SI: true, EF: true, PE: true, Sampled: true, SampleSize: len(entries)}
+
+	// Per-leaf log-sums and log-count, built lazily for the leaves the
+	// sample actually visits.
+	type leafLogs struct {
+		logS []float64
+		logN float64
+	}
+	logs := make(map[string]*leafLogs)
+	leafOf := func(q string) *leafLogs {
+		if ll, ok := logs[q]; ok {
+			return ll
+		}
+		lp := s.pubLeaf[q]
+		ll := &leafLogs{logS: make([]float64, len(lp.sums)), logN: math.Log(float64(lp.n))}
+		for r, v := range lp.sums {
+			if v > 0 {
+				ll.logS[r] = math.Log(v)
+			}
+		}
+		logs[q] = ll
+		return ll
+	}
+
+	marginHist := obs.Installed().Histogram(MetricSIMargin)
+	minMargin := math.Inf(1)
+	for i, e := range entries {
+		ll := leafOf(e.queue)
+		margin := e.siTerm + ll.logN
+		for r, wr := range e.weight {
+			if wr > 0 {
+				margin -= wr * ll.logS[r]
+			}
+		}
+		marginHist.Observe(margin)
+		if margin < minMargin {
+			minMargin = margin
+		}
+		if margin < math.Log1p(-tol.Rel)/e.elastSum {
+			f.SI = false
+			f.Violations = append(f.Violations,
+				fmt.Sprintf("SI: sampled agent %d (queue %s) prefers the equal split (log margin %g)", i, e.queue, margin))
+		}
+	}
+	if len(entries) > 0 {
+		s.lastSIMargin = minMargin
+	}
+
+	// Bound the O(K²) pairwise sample exactly as the flat path does,
+	// then group by leaf: EF and tangency only compare same-leaf agents.
+	efEntries := entries
+	if limit := 2 * k; k > 0 && len(efEntries) > limit {
+		efEntries = make([]*agentEntry, 0, limit)
+		efEntries = append(efEntries, entries[:limit-k]...)
+		efEntries = append(efEntries, entries[len(entries)-k:]...)
+	}
+	byLeaf := make(map[string][]*agentEntry)
+	var leafOrder []string
+	for _, e := range efEntries {
+		if _, ok := byLeaf[e.queue]; !ok {
+			leafOrder = append(leafOrder, e.queue)
+		}
+		byLeaf[e.queue] = append(byLeaf[e.queue], e)
+	}
+	for _, q := range leafOrder {
+		group := byLeaf[q]
+		lp := s.pubLeaf[q]
+		utils := make([]cobb.Utility, len(group))
+		rows := make([][]float64, len(group))
+		for i, e := range group {
+			utils[i] = e.util
+			rows[i] = core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n)
+		}
+		ef, err := fair.SampledEnvyFreeness(utils, rows, tol)
+		if err != nil {
+			f.EF = false
+			f.Violations = append(f.Violations, fmt.Sprintf("queue %s: EF audit failed: %v", q, err))
+		} else {
+			f.EF = f.EF && ef.Satisfied
+			for _, v := range ef.Violations {
+				f.Violations = append(f.Violations, "queue "+q+": "+v.String())
+			}
+		}
+		tang, err := fair.Tangency(utils, rows, tol)
+		if err != nil {
+			f.PE = false
+			f.Violations = append(f.Violations, fmt.Sprintf("queue %s: PE audit failed: %v", q, err))
+		} else {
+			f.PE = f.PE && tang.Satisfied
+			for _, v := range tang.Violations {
+				f.Violations = append(f.Violations, "queue "+q+": "+v.String())
+			}
+		}
+	}
+	return f
+}
+
 // auditParallel runs the three §4 property audits as independent jobs on
 // the internal/par pool — EF is O(n²) in agents and dominates for large
 // tenant counts, so the three properties fan out rather than serialize.

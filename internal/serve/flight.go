@@ -70,6 +70,15 @@ type EpochRecord struct {
 	// Resummed reports that this epoch ran an exact resummation of the
 	// incremental sums.
 	Resummed bool `json:"resummed,omitempty"`
+	// Queues counts queues in the published rollup (0 on the flat path).
+	Queues int `json:"queues,omitempty"`
+	// ReclaimMoved is the allocation volume the order-preserving reclaim
+	// pass moved this epoch.
+	ReclaimMoved float64 `json:"reclaim_moved,omitempty"`
+	// QueueSIMarginMin is the smallest normalized per-queue SI log
+	// margin of the hierarchical audit (negative = a queue prefers the
+	// entitlement split).
+	QueueSIMarginMin float64 `json:"queue_si_margin_min,omitempty"`
 }
 
 // FlightSnapshot is the serve-side instantiation of the generic
@@ -127,7 +136,12 @@ func (s *Server) buildEpochRecord(snap *Snapshot, tm *epochTiming, agents, batch
 		} else {
 			rec.AuditMode = "exact"
 		}
+		if h := fair.Hier; h != nil {
+			rec.ReclaimMoved = h.ReclaimMoved
+			rec.QueueSIMarginMin = h.MinSIMargin
+		}
 	}
+	rec.Queues = len(snap.Queues)
 	return rec
 }
 
@@ -138,7 +152,8 @@ func (s *Server) buildEpochRecord(snap *Snapshot, tm *epochTiming, agents, batch
 // re-arming inside the recorder keeps a sustained anomaly from dumping
 // every epoch.
 func (s *Server) maybeDump(fair *Fairness, latencyBreach bool, shed int64) {
-	if fair != nil && !(fair.SI && fair.EF && fair.PE) {
+	if fair != nil && (!(fair.SI && fair.EF && fair.PE) ||
+		(fair.Hier != nil && !(fair.Hier.Floors && fair.Hier.SI && fair.Hier.EF))) {
 		s.dump("audit_failure")
 	}
 	if latencyBreach {

@@ -11,6 +11,7 @@ import (
 	"unicode/utf8"
 
 	"ref/internal/cobb"
+	"ref/internal/hier"
 	"ref/internal/obs"
 	"ref/internal/platform"
 	"ref/internal/trace"
@@ -35,6 +36,10 @@ type joinRequest struct {
 	// Workload names a catalog workload to profile and fit instead
 	// (re-fit via workloads.FitAll, memoized process-wide).
 	Workload string `json:"workload"`
+	// Queue names the leaf queue to join (empty = the default queue).
+	// On a re-declare an empty Queue inherits the agent's current
+	// queue; naming one moves the agent.
+	Queue string `json:"queue"`
 }
 
 // patchRequest is the PATCH /v1/agents/{name} body: a raw elasticity
@@ -52,6 +57,9 @@ type patchRequest struct {
 //	PATCH  /v1/agents/{name}     re-declare elasticities (patchRequest body)
 //	DELETE /v1/agents/{name}     leave
 //	GET    /v1/agents            live agent set (elided above the inline threshold)
+//	POST   /v1/queues            declare or re-declare a queue (hier.QueueConfig body)
+//	GET    /v1/queues            live per-queue rollups
+//	DELETE /v1/queues/{name}     delete an empty leaf queue
 //	GET    /v1/allocation        live snapshot
 //	GET    /v1/allocation?agent=X  one agent's row (O(R) at any scale)
 //	GET    /v1/allocation?since=E  changes since epoch E
@@ -66,6 +74,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PATCH /v1/agents/{name}", s.handlePatch)
 	mux.HandleFunc("DELETE /v1/agents/{name}", s.handleLeave)
 	mux.HandleFunc("GET /v1/agents", s.handleAgents)
+	mux.HandleFunc("POST /v1/queues", s.handleQueueUpsert)
+	mux.HandleFunc("GET /v1/queues", s.handleQueues)
+	mux.HandleFunc("DELETE /v1/queues/{name}", s.handleQueueDelete)
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/ref/flightrecorder", s.handleFlightRecorder)
@@ -109,11 +120,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	epoch, row, aerr := s.Join(r.Context(), wire, util)
+	epoch, row, queue, aerr := s.Join(r.Context(), wire, util)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
+	wire.Queue = queue
 	writeJSON(w, http.StatusOK, JoinResponse{Schema: Schema, Epoch: epoch, Agent: wire, Allocation: row})
 }
 
@@ -133,6 +145,14 @@ func (s *Server) resolveJoin(req joinRequest) (WireAgent, cobb.Utility, *APIErro
 		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidAgent, Status: http.StatusBadRequest,
 			Message: "declare exactly one of elasticities or workload"}
 	}
+	queue := req.Queue
+	if queue == hier.DefaultQueue {
+		queue = "" // canonical wire form for the default queue
+	}
+	if queue != "" && (len(queue) > maxNameLen || !utf8.ValidString(queue)) {
+		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidQueue, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("queue name must be valid UTF-8 of at most %d bytes", maxNameLen)}
+	}
 	alpha0 := req.Alpha0
 	if alpha0 == 0 {
 		alpha0 = 1
@@ -147,7 +167,7 @@ func (s *Server) resolveJoin(req joinRequest) (WireAgent, cobb.Utility, *APIErro
 		if aerr != nil {
 			return zero, cobb.Utility{}, aerr
 		}
-		return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha, Workload: req.Workload}, util, nil
+		return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha, Workload: req.Workload, Queue: queue}, util, nil
 	}
 
 	if len(req.Elasticities) != len(s.cfg.Capacity) {
@@ -159,7 +179,7 @@ func (s *Server) resolveJoin(req joinRequest) (WireAgent, cobb.Utility, *APIErro
 		return zero, cobb.Utility{}, &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
 			Message: err.Error()}
 	}
-	return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha}, util, nil
+	return WireAgent{Name: req.Name, Alpha0: util.Alpha0, Elasticities: util.Alpha, Queue: queue}, util, nil
 }
 
 // fitWorkload resolves a catalog workload name to a fitted Cobb-Douglas
@@ -234,11 +254,12 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wire := WireAgent{Name: name, Alpha0: util.Alpha0, Elasticities: util.Alpha}
-	epoch, row, aerr := s.Update(r.Context(), wire, util)
+	epoch, row, queue, aerr := s.Update(r.Context(), wire, util)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
+	wire.Queue = queue
 	writeJSON(w, http.StatusOK, JoinResponse{Schema: Schema, Epoch: epoch, Agent: wire, Allocation: row})
 }
 
@@ -251,6 +272,44 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, LeaveResponse{Schema: Schema, Epoch: epoch, Name: name})
+}
+
+// handleQueueUpsert declares (or re-declares, possibly moving) a queue
+// and blocks until its epoch publishes. The body is a hier.QueueConfig;
+// structural invariants (cycles, depth, quota nesting) are validated
+// against the live tree at apply time.
+func (s *Server) handleQueueUpsert(w http.ResponseWriter, r *http.Request) {
+	var req hier.QueueConfig
+	if aerr := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	epoch, aerr := s.QueueUpsert(r.Context(), req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueueResponse{Schema: Schema, Epoch: epoch, Queue: req})
+}
+
+// handleQueues serves the live per-queue rollups.
+func (s *Server) handleQueues(w http.ResponseWriter, _ *http.Request) {
+	epoch, rollups := s.QueueRollups()
+	if rollups == nil {
+		rollups = []QueueRollup{}
+	}
+	writeJSON(w, http.StatusOK, QueuesResponse{Schema: Schema, Epoch: epoch, Queues: rollups})
+}
+
+// handleQueueDelete blocks until the queue deletion's epoch publishes.
+func (s *Server) handleQueueDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	epoch, aerr := s.QueueDelete(r.Context(), name)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueueDeleteResponse{Schema: Schema, Epoch: epoch, Name: name})
 }
 
 // handleAllocation serves the live snapshot; with ?agent=X it answers a

@@ -241,7 +241,7 @@ func populate(t *testing.T, s *Server, n int, seed int64) {
 		name := fmt.Sprintf("agent%05d", i)
 		u := scaleUtility(rng, len(s.cfg.Capacity))
 		wire := WireAgent{Name: name, Alpha0: u.Alpha0, Elasticities: u.Alpha}
-		if _, _, aerr := s.Join(ctx, wire, u); aerr != nil {
+		if _, _, _, aerr := s.Join(ctx, wire, u); aerr != nil {
 			t.Fatalf("join %s: %v", name, aerr)
 		}
 	}
@@ -349,12 +349,13 @@ func benchServer(tb testing.TB, n, batch int) (*Server, []mutation) {
 	s := &Server{cfg: cfg, clock: cfg.Clock, mutCh: make(chan mutation, 1),
 		drainCh: make(chan struct{}), doneCh: make(chan struct{}),
 		table:  newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
-		deltas: make([]epochDelta, cfg.DeltaWindow)}
+		deltas: make([]epochDelta, cfg.DeltaWindow),
+		tree:   mustTrivialTree(cfg)}
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("agent%07d", i)
 		u := scaleUtility(rng, 2)
-		s.table.shards[s.table.shardOf(name)].upsert(name, WireAgent{Name: name, Alpha0: u.Alpha0, Elasticities: u.Alpha}, u)
+		s.table.shards[s.table.shardOf(name)].upsert(name, WireAgent{Name: name, Alpha0: u.Alpha0, Elasticities: u.Alpha}, u, "default")
 	}
 	s.publish(nil)
 	muts := make([]mutation, batch)

@@ -57,6 +57,7 @@ import (
 
 	"ref/internal/cobb"
 	"ref/internal/core"
+	"ref/internal/hier"
 	"ref/internal/obs"
 	"ref/internal/par"
 	"ref/internal/platform"
@@ -102,6 +103,18 @@ const (
 	// MetricFlightDumps counts anomaly-triggered flight-recorder dumps,
 	// labeled by reason (audit_failure, latency_breach, shed_spike).
 	MetricFlightDumps = "ref_serve_flight_dumps_total"
+	// MetricQueues is the live number of queues in the tree (default
+	// included; 0 while the tree is trivial and the flat path runs).
+	MetricQueues = "ref_serve_queues"
+	// MetricQueueMutations counts applied queue declarations and
+	// deletions, labeled by kind (upsert, delete).
+	MetricQueueMutations = "ref_serve_queue_mutations_total"
+	// MetricReclaimMoved is the allocation volume the order-preserving
+	// reclaim pass moved in the latest epoch.
+	MetricReclaimMoved = "ref_serve_reclaim_moved"
+	// MetricQueueSIMarginMin is the smallest normalized per-queue SI
+	// log margin of the latest hierarchical audit.
+	MetricQueueSIMarginMin = "ref_serve_queue_si_margin_min"
 )
 
 // Config parameterizes a Server. The zero value of every field except
@@ -143,6 +156,12 @@ type Config struct {
 	// Clock drives the batching window and snapshot timestamps; nil
 	// selects the wall clock. Tests inject a FakeClock.
 	Clock Clock
+
+	// Queues is the boot-time queue-tree declaration (hierarchical
+	// multi-tenant fairness; see internal/hier). Empty boots the flat
+	// economy — queues can still be declared at runtime over
+	// POST /v1/queues. Validation failures fail New.
+	Queues []hier.QueueConfig
 
 	// Shards is the number of stripes in the agent table (default 32).
 	// Million-agent deployments want more (joins pay an O(n/Shards)
@@ -293,14 +312,25 @@ const (
 	mutJoin mutationKind = iota
 	mutUpdate
 	mutLeave
+	mutQueueUpsert
+	mutQueueDelete
 )
 
-// mutation is one queued agent-set change with its reply channel.
+// isQueueMutation discriminates tree-topology mutations, which apply
+// serially (they mutate shared tree state and must not race the
+// per-shard agent apply), from agent mutations, which apply in parallel.
+func (k mutationKind) isQueueMutation() bool {
+	return k == mutQueueUpsert || k == mutQueueDelete
+}
+
+// mutation is one queued agent-set or queue-tree change with its reply
+// channel.
 type mutation struct {
 	kind  mutationKind
 	name  string
-	wire  WireAgent    // join/update only
-	util  cobb.Utility // join/update only
+	wire  WireAgent         // join/update only
+	util  cobb.Utility      // join/update only
+	qcfg  *hier.QueueConfig // queue upsert only
 	reply chan mutationResult
 }
 
@@ -310,6 +340,10 @@ type mutationResult struct {
 	epoch uint64
 	// row is the agent's allocation row (join/update only, on success).
 	row []float64
+	// queue is the applied entry's canonical wire queue ("" for the
+	// default queue) — what join/patch acks echo, so a PATCH that
+	// inherits its queue reports where the agent actually sits.
+	queue string
 	// err is the typed rejection, nil when the mutation applied.
 	err *APIError
 }
@@ -322,6 +356,16 @@ type epochDelta struct {
 	epoch   uint64
 	upserts []string
 	leaves  []string
+	// queueUpserts and queueDeletes are the queue names this epoch
+	// declared/re-declared and deleted. A delta read maps each through
+	// the live tree to its *final* state — still present means its
+	// rollup is in the response's full Queues set, gone means
+	// QueuesRemoved — so a queue whose last agent departed never leaves
+	// a stale changelog entry behind (the agent's own leave is recorded
+	// under leaves; the queue only appears here when its declaration
+	// itself changed).
+	queueUpserts []string
+	queueDeletes []string
 }
 
 // Server is the online allocation service. Create with New, mount
@@ -362,6 +406,24 @@ type Server struct {
 	auditCursor         int
 	epoch               uint64
 
+	// tree is the queue hierarchy (internal/hier); it always exists,
+	// trivially (just the default leaf) on a queue-free server. hierEver
+	// flips true the moment the tree first becomes non-trivial — from
+	// then on agent mutations mirror their weight deltas into the tree
+	// aggregates (O(depth·R) each), applied serially in batch order so
+	// same-queue agents in different shards never race. While hierEver
+	// is false the tree costs nothing: no capture, no serial pass, and
+	// the publish path is byte-identical to the historical flat one.
+	tree     *hier.Tree
+	hierEver bool
+	// pubLeaf / pubQueues / pubQIdx are the published hierarchical
+	// state backing point and delta reads: per-leaf sums+share+count
+	// for O(R) row reads, the rollup set of the published snapshot, and
+	// its name index. All nil while the tree is trivial.
+	pubLeaf   map[string]*leafPub
+	pubQueues []QueueRollup
+	pubQIdx   map[string]int
+
 	// Steady-state epoch scratch, reused so an epoch's allocations are
 	// proportional to its batch (and audit sample), never to the total
 	// population.
@@ -370,6 +432,7 @@ type Server struct {
 	activeShards []int
 	sumScratch   []float64
 	logScratch   []float64
+	treeCap      []treeDelta
 
 	// flight is the epoch flight recorder (nil when disabled); slo
 	// tracks the epoch-latency objective (nil when disabled). Both are
@@ -397,14 +460,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg.Capacity = append([]float64(nil), cfg.Capacity...)
+	tree, err := hier.NewTree(cfg.Capacity, &hier.TreeConfig{Queues: cfg.Queues},
+		hier.Options{ResumEvery: cfg.ResumEvery, DriftRatio: cfg.DriftRatio})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		mutCh:   make(chan mutation, cfg.QueueDepth),
-		drainCh: make(chan struct{}),
-		doneCh:  make(chan struct{}),
-		table:   newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
-		deltas:  make([]epochDelta, cfg.DeltaWindow),
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		mutCh:    make(chan mutation, cfg.QueueDepth),
+		drainCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		table:    newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
+		deltas:   make([]epochDelta, cfg.DeltaWindow),
+		tree:     tree,
+		hierEver: tree.NonTrivial(),
 	}
 	if cfg.FlightRecorder > 0 {
 		s.flight = obs.NewFlightRecorder[EpochRecord](cfg.FlightRecorder, obs.FlightOptions{Dir: cfg.FlightDumpDir})
@@ -466,21 +536,89 @@ func (s *Server) Close(ctx context.Context) error {
 
 // Join queues a join/re-declare mutation and waits for its epoch. The
 // utility must already be validated against the server's capacity vector.
-func (s *Server) Join(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, *APIError) {
+func (s *Server) Join(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, string, *APIError) {
 	return s.submit(ctx, mutation{kind: mutJoin, name: wire.Name, wire: wire, util: util})
 }
 
 // Update queues an elasticity re-declaration for an existing agent and
 // waits for its epoch. Unlike Join it fails with unknown_agent when the
 // name is not in the agent set at apply time.
-func (s *Server) Update(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, *APIError) {
+func (s *Server) Update(ctx context.Context, wire WireAgent, util cobb.Utility) (uint64, []float64, string, *APIError) {
 	return s.submit(ctx, mutation{kind: mutUpdate, name: wire.Name, wire: wire, util: util})
 }
 
 // Leave queues a departure mutation and waits for its epoch.
 func (s *Server) Leave(ctx context.Context, name string) (uint64, *APIError) {
-	epoch, _, err := s.submit(ctx, mutation{kind: mutLeave, name: name})
+	epoch, _, _, err := s.submit(ctx, mutation{kind: mutLeave, name: name})
 	return epoch, err
+}
+
+// QueueUpsert queues a queue declaration (create, re-declare, or move —
+// see hier.Tree.Upsert) and waits for its epoch.
+func (s *Server) QueueUpsert(ctx context.Context, cfg hier.QueueConfig) (uint64, *APIError) {
+	epoch, _, _, err := s.submit(ctx, mutation{kind: mutQueueUpsert, name: cfg.Name, qcfg: &cfg})
+	return epoch, err
+}
+
+// QueueDelete queues a queue deletion and waits for its epoch. Only
+// empty leaves may go; a queue with child queues or agents is refused
+// with queue_not_empty.
+func (s *Server) QueueDelete(ctx context.Context, name string) (uint64, *APIError) {
+	epoch, _, _, err := s.submit(ctx, mutation{kind: mutQueueDelete, name: name})
+	return epoch, err
+}
+
+// QueueRollups returns the published per-queue rollups and the epoch
+// they are consistent with (nil rollups while the tree is trivial). The
+// returned slice is the published one and must not be modified.
+func (s *Server) QueueRollups() (uint64, []QueueRollup) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.snap.Load().Epoch, s.pubQueues
+}
+
+// treeDelta is one agent mutation's captured weight movement, recorded
+// during the parallel per-shard apply and folded into the queue tree
+// serially in batch order.
+type treeDelta struct {
+	oldW, newW []float64
+	oldQ, newQ string
+	has        bool
+}
+
+// leafPub is one leaf queue's published row context: the aggregate
+// elasticity sums, the leaf's allocated share, and its direct agent
+// count — everything an O(R) per-agent row read needs.
+type leafPub struct {
+	sums  []float64
+	share []float64
+	n     int
+}
+
+// treeEach adapts the canonical table walk to the tree's resummation
+// callback contract. Callers hold stateMu.
+func (s *Server) treeEach(visit func(queue string, weight []float64)) {
+	s.table.forEachSorted(func(_ string, e *agentEntry) { visit(e.queue, e.weight) })
+}
+
+// rowFor computes one agent's published allocation row: from its leaf
+// queue's share and aggregate when the tree is non-trivial, from the
+// global sums otherwise. n is the total population (the flat
+// denominator's equal-split fallback).
+func (s *Server) rowFor(e *agentEntry, n int) []float64 {
+	if lp, ok := s.pubLeaf[e.queue]; ok {
+		return core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n)
+	}
+	return core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n)
+}
+
+// queueRollupFor returns the published rollup of e's leaf queue, nil on
+// the flat path.
+func (s *Server) queueRollupFor(e *agentEntry) *QueueRollup {
+	if i, ok := s.pubQIdx[e.queue]; ok {
+		return &s.pubQueues[i]
+	}
+	return nil
 }
 
 // retryAfterSeconds is the shedding backoff hint: one epoch window,
@@ -495,13 +633,13 @@ func (s *Server) retryAfterSeconds() int {
 
 // submit enqueues m (shedding if the queue is full or the server is
 // draining) and waits for the epoch loop's reply or the deadline.
-func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *APIError) {
+func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, string, *APIError) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.shedSinceEpoch.Add(1)
 		obs.Inc(MetricShed + `{reason="draining"}`)
-		return 0, nil, &APIError{Code: CodeDraining, Status: http.StatusServiceUnavailable,
+		return 0, nil, "", &APIError{Code: CodeDraining, Status: http.StatusServiceUnavailable,
 			RetryAfter: s.retryAfterSeconds(),
 			Message:    "server is draining; no new mutations accepted"}
 	}
@@ -516,7 +654,7 @@ func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *AP
 		s.enqWG.Done()
 		s.shedSinceEpoch.Add(1)
 		obs.Inc(MetricShed + `{reason="queue_full"}`)
-		return 0, nil, &APIError{Code: CodeQueueFull, Status: http.StatusServiceUnavailable,
+		return 0, nil, "", &APIError{Code: CodeQueueFull, Status: http.StatusServiceUnavailable,
 			RetryAfter: s.retryAfterSeconds(),
 			Message:    fmt.Sprintf("mutation queue full (%d pending); retry after the epoch window", s.cfg.QueueDepth)}
 	}
@@ -525,11 +663,11 @@ func (s *Server) submit(ctx context.Context, m mutation) (uint64, []float64, *AP
 	defer cancel()
 	select {
 	case res := <-m.reply:
-		return res.epoch, res.row, res.err
+		return res.epoch, res.row, res.queue, res.err
 	case <-ctx.Done():
 		// The mutation stays queued and may still apply in a later
 		// epoch; the typed error tells the client so.
-		return 0, nil, &APIError{Code: CodeDeadline, Status: http.StatusGatewayTimeout,
+		return 0, nil, "", &APIError{Code: CodeDeadline, Status: http.StatusGatewayTimeout,
 			Message: "deadline expired before the mutation's epoch published; it may still be applied"}
 	}
 }
@@ -619,62 +757,39 @@ func (s *Server) runEpoch(batch []mutation) {
 	s.stateMu.Lock()
 	resumsBefore := s.table.resums
 
-	// Partition the batch by shard. Mutations for the same name land in
-	// the same shard in batch order, so per-name ordering survives the
-	// parallel apply; distinct shards share no state.
-	if s.shardMuts == nil {
-		s.shardMuts = make([][]int, s.cfg.Shards)
+	// Split the batch into segments: runs of agent mutations apply in
+	// parallel across shards, queue mutations apply serially (they
+	// mutate shared tree topology). Segment boundaries preserve batch
+	// order, so "create queue, join it" works within one batch.
+	if cap(s.treeCap) < len(batch) {
+		s.treeCap = make([]treeDelta, len(batch))
 	}
-	active := s.activeShards[:0]
-	for i, m := range batch {
-		si := s.table.shardOf(m.name)
-		if len(s.shardMuts[si]) == 0 {
-			active = append(active, si)
+	for i := 0; i < len(batch); {
+		if batch[i].kind.isQueueMutation() {
+			s.applyQueueMutation(batch[i], &results[i])
+			i++
+			continue
 		}
-		s.shardMuts[si] = append(s.shardMuts[si], i)
+		j := i
+		for j < len(batch) && !batch[j].kind.isQueueMutation() {
+			j++
+		}
+		s.applyAgentRun(batch, results, i, j)
+		i = j
 	}
-	s.activeShards = active
-
-	_ = par.ForEach(len(active), s.cfg.Parallelism, func(k int) error {
-		sh := s.table.shards[active[k]]
-		for _, bi := range s.shardMuts[active[k]] {
-			m := batch[bi]
-			switch m.kind {
-			case mutJoin, mutUpdate:
-				// Handlers validate before enqueueing; re-check here so a
-				// bad utility can never corrupt the published state.
-				if err := m.util.Validate(); err != nil || m.util.NumResources() != len(s.cfg.Capacity) {
-					results[bi].err = &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
-						Message: fmt.Sprintf("agent %q: utility rejected at apply time", m.name)}
-					continue
-				}
-				if m.kind == mutUpdate {
-					if _, ok := sh.entries[m.name]; !ok {
-						results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
-							Message: fmt.Sprintf("no agent named %q", m.name)}
-						continue
-					}
-				}
-				sh.upsert(m.name, m.wire, m.util)
-			case mutLeave:
-				if !sh.remove(m.name) {
-					results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
-						Message: fmt.Sprintf("no agent named %q", m.name)}
-				}
-			}
-		}
-		s.shardMuts[active[k]] = s.shardMuts[active[k]][:0]
-		return nil
-	})
 
 	s.table.endEpoch()
+	if s.hierEver {
+		s.tree.EndEpoch(s.treeEach)
+	}
 	if tm != nil {
 		tm.afterApply = s.clock.Now()
 	}
 
 	applied, rejected := 0, 0
 	joins, updates, departs := 0, 0, 0
-	var upserts, leaves []string
+	queueUps, queueDels := 0, 0
+	var upserts, leaves, qUpserts, qDeletes []string
 	touched := make([]string, 0, len(batch))
 	for i, m := range batch {
 		if results[i].err != nil {
@@ -682,10 +797,17 @@ func (s *Server) runEpoch(batch []mutation) {
 			continue
 		}
 		applied++
-		if m.kind == mutLeave {
+		switch m.kind {
+		case mutLeave:
 			leaves = append(leaves, m.name)
 			departs++
-		} else {
+		case mutQueueUpsert:
+			qUpserts = append(qUpserts, m.name)
+			queueUps++
+		case mutQueueDelete:
+			qDeletes = append(qDeletes, m.name)
+			queueDels++
+		default:
 			if m.kind == mutJoin {
 				joins++
 			} else {
@@ -700,7 +822,8 @@ func (s *Server) runEpoch(batch []mutation) {
 
 	// Record this epoch in the changelog ring so ?since= readers can
 	// catch up without a full dump.
-	s.recordDelta(epochDelta{epoch: snap.Epoch, upserts: upserts, leaves: leaves})
+	s.recordDelta(epochDelta{epoch: snap.Epoch, upserts: upserts, leaves: leaves,
+		queueUpserts: qUpserts, queueDeletes: qDeletes})
 
 	n := s.table.count()
 	resums := s.table.resums
@@ -714,9 +837,10 @@ func (s *Server) runEpoch(batch []mutation) {
 	for i, m := range batch {
 		res := results[i]
 		res.epoch = snap.Epoch
-		if res.err == nil && m.kind != mutLeave {
+		if res.err == nil && (m.kind == mutJoin || m.kind == mutUpdate) {
 			if e := s.table.get(m.name); e != nil {
-				res.row = core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n)
+				res.row = s.rowFor(e, n)
+				res.queue = e.wire.Queue
 			}
 		}
 		m.reply <- res
@@ -742,6 +866,17 @@ func (s *Server) runEpoch(batch []mutation) {
 		r.Gauge(MetricEpochGauge).Set(float64(snap.Epoch))
 		r.Gauge(MetricAgentsGauge).Set(float64(n))
 		r.Gauge(MetricResums).Set(float64(resums))
+		r.Gauge(MetricQueues).Set(float64(len(snap.Queues)))
+		if queueUps > 0 {
+			r.Counter(MetricQueueMutations + `{kind="upsert"}`).Add(int64(queueUps))
+		}
+		if queueDels > 0 {
+			r.Counter(MetricQueueMutations + `{kind="delete"}`).Add(int64(queueDels))
+		}
+		if fair := snap.Fairness; fair != nil && fair.Hier != nil {
+			r.Gauge(MetricReclaimMoved).Set(fair.Hier.ReclaimMoved)
+			r.Gauge(MetricQueueSIMarginMin).Set(fair.Hier.MinSIMargin)
+		}
 		if fair := snap.Fairness; fair != nil {
 			mode, coverage := 0.0, 1.0
 			if fair.Sampled {
@@ -781,6 +916,146 @@ func (s *Server) runEpoch(batch []mutation) {
 
 	if tr != nil && tm != nil {
 		s.emitEpochTrace(tr, tm, snap, n, len(batch), applied, rejected)
+	}
+}
+
+// applyAgentRun applies one run of agent mutations batch[lo:hi) through
+// the sharded table in parallel, then — once hierarchical accounting is
+// live — folds the captured weight deltas into the queue tree serially
+// in batch order (two same-queue agents may land in different shards, so
+// the tree update cannot ride inside the parallel loop). The tree is
+// only *read* inside the parallel loop (queue existence and leaf
+// checks); topology is frozen for the whole run because queue mutations
+// segment the batch. Callers hold stateMu.
+func (s *Server) applyAgentRun(batch []mutation, results []mutationResult, lo, hi int) {
+	if s.shardMuts == nil {
+		s.shardMuts = make([][]int, s.cfg.Shards)
+	}
+	active := s.activeShards[:0]
+	for i := lo; i < hi; i++ {
+		si := s.table.shardOf(batch[i].name)
+		if len(s.shardMuts[si]) == 0 {
+			active = append(active, si)
+		}
+		s.shardMuts[si] = append(s.shardMuts[si], i)
+	}
+	s.activeShards = active
+	hierOn := s.hierEver
+
+	_ = par.ForEach(len(active), s.cfg.Parallelism, func(k int) error {
+		sh := s.table.shards[active[k]]
+		for _, bi := range s.shardMuts[active[k]] {
+			m := batch[bi]
+			switch m.kind {
+			case mutJoin, mutUpdate:
+				// Handlers validate before enqueueing; re-check here so a
+				// bad utility can never corrupt the published state.
+				if err := m.util.Validate(); err != nil || m.util.NumResources() != len(s.cfg.Capacity) {
+					results[bi].err = &APIError{Code: CodeInvalidUtility, Status: http.StatusBadRequest,
+						Message: fmt.Sprintf("agent %q: utility rejected at apply time", m.name)}
+					continue
+				}
+				if m.kind == mutUpdate {
+					if _, ok := sh.entries[m.name]; !ok {
+						results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+							Message: fmt.Sprintf("no agent named %q", m.name)}
+						continue
+					}
+				}
+				// Resolve the leaf queue: an explicit name wins; an empty
+				// field inherits the existing entry's queue (PATCH bodies
+				// and re-declares without a queue stay put).
+				queue := hier.CanonicalQueue(m.wire.Queue)
+				if m.wire.Queue == "" {
+					if e, ok := sh.entries[m.name]; ok {
+						queue = e.queue
+					}
+				}
+				if !s.tree.Has(queue) {
+					results[bi].err = &APIError{Code: CodeUnknownQueue, Status: http.StatusNotFound,
+						Message: fmt.Sprintf("agent %q: no queue named %q", m.name, queue)}
+					continue
+				}
+				if !s.tree.IsLeaf(queue) {
+					results[bi].err = &APIError{Code: CodeInvalidQueue, Status: http.StatusBadRequest,
+						Message: fmt.Sprintf("agent %q: queue %q is not a leaf; only leaf queues hold agents", m.name, queue)}
+					continue
+				}
+				wire := m.wire
+				if queue == hier.DefaultQueue {
+					wire.Queue = "" // canonical wire form for the default queue
+				} else {
+					wire.Queue = queue
+				}
+				oldW, oldQ := sh.upsert(m.name, wire, m.util, queue)
+				if hierOn {
+					s.treeCap[bi] = treeDelta{has: true, oldW: oldW, oldQ: oldQ,
+						newW: sh.entries[m.name].weight, newQ: queue}
+				}
+			case mutLeave:
+				oldW, oldQ := sh.remove(m.name)
+				if oldW == nil {
+					results[bi].err = &APIError{Code: CodeUnknownAgent, Status: http.StatusNotFound,
+						Message: fmt.Sprintf("no agent named %q", m.name)}
+				} else if hierOn {
+					s.treeCap[bi] = treeDelta{has: true, oldW: oldW, oldQ: oldQ}
+				}
+			}
+		}
+		s.shardMuts[active[k]] = s.shardMuts[active[k]][:0]
+		return nil
+	})
+
+	if hierOn {
+		for i := lo; i < hi; i++ {
+			if d := &s.treeCap[i]; d.has {
+				// Cannot fail: the queue was checked to be an existing
+				// leaf in this run, and topology is frozen within it.
+				_ = s.tree.AgentDelta(d.oldQ, d.newQ, d.oldW, d.newW)
+				*d = treeDelta{}
+			}
+		}
+	}
+}
+
+// applyQueueMutation applies one queue-tree mutation serially. A
+// successful first declaration activates hierarchical accounting: the
+// tree resums its aggregates from the live table (agents already in the
+// default queue get counted), and every later agent mutation mirrors
+// into the tree. Callers hold stateMu.
+func (s *Server) applyQueueMutation(m mutation, res *mutationResult) {
+	switch m.kind {
+	case mutQueueUpsert:
+		q := *m.qcfg
+		if q.Parent != "" && q.Parent != hier.DefaultQueue && !s.tree.Has(q.Parent) {
+			res.err = &APIError{Code: CodeUnknownQueue, Status: http.StatusNotFound,
+				Message: fmt.Sprintf("queue %q: no parent queue named %q", q.Name, q.Parent)}
+			return
+		}
+		if err := s.tree.Upsert(q); err != nil {
+			res.err = &APIError{Code: CodeInvalidQueue, Status: http.StatusBadRequest, Message: err.Error()}
+			return
+		}
+		if !s.hierEver {
+			s.hierEver = true
+			s.tree.Resum(s.treeEach)
+		}
+	case mutQueueDelete:
+		switch {
+		case hier.CanonicalQueue(m.name) == hier.DefaultQueue:
+			res.err = &APIError{Code: CodeInvalidQueue, Status: http.StatusBadRequest,
+				Message: fmt.Sprintf("queue %q is reserved and cannot be deleted", hier.DefaultQueue)}
+		case !s.tree.Has(m.name):
+			res.err = &APIError{Code: CodeUnknownQueue, Status: http.StatusNotFound,
+				Message: fmt.Sprintf("no queue named %q", m.name)}
+		case !s.tree.IsLeaf(m.name) || s.tree.AgentCount(m.name) > 0:
+			res.err = &APIError{Code: CodeQueueNotEmpty, Status: http.StatusConflict,
+				Message: fmt.Sprintf("queue %q still has child queues or agents", m.name)}
+		default:
+			if err := s.tree.Delete(m.name); err != nil {
+				res.err = &APIError{Code: CodeInvalidQueue, Status: http.StatusBadRequest, Message: err.Error()}
+			}
+		}
 	}
 }
 
@@ -831,12 +1106,47 @@ func (s *Server) publishBatch(info *batchInfo, touched []string, tm *epochTiming
 		snap.BatchSize, snap.Applied, snap.Rejected = info.size, info.applied, info.rejected
 	}
 
+	// On a non-trivial tree, run the hierarchical allocation: every
+	// internal node splits its share among its children (quota floors +
+	// Equation 13 over aggregates + order-preserving reclaim), and each
+	// leaf's share becomes the capacity its direct agents split. The
+	// trivial tree takes the exact historical flat path — rows, audit,
+	// and the snapshot's wire form are byte-identical to earlier
+	// versions.
+	var al *hier.Alloc
+	if s.tree.NonTrivial() {
+		al = s.tree.Allocate()
+		leaf := make(map[string]*leafPub, len(al.Queues))
+		idx := make(map[string]int, len(al.Queues))
+		rollups := make([]QueueRollup, 0, len(al.Queues))
+		for _, qa := range al.Queues {
+			if qa.Leaf {
+				leaf[qa.Name] = &leafPub{
+					sums:  s.tree.LeafSums(qa.Name, nil),
+					share: qa.Share,
+					n:     s.tree.LeafAgents(qa.Name),
+				}
+			}
+			idx[qa.Name] = len(rollups)
+			rollups = append(rollups, QueueRollup{
+				Name: qa.Name, Parent: qa.Parent, Leaf: qa.Leaf,
+				Weight: qa.Weight, Quota: qa.Quota, Agents: qa.Agents,
+				Fair: qa.Fair, Share: qa.Share,
+				ReclaimOut: qa.ReclaimOut, ReclaimIn: qa.ReclaimIn,
+			})
+		}
+		s.pubLeaf, s.pubQueues, s.pubQIdx = leaf, rollups, idx
+		snap.Queues = rollups
+	} else {
+		s.pubLeaf, s.pubQueues, s.pubQIdx = nil, nil, nil
+	}
+
 	if s.cfg.InlineSnapshotAgents >= 0 && n <= s.cfg.InlineSnapshotAgents {
 		snap.Agents = make([]WireAgent, 0, n)
 		snap.Allocation = make([][]float64, 0, n)
 		s.table.forEachSorted(func(_ string, e *agentEntry) {
 			snap.Agents = append(snap.Agents, e.wire)
-			snap.Allocation = append(snap.Allocation, core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n))
+			snap.Allocation = append(snap.Allocation, s.rowFor(e, n))
 		})
 	} else {
 		snap.AgentsElided = true
@@ -848,11 +1158,23 @@ func (s *Server) publishBatch(info *batchInfo, touched []string, tm *epochTiming
 	}
 
 	if n > 0 {
-		if s.cfg.AuditExactBelow >= 0 && n <= s.cfg.AuditExactBelow {
+		switch {
+		case al != nil:
+			snap.Fairness = s.auditHier(n, touched)
+		case s.cfg.AuditExactBelow >= 0 && n <= s.cfg.AuditExactBelow:
 			snap.Fairness = s.auditExact(n, sums)
-		} else {
+		default:
 			snap.Fairness = s.auditSampled(n, sums, touched)
 		}
+	}
+	if al != nil && snap.Fairness != nil {
+		rep := hier.AuditTree(s.tree, al, 0)
+		hf := &HierFairness{Floors: rep.Floors, SI: rep.SI, EF: rep.EF, ReclaimMoved: al.Moved}
+		if !math.IsNaN(rep.MinSIMargin) {
+			hf.MinSIMargin = rep.MinSIMargin
+		}
+		snap.Fairness.Hier = hf
+		snap.Fairness.Violations = append(snap.Fairness.Violations, rep.Findings...)
 	}
 	if s.cfg.AuditHook != nil && snap.Fairness != nil {
 		s.cfg.AuditHook(snap.Fairness)
@@ -888,7 +1210,8 @@ func (s *Server) AgentRow(name string) *AgentAllocationResponse {
 		Schema:     Schema,
 		Epoch:      s.snap.Load().Epoch,
 		Agent:      e.wire,
-		Allocation: core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, s.table.count()),
+		Allocation: s.rowFor(e, s.table.count()),
+		Queue:      s.queueRollupFor(e),
 	}
 }
 
@@ -915,6 +1238,7 @@ func (s *Server) DeltaSince(since uint64) *DeltaResponse {
 		return resp
 	}
 	seen := make(map[string]struct{})
+	qseen := make(map[string]struct{})
 	for i := 0; i < s.deltaLen; i++ {
 		d := &s.deltas[(s.deltaHead+i)%len(s.deltas)]
 		if d.epoch <= since {
@@ -926,16 +1250,35 @@ func (s *Server) DeltaSince(since uint64) *DeltaResponse {
 		for _, name := range d.leaves {
 			seen[name] = struct{}{}
 		}
+		for _, name := range d.queueUpserts {
+			qseen[name] = struct{}{}
+		}
+		for _, name := range d.queueDeletes {
+			qseen[name] = struct{}{}
+		}
 	}
 	n := s.table.count()
 	for name := range seen {
 		if e := s.table.get(name); e != nil {
 			resp.Changes = append(resp.Changes, DeltaChange{
 				Agent:      e.wire,
-				Allocation: core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n),
+				Allocation: s.rowFor(e, n),
 			})
 		} else {
 			resp.Left = append(resp.Left, name)
+		}
+	}
+	// Per-queue state travels whole: rollups of *unchanged* queues also
+	// move whenever the population shifts, so the delta carries the full
+	// published set (queues are few) rather than a diff. A queue touched
+	// in the window that no longer exists is reported removed by its
+	// *final* state — deleting a queue right after its last agent left
+	// therefore yields exactly one removal plus the agent's own Left
+	// entry, never a stale rollup.
+	resp.Queues = s.pubQueues
+	for name := range qseen {
+		if !s.tree.Has(name) {
+			resp.QueuesRemoved = append(resp.QueuesRemoved, name)
 		}
 	}
 	sortDeltaResponse(resp)

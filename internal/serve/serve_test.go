@@ -13,12 +13,23 @@ import (
 	"time"
 
 	"ref/internal/cobb"
+	"ref/internal/hier"
 )
 
 // testConfig is a two-resource economy matching the paper's §4.1 worked
 // example: 24 GB/s of bandwidth and 12 MB of cache.
 func testConfig() Config {
 	return Config{Capacity: []float64{24, 12}}
+}
+
+// mustTrivialTree builds the default-only queue tree for white-box Server
+// literals that bypass New.
+func mustTrivialTree(cfg Config) *hier.Tree {
+	t, err := hier.NewTree(cfg.Capacity, nil, hier.Options{ResumEvery: cfg.ResumEvery, DriftRatio: cfg.DriftRatio})
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // newTestServer boots a Server plus an httptest front end and registers
@@ -329,7 +340,7 @@ func TestDrainFlushesQueuedMutations(t *testing.T) {
 		go func(name string, ch chan JoinResponse) {
 			wire := WireAgent{Name: name, Alpha0: 1, Elasticities: []float64{0.5, 0.5}}
 			util := mustUtility(t, 1, 0.5, 0.5)
-			epoch, row, aerr := s.Join(context.Background(), wire, util)
+			epoch, row, _, aerr := s.Join(context.Background(), wire, util)
 			if aerr != nil {
 				t.Errorf("join %s during drain flush: %v", name, aerr)
 				return
@@ -362,7 +373,7 @@ func TestDrainFlushesQueuedMutations(t *testing.T) {
 
 	// New writes are refused with the typed draining error; reads and
 	// the health endpoint stay up.
-	_, _, aerr := s.Join(context.Background(), WireAgent{Name: "late"}, mustUtility(t, 1, 1, 1))
+	_, _, _, aerr := s.Join(context.Background(), WireAgent{Name: "late"}, mustUtility(t, 1, 1, 1))
 	if aerr == nil || aerr.Code != CodeDraining || aerr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("join after drain = %+v, want %s", aerr, CodeDraining)
 	}
@@ -396,11 +407,12 @@ func TestQueueFullSheds(t *testing.T) {
 	s := &Server{cfg: cfg, clock: cfg.Clock, mutCh: make(chan mutation, 1),
 		drainCh: make(chan struct{}), doneCh: make(chan struct{}),
 		table:  newAgentTable(cfg.Shards, len(cfg.Capacity), cfg.ResumEvery, cfg.DriftRatio),
-		deltas: make([]epochDelta, cfg.DeltaWindow)}
+		deltas: make([]epochDelta, cfg.DeltaWindow),
+		tree:   mustTrivialTree(cfg)}
 	s.publish(nil)
 	s.mutCh <- mutation{kind: mutLeave, name: "filler"}
 
-	_, _, aerr := s.Join(context.Background(), WireAgent{Name: "u"}, mustUtility(t, 1, 1, 1))
+	_, _, _, aerr := s.Join(context.Background(), WireAgent{Name: "u"}, mustUtility(t, 1, 1, 1))
 	if aerr == nil || aerr.Code != CodeQueueFull || aerr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("submit with full queue = %+v, want %s", aerr, CodeQueueFull)
 	}

@@ -20,6 +20,9 @@ type agentEntry struct {
 	weight   []float64
 	elastSum float64
 	siTerm   float64
+	// queue is the canonical leaf queue holding the agent ("default"
+	// when the agent joined without one).
+	queue string
 }
 
 // shard is one stripe of the agent table: its members, their canonical
@@ -53,9 +56,11 @@ func (sh *shard) removeSorted(name string) {
 	}
 }
 
-// upsert joins or re-declares one tenant, applying the O(R) weight delta
-// to the shard's running sums. It reports whether the agent is new.
-func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility) bool {
+// upsert joins or re-declares one tenant into the given leaf queue,
+// applying the O(R) weight delta to the shard's running sums. It returns
+// the replaced entry's weight vector and queue (both zero for a fresh
+// join) so the epoch loop can mirror the delta into the queue tree.
+func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility, queue string) (oldW []float64, oldQueue string) {
 	w := util.Rescaled().Alpha
 	var siTerm float64
 	for _, a := range w {
@@ -64,26 +69,28 @@ func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility) bool {
 		}
 	}
 	if e, ok := sh.entries[name]; ok {
+		oldW, oldQueue = e.weight, e.queue
 		core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, w)
-		e.wire, e.util, e.weight, e.elastSum, e.siTerm = wire, util, w, util.ElasticitySum(), siTerm
-		return false
+		e.wire, e.util, e.weight, e.elastSum, e.siTerm, e.queue = wire, util, w, util.ElasticitySum(), siTerm, queue
+		return oldW, oldQueue
 	}
 	core.ApplyWeightDelta(sh.sums, sh.churn, nil, w)
-	sh.entries[name] = &agentEntry{wire: wire, util: util, weight: w, elastSum: util.ElasticitySum(), siTerm: siTerm}
+	sh.entries[name] = &agentEntry{wire: wire, util: util, weight: w, elastSum: util.ElasticitySum(), siTerm: siTerm, queue: queue}
 	sh.insertSorted(name)
-	return true
+	return nil, ""
 }
 
-// remove departs one tenant. It reports whether the agent existed.
-func (sh *shard) remove(name string) bool {
+// remove departs one tenant, returning the removed entry's weight and
+// queue (nil weight when the agent did not exist).
+func (sh *shard) remove(name string) (oldW []float64, oldQueue string) {
 	e, ok := sh.entries[name]
 	if !ok {
-		return false
+		return nil, ""
 	}
 	core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, nil)
 	delete(sh.entries, name)
 	sh.removeSorted(name)
-	return true
+	return e.weight, e.queue
 }
 
 // resum recomputes the shard's partial sums exactly from its members in

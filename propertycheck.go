@@ -22,6 +22,14 @@ type PropertyFailure = check.Failure
 // CheckEconomy is one randomly generated allocation problem.
 type CheckEconomy = check.Economy
 
+// CheckTreeEconomy is one randomly generated hierarchical allocation
+// problem: a queue-tree declaration plus agents pinned to leaves. The
+// hier stream (Config.HierTrials) draws these and checks quota floors,
+// sibling-subtree SI/EF, reclaim order preservation, and the degenerate
+// single-queue ulp bound; failures carry a shrunk CheckTreeEconomy in
+// PropertyFailure.ShrunkTree.
+type CheckTreeEconomy = check.TreeEconomy
+
 // RunPropertyChecks draws seeded random economies — spanning degenerate
 // corners like zero elasticities, near-identical agents, one dominant
 // agent, and denormalized α — and checks every mechanism against the

@@ -1,7 +1,10 @@
 package ref
 
 import (
+	"io"
+
 	"ref/internal/core"
+	"ref/internal/hier"
 	"ref/internal/serve"
 )
 
@@ -56,6 +59,38 @@ type EpochFlightRecord = serve.EpochRecord
 // snapshot — the live ring plus anomaly dumps — served at
 // GET /debug/ref/flightrecorder and via AllocationServer.FlightState.
 type FlightRecorderState = serve.FlightSnapshot
+
+// Hierarchical multi-tenant fairness — queue trees with quota floors,
+// over-quota weights, and order-preserving reclaim (see internal/hier).
+// Queues are declared at boot via ServeConfig.Queues or at runtime over
+// POST /v1/queues; agents join leaf queues via WireAgent.Queue.
+
+// DefaultQueue is the reserved leaf that holds agents joining without a
+// queue; it always exists and cannot be declared or deleted.
+const DefaultQueue = hier.DefaultQueue
+
+// QueueConfig is one queue declaration: name, parent, per-resource
+// quota floor, and over-quota split weight.
+type QueueConfig = hier.QueueConfig
+
+// QueueTreeConfig is a full ref/queues/v1 tree declaration, the format
+// refserve's -queues file carries.
+type QueueTreeConfig = hier.TreeConfig
+
+// QueueRollup is one queue's published per-epoch state: topology,
+// subtree population, fair share, final share, and reclaim volume.
+type QueueRollup = serve.QueueRollup
+
+// HierFairness is the hierarchical fairness audit of one epoch: quota
+// floors, sibling-subtree sharing incentives and envy-freeness, and the
+// reclaim volume moved.
+type HierFairness = serve.HierFairness
+
+// DecodeQueueTreeConfig parses and validates a ref/queues/v1 queue-tree
+// declaration.
+func DecodeQueueTreeConfig(r io.Reader) (*QueueTreeConfig, error) {
+	return hier.DecodeConfig(r)
+}
 
 // IncrementalAllocator maintains the Equation 13 allocation under
 // join/leave/update deltas in O(Δ·R) per epoch with compensated
