@@ -30,19 +30,24 @@ import (
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 func main() {
 	var (
-		list        = flag.Bool("list", false, "list available experiments")
-		expID       = flag.String("exp", "", "experiment ID to run (or \"all\")")
-		accesses    = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
-		resources   = flag.Int("resources", 0, "run over the standard N-resource platform spec (0 = legacy 2-resource platform)")
-		specJSON    = flag.String("spec", "", "run over a custom platform spec given as JSON (overrides -resources)")
-		parallel    = flag.Int("parallelism", 0, "worker-pool width for concurrent simulation units (0 = REF_PARALLELISM or GOMAXPROCS)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
-		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
+		list      = flag.Bool("list", false, "list available experiments")
+		expID     = flag.String("exp", "", "experiment ID to run (or \"all\")")
+		accesses  = flag.Int("accesses", 0, "memory accesses per simulated configuration (0 = default)")
+		resources = flag.Int("resources", 0, "run over the standard N-resource platform spec (0 = legacy 2-resource platform)")
+		specJSON  = flag.String("spec", "", "run over a custom platform spec given as JSON (overrides -resources)")
+
+		parallelism int
+		metricsAddr string
+		manifestOut string
 	)
+	cliutil.ParallelismVar(flag.CommandLine, &parallelism)
+	cliutil.MetricsAddrVar(flag.CommandLine, &metricsAddr)
+	cliutil.RunManifestVar(flag.CommandLine, &manifestOut)
 	flag.Parse()
 
 	if *list {
@@ -55,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "refbench: choose an experiment with -exp <id> (see -list)")
 		os.Exit(2)
 	}
-	effParallel := *parallel
+	effParallel := parallelism
 	if effParallel <= 0 {
 		effParallel = ref.Parallelism()
 	}
@@ -71,11 +76,11 @@ func main() {
 	// Observability: installing a registry turns on instrumentation in
 	// every layer; simulation results are bit-identical either way.
 	var manifest *ref.RunManifest
-	if *metricsAddr != "" || *manifestOut != "" {
+	if metricsAddr != "" || manifestOut != "" {
 		ref.InstallMetrics(ref.NewMetricsRegistry())
 	}
-	if *metricsAddr != "" {
-		srv, err := ref.ServeMetrics(*metricsAddr)
+	if metricsAddr != "" {
+		srv, err := ref.ServeMetrics(metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "refbench: %v\n", err)
 			os.Exit(1)
@@ -83,7 +88,7 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("refbench: metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)\n", srv.Addr())
 	}
-	if *manifestOut != "" {
+	if manifestOut != "" {
 		manifest = ref.NewRunManifest("refbench", os.Args[1:])
 		manifest.Parallelism = effParallel
 		manifest.Accesses = *accesses
@@ -99,14 +104,14 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		err := ref.RunExperimentSpec(id, spec, *accesses, *parallel, os.Stdout)
+		err := ref.RunExperimentSpec(id, spec, *accesses, parallelism, os.Stdout)
 		elapsed := time.Since(start)
 		if manifest != nil {
 			manifest.Record(id, elapsed.Seconds(), err)
 		}
 		if err != nil {
 			if manifest != nil {
-				if werr := manifest.WriteFile(*manifestOut); werr != nil {
+				if werr := manifest.WriteFile(manifestOut); werr != nil {
 					fmt.Fprintf(os.Stderr, "refbench: %v\n", werr)
 				}
 			}
@@ -116,10 +121,10 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 	if manifest != nil {
-		if err := manifest.WriteFile(*manifestOut); err != nil {
+		if err := manifest.WriteFile(manifestOut); err != nil {
 			fmt.Fprintf(os.Stderr, "refbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("run manifest written to %s\n", *manifestOut)
+		fmt.Printf("run manifest written to %s\n", manifestOut)
 	}
 }

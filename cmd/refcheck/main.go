@@ -7,6 +7,13 @@
 //
 //	refcheck -trials 2000 -seed 1
 //	refcheck -trials 1 -seed 1 -trial-offset 1234   # replay one failing trial
+//	refcheck -trials 0 -solver-trials -1 -hier-trials -1 -credit-trials 500
+//
+// -credit-trials runs the repeated-game stream: each trial replays a
+// random economy through a multi-round history under the time-aware
+// credit ledger (random half-life, clamps, and settlement intervals),
+// checking the weighted SI/EF audits every round and the long-run credit
+// oracles over the whole history.
 //
 // -metrics-addr serves live Prometheus metrics for the duration of the
 // run; -run-manifest writes a structured JSON record; -cx-out writes the
@@ -22,12 +29,12 @@ import (
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 func main() {
 	var (
 		trials       = flag.Int("trials", 2000, "random economies to check against the closed-form mechanisms")
-		seed         = flag.Int64("seed", 1, "base seed; every trial's economy derives deterministically from it")
 		trialOffset  = flag.Int("trial-offset", 0, "first trial index (replay a specific failing trial without the run before it)")
 		maxAgents    = flag.Int("max-agents", 0, "max agents per economy (0 = default 64)")
 		maxResources = flag.Int("max-resources", 0, "max resources per economy (0 = default 8)")
@@ -35,22 +42,32 @@ func main() {
 		hierTrials   = flag.Int("hier-trials", 0, "trials for the hierarchical queue-tree stream (0 = trials, negative disables)")
 		simTrials    = flag.Int("sim-trials", 0, "trials whose economies are sim-backed 3-resource profile fits (0 disables)")
 		simAccesses  = flag.Int("sim-accesses", 0, "per-configuration access budget for sim-backed profiling (0 = default 2000)")
-		parallelism  = flag.Int("parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
+		creditTrials = flag.Int("credit-trials", 0, "multi-round credit-ledger economies checked against the weighted and long-run oracles (0 disables)")
+		creditRounds = flag.Int("credit-rounds", 0, "settlement rounds per credit trial (0 = default 12)")
 		noShrink     = flag.Bool("no-shrink", false, "skip counterexample minimization")
-		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
-		manifestOut  = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
 		cxOut        = flag.String("cx-out", "", "write shrunk counterexamples (Go literals) to this path on failure")
+
+		seed        int64
+		parallelism int
+		metricsAddr string
+		manifestOut string
 	)
+	cliutil.SeedVar(flag.CommandLine, &seed, "base seed; every trial's economy derives deterministically from it")
+	cliutil.ParallelismVar(flag.CommandLine, &parallelism)
+	cliutil.MetricsAddrVar(flag.CommandLine, &metricsAddr)
+	cliutil.RunManifestVar(flag.CommandLine, &manifestOut)
 	flag.Parse()
-	if err := run(*trials, *seed, *trialOffset, *maxAgents, *maxResources, *solverTrials, *hierTrials,
-		*simTrials, *simAccesses, *parallelism, *noShrink, *metricsAddr, *manifestOut, *cxOut); err != nil {
+	if err := run(*trials, seed, *trialOffset, *maxAgents, *maxResources, *solverTrials, *hierTrials,
+		*simTrials, *simAccesses, *creditTrials, *creditRounds, parallelism, *noShrink,
+		metricsAddr, manifestOut, *cxOut); err != nil {
 		fmt.Fprintln(os.Stderr, "refcheck:", err)
 		os.Exit(1)
 	}
 }
 
 func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTrials, hierTrials,
-	simTrials, simAccesses, parallelism int, noShrink bool, metricsAddr, manifestOut, cxOut string) error {
+	simTrials, simAccesses, creditTrials, creditRounds, parallelism int, noShrink bool,
+	metricsAddr, manifestOut, cxOut string) error {
 	reg := ref.NewMetricsRegistry()
 	ref.InstallMetrics(reg)
 	var manifest *ref.RunManifest
@@ -77,6 +94,8 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		HierTrials:   hierTrials,
 		SimTrials:    simTrials,
 		SimAccesses:  simAccesses,
+		CreditTrials: creditTrials,
+		CreditRounds: creditRounds,
 		Parallelism:  parallelism,
 		NoShrink:     noShrink,
 	}
@@ -93,8 +112,9 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 		return err
 	}
 
-	fmt.Printf("refcheck: %d fast + %d solver + %d sim + %d hier trials, %d oracle evaluations in %s (seed %d)\n",
-		sum.Trials, sum.SolverTrials, sum.SimTrials, sum.HierTrials, sum.Checks, elapsed.Round(time.Millisecond), seed)
+	fmt.Printf("refcheck: %d fast + %d solver + %d sim + %d hier + %d credit trials, %d oracle evaluations in %s (seed %d)\n",
+		sum.Trials, sum.SolverTrials, sum.SimTrials, sum.HierTrials, sum.CreditTrials,
+		sum.Checks, elapsed.Round(time.Millisecond), seed)
 	if sum.OK() {
 		fmt.Println("refcheck: all properties hold")
 		return nil
@@ -115,7 +135,15 @@ func run(trials int, seed int64, trialOffset, maxAgents, maxResources, solverTri
 			fmt.Fprintf(&cx, "// %s\n// findings: %s\n%#v\n\n", f, strings.Join(f.Findings, "; "), *f.ShrunkTree)
 			continue
 		}
-		fmt.Printf("  replay: refcheck -trials 1 -seed %d -trial-offset %d\n", seed, f.Trial)
+		if f.Stream == "credit" {
+			// Credit-stream failures need the credit stream alone: the
+			// trial's economy, ledger parameters, and intervals all derive
+			// from (seed, trial).
+			fmt.Printf("  replay: refcheck -trials 0 -solver-trials -1 -hier-trials -1 -credit-trials 1 -seed %d -trial-offset %d\n",
+				seed, f.Trial)
+		} else {
+			fmt.Printf("  replay: refcheck -trials 1 -seed %d -trial-offset %d\n", seed, f.Trial)
+		}
 		fmt.Printf("  shrunk counterexample (%d agents, %d resources):\n%#v\n",
 			f.Shrunk.NumAgents(), f.Shrunk.NumResources(), f.Shrunk)
 		fmt.Fprintf(&cx, "// %s\n// findings: %s\n%#v\n\n", f, strings.Join(f.Findings, "; "), f.Shrunk)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 func main() {
@@ -56,20 +57,26 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "timed-phase length")
 		mixStr      = flag.String("mix", "join=1,leave=1,update=2,read=6", "operation mix as op=weight pairs")
 		ramp        = flag.Int("ramp", 0, "join this many agents before the timed phase starts")
-		seed        = flag.Int64("seed", 1, "PRNG seed for the operation schedule and elasticities")
 		maxInflight = flag.Int("max-inflight", 512, "bound on concurrently outstanding operations")
 		shards      = flag.Int("shards", 256, "agent-table shards for -inproc")
 		maxBatch    = flag.Int("max-batch", 1024, "mutations per epoch for -inproc")
 		window      = flag.Duration("epoch-window", 10*time.Millisecond, "epoch batching window for -inproc")
 		auditSample = flag.Int("audit-sample", 64, "sampled-audit window size for -inproc")
-		parallelism = flag.Int("parallelism", 0, "worker pool width for -inproc (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 		drainWait   = flag.Duration("drain-timeout", 60*time.Second, "how long the final drain may take")
-		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on exit")
 		traceEvents = flag.Int("trace", 0, "retain the last N trace spans and embed them in the manifest (0 = off)")
 		flightRec   = flag.Int("flight-recorder", 0, "epoch flight-recorder ring size for -inproc (0 = off)")
 		sloEpoch    = flag.Duration("slo-epoch", 0, "epoch-latency SLO threshold for -inproc; the run fails if the error budget burns over 1× (0 = no SLO)")
 		sloBudget   = flag.Float64("slo-budget", 0.01, "fraction of epochs allowed over the SLO threshold")
+
+		seed        int64
+		parallelism int
+		manifestOut string
+		credit      cliutil.CreditFlags
 	)
+	cliutil.SeedVar(flag.CommandLine, &seed, "PRNG seed for the operation schedule and elasticities")
+	cliutil.ParallelismVar(flag.CommandLine, &parallelism)
+	cliutil.RunManifestVar(flag.CommandLine, &manifestOut)
+	cliutil.CreditVar(flag.CommandLine, &credit)
 	flag.Parse()
 	obsOpts := obsOptions{
 		traceEvents: *traceEvents,
@@ -77,9 +84,9 @@ func main() {
 		sloEpoch:    *sloEpoch,
 		sloBudget:   *sloBudget,
 	}
-	if err := run(*addr, *capStr, *mixStr, *rate, *duration, *ramp, *seed,
-		*maxInflight, *shards, *maxBatch, *auditSample, *parallelism,
-		*window, *drainWait, *inproc, *manifestOut, obsOpts); err != nil {
+	if err := run(*addr, *capStr, *mixStr, *rate, *duration, *ramp, seed,
+		*maxInflight, *shards, *maxBatch, *auditSample, parallelism,
+		*window, *drainWait, *inproc, manifestOut, credit, obsOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "refload:", err)
 		os.Exit(1)
 	}
@@ -341,19 +348,6 @@ func parseMix(s string) ([numOps]float64, error) {
 	return mix, nil
 }
 
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad number %q: %v", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 // gen owns the shared workload state.
 type gen struct {
 	tgt     target
@@ -466,9 +460,16 @@ func diffHist(pre, post ref.LatencyHistogram) ref.LatencyHistogram {
 
 func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp int, seed int64,
 	maxInflight, shards, maxBatch, auditSample, parallelism int,
-	window, drainWait time.Duration, inproc bool, manifestOut string, obsOpts obsOptions) error {
+	window, drainWait time.Duration, inproc bool, manifestOut string,
+	credit cliutil.CreditFlags, obsOpts obsOptions) error {
 	if inproc == (addr != "") {
 		return fmt.Errorf("need exactly one of -inproc or -addr")
+	}
+	if err := credit.Validate(); err != nil {
+		return err
+	}
+	if credit.Enabled() && !inproc {
+		return fmt.Errorf("-half-life shapes the in-process server; in HTTP mode start refserve with it instead")
 	}
 	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
 		return fmt.Errorf("bad -rate %v", rate)
@@ -496,7 +497,7 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 	var srv *ref.AllocationServer
 	nRes := 2
 	if inproc {
-		capacity, err := parseFloats(capStr)
+		capacity, err := cliutil.ParseFloats(capStr)
 		if err != nil {
 			return err
 		}
@@ -511,6 +512,9 @@ func run(addr, capStr, mixStr string, rate float64, duration time.Duration, ramp
 			FlightRecorder:  obsOpts.flightRec,
 			SLOEpochLatency: obsOpts.sloEpoch,
 			SLOBudget:       obsOpts.sloBudget,
+			CreditHalfLife:  credit.HalfLife,
+			CreditMinBudget: credit.MinBudget,
+			CreditMaxBudget: credit.MaxBudget,
 		})
 		if err != nil {
 			return err

@@ -11,12 +11,17 @@
 //
 //	refreplay -scenario all -seed 1 -run-manifest replay.json
 //	refreplay -scenario flashcrowd -agents 96 -epochs 60 -golden
+//	refreplay -scenario credit-cycle -half-life 10s -golden
 //	refreplay -trace trace.jsonl -force-sampled -audit-sample 16
 //
-// Exactly one of -scenario or -trace selects the input. Any invariant
-// violation makes the exit status nonzero; the manifest's `replay`
-// section carries each scenario's digest and violation list so CI can
-// assert emptiness with a JSON query instead of scraping stdout.
+// Exactly one of -scenario or -trace selects the input. -half-life boots
+// the replayed server with the time-aware credit ledger and arms the
+// replay driver's mirror ledger: every published budget, rollup, and
+// long-run fairness oracle is re-derived independently from the snapshot
+// stream and any divergence is a violation. Any invariant violation makes
+// the exit status nonzero; the manifest's `replay` section carries each
+// scenario's digest and violation list so CI can assert emptiness with a
+// JSON query instead of scraping stdout.
 package main
 
 import (
@@ -26,17 +31,16 @@ import (
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 func main() {
 	var (
 		scenario    = flag.String("scenario", "", "built-in scenario to replay, or \"all\" (one of: "+scenarioList()+")")
 		tracePath   = flag.String("trace", "", "replay a ref/trace/v1 file (JSON or JSONL) instead of a built-in scenario")
-		seed        = flag.Int64("seed", 1, "scenario generator seed")
 		agents      = flag.Int("agents", 0, "scenario population scale (0 = default)")
 		epochs      = flag.Int("epochs", 0, "scenario length in ticks (0 = default)")
 		queueCount  = flag.Int("queue-count", 0, "static queues declared by queue-aware scenarios (0 = default, negative disables; others ignore it)")
-		parallelism = flag.Int("parallelism", 0, "serve worker-pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 		shards      = flag.Int("shards", 0, "agent-table shards (0 = serve default)")
 		deltaWindow = flag.Int("delta-window", 0, "changelog ring depth for ?since= reads (0 = serve default)")
 		forceSample = flag.Bool("force-sampled", false, "force the sampled audit and check sampled-vs-exact parity")
@@ -45,11 +49,23 @@ func main() {
 		injectFail  = flag.Uint64("inject-audit-failure", 0, "flip the SI verdict at this epoch to exercise the anomaly path (0 = off)")
 		maxUlps     = flag.Int64("max-ulps", 0, "Equation 13 differential tolerance in ulps (0 = default)")
 		golden      = flag.Bool("golden", false, "print the full golden text (per-epoch digests), not just the summary")
-		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest on exit")
+
+		seed        int64
+		parallelism int
+		manifestOut string
+		credit      cliutil.CreditFlags
 	)
+	cliutil.SeedVar(flag.CommandLine, &seed, "scenario generator seed")
+	cliutil.ParallelismVar(flag.CommandLine, &parallelism)
+	cliutil.RunManifestVar(flag.CommandLine, &manifestOut)
+	cliutil.CreditVar(flag.CommandLine, &credit)
 	flag.Parse()
-	if err := run(*scenario, *tracePath, *seed, *agents, *epochs, *queueCount, ref.ReplayOptions{
-		Parallelism:             *parallelism,
+	if err := credit.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "refreplay: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run(*scenario, *tracePath, seed, *agents, *epochs, *queueCount, ref.ReplayOptions{
+		Parallelism:             parallelism,
 		Shards:                  *shards,
 		DeltaWindow:             *deltaWindow,
 		ForceSampled:            *forceSample,
@@ -57,7 +73,10 @@ func main() {
 		FlightRecorder:          *flightRec,
 		InjectAuditFailureEpoch: *injectFail,
 		MaxUlps:                 *maxUlps,
-	}, *golden, *manifestOut); err != nil {
+		CreditHalfLife:          credit.HalfLife,
+		CreditMinBudget:         credit.MinBudget,
+		CreditMaxBudget:         credit.MaxBudget,
+	}, *golden, manifestOut); err != nil {
 		fmt.Fprintf(os.Stderr, "refreplay: %v\n", err)
 		os.Exit(1)
 	}

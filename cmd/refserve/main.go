@@ -39,12 +39,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 // serveOptions bundles refserve's flag values.
@@ -64,6 +63,7 @@ type serveOptions struct {
 	drainWait   time.Duration
 	metricsAddr string
 	manifestOut string
+	credit      cliutil.CreditFlags
 
 	traceEvents int
 	flightRec   int
@@ -86,10 +86,11 @@ func main() {
 	flag.Int64Var(&o.maxBody, "max-body-bytes", 1<<20, "request body size limit")
 	flag.DurationVar(&o.reqTimeout, "request-timeout", 10*time.Second, "per-request deadline for mutation requests")
 	flag.IntVar(&o.accesses, "accesses", 20000, "simulation budget per configuration for workload-profile joins")
-	flag.IntVar(&o.parallelism, "parallelism", 0, "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)")
 	flag.DurationVar(&o.drainWait, "drain-timeout", 15*time.Second, "how long a signal-triggered drain may take")
-	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/trace on this address")
-	flag.StringVar(&o.manifestOut, "run-manifest", "", "write a structured JSON run manifest on shutdown")
+	cliutil.ParallelismVar(flag.CommandLine, &o.parallelism)
+	cliutil.MetricsAddrVar(flag.CommandLine, &o.metricsAddr)
+	cliutil.RunManifestVar(flag.CommandLine, &o.manifestOut)
+	cliutil.CreditVar(flag.CommandLine, &o.credit)
 	flag.IntVar(&o.traceEvents, "trace", 0, "retain the last N trace spans and serve them at /debug/trace (0 = tracing off)")
 	flag.IntVar(&o.flightRec, "flight-recorder", 0, "retain the last N epoch records in the flight recorder (0 = off)")
 	flag.StringVar(&o.flightDir, "flight-dump-dir", "", "directory for anomaly-triggered flight-recorder dump files (empty = in-memory only)")
@@ -103,20 +104,10 @@ func main() {
 	}
 }
 
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad number %q: %v", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 func run(o serveOptions) error {
+	if err := o.credit.Validate(); err != nil {
+		return err
+	}
 	var spec ref.PlatformSpec
 	if o.specJSON != "" || o.resources != 0 {
 		var err error
@@ -129,7 +120,7 @@ func run(o serveOptions) error {
 	var capacity []float64
 	if o.capStr != "" {
 		var err error
-		if capacity, err = parseFloats(o.capStr); err != nil {
+		if capacity, err = cliutil.ParseFloats(o.capStr); err != nil {
 			return err
 		}
 	}
@@ -183,6 +174,9 @@ func run(o serveOptions) error {
 		FlightDumpDir:   o.flightDir,
 		SLOEpochLatency: o.sloEpoch,
 		SLOBudget:       o.sloBudget,
+		CreditHalfLife:  o.credit.HalfLife,
+		CreditMinBudget: o.credit.MinBudget,
+		CreditMaxBudget: o.credit.MaxBudget,
 	})
 	if err != nil {
 		return err

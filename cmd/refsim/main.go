@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ref"
+	"ref/internal/cliutil"
 )
 
 func main() {
@@ -38,27 +39,30 @@ func main() {
 		cacheB   = flag.Int("cache", 0, "LLC capacity in bytes (0 = sweep the grid)")
 		bw       = flag.Float64("bw", 0, "memory bandwidth in GB/s (0 = sweep the grid)")
 		accesses = flag.Int("accesses", 20000, "memory accesses to simulate per configuration")
-		parallel = flag.Int("parallelism", 0, "worker-pool width for grid sweeps (0 = REF_PARALLELISM or GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "write the swept profile as CSV to this file")
 
 		resources = flag.Int("resources", 0, "sweep the standard N-resource platform spec instead of the Table 1 pair (0 = legacy 2-resource output)")
 		specJSON  = flag.String("spec", "", "sweep a custom platform spec given as JSON (overrides -resources)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address for the run's duration")
-		manifestOut = flag.String("run-manifest", "", "write a structured JSON run manifest to this path on exit")
+		parallelism int
+		metricsAddr string
+		manifestOut string
 	)
+	cliutil.ParallelismVar(flag.CommandLine, &parallelism)
+	cliutil.MetricsAddrVar(flag.CommandLine, &metricsAddr)
+	cliutil.RunManifestVar(flag.CommandLine, &manifestOut)
 	flag.Parse()
-	effParallel := *parallel
+	effParallel := parallelism
 	if effParallel <= 0 {
 		effParallel = ref.Parallelism()
 	}
 
 	var manifest *ref.RunManifest
-	if *metricsAddr != "" || *manifestOut != "" {
+	if metricsAddr != "" || manifestOut != "" {
 		ref.InstallMetrics(ref.NewMetricsRegistry())
 	}
-	if *metricsAddr != "" {
-		srv, err := ref.ServeMetrics(*metricsAddr)
+	if metricsAddr != "" {
+		srv, err := ref.ServeMetrics(metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
 			os.Exit(1)
@@ -66,7 +70,7 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("refsim: metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)\n", srv.Addr())
 	}
-	if *manifestOut != "" {
+	if manifestOut != "" {
 		manifest = ref.NewRunManifest("refsim", os.Args[1:])
 		manifest.Parallelism = effParallel
 		manifest.Accesses = *accesses
@@ -76,11 +80,11 @@ func main() {
 			return
 		}
 		manifest.Record(id, seconds, err)
-		if werr := manifest.WriteFile(*manifestOut); werr != nil {
+		if werr := manifest.WriteFile(manifestOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "refsim: %v\n", werr)
 			os.Exit(1)
 		}
-		fmt.Printf("run manifest written to %s\n", *manifestOut)
+		fmt.Printf("run manifest written to %s\n", manifestOut)
 	}
 
 	if *listW {
@@ -109,7 +113,7 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		prof, err := ref.SweepWorkloadSpec(w.Config, spec, *accesses, *parallel)
+		prof, err := ref.SweepWorkloadSpec(w.Config, spec, *accesses, parallelism)
 		if err != nil {
 			writeManifest("sweep-spec:"+*name, time.Since(start).Seconds(), err)
 			fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
@@ -160,7 +164,7 @@ func main() {
 		return
 	}
 	start := time.Now()
-	prof, err := ref.SweepWorkloadParallel(w.Config, *accesses, *parallel)
+	prof, err := ref.SweepWorkloadParallel(w.Config, *accesses, parallelism)
 	if err != nil {
 		writeManifest("sweep:"+*name, time.Since(start).Seconds(), err)
 		fmt.Fprintf(os.Stderr, "refsim: %v\n", err)

@@ -76,6 +76,15 @@ type Config struct {
 	// order preservation, and the degenerate-tree ulp bound. Zero
 	// derives Trials; negative disables the stream.
 	HierTrials int
+	// CreditTrials is the number of trials for the credit stream: random
+	// multi-round economies replayed under the decaying-ledger weighted
+	// mechanism and checked against the weighted per-round audits plus the
+	// long-run credit oracles (see RunCreditEconomy). Zero disables the
+	// stream.
+	CreditTrials int
+	// CreditRounds is the history length of each credit trial. Zero
+	// selects DefaultCreditRounds.
+	CreditRounds int
 	// Parallelism bounds the worker pool; zero selects the default
 	// ($REF_PARALLELISM, else GOMAXPROCS). Results are bit-identical at
 	// any width.
@@ -132,6 +141,12 @@ func (c *Config) normalize() error {
 	if c.HierTrials < 0 || c.Subjects != nil {
 		c.HierTrials = 0
 	}
+	if c.CreditTrials < 0 || c.Subjects != nil {
+		c.CreditTrials = 0
+	}
+	if c.CreditRounds < 0 {
+		return fmt.Errorf("%w: CreditRounds = %d", ErrBadConfig, c.CreditRounds)
+	}
 	if c.SimAccesses == 0 {
 		c.SimAccesses = DefaultSimAccesses
 	}
@@ -172,9 +187,9 @@ func (f Failure) String() string {
 
 // Summary aggregates one Run.
 type Summary struct {
-	// Trials, SolverTrials, SimTrials, and HierTrials count executed
-	// trials per stream.
-	Trials, SolverTrials, SimTrials, HierTrials int
+	// Trials, SolverTrials, SimTrials, HierTrials, and CreditTrials count
+	// executed trials per stream.
+	Trials, SolverTrials, SimTrials, HierTrials, CreditTrials int
 	// Checks counts individual oracle evaluations.
 	Checks int64
 	// Failures holds every violated invariant, ordered by stream then
@@ -199,7 +214,7 @@ func Run(cfg Config) (*Summary, error) {
 		return nil, err
 	}
 	sum := &Summary{Trials: cfg.Trials, SolverTrials: cfg.SolverTrials, SimTrials: cfg.SimTrials,
-		HierTrials: cfg.HierTrials}
+		HierTrials: cfg.HierTrials, CreditTrials: cfg.CreditTrials}
 	var checks atomic.Int64
 
 	fastSubjects := cfg.Subjects
@@ -237,6 +252,13 @@ func Run(cfg Config) (*Summary, error) {
 	}
 	if cfg.HierTrials > 0 {
 		fails, err := runHierStream(cfg, &checks)
+		if err != nil {
+			return nil, err
+		}
+		sum.Failures = append(sum.Failures, fails...)
+	}
+	if cfg.CreditTrials > 0 {
+		fails, err := runCreditStream(cfg, &checks)
 		if err != nil {
 			return nil, err
 		}

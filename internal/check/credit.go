@@ -1,0 +1,210 @@
+package check
+
+// The credit stream is the property harness's repeated-game counterpart of
+// the one-shot streams: each trial draws a random economy AND random
+// ledger parameters, then replays the weighted Equation 13 mechanism over
+// a multi-round history — budgets evolved by the same decaying
+// usage-vs-fair ledger the serve layer runs — checking the weighted
+// per-round audits every round and the long-run credit oracles over the
+// whole history.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ref/internal/core"
+	"ref/internal/fair"
+	"ref/internal/obs"
+	"ref/internal/par"
+
+	"ref/internal/cobb"
+)
+
+// Credit-stream bounds: the weighted EF audit is O(N²R) per round and every
+// trial runs DefaultCreditRounds of them, so economies stay small.
+const (
+	creditMaxAgents    = 12
+	creditMaxResources = 4
+	// DefaultCreditRounds is the per-trial history length when
+	// Config.CreditRounds is zero: long enough for two-plus half-lives of
+	// tenure under the generated step sizes, so the warmup-gated long-run
+	// oracles actually bind.
+	DefaultCreditRounds = 12
+)
+
+// GenerateCreditParams draws random (valid) ledger parameters: half-life
+// log-uniform over [20 s, 2000 s], a min budget in (0.3, 1], and a max
+// budget in [1, 3).
+func GenerateCreditParams(rng *rand.Rand) core.CreditParams {
+	p := core.CreditParams{
+		HalfLifeSeconds: 20 * math.Pow(100, rng.Float64()),
+		MinBudget:       0.3 + 0.7*rng.Float64(),
+		MaxBudget:       1 + 2*rng.Float64(),
+	}
+	return p.WithDefaults()
+}
+
+// GenerateCreditDts draws the per-round settlement intervals: mostly
+// meaningful fractions of a half-life (so the ledger visibly tilts), with
+// an occasional many-half-life idle gap exercising deep decay.
+func GenerateCreditDts(rng *rand.Rand, params core.CreditParams, rounds int) []float64 {
+	dts := make([]float64, rounds)
+	for i := range dts {
+		if rng.Float64() < 0.1 {
+			dts[i] = 5 * params.HalfLifeSeconds
+			continue
+		}
+		dts[i] = params.HalfLifeSeconds * (0.1 + 0.9*rng.Float64())
+	}
+	return dts
+}
+
+// RunCreditEconomy replays one economy through len(dts) rounds of the
+// credit-weighted mechanism and returns every violated invariant. Each
+// round allocates with the ledger's current budgets via the production
+// weighted path (core.AllocateBudgeted), checks the weighted SI/EF audits
+// and Pareto efficiency at the default tolerance, feeds the round to the
+// long-run auditor, then settles the ledger over the round's interval at
+// the realized share rates. The corrupt hook, when non-nil, may mutate the
+// ledger accounts after each settlement — tests use it to prove the
+// long-run oracles are not vacuous; production passes nil.
+func RunCreditEconomy(ec Economy, params core.CreditParams, dts []float64,
+	corrupt func(round int, accounts []core.CreditAccount)) (findings []string, checks int, err error) {
+	if err := params.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if !params.Enabled() {
+		return nil, 0, fmt.Errorf("%w: credit stream needs an enabled ledger", ErrBadConfig)
+	}
+	n := ec.NumAgents()
+	names := make([]string, n)
+	utils := make([]cobb.Utility, n)
+	for i, a := range ec.Agents {
+		names[i] = a.Name
+		utils[i] = a.Utility
+	}
+	accounts := make([]core.CreditAccount, n)
+	budgets := make([]float64, n)
+	auditor := fair.NewLongRunAuditor(fair.LongRunConfig{Params: params})
+	tol := fair.DefaultTolerance()
+
+	for round, dt := range dts {
+		for i := range accounts {
+			budgets[i] = params.Budget(accounts[i])
+		}
+		alloc, aerr := core.AllocateBudgeted(ec.Agents, budgets, ec.Cap)
+		if aerr != nil {
+			return nil, checks, fmt.Errorf("round %d: %w", round, aerr)
+		}
+		perRound := []struct {
+			name  string
+			check func() (fair.Result, error)
+		}{
+			{"weighted-si", func() (fair.Result, error) {
+				return fair.WeightedSharingIncentives(utils, ec.Cap, alloc.X, budgets, tol)
+			}},
+			{"weighted-ef", func() (fair.Result, error) {
+				return fair.WeightedEnvyFreeness(utils, alloc.X, budgets, tol)
+			}},
+			{"pareto", func() (fair.Result, error) {
+				return fair.ParetoEfficiency(utils, ec.Cap, alloc.X, tol)
+			}},
+		}
+		for _, pc := range perRound {
+			checks++
+			res, cerr := pc.check()
+			if cerr != nil {
+				return nil, checks, fmt.Errorf("round %d: %s: %w", round, pc.name, cerr)
+			}
+			for _, v := range res.Violations {
+				findings = append(findings, fmt.Sprintf("round %d: %s: %s", round, pc.name, v))
+			}
+		}
+		if oerr := auditor.Observe(names, utils, budgets, alloc.X, ec.Cap, dt); oerr != nil {
+			return nil, checks, fmt.Errorf("round %d: %w", round, oerr)
+		}
+		decay := params.Decay(dt)
+		fairDt := dt / float64(n)
+		for i := range accounts {
+			accounts[i].Accrue(decay, core.ShareRate(alloc.X[i], ec.Cap)*dt, fairDt)
+		}
+		if corrupt != nil {
+			corrupt(round, accounts)
+		}
+	}
+	checks++
+	findings = append(findings, auditor.Findings()...)
+	return findings, checks, nil
+}
+
+// runCreditStream fans the credit trials out on the worker pool. Each
+// trial's economy, ledger parameters, and settlement intervals all derive
+// from the trial seed, so a failure replays from (seed, trial) alone;
+// failing trials shrink the economy under the trial's fixed parameters and
+// intervals.
+func runCreditStream(cfg Config, checks *atomic.Int64) ([]Failure, error) {
+	gen := GenConfig{MaxAgents: min(cfg.MaxAgents, creditMaxAgents),
+		MaxResources: min(cfg.MaxResources, creditMaxResources)}
+	rounds := cfg.CreditRounds
+	if rounds <= 0 {
+		rounds = DefaultCreditRounds
+	}
+	perTrial := make([][]Failure, cfg.CreditTrials)
+	err := par.ForEach(cfg.CreditTrials, cfg.Parallelism, func(i int) error {
+		trial := cfg.TrialOffset + i
+		seed := economySeed(cfg.Seed, "credit", trial)
+		rng := rand.New(rand.NewSource(seed))
+		ec := Generate(rng, gen)
+		params := GenerateCreditParams(rng)
+		dts := GenerateCreditDts(rng, params, rounds)
+		start := time.Now()
+		findings, nchecks, err := RunCreditEconomy(ec, params, dts, nil)
+		checks.Add(int64(nchecks))
+		if err != nil {
+			return fmt.Errorf("credit trial %d (seed %d): %w", trial, seed, err)
+		}
+		if len(findings) > 0 {
+			f := Failure{
+				Mechanism:   "credit-weighted",
+				Oracle:      "credit-history",
+				Trial:       trial,
+				Stream:      "credit",
+				EconomySeed: seed,
+				Findings:    findings,
+				Economy:     ec,
+				Shrunk:      ec,
+			}
+			if !cfg.NoShrink {
+				f.Shrunk = Shrink(ec, func(cand Economy) bool {
+					cf, _, cerr := RunCreditEconomy(cand, params, dts, nil)
+					return cerr == nil && len(cf) > 0
+				})
+			}
+			perTrial[i] = append(perTrial[i], f)
+			obs.Inc(fmt.Sprintf("ref_check_violations_total{mechanism=%q,oracle=%q}",
+				"credit-weighted", "credit-history"))
+		}
+		obs.Inc(`ref_check_trials_total{stream="credit"}`)
+		obs.Observe("ref_check_trial_seconds", time.Since(start).Seconds())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Failure
+	for _, fs := range perTrial {
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// CreditReplayHint renders the exact replay command for a credit-stream
+// failure.
+func CreditReplayHint(seed int64, trial int) string {
+	return "refcheck -trials 0 -solver-trials -1 -hier-trials -1 -credit-trials 1 -seed " +
+		strconv.FormatInt(seed, 10) + " -trial-offset " + strconv.Itoa(trial)
+}

@@ -1,0 +1,178 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ref/internal/core"
+)
+
+// TestCreditStreamClean runs the credit stream over random multi-round
+// economies and ledger parameters: the production weighted path must
+// satisfy the per-round weighted audits and the long-run oracles on every
+// history.
+func TestCreditStreamClean(t *testing.T) {
+	sum, err := Run(Config{
+		Trials:       0,
+		SolverTrials: -1,
+		HierTrials:   -1,
+		CreditTrials: testTrials,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CreditTrials != testTrials {
+		t.Fatalf("credit stream ran %d trials, want %d", sum.CreditTrials, testTrials)
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n%s\ncounterexample:\n%#v", f.String(), strings.Join(f.Findings, "\n"), f.Shrunk)
+	}
+	if sum.Checks == 0 {
+		t.Fatal("no checks executed")
+	}
+}
+
+// TestCreditStreamDeterministic demands bit-identical credit-stream
+// summaries at different parallelism widths.
+func TestCreditStreamDeterministic(t *testing.T) {
+	mk := func(parallelism int) *Summary {
+		sum, err := Run(Config{
+			SolverTrials: -1,
+			HierTrials:   -1,
+			CreditTrials: 20,
+			Seed:         7,
+			Parallelism:  parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial, wide := mk(1), mk(8)
+	if serial.Checks != wide.Checks || len(serial.Failures) != len(wide.Failures) {
+		t.Fatalf("parallelism changed the summary: %d/%d checks, %d/%d failures",
+			serial.Checks, wide.Checks, len(serial.Failures), len(wide.Failures))
+	}
+}
+
+// creditMutantFixture builds one deterministic economy plus ledger
+// parameters with a history long enough to clear the long-run oracles'
+// warmup gate.
+func creditMutantFixture(t *testing.T) (Economy, core.CreditParams, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ec := Generate(rng, GenConfig{MaxAgents: 6, MaxResources: 3})
+	params := core.CreditParams{HalfLifeSeconds: 100, MinBudget: 0.5, MaxBudget: 2}.WithDefaults()
+	dts := make([]float64, 20)
+	for i := range dts {
+		dts[i] = 60 // 20 min ≈ 12 half-lives of tenure
+	}
+	return ec, params, dts
+}
+
+// TestCreditCorruptedLedgerMutant proves the credit stream's oracles are
+// not vacuous: a ledger corrupted to treat the first tenant as a permanent
+// hog (budget pinned at the min clamp despite honest usage) must produce
+// long-run findings — the victim never over-consumes yet averages below
+// equal split.
+func TestCreditCorruptedLedgerMutant(t *testing.T) {
+	ec, params, dts := creditMutantFixture(t)
+	clean, _, err := RunCreditEconomy(ec, params, dts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("honest history not clean: %v", clean)
+	}
+	corrupted, _, err := RunCreditEconomy(ec, params, dts, func(_ int, accounts []core.CreditAccount) {
+		accounts[0].Usage = accounts[0].Fair * 100 // a debt it never incurred
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupted) == 0 {
+		t.Fatal("corrupted ledger produced no findings — the long-run oracles are vacuous")
+	}
+	for _, f := range corrupted {
+		if strings.Contains(f, "long-run-si") || strings.Contains(f, "entitlement-si") ||
+			strings.Contains(f, "starvation-bound") {
+			return
+		}
+	}
+	t.Fatalf("no long-run oracle fired on the corrupted ledger: %v", corrupted)
+}
+
+// TestCreditInvertedTiltMutant flips the tilt direction (feasting tenants
+// get boosted to the ceiling, the thrifty one squeezed to the floor) and
+// expects findings: the repeated game must punish over-use, not reward it.
+// The corruption is keyed by identity so it is stable across rounds — a
+// transform of the live accounts would re-invert its own output every
+// settlement and oscillate instead of tilting.
+func TestCreditInvertedTiltMutant(t *testing.T) {
+	_, params, dts := creditMutantFixture(t)
+	// Head-on competition with asymmetric intensity: the third tenant
+	// concentrates on resource 0, where it shares with both peers, so its
+	// honest share rate runs below 1/N — an honest ledger would credit it,
+	// the inverted one squeezes exactly the tenant that never over-consumed.
+	ec := Economy{
+		Class: ClassUniform,
+		Cap:   []float64{10, 10},
+		Agents: []core.Agent{
+			newAgent(0, 1, []float64{0.5, 0.5}),
+			newAgent(1, 1, []float64{0.5, 0.5}),
+			newAgent(2, 1, []float64{0.9, 0.1}),
+		},
+	}
+	clean, _, err := RunCreditEconomy(ec, params, dts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("honest history not clean: %v", clean)
+	}
+	found, _, err := RunCreditEconomy(ec, params, dts, func(_ int, accounts []core.CreditAccount) {
+		accounts[0].Usage, accounts[1].Usage = 0, 0 // feasting pair → max budget
+		accounts[2].Usage = accounts[2].Fair * 10   // thrifty tenant → floor
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("inverted tilt produced no findings")
+	}
+	var sawSI bool
+	for _, f := range found {
+		if strings.Contains(f, "long-run-si") {
+			sawSI = true
+		}
+	}
+	if !sawSI {
+		t.Fatalf("no long-run SI finding for the squeezed tenant: %v", found)
+	}
+}
+
+// TestCreditGenerators pins the parameter/interval generators to valid
+// ranges.
+func TestCreditGenerators(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := GenerateCreditParams(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.HalfLifeSeconds < 20 || p.HalfLifeSeconds > 2000 {
+			t.Fatalf("seed %d: half-life %v outside [20,2000]", seed, p.HalfLifeSeconds)
+		}
+		dts := GenerateCreditDts(rng, p, DefaultCreditRounds)
+		if len(dts) != DefaultCreditRounds {
+			t.Fatalf("seed %d: %d intervals", seed, len(dts))
+		}
+		for i, dt := range dts {
+			if dt <= 0 {
+				t.Fatalf("seed %d: dt[%d] = %v", seed, i, dt)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ package check
 import (
 	"fmt"
 
+	"ref/internal/cobb"
 	"ref/internal/core"
 	"ref/internal/fair"
 	"ref/internal/mech"
@@ -60,6 +61,85 @@ func AuditSnapshot(agents []core.Agent, capacity []float64, x opt.Alloc, maxUlps
 		}
 	}
 	out = append(out, SnapshotEq13Differential(agents, capacity, x, maxUlps)...)
+	return out
+}
+
+// AuditWeightedSnapshot is AuditSnapshot's credit-aware counterpart: the
+// published allocation is audited against the weighted Equation 13 the
+// budgets imply — feasibility, weighted sharing incentives (entitlement
+// (b_i/Σb)·C), weighted envy-freeness (bundles compared at budget ratio),
+// and the budgeted from-scratch differential. A nil budget vector falls
+// back to AuditSnapshot, so callers can pass a snapshot's budgets field
+// through unconditionally.
+func AuditWeightedSnapshot(agents []core.Agent, capacity []float64, x opt.Alloc, budgets []float64, maxUlps int64) []string {
+	if budgets == nil {
+		return AuditSnapshot(agents, capacity, x, maxUlps)
+	}
+	if len(agents) == 0 {
+		return SnapshotWeightedEq13Differential(agents, capacity, x, budgets, maxUlps)
+	}
+	ec := Economy{Agents: agents, Cap: capacity}
+	var out []string
+	for _, f := range Feasibility(true).Check(ec, mech.ProportionalElasticity{}, x) {
+		out = append(out, "feasibility: "+f)
+	}
+	utils := make([]cobb.Utility, len(agents))
+	for i := range agents {
+		utils[i] = agents[i].Utility
+	}
+	tol := fair.DefaultTolerance()
+	if res, err := fair.WeightedSharingIncentives(utils, capacity, x, budgets, tol); err != nil {
+		out = append(out, "weighted-si: "+err.Error())
+	} else {
+		for _, v := range res.Violations {
+			out = append(out, "weighted-si: "+v.String())
+		}
+	}
+	if res, err := fair.WeightedEnvyFreeness(utils, x, budgets, tol); err != nil {
+		out = append(out, "weighted-ef: "+err.Error())
+	} else {
+		for _, v := range res.Violations {
+			out = append(out, "weighted-ef: "+v.String())
+		}
+	}
+	return append(out, SnapshotWeightedEq13Differential(agents, capacity, x, budgets, maxUlps)...)
+}
+
+// SnapshotWeightedEq13Differential is SnapshotEq13Differential with the
+// budget vector threaded through to the from-scratch reference
+// (core.AllocateBudgeted).
+func SnapshotWeightedEq13Differential(agents []core.Agent, capacity []float64, x opt.Alloc, budgets []float64, maxUlps int64) []string {
+	if maxUlps <= 0 {
+		maxUlps = DefaultSnapshotUlps
+	}
+	if len(agents) == 0 {
+		if len(x) != 0 {
+			return []string{fmt.Sprintf("weighted-eq13-differential: %d rows for empty agent set", len(x))}
+		}
+		return nil
+	}
+	ref, err := core.AllocateBudgeted(agents, budgets, capacity)
+	if err != nil {
+		return []string{"weighted-eq13-differential: reference allocation error: " + err.Error()}
+	}
+	if len(x) != len(agents) {
+		return []string{fmt.Sprintf("weighted-eq13-differential: allocation has %d rows for %d agents", len(x), len(agents))}
+	}
+	var out []string
+	for i := range agents {
+		if len(x[i]) != len(capacity) {
+			out = append(out, fmt.Sprintf("weighted-eq13-differential: agent %d row has %d resources, want %d",
+				i, len(x[i]), len(capacity)))
+			continue
+		}
+		for r := range capacity {
+			if d := core.UlpDiff(x[i][r], ref.X[i][r]); d > maxUlps {
+				out = append(out, fmt.Sprintf(
+					"weighted-eq13-differential: agent %d (%s) resource %d: published %v vs from-scratch %v (%d ulps apart)",
+					i, agents[i].Name, r, x[i][r], ref.X[i][r], d))
+			}
+		}
+	}
 	return out
 }
 

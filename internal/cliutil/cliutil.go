@@ -1,0 +1,97 @@
+// Package cliutil declares the flags every REF command shares — the same
+// names, defaults, and help text everywhere, written once. Before this
+// package each of the six CLIs carried its own slightly-divergent copy of
+// -parallelism, -metrics-addr, -run-manifest, and -seed; divergence in
+// help text was harmless, divergence in defaults would not have been.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Canonical help strings. Commands that need to say more do it in their
+// package comment, not by forking the flag text.
+const (
+	parallelismUsage = "worker pool width (0 = $REF_PARALLELISM, else GOMAXPROCS)"
+	metricsUsage     = "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration"
+	manifestUsage    = "write a structured JSON run manifest to this path on exit"
+	seedUsage        = "deterministic base seed"
+)
+
+// ParallelismVar registers the canonical -parallelism flag on fs.
+func ParallelismVar(fs *flag.FlagSet, p *int) {
+	fs.IntVar(p, "parallelism", 0, parallelismUsage)
+}
+
+// MetricsAddrVar registers the canonical -metrics-addr flag on fs.
+func MetricsAddrVar(fs *flag.FlagSet, p *string) {
+	fs.StringVar(p, "metrics-addr", "", metricsUsage)
+}
+
+// RunManifestVar registers the canonical -run-manifest flag on fs.
+func RunManifestVar(fs *flag.FlagSet, p *string) {
+	fs.StringVar(p, "run-manifest", "", manifestUsage)
+}
+
+// SeedVar registers the canonical -seed flag on fs. The default is 1 —
+// every REF command's runs are reproducible by construction, so there is
+// no "random" seed to fall back to. A non-empty usage overrides the
+// generic text with the command's specific meaning of the seed.
+func SeedVar(fs *flag.FlagSet, p *int64, usage string) {
+	if usage == "" {
+		usage = seedUsage
+	}
+	fs.Int64Var(p, "seed", 1, usage)
+}
+
+// CreditFlags bundles the time-aware credit-ledger flags shared by the
+// commands that boot or replay an allocation server. The zero value means
+// credits off — the byte-identical classic path.
+type CreditFlags struct {
+	// HalfLife is the usage half-life; 0 disables the ledger entirely.
+	HalfLife time.Duration
+	// MinBudget / MaxBudget clamp the budget tilt (0 = serve defaults).
+	MinBudget float64
+	MaxBudget float64
+}
+
+// CreditVar registers -half-life, -credit-min, and -credit-max on fs.
+func CreditVar(fs *flag.FlagSet, c *CreditFlags) {
+	fs.DurationVar(&c.HalfLife, "half-life", 0,
+		"credit-ledger usage half-life; sustained over-use tilts budgets down, thrift tilts them up (0 = credits off)")
+	fs.Float64Var(&c.MinBudget, "credit-min", 0,
+		"credit budget floor in (0,1] (0 = default 0.5; needs -half-life)")
+	fs.Float64Var(&c.MaxBudget, "credit-max", 0,
+		"credit budget ceiling ≥ 1 (0 = default 2; needs -half-life)")
+}
+
+// Enabled reports whether the flags ask for the ledger at all.
+func (c *CreditFlags) Enabled() bool { return c.HalfLife > 0 }
+
+// Validate rejects clamp flags without a half-life — silently ignoring
+// them would read as "credits on" to the operator.
+func (c *CreditFlags) Validate() error {
+	if !c.Enabled() && (c.MinBudget != 0 || c.MaxBudget != 0) {
+		return fmt.Errorf("-credit-min/-credit-max need -half-life > 0")
+	}
+	return nil
+}
+
+// ParseFloats parses a comma-separated float list ("24,12"), the wire
+// format of every capacity flag.
+func ParseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestSharedFlagsParse pins the canonical names and defaults: one flag
+// set carrying all shared flags parses a full command line, and the zero
+// command line yields the documented defaults.
+func TestSharedFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var (
+		par      int
+		metrics  string
+		manifest string
+		seed     int64
+		credit   CreditFlags
+	)
+	ParallelismVar(fs, &par)
+	MetricsAddrVar(fs, &metrics)
+	RunManifestVar(fs, &manifest)
+	SeedVar(fs, &seed, "")
+	CreditVar(fs, &credit)
+
+	if err := fs.Parse([]string{
+		"-parallelism", "4", "-metrics-addr", ":9090", "-run-manifest", "m.json",
+		"-seed", "42", "-half-life", "30s", "-credit-min", "0.6", "-credit-max", "1.5",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if par != 4 || metrics != ":9090" || manifest != "m.json" || seed != 42 {
+		t.Fatalf("parsed %d %q %q %d", par, metrics, manifest, seed)
+	}
+	if credit.HalfLife != 30*time.Second || credit.MinBudget != 0.6 || credit.MaxBudget != 1.5 {
+		t.Fatalf("parsed credit %+v", credit)
+	}
+	if !credit.Enabled() {
+		t.Fatal("half-life 30s should enable credits")
+	}
+	if err := credit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	var seed2 int64
+	var credit2 CreditFlags
+	SeedVar(fs2, &seed2, "")
+	CreditVar(fs2, &credit2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if seed2 != 1 {
+		t.Fatalf("default seed %d, want 1", seed2)
+	}
+	if credit2.Enabled() {
+		t.Fatal("credits default to off")
+	}
+	if err := credit2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreditFlagsValidate: clamps without a half-life are an operator
+// error, not a silent no-op.
+func TestCreditFlagsValidate(t *testing.T) {
+	c := CreditFlags{MinBudget: 0.5}
+	if err := c.Validate(); err == nil {
+		t.Fatal("-credit-min without -half-life should be rejected")
+	}
+	c = CreditFlags{MaxBudget: 2}
+	if err := c.Validate(); err == nil {
+		t.Fatal("-credit-max without -half-life should be rejected")
+	}
+	c = CreditFlags{HalfLife: time.Minute, MinBudget: 0.5, MaxBudget: 2}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseFloats pins the capacity wire format.
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 24, 12 ")
+	if err != nil || len(got) != 2 || got[0] != 24 || got[1] != 12 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ParseFloats("24,x"); err == nil {
+		t.Fatal("bad number accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ref/internal/cobb"
+)
+
+// These differentials pin the tentpole invariant of the weighted
+// mechanism: at unit budgets every budget-aware code path is
+// bit-identical to the classic equal-income path — not merely close, the
+// same IEEE doubles. The credit ledger is invisible until it tilts a
+// budget away from 1.
+
+func randEconomy(rng *rand.Rand, n, nRes int) ([]Agent, []float64) {
+	agents := make([]Agent, n)
+	for i := range agents {
+		alpha := make([]float64, nRes)
+		for r := range alpha {
+			alpha[r] = 0.05 + 2*rng.Float64()
+		}
+		agents[i] = Agent{Name: fmt.Sprintf("a%d", i), Utility: cobb.MustNew(0.5+rng.Float64(), alpha...)}
+	}
+	cap := make([]float64, nRes)
+	for r := range cap {
+		cap[r] = 1 + 99*rng.Float64()
+	}
+	return agents, cap
+}
+
+// TestAllocateBudgetedUnitIdentity: AllocateBudgeted under an explicit
+// all-ones budget vector returns the same matrix as Allocate, bit for
+// bit, across random economies.
+func TestAllocateBudgetedUnitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n, nRes := 1+rng.Intn(12), 1+rng.Intn(5)
+		agents, cap := randEconomy(rng, n, nRes)
+		classic, err := Allocate(agents, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		weighted, err := AllocateBudgeted(agents, ones, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range agents {
+			for r := range cap {
+				if classic.X[i][r] != weighted.X[i][r] {
+					t.Fatalf("trial %d agent %d resource %d: classic %v, unit-budget %v",
+						trial, i, r, classic.X[i][r], weighted.X[i][r])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalUnitBudgetIdentity drives two incremental allocators
+// through the same churn history — one via the classic Upsert, one via
+// UpsertBudget at budget 1 plus redundant SetBudget(1) retilts — and
+// requires every row they publish to be bit-identical at every epoch.
+func TestIncrementalUnitBudgetIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	capacity := []float64{24, 12, 8}
+	classic, err := NewIncrementalAllocator(capacity, IncrementalOptions{ResumEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewIncrementalAllocator(capacity, IncrementalOptions{ResumEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	for epoch := 0; epoch < 40; epoch++ {
+		for step := 0; step < 25; step++ {
+			name := fmt.Sprintf("t%d", rng.Intn(60))
+			switch {
+			case live[name] && rng.Float64() < 0.3:
+				if err := classic.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+				if err := unit.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, name)
+			default:
+				alpha := make([]float64, len(capacity))
+				for r := range alpha {
+					alpha[r] = 0.05 + 2*rng.Float64()
+				}
+				u := cobb.MustNew(1, alpha...)
+				if err := classic.Upsert(name, u); err != nil {
+					t.Fatal(err)
+				}
+				if err := unit.UpsertBudget(name, u, 1); err != nil {
+					t.Fatal(err)
+				}
+				live[name] = true
+			}
+		}
+		// A unit-budget retilt must be a no-op on the sums.
+		for name := range live {
+			if rng.Float64() < 0.2 {
+				if err := unit.SetBudget(name, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		classic.EndEpoch()
+		unit.EndEpoch()
+
+		cs := classic.Sums(nil)
+		us := unit.Sums(nil)
+		for r := range cs {
+			if cs[r] != us[r] {
+				t.Fatalf("epoch %d resource %d: classic sum %v, unit-budget sum %v", epoch, r, cs[r], us[r])
+			}
+		}
+		for name := range live {
+			crow, err := classic.Row(name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			urow, err := unit.Row(name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range crow {
+				if crow[r] != urow[r] {
+					t.Fatalf("epoch %d agent %s resource %d: classic %v, unit-budget %v",
+						epoch, name, r, crow[r], urow[r])
+				}
+			}
+			if b := unit.Budget(name); b != 1 {
+				t.Fatalf("agent %s budget drifted to %v", name, b)
+			}
+		}
+	}
+}
+
+// TestScaleWeightsUnitAlias: at budget exactly 1 ScaleWeights returns
+// the input slice itself — zero copies, zero multiplications, so the
+// unit-budget path cannot perturb a single bit.
+func TestScaleWeightsUnitAlias(t *testing.T) {
+	w := []float64{0.3, 0.7}
+	dst := make([]float64, 2)
+	got := ScaleWeights(dst, w, 1)
+	if &got[0] != &w[0] {
+		t.Fatal("ScaleWeights at budget 1 must alias the input slice")
+	}
+	got = ScaleWeights(dst, w, 0.5)
+	if &got[0] != &dst[0] || got[0] != 0.15 || got[1] != 0.35 {
+		t.Fatalf("ScaleWeights at budget 0.5 = %v (aliased dst: %v)", got, &got[0] == &dst[0])
+	}
+}
+
+// TestRowFromSumsBudgetedUnitIdentity: the budgeted row kernel at budget
+// 1 is the classic kernel, bit for bit, including the equal-split
+// fallback when no one demands a resource.
+func TestRowFromSumsBudgetedUnitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		nRes := 1 + rng.Intn(5)
+		w := make([]float64, nRes)
+		sums := make([]float64, nRes)
+		capacity := make([]float64, nRes)
+		for r := range w {
+			w[r] = 2 * rng.Float64()
+			sums[r] = w[r] + 5*rng.Float64()
+			if rng.Float64() < 0.1 {
+				w[r], sums[r] = 0, 0 // nobody wants r: equal-split fallback
+			}
+			capacity[r] = 1 + 99*rng.Float64()
+		}
+		n := 1 + rng.Intn(20)
+		classic := RowFromSums(nil, w, sums, capacity, n)
+		unit := RowFromSumsBudgeted(nil, w, 1, sums, capacity, n)
+		for r := range classic {
+			if classic[r] != unit[r] {
+				t.Fatalf("trial %d resource %d: classic %v, unit-budget %v", trial, r, classic[r], unit[r])
+			}
+		}
+	}
+}

@@ -43,6 +43,9 @@ type Allocation struct {
 	X opt.Alloc
 	// Rescaled holds each agent's rescaled utility û (Equation 12's α̂).
 	Rescaled []cobb.Utility
+	// Budgets holds the per-agent budgets the allocation was computed
+	// under, or nil for unit budgets (the classic equal-income mechanism).
+	Budgets []float64
 }
 
 func validateAgents(agents []Agent, cap []float64) error {
@@ -69,8 +72,19 @@ func validateAgents(agents []Agent, cap []float64) error {
 	return nil
 }
 
-// Allocate runs the proportional elasticity mechanism (Equation 13).
+// Allocate runs the proportional elasticity mechanism (Equation 13) at unit
+// budgets.
 func Allocate(agents []Agent, cap []float64) (*Allocation, error) {
+	return AllocateBudgeted(agents, nil, cap)
+}
+
+// AllocateBudgeted runs the budget-weighted mechanism: agent i's effective
+// weight on resource r is B_i·α̂_ir, making the outcome the CEEI with
+// incomes B instead of equal incomes. A nil budgets slice means unit
+// budgets, and the result is then bit-identical to Allocate — the weighted
+// path is invisible until a caller (such as the serve layer's credit
+// ledger) tilts budgets away from 1.
+func AllocateBudgeted(agents []Agent, budgets []float64, cap []float64) (*Allocation, error) {
 	if err := validateAgents(agents, cap); err != nil {
 		return nil, err
 	}
@@ -80,16 +94,20 @@ func Allocate(agents []Agent, cap []float64) (*Allocation, error) {
 		rescaled[i] = a.Utility.Rescaled()
 		weights[i] = rescaled[i].Alpha
 	}
-	x, err := opt.Proportional(weights, cap)
+	x, err := opt.ProportionalBudgeted(weights, budgets, cap)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Allocation{
+	out := &Allocation{
 		Agents:   append([]Agent(nil), agents...),
 		Capacity: append([]float64(nil), cap...),
 		X:        x,
 		Rescaled: rescaled,
-	}, nil
+	}
+	if budgets != nil {
+		out.Budgets = append([]float64(nil), budgets...)
+	}
+	return out, nil
 }
 
 // Utility returns agent i's (original, unrescaled) utility at its allocation.

@@ -31,13 +31,24 @@ type IncrementalAllocator struct {
 
 	// Dense agent storage: removal swap-deletes, so iteration order is a
 	// deterministic function of the operation history (which keeps exact
-	// resummation deterministic too).
+	// resummation deterministic too). weights holds the base rescaled
+	// elasticities; budgets the per-agent budget multiplier (1 unless a
+	// caller tilts it). The running sums accumulate the effective weight
+	// budget·α̂, and because multiplying by exactly 1.0 is exact in IEEE
+	// arithmetic, unit budgets leave every sum bit-identical to the
+	// pre-budget engine.
 	idx     map[string]int
 	names   []string
 	weights [][]float64
+	budgets []float64
 
 	sums  []CompSum
 	churn []float64
+
+	// effOld/effNew are O(R) scratch for budget-scaled weight vectors so
+	// delta application never allocates.
+	effOld []float64
+	effNew []float64
 
 	epochsSinceResum int
 	resumEvery       int
@@ -81,9 +92,25 @@ func NewIncrementalAllocator(capacity []float64, opts IncrementalOptions) (*Incr
 		idx:        make(map[string]int),
 		sums:       make([]CompSum, r),
 		churn:      make([]float64, r),
+		effOld:     make([]float64, r),
+		effNew:     make([]float64, r),
 		resumEvery: opts.ResumEvery,
 		driftRatio: opts.DriftRatio,
 	}, nil
+}
+
+// ScaleWeights writes budget·w into dst when the budget differs from 1 and
+// returns it; at a budget of exactly 1 it returns w itself, keeping the
+// unit-budget path bit-identical (and copy-free). Callers must treat the
+// result as read-only.
+func ScaleWeights(dst, w []float64, budget float64) []float64 {
+	if budget == 1 {
+		return w
+	}
+	for r := range w {
+		dst[r] = budget * w[r]
+	}
+	return dst
 }
 
 // Len returns the number of agents.
@@ -97,8 +124,18 @@ func (a *IncrementalAllocator) NumResources() int { return len(a.cap) }
 func (a *IncrementalAllocator) Capacity() []float64 { return a.cap }
 
 // Upsert joins a new agent or re-declares an existing one, applying the
-// O(R) weight delta to the running sums.
+// O(R) weight delta to the running sums. A new agent starts at budget 1; a
+// re-declare keeps the agent's current budget.
 func (a *IncrementalAllocator) Upsert(name string, u cobb.Utility) error {
+	if i, ok := a.idx[name]; ok {
+		return a.UpsertBudget(name, u, a.budgets[i])
+	}
+	return a.UpsertBudget(name, u, 1)
+}
+
+// UpsertBudget joins or re-declares an agent with an explicit budget,
+// applying the effective-weight (budget·α̂) delta in O(R).
+func (a *IncrementalAllocator) UpsertBudget(name string, u cobb.Utility, budget float64) error {
 	if err := u.Validate(); err != nil {
 		return fmt.Errorf("%w: agent %s: %v", ErrBadInput, name, err)
 	}
@@ -106,16 +143,51 @@ func (a *IncrementalAllocator) Upsert(name string, u cobb.Utility) error {
 		return fmt.Errorf("%w: agent %s has %d resources, system has %d",
 			ErrBadInput, name, u.NumResources(), len(a.cap))
 	}
+	if err := validateBudget(name, budget); err != nil {
+		return err
+	}
 	w := u.Rescaled().Alpha
 	if i, ok := a.idx[name]; ok {
-		ApplyWeightDelta(a.sums, a.churn, a.weights[i], w)
+		oldEff := ScaleWeights(a.effOld, a.weights[i], a.budgets[i])
+		newEff := ScaleWeights(a.effNew, w, budget)
+		ApplyWeightDelta(a.sums, a.churn, oldEff, newEff)
 		a.weights[i] = w
+		a.budgets[i] = budget
 		return nil
 	}
 	a.idx[name] = len(a.names)
 	a.names = append(a.names, name)
 	a.weights = append(a.weights, w)
-	ApplyWeightDelta(a.sums, a.churn, nil, w)
+	a.budgets = append(a.budgets, budget)
+	ApplyWeightDelta(a.sums, a.churn, nil, ScaleWeights(a.effNew, w, budget))
+	return nil
+}
+
+// SetBudget retilts an existing agent's budget — an O(R) weight delta, the
+// same cost as any other update, which is what lets a credit ledger adjust
+// every tenant it touches each epoch without a global recompute.
+func (a *IncrementalAllocator) SetBudget(name string, budget float64) error {
+	i, ok := a.idx[name]
+	if !ok {
+		return fmt.Errorf("%w: no agent named %q", ErrBadInput, name)
+	}
+	if err := validateBudget(name, budget); err != nil {
+		return err
+	}
+	if budget == a.budgets[i] {
+		return nil
+	}
+	oldEff := ScaleWeights(a.effOld, a.weights[i], a.budgets[i])
+	newEff := ScaleWeights(a.effNew, a.weights[i], budget)
+	ApplyWeightDelta(a.sums, a.churn, oldEff, newEff)
+	a.budgets[i] = budget
+	return nil
+}
+
+func validateBudget(name string, budget float64) error {
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return fmt.Errorf("%w: agent %s budget = %v, must be positive and finite", ErrBadInput, name, budget)
+	}
 	return nil
 }
 
@@ -125,15 +197,17 @@ func (a *IncrementalAllocator) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: no agent named %q", ErrBadInput, name)
 	}
-	ApplyWeightDelta(a.sums, a.churn, a.weights[i], nil)
+	ApplyWeightDelta(a.sums, a.churn, ScaleWeights(a.effOld, a.weights[i], a.budgets[i]), nil)
 	last := len(a.names) - 1
 	if i != last {
 		a.names[i] = a.names[last]
 		a.weights[i] = a.weights[last]
+		a.budgets[i] = a.budgets[last]
 		a.idx[a.names[i]] = i
 	}
 	a.names = a.names[:last]
 	a.weights = a.weights[:last]
+	a.budgets = a.budgets[:last]
 	delete(a.idx, name)
 	return nil
 }
@@ -163,7 +237,13 @@ func (a *IncrementalAllocator) Resum() {
 		a.sums[r].Reset()
 		a.churn[r] = 0
 	}
-	for _, w := range a.weights {
+	for i, w := range a.weights {
+		if b := a.budgets[i]; b != 1 {
+			for r := range a.sums {
+				a.sums[r].Add(b * w[r])
+			}
+			continue
+		}
 		for r := range a.sums {
 			a.sums[r].Add(w[r])
 		}
@@ -195,12 +275,22 @@ func (a *IncrementalAllocator) Sums(dst []float64) []float64 {
 // the allocator, the serve layer's point reads, and snapshot
 // materialization — shares, so their values cannot drift apart.
 func RowFromSums(dst, weight, sums, capacity []float64, n int) []float64 {
+	return RowFromSumsBudgeted(dst, weight, 1, sums, capacity, n)
+}
+
+// RowFromSumsBudgeted is the weighted row formula: the agent's effective
+// weight budget·w_r over the effective-weight sums. At a budget of exactly
+// 1 the multiplication is exact, so the result is bit-identical to the
+// unweighted RowFromSums. The equal-split fallback for a resource nobody
+// values stays budget-blind on purpose: tilting the split of a resource no
+// utility depends on would change bytes without changing anyone's welfare.
+func RowFromSumsBudgeted(dst, weight []float64, budget float64, sums, capacity []float64, n int) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(capacity))
 	}
 	for r := range capacity {
 		if sums[r] > 0 {
-			dst[r] = weight[r] / sums[r] * capacity[r]
+			dst[r] = budget * weight[r] / sums[r] * capacity[r]
 		} else {
 			dst[r] = capacity[r] / float64(n)
 		}
@@ -216,7 +306,7 @@ func (a *IncrementalAllocator) Row(name string, dst []float64) ([]float64, error
 		return nil, fmt.Errorf("%w: no agent named %q", ErrBadInput, name)
 	}
 	sums := a.Sums(make([]float64, len(a.sums)))
-	return RowFromSums(dst, a.weights[i], sums, a.cap, len(a.names)), nil
+	return RowFromSumsBudgeted(dst, a.weights[i], a.budgets[i], sums, a.cap, len(a.names)), nil
 }
 
 // Weight returns the cached rescaled elasticity vector of one agent (not
@@ -228,10 +318,26 @@ func (a *IncrementalAllocator) Weight(name string) []float64 {
 	return nil
 }
 
+// Budget returns one agent's current budget, or 0 when absent.
+func (a *IncrementalAllocator) Budget(name string) float64 {
+	if i, ok := a.idx[name]; ok {
+		return a.budgets[i]
+	}
+	return 0
+}
+
 // Each visits every agent with its cached weight vector in the dense
 // (deterministic) iteration order.
 func (a *IncrementalAllocator) Each(fn func(name string, weight []float64)) {
 	for i, n := range a.names {
 		fn(n, a.weights[i])
+	}
+}
+
+// EachBudgeted visits every agent with its base weight vector and budget in
+// the dense (deterministic) iteration order.
+func (a *IncrementalAllocator) EachBudgeted(fn func(name string, weight []float64, budget float64)) {
+	for i, n := range a.names {
+		fn(n, a.weights[i], a.budgets[i])
 	}
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigMirror is an exact reference accumulator: a big.Float wide enough
+// (256 bits) that adding and removing float64 values never rounds.
+type bigMirror struct{ v *big.Float }
+
+func newBigMirror() *bigMirror {
+	return &bigMirror{v: new(big.Float).SetPrec(256)}
+}
+
+func (m *bigMirror) add(x float64) {
+	m.v.Add(m.v, new(big.Float).SetPrec(256).SetFloat64(x))
+}
+
+func (m *bigMirror) sub(x float64) { m.add(-x) }
+
+func (m *bigMirror) value() float64 {
+	f, _ := m.v.Float64()
+	return f
+}
+
+// assertNearExact checks a CompSum value against the exact big.Float
+// reference under the accumulator's documented error model: each Add
+// introduces at most eps² of the peak operand magnitude, so over ops
+// operations the absolute error is bounded by ops·eps²·peak. A few ulps
+// of slack cover the final hi+lo rounding.
+func assertNearExact(t *testing.T, label string, got, want float64, ops int, peak float64) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	const eps = 0x1p-52
+	bound := float64(ops) * eps * eps * peak
+	if d := UlpDiff(got, want); d > 4 && math.Abs(got-want) > bound {
+		t.Fatalf("%s: CompSum %v vs exact %v (%d ulps, |diff| %g > bound %g)",
+			label, got, want, d, math.Abs(got-want), bound)
+	}
+}
+
+// TestCompSumVsBigFloatAdversarial drives the compensated sum through
+// the worst regime a fairness ledger can produce — operands spanning
+// twelve orders of magnitude, signs chosen to force cancellation, and
+// add/remove cycles that return the running total to a value far below
+// the peak — and requires agreement with a 256-bit exact reference
+// within the documented eps²-per-operation error model. A naive float64
+// sum loses everything here; the pair representation must not.
+func TestCompSumVsBigFloatAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var s CompSum
+		exact := newBigMirror()
+		resident := []float64{}
+		peak := 0.0
+		ops := 0
+
+		steps := 200 + rng.Intn(800)
+		for i := 0; i < steps; i++ {
+			if len(resident) > 0 && rng.Float64() < 0.45 {
+				// Remove a previously added value: cancellation on purpose.
+				j := rng.Intn(len(resident))
+				v := resident[j]
+				resident[j] = resident[len(resident)-1]
+				resident = resident[:len(resident)-1]
+				s.Sub(v)
+				exact.sub(v)
+			} else {
+				// Magnitude spread ~1e12: exponent drawn uniformly from
+				// [1e-6, 1e6], sign biased so the total keeps crossing zero.
+				v := math.Pow(10, -6+12*rng.Float64())
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				resident = append(resident, v)
+				s.Add(v)
+				exact.add(v)
+				if a := math.Abs(v); a > peak {
+					peak = a
+				}
+			}
+			ops++
+			if a := math.Abs(s.Value()); a > peak {
+				peak = a
+			}
+		}
+		assertNearExact(t, "mid-stream", s.Value(), exact.value(), ops, peak)
+
+		// Drain everything that remains: the exact sum returns to zero and
+		// the compensated sum must land within the same error budget of it.
+		for _, v := range resident {
+			s.Sub(v)
+			exact.sub(v)
+			ops++
+		}
+		assertNearExact(t, "drained", s.Value(), exact.value(), ops, peak)
+	}
+}
+
+// TestCompSumMergeVsBigFloat pins Merge, the shard-combining path: the
+// fold of per-shard compensated sums must agree with the exact sum of
+// every underlying operand, compensation terms included.
+func TestCompSumMergeVsBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		const shards = 8
+		parts := make([]CompSum, shards)
+		exact := newBigMirror()
+		peak := 0.0
+		ops := 0
+		for i := 0; i < 2000; i++ {
+			v := math.Pow(10, -6+12*rng.Float64())
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			parts[rng.Intn(shards)].Add(v)
+			exact.add(v)
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+			ops++
+		}
+		var total CompSum
+		for _, p := range parts {
+			total.Merge(p)
+			ops += 2
+		}
+		assertNearExact(t, "merged", total.Value(), exact.value(), ops, peak)
+	}
+}
+
+// TestApplyWeightDeltaVsBigFloat replays a churn history — joins,
+// re-declarations, and leaves with per-resource weights spanning the
+// adversarial magnitude range — through ApplyWeightDelta and requires
+// the incremental per-resource sums to match an exact per-resource
+// reference. This is the arithmetic the million-agent epoch engine
+// trusts instead of resumming.
+func TestApplyWeightDeltaVsBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const nRes = 3
+	for trial := 0; trial < 20; trial++ {
+		sums := make([]CompSum, nRes)
+		exact := make([]*bigMirror, nRes)
+		for r := range exact {
+			exact[r] = newBigMirror()
+		}
+		live := map[int][]float64{}
+		peak := 0.0
+		ops := 0
+
+		randW := func() []float64 {
+			w := make([]float64, nRes)
+			for r := range w {
+				w[r] = math.Pow(10, -6+12*rng.Float64())
+				if w[r] > peak {
+					peak = w[r]
+				}
+			}
+			return w
+		}
+
+		for i := 0; i < 3000; i++ {
+			id := rng.Intn(400)
+			old := live[id]
+			var next []float64
+			switch {
+			case old == nil: // join
+				next = randW()
+			case rng.Float64() < 0.3: // leave
+				next = nil
+			default: // re-declaration
+				next = randW()
+			}
+			ApplyWeightDelta(sums, nil, old, next)
+			for r := 0; r < nRes; r++ {
+				if old != nil {
+					exact[r].sub(old[r])
+				}
+				if next != nil {
+					exact[r].add(next[r])
+				}
+			}
+			if next == nil {
+				delete(live, id)
+			} else {
+				live[id] = next
+			}
+			ops += 2
+		}
+		for r := 0; r < nRes; r++ {
+			assertNearExact(t, "resource sum", sums[r].Value(), exact[r].value(), ops, peak)
+		}
+
+		// Full drain: every remaining agent leaves, and the sums must
+		// return to within the error budget of exactly zero.
+		for _, w := range live {
+			ApplyWeightDelta(sums, nil, w, nil)
+			for r := 0; r < nRes; r++ {
+				exact[r].sub(w[r])
+			}
+			ops++
+		}
+		for r := 0; r < nRes; r++ {
+			assertNearExact(t, "drained resource sum", sums[r].Value(), exact[r].value(), ops, peak)
+		}
+	}
+}
+
+// TestApplyWeightDeltaChurnAccounting pins the churn side-channel: the
+// absolute magnitude moved through each sum, which the drift-triggered
+// resummation policy compares against the live total.
+func TestApplyWeightDeltaChurnAccounting(t *testing.T) {
+	sums := make([]CompSum, 2)
+	churn := make([]float64, 2)
+	ApplyWeightDelta(sums, churn, nil, []float64{3, 4})
+	ApplyWeightDelta(sums, churn, []float64{3, 4}, []float64{1, 2})
+	ApplyWeightDelta(sums, churn, []float64{1, 2}, nil)
+	if churn[0] != 3+3+1+1 || churn[1] != 4+4+2+2 {
+		t.Fatalf("churn = %v, want [8 12]", churn)
+	}
+	if sums[0].Value() != 0 || sums[1].Value() != 0 {
+		t.Fatalf("sums = [%v %v], want zeros", sums[0].Value(), sums[1].Value())
+	}
+}

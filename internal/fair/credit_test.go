@@ -1,0 +1,286 @@
+package fair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ref/internal/cobb"
+	"ref/internal/core"
+)
+
+func randomEconomy(t *testing.T, rng *rand.Rand, n, r int) ([]string, []core.Agent, []float64) {
+	t.Helper()
+	names := make([]string, n)
+	agents := make([]core.Agent, n)
+	for i := range agents {
+		alpha := make([]float64, r)
+		for j := range alpha {
+			alpha[j] = 0.1 + rng.Float64()
+		}
+		u, err := cobb.New(1, alpha...)
+		if err != nil {
+			t.Fatalf("cobb.New: %v", err)
+		}
+		names[i] = string(rune('a' + i))
+		agents[i] = core.Agent{Name: names[i], Utility: u}
+	}
+	cap := make([]float64, r)
+	for j := range cap {
+		cap[j] = 4 + 8*rng.Float64()
+	}
+	return names, agents, cap
+}
+
+func utilsOf(agents []core.Agent) []cobb.Utility {
+	out := make([]cobb.Utility, len(agents))
+	for i, a := range agents {
+		out[i] = a.Utility
+	}
+	return out
+}
+
+// At unit budgets the weighted audits must agree with the classic ones on
+// the same allocation.
+func TestWeightedAuditsReduceToClassicAtUnitBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		_, agents, cap := randomEconomy(t, rng, 2+rng.Intn(6), 1+rng.Intn(3))
+		alloc, err := core.Allocate(agents, cap)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		utils := utilsOf(agents)
+		ones := make([]float64, len(agents))
+		for i := range ones {
+			ones[i] = 1
+		}
+		tol := DefaultTolerance()
+		si, err := SharingIncentives(utils, cap, alloc.X, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsi, err := WeightedSharingIncentives(utils, cap, alloc.X, ones, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si.Satisfied != wsi.Satisfied || !si.Satisfied {
+			t.Fatalf("trial %d: SI=%v weighted SI=%v", trial, si.Satisfied, wsi.Satisfied)
+		}
+		ef, err := EnvyFreeness(utils, alloc.X, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wef, err := WeightedEnvyFreeness(utils, alloc.X, ones, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef.Satisfied != wef.Satisfied || !ef.Satisfied {
+			t.Fatalf("trial %d: EF=%v weighted EF=%v", trial, ef.Satisfied, wef.Satisfied)
+		}
+	}
+}
+
+// The budget-weighted mechanism satisfies weighted SI and weighted EF by
+// construction (weighted CEEI), for any positive budget vector.
+func TestWeightedMechanismSatisfiesWeightedProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		_, agents, cap := randomEconomy(t, rng, 2+rng.Intn(6), 1+rng.Intn(3))
+		budgets := make([]float64, len(agents))
+		for i := range budgets {
+			budgets[i] = 0.25 + 4*rng.Float64()
+		}
+		alloc, err := core.AllocateBudgeted(agents, budgets, cap)
+		if err != nil {
+			t.Fatalf("AllocateBudgeted: %v", err)
+		}
+		utils := utilsOf(agents)
+		tol := DefaultTolerance()
+		wsi, err := WeightedSharingIncentives(utils, cap, alloc.X, budgets, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wsi.Satisfied {
+			t.Fatalf("trial %d: weighted SI violated: %v", trial, wsi.Violations)
+		}
+		wef, err := WeightedEnvyFreeness(utils, alloc.X, budgets, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wef.Satisfied {
+			t.Fatalf("trial %d: weighted EF violated: %v", trial, wef.Violations)
+		}
+	}
+}
+
+// Unweighted EF genuinely breaks under tilted budgets (the down-tilted
+// agent envies the credited one) — which is exactly why the weighted form
+// exists. This guards against WeightedEnvyFreeness accidentally ignoring
+// its budget argument.
+func TestWeightedEnvyScalingMatters(t *testing.T) {
+	uA, _ := cobb.New(1, 0.5, 0.5)
+	uB, _ := cobb.New(1, 0.5, 0.5)
+	agents := []core.Agent{{Name: "a", Utility: uA}, {Name: "b", Utility: uB}}
+	cap := []float64{8, 8}
+	budgets := []float64{0.5, 2}
+	alloc, err := core.AllocateBudgeted(agents, budgets, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := utilsOf(agents)
+	ef, err := EnvyFreeness(utils, alloc.X, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Satisfied {
+		t.Fatal("classic EF unexpectedly holds under a 4x budget tilt")
+	}
+	wef, err := WeightedEnvyFreeness(utils, alloc.X, budgets, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wef.Satisfied {
+		t.Fatalf("weighted EF violated: %v", wef.Violations)
+	}
+}
+
+// creditRound drives one honest round of the credit mechanism: budgets
+// from the ledger, allocation from the weighted mechanism, accrual from
+// realized shares. corrupt, when non-nil, replaces the ledger's budget for
+// an agent — the mutant hook.
+func runCreditEconomy(t *testing.T, agents []core.Agent, cap []float64, params core.CreditParams,
+	rounds int, dt float64, corrupt func(name string, b float64) float64) *LongRunAuditor {
+	t.Helper()
+	params = params.WithDefaults()
+	aud := NewLongRunAuditor(LongRunConfig{Params: params})
+	accounts := make(map[string]*core.CreditAccount)
+	names := make([]string, len(agents))
+	utils := utilsOf(agents)
+	for i, a := range agents {
+		names[i] = a.Name
+		accounts[a.Name] = &core.CreditAccount{}
+	}
+	budgets := make([]float64, len(agents))
+	for round := 0; round < rounds; round++ {
+		for i, a := range agents {
+			b := params.Budget(*accounts[a.Name])
+			if corrupt != nil {
+				b = corrupt(a.Name, b)
+			}
+			budgets[i] = b
+		}
+		alloc, err := core.AllocateBudgeted(agents, budgets, cap)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := aud.Observe(names, utils, budgets, alloc.X, cap, dt); err != nil {
+			t.Fatalf("round %d: Observe: %v", round, err)
+		}
+		decay := params.Decay(dt)
+		for i, a := range agents {
+			accounts[a.Name].Accrue(decay, core.ShareRate(alloc.X[i], cap)*dt, dt/float64(len(agents)))
+		}
+	}
+	return aud
+}
+
+// An honest ledger over a symmetric-ish economy produces no findings.
+func TestLongRunAuditorHonestLedgerClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	params := core.CreditParams{HalfLifeSeconds: 20}
+	for trial := 0; trial < 20; trial++ {
+		_, agents, cap := randomEconomy(t, rng, 2+rng.Intn(5), 1+rng.Intn(3))
+		aud := runCreditEconomy(t, agents, cap, params, 200, 1, nil)
+		if f := aud.Findings(); len(f) != 0 {
+			t.Fatalf("trial %d: honest ledger produced findings: %v", trial, f)
+		}
+	}
+}
+
+// Mutant: a corrupted ledger that pins one tenant's budget far below the
+// clamp floor must trip both the starvation bound and long-run SI — this
+// is the non-vacuity proof for the oracles.
+func TestLongRunAuditorCorruptedLedgerMutant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	_, agents, cap := randomEconomy(t, rng, 4, 2)
+	params := core.CreditParams{HalfLifeSeconds: 20}
+	victim := agents[0].Name
+	aud := runCreditEconomy(t, agents, cap, params, 200, 1, func(name string, b float64) float64 {
+		if name == victim {
+			return 0.02 // far below DefaultCreditMinBudget: the clamp is broken
+		}
+		return b
+	})
+	findings := aud.Findings()
+	var sawStarve, sawSI bool
+	for _, f := range findings {
+		if len(f) >= len("starvation-bound") && f[:len("starvation-bound")] == "starvation-bound" {
+			sawStarve = true
+		}
+		if len(f) >= len("long-run-si") && f[:len("long-run-si")] == "long-run-si" {
+			sawSI = true
+		}
+	}
+	if !sawStarve || !sawSI {
+		t.Fatalf("corrupted ledger not detected: starvation=%v longrun=%v findings=%v", sawStarve, sawSI, findings)
+	}
+}
+
+// A mutant that inverts the tilt (punishing the starved, crediting the
+// feasting) must also be caught.
+func TestLongRunAuditorInvertedTiltMutant(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	_, agents, cap := randomEconomy(t, rng, 3, 2)
+	params := core.CreditParams{HalfLifeSeconds: 20}.WithDefaults()
+	aud := runCreditEconomy(t, agents, cap, params, 240, 1, func(name string, b float64) float64 {
+		// Reflect the budget across 1: credit becomes debt and vice versa,
+		// then re-clamp so budgets stay "legal"-looking.
+		inv := 1 / b
+		if inv < params.MinBudget {
+			inv = params.MinBudget
+		}
+		if inv > params.MaxBudget {
+			inv = params.MaxBudget
+		}
+		// Drive one tenant persistently to the floor regardless.
+		if name == agents[0].Name {
+			return params.MinBudget
+		}
+		return inv
+	})
+	// Pinning one symmetric tenant at MinBudget while peers sit at 1 keeps
+	// its decayed-average utility near MinBudget/(MinBudget+N-1)·N of
+	// equal split — a persistent long-run SI violation for an agent that
+	// never over-consumed.
+	findings := aud.Findings()
+	var sawSI bool
+	for _, f := range findings {
+		if len(f) >= len("long-run-si") && f[:len("long-run-si")] == "long-run-si" {
+			sawSI = true
+		}
+	}
+	if !sawSI {
+		t.Fatalf("inverted tilt not detected; findings=%v", findings)
+	}
+}
+
+// The shadow ledger inside the auditor uses the same accrual arithmetic as
+// core.CreditAccount; sanity-check decay composition: two half-lives decay
+// to a quarter.
+func TestCreditParamsDecay(t *testing.T) {
+	p := core.CreditParams{HalfLifeSeconds: 10}.WithDefaults()
+	if got := p.Decay(10); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("Decay(t½) = %v, want 0.5", got)
+	}
+	if got := p.Decay(20); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("Decay(2t½) = %v, want 0.25", got)
+	}
+	if got := p.Decay(0); got != 1 {
+		t.Fatalf("Decay(0) = %v, want 1", got)
+	}
+	var acct core.CreditAccount
+	if b := p.Budget(acct); b != 1 {
+		t.Fatalf("fresh account budget = %v, want exactly 1", b)
+	}
+}

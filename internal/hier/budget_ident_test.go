@@ -1,0 +1,106 @@
+package hier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ref/internal/core"
+)
+
+// TestUnitBudgetRetiltIdentity mirrors the serve layer's credit retilt
+// at unit budgets: two trees see the same join history, and one of them
+// additionally replays every credit-epoch retilt — a same-queue
+// AgentDelta with core.ScaleWeights(w, budget=1), exactly the call the
+// credit settlement pass makes when a tenant's budget stays at 1. The
+// epoch allocations of both trees must be bit-identical: the weighted
+// machinery is invisible until a budget actually tilts.
+func TestUnitBudgetRetiltIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	capacity := []float64{24, 12}
+	queues := []QueueConfig{
+		{Name: "prod", Quota: []float64{8, 4}},
+		{Name: "prod.web", Parent: "prod", Weight: fp(3)},
+		{Name: "prod.batch", Parent: "prod"},
+		{Name: "dev"},
+	}
+	leaves := []string{"prod.web", "prod.batch", "dev", ""}
+
+	plain := mustTree(t, capacity, queues...)
+	tilted := mustTree(t, capacity, queues...)
+
+	weights := map[string][]float64{}
+	queueOf := map[string]string{}
+	for epoch := 0; epoch < 30; epoch++ {
+		for step := 0; step < 10; step++ {
+			name := fmt.Sprintf("t%d", rng.Intn(40))
+			q, joined := queueOf[name]
+			switch {
+			case joined && rng.Float64() < 0.3:
+				for _, tr := range []*Tree{plain, tilted} {
+					if err := tr.AgentDelta(q, "", weights[name], nil); err != nil {
+						t.Fatalf("leave %s: %v", name, err)
+					}
+				}
+				delete(weights, name)
+				delete(queueOf, name)
+			default:
+				w := util(t, 0.05+2*rng.Float64(), 0.05+2*rng.Float64()).Rescaled().Alpha
+				newQ := leaves[rng.Intn(len(leaves))]
+				oldW, oldQ := weights[name], q
+				if !joined {
+					oldW, oldQ = nil, ""
+				}
+				for _, tr := range []*Tree{plain, tilted} {
+					if err := tr.AgentDelta(oldQ, newQ, oldW, w); err != nil {
+						t.Fatalf("upsert %s: %v", name, err)
+					}
+				}
+				weights[name] = w
+				queueOf[name] = newQ
+			}
+		}
+		// The credit settlement pass at unit budgets: retilt every member
+		// with its budget-scaled weight. ScaleWeights at budget 1 returns
+		// the weight slice itself, so the tilted tree sees AgentDelta with
+		// bitwise-equal old and new weights.
+		scratch := make([]float64, len(capacity))
+		for name, w := range weights {
+			eff := core.ScaleWeights(scratch, w, 1)
+			if err := tilted.AgentDelta(queueOf[name], queueOf[name], w, eff); err != nil {
+				t.Fatalf("retilt %s: %v", name, err)
+			}
+		}
+
+		pa, ta := plain.Allocate(), tilted.Allocate()
+		if len(pa.Queues) != len(ta.Queues) {
+			t.Fatalf("epoch %d: %d vs %d queues", epoch, len(pa.Queues), len(ta.Queues))
+		}
+		for i, pq := range pa.Queues {
+			tq := ta.Queues[i]
+			if pq.Name != tq.Name {
+				t.Fatalf("epoch %d: queue order diverged: %s vs %s", epoch, pq.Name, tq.Name)
+			}
+			for r := range capacity {
+				if pq.Share[r] != tq.Share[r] || pq.Fair[r] != tq.Fair[r] {
+					t.Fatalf("epoch %d queue %s resource %d: share %v vs %v, fair %v vs %v",
+						epoch, pq.Name, r, pq.Share[r], tq.Share[r], pq.Fair[r], tq.Fair[r])
+				}
+			}
+		}
+
+		// Per-agent rows derived from the published shares must agree the
+		// same way: same weights, same leaf sums, same share vector.
+		for name, w := range weights {
+			q := queueOf[name]
+			pq, tq := pa.Queue(q), ta.Queue(q)
+			prow := core.RowFromSums(nil, w, plain.LeafSums(q, nil), pq.Share, plain.LeafAgents(q))
+			trow := core.RowFromSumsBudgeted(nil, w, 1, tilted.LeafSums(q, nil), tq.Share, tilted.LeafAgents(q))
+			for r := range prow {
+				if prow[r] != trow[r] {
+					t.Fatalf("epoch %d agent %s resource %d: %v vs %v", epoch, name, r, prow[r], trow[r])
+				}
+			}
+		}
+	}
+}

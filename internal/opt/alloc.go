@@ -123,6 +123,19 @@ func (ag Agent) logUtil(x []float64) float64 {
 // them, and leaving them unallocated would waste capacity without changing
 // any utility.
 func Proportional(weights [][]float64, cap []float64) (Alloc, error) {
+	return ProportionalBudgeted(weights, nil, cap)
+}
+
+// ProportionalBudgeted computes the budget-weighted Equation 13 allocation
+// x_ir = B_i·w_ir/Σ_j B_j·w_jr · C_r — the CEEI allocation when incomes are
+// B rather than equal. A nil budgets slice means unit budgets and follows
+// the exact arithmetic of the unweighted form, so the two are bit-identical
+// there (and multiplying by a budget of exactly 1.0 is itself exact, so the
+// identity also holds element-wise for an explicit all-ones vector).
+// Resources for which every effective weight is zero are split equally
+// regardless of budgets: no agent wants them, and leaving them unallocated
+// would waste capacity without changing any utility.
+func ProportionalBudgeted(weights [][]float64, budgets []float64, cap []float64) (Alloc, error) {
 	n := len(weights)
 	if n == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrBadProblem)
@@ -135,6 +148,16 @@ func Proportional(weights [][]float64, cap []float64) (Alloc, error) {
 		for j, v := range w {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("%w: agent %d weight[%d] = %v", ErrBadProblem, i, j, v)
+			}
+		}
+	}
+	if budgets != nil {
+		if len(budgets) != n {
+			return nil, fmt.Errorf("%w: %d budgets for %d agents", ErrBadProblem, len(budgets), n)
+		}
+		for i, b := range budgets {
+			if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+				return nil, fmt.Errorf("%w: agent %d budget = %v, must be positive and finite", ErrBadProblem, i, b)
 			}
 		}
 	}
@@ -154,6 +177,9 @@ func Proportional(weights [][]float64, cap []float64) (Alloc, error) {
 		var sum, comp float64
 		for i := 0; i < n; i++ {
 			v := weights[i][j]
+			if budgets != nil {
+				v = budgets[i] * v
+			}
 			t := sum + v
 			if math.Abs(sum) >= math.Abs(v) {
 				comp += (sum - t) + v
@@ -164,8 +190,12 @@ func Proportional(weights [][]float64, cap []float64) (Alloc, error) {
 		}
 		sum += comp
 		for i := 0; i < n; i++ {
+			v := weights[i][j]
+			if budgets != nil {
+				v = budgets[i] * v
+			}
 			if sum > 0 {
-				out[i][j] = weights[i][j] / sum * cap[j]
+				out[i][j] = v / sum * cap[j]
 			} else {
 				out[i][j] = cap[j] / float64(n)
 			}

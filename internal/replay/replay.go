@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"strings"
@@ -34,7 +35,9 @@ import (
 	"time"
 
 	"ref/internal/check"
+	"ref/internal/cobb"
 	"ref/internal/core"
+	"ref/internal/fair"
 	"ref/internal/hier"
 	"ref/internal/opt"
 	"ref/internal/serve"
@@ -86,6 +89,17 @@ type Options struct {
 	// MaxUlps bounds the published-vs-from-scratch Equation 13
 	// differential (0 = check.DefaultSnapshotUlps).
 	MaxUlps int64
+	// CreditHalfLife enables the serve credit ledger with the given usage
+	// half-life (0 = credits off, the byte-identical classic path). With
+	// credits on, the harness runs its own mirror ledger from the
+	// published rows and timestamps: predicted budgets must match the
+	// published ones bit for bit, every epoch is re-audited against the
+	// weighted oracles, and the whole run feeds the long-run credit
+	// auditor.
+	CreditHalfLife time.Duration
+	// CreditMinBudget and CreditMaxBudget clamp the ledger tilt
+	// (0 = serve defaults).
+	CreditMinBudget, CreditMaxBudget float64
 }
 
 // EpochDigest pins one published epoch: identity, population, batch
@@ -174,6 +188,22 @@ type driver struct {
 
 	prevEpoch uint64
 	digests   sha256digest
+
+	// Mirror credit ledger (CreditHalfLife > 0): the harness's independent
+	// replica of the serve ledger, advanced purely from published rows and
+	// snapshot timestamps. ledger holds per-agent accounts, prevRates the
+	// share rates stored at the previous publication, prevN its population,
+	// prevTime its timestamp, and tickLeft the names that left in the
+	// current batch (their server-side ledgers are dropped, so a same-batch
+	// rejoin restarts at a neutral account). auditor accumulates the whole
+	// run for the long-run credit oracles.
+	credit    core.CreditParams
+	ledger    map[string]core.CreditAccount
+	prevRates map[string]float64
+	prevN     int
+	prevTime  time.Time
+	tickLeft  map[string]bool
+	auditor   *fair.LongRunAuditor
 }
 
 type sha256digest struct{ h []byte }
@@ -219,6 +249,9 @@ func Run(t *Trace, opts Options) (*Result, error) {
 		DeltaWindow:          opts.DeltaWindow,
 		InlineSnapshotAgents: 1 << 20, // the harness audits inline snapshots
 		FlightRecorder:       opts.FlightRecorder,
+		CreditHalfLife:       opts.CreditHalfLife,
+		CreditMinBudget:      opts.CreditMinBudget,
+		CreditMaxBudget:      opts.CreditMaxBudget,
 	}
 	if opts.ForceSampled {
 		cfg.AuditExactBelow = -1
@@ -243,6 +276,20 @@ func Run(t *Trace, opts Options) (*Result, error) {
 	}
 	if d.ulps <= 0 {
 		d.ulps = check.DefaultSnapshotUlps
+	}
+	if opts.CreditHalfLife > 0 {
+		d.credit = core.CreditParams{
+			HalfLifeSeconds: opts.CreditHalfLife.Seconds(),
+			MinBudget:       opts.CreditMinBudget,
+			MaxBudget:       opts.CreditMaxBudget,
+		}.WithDefaults()
+		if err := d.credit.Validate(); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+		d.ledger = map[string]core.CreditAccount{}
+		d.prevRates = map[string]float64{}
+		d.prevTime = ReplayT0
+		d.auditor = fair.NewLongRunAuditor(fair.LongRunConfig{Params: d.credit})
 	}
 	if opts.InjectAuditFailureEpoch > 0 {
 		cfg.AuditHook = func(f *serve.Fairness) {
@@ -282,6 +329,12 @@ func Run(t *Trace, opts Options) (*Result, error) {
 	d.res.FinalAgents = len(d.mirror)
 	d.res.Epochs = len(d.res.EpochDigests)
 	d.res.Digest = d.digests.sum()
+	if d.auditor != nil {
+		d.res.Checks++
+		for _, f := range d.auditor.Findings() {
+			d.violate("credit long-run: %s", f)
+		}
+	}
 	if d.res.truncated > 0 {
 		d.res.Violations = append(d.res.Violations,
 			fmt.Sprintf("... and %d more violations truncated", d.res.truncated))
@@ -500,6 +553,9 @@ func (d *driver) runTick(evs []Event) error {
 
 	// Apply the tick to the mirror (the trace is pre-validated, so every
 	// mutation must have been accepted).
+	if d.auditor != nil {
+		d.tickLeft = make(map[string]bool)
+	}
 	for i := range evs {
 		ev := &evs[i]
 		who := ev.Agent
@@ -522,6 +578,9 @@ func (d *driver) runTick(evs []Event) error {
 			d.mirror[ev.Agent] = mirrorAgent{wire: *plans[i].wire}
 		case OpLeave:
 			delete(d.mirror, ev.Agent)
+			if d.tickLeft != nil {
+				d.tickLeft[ev.Agent] = true
+			}
 		case OpQueueCreate:
 			d.queues[ev.Queue] = ev.QueueConfig()
 		case OpQueueDelete:
@@ -589,7 +648,7 @@ func (d *driver) checkEpoch(snap *serve.Snapshot, tick uint64, batch int, expect
 	}
 
 	// Oracle re-audit + Equation 13 differential over the published rows.
-	if len(snap.Agents) == len(names) && len(names) > 0 {
+	if len(snap.Agents) == len(names) {
 		agents := make([]core.Agent, len(snap.Agents))
 		ok := true
 		for i, wa := range snap.Agents {
@@ -601,12 +660,18 @@ func (d *driver) checkEpoch(snap *serve.Snapshot, tick uint64, batch int, expect
 			}
 			agents[i] = core.Agent{Name: wa.Name, Utility: util}
 		}
-		if ok && len(snap.Queues) == 0 {
+		// The mirror ledger settles on every epoch — including empty ones,
+		// whose elapsed time still decays nothing but advances the clock.
+		if ok && d.auditor != nil {
+			d.checkCreditSnapshot(snap, agents)
+		}
+		if ok && len(names) > 0 && len(snap.Queues) == 0 {
 			d.res.Checks += len(check.SnapshotOracles()) + 1
-			for _, f := range check.AuditSnapshot(agents, snap.Capacity, opt.Alloc(snap.Allocation), d.ulps) {
+			for _, f := range check.AuditWeightedSnapshot(agents, snap.Capacity,
+				opt.Alloc(snap.Allocation), snap.Budgets, d.ulps) {
 				d.violate("epoch %d: %s", snap.Epoch, f)
 			}
-		} else if ok {
+		} else if ok && len(names) > 0 {
 			// Flat SI/EF do not apply under a non-trivial tree (an agent
 			// in a low-weight queue rightly gets less than the global
 			// equal split); the hierarchical audit is the oracle here.
@@ -627,6 +692,10 @@ func (d *driver) checkEpoch(snap *serve.Snapshot, tick uint64, batch int, expect
 // every agent's row through the shared Equation 13 leaf formula — the
 // published incremental rows must match within the ulp budget.
 func (d *driver) checkHierSnapshot(snap *serve.Snapshot, agents []core.Agent) {
+	budgets := snap.Budgets
+	if d.auditor != nil && len(budgets) != len(agents) {
+		return // checkCreditSnapshot already recorded the shape violation
+	}
 	names := make([]string, 0, len(d.queues))
 	for name := range d.queues {
 		names = append(names, name)
@@ -641,10 +710,17 @@ func (d *driver) checkHierSnapshot(snap *serve.Snapshot, agents []core.Agent) {
 		d.violate("epoch %d: from-scratch tree rebuild: %v", snap.Epoch, err)
 		return
 	}
+	// With the credit ledger on, the tree aggregates budget-scaled
+	// effective weights — the same arithmetic the serve table feeds its
+	// tree (ScaleWeights is the identity at budget 1, bit for bit).
 	weights := make([][]float64, len(agents))
 	for i := range agents {
 		weights[i] = agents[i].Utility.Rescaled().Alpha
-		if err := tree.AgentDelta("", snap.Agents[i].Queue, nil, weights[i]); err != nil {
+		eff := weights[i]
+		if budgets != nil {
+			eff = core.ScaleWeights(make([]float64, len(weights[i])), weights[i], budgets[i])
+		}
+		if err := tree.AgentDelta("", snap.Agents[i].Queue, nil, eff); err != nil {
 			d.violate("epoch %d: from-scratch tree rebuild of %q: %v", snap.Epoch, agents[i].Name, err)
 			return
 		}
@@ -668,7 +744,11 @@ func (d *driver) checkHierSnapshot(snap *serve.Snapshot, agents []core.Agent) {
 			sums = tree.LeafSums(q, nil)
 			leafSums[q] = sums
 		}
-		row := core.RowFromSums(nil, weights[i], sums, qa.Share, tree.LeafAgents(q))
+		budget := 1.0
+		if budgets != nil {
+			budget = budgets[i]
+		}
+		row := core.RowFromSumsBudgeted(nil, weights[i], budget, sums, qa.Share, tree.LeafAgents(q))
 		for r := range row {
 			if core.UlpDiff(row[r], snap.Allocation[i][r]) > d.ulps {
 				d.violate("epoch %d: agent %q row[%d] = %v diverges from the from-scratch tree's %v (> %d ulps)",
@@ -676,6 +756,116 @@ func (d *driver) checkHierSnapshot(snap *serve.Snapshot, agents []core.Agent) {
 			}
 		}
 	}
+}
+
+// checkCreditSnapshot advances the harness's mirror credit ledger by one
+// settlement and holds the published budgets to it, bit for bit. The
+// mirror is fed nothing but what a client reads — prior snapshots' rows,
+// timestamps, and the trace's leave events — so agreement proves the
+// serve ledger is a pure function of the published stream: decay from the
+// elapsed epoch interval, usage accrued at the share rates the previous
+// publication implied, fresh joins at an exactly-unit account, and leaves
+// (including same-batch leave/rejoin flickers) resetting to neutral. The
+// rollup is re-derived the same way, and the epoch feeds the long-run
+// credit auditor whose findings land at the end of the run.
+func (d *driver) checkCreditSnapshot(snap *serve.Snapshot, agents []core.Agent) {
+	d.res.Checks++
+	t, err := time.Parse(time.RFC3339Nano, snap.Time)
+	if err != nil {
+		d.violate("epoch %d: unparseable snapshot time %q: %v", snap.Epoch, snap.Time, err)
+		return
+	}
+	if len(snap.Budgets) != len(snap.Agents) {
+		d.violate("epoch %d: %d budgets for %d agents", snap.Epoch, len(snap.Budgets), len(snap.Agents))
+		return
+	}
+	if snap.Credit == nil {
+		d.violate("epoch %d: credit ledger enabled but snapshot carries no rollup", snap.Epoch)
+		return
+	}
+
+	// Settle every tenant the previous epoch published, except those the
+	// trace removed this tick — serve drops their ledgers with their
+	// entries, so a rejoin restarts at a neutral account.
+	dt := t.Sub(d.prevTime).Seconds()
+	decay := d.credit.Decay(dt)
+	fairDt := 0.0
+	if d.prevN > 0 {
+		fairDt = dt / float64(d.prevN)
+	}
+	settled := make(map[string]core.CreditAccount, len(d.prevRates))
+	for name, rate := range d.prevRates {
+		if d.tickLeft[name] {
+			continue
+		}
+		acc := d.ledger[name]
+		acc.Accrue(decay, rate*dt, fairDt)
+		settled[name] = acc
+	}
+
+	// Predicted budgets must match the published ones exactly; the mirror
+	// then re-derives the rollup from its own accounts.
+	ledger := make(map[string]core.CreditAccount, len(snap.Agents))
+	rates := make(map[string]float64, len(snap.Agents))
+	var usageSum, fairSum, budgetSum core.CompSum
+	tiltMax, tiltMin := 1.0, 1.0
+	if len(snap.Agents) > 0 {
+		tiltMax, tiltMin = math.Inf(-1), math.Inf(1)
+	}
+	for i, wa := range snap.Agents {
+		acc := settled[wa.Name] // zero value for fresh joins: budget exactly 1
+		if want := d.credit.Budget(acc); snap.Budgets[i] != want {
+			d.violate("epoch %d: agent %q budget %v, mirror ledger predicts %v",
+				snap.Epoch, wa.Name, snap.Budgets[i], want)
+		}
+		ledger[wa.Name] = acc
+		rates[wa.Name] = core.ShareRate(snap.Allocation[i], snap.Capacity)
+		usageSum.Add(acc.Usage)
+		fairSum.Add(acc.Fair)
+		budgetSum.Add(snap.Budgets[i])
+		tiltMax = math.Max(tiltMax, snap.Budgets[i])
+		tiltMin = math.Min(tiltMin, snap.Budgets[i])
+	}
+	c := snap.Credit
+	if c.HalfLifeSeconds != d.credit.HalfLifeSeconds ||
+		c.MinBudget != d.credit.MinBudget || c.MaxBudget != d.credit.MaxBudget {
+		d.violate("epoch %d: rollup echoes params (t½=%v min=%v max=%v), configured (t½=%v min=%v max=%v)",
+			snap.Epoch, c.HalfLifeSeconds, c.MinBudget, c.MaxBudget,
+			d.credit.HalfLifeSeconds, d.credit.MinBudget, d.credit.MaxBudget)
+	}
+	if c.TiltMax != tiltMax || c.TiltMin != tiltMin {
+		d.violate("epoch %d: rollup tilt [%v,%v], budgets imply [%v,%v]",
+			snap.Epoch, c.TiltMin, c.TiltMax, tiltMin, tiltMax)
+	}
+	if c.UsageSum != usageSum.Value() || c.FairSum != fairSum.Value() {
+		d.violate("epoch %d: rollup ledger totals (usage=%v fair=%v), mirror has (usage=%v fair=%v)",
+			snap.Epoch, c.UsageSum, c.FairSum, usageSum.Value(), fairSum.Value())
+	}
+	// BudgetSum folds per-shard compensated sums in shard order, which the
+	// mirror cannot reproduce exactly; a tight relative bound stands in.
+	if bs := budgetSum.Value(); math.Abs(bs-c.BudgetSum) > 1e-9*math.Max(1, math.Abs(bs)) {
+		d.violate("epoch %d: rollup budget sum %v, Σ budgets = %v", snap.Epoch, c.BudgetSum, bs)
+	}
+
+	// The long-run oracles baseline against the flat equal split, so only
+	// flat epochs feed the auditor — under a queue tree a low-weight
+	// queue's tenants rightly average below 1/N of the machine.
+	if len(agents) > 0 && len(snap.Queues) == 0 {
+		names := make([]string, len(agents))
+		utils := make([]cobb.Utility, len(agents))
+		for i := range agents {
+			names[i] = agents[i].Name
+			utils[i] = agents[i].Utility
+		}
+		if oerr := d.auditor.Observe(names, utils, snap.Budgets,
+			opt.Alloc(snap.Allocation), snap.Capacity, dt); oerr != nil {
+			d.violate("epoch %d: long-run auditor: %v", snap.Epoch, oerr)
+		}
+	}
+
+	d.ledger, d.prevRates = ledger, rates
+	d.prevN = len(snap.Agents)
+	d.prevTime = t
 }
 
 // checkQueueRollups asserts the published per-queue rollups against the
@@ -841,7 +1031,7 @@ func (d *driver) checkDeltaReads(snap *serve.Snapshot) {
 			rec[ch.Agent.Name] = mirrorAgent{wire: ch.Agent}
 			// Row consistency: the delta row must be byte-identical to
 			// the point read and to the inline snapshot row.
-			d.checkRowConsistency(snap, ch.Agent.Name, ch.Allocation, c)
+			d.checkRowConsistency(snap, ch.Agent.Name, ch.Allocation, ch.Budget, c)
 		}
 		if len(rec) != len(d.mirror) {
 			d.violate("epoch %d: DeltaSince(%d) reconstructs %d agents, want %d", cur, c, len(rec), len(d.mirror))
@@ -893,8 +1083,9 @@ func (d *driver) checkDeltaReads(snap *serve.Snapshot) {
 }
 
 // checkRowConsistency asserts one agent's delta row equals its point
-// read and its inline snapshot row, bit for bit.
-func (d *driver) checkRowConsistency(snap *serve.Snapshot, name string, row []float64, cursor uint64) {
+// read and its inline snapshot row, bit for bit — and, with the credit
+// ledger on, that the budget rides every read surface identically.
+func (d *driver) checkRowConsistency(snap *serve.Snapshot, name string, row []float64, budget float64, cursor uint64) {
 	d.res.Checks++
 	pt := d.srv.AgentRow(name)
 	if pt == nil {
@@ -911,6 +1102,12 @@ func (d *driver) checkRowConsistency(snap *serve.Snapshot, name string, row []fl
 	}
 	if !equalRows(snap.Allocation[i], row) {
 		d.violate("epoch %d: %q delta row %v != snapshot row %v", snap.Epoch, name, row, snap.Allocation[i])
+	}
+	if d.auditor != nil && i < len(snap.Budgets) {
+		if want := snap.Budgets[i]; budget != want || pt.Budget != want {
+			d.violate("epoch %d: %q budget reads diverge: delta %v, point %v, snapshot %v",
+				snap.Epoch, name, budget, pt.Budget, want)
+		}
 	}
 }
 

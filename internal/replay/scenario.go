@@ -39,6 +39,15 @@ const (
 	// same-tick join+leave flickers, and elasticity flips on survivors —
 	// the drift-resummation and audit-coverage stressor.
 	ScenarioAdversarialChurn = "adversarial-churn"
+	// ScenarioCreditCycle alternates cohort load to stress the time-aware
+	// credit ledger: a crowd concentrated on resource 0 and a sparse
+	// cohort on resource 1 hold together, then the crowd departs (the
+	// survivors' realized share rates jump), idles, and a fresh crowd
+	// rejoins — two full feast-and-settle cycles. Replayed with credits
+	// off it is an ordinary churn trace; with a half-life set (see
+	// Options.CreditHalfLife) every phase boundary tilts the ledger and
+	// the mirror re-audit must track it epoch by epoch.
+	ScenarioCreditCycle = "credit-cycle"
 )
 
 // Scenarios lists the built-in scenario names in stable order.
@@ -46,6 +55,7 @@ func Scenarios() []string {
 	return []string{
 		ScenarioAdversarialChurn,
 		ScenarioCorrelatedDeparture,
+		ScenarioCreditCycle,
 		ScenarioDiurnal,
 		ScenarioFlashcrowd,
 		ScenarioSteady,
@@ -113,6 +123,8 @@ func GenerateScenario(name string, cfg ScenarioConfig) (*Trace, error) {
 		g.correlatedDeparture(cfg)
 	case ScenarioAdversarialChurn:
 		g.adversarialChurn(cfg)
+	case ScenarioCreditCycle:
+		g.creditCycle(cfg)
 	default:
 		return nil, fmt.Errorf("replay: unknown scenario %q (have %v)", name, Scenarios())
 	}
@@ -488,6 +500,79 @@ func (g *gen) adversarialChurn(cfg ScenarioConfig) {
 			g.join(t, mag())
 		}
 		g.leaveAt(t, len(g.live)-1)
+	}
+}
+
+// cohortElasticities draws a declaration concentrated on resource axis
+// (axis % nres), with small jittered weight everywhere else — the shape
+// that separates realized share rates between cohorts without ever
+// zeroing a dimension.
+func (g *gen) cohortElasticities(axis int) []float64 {
+	nres := len(g.t.Capacity)
+	e := make([]float64, nres)
+	for r := range e {
+		e[r] = 0.05 + 0.05*g.rng.Float64()
+	}
+	e[axis%nres] = 0.9 + 0.2*g.rng.Float64()
+	return e
+}
+
+// joinCohort emits a join whose preferences concentrate on the cohort's
+// resource axis.
+func (g *gen) joinCohort(tick uint64, axis int) string {
+	name := fmt.Sprintf("a%05d", g.next)
+	g.next++
+	g.t.Events = append(g.t.Events, Event{
+		Tick: tick, Op: OpJoin, Agent: name,
+		Alpha0:       1 + g.rng.Float64(),
+		Elasticities: g.cohortElasticities(axis),
+	})
+	g.live = append(g.live, name)
+	return name
+}
+
+// creditCycle: a persistent "sparse" cohort on resource 1 shares the
+// machine with a "crowd" on resource 0 that arrives and departs in two
+// full cycles. While the crowd is away, the sparse cohort's realized
+// share rate runs far above the equal split (a feast the ledger must
+// debit); each crowd return is a fresh set of names with neutral ledgers,
+// so the tilt and its decay are both exercised twice. A trickle of
+// re-declarations keeps batches non-trivial during the holds.
+func (g *gen) creditCycle(cfg ScenarioConfig) {
+	sparse := max(cfg.Agents/4, 2)
+	crowd := max(cfg.Agents-sparse, 2)
+	phase := max(cfg.Epochs/6, 1) // six phases: hold, away, hold, away, hold, refill
+	var crowdNames []string
+	arrive := func(tick uint64) {
+		for i := 0; i < crowd; i++ {
+			crowdNames = append(crowdNames, g.joinCohort(tick, 0))
+		}
+	}
+	depart := func(tick uint64) {
+		for _, name := range crowdNames {
+			for i, live := range g.live {
+				if live == name {
+					g.leaveAt(tick, i)
+					break
+				}
+			}
+		}
+		crowdNames = nil
+	}
+	for i := 0; i < sparse; i++ {
+		g.joinCohort(0, 1)
+	}
+	arrive(0)
+	for tick := 1; tick < cfg.Epochs; tick++ {
+		t := uint64(tick)
+		switch {
+		case tick == phase*1 || tick == phase*3:
+			depart(t)
+		case tick == phase*2 || tick == phase*4:
+			arrive(t)
+		default:
+			g.update(t, 1)
+		}
 	}
 }
 

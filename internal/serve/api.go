@@ -104,6 +104,29 @@ type QueueRollup struct {
 	ReclaimIn  float64 `json:"reclaim_in,omitempty"`
 }
 
+// CreditRollup is the per-epoch summary of the time-aware credit ledger,
+// present on snapshots only when the server runs with a credit half-life.
+type CreditRollup struct {
+	// HalfLifeSeconds, MinBudget, and MaxBudget echo the ledger's
+	// configuration (defaulted), so clients and replayed audits can
+	// reconstruct the mechanism without out-of-band knowledge.
+	HalfLifeSeconds float64 `json:"half_life_seconds"`
+	MinBudget       float64 `json:"min_budget"`
+	MaxBudget       float64 `json:"max_budget"`
+	// BudgetSum is the total income Σ budgets over the live population —
+	// exactly the agent count at parity.
+	BudgetSum float64 `json:"budget_sum"`
+	// TiltMax / TiltMin are the largest and smallest live budgets (both 1
+	// for an empty population or a fully-settled ledger).
+	TiltMax float64 `json:"tilt_max"`
+	TiltMin float64 `json:"tilt_min"`
+	// UsageSum / FairSum are the ledger totals: decayed usage and decayed
+	// fair-share integrals summed over the population. On a machine that
+	// stays fully allocated the two track each other.
+	UsageSum float64 `json:"usage_sum"`
+	FairSum  float64 `json:"fair_sum"`
+}
+
 // Snapshot is one immutable allocation epoch: the agent set after a batch
 // of mutations, the Equation 13 allocation over it, and the fairness
 // audit. Snapshots are published atomically and never mutated; Epoch is
@@ -148,6 +171,13 @@ type Snapshot struct {
 	// user-declared queues exist (the flat economy), so snapshots of
 	// queue-free servers are byte-identical to earlier versions.
 	Queues []QueueRollup `json:"queues,omitempty"`
+	// Credit is the credit-ledger rollup, present only when the server
+	// runs with a credit half-life — snapshots of credit-free servers are
+	// byte-identical to earlier versions.
+	Credit *CreditRollup `json:"credit,omitempty"`
+	// Budgets holds the per-agent credit budgets in Agents order, present
+	// only when Credit is set and the agent list is inlined.
+	Budgets []float64 `json:"budgets,omitempty"`
 }
 
 // NumAgents returns the population size whether or not the agent list
@@ -173,6 +203,9 @@ type AgentAllocationResponse struct {
 	// Queue is the rollup of the tenant's leaf queue, present only when
 	// user-declared queues exist.
 	Queue *QueueRollup `json:"queue,omitempty"`
+	// Budget is the tenant's credit-adjusted budget, present only when
+	// the credit ledger is enabled (1 at parity).
+	Budget float64 `json:"budget,omitempty"`
 }
 
 // DeltaChange is one changed tenant in a DeltaResponse.
@@ -181,6 +214,9 @@ type DeltaChange struct {
 	Agent WireAgent `json:"agent"`
 	// Allocation is the tenant's current row.
 	Allocation []float64 `json:"allocation"`
+	// Budget is the tenant's credit-adjusted budget, present only when
+	// the credit ledger is enabled.
+	Budget float64 `json:"budget,omitempty"`
 }
 
 // DeltaResponse is GET /v1/allocation?since=E: every agent whose

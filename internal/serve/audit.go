@@ -19,11 +19,18 @@ import (
 func (s *Server) auditExact(n int, sums []float64) *Fairness {
 	agents := make([]core.Agent, 0, n)
 	x := make([][]float64, 0, n)
+	var budgets []float64
+	if s.credit.Enabled() {
+		budgets = make([]float64, 0, n)
+	}
 	s.table.forEachSorted(func(name string, e *agentEntry) {
 		agents = append(agents, core.Agent{Name: name, Utility: e.util})
-		x = append(x, core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n))
+		x = append(x, core.RowFromSumsBudgeted(nil, e.weight, e.budget, sums, s.cfg.Capacity, n))
+		if budgets != nil {
+			budgets = append(budgets, e.budget)
+		}
 	})
-	return auditParallel(agents, s.cfg.Capacity, x, s.cfg.Parallelism)
+	return auditParallel(agents, s.cfg.Capacity, x, budgets, s.cfg.Parallelism)
 }
 
 // auditSampled audits at scale in O(Δ + K) per epoch instead of O(N²):
@@ -90,7 +97,17 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 			logS[r] = 0
 		}
 	}
-	logN := math.Log(float64(n))
+	// logDen is log N on the unweighted path. Under the credit ledger the
+	// baseline is the *entitlement* split (b_i/B)·C, and the weighted
+	// margin derivation — own bundle b_i·α̂_r/S_r·C_r vs entitlement —
+	// cancels the agent's own budget, leaving siTerm + log B − Σα̂·log S
+	// over the effective sums: the same O(R) dot product with the total
+	// income B in place of the population. At unit budgets B is exactly N
+	// (a compensated sum of ones), so the two coincide bit for bit.
+	logDen := math.Log(float64(n))
+	if s.credit.Enabled() {
+		logDen = math.Log(s.pubBudgetSum)
+	}
 	// The margin distribution and its minimum are fairness telemetry:
 	// the histogram shows how much SI headroom the population has, the
 	// min (kept on the server and surfaced as a gauge and in flight
@@ -98,7 +115,7 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 	marginHist := obs.Installed().Histogram(MetricSIMargin)
 	minMargin := math.Inf(1)
 	for i, e := range entries {
-		margin := e.siTerm + logN
+		margin := e.siTerm + logDen
 		for r, wr := range e.weight {
 			if wr > 0 {
 				margin -= wr * logS[r]
@@ -131,11 +148,18 @@ func (s *Server) auditSampled(n int, sums []float64, touched []string) *Fairness
 	}
 	utils := make([]cobb.Utility, len(efEntries))
 	rows := make([][]float64, len(efEntries))
+	var budgets []float64
+	if s.credit.Enabled() {
+		budgets = make([]float64, len(efEntries))
+	}
 	for i, e := range efEntries {
 		utils[i] = e.util
-		rows[i] = core.RowFromSums(nil, e.weight, sums, s.cfg.Capacity, n)
+		rows[i] = core.RowFromSumsBudgeted(nil, e.weight, e.budget, sums, s.cfg.Capacity, n)
+		if budgets != nil {
+			budgets[i] = e.budget
+		}
 	}
-	ef, err := fair.SampledEnvyFreeness(utils, rows, tol)
+	ef, err := sampledEnvy(utils, rows, budgets, tol)
 	if err != nil {
 		f.EF = false
 		f.Violations = append(f.Violations, fmt.Sprintf("EF audit failed: %v", err))
@@ -179,9 +203,11 @@ func (s *Server) auditHier(n int, touched []string) *Fairness {
 // verdicts. Violations are prefixed with the queue name.
 func (s *Server) auditHierExact() *Fairness {
 	type group struct {
-		agents []core.Agent
-		x      [][]float64
+		agents  []core.Agent
+		x       [][]float64
+		budgets []float64
 	}
+	creditOn := s.credit.Enabled()
 	groups := make(map[string]*group)
 	var order []string
 	s.table.forEachSorted(func(name string, e *agentEntry) {
@@ -193,12 +219,15 @@ func (s *Server) auditHierExact() *Fairness {
 		}
 		lp := s.pubLeaf[e.queue]
 		g.agents = append(g.agents, core.Agent{Name: name, Utility: e.util})
-		g.x = append(g.x, core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n))
+		g.x = append(g.x, core.RowFromSumsBudgeted(nil, e.weight, e.budget, lp.sums, lp.share, lp.n))
+		if creditOn {
+			g.budgets = append(g.budgets, e.budget)
+		}
 	})
 	f := &Fairness{SI: true, EF: true, PE: true}
 	for _, q := range order {
 		g := groups[q]
-		qf := auditParallel(g.agents, s.pubLeaf[q].share, g.x, s.cfg.Parallelism)
+		qf := auditParallel(g.agents, s.pubLeaf[q].share, g.x, g.budgets, s.cfg.Parallelism)
 		f.SI = f.SI && qf.SI
 		f.EF = f.EF && qf.EF
 		f.PE = f.PE && qf.PE
@@ -245,8 +274,12 @@ func (s *Server) auditHierSampled(n int, touched []string) *Fairness {
 
 	f := &Fairness{SI: true, EF: true, PE: true, Sampled: true, SampleSize: len(entries)}
 
-	// Per-leaf log-sums and log-count, built lazily for the leaves the
-	// sample actually visits.
+	// Per-leaf log-sums and log-denominator, built lazily for the leaves
+	// the sample actually visits. The denominator is the leaf population
+	// on the unweighted path and the leaf's total income under the credit
+	// ledger — the same entitlement-margin cancellation as the flat
+	// sampled audit, leaf-relative.
+	creditOn := s.credit.Enabled()
 	type leafLogs struct {
 		logS []float64
 		logN float64
@@ -258,6 +291,9 @@ func (s *Server) auditHierSampled(n int, touched []string) *Fairness {
 		}
 		lp := s.pubLeaf[q]
 		ll := &leafLogs{logS: make([]float64, len(lp.sums)), logN: math.Log(float64(lp.n))}
+		if creditOn {
+			ll.logN = math.Log(lp.bsum)
+		}
 		for r, v := range lp.sums {
 			if v > 0 {
 				ll.logS[r] = math.Log(v)
@@ -312,11 +348,18 @@ func (s *Server) auditHierSampled(n int, touched []string) *Fairness {
 		lp := s.pubLeaf[q]
 		utils := make([]cobb.Utility, len(group))
 		rows := make([][]float64, len(group))
+		var budgets []float64
+		if creditOn {
+			budgets = make([]float64, len(group))
+		}
 		for i, e := range group {
 			utils[i] = e.util
-			rows[i] = core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n)
+			rows[i] = core.RowFromSumsBudgeted(nil, e.weight, e.budget, lp.sums, lp.share, lp.n)
+			if budgets != nil {
+				budgets[i] = e.budget
+			}
 		}
-		ef, err := fair.SampledEnvyFreeness(utils, rows, tol)
+		ef, err := sampledEnvy(utils, rows, budgets, tol)
 		if err != nil {
 			f.EF = false
 			f.Violations = append(f.Violations, fmt.Sprintf("queue %s: EF audit failed: %v", q, err))
@@ -340,10 +383,26 @@ func (s *Server) auditHierSampled(n int, touched []string) *Fairness {
 	return f
 }
 
+// sampledEnvy dispatches the pairwise envy audit over a sample: the
+// classic form at unit budgets (nil), the income-scaled weighted form
+// under the credit ledger.
+func sampledEnvy(utils []cobb.Utility, rows [][]float64, budgets []float64, tol fair.Tolerance) (fair.Result, error) {
+	if budgets != nil {
+		return fair.WeightedEnvyFreeness(utils, rows, budgets, tol)
+	}
+	return fair.SampledEnvyFreeness(utils, rows, tol)
+}
+
 // auditParallel runs the three §4 property audits as independent jobs on
 // the internal/par pool — EF is O(n²) in agents and dominates for large
 // tenant counts, so the three properties fan out rather than serialize.
-func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, parallelism int) *Fairness {
+// A non-nil budgets vector switches SI and EF to their budget-weighted
+// forms (entitlement split and income-scaled envy): under the credit
+// ledger the *weighted* properties are the per-epoch guarantees; the
+// classic ones are deliberately violated whenever the ledger tilts.
+// Pareto efficiency is budget-blind — budgets cancel inside each agent's
+// MRS, so the tangency condition is unchanged.
+func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, budgets []float64, parallelism int) *Fairness {
 	utils := make([]cobb.Utility, len(agents))
 	for i, a := range agents {
 		utils[i] = a.Utility
@@ -354,9 +413,17 @@ func auditParallel(agents []core.Agent, capacity []float64, x [][]float64, paral
 	_ = par.ForEach(3, parallelism, func(i int) error {
 		switch i {
 		case 0:
-			results[i], errs[i] = fair.SharingIncentives(utils, capacity, x, tol)
+			if budgets != nil {
+				results[i], errs[i] = fair.WeightedSharingIncentives(utils, capacity, x, budgets, tol)
+			} else {
+				results[i], errs[i] = fair.SharingIncentives(utils, capacity, x, tol)
+			}
 		case 1:
-			results[i], errs[i] = fair.EnvyFreeness(utils, x, tol)
+			if budgets != nil {
+				results[i], errs[i] = fair.WeightedEnvyFreeness(utils, x, budgets, tol)
+			} else {
+				results[i], errs[i] = fair.EnvyFreeness(utils, x, tol)
+			}
 		case 2:
 			results[i], errs[i] = fair.ParetoEfficiency(utils, capacity, x, tol)
 		}

@@ -79,6 +79,12 @@ type EpochRecord struct {
 	// margin of the hierarchical audit (negative = a queue prefers the
 	// entitlement split).
 	QueueSIMarginMin float64 `json:"queue_si_margin_min,omitempty"`
+	// CreditBudgetSum, CreditTiltMax, and CreditTiltMin mirror the
+	// epoch's credit rollup — the ledger's total income and tilt extremes
+	// (all 0 while the ledger is disabled).
+	CreditBudgetSum float64 `json:"credit_budget_sum,omitempty"`
+	CreditTiltMax   float64 `json:"credit_tilt_max,omitempty"`
+	CreditTiltMin   float64 `json:"credit_tilt_min,omitempty"`
 }
 
 // FlightSnapshot is the serve-side instantiation of the generic
@@ -142,6 +148,11 @@ func (s *Server) buildEpochRecord(snap *Snapshot, tm *epochTiming, agents, batch
 		}
 	}
 	rec.Queues = len(snap.Queues)
+	if c := snap.Credit; c != nil {
+		rec.CreditBudgetSum = c.BudgetSum
+		rec.CreditTiltMax = c.TiltMax
+		rec.CreditTiltMin = c.TiltMin
+	}
 	return rec
 }
 

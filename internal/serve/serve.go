@@ -115,6 +115,22 @@ const (
 	// MetricQueueSIMarginMin is the smallest normalized per-queue SI
 	// log margin of the latest hierarchical audit.
 	MetricQueueSIMarginMin = "ref_serve_queue_si_margin_min"
+	// MetricCreditBudget is the histogram of credit-adjusted per-agent
+	// budgets observed each epoch (only populated when the credit ledger
+	// is enabled; 1 everywhere at parity).
+	MetricCreditBudget = "ref_serve_credit_budget"
+	// MetricCreditTiltMax / MetricCreditTiltMin are the largest and
+	// smallest live budgets — how far the ledger is currently tilting.
+	MetricCreditTiltMax = "ref_serve_credit_tilt_max"
+	MetricCreditTiltMin = "ref_serve_credit_tilt_min"
+	// MetricCreditBudgetSum is Σ budgets over the live population (≈ N at
+	// parity — the weighted mechanism's total income).
+	MetricCreditBudgetSum = "ref_serve_credit_budget_sum"
+	// MetricCreditUsageSum / MetricCreditFairSum are the ledger totals:
+	// decayed usage and decayed fair-share integrals summed over the
+	// population (they track each other on a fully-allocated machine).
+	MetricCreditUsageSum = "ref_serve_credit_usage_sum"
+	MetricCreditFairSum  = "ref_serve_credit_fair_sum"
 )
 
 // Config parameterizes a Server. The zero value of every field except
@@ -156,6 +172,25 @@ type Config struct {
 	// Clock drives the batching window and snapshot timestamps; nil
 	// selects the wall clock. Tests inject a FakeClock.
 	Clock Clock
+
+	// CreditHalfLife enables the time-aware credit ledger: each epoch
+	// every tenant's decayed usage integral (half-life CreditHalfLife)
+	// is compared to its decayed fair share, and the ratio — clamped to
+	// [CreditMinBudget, CreditMaxBudget] — becomes the tenant's budget in
+	// the weighted Equation 13. Zero (the default) disables the ledger
+	// entirely: every budget stays exactly 1 and the epoch path is
+	// byte-identical to the unweighted engine. Note the credit pass walks
+	// the whole population each epoch (O(N·R)); it is intended for epoch
+	// windows where that is affordable, not for the million-agent
+	// O(Δ)-per-epoch regime.
+	CreditHalfLife time.Duration
+	// CreditMinBudget / CreditMaxBudget bound the budget tilt (defaults
+	// 0.5 / 2.0 when the ledger is enabled; must satisfy 0 < min ≤ 1 ≤
+	// max). The bounds guarantee every tenant an instantaneous
+	// entitlement of at least CreditMinBudget/(CreditMaxBudget·N) of the
+	// machine — the floor behind the starvation-bound oracle.
+	CreditMinBudget float64
+	CreditMaxBudget float64
 
 	// Queues is the boot-time queue-tree declaration (hierarchical
 	// multi-tenant fairness; see internal/hier). Empty boots the flat
@@ -450,6 +485,18 @@ type Server struct {
 	// timingScratch is the per-epoch stage-timestamp scratch, reused so
 	// tracing adds no steady-state allocations.
 	timingScratch epochTiming
+
+	// credit is the defaulted, validated ledger parameterization (zero —
+	// disabled — without Config.CreditHalfLife). creditLast and
+	// creditLastN are the previous publication's clock reading and
+	// population: the interval the next credit pass integrates over and
+	// its equal-split denominator. pubBudgetSum is the published total
+	// income Σ budgets backing the sampled audit's entitlement margins.
+	// All guarded by stateMu.
+	credit       core.CreditParams
+	creditLast   time.Time
+	creditLastN  int
+	pubBudgetSum float64
 }
 
 // New validates cfg, publishes the empty epoch-0 snapshot, and starts the
@@ -465,6 +512,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	credit := core.CreditParams{
+		HalfLifeSeconds: cfg.CreditHalfLife.Seconds(),
+		MinBudget:       cfg.CreditMinBudget,
+		MaxBudget:       cfg.CreditMaxBudget,
+	}.WithDefaults()
+	if err := credit.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		cfg:      cfg,
 		clock:    cfg.Clock,
@@ -475,7 +530,9 @@ func New(cfg Config) (*Server, error) {
 		deltas:   make([]epochDelta, cfg.DeltaWindow),
 		tree:     tree,
 		hierEver: tree.NonTrivial(),
+		credit:   credit,
 	}
+	s.creditLast = s.clock.Now()
 	if cfg.FlightRecorder > 0 {
 		s.flight = obs.NewFlightRecorder[EpochRecord](cfg.FlightRecorder, obs.FlightOptions{Dir: cfg.FlightDumpDir})
 	}
@@ -593,12 +650,17 @@ type leafPub struct {
 	sums  []float64
 	share []float64
 	n     int
+	// bsum is the leaf's total income Σ budgets over its direct agents,
+	// filled by creditPublish (0 while the ledger is disabled) — the
+	// entitlement denominator of the leaf-relative sampled audit.
+	bsum float64
 }
 
 // treeEach adapts the canonical table walk to the tree's resummation
-// callback contract. Callers hold stateMu.
+// callback contract. The tree aggregates *effective* weights — at unit
+// budgets that is the raw weight slice, bit for bit. Callers hold stateMu.
 func (s *Server) treeEach(visit func(queue string, weight []float64)) {
-	s.table.forEachSorted(func(_ string, e *agentEntry) { visit(e.queue, e.weight) })
+	s.table.forEachSorted(func(_ string, e *agentEntry) { visit(e.queue, e.eff()) })
 }
 
 // rowFor computes one agent's published allocation row: from its leaf
@@ -607,9 +669,9 @@ func (s *Server) treeEach(visit func(queue string, weight []float64)) {
 // denominator's equal-split fallback).
 func (s *Server) rowFor(e *agentEntry, n int) []float64 {
 	if lp, ok := s.pubLeaf[e.queue]; ok {
-		return core.RowFromSums(nil, e.weight, lp.sums, lp.share, lp.n)
+		return core.RowFromSumsBudgeted(nil, e.weight, e.budget, lp.sums, lp.share, lp.n)
 	}
-	return core.RowFromSums(nil, e.weight, s.pubSums, s.cfg.Capacity, n)
+	return core.RowFromSumsBudgeted(nil, e.weight, e.budget, s.pubSums, s.cfg.Capacity, n)
 }
 
 // queueRollupFor returns the published rollup of e's leaf queue, nil on
@@ -778,6 +840,15 @@ func (s *Server) runEpoch(batch []mutation) {
 		i = j
 	}
 
+	// With the ledger enabled, settle credits before the epoch closes:
+	// every tenant's account accrues the interval since the last
+	// publication and its new clamped budget lands as an O(R)
+	// effective-weight delta — so the resummation policy right below sees
+	// the credit churn too.
+	if s.credit.Enabled() {
+		s.creditPass()
+	}
+
 	s.table.endEpoch()
 	if s.hierEver {
 		s.tree.EndEpoch(s.treeEach)
@@ -876,6 +947,13 @@ func (s *Server) runEpoch(batch []mutation) {
 		if fair := snap.Fairness; fair != nil && fair.Hier != nil {
 			r.Gauge(MetricReclaimMoved).Set(fair.Hier.ReclaimMoved)
 			r.Gauge(MetricQueueSIMarginMin).Set(fair.Hier.MinSIMargin)
+		}
+		if c := snap.Credit; c != nil {
+			r.Gauge(MetricCreditTiltMax).Set(c.TiltMax)
+			r.Gauge(MetricCreditTiltMin).Set(c.TiltMin)
+			r.Gauge(MetricCreditBudgetSum).Set(c.BudgetSum)
+			r.Gauge(MetricCreditUsageSum).Set(c.UsageSum)
+			r.Gauge(MetricCreditFairSum).Set(c.FairSum)
 		}
 		if fair := snap.Fairness; fair != nil {
 			mode, coverage := 0.0, 1.0
@@ -990,7 +1068,7 @@ func (s *Server) applyAgentRun(batch []mutation, results []mutationResult, lo, h
 				oldW, oldQ := sh.upsert(m.name, wire, m.util, queue)
 				if hierOn {
 					s.treeCap[bi] = treeDelta{has: true, oldW: oldW, oldQ: oldQ,
-						newW: sh.entries[m.name].weight, newQ: queue}
+						newW: sh.entries[m.name].eff(), newQ: queue}
 				}
 			case mutLeave:
 				oldW, oldQ := sh.remove(m.name)
@@ -1153,6 +1231,15 @@ func (s *Server) publishBatch(info *batchInfo, touched []string, tm *epochTiming
 		snap.AgentCount = n
 	}
 
+	// With the ledger enabled, close the credit loop against the state
+	// just published: store every tenant's realized share rate (what the
+	// next pass integrates as usage), assemble the credit rollup, and
+	// stage the budget context the audits below need (total income, per-
+	// leaf income). Runs before the audit so the weighted audits see it.
+	if s.credit.Enabled() {
+		s.creditPublish(snap, n)
+	}
+
 	if tm != nil {
 		tm.afterAllocate = s.clock.Now()
 	}
@@ -1206,13 +1293,17 @@ func (s *Server) AgentRow(name string) *AgentAllocationResponse {
 	if e == nil {
 		return nil
 	}
-	return &AgentAllocationResponse{
+	resp := &AgentAllocationResponse{
 		Schema:     Schema,
 		Epoch:      s.snap.Load().Epoch,
 		Agent:      e.wire,
 		Allocation: s.rowFor(e, s.table.count()),
 		Queue:      s.queueRollupFor(e),
 	}
+	if s.credit.Enabled() {
+		resp.Budget = e.budget
+	}
+	return resp
 }
 
 // DeltaSince answers GET /v1/allocation?since=E: the agents whose
@@ -1260,10 +1351,14 @@ func (s *Server) DeltaSince(since uint64) *DeltaResponse {
 	n := s.table.count()
 	for name := range seen {
 		if e := s.table.get(name); e != nil {
-			resp.Changes = append(resp.Changes, DeltaChange{
+			ch := DeltaChange{
 				Agent:      e.wire,
 				Allocation: s.rowFor(e, n),
-			})
+			}
+			if s.credit.Enabled() {
+				ch.Budget = e.budget
+			}
+			resp.Changes = append(resp.Changes, ch)
 		} else {
 			resp.Left = append(resp.Left, name)
 		}

@@ -23,6 +23,35 @@ type agentEntry struct {
 	// queue is the canonical leaf queue holding the agent ("default"
 	// when the agent joined without one).
 	queue string
+	// budget is the agent's credit-adjusted income in the weighted
+	// Equation 13 — exactly 1 on a server without the credit ledger, so
+	// every effective weight below is the raw weight bit for bit.
+	budget float64
+	// credit is the agent's decaying usage/fair-share ledger (zero value
+	// while the ledger is disabled or the agent is fresh).
+	credit core.CreditAccount
+	// shareRate is the agent's normalized share rate at the last
+	// publication — what the next credit pass integrates as usage.
+	shareRate float64
+	// creditLive marks agents that were present at the last publication:
+	// only they accrue over the following interval (a fresh join neither
+	// used nor was owed anything before it appeared).
+	creditLive bool
+}
+
+// eff returns the agent's effective Equation 13 weight budget·α̂. At the
+// unit budget it is the weight vector itself (no copy, bit-identical); a
+// tilted budget allocates, because callers (the tree mirror, the serial
+// publish fold) may retain the slice past further shard mutations.
+func (e *agentEntry) eff() []float64 {
+	if e.budget == 1 {
+		return e.weight
+	}
+	out := make([]float64, len(e.weight))
+	for r, w := range e.weight {
+		out[r] = e.budget * w
+	}
+	return out
 }
 
 // shard is one stripe of the agent table: its members, their canonical
@@ -36,6 +65,11 @@ type shard struct {
 	sorted  []string
 	sums    []core.CompSum
 	churn   []float64
+	// budgetSum is the compensated running sum of the shard's budgets —
+	// the weighted mechanism's total income, maintained under the same
+	// delta discipline as the weight sums. Exactly the member count while
+	// every budget is 1 (a CompSum of ones is exact).
+	budgetSum core.CompSum
 }
 
 // insertSorted places name into the shard's canonical order (binary
@@ -57,9 +91,9 @@ func (sh *shard) removeSorted(name string) {
 }
 
 // upsert joins or re-declares one tenant into the given leaf queue,
-// applying the O(R) weight delta to the shard's running sums. It returns
-// the replaced entry's weight vector and queue (both zero for a fresh
-// join) so the epoch loop can mirror the delta into the queue tree.
+// applying the O(R) effective-weight delta to the shard's running sums. It
+// returns the replaced entry's effective weight and queue (both zero for a
+// fresh join) so the epoch loop can mirror the delta into the queue tree.
 func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility, queue string) (oldW []float64, oldQueue string) {
 	w := util.Rescaled().Alpha
 	var siTerm float64
@@ -69,13 +103,18 @@ func (sh *shard) upsert(name string, wire WireAgent, util cobb.Utility, queue st
 		}
 	}
 	if e, ok := sh.entries[name]; ok {
-		oldW, oldQueue = e.weight, e.queue
-		core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, w)
+		// A re-declare keeps the agent's budget (and ledger): the deltas
+		// below are between the old and new *effective* weights. At a unit
+		// budget both calls collapse to the raw vectors — the historical
+		// arithmetic exactly.
+		oldEff, oldQueue := e.eff(), e.queue
 		e.wire, e.util, e.weight, e.elastSum, e.siTerm, e.queue = wire, util, w, util.ElasticitySum(), siTerm, queue
-		return oldW, oldQueue
+		core.ApplyWeightDelta(sh.sums, sh.churn, oldEff, e.eff())
+		return oldEff, oldQueue
 	}
 	core.ApplyWeightDelta(sh.sums, sh.churn, nil, w)
-	sh.entries[name] = &agentEntry{wire: wire, util: util, weight: w, elastSum: util.ElasticitySum(), siTerm: siTerm, queue: queue}
+	sh.entries[name] = &agentEntry{wire: wire, util: util, weight: w, elastSum: util.ElasticitySum(), siTerm: siTerm, queue: queue, budget: 1}
+	sh.budgetSum.Add(1)
 	sh.insertSorted(name)
 	return nil, ""
 }
@@ -87,23 +126,52 @@ func (sh *shard) remove(name string) (oldW []float64, oldQueue string) {
 	if !ok {
 		return nil, ""
 	}
-	core.ApplyWeightDelta(sh.sums, sh.churn, e.weight, nil)
+	eff := e.eff()
+	core.ApplyWeightDelta(sh.sums, sh.churn, eff, nil)
+	sh.budgetSum.Sub(e.budget)
 	delete(sh.entries, name)
 	sh.removeSorted(name)
-	return e.weight, e.queue
+	return eff, e.queue
 }
 
-// resum recomputes the shard's partial sums exactly from its members in
-// canonical order (deterministic), resetting churn.
+// setBudget retilts one member's budget, applying the O(R)
+// effective-weight delta against the shard's sums. It returns the old and
+// new effective weights so the caller can mirror the delta into the queue
+// tree (both nil when the budget did not change).
+func (sh *shard) setBudget(e *agentEntry, b float64) (oldEff, newEff []float64) {
+	if b == e.budget {
+		return nil, nil
+	}
+	oldEff = e.eff()
+	sh.budgetSum.Sub(e.budget)
+	e.budget = b
+	sh.budgetSum.Add(b)
+	newEff = e.eff()
+	core.ApplyWeightDelta(sh.sums, sh.churn, oldEff, newEff)
+	return oldEff, newEff
+}
+
+// resum recomputes the shard's partial sums (and budget sum) exactly from
+// its members in canonical order (deterministic), resetting churn. The
+// unit-budget branch adds the raw weights — the historical arithmetic.
 func (sh *shard) resum() {
 	for r := range sh.sums {
 		sh.sums[r].Reset()
 		sh.churn[r] = 0
 	}
+	sh.budgetSum.Reset()
 	for _, name := range sh.sorted {
-		w := sh.entries[name].weight
+		e := sh.entries[name]
+		sh.budgetSum.Add(e.budget)
+		w := e.weight
+		if e.budget == 1 {
+			for r := range sh.sums {
+				sh.sums[r].Add(w[r])
+			}
+			continue
+		}
 		for r := range sh.sums {
-			sh.sums[r].Add(w[r])
+			sh.sums[r].Add(e.budget * w[r])
 		}
 	}
 }
@@ -171,6 +239,17 @@ func (t *agentTable) combineSums(dst []float64) []float64 {
 		dst[r] = s.Value()
 	}
 	return dst
+}
+
+// combineBudgetSum folds the per-shard budget sums in fixed shard order —
+// Σ budgets over the live population, the weighted mechanism's total
+// income B (exactly the agent count while every budget is 1).
+func (t *agentTable) combineBudgetSum() float64 {
+	var s core.CompSum
+	for _, sh := range t.shards {
+		s.Merge(sh.budgetSum)
+	}
+	return s.Value()
 }
 
 // endEpoch applies the resummation policy: every resumEvery epochs all
